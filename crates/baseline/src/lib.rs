@@ -1,0 +1,50 @@
+//! # genealog-baseline — the Ariadne-style annotation baseline ("BL")
+//!
+//! The GeneaLog paper compares against Ariadne (Glavic et al., *Efficient stream
+//! provenance via operator instrumentation*, TOIT 2014), the state-of-the-art in eager
+//! streaming provenance. Ariadne also instruments operators, but:
+//!
+//! * every tuple carries a **variable-length annotation** listing the ids of all the
+//!   source tuples contributing to it (so the per-tuple overhead grows with the size
+//!   of the contribution graph, violating the paper's challenge C1), and
+//! * **all source tuples are retained** (in the [`store::SourceStore`]) so that the
+//!   annotated sink tuples can later be joined back with the actual source payloads
+//!   (violating challenge C2).
+//!
+//! This crate implements that technique behind the engine's
+//! [`ProvenanceSystem`](genealog_spe::provenance::ProvenanceSystem) extension point so
+//! the very same queries can be deployed under NP, GL and BL — exactly the comparison
+//! of the evaluation's Figures 12 and 13.
+//!
+//! ```rust
+//! use genealog_baseline::AriadneBaseline;
+//! use genealog_spe::prelude::*;
+//!
+//! # fn main() -> Result<(), SpeError> {
+//! let baseline = AriadneBaseline::new();
+//! let mut q = Query::new(baseline.clone());
+//! let src = q.source("numbers", VecSource::with_period(vec![1i64, 2, 3], 1_000));
+//! let doubled = q.map_one("double", src, |v| v * 2);
+//! let out = q.collecting_sink("sink", doubled);
+//! q.deploy()?.wait()?;
+//!
+//! // Each sink tuple's annotation lists the contributing source-tuple ids,
+//! // resolvable against the retained source store.
+//! let collector = genealog_baseline::BaselineCollector::new(baseline);
+//! let provenance = collector.resolve::<i64, i64>(&out.tuples()[0]);
+//! assert_eq!(provenance.len(), 1);
+//! assert_eq!(provenance[0].data, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod meta;
+pub mod store;
+pub mod system;
+
+pub use meta::BlMeta;
+pub use store::{SourceStore, StoredSource};
+pub use system::{AriadneBaseline, BaselineCollector};

@@ -1,0 +1,110 @@
+//! The variable-length annotation carried by every tuple under the baseline.
+
+use genealog_spe::tuple::TupleId;
+
+/// Baseline per-tuple metadata: the list of source-tuple ids contributing to the tuple.
+///
+/// Unlike GeneaLog's fixed-size metadata, this annotation grows with the number of
+/// contributing source tuples (e.g. ≈192 ids per sink tuple in the paper's Q3), which
+/// is the per-tuple overhead the paper's challenge C1 rules out.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BlMeta {
+    /// Ids of the source tuples contributing to this tuple, in first-contribution order.
+    pub contributors: Vec<TupleId>,
+}
+
+impl BlMeta {
+    /// Annotation of a source tuple: contributes only itself.
+    pub fn source(id: TupleId) -> Self {
+        BlMeta {
+            contributors: vec![id],
+        }
+    }
+
+    /// Annotation of a tuple derived from a single input: the input's annotation.
+    pub fn inherit(input: &BlMeta) -> Self {
+        input.clone()
+    }
+
+    /// Annotation obtained by merging several inputs' annotations, de-duplicated while
+    /// preserving first-occurrence order.
+    pub fn merge<'a>(inputs: impl IntoIterator<Item = &'a BlMeta>) -> Self {
+        let mut contributors = Vec::new();
+        for meta in inputs {
+            for id in &meta.contributors {
+                if !contributors.contains(id) {
+                    contributors.push(*id);
+                }
+            }
+        }
+        BlMeta { contributors }
+    }
+
+    /// Number of contributing source tuples recorded in the annotation.
+    pub fn len(&self) -> usize {
+        self.contributors.len()
+    }
+
+    /// True if the annotation is empty (never the case for instrumented tuples).
+    pub fn is_empty(&self) -> bool {
+        self.contributors.is_empty()
+    }
+
+    /// Approximate in-memory size of the annotation in bytes.
+    pub fn size_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.contributors.len() * std::mem::size_of::<TupleId>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(seq: u64) -> TupleId {
+        TupleId::new(0, seq)
+    }
+
+    #[test]
+    fn source_annotation_contains_only_itself() {
+        let m = BlMeta::source(id(5));
+        assert_eq!(m.contributors, vec![id(5)]);
+        assert_eq!(m.len(), 1);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn inherit_clones_the_annotation() {
+        let m = BlMeta::source(id(1));
+        let inherited = BlMeta::inherit(&m);
+        assert_eq!(inherited, m);
+    }
+
+    #[test]
+    fn merge_deduplicates_and_preserves_order() {
+        let a = BlMeta {
+            contributors: vec![id(1), id(2)],
+        };
+        let b = BlMeta {
+            contributors: vec![id(2), id(3)],
+        };
+        let merged = BlMeta::merge([&a, &b]);
+        assert_eq!(merged.contributors, vec![id(1), id(2), id(3)]);
+    }
+
+    #[test]
+    fn annotation_size_grows_with_contributors() {
+        let small = BlMeta::source(id(0));
+        let large = BlMeta {
+            contributors: (0..192).map(id).collect(),
+        };
+        assert!(large.size_bytes() > small.size_bytes());
+        assert!(large.size_bytes() >= 192 * std::mem::size_of::<TupleId>());
+    }
+
+    #[test]
+    fn empty_default_annotation() {
+        let m = BlMeta::default();
+        assert!(m.is_empty());
+        assert_eq!(BlMeta::merge(std::iter::empty::<&BlMeta>()).len(), 0);
+    }
+}

@@ -1,0 +1,138 @@
+//! The source store: the baseline's retained copy of every source tuple.
+//!
+//! Annotation-based provenance must keep the source tuples around until the annotated
+//! output tuples are joined back with them — in the worst case indefinitely, because a
+//! source tuple can contribute to a future window for as long as the query runs. This
+//! store is the embodiment of that cost: it grows with the input stream, which is what
+//! makes the baseline collapse on memory-constrained edge devices (Figures 12–13).
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use genealog_spe::tuple::{TupleData, TupleId};
+use genealog_spe::Timestamp;
+use parking_lot::Mutex;
+
+/// A retained source tuple.
+#[derive(Debug, Clone)]
+pub struct StoredSource {
+    /// Timestamp of the source tuple.
+    pub ts: Timestamp,
+    /// Type-erased payload of the source tuple.
+    pub data: Arc<dyn Any + Send + Sync>,
+    /// Debug rendering of the payload (used for size estimates and reports).
+    pub rendered: String,
+}
+
+impl StoredSource {
+    /// Downcasts the stored payload to a concrete schema.
+    pub fn payload<S: TupleData>(&self) -> Option<&S> {
+        self.data.downcast_ref::<S>()
+    }
+}
+
+/// Thread-safe store of every source tuple injected by the query's Sources.
+#[derive(Debug, Default)]
+pub struct SourceStore {
+    inner: Mutex<HashMap<TupleId, StoredSource>>,
+}
+
+impl SourceStore {
+    /// Creates an empty store.
+    pub fn new() -> Arc<Self> {
+        Arc::new(SourceStore::default())
+    }
+
+    /// Retains a source tuple.
+    pub fn insert<S: TupleData>(&self, id: TupleId, ts: Timestamp, data: &S) {
+        let stored = StoredSource {
+            ts,
+            data: Arc::new(data.clone()),
+            rendered: format!("{data:?}"),
+        };
+        self.inner.lock().insert(id, stored);
+    }
+
+    /// Looks up a retained source tuple by id.
+    pub fn get(&self, id: TupleId) -> Option<StoredSource> {
+        self.inner.lock().get(&id).cloned()
+    }
+
+    /// Number of retained source tuples.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// True if nothing has been retained yet.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// Approximate memory used by the retained tuples, in bytes.
+    pub fn size_bytes(&self) -> usize {
+        let inner = self.inner.lock();
+        inner
+            .values()
+            .map(|s| std::mem::size_of::<StoredSource>() + s.rendered.len())
+            .sum::<usize>()
+            + inner.len() * std::mem::size_of::<TupleId>()
+    }
+
+    /// Removes the retained tuples older than `watermark` (an optimisation some
+    /// annotation-based systems apply when the query's maximum window span is known;
+    /// kept here for the ablation benchmarks).
+    pub fn evict_older_than(&self, watermark: Timestamp) -> usize {
+        let mut inner = self.inner.lock();
+        let before = inner.len();
+        inner.retain(|_, s| s.ts >= watermark);
+        before - inner.len()
+    }
+
+    /// Clears the store.
+    pub fn clear(&self) {
+        self.inner.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_lookup_round_trip() {
+        let store = SourceStore::new();
+        assert!(store.is_empty());
+        store.insert(TupleId::new(0, 1), Timestamp::from_secs(10), &(7u32, 0u32));
+        store.insert(TupleId::new(0, 2), Timestamp::from_secs(20), &(8u32, 5u32));
+        assert_eq!(store.len(), 2);
+        let s = store.get(TupleId::new(0, 1)).unwrap();
+        assert_eq!(s.ts, Timestamp::from_secs(10));
+        assert_eq!(s.payload::<(u32, u32)>(), Some(&(7, 0)));
+        assert!(s.payload::<String>().is_none());
+        assert!(store.get(TupleId::new(0, 99)).is_none());
+    }
+
+    #[test]
+    fn store_size_grows_with_the_input() {
+        let store = SourceStore::new();
+        for i in 0..100 {
+            store.insert(TupleId::new(0, i), Timestamp::from_secs(i), &(i as u32, 0u32));
+        }
+        assert_eq!(store.len(), 100);
+        assert!(store.size_bytes() > 100 * std::mem::size_of::<TupleId>());
+    }
+
+    #[test]
+    fn eviction_and_clear() {
+        let store = SourceStore::new();
+        for i in 0..10 {
+            store.insert(TupleId::new(0, i), Timestamp::from_secs(i * 10), &i);
+        }
+        let evicted = store.evict_older_than(Timestamp::from_secs(50));
+        assert_eq!(evicted, 5);
+        assert_eq!(store.len(), 5);
+        store.clear();
+        assert!(store.is_empty());
+    }
+}

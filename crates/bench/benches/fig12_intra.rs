@@ -1,0 +1,85 @@
+//! Figure 12 — intra-process provenance overhead.
+//!
+//! Runs every evaluation query (Q1–Q4) under the three provenance configurations
+//! (NP / GL / BL) inside a single process and reports throughput, latency, average and
+//! maximum memory, the number of alerts, the traversal time and the provenance-volume
+//! ratio — the quantities of Figure 12 plus the §7 text claims. Absolute numbers
+//! differ from the Odroid testbed; the claim under reproduction is the *shape*
+//! (GL within a few percent of NP, BL an order of magnitude worse).
+//!
+//! Run with `cargo bench -p genealog-bench --bench fig12_intra`.
+//! `GENEALOG_BENCH_SCALE` scales the workload sizes, `GENEALOG_BENCH_RUNS` the number
+//! of repetitions averaged per configuration (default 3).
+
+use std::sync::Arc;
+
+use genealog_bench::{run_intra, IntraConfig, QueryId, SystemUnderTest};
+use genealog_metrics::report::{FigureTable, MetricCell, RunMeasurement};
+use genealog_metrics::TrackingAllocator;
+
+#[global_allocator]
+static ALLOC: TrackingAllocator = TrackingAllocator::new();
+
+fn runs() -> usize {
+    std::env::var("GENEALOG_BENCH_RUNS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3)
+        .max(1)
+}
+
+fn main() {
+    let config = IntraConfig::new(Arc::new(|| ALLOC.live_bytes()));
+    let repetitions = runs();
+    let mut table = FigureTable::new("Figure 12 — intra-process provenance overhead");
+    println!(
+        "workloads: {:?}\nrepetitions per configuration: {repetitions}\n",
+        config.workloads
+    );
+
+    for query in QueryId::ALL {
+        for system in SystemUnderTest::ALL {
+            let mut throughput = Vec::new();
+            let mut latency = Vec::new();
+            let mut avg_mem = Vec::new();
+            let mut max_mem = Vec::new();
+            let mut traversal = Vec::new();
+            let mut sink_tuples = 0.0;
+            let mut provenance_bytes = 0.0;
+            let mut source_bytes = 0.0;
+            for _ in 0..repetitions {
+                ALLOC.reset_peak();
+                let result = run_intra(query, system, &config).expect("benchmark run");
+                throughput.push(result.throughput);
+                latency.push(result.mean_latency_ms);
+                avg_mem.push(result.avg_memory_mb);
+                max_mem.push(result.max_memory_mb);
+                traversal.push(result.traversal_mean_ms);
+                sink_tuples = result.sink_tuples as f64;
+                provenance_bytes = result.provenance_bytes as f64;
+                source_bytes = result.source_bytes as f64;
+            }
+            let mut row = RunMeasurement::new(query.label(), system.label());
+            row.throughput = MetricCell::from_samples(&throughput);
+            row.latency_ms = MetricCell::from_samples(&latency);
+            row.avg_memory_mb = MetricCell::from_samples(&avg_mem);
+            row.max_memory_mb = MetricCell::from_samples(&max_mem);
+            row.traversal_ms = MetricCell::from_samples(&traversal);
+            row.sink_tuples = sink_tuples;
+            row.provenance_bytes = provenance_bytes;
+            if system == SystemUnderTest::GeneaLog && source_bytes > 0.0 {
+                println!(
+                    "{} GL provenance volume: {:.4}% of the source data ({:.0} / {:.0} bytes)",
+                    query.label(),
+                    provenance_bytes / source_bytes * 100.0,
+                    provenance_bytes,
+                    source_bytes
+                );
+            }
+            table.push(row);
+        }
+    }
+
+    println!("\n{}", table.render());
+    println!("--- CSV ---\n{}", table.to_csv());
+}

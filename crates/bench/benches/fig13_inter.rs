@@ -1,0 +1,164 @@
+//! Figure 13 — inter-process provenance overhead.
+//!
+//! Deploys every evaluation query across three SPE instances connected by a simulated
+//! 100 Mbps link (two processing instances plus one provenance instance, as in
+//! Figures 7/9C/10C/11C) under the NP / GL / BL configurations and reports throughput,
+//! latency, memory, the bytes shipped over the network and the amount of provenance
+//! captured at the provenance instance.
+//!
+//! Run with `cargo bench -p genealog-bench --bench fig13_inter`.
+
+use genealog_bench::{q4_relay_stage1, q4_relay_stage2, BenchWorkloads, Q4Relay};
+use genealog_distributed::{
+    deploy_distributed_baseline, deploy_distributed_genealog, deploy_distributed_noprov,
+    DistributedOutcome, NetworkConfig,
+};
+use genealog_metrics::report::{FigureTable, MetricCell, RunMeasurement};
+use genealog_metrics::TrackingAllocator;
+use genealog_spe::operator::source::SourceConfig;
+use genealog_spe::SpeError;
+use genealog_workloads::linear_road::LinearRoadGenerator;
+use genealog_workloads::queries::{
+    q1_provenance_window, q1_stage1, q1_stage2, q2_provenance_window, q2_stage2,
+    q3_provenance_window, q3_stage1, q3_stage2, q4_provenance_window,
+};
+use genealog_workloads::smart_grid::SmartGridGenerator;
+use genealog_workloads::types::{
+    AccidentAlert, AnomalyAlert, BlackoutAlert, DailyConsumption, MeterReading, PositionReport,
+    StoppedCarCount,
+};
+
+#[global_allocator]
+static ALLOC: TrackingAllocator = TrackingAllocator::new();
+
+struct Measured {
+    throughput: f64,
+    latency_ms: f64,
+    avg_memory_mb: f64,
+    max_memory_mb: f64,
+    sink_tuples: f64,
+    provenance_records: usize,
+    network_bytes: u64,
+    provenance_link_bytes: u64,
+}
+
+fn measure<D, S>(run: impl FnOnce() -> Result<DistributedOutcome<D, S>, SpeError>) -> Measured
+where
+    D: genealog_spe::tuple::TupleData,
+    S: genealog_spe::tuple::TupleData,
+{
+    ALLOC.reset_peak();
+    let before = ALLOC.live_bytes();
+    let start = std::time::Instant::now();
+    let outcome = run().expect("distributed run");
+    let elapsed = start.elapsed().as_secs_f64();
+    let after_peak = ALLOC.peak_bytes();
+    Measured {
+        throughput: outcome.source_tuples() as f64 / elapsed.max(1e-9),
+        latency_ms: outcome.sink_stats.mean_latency_ms(),
+        avg_memory_mb: (before + after_peak) as f64 / 2.0 / (1024.0 * 1024.0),
+        max_memory_mb: after_peak as f64 / (1024.0 * 1024.0),
+        sink_tuples: outcome.alerts.len() as f64,
+        provenance_records: outcome.provenance.len(),
+        network_bytes: outcome.total_network_bytes(),
+        provenance_link_bytes: outcome.provenance_link_bytes,
+    }
+}
+
+fn push_row(table: &mut FigureTable, query: &str, cfg: &str, m: Measured) {
+    println!(
+        "{query} {cfg}: {:>10.0} t/s  latency {:>8.2} ms  alerts {:>5}  provenance records {:>5}  network {:>10} B (to provenance node: {} B)",
+        m.throughput, m.latency_ms, m.sink_tuples, m.provenance_records, m.network_bytes, m.provenance_link_bytes
+    );
+    let mut row = RunMeasurement::new(query, cfg);
+    row.throughput = MetricCell::from_samples(&[m.throughput]);
+    row.latency_ms = MetricCell::from_samples(&[m.latency_ms]);
+    row.avg_memory_mb = MetricCell::from_samples(&[m.avg_memory_mb]);
+    row.max_memory_mb = MetricCell::from_samples(&[m.max_memory_mb]);
+    row.sink_tuples = m.sink_tuples;
+    row.network_bytes = m.network_bytes as f64;
+    table.push(row);
+}
+
+fn main() {
+    let workloads = BenchWorkloads::default();
+    let network = NetworkConfig::default();
+    let source_config = SourceConfig::default();
+    println!(
+        "workloads: {workloads:?}\nnetwork: {network:?} (the evaluation's 100 Mbps switch)\n"
+    );
+    let mut table = FigureTable::new("Figure 13 — inter-process provenance overhead");
+
+    // ---------------- Q1 ----------------
+    let lr = workloads.linear_road;
+    push_row(&mut table, "Q1", "NP", measure(|| {
+        deploy_distributed_noprov::<_, StoppedCarCount, StoppedCarCount, PositionReport, _, _>(
+            "q1-np", LinearRoadGenerator::new(lr), source_config,
+            |q, s| q1_stage1(q, s), |q, s| q1_stage2(q, s), network)
+    }));
+    push_row(&mut table, "Q1", "GL", measure(|| {
+        deploy_distributed_genealog::<_, StoppedCarCount, StoppedCarCount, PositionReport, _, _>(
+            "q1-gl", LinearRoadGenerator::new(lr), source_config,
+            |q, s| q1_stage1(q, s), |q, s| q1_stage2(q, s), q1_provenance_window(), network)
+    }));
+    push_row(&mut table, "Q1", "BL", measure(|| {
+        deploy_distributed_baseline::<_, StoppedCarCount, StoppedCarCount, PositionReport, _, _>(
+            "q1-bl", LinearRoadGenerator::new(lr), source_config,
+            |q, s| q1_stage1(q, s), |q, s| q1_stage2(q, s), network)
+    }));
+
+    // ---------------- Q2 ----------------
+    push_row(&mut table, "Q2", "NP", measure(|| {
+        deploy_distributed_noprov::<_, StoppedCarCount, AccidentAlert, PositionReport, _, _>(
+            "q2-np", LinearRoadGenerator::new(lr), source_config,
+            |q, s| q1_stage1(q, s), |q, s| q2_stage2(q, s), network)
+    }));
+    push_row(&mut table, "Q2", "GL", measure(|| {
+        deploy_distributed_genealog::<_, StoppedCarCount, AccidentAlert, PositionReport, _, _>(
+            "q2-gl", LinearRoadGenerator::new(lr), source_config,
+            |q, s| q1_stage1(q, s), |q, s| q2_stage2(q, s), q2_provenance_window(), network)
+    }));
+    push_row(&mut table, "Q2", "BL", measure(|| {
+        deploy_distributed_baseline::<_, StoppedCarCount, AccidentAlert, PositionReport, _, _>(
+            "q2-bl", LinearRoadGenerator::new(lr), source_config,
+            |q, s| q1_stage1(q, s), |q, s| q2_stage2(q, s), network)
+    }));
+
+    // ---------------- Q3 ----------------
+    let sg = workloads.smart_grid;
+    push_row(&mut table, "Q3", "NP", measure(|| {
+        deploy_distributed_noprov::<_, DailyConsumption, BlackoutAlert, MeterReading, _, _>(
+            "q3-np", SmartGridGenerator::new(sg), source_config,
+            |q, s| q3_stage1(q, s), |q, s| q3_stage2(q, s), network)
+    }));
+    push_row(&mut table, "Q3", "GL", measure(|| {
+        deploy_distributed_genealog::<_, DailyConsumption, BlackoutAlert, MeterReading, _, _>(
+            "q3-gl", SmartGridGenerator::new(sg), source_config,
+            |q, s| q3_stage1(q, s), |q, s| q3_stage2(q, s), q3_provenance_window(), network)
+    }));
+    push_row(&mut table, "Q3", "BL", measure(|| {
+        deploy_distributed_baseline::<_, DailyConsumption, BlackoutAlert, MeterReading, _, _>(
+            "q3-bl", SmartGridGenerator::new(sg), source_config,
+            |q, s| q3_stage1(q, s), |q, s| q3_stage2(q, s), network)
+    }));
+
+    // ---------------- Q4 ----------------
+    push_row(&mut table, "Q4", "NP", measure(|| {
+        deploy_distributed_noprov::<_, Q4Relay, AnomalyAlert, MeterReading, _, _>(
+            "q4-np", SmartGridGenerator::new(sg), source_config,
+            |q, s| q4_relay_stage1(q, s), |q, s| q4_relay_stage2(q, s), network)
+    }));
+    push_row(&mut table, "Q4", "GL", measure(|| {
+        deploy_distributed_genealog::<_, Q4Relay, AnomalyAlert, MeterReading, _, _>(
+            "q4-gl", SmartGridGenerator::new(sg), source_config,
+            |q, s| q4_relay_stage1(q, s), |q, s| q4_relay_stage2(q, s), q4_provenance_window(), network)
+    }));
+    push_row(&mut table, "Q4", "BL", measure(|| {
+        deploy_distributed_baseline::<_, Q4Relay, AnomalyAlert, MeterReading, _, _>(
+            "q4-bl", SmartGridGenerator::new(sg), source_config,
+            |q, s| q4_relay_stage1(q, s), |q, s| q4_relay_stage2(q, s), network)
+    }));
+
+    println!("\n{}", table.render());
+    println!("--- CSV ---\n{}", table.to_csv());
+}

@@ -1,0 +1,113 @@
+//! Figure 14 — contribution-graph traversal time per sink tuple.
+//!
+//! For every query, measures the time `findProvenance` (Listing 1) takes per sink
+//! tuple in the intra-process deployment and, for the inter-process deployment, the
+//! per-instance traversal cost (the SU traversal at instance 1 and instance 2, whose
+//! graphs are smaller because the contribution graph is split across instances).
+//!
+//! Run with `cargo bench -p genealog-bench --bench fig14_traversal`.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use genealog::{erase, find_provenance_with_stats, GeneaLog};
+use genealog_bench::{run_intra, IntraConfig, QueryId, SystemUnderTest};
+use genealog_metrics::recorder::TraversalRecorder;
+use genealog_metrics::TrackingAllocator;
+use genealog_spe::prelude::*;
+use genealog_workloads::linear_road::LinearRoadGenerator;
+use genealog_workloads::queries::{q1_stage1, q1_stage2, q3_stage1, q3_stage2};
+use genealog_workloads::smart_grid::SmartGridGenerator;
+
+#[global_allocator]
+static ALLOC: TrackingAllocator = TrackingAllocator::new();
+
+/// Measures the per-instance traversal cost of a staged (inter-process-like) Q1/Q3:
+/// the stage-1 unfolder sees the full windows, the stage-2 unfolder sees graphs
+/// truncated at the REMOTE boundary — which is why the paper's Figure 14 reports lower
+/// per-instance traversal times in the distributed case.
+fn staged_traversal<G, D1, D2>(
+    name: &str,
+    generator: G,
+    stage1: impl FnOnce(&mut Query<GeneaLog>, StreamRef<G::Item, genealog::GlMeta>) -> StreamRef<D1, genealog::GlMeta>,
+    stage2: impl FnOnce(&mut Query<GeneaLog>, StreamRef<D1, genealog::GlMeta>) -> StreamRef<D2, genealog::GlMeta>,
+) -> (f64, f64)
+where
+    G: SourceGenerator,
+    D1: TupleData,
+    D2: TupleData,
+{
+    let recorder1 = TraversalRecorder::new();
+    let recorder2 = TraversalRecorder::new();
+    let mut q = Query::new(GeneaLog::new());
+    let source = q.source(&format!("{name}-source"), generator);
+    let d1 = stage1(&mut q, source);
+
+    // Instance-1 unfolder (timed).
+    let rec = Arc::clone(&recorder1);
+    let branches = q.multiplex(&format!("{name}-i1-mux"), d1, 2);
+    let mut branches = branches.into_iter();
+    let forward = branches.next().expect("two branches");
+    let unfold = branches.next().expect("two branches");
+    let unfolded1 = q.map_with_meta(&format!("{name}-i1-unfold"), unfold, move |t| {
+        let start = Instant::now();
+        let (_, stats) = find_provenance_with_stats(&erase(t));
+        rec.record(start.elapsed(), stats.originating);
+        Vec::<u8>::new()
+    });
+    q.discard(unfolded1);
+
+    let d2 = stage2(&mut q, forward);
+    // Instance-2 unfolder (timed). In a true multi-node run the upstream graph is cut
+    // at the REMOTE tuples; within one process it reaches the sources, so this is an
+    // upper bound on the instance-2 traversal cost.
+    let rec = Arc::clone(&recorder2);
+    let branches = q.multiplex(&format!("{name}-i2-mux"), d2, 2);
+    let mut branches = branches.into_iter();
+    let to_sink = branches.next().expect("two branches");
+    let unfold = branches.next().expect("two branches");
+    let unfolded2 = q.map_with_meta(&format!("{name}-i2-unfold"), unfold, move |t| {
+        let start = Instant::now();
+        let (_, stats) = find_provenance_with_stats(&erase(t));
+        rec.record(start.elapsed(), stats.originating);
+        Vec::<u8>::new()
+    });
+    q.discard(unfolded2);
+    let _sink = q.collecting_sink(&format!("{name}-sink"), to_sink);
+    q.deploy().expect("deploy").wait().expect("run");
+
+    (recorder1.mean_ms(), recorder2.mean_ms())
+}
+
+fn main() {
+    let config = IntraConfig::new(Arc::new(|| ALLOC.live_bytes()));
+    println!("== Figure 14 — contribution-graph traversal time per sink tuple ==\n");
+    println!("{:<4} {:>16} {:>18} {:>14}", "qry", "traversals", "mean graph size", "mean time(ms)");
+    for query in QueryId::ALL {
+        let result = run_intra(query, SystemUnderTest::GeneaLog, &config).expect("run");
+        println!(
+            "{:<4} {:>16} {:>18.1} {:>14.4}",
+            query.label(),
+            result.traversal_count,
+            result.mean_graph_size,
+            result.traversal_mean_ms
+        );
+    }
+
+    println!("\n-- per-instance traversal cost in staged (inter-process style) deployments --");
+    println!("{:<4} {:>22} {:>22}", "qry", "instance-1 mean(ms)", "instance-2 mean(ms)");
+    let (i1, i2) = staged_traversal(
+        "q1",
+        LinearRoadGenerator::new(config.workloads.linear_road),
+        |q, s| q1_stage1(q, s),
+        |q, s| q1_stage2(q, s),
+    );
+    println!("{:<4} {:>22.4} {:>22.4}", "Q1", i1, i2);
+    let (i1, i2) = staged_traversal(
+        "q3",
+        SmartGridGenerator::new(config.workloads.smart_grid),
+        |q, s| q3_stage1(q, s),
+        |q, s| q3_stage2(q, s),
+    );
+    println!("{:<4} {:>22.4} {:>22.4}", "Q3", i1, i2);
+}

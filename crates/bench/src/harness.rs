@@ -1,0 +1,524 @@
+//! Single-process run harness: executes one (query, configuration) pair and measures
+//! throughput, latency, memory and traversal cost — the columns of Figures 12 and 14.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use genealog::{erase, find_provenance_with_stats, GeneaLog, GlMeta};
+use genealog_baseline::{AriadneBaseline, BaselineCollector};
+use genealog_metrics::recorder::{MemorySampler, TraversalRecorder};
+use genealog_spe::operator::source::SourceGenerator;
+use genealog_spe::provenance::NoProvenance;
+use genealog_spe::query::{Query, StreamRef};
+use genealog_spe::tuple::TupleData;
+use genealog_spe::SpeError;
+use genealog_workloads::linear_road::{LinearRoadConfig, LinearRoadGenerator};
+use genealog_workloads::queries::{build_q1, build_q2, build_q3, build_q4};
+use genealog_workloads::smart_grid::{SmartGridConfig, SmartGridGenerator};
+use genealog_workloads::types::{MeterReading, PositionReport};
+
+/// The four evaluation queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryId {
+    /// Broken-down vehicle detection (Linear Road).
+    Q1,
+    /// Accident detection (Linear Road).
+    Q2,
+    /// Long-term blackout detection (Smart Grid).
+    Q3,
+    /// Meter anomaly detection (Smart Grid).
+    Q4,
+}
+
+impl QueryId {
+    /// All queries, in evaluation order.
+    pub const ALL: [QueryId; 4] = [QueryId::Q1, QueryId::Q2, QueryId::Q3, QueryId::Q4];
+
+    /// Short label ("Q1".."Q4").
+    pub fn label(&self) -> &'static str {
+        match self {
+            QueryId::Q1 => "Q1",
+            QueryId::Q2 => "Q2",
+            QueryId::Q3 => "Q3",
+            QueryId::Q4 => "Q4",
+        }
+    }
+}
+
+/// The three provenance configurations compared by the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SystemUnderTest {
+    /// No provenance (the reference configuration).
+    NoProvenance,
+    /// GeneaLog (the paper's contribution).
+    GeneaLog,
+    /// The Ariadne-style annotation baseline.
+    Baseline,
+}
+
+impl SystemUnderTest {
+    /// All configurations, in evaluation order.
+    pub const ALL: [SystemUnderTest; 3] = [
+        SystemUnderTest::NoProvenance,
+        SystemUnderTest::GeneaLog,
+        SystemUnderTest::Baseline,
+    ];
+
+    /// Short label ("NP", "GL", "BL").
+    pub fn label(&self) -> &'static str {
+        match self {
+            SystemUnderTest::NoProvenance => "NP",
+            SystemUnderTest::GeneaLog => "GL",
+            SystemUnderTest::Baseline => "BL",
+        }
+    }
+}
+
+/// Workload sizes for the benchmark runs.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchWorkloads {
+    /// Linear Road configuration used by Q1/Q2.
+    pub linear_road: LinearRoadConfig,
+    /// Smart Grid configuration used by Q3/Q4.
+    pub smart_grid: SmartGridConfig,
+}
+
+impl Default for BenchWorkloads {
+    fn default() -> Self {
+        // Scaled so a full NP/GL/BL sweep over Q1-Q4 completes in a couple of minutes
+        // on a laptop; set GENEALOG_BENCH_SCALE to grow or shrink the workloads.
+        let scale = std::env::var("GENEALOG_BENCH_SCALE")
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .unwrap_or(1.0)
+            .max(0.05);
+        BenchWorkloads {
+            linear_road: LinearRoadConfig {
+                cars: ((200.0 * scale) as u32).max(10),
+                rounds: 60,
+                ..LinearRoadConfig::default()
+            },
+            smart_grid: SmartGridConfig {
+                meters: ((200.0 * scale) as u32).max(10),
+                days: 3,
+                ..SmartGridConfig::default()
+            },
+        }
+    }
+}
+
+/// Configuration of an intra-process benchmark run.
+#[derive(Clone)]
+pub struct IntraConfig {
+    /// The workload sizes.
+    pub workloads: BenchWorkloads,
+    /// Probe returning the process' live heap bytes (usually the tracking allocator).
+    pub memory_probe: Arc<dyn Fn() -> usize + Send + Sync>,
+    /// Interval between memory samples.
+    pub memory_probe_interval: std::time::Duration,
+}
+
+impl IntraConfig {
+    /// Creates a configuration with the given memory probe and default workloads.
+    pub fn new(memory_probe: Arc<dyn Fn() -> usize + Send + Sync>) -> Self {
+        IntraConfig {
+            workloads: BenchWorkloads::default(),
+            memory_probe,
+            memory_probe_interval: std::time::Duration::from_millis(5),
+        }
+    }
+}
+
+impl std::fmt::Debug for IntraConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IntraConfig")
+            .field("workloads", &self.workloads)
+            .field("memory_probe_interval", &self.memory_probe_interval)
+            .finish()
+    }
+}
+
+/// Measured outcome of one intra-process run.
+#[derive(Debug, Clone, Default)]
+pub struct IntraResult {
+    /// Number of source tuples injected.
+    pub source_tuples: u64,
+    /// Number of alerts received by the data sink.
+    pub sink_tuples: u64,
+    /// Wall-clock duration of the run in seconds.
+    pub wall_seconds: f64,
+    /// Source throughput in tuples per second.
+    pub throughput: f64,
+    /// Mean sink latency in milliseconds.
+    pub mean_latency_ms: f64,
+    /// Average live heap during the run, in megabytes.
+    pub avg_memory_mb: f64,
+    /// Maximum live heap during the run, in megabytes.
+    pub max_memory_mb: f64,
+    /// Mean contribution-graph traversal time in milliseconds (GL only).
+    pub traversal_mean_ms: f64,
+    /// Number of traversals performed (GL only).
+    pub traversal_count: u64,
+    /// Mean contribution-graph size in source tuples (GL only).
+    pub mean_graph_size: f64,
+    /// Estimated size of the captured provenance, in bytes.
+    pub provenance_bytes: u64,
+    /// Estimated size of the raw source data, in bytes.
+    pub source_bytes: u64,
+}
+
+struct MemoryWatch {
+    stop: Arc<AtomicBool>,
+    handle: std::thread::JoinHandle<()>,
+    sampler: Arc<MemorySampler>,
+}
+
+fn start_memory_watch(config: &IntraConfig) -> MemoryWatch {
+    let sampler = MemorySampler::new();
+    let stop = Arc::new(AtomicBool::new(false));
+    let probe = Arc::clone(&config.memory_probe);
+    let interval = config.memory_probe_interval;
+    let thread_sampler = Arc::clone(&sampler);
+    let thread_stop = Arc::clone(&stop);
+    let handle = std::thread::spawn(move || {
+        while !thread_stop.load(Ordering::Relaxed) {
+            thread_sampler.sample(probe());
+            std::thread::sleep(interval);
+        }
+        thread_sampler.sample(probe());
+    });
+    MemoryWatch {
+        stop,
+        handle,
+        sampler,
+    }
+}
+
+impl MemoryWatch {
+    fn finish(self) -> (f64, f64) {
+        self.stop.store(true, Ordering::Relaxed);
+        let _ = self.handle.join();
+        (self.sampler.average_mb(), self.sampler.max_mb())
+    }
+}
+
+fn run_with_system<G, D, F, P>(
+    provenance: P,
+    generator: G,
+    source_bytes_per_tuple: u64,
+    build: F,
+    config: &IntraConfig,
+    finalize: impl FnOnce(&mut Query<P>, StreamRef<D, P::Meta>, &mut IntraResult),
+) -> Result<IntraResult, SpeError>
+where
+    G: SourceGenerator,
+    D: TupleData,
+    F: FnOnce(&mut Query<P>, StreamRef<G::Item, P::Meta>) -> StreamRef<D, P::Meta>,
+    P: genealog_spe::provenance::ProvenanceSystem,
+{
+    let mut result = IntraResult::default();
+    let mut q = Query::new(provenance);
+    let source = q.source("source", generator);
+    let alerts = build(&mut q, source);
+    finalize(&mut q, alerts, &mut result);
+
+    let watch = start_memory_watch(config);
+    let report = q.deploy()?.wait()?;
+    let (avg_mb, max_mb) = watch.finish();
+
+    result.source_tuples = report.source_tuples();
+    result.wall_seconds = report.wall_time().as_secs_f64();
+    result.throughput = report.source_throughput();
+    result.avg_memory_mb = avg_mb;
+    result.max_memory_mb = max_mb;
+    result.source_bytes = result.source_tuples * source_bytes_per_tuple;
+    Ok(result)
+}
+
+fn run_np<G, D, F>(
+    generator: G,
+    source_bytes_per_tuple: u64,
+    build: F,
+    config: &IntraConfig,
+) -> Result<IntraResult, SpeError>
+where
+    G: SourceGenerator,
+    D: TupleData,
+    F: FnOnce(&mut Query<NoProvenance>, StreamRef<G::Item, ()>) -> StreamRef<D, ()>,
+{
+    let sink_holder: Arc<parking_lot::Mutex<Option<genealog_spe::operator::sink::CollectedStream<D, ()>>>> =
+        Arc::new(parking_lot::Mutex::new(None));
+    let holder = Arc::clone(&sink_holder);
+    let mut result = run_with_system(
+        NoProvenance,
+        generator,
+        source_bytes_per_tuple,
+        build,
+        config,
+        move |q, alerts, _result| {
+            *holder.lock() = Some(q.collecting_sink("data-sink", alerts));
+        },
+    )?;
+    let sink = sink_holder.lock().take().expect("sink installed");
+    result.sink_tuples = sink.stats().tuple_count();
+    result.mean_latency_ms = sink.stats().mean_latency_ms();
+    Ok(result)
+}
+
+fn run_gl<G, D, F>(
+    generator: G,
+    source_bytes_per_tuple: u64,
+    build: F,
+    config: &IntraConfig,
+) -> Result<IntraResult, SpeError>
+where
+    G: SourceGenerator,
+    D: TupleData,
+    F: FnOnce(&mut Query<GeneaLog>, StreamRef<G::Item, GlMeta>) -> StreamRef<D, GlMeta>,
+{
+    type Holder<D> = Arc<
+        parking_lot::Mutex<
+            Option<(
+                genealog_spe::operator::sink::CollectedStream<D, GlMeta>,
+                genealog_spe::operator::sink::CollectedStream<u64, GlMeta>,
+            )>,
+        >,
+    >;
+    let sink_holder: Holder<D> = Arc::new(parking_lot::Mutex::new(None));
+    let holder = Arc::clone(&sink_holder);
+    let recorder = TraversalRecorder::new();
+    let map_recorder = Arc::clone(&recorder);
+
+    let mut result = run_with_system(
+        GeneaLog::new(),
+        generator,
+        source_bytes_per_tuple,
+        build,
+        config,
+        move |q, alerts, _result| {
+            // The single-stream unfolder of §5.1 (Multiplex + findProvenance Map),
+            // with the traversal timed for Figure 14.
+            let branches = q.multiplex("su-mux", alerts, 2);
+            let mut branches = branches.into_iter();
+            let passthrough = branches.next().expect("two branches");
+            let to_unfold = branches.next().expect("two branches");
+            let data_sink = q.collecting_sink("data-sink", passthrough);
+            let unfolded = q.map_with_meta("su-unfold", to_unfold, move |tuple| {
+                let root = erase(tuple);
+                let start = Instant::now();
+                let (provenance, stats) = find_provenance_with_stats(&root);
+                map_recorder.record(start.elapsed(), stats.originating);
+                let bytes: u64 = provenance
+                    .iter()
+                    .map(|origin| origin.render().len() as u64 + 16)
+                    .sum();
+                vec![bytes]
+            });
+            let provenance_sink = q.collecting_sink("provenance-sink", unfolded);
+            *holder.lock() = Some((data_sink, provenance_sink));
+        },
+    )?;
+
+    let (data_sink, provenance_sink) = sink_holder.lock().take().expect("sinks installed");
+    result.sink_tuples = data_sink.stats().tuple_count();
+    result.mean_latency_ms = data_sink.stats().mean_latency_ms();
+    result.traversal_mean_ms = recorder.mean_ms();
+    result.traversal_count = recorder.count() as u64;
+    result.mean_graph_size = recorder.mean_graph_size();
+    result.provenance_bytes = provenance_sink.tuples().iter().map(|t| t.data).sum();
+    Ok(result)
+}
+
+fn run_bl<G, D, F>(
+    generator: G,
+    source_bytes_per_tuple: u64,
+    build: F,
+    config: &IntraConfig,
+) -> Result<IntraResult, SpeError>
+where
+    G: SourceGenerator,
+    G::Item: TupleData,
+    D: TupleData,
+    F: FnOnce(
+        &mut Query<AriadneBaseline>,
+        StreamRef<G::Item, genealog_baseline::BlMeta>,
+    ) -> StreamRef<D, genealog_baseline::BlMeta>,
+{
+    let baseline = AriadneBaseline::new();
+    let collector = BaselineCollector::new(baseline.clone());
+    type Holder<D> = Arc<
+        parking_lot::Mutex<
+            Option<genealog_spe::operator::sink::CollectedStream<D, genealog_baseline::BlMeta>>,
+        >,
+    >;
+    let sink_holder: Holder<D> = Arc::new(parking_lot::Mutex::new(None));
+    let holder = Arc::clone(&sink_holder);
+
+    let mut result = run_with_system(
+        baseline,
+        generator,
+        source_bytes_per_tuple,
+        build,
+        config,
+        move |q, alerts, _result| {
+            *holder.lock() = Some(q.collecting_sink("data-sink", alerts));
+        },
+    )?;
+    let sink = sink_holder.lock().take().expect("sink installed");
+    result.sink_tuples = sink.stats().tuple_count();
+    result.mean_latency_ms = sink.stats().mean_latency_ms();
+    // Sink-side provenance materialisation: join annotations with the retained store.
+    let mut provenance_bytes = 0u64;
+    for alert in sink.tuples() {
+        let resolved = collector.resolve_raw(&alert);
+        provenance_bytes += resolved
+            .iter()
+            .map(|(_, s)| s.rendered.len() as u64 + 16)
+            .sum::<u64>();
+    }
+    result.provenance_bytes = provenance_bytes;
+    Ok(result)
+}
+
+/// Runs one (query, configuration) pair in a single process and measures it.
+///
+/// # Errors
+/// Propagates engine deployment/runtime errors.
+pub fn run_intra(
+    query: QueryId,
+    system: SystemUnderTest,
+    config: &IntraConfig,
+) -> Result<IntraResult, SpeError> {
+    let lr = config.workloads.linear_road;
+    let sg = config.workloads.smart_grid;
+    let lr_bytes = std::mem::size_of::<PositionReport>() as u64 + 8;
+    let sg_bytes = std::mem::size_of::<MeterReading>() as u64 + 8;
+    match (query, system) {
+        (QueryId::Q1, SystemUnderTest::NoProvenance) => run_np(
+            LinearRoadGenerator::new(lr),
+            lr_bytes,
+            |q, s| build_q1(q, s),
+            config,
+        ),
+        (QueryId::Q1, SystemUnderTest::GeneaLog) => run_gl(
+            LinearRoadGenerator::new(lr),
+            lr_bytes,
+            |q, s| build_q1(q, s),
+            config,
+        ),
+        (QueryId::Q1, SystemUnderTest::Baseline) => run_bl(
+            LinearRoadGenerator::new(lr),
+            lr_bytes,
+            |q, s| build_q1(q, s),
+            config,
+        ),
+        (QueryId::Q2, SystemUnderTest::NoProvenance) => run_np(
+            LinearRoadGenerator::new(lr),
+            lr_bytes,
+            |q, s| build_q2(q, s),
+            config,
+        ),
+        (QueryId::Q2, SystemUnderTest::GeneaLog) => run_gl(
+            LinearRoadGenerator::new(lr),
+            lr_bytes,
+            |q, s| build_q2(q, s),
+            config,
+        ),
+        (QueryId::Q2, SystemUnderTest::Baseline) => run_bl(
+            LinearRoadGenerator::new(lr),
+            lr_bytes,
+            |q, s| build_q2(q, s),
+            config,
+        ),
+        (QueryId::Q3, SystemUnderTest::NoProvenance) => run_np(
+            SmartGridGenerator::new(sg),
+            sg_bytes,
+            |q, s| build_q3(q, s),
+            config,
+        ),
+        (QueryId::Q3, SystemUnderTest::GeneaLog) => run_gl(
+            SmartGridGenerator::new(sg),
+            sg_bytes,
+            |q, s| build_q3(q, s),
+            config,
+        ),
+        (QueryId::Q3, SystemUnderTest::Baseline) => run_bl(
+            SmartGridGenerator::new(sg),
+            sg_bytes,
+            |q, s| build_q3(q, s),
+            config,
+        ),
+        (QueryId::Q4, SystemUnderTest::NoProvenance) => run_np(
+            SmartGridGenerator::new(sg),
+            sg_bytes,
+            |q, s| build_q4(q, s),
+            config,
+        ),
+        (QueryId::Q4, SystemUnderTest::GeneaLog) => run_gl(
+            SmartGridGenerator::new(sg),
+            sg_bytes,
+            |q, s| build_q4(q, s),
+            config,
+        ),
+        (QueryId::Q4, SystemUnderTest::Baseline) => run_bl(
+            SmartGridGenerator::new(sg),
+            sg_bytes,
+            |q, s| build_q4(q, s),
+            config,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> IntraConfig {
+        let mut config = IntraConfig::new(Arc::new(|| 1024 * 1024));
+        config.workloads.linear_road.cars = 20;
+        config.workloads.linear_road.rounds = 20;
+        config.workloads.smart_grid.meters = 20;
+        config.workloads.smart_grid.days = 2;
+        config
+    }
+
+    #[test]
+    fn q1_runs_under_all_three_systems_and_agrees_on_alerts() {
+        let config = tiny_config();
+        let np = run_intra(QueryId::Q1, SystemUnderTest::NoProvenance, &config).unwrap();
+        let gl = run_intra(QueryId::Q1, SystemUnderTest::GeneaLog, &config).unwrap();
+        let bl = run_intra(QueryId::Q1, SystemUnderTest::Baseline, &config).unwrap();
+        assert!(np.sink_tuples > 0);
+        assert_eq!(np.sink_tuples, gl.sink_tuples);
+        assert_eq!(np.sink_tuples, bl.sink_tuples);
+        assert_eq!(np.source_tuples, gl.source_tuples);
+        // GL measured a traversal per sink tuple and captured provenance bytes.
+        assert_eq!(gl.traversal_count, gl.sink_tuples);
+        assert!(gl.provenance_bytes > 0);
+        assert!((gl.mean_graph_size - 4.0).abs() < 1e-9);
+        assert!(bl.provenance_bytes > 0);
+        assert!(np.throughput > 0.0);
+        assert!(np.avg_memory_mb > 0.0);
+        assert!(np.max_memory_mb >= np.avg_memory_mb);
+    }
+
+    #[test]
+    fn q3_gl_graph_size_matches_the_paper() {
+        let mut config = tiny_config();
+        config.workloads.smart_grid.meters = 20;
+        config.workloads.smart_grid.days = 2;
+        let gl = run_intra(QueryId::Q3, SystemUnderTest::GeneaLog, &config).unwrap();
+        assert!(gl.sink_tuples > 0);
+        // 8 blackout meters × 24 readings = 192 source tuples per alert.
+        assert!((gl.mean_graph_size - 192.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn labels_and_iteration_orders() {
+        assert_eq!(QueryId::ALL.len(), 4);
+        assert_eq!(SystemUnderTest::ALL.len(), 3);
+        assert_eq!(QueryId::Q3.label(), "Q3");
+        assert_eq!(SystemUnderTest::Baseline.label(), "BL");
+    }
+}

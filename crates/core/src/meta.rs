@@ -1,0 +1,347 @@
+//! GeneaLog's fixed-size per-tuple meta-attributes (§4 of the paper).
+//!
+//! Every tuple processed by a GeneaLog-instrumented query carries a [`GlMeta`] with:
+//!
+//! * `T` ([`OpKind`]) — which operator *created* the tuple (`SOURCE`, `MAP`,
+//!   `MULTIPLEX`, `JOIN`, `AGGREGATE` or `REMOTE`; forwarding operators such as Filter
+//!   and Union never create tuples and therefore have no kind).
+//! * `U1`, `U2` — references to the input tuples contributing to this tuple.
+//! * `N` — the chain pointer set by the Aggregate to link the tuples of a window.
+//! * `ID` — the unique tuple identifier used for inter-process provenance (§6).
+//!
+//! In the paper these are raw memory pointers whose reachability is managed by the
+//! host process' garbage collector; here they are `Arc` references
+//! ([`ProvRef`] = `Arc<dyn ProvNode>`), which gives the same property: a tuple stays
+//! alive exactly as long as something downstream still references it, and is reclaimed
+//! the moment nothing does (challenge C2).
+
+use std::any::Any;
+use std::fmt;
+use std::sync::Arc;
+
+use genealog_spe::tuple::{GTuple, TupleData, TupleId};
+use genealog_spe::Timestamp;
+use parking_lot::RwLock;
+
+/// The operator kind that created a tuple (the paper's meta-attribute `T`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Created by a Source: a source tuple, leaf of every contribution graph.
+    Source,
+    /// Created by a Map.
+    Map,
+    /// Created by a Multiplex.
+    Multiplex,
+    /// Created by a Join.
+    Join,
+    /// Created by an Aggregate.
+    Aggregate,
+    /// Materialised by a Receive operator after crossing a process boundary; the
+    /// traversal stops here and inter-process provenance resumes at the sending
+    /// instance (§6).
+    Remote,
+}
+
+impl OpKind {
+    /// True for the kinds at which the contribution-graph traversal terminates.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, OpKind::Source | OpKind::Remote)
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpKind::Source => "SOURCE",
+            OpKind::Map => "MAP",
+            OpKind::Multiplex => "MULTIPLEX",
+            OpKind::Join => "JOIN",
+            OpKind::Aggregate => "AGGREGATE",
+            OpKind::Remote => "REMOTE",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A reference to a tuple participating in a contribution graph.
+pub type ProvRef = Arc<dyn ProvNode>;
+
+/// The view of a tuple needed to traverse contribution graphs.
+///
+/// Implemented by `GTuple<T, GlMeta>` for every payload type `T`, so tuples of
+/// *different schemas* (source reports, intermediate aggregates, alerts) can be linked
+/// into one graph behind `Arc<dyn ProvNode>` references.
+pub trait ProvNode: Send + Sync + fmt::Debug + 'static {
+    /// The operator kind that created this tuple (meta-attribute `T`).
+    fn kind(&self) -> OpKind;
+    /// The tuple's logical timestamp.
+    fn ts(&self) -> Timestamp;
+    /// The tuple's unique identifier (meta-attribute `ID`, §6).
+    fn id(&self) -> TupleId;
+    /// Upstream pointer `U1` (latest contributing tuple / Map input / Join's recent side).
+    fn u1(&self) -> Option<ProvRef>;
+    /// Upstream pointer `U2` (earliest window tuple / Join's older side).
+    fn u2(&self) -> Option<ProvRef>;
+    /// Chain pointer `N` (next tuple of the same aggregate window).
+    fn next(&self) -> Option<ProvRef>;
+    /// The tuple payload, type-erased (downcast with [`ProvNode::payload_is`] helpers).
+    fn payload_any(&self) -> &(dyn Any + Send + Sync);
+    /// Debug rendering of the payload, used when writing provenance to disk or logs.
+    fn render(&self) -> String;
+
+    /// Convenience: downcasts the payload to a concrete source schema.
+    fn payload_as<S: TupleData>(&self) -> Option<&S>
+    where
+        Self: Sized,
+    {
+        self.payload_any().downcast_ref::<S>()
+    }
+}
+
+impl dyn ProvNode {
+    /// Downcasts the payload of a type-erased node to a concrete schema.
+    pub fn payload<S: TupleData>(&self) -> Option<&S> {
+        self.payload_any().downcast_ref::<S>()
+    }
+}
+
+/// The `N` chain pointer: set after tuple creation by the instrumented Aggregate, so it
+/// needs interior mutability inside the shared tuple.
+#[derive(Default)]
+pub struct NextPointer {
+    cell: RwLock<Option<ProvRef>>,
+}
+
+impl NextPointer {
+    /// Creates an unset pointer.
+    pub fn new() -> Self {
+        NextPointer {
+            cell: RwLock::new(None),
+        }
+    }
+
+    /// Sets the pointer (overwriting any previous value; overlapping sliding windows
+    /// legitimately re-set it to the same successor).
+    pub fn set(&self, next: ProvRef) {
+        *self.cell.write() = Some(next);
+    }
+
+    /// Reads the pointer.
+    pub fn get(&self) -> Option<ProvRef> {
+        self.cell.read().clone()
+    }
+
+    /// Whether the pointer has been set.
+    pub fn is_set(&self) -> bool {
+        self.cell.read().is_some()
+    }
+}
+
+impl fmt::Debug for NextPointer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "NextPointer({})", if self.is_set() { "set" } else { "unset" })
+    }
+}
+
+/// GeneaLog's per-tuple metadata: the four meta-attributes of §4 plus the tuple id of §6.
+///
+/// The size of this struct is independent of how many source tuples contribute to the
+/// tuple — the paper's challenge C1 — in contrast to the variable-length annotation
+/// vector of the Ariadne-style baseline.
+pub struct GlMeta {
+    /// Meta-attribute `T`: the operator kind that created the tuple.
+    pub kind: OpKind,
+    /// Meta-attribute `ID`: unique tuple identifier (used for inter-process provenance).
+    pub id: TupleId,
+    /// Meta-attribute `U1`.
+    pub u1: Option<ProvRef>,
+    /// Meta-attribute `U2`.
+    pub u2: Option<ProvRef>,
+    /// Meta-attribute `N`.
+    pub next: NextPointer,
+}
+
+impl GlMeta {
+    /// Metadata for a tuple with no upstream pointers (source or remote tuples).
+    pub fn leaf(kind: OpKind, id: TupleId) -> Self {
+        GlMeta {
+            kind,
+            id,
+            u1: None,
+            u2: None,
+            next: NextPointer::new(),
+        }
+    }
+
+    /// Metadata for a tuple created from a single input (Map, Multiplex).
+    pub fn unary(kind: OpKind, id: TupleId, u1: ProvRef) -> Self {
+        GlMeta {
+            kind,
+            id,
+            u1: Some(u1),
+            u2: None,
+            next: NextPointer::new(),
+        }
+    }
+
+    /// Metadata for a tuple created from two inputs (Join) or a window (Aggregate).
+    pub fn binary(kind: OpKind, id: TupleId, u1: ProvRef, u2: ProvRef) -> Self {
+        GlMeta {
+            kind,
+            id,
+            u1: Some(u1),
+            u2: Some(u2),
+            next: NextPointer::new(),
+        }
+    }
+}
+
+impl fmt::Debug for GlMeta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GlMeta")
+            .field("kind", &self.kind)
+            .field("id", &self.id)
+            .field("u1", &self.u1.as_ref().map(|t| t.id()))
+            .field("u2", &self.u2.as_ref().map(|t| t.id()))
+            .field("next", &self.next)
+            .finish()
+    }
+}
+
+impl<T: TupleData> ProvNode for GTuple<T, GlMeta> {
+    fn kind(&self) -> OpKind {
+        self.meta.kind
+    }
+
+    fn ts(&self) -> Timestamp {
+        self.ts
+    }
+
+    fn id(&self) -> TupleId {
+        self.meta.id
+    }
+
+    fn u1(&self) -> Option<ProvRef> {
+        self.meta.u1.clone()
+    }
+
+    fn u2(&self) -> Option<ProvRef> {
+        self.meta.u2.clone()
+    }
+
+    fn next(&self) -> Option<ProvRef> {
+        self.meta.next.get()
+    }
+
+    fn payload_any(&self) -> &(dyn Any + Send + Sync) {
+        &self.data
+    }
+
+    fn render(&self) -> String {
+        format!("{:?}@{}", self.data, self.ts)
+    }
+}
+
+/// Erases a concrete tuple reference into a [`ProvRef`].
+pub fn erase<T: TupleData>(tuple: &Arc<GTuple<T, GlMeta>>) -> ProvRef {
+    Arc::clone(tuple) as ProvRef
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf_tuple(ts: u64, value: i64, seq: u64) -> Arc<GTuple<i64, GlMeta>> {
+        Arc::new(GTuple::new(
+            Timestamp::from_secs(ts),
+            0,
+            value,
+            GlMeta::leaf(OpKind::Source, TupleId::new(0, seq)),
+        ))
+    }
+
+    #[test]
+    fn op_kind_terminality_and_display() {
+        assert!(OpKind::Source.is_terminal());
+        assert!(OpKind::Remote.is_terminal());
+        assert!(!OpKind::Map.is_terminal());
+        assert!(!OpKind::Aggregate.is_terminal());
+        assert_eq!(OpKind::Aggregate.to_string(), "AGGREGATE");
+        assert_eq!(OpKind::Multiplex.to_string(), "MULTIPLEX");
+    }
+
+    #[test]
+    fn prov_node_exposes_tuple_fields() {
+        let t = leaf_tuple(8, 42, 3);
+        let node: ProvRef = erase(&t);
+        assert_eq!(node.kind(), OpKind::Source);
+        assert_eq!(node.ts(), Timestamp::from_secs(8));
+        assert_eq!(node.id(), TupleId::new(0, 3));
+        assert!(node.u1().is_none());
+        assert!(node.u2().is_none());
+        assert!(node.next().is_none());
+        assert_eq!(node.payload::<i64>(), Some(&42));
+        assert!(node.payload::<String>().is_none());
+        assert!(node.render().contains("42"));
+    }
+
+    #[test]
+    fn unary_and_binary_constructors_set_pointers() {
+        let a = leaf_tuple(1, 1, 0);
+        let b = leaf_tuple(2, 2, 1);
+        let unary = GlMeta::unary(OpKind::Map, TupleId::new(1, 0), erase(&a));
+        assert!(unary.u1.is_some());
+        assert!(unary.u2.is_none());
+        let binary = GlMeta::binary(OpKind::Join, TupleId::new(1, 1), erase(&b), erase(&a));
+        assert_eq!(binary.u1.as_ref().unwrap().id(), TupleId::new(0, 1));
+        assert_eq!(binary.u2.as_ref().unwrap().id(), TupleId::new(0, 0));
+    }
+
+    #[test]
+    fn next_pointer_is_settable_after_creation() {
+        let a = leaf_tuple(1, 1, 0);
+        let b = leaf_tuple(2, 2, 1);
+        assert!(!a.meta.next.is_set());
+        a.meta.next.set(erase(&b));
+        assert!(a.meta.next.is_set());
+        assert_eq!(a.meta.next.get().unwrap().id(), b.meta.id);
+        // Re-setting (overlapping windows) is allowed.
+        a.meta.next.set(erase(&b));
+        assert_eq!(a.meta.next.get().unwrap().id(), b.meta.id);
+    }
+
+    #[test]
+    fn arc_references_keep_contributing_tuples_alive() {
+        let source = leaf_tuple(1, 7, 0);
+        let weak = Arc::downgrade(&source);
+        let derived = Arc::new(GTuple::new(
+            Timestamp::from_secs(2),
+            0,
+            "alert".to_string(),
+            GlMeta::unary(OpKind::Map, TupleId::new(1, 0), erase(&source)),
+        ));
+        drop(source);
+        // Still alive: the derived tuple references it.
+        assert!(weak.upgrade().is_some());
+        drop(derived);
+        // Reclaimed as soon as nothing references it (challenge C2).
+        assert!(weak.upgrade().is_none());
+    }
+
+    #[test]
+    fn gl_meta_debug_is_shallow() {
+        let a = leaf_tuple(1, 1, 0);
+        let m = GlMeta::unary(OpKind::Map, TupleId::new(1, 5), erase(&a));
+        let dbg = format!("{m:?}");
+        assert!(dbg.contains("Map"));
+        assert!(dbg.contains(&format!("{:?}", TupleId::new(1, 5))));
+    }
+
+    #[test]
+    fn gl_meta_is_fixed_size() {
+        // The metadata footprint must not depend on the number of contributing source
+        // tuples (challenge C1). Two pointers + option id/kind + next cell.
+        let size = std::mem::size_of::<GlMeta>();
+        assert!(size <= 96, "GlMeta unexpectedly large: {size} bytes");
+    }
+}

@@ -1,0 +1,474 @@
+//! The single-stream unfolder (SU, §5) and the multi-stream unfolder (MU, §6), built
+//! from the standard streaming operators.
+//!
+//! *SU* duplicates a delivering stream with a Multiplex and applies the
+//! `findProvenance` traversal in a (meta-aware) Map, producing the *unfolded stream*:
+//! one tuple per (sink tuple, originating tuple) pair (Definition 5.1 / Figure 5B).
+//!
+//! *MU* stitches unfolded streams from different SPE instances together: tuples whose
+//! originating tuple is already a `SOURCE` pass through, tuples whose originating
+//! tuple is `REMOTE` are replaced by the matching tuples of the upstream instances'
+//! unfolded streams, matched on the unique tuple id (Definition 6.4 / Figure 8). It is
+//! composed of Union + Multiplex + two Filters + Join + Union — only standard
+//! operators, which is the paper's challenge C3.
+
+use std::fmt;
+
+use genealog_spe::provenance::ProvenanceSystem;
+use genealog_spe::query::{Query, StreamRef};
+use genealog_spe::tuple::{TupleData, TupleId};
+use genealog_spe::{Duration, Timestamp};
+
+use crate::meta::{erase, GlMeta, OpKind, ProvRef};
+use crate::system::GeneaLog;
+use crate::traversal::find_provenance;
+
+/// A snapshot of an originating source tuple: timestamp, id and payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceRecord<S> {
+    /// Timestamp of the source tuple.
+    pub ts: Timestamp,
+    /// Unique id of the source tuple.
+    pub id: TupleId,
+    /// Payload of the source tuple.
+    pub data: S,
+}
+
+/// One element of an *unfolded stream* (Definition 5.1): the attributes of the
+/// delivering (sink) tuple combined with one of its originating tuples.
+///
+/// The originating tuple is kept as a live [`ProvRef`], so within a process no payload
+/// copying happens; [`UnfoldedTuple::to_event`] converts to the plain-data
+/// [`UnfoldedEvent`] when the stream has to cross a process boundary.
+#[derive(Clone)]
+pub struct UnfoldedTuple<T> {
+    /// Timestamp of the delivering (sink) tuple.
+    pub sink_ts: Timestamp,
+    /// Unique id of the delivering tuple.
+    pub sink_id: TupleId,
+    /// Payload of the delivering tuple.
+    pub sink_data: T,
+    /// Kind of the originating tuple (`SOURCE` or `REMOTE`).
+    pub origin_kind: OpKind,
+    /// Timestamp of the originating tuple (`tsO` in Definition 6.2).
+    pub origin_ts: Timestamp,
+    /// Id of the originating tuple (`IDO` in Definition 6.2).
+    pub origin_id: TupleId,
+    /// The originating tuple itself.
+    pub origin: ProvRef,
+}
+
+impl<T: fmt::Debug> fmt::Debug for UnfoldedTuple<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("UnfoldedTuple")
+            .field("sink_ts", &self.sink_ts)
+            .field("sink_id", &self.sink_id)
+            .field("sink_data", &self.sink_data)
+            .field("origin_kind", &self.origin_kind)
+            .field("origin_ts", &self.origin_ts)
+            .field("origin_id", &self.origin_id)
+            .field("origin", &self.origin.render())
+            .finish()
+    }
+}
+
+impl<T: TupleData> UnfoldedTuple<T> {
+    /// Converts to a plain-data [`UnfoldedEvent`], downcasting the originating payload
+    /// to the source schema `S` (the payload is `None` for `REMOTE` originating tuples
+    /// or when the originating tuple has a different schema).
+    pub fn to_event<S: TupleData>(&self) -> UnfoldedEvent<T, S> {
+        UnfoldedEvent {
+            sink_ts: self.sink_ts,
+            sink_id: self.sink_id,
+            sink_data: self.sink_data.clone(),
+            origin_kind: self.origin_kind,
+            origin_ts: self.origin_ts,
+            origin_id: self.origin_id,
+            origin_data: self.origin.payload::<S>().cloned(),
+        }
+    }
+}
+
+/// A plain-data unfolded tuple: the serialisable form of [`UnfoldedTuple`] used when
+/// unfolded streams cross process boundaries (§6).
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnfoldedEvent<T, S> {
+    /// Timestamp of the delivering (sink) tuple.
+    pub sink_ts: Timestamp,
+    /// Unique id of the delivering tuple.
+    pub sink_id: TupleId,
+    /// Payload of the delivering tuple.
+    pub sink_data: T,
+    /// Kind of the originating tuple (`SOURCE` or `REMOTE`).
+    pub origin_kind: OpKind,
+    /// Timestamp of the originating tuple.
+    pub origin_ts: Timestamp,
+    /// Id of the originating tuple.
+    pub origin_id: TupleId,
+    /// Payload of the originating tuple (`Some` for `SOURCE` tuples of schema `S`).
+    pub origin_data: Option<S>,
+}
+
+impl<T: TupleData, S: TupleData> UnfoldedEvent<T, S> {
+    /// Drops the delivering payload, keeping only what downstream MU operators need
+    /// from an *upstream* unfolded stream.
+    pub fn to_upstream(&self) -> UpstreamEvent<S> {
+        UpstreamEvent {
+            sink_id: self.sink_id,
+            sink_ts: self.sink_ts,
+            origin_kind: self.origin_kind,
+            origin_ts: self.origin_ts,
+            origin_id: self.origin_id,
+            origin_data: self.origin_data.clone(),
+        }
+    }
+
+    /// The originating tuple as a [`SourceRecord`], if its payload is present.
+    pub fn source_record(&self) -> Option<SourceRecord<S>> {
+        self.origin_data.clone().map(|data| SourceRecord {
+            ts: self.origin_ts,
+            id: self.origin_id,
+            data,
+        })
+    }
+}
+
+/// An element of an upstream unfolded stream as consumed by the MU operator: the id of
+/// the delivering tuple at the upstream instance plus its originating tuple.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpstreamEvent<S> {
+    /// Id the delivering tuple had at the upstream instance (`ID`, the MU join key).
+    pub sink_id: TupleId,
+    /// Timestamp of the delivering tuple at the upstream instance.
+    pub sink_ts: Timestamp,
+    /// Kind of the originating tuple.
+    pub origin_kind: OpKind,
+    /// Timestamp of the originating tuple.
+    pub origin_ts: Timestamp,
+    /// Id of the originating tuple.
+    pub origin_id: TupleId,
+    /// Payload of the originating tuple.
+    pub origin_data: Option<S>,
+}
+
+/// Attaches a single-stream unfolder (SU) to `input`.
+///
+/// Returns `(passthrough, unfolded)`: the first stream is the exact copy of the input
+/// (`SO` in Figure 5) to be connected to the original downstream operator or Sink; the
+/// second is the unfolded stream `U` carrying one tuple per (delivering tuple,
+/// originating tuple) pair.
+pub fn attach_unfolder<T: TupleData>(
+    q: &mut Query<GeneaLog>,
+    name: &str,
+    input: StreamRef<T, GlMeta>,
+) -> (StreamRef<T, GlMeta>, StreamRef<UnfoldedTuple<T>, GlMeta>) {
+    let branches = q.multiplex(&format!("{name}-su-mux"), input, 2);
+    let mut branches = branches.into_iter();
+    let passthrough = branches.next().expect("multiplex produced two branches");
+    let to_unfold = branches.next().expect("multiplex produced two branches");
+    let unfolded = q.map_with_meta(&format!("{name}-su-unfold"), to_unfold, move |tuple| {
+        let root = erase(tuple);
+        // The tuple reaching this Map is the Multiplex copy created by the unfolder
+        // itself; the *delivering* tuple whose identity downstream instances will see
+        // (and that the paired Send operator transmits) is the Multiplex input, i.e.
+        // this copy's U1 target. Record that id so the multi-stream unfolder's join
+        // key (Definition 6.4) matches across the process boundary.
+        let delivering_id = tuple
+            .meta
+            .u1
+            .as_ref()
+            .map(|origin| origin.id())
+            .unwrap_or(tuple.meta.id);
+        find_provenance(&root)
+            .into_iter()
+            .map(|origin| UnfoldedTuple {
+                sink_ts: tuple.ts,
+                sink_id: delivering_id,
+                sink_data: tuple.data.clone(),
+                origin_kind: origin.kind(),
+                origin_ts: origin.ts(),
+                origin_id: origin.id(),
+                origin,
+            })
+            .collect()
+    });
+    (passthrough, unfolded)
+}
+
+/// Attaches a multi-stream unfolder (MU) combining a *derived* unfolded stream with
+/// one or more *upstream* unfolded streams (Definition 6.4).
+///
+/// `upstream_window` must cover the maximum time distance between a delivering tuple
+/// at this instance and the upstream delivering tuples contributing to it — the paper
+/// sets it to the sum of the window sizes of the stateful operators deployed at the
+/// instance producing the derived stream.
+///
+/// # Panics
+/// Panics if `upstreams` is empty.
+pub fn attach_multi_unfolder<P, T, S>(
+    q: &mut Query<P>,
+    name: &str,
+    derived: StreamRef<UnfoldedEvent<T, S>, P::Meta>,
+    upstreams: Vec<StreamRef<UpstreamEvent<S>, P::Meta>>,
+    upstream_window: Duration,
+) -> StreamRef<UnfoldedEvent<T, S>, P::Meta>
+where
+    P: ProvenanceSystem,
+    T: TupleData,
+    S: TupleData,
+{
+    assert!(
+        !upstreams.is_empty(),
+        "the MU operator requires at least one upstream unfolded stream"
+    );
+    // Union the upstream unfolded streams into one (optional single-input case is a
+    // pass-through union, kept for structural fidelity with Figure 8).
+    let upstream = if upstreams.len() == 1 {
+        upstreams.into_iter().next().expect("one upstream")
+    } else {
+        q.union(&format!("{name}-mu-upstream-union"), upstreams)
+    };
+
+    // Split the derived stream: SOURCE-originating tuples bypass the Join.
+    let branches = q.multiplex(&format!("{name}-mu-mux"), derived, 2);
+    let mut branches = branches.into_iter();
+    let first = branches.next().expect("multiplex produced two branches");
+    let second = branches.next().expect("multiplex produced two branches");
+    let remote_branch = q.filter(&format!("{name}-mu-remote"), first, |e: &UnfoldedEvent<T, S>| {
+        e.origin_kind != OpKind::Source
+    });
+    let source_branch = q.filter(&format!("{name}-mu-source"), second, |e: &UnfoldedEvent<T, S>| {
+        e.origin_kind == OpKind::Source
+    });
+
+    // Resolve REMOTE originating tuples through the upstream unfolded streams:
+    // match on upstream delivering id == derived originating id.
+    let resolved = q.join(
+        &format!("{name}-mu-join"),
+        remote_branch,
+        upstream,
+        upstream_window,
+        |d: &UnfoldedEvent<T, S>, u: &UpstreamEvent<S>| d.origin_id == u.sink_id,
+        |d: &UnfoldedEvent<T, S>, u: &UpstreamEvent<S>| UnfoldedEvent {
+            sink_ts: d.sink_ts,
+            sink_id: d.sink_id,
+            sink_data: d.sink_data.clone(),
+            origin_kind: u.origin_kind,
+            origin_ts: u.origin_ts,
+            origin_id: u.origin_id,
+            origin_data: u.origin_data.clone(),
+        },
+    );
+
+    q.union(&format!("{name}-mu-out"), vec![resolved, source_branch])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genealog_spe::operator::source::VecSource;
+    use genealog_spe::provenance::NoProvenance;
+    use genealog_spe::WindowSpec;
+
+    #[test]
+    fn su_unfolds_each_sink_tuple_into_its_sources() {
+        // Zero-speed filter -> count aggregate -> threshold filter (a miniature Q1).
+        let mut q = Query::new(GeneaLog::new());
+        // Car 1 reports zero speed four times within 90 seconds (so the four reports
+        // fit in one 120-second window), car 2 drives by once.
+        let reports: Vec<(u32, u32)> = vec![
+            (2, 55),
+            (1, 0), // car 1, speed 0
+            (1, 0),
+            (1, 0),
+            (1, 0),
+        ];
+        let src = q.source("reports", VecSource::with_period(reports, 30_000));
+        let stopped = q.filter("speed0", src, |r: &(u32, u32)| r.1 == 0);
+        let counts = q.aggregate(
+            "count",
+            stopped,
+            WindowSpec::new(Duration::from_secs(120), Duration::from_secs(30)).unwrap(),
+            |r: &(u32, u32)| r.0,
+            |w| (*w.key, w.len()),
+        );
+        let alerts = q.filter("alerts", counts, |c: &(u32, usize)| c.1 >= 4);
+        let (passthrough, unfolded) = attach_unfolder(&mut q, "prov", alerts);
+        let sink = q.collecting_sink("sink", passthrough);
+        let prov_sink = q.collecting_sink("prov-sink", unfolded);
+        q.deploy().unwrap().wait().unwrap();
+
+        assert!(!sink.is_empty(), "the alert must reach the data sink");
+        let unfolded = prov_sink.tuples();
+        assert!(!unfolded.is_empty());
+        // Every unfolded tuple originates from a SOURCE tuple of car 1 with speed 0.
+        for u in &unfolded {
+            assert_eq!(u.data.origin_kind, OpKind::Source);
+            let payload = u.data.origin.payload::<(u32, u32)>().unwrap();
+            assert_eq!(payload.0, 1);
+            assert_eq!(payload.1, 0);
+        }
+        // The first alert (count == 4) is unfolded into exactly 4 source tuples.
+        let first_sink_id = unfolded[0].data.sink_id;
+        let first_group: Vec<_> = unfolded
+            .iter()
+            .filter(|u| u.data.sink_id == first_sink_id)
+            .collect();
+        assert_eq!(first_group.len(), 4);
+    }
+
+    #[test]
+    fn unfolded_tuple_converts_to_typed_event() {
+        let mut q = Query::new(GeneaLog::new());
+        let src = q.source("numbers", VecSource::with_period(vec![5i64, 6], 1_000));
+        let mapped = q.map_one("double", src, |v| v * 2);
+        let (passthrough, unfolded) = attach_unfolder(&mut q, "prov", mapped);
+        q.discard(passthrough);
+        let prov_sink = q.collecting_sink("prov-sink", unfolded);
+        q.deploy().unwrap().wait().unwrap();
+
+        let events: Vec<UnfoldedEvent<i64, i64>> = prov_sink
+            .tuples()
+            .iter()
+            .map(|t| t.data.to_event::<i64>())
+            .collect();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].sink_data, 10);
+        assert_eq!(events[0].origin_data, Some(5));
+        assert!(events[0].source_record().is_some());
+        // Downcasting to the wrong schema yields no payload.
+        let wrong: UnfoldedEvent<i64, String> = prov_sink.tuples()[0].data.to_event::<String>();
+        assert!(wrong.origin_data.is_none());
+    }
+
+    #[test]
+    fn mu_resolves_remote_tuples_and_passes_source_tuples_through() {
+        // Simulate the provenance instance of a distributed deployment: the derived
+        // stream contains one SOURCE-originating tuple and one REMOTE-originating
+        // tuple; the upstream stream maps the remote id to two source records.
+        let remote_id = TupleId::new(1, 100);
+        let derived_events: Vec<UnfoldedEvent<&'static str, i64>> = vec![
+            UnfoldedEvent {
+                sink_ts: Timestamp::from_secs(60),
+                sink_id: TupleId::new(2, 0),
+                sink_data: "alert-a",
+                origin_kind: OpKind::Source,
+                origin_ts: Timestamp::from_secs(10),
+                origin_id: TupleId::new(2, 5),
+                origin_data: Some(42i64),
+            },
+            UnfoldedEvent {
+                sink_ts: Timestamp::from_secs(61),
+                sink_id: TupleId::new(2, 1),
+                sink_data: "alert-b",
+                origin_kind: OpKind::Remote,
+                origin_ts: Timestamp::from_secs(20),
+                origin_id: remote_id,
+                origin_data: None,
+            },
+        ];
+        let upstream_events: Vec<UpstreamEvent<i64>> = vec![
+            UpstreamEvent {
+                sink_id: remote_id,
+                sink_ts: Timestamp::from_secs(20),
+                origin_kind: OpKind::Source,
+                origin_ts: Timestamp::from_secs(1),
+                origin_id: TupleId::new(1, 1),
+                origin_data: Some(7i64),
+            },
+            UpstreamEvent {
+                sink_id: remote_id,
+                sink_ts: Timestamp::from_secs(20),
+                origin_kind: OpKind::Source,
+                origin_ts: Timestamp::from_secs(2),
+                origin_id: TupleId::new(1, 2),
+                origin_data: Some(8i64),
+            },
+            UpstreamEvent {
+                sink_id: TupleId::new(1, 999), // unrelated delivering tuple
+                sink_ts: Timestamp::from_secs(21),
+                origin_kind: OpKind::Source,
+                origin_ts: Timestamp::from_secs(3),
+                origin_id: TupleId::new(1, 3),
+                origin_data: Some(9i64),
+            },
+        ];
+
+        let mut q = Query::new(NoProvenance);
+        let derived = q.source(
+            "derived",
+            VecSource::new(
+                derived_events
+                    .into_iter()
+                    .map(|e| (e.sink_ts, e))
+                    .collect(),
+            ),
+        );
+        let upstream = q.source(
+            "upstream",
+            VecSource::new(
+                upstream_events
+                    .into_iter()
+                    .map(|e| (e.sink_ts, e))
+                    .collect(),
+            ),
+        );
+        let out = attach_multi_unfolder(
+            &mut q,
+            "mu",
+            derived,
+            vec![upstream],
+            Duration::from_secs(600),
+        );
+        let sink = q.collecting_sink("sink", out);
+        q.deploy().unwrap().wait().unwrap();
+
+        let outputs: Vec<UnfoldedEvent<&'static str, i64>> =
+            sink.tuples().iter().map(|t| t.data.clone()).collect();
+        assert_eq!(outputs.len(), 3);
+        // alert-a passes through untouched.
+        let a: Vec<_> = outputs.iter().filter(|e| e.sink_data == "alert-a").collect();
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].origin_data, Some(42));
+        // alert-b is replaced by the two upstream source records.
+        let b: Vec<_> = outputs.iter().filter(|e| e.sink_data == "alert-b").collect();
+        assert_eq!(b.len(), 2);
+        let mut payloads: Vec<i64> = b.iter().filter_map(|e| e.origin_data).collect();
+        payloads.sort_unstable();
+        assert_eq!(payloads, vec![7, 8]);
+        assert!(b.iter().all(|e| e.origin_kind == OpKind::Source));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one upstream")]
+    fn mu_requires_upstream_streams() {
+        let mut q = Query::new(NoProvenance);
+        let derived = q.source(
+            "derived",
+            VecSource::new(Vec::<(Timestamp, UnfoldedEvent<i64, i64>)>::new()),
+        );
+        let _ = attach_multi_unfolder::<_, i64, i64>(
+            &mut q,
+            "mu",
+            derived,
+            Vec::new(),
+            Duration::from_secs(1),
+        );
+    }
+
+    #[test]
+    fn upstream_event_strips_the_delivering_payload() {
+        let ev: UnfoldedEvent<String, i64> = UnfoldedEvent {
+            sink_ts: Timestamp::from_secs(5),
+            sink_id: TupleId::new(0, 1),
+            sink_data: "alert".to_string(),
+            origin_kind: OpKind::Source,
+            origin_ts: Timestamp::from_secs(1),
+            origin_id: TupleId::new(0, 0),
+            origin_data: Some(3),
+        };
+        let up = ev.to_upstream();
+        assert_eq!(up.sink_id, ev.sink_id);
+        assert_eq!(up.origin_data, Some(3));
+    }
+}

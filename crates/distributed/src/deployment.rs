@@ -1,0 +1,479 @@
+//! Three-instance deployments of the evaluation queries (Figures 7, 9C, 10C, 11C).
+//!
+//! Each deployment runs three independent engine runtimes ("SPE instances"):
+//!
+//! 1. **Instance 1** — the query's Source and first processing stage; under GeneaLog it
+//!    also hosts a single-stream unfolder whose unfolded stream is shipped to the
+//!    provenance instance.
+//! 2. **Instance 2** — the remaining processing stage and the data Sink; under GeneaLog
+//!    it hosts the unfolder of the delivering stream feeding the Sink.
+//! 3. **Instance 3** — the provenance instance: under GeneaLog it runs the multi-stream
+//!    unfolder (MU) that stitches the two unfolded streams together and persists the
+//!    complete provenance; under the baseline it merely receives the source streams the
+//!    baseline has to ship.
+//!
+//! All three functions block until the deployment has drained and return a
+//! [`DistributedOutcome`] with the per-instance reports, the alerts, the captured
+//! provenance and the per-link traffic counters.
+
+use std::sync::Arc;
+
+use genealog_spe::operator::sink::SinkStats;
+use genealog_spe::operator::source::{SourceConfig, SourceGenerator};
+use genealog_spe::provenance::NoProvenance;
+use genealog_spe::query::{NodeKind, Query, StreamRef};
+use genealog_spe::runtime::QueryReport;
+use genealog_spe::tuple::TupleData;
+use genealog_spe::{Duration, SpeError, Timestamp};
+
+use genealog::{
+    attach_multi_unfolder, attach_unfolder, GeneaLog, GlMeta, SourceRecord, UnfoldedEvent,
+    UpstreamEvent,
+};
+use genealog_baseline::AriadneBaseline;
+
+use crate::endpoint::{ReceiveOp, SendOp, WireProvenance};
+use crate::network::{NetworkConfig, SimulatedLink};
+use crate::wire::{WireDecode, WireEncode};
+
+/// Adds a Send operator shipping `stream` onto `link` (extension of the query builder).
+pub fn add_send<T, P>(
+    q: &mut Query<P>,
+    name: &str,
+    stream: StreamRef<T, P::Meta>,
+    link: crate::network::LinkSender,
+) where
+    T: TupleData + WireEncode,
+    P: WireProvenance,
+{
+    let node = q.add_node(name, NodeKind::Custom("send"));
+    let rx = q.attach_input(stream, node);
+    let op = SendOp::new(name, rx, link, q.provenance().clone());
+    q.set_operator(node, Box::new(op));
+}
+
+/// Adds a Receive operator materialising the stream arriving on `link`.
+pub fn add_receive<T, P>(
+    q: &mut Query<P>,
+    name: &str,
+    link: crate::network::LinkReceiver,
+) -> StreamRef<T, P::Meta>
+where
+    T: TupleData + WireDecode,
+    P: genealog_spe::provenance::ProvenanceSystem,
+{
+    let node = q.add_node(name, NodeKind::Custom("receive"));
+    let (slot, stream) = q.new_output_stream(node, format!("{name}.out"));
+    let op = ReceiveOp::new(name, link, slot, q.provenance().clone());
+    q.set_operator(node, Box::new(op));
+    stream
+}
+
+/// The provenance of one sink tuple as captured at the provenance instance.
+#[derive(Debug, Clone)]
+pub struct ProvenanceRecord<D, S> {
+    /// Timestamp of the sink tuple.
+    pub sink_ts: Timestamp,
+    /// Payload of the sink tuple.
+    pub sink_data: D,
+    /// The contributing source tuples.
+    pub sources: Vec<SourceRecord<S>>,
+}
+
+/// Result of a completed distributed run.
+#[derive(Debug)]
+pub struct DistributedOutcome<D, S> {
+    /// Per-instance execution reports (instance 1, instance 2, provenance instance).
+    pub reports: Vec<QueryReport>,
+    /// The alerts received by the data Sink on instance 2.
+    pub alerts: Vec<(Timestamp, D)>,
+    /// Latency statistics of the data Sink.
+    pub sink_stats: Arc<SinkStats>,
+    /// The per-sink-tuple provenance assembled at the provenance instance (empty for
+    /// the NP and BL configurations).
+    pub provenance: Vec<ProvenanceRecord<D, S>>,
+    /// Bytes shipped on the instance-1 → instance-2 data link.
+    pub data_link_bytes: u64,
+    /// Bytes shipped on the links towards the provenance instance.
+    pub provenance_link_bytes: u64,
+}
+
+impl<D, S> DistributedOutcome<D, S> {
+    /// Total source tuples injected by instance 1.
+    pub fn source_tuples(&self) -> u64 {
+        self.reports.first().map(QueryReport::source_tuples).unwrap_or(0)
+    }
+
+    /// Total bytes shipped over the simulated network.
+    pub fn total_network_bytes(&self) -> u64 {
+        self.data_link_bytes + self.provenance_link_bytes
+    }
+}
+
+fn group_provenance<D, S>(
+    events: Vec<UnfoldedEvent<D, S>>,
+) -> Vec<ProvenanceRecord<D, S>>
+where
+    D: TupleData,
+    S: TupleData,
+{
+    let mut order: Vec<genealog_spe::tuple::TupleId> = Vec::new();
+    let mut groups: std::collections::HashMap<genealog_spe::tuple::TupleId, ProvenanceRecord<D, S>> =
+        std::collections::HashMap::new();
+    for event in events {
+        let entry = groups.entry(event.sink_id).or_insert_with(|| {
+            order.push(event.sink_id);
+            ProvenanceRecord {
+                sink_ts: event.sink_ts,
+                sink_data: event.sink_data.clone(),
+                sources: Vec::new(),
+            }
+        });
+        if let Some(record) = event.source_record() {
+            entry.sources.push(record);
+        }
+    }
+    order.into_iter().filter_map(|id| groups.remove(&id)).collect()
+}
+
+/// Deploys a two-stage query over three SPE instances with **GeneaLog** provenance
+/// (the GL rows of Figure 13), blocking until completion.
+///
+/// `stage1` builds the operators of instance 1 (fed by the Source), `stage2` those of
+/// instance 2 (fed by the tuples received from instance 1); `provenance_window` is the
+/// MU join window (the sum of the query's stateful window sizes, §6.1).
+///
+/// # Errors
+/// Propagates any engine deployment or runtime error from the three instances.
+#[allow(clippy::too_many_arguments)]
+pub fn deploy_distributed_genealog<G, D1, D2, S, F1, F2>(
+    name: &str,
+    generator: G,
+    source_config: SourceConfig,
+    stage1: F1,
+    stage2: F2,
+    provenance_window: Duration,
+    network: NetworkConfig,
+) -> Result<DistributedOutcome<D2, S>, SpeError>
+where
+    G: SourceGenerator<Item = S>,
+    S: TupleData + WireEncode + WireDecode,
+    D1: TupleData + WireEncode + WireDecode,
+    D2: TupleData + WireEncode + WireDecode,
+    F1: FnOnce(&mut Query<GeneaLog>, StreamRef<S, GlMeta>) -> StreamRef<D1, GlMeta>,
+    F2: FnOnce(&mut Query<GeneaLog>, StreamRef<D1, GlMeta>) -> StreamRef<D2, GlMeta>,
+{
+    let (data_tx, data_rx, data_stats) = SimulatedLink::new(network);
+    let (up_tx, up_rx, up_stats) = SimulatedLink::new(network);
+    let (derived_tx, derived_rx, derived_stats) = SimulatedLink::new(network);
+
+    // --- Instance 1: Source + stage 1 + SU + Sends -------------------------------
+    let mut instance1 = Query::new(GeneaLog::for_instance(1));
+    let source = instance1.source_with(&format!("{name}-source"), generator, source_config);
+    let stage1_out = stage1(&mut instance1, source);
+    let (data_stream, unfolded1) = attach_unfolder(&mut instance1, &format!("{name}-i1"), stage1_out);
+    add_send(&mut instance1, &format!("{name}-i1-send-data"), data_stream, data_tx);
+    let upstream_events = instance1.map_one(
+        &format!("{name}-i1-upstream"),
+        unfolded1,
+        |u: &genealog::UnfoldedTuple<D1>| u.to_event::<S>().to_upstream(),
+    );
+    add_send(
+        &mut instance1,
+        &format!("{name}-i1-send-upstream"),
+        upstream_events,
+        up_tx,
+    );
+
+    // --- Instance 2: Receive + stage 2 + data Sink + SU + Send -------------------
+    let mut instance2 = Query::new(GeneaLog::for_instance(2));
+    let received: StreamRef<D1, GlMeta> =
+        add_receive(&mut instance2, &format!("{name}-i2-receive"), data_rx);
+    let stage2_out = stage2(&mut instance2, received);
+    let (to_sink, unfolded2) = attach_unfolder(&mut instance2, &format!("{name}-i2"), stage2_out);
+    let data_sink = instance2.collecting_sink(&format!("{name}-data-sink"), to_sink);
+    let derived_events = instance2.map_one(
+        &format!("{name}-i2-derived"),
+        unfolded2,
+        |u: &genealog::UnfoldedTuple<D2>| u.to_event::<S>(),
+    );
+    add_send(
+        &mut instance2,
+        &format!("{name}-i2-send-derived"),
+        derived_events,
+        derived_tx,
+    );
+
+    // --- Instance 3: Receives + MU + provenance Sink ------------------------------
+    let mut instance3 = Query::new(NoProvenance);
+    let upstream: StreamRef<UpstreamEvent<S>, ()> =
+        add_receive(&mut instance3, &format!("{name}-i3-receive-upstream"), up_rx);
+    let derived: StreamRef<UnfoldedEvent<D2, S>, ()> =
+        add_receive(&mut instance3, &format!("{name}-i3-receive-derived"), derived_rx);
+    let complete = attach_multi_unfolder(
+        &mut instance3,
+        &format!("{name}-i3"),
+        derived,
+        vec![upstream],
+        provenance_window,
+    );
+    let provenance_sink = instance3.collecting_sink(&format!("{name}-provenance-sink"), complete);
+
+    // --- Run all three instances to completion -----------------------------------
+    let handles = vec![instance1.deploy()?, instance2.deploy()?, instance3.deploy()?];
+    let mut reports = Vec::with_capacity(handles.len());
+    for handle in handles {
+        reports.push(handle.wait()?);
+    }
+
+    let alerts = data_sink
+        .tuples()
+        .iter()
+        .map(|t| (t.ts, t.data.clone()))
+        .collect();
+    let provenance = group_provenance(
+        provenance_sink
+            .tuples()
+            .iter()
+            .map(|t| t.data.clone())
+            .collect(),
+    );
+    Ok(DistributedOutcome {
+        reports,
+        alerts,
+        sink_stats: Arc::clone(data_sink.stats()),
+        provenance,
+        data_link_bytes: data_stats.bytes(),
+        provenance_link_bytes: up_stats.bytes() + derived_stats.bytes(),
+    })
+}
+
+/// Deploys a two-stage query over two SPE instances with **no provenance**
+/// (the NP rows of Figure 13), blocking until completion.
+///
+/// # Errors
+/// Propagates any engine deployment or runtime error.
+pub fn deploy_distributed_noprov<G, D1, D2, S, F1, F2>(
+    name: &str,
+    generator: G,
+    source_config: SourceConfig,
+    stage1: F1,
+    stage2: F2,
+    network: NetworkConfig,
+) -> Result<DistributedOutcome<D2, S>, SpeError>
+where
+    G: SourceGenerator<Item = S>,
+    S: TupleData + WireEncode + WireDecode,
+    D1: TupleData + WireEncode + WireDecode,
+    D2: TupleData + WireEncode + WireDecode,
+    F1: FnOnce(&mut Query<NoProvenance>, StreamRef<S, ()>) -> StreamRef<D1, ()>,
+    F2: FnOnce(&mut Query<NoProvenance>, StreamRef<D1, ()>) -> StreamRef<D2, ()>,
+{
+    let (data_tx, data_rx, data_stats) = SimulatedLink::new(network);
+
+    let mut instance1 = Query::new(NoProvenance);
+    let source = instance1.source_with(&format!("{name}-source"), generator, source_config);
+    let stage1_out = stage1(&mut instance1, source);
+    add_send(&mut instance1, &format!("{name}-i1-send-data"), stage1_out, data_tx);
+
+    let mut instance2 = Query::new(NoProvenance);
+    let received: StreamRef<D1, ()> =
+        add_receive(&mut instance2, &format!("{name}-i2-receive"), data_rx);
+    let stage2_out = stage2(&mut instance2, received);
+    let data_sink = instance2.collecting_sink(&format!("{name}-data-sink"), stage2_out);
+
+    let handles = vec![instance1.deploy()?, instance2.deploy()?];
+    let mut reports = Vec::with_capacity(handles.len());
+    for handle in handles {
+        reports.push(handle.wait()?);
+    }
+
+    let alerts = data_sink
+        .tuples()
+        .iter()
+        .map(|t| (t.ts, t.data.clone()))
+        .collect();
+    Ok(DistributedOutcome {
+        reports,
+        alerts,
+        sink_stats: Arc::clone(data_sink.stats()),
+        provenance: Vec::new(),
+        data_link_bytes: data_stats.bytes(),
+        provenance_link_bytes: 0,
+    })
+}
+
+/// Deploys a two-stage query over three SPE instances with the **Ariadne-style
+/// baseline** (the BL rows of Figure 13), blocking until completion.
+///
+/// Annotation-based provenance needs the source payloads next to the annotated sink
+/// tuples, so — as in the paper's baseline deployment — the entire source stream is
+/// additionally shipped to the provenance instance, which is what makes the network
+/// the baseline's bottleneck. The provenance instance merely persists the forwarded
+/// source stream; no complete provenance stream is produced (the paper reports the
+/// same behaviour: "the system produces very little or no provenance data").
+///
+/// # Errors
+/// Propagates any engine deployment or runtime error.
+pub fn deploy_distributed_baseline<G, D1, D2, S, F1, F2>(
+    name: &str,
+    generator: G,
+    source_config: SourceConfig,
+    stage1: F1,
+    stage2: F2,
+    network: NetworkConfig,
+) -> Result<DistributedOutcome<D2, S>, SpeError>
+where
+    G: SourceGenerator<Item = S>,
+    S: TupleData + WireEncode + WireDecode,
+    D1: TupleData + WireEncode + WireDecode,
+    D2: TupleData + WireEncode + WireDecode,
+    F1: FnOnce(
+        &mut Query<AriadneBaseline>,
+        StreamRef<S, genealog_baseline::BlMeta>,
+    ) -> StreamRef<D1, genealog_baseline::BlMeta>,
+    F2: FnOnce(
+        &mut Query<AriadneBaseline>,
+        StreamRef<D1, genealog_baseline::BlMeta>,
+    ) -> StreamRef<D2, genealog_baseline::BlMeta>,
+{
+    let (data_tx, data_rx, data_stats) = SimulatedLink::new(network);
+    let (source_tx, source_rx, source_stats) = SimulatedLink::new(network);
+
+    let mut instance1 = Query::new(AriadneBaseline::new());
+    let source = instance1.source_with(&format!("{name}-source"), generator, source_config);
+    let branches = instance1.multiplex(&format!("{name}-i1-mux"), source, 2);
+    let mut branches = branches.into_iter();
+    let to_query = branches.next().expect("two branches");
+    let to_provenance = branches.next().expect("two branches");
+    let stage1_out = stage1(&mut instance1, to_query);
+    add_send(&mut instance1, &format!("{name}-i1-send-data"), stage1_out, data_tx);
+    // The baseline has to make the raw source stream available wherever provenance is
+    // materialised, so the whole stream crosses the network.
+    add_send(
+        &mut instance1,
+        &format!("{name}-i1-send-sources"),
+        to_provenance,
+        source_tx,
+    );
+
+    let mut instance2 = Query::new(AriadneBaseline::new());
+    let received: StreamRef<D1, genealog_baseline::BlMeta> =
+        add_receive(&mut instance2, &format!("{name}-i2-receive"), data_rx);
+    let stage2_out = stage2(&mut instance2, received);
+    let data_sink = instance2.collecting_sink(&format!("{name}-data-sink"), stage2_out);
+
+    // Instance 3: persist the forwarded source stream (the baseline's provenance store).
+    let mut instance3 = Query::new(NoProvenance);
+    let forwarded: StreamRef<S, ()> =
+        add_receive(&mut instance3, &format!("{name}-i3-receive-sources"), source_rx);
+    let _store = instance3.collecting_sink(&format!("{name}-source-store"), forwarded);
+
+    let handles = vec![instance1.deploy()?, instance2.deploy()?, instance3.deploy()?];
+    let mut reports = Vec::with_capacity(handles.len());
+    for handle in handles {
+        reports.push(handle.wait()?);
+    }
+
+    let alerts = data_sink
+        .tuples()
+        .iter()
+        .map(|t| (t.ts, t.data.clone()))
+        .collect();
+    Ok(DistributedOutcome {
+        reports,
+        alerts,
+        sink_stats: Arc::clone(data_sink.stats()),
+        provenance: Vec::new(),
+        data_link_bytes: data_stats.bytes(),
+        provenance_link_bytes: source_stats.bytes(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genealog_workloads::linear_road::{LinearRoadConfig, LinearRoadGenerator};
+    use genealog_workloads::queries::{
+        q1_provenance_window, q1_stage1, q1_stage2,
+    };
+    use genealog_workloads::types::{PositionReport, StoppedCarCount};
+
+    fn lr_config() -> LinearRoadConfig {
+        LinearRoadConfig {
+            cars: 30,
+            rounds: 20,
+            ..LinearRoadConfig::default()
+        }
+    }
+
+    #[test]
+    fn distributed_q1_with_genealog_captures_full_provenance() {
+        let config = lr_config();
+        let generator = LinearRoadGenerator::new(config);
+        let expected_cars: std::collections::BTreeSet<u32> =
+            generator.breakdown_cars().into_iter().collect();
+
+        let outcome = deploy_distributed_genealog::<_, StoppedCarCount, StoppedCarCount, PositionReport, _, _>(
+            "q1",
+            generator,
+            SourceConfig::default(),
+            |q, reports| q1_stage1(q, reports),
+            |q, counts| q1_stage2(q, counts),
+            q1_provenance_window(),
+            NetworkConfig::unlimited(),
+        )
+        .expect("distributed deployment");
+
+        assert!(!outcome.alerts.is_empty());
+        let alert_cars: std::collections::BTreeSet<u32> =
+            outcome.alerts.iter().map(|(_, a)| a.car_id).collect();
+        assert_eq!(alert_cars, expected_cars);
+
+        // Every alert has a complete provenance record of 4 zero-speed source reports.
+        assert_eq!(outcome.provenance.len(), outcome.alerts.len());
+        for record in &outcome.provenance {
+            assert_eq!(record.sources.len(), 4, "Q1 provenance is 4 source tuples");
+            assert!(record
+                .sources
+                .iter()
+                .all(|s| s.data.speed == 0 && s.data.car_id == record.sink_data.car_id));
+        }
+        assert!(outcome.data_link_bytes > 0);
+        assert!(outcome.provenance_link_bytes > 0);
+        assert_eq!(outcome.reports.len(), 3);
+        assert!(outcome.source_tuples() > 0);
+    }
+
+    #[test]
+    fn distributed_q1_noprov_and_baseline_agree_on_alerts() {
+        let config = lr_config();
+
+        let np = deploy_distributed_noprov::<_, StoppedCarCount, StoppedCarCount, PositionReport, _, _>(
+            "q1-np",
+            LinearRoadGenerator::new(config),
+            SourceConfig::default(),
+            |q, reports| q1_stage1(q, reports),
+            |q, counts| q1_stage2(q, counts),
+            NetworkConfig::unlimited(),
+        )
+        .expect("np deployment");
+
+        let bl = deploy_distributed_baseline::<_, StoppedCarCount, StoppedCarCount, PositionReport, _, _>(
+            "q1-bl",
+            LinearRoadGenerator::new(config),
+            SourceConfig::default(),
+            |q, reports| q1_stage1(q, reports),
+            |q, counts| q1_stage2(q, counts),
+            NetworkConfig::unlimited(),
+        )
+        .expect("bl deployment");
+
+        assert_eq!(np.alerts, bl.alerts);
+        assert!(np.provenance.is_empty());
+        // The baseline ships the whole source stream to the provenance node.
+        let source_tuples = config.total_reports();
+        assert!(bl.provenance_link_bytes >= source_tuples * 8);
+        assert!(bl.provenance_link_bytes > np.total_network_bytes());
+    }
+}

@@ -1,0 +1,405 @@
+//! The Send and Receive operators (§2) connecting SPE instances over a link.
+//!
+//! Send serialises every stream element into a wire frame and pushes it onto the link;
+//! Receive deserialises frames and re-materialises tuples in the receiving instance,
+//! asking the local provenance system for their metadata through the `remote_meta`
+//! hook — the received tuple is tagged `REMOTE` unless it was a source tuple at the
+//! sending side, exactly as the paper's instrumented Send prescribes (§4.1).
+
+use std::sync::Arc;
+
+use genealog_spe::channel::{OutputSlot, StreamReceiver};
+use genealog_spe::error::SpeError;
+use genealog_spe::operator::{Operator, OperatorStats};
+use genealog_spe::provenance::{NoProvenance, ProvenanceSystem, RemoteContext};
+use genealog_spe::tuple::{Element, GTuple, TupleData, TupleId};
+use genealog_spe::Timestamp;
+
+use genealog::{GeneaLog, GlMeta, OpKind};
+use genealog_baseline::{AriadneBaseline, BlMeta};
+
+use crate::network::{LinkReceiver, LinkSender};
+use crate::wire::{WireDecode, WireEncode, WireError, WireReader};
+
+/// The provenance-dependent information a Send operator attaches to each frame: the
+/// tuple's unique id and whether it is (still) a source tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WireTag {
+    /// Unique id of the tuple in the sending instance.
+    pub id: TupleId,
+    /// Whether the tuple is a source tuple (kept as `SOURCE` across the boundary).
+    pub was_source: bool,
+}
+
+/// Extension of [`ProvenanceSystem`] for systems whose tuples can cross instance
+/// boundaries: extracts the [`WireTag`] the Send operator transmits.
+pub trait WireProvenance: ProvenanceSystem {
+    /// The wire tag of a tuple about to be sent.
+    fn wire_tag<T: TupleData>(&self, tuple: &Arc<GTuple<T, Self::Meta>>) -> WireTag;
+}
+
+impl WireProvenance for NoProvenance {
+    fn wire_tag<T: TupleData>(&self, _tuple: &Arc<GTuple<T, ()>>) -> WireTag {
+        WireTag::default()
+    }
+}
+
+impl WireProvenance for GeneaLog {
+    fn wire_tag<T: TupleData>(&self, tuple: &Arc<GTuple<T, GlMeta>>) -> WireTag {
+        // Multiplex copies are logical duplicates of their input tuple; for
+        // cross-instance identity the id of the (transitively) copied tuple is used,
+        // so that the id transmitted by Send matches the id recorded by the
+        // single-stream unfolder that shares the same Multiplex (Definition 6.4's
+        // join key).
+        let mut id = tuple.meta.id;
+        let mut kind = tuple.meta.kind;
+        let mut cursor = tuple.meta.u1.clone();
+        while kind == OpKind::Multiplex {
+            match cursor {
+                Some(origin) => {
+                    id = origin.id();
+                    kind = origin.kind();
+                    cursor = origin.u1();
+                }
+                None => break,
+            }
+        }
+        WireTag {
+            id,
+            was_source: kind == OpKind::Source,
+        }
+    }
+}
+
+impl WireProvenance for AriadneBaseline {
+    fn wire_tag<T: TupleData>(&self, tuple: &Arc<GTuple<T, BlMeta>>) -> WireTag {
+        // The baseline has no per-tuple id; re-root the annotation at the first
+        // contributor (the distributed baseline ships whole source streams anyway).
+        WireTag {
+            id: tuple.meta.contributors.first().copied().unwrap_or_default(),
+            was_source: tuple.meta.len() == 1,
+        }
+    }
+}
+
+const FRAME_TUPLE: u8 = 0;
+const FRAME_WATERMARK: u8 = 1;
+const FRAME_END: u8 = 2;
+
+fn encode_tuple_frame<T: WireEncode>(
+    ts: Timestamp,
+    stimulus: u64,
+    tag: WireTag,
+    data: &T,
+) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(64);
+    FRAME_TUPLE.encode(&mut frame);
+    ts.encode(&mut frame);
+    stimulus.encode(&mut frame);
+    tag.id.encode(&mut frame);
+    tag.was_source.encode(&mut frame);
+    data.encode(&mut frame);
+    frame
+}
+
+fn encode_watermark_frame(ts: Timestamp) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(16);
+    FRAME_WATERMARK.encode(&mut frame);
+    ts.encode(&mut frame);
+    frame
+}
+
+fn encode_end_frame() -> Vec<u8> {
+    vec![FRAME_END]
+}
+
+/// A decoded incoming frame.
+#[derive(Debug)]
+enum DecodedFrame<T> {
+    Tuple {
+        ts: Timestamp,
+        stimulus: u64,
+        tag: WireTag,
+        data: T,
+    },
+    Watermark(Timestamp),
+    End,
+}
+
+fn decode_frame<T: WireDecode>(bytes: &[u8]) -> Result<DecodedFrame<T>, WireError> {
+    let mut reader = WireReader::new(bytes);
+    match u8::decode(&mut reader)? {
+        FRAME_TUPLE => Ok(DecodedFrame::Tuple {
+            ts: Timestamp::decode(&mut reader)?,
+            stimulus: u64::decode(&mut reader)?,
+            tag: WireTag {
+                id: TupleId::decode(&mut reader)?,
+                was_source: bool::decode(&mut reader)?,
+            },
+            data: T::decode(&mut reader)?,
+        }),
+        FRAME_WATERMARK => Ok(DecodedFrame::Watermark(Timestamp::decode(&mut reader)?)),
+        FRAME_END => Ok(DecodedFrame::End),
+        other => Err(WireError {
+            message: format!("unknown frame tag {other}"),
+        }),
+    }
+}
+
+/// The Send operator: serialises a stream onto a link towards another SPE instance.
+pub struct SendOp<T, P: ProvenanceSystem> {
+    name: String,
+    input: StreamReceiver<T, P::Meta>,
+    link: LinkSender,
+    provenance: P,
+}
+
+impl<T, P> SendOp<T, P>
+where
+    T: TupleData + WireEncode,
+    P: WireProvenance,
+{
+    /// Creates a Send operator writing to `link`.
+    pub fn new(
+        name: impl Into<String>,
+        input: StreamReceiver<T, P::Meta>,
+        link: LinkSender,
+        provenance: P,
+    ) -> Self {
+        SendOp {
+            name: name.into(),
+            input,
+            link,
+            provenance,
+        }
+    }
+}
+
+impl<T, P> Operator for SendOp<T, P>
+where
+    T: TupleData + WireEncode,
+    P: WireProvenance,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn run(self: Box<Self>) -> Result<OperatorStats, SpeError> {
+        let mut stats = OperatorStats::new(self.name.clone());
+        loop {
+            match self.input.recv() {
+                Element::Tuple(tuple) => {
+                    stats.tuples_in += 1;
+                    let tag = self.provenance.wire_tag(&tuple);
+                    let frame = encode_tuple_frame(tuple.ts, tuple.stimulus, tag, &tuple.data);
+                    if !self.link.send(frame) {
+                        return Ok(stats);
+                    }
+                    stats.tuples_out += 1;
+                }
+                Element::Watermark(ts) => {
+                    if !self.link.send(encode_watermark_frame(ts)) {
+                        return Ok(stats);
+                    }
+                }
+                Element::End => {
+                    let _ = self.link.send(encode_end_frame());
+                    return Ok(stats);
+                }
+            }
+        }
+    }
+}
+
+/// The Receive operator: materialises a stream arriving from another SPE instance.
+pub struct ReceiveOp<T, P: ProvenanceSystem> {
+    name: String,
+    link: LinkReceiver,
+    output: OutputSlot<T, P::Meta>,
+    provenance: P,
+}
+
+impl<T, P> ReceiveOp<T, P>
+where
+    T: TupleData + WireDecode,
+    P: ProvenanceSystem,
+{
+    /// Creates a Receive operator reading from `link`.
+    pub fn new(
+        name: impl Into<String>,
+        link: LinkReceiver,
+        output: OutputSlot<T, P::Meta>,
+        provenance: P,
+    ) -> Self {
+        ReceiveOp {
+            name: name.into(),
+            link,
+            output,
+            provenance,
+        }
+    }
+}
+
+impl<T, P> Operator for ReceiveOp<T, P>
+where
+    T: TupleData + WireDecode,
+    P: ProvenanceSystem,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn run(self: Box<Self>) -> Result<OperatorStats, SpeError> {
+        let out = self.output.open();
+        let mut stats = OperatorStats::new(self.name.clone());
+        while let Some(frame) = self.link.recv() {
+            let decoded = decode_frame::<T>(&frame).map_err(|err| SpeError::Runtime {
+                operator: self.name.clone(),
+                message: err.to_string(),
+            })?;
+            match decoded {
+                DecodedFrame::Tuple {
+                    ts,
+                    stimulus,
+                    tag,
+                    data,
+                } => {
+                    stats.tuples_in += 1;
+                    let meta = self.provenance.remote_meta(&RemoteContext {
+                        id: tag.id,
+                        ts,
+                        was_source: tag.was_source,
+                    });
+                    let tuple = Arc::new(GTuple::new(ts, stimulus, data, meta));
+                    if out.send_tuple(tuple).is_err() {
+                        return Ok(stats);
+                    }
+                    stats.tuples_out += 1;
+                }
+                DecodedFrame::Watermark(ts) => {
+                    if out.send_watermark(ts).is_err() {
+                        return Ok(stats);
+                    }
+                }
+                DecodedFrame::End => break,
+            }
+        }
+        let _ = out.send_end();
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{NetworkConfig, SimulatedLink};
+    use genealog_spe::channel::stream_channel;
+    use genealog_spe::provenance::SourceContext;
+
+    fn gl_source_tuple(gl: &GeneaLog, ts: u64, v: u32) -> Arc<GTuple<u32, GlMeta>> {
+        let ctx = SourceContext {
+            source_id: 0,
+            seq: 0,
+            ts: Timestamp::from_secs(ts),
+        };
+        let meta = gl.source_meta(&ctx, &v);
+        Arc::new(GTuple::new(Timestamp::from_secs(ts), 5, v, meta))
+    }
+
+    #[test]
+    fn send_receive_round_trip_preserves_data_watermarks_and_ids() {
+        let gl_sender = GeneaLog::for_instance(1);
+        let gl_receiver = GeneaLog::for_instance(2);
+        let (link_tx, link_rx, stats) = SimulatedLink::new(NetworkConfig::unlimited());
+
+        // Sending side: a source tuple and a derived tuple.
+        let (in_tx, in_rx) = stream_channel::<u32, GlMeta>(16);
+        let source_tuple = gl_source_tuple(&gl_sender, 1, 10);
+        let derived = Arc::new(GTuple::new(
+            Timestamp::from_secs(2),
+            6,
+            20u32,
+            gl_sender.map_meta(&source_tuple),
+        ));
+        let derived_id = derived.meta.id;
+        in_tx.send(Element::Tuple(Arc::clone(&source_tuple))).unwrap();
+        in_tx.send(Element::Tuple(derived)).unwrap();
+        in_tx.send(Element::Watermark(Timestamp::from_secs(2))).unwrap();
+        in_tx.send(Element::End).unwrap();
+        let send = SendOp::new("send", in_rx, link_tx, gl_sender);
+        let send_stats = Box::new(send).run().unwrap();
+        assert_eq!(send_stats.tuples_out, 2);
+        assert!(stats.bytes() > 0);
+
+        // Receiving side.
+        let slot = OutputSlot::<u32, GlMeta>::new();
+        let (out_tx, out_rx) = stream_channel(16);
+        slot.connect(out_tx);
+        let receive = ReceiveOp::new("receive", link_rx, slot, gl_receiver);
+        let recv_stats = Box::new(receive).run().unwrap();
+        assert_eq!(recv_stats.tuples_out, 2);
+
+        // First tuple was a source tuple: it stays SOURCE across the boundary.
+        let first = out_rx.recv();
+        let first = first.as_tuple().unwrap().clone();
+        assert_eq!(first.data, 10);
+        assert_eq!(first.meta.kind, OpKind::Source);
+        assert_eq!(first.stimulus, 5, "stimulus travels for latency accounting");
+        // Second was derived: it becomes REMOTE, keeping the sender-side id.
+        let second = out_rx.recv();
+        let second = second.as_tuple().unwrap().clone();
+        assert_eq!(second.meta.kind, OpKind::Remote);
+        assert_eq!(second.meta.id, derived_id);
+        assert!(matches!(out_rx.recv(), Element::Watermark(_)));
+        assert!(out_rx.recv().is_end());
+    }
+
+    #[test]
+    fn receive_with_no_provenance_and_dropped_sender_terminates() {
+        let (link_tx, link_rx, _stats) = SimulatedLink::new(NetworkConfig::unlimited());
+        drop(link_tx);
+        let slot = OutputSlot::<u32, ()>::new();
+        let (out_tx, out_rx) = stream_channel(4);
+        slot.connect(out_tx);
+        let receive = ReceiveOp::new("receive", link_rx, slot, NoProvenance);
+        let stats = Box::new(receive).run().unwrap();
+        assert_eq!(stats.tuples_in, 0);
+        assert!(out_rx.recv().is_end());
+    }
+
+    #[test]
+    fn corrupt_frames_produce_a_runtime_error() {
+        let (link_tx, link_rx, _stats) = SimulatedLink::new(NetworkConfig::unlimited());
+        link_tx.send(vec![99, 1, 2, 3]);
+        let slot = OutputSlot::<u32, ()>::new();
+        let (out_tx, _out_rx) = stream_channel(4);
+        slot.connect(out_tx);
+        let receive = ReceiveOp::new("receive", link_rx, slot, NoProvenance);
+        let err = Box::new(receive).run().unwrap_err();
+        assert!(matches!(err, SpeError::Runtime { .. }));
+    }
+
+    #[test]
+    fn wire_tags_reflect_each_provenance_system() {
+        let np_tuple: Arc<GTuple<u32, ()>> =
+            Arc::new(GTuple::new(Timestamp::from_secs(1), 0, 1, ()));
+        assert_eq!(NoProvenance.wire_tag(&np_tuple), WireTag::default());
+
+        let gl = GeneaLog::for_instance(4);
+        let gl_tuple = gl_source_tuple(&gl, 1, 1);
+        let tag = gl.wire_tag(&gl_tuple);
+        assert_eq!(tag.id.origin, 4);
+        assert!(tag.was_source);
+
+        let bl = AriadneBaseline::new();
+        let bl_tuple: Arc<GTuple<u32, BlMeta>> = Arc::new(GTuple::new(
+            Timestamp::from_secs(1),
+            0,
+            1,
+            BlMeta::source(TupleId::new(9, 3)),
+        ));
+        let tag = bl.wire_tag(&bl_tuple);
+        assert_eq!(tag.id, TupleId::new(9, 3));
+        assert!(tag.was_source);
+    }
+}

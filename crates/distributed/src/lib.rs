@@ -1,0 +1,37 @@
+//! # genealog-distributed — inter-process provenance deployments (§6)
+//!
+//! The paper's inter-process evaluation runs every query on three Odroid boards
+//! connected by a 100 Mbps switch: two boards process the data, the third receives and
+//! persists the provenance stream. This crate reproduces that setup with three *SPE
+//! instances* — independent engine runtimes that share no memory — connected by a
+//! byte-level wire protocol over a simulated network link:
+//!
+//! * [`wire`] — a small hand-written binary codec ([`wire::WireEncode`] /
+//!   [`wire::WireDecode`]); tuples crossing an instance boundary are serialised, so no
+//!   `Arc` (and therefore no GeneaLog pointer) survives the crossing, exactly the
+//!   constraint §6 starts from.
+//! * [`network`] — [`network::SimulatedLink`]: a byte pipe with configurable bandwidth
+//!   and propagation latency plus per-link byte/frame counters (used to compare how
+//!   much GL and BL ship over the network).
+//! * [`endpoint`] — the Send and Receive operators of §2; Receive re-materialises
+//!   tuples and tags them through the provenance system's `remote_meta` hook (`REMOTE`
+//!   kind, or `SOURCE` for forwarded source tuples).
+//! * [`deployment`] — the three-instance deployments of Figures 7, 9C, 10C and 11C for
+//!   Q1–Q4 under NP, GL and BL, wiring the single-stream unfolders on instances 1–2
+//!   and the multi-stream unfolder on instance 3.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod deployment;
+pub mod endpoint;
+pub mod network;
+pub mod wire;
+
+pub use deployment::{
+    deploy_distributed_baseline, deploy_distributed_genealog, deploy_distributed_noprov,
+    DistributedOutcome, ProvenanceRecord,
+};
+pub use endpoint::{ReceiveOp, SendOp, WireProvenance};
+pub use network::{LinkStats, NetworkConfig, SimulatedLink};
+pub use wire::{WireDecode, WireEncode, WireError};

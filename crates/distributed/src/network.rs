@@ -1,0 +1,229 @@
+//! Simulated network links between SPE instances.
+//!
+//! The paper's testbed connects the three Odroid boards through a 100 Mbps switch.
+//! [`SimulatedLink`] models such a link: a frame queue whose delivery is delayed by a
+//! fixed propagation latency plus a serialisation delay proportional to the frame size
+//! and the configured bandwidth, with per-link counters of frames and bytes so the
+//! benchmarks can compare how much each provenance configuration ships.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam_channel::{unbounded, Receiver, Sender};
+
+/// Bandwidth and propagation latency of a simulated link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkConfig {
+    /// Link bandwidth in bits per second (0 = infinite).
+    pub bandwidth_bps: u64,
+    /// One-way propagation latency.
+    pub latency: Duration,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        // The evaluation's 100 Mbps switch with a sub-millisecond LAN latency.
+        NetworkConfig {
+            bandwidth_bps: 100_000_000,
+            latency: Duration::from_micros(200),
+        }
+    }
+}
+
+impl NetworkConfig {
+    /// A link with unlimited bandwidth and no latency (useful in tests).
+    pub fn unlimited() -> Self {
+        NetworkConfig {
+            bandwidth_bps: 0,
+            latency: Duration::ZERO,
+        }
+    }
+
+    /// Time needed to serialise `bytes` onto the link.
+    pub fn transmission_delay(&self, bytes: usize) -> Duration {
+        if self.bandwidth_bps == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_secs_f64(bytes as f64 * 8.0 / self.bandwidth_bps as f64)
+        }
+    }
+}
+
+/// Counters describing the traffic that crossed one link.
+#[derive(Debug, Default)]
+pub struct LinkStats {
+    frames: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl LinkStats {
+    /// Number of frames sent over the link.
+    pub fn frames(&self) -> u64 {
+        self.frames.load(Ordering::Relaxed)
+    }
+
+    /// Number of payload bytes sent over the link.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    fn record(&self, bytes: usize) {
+        self.frames.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+}
+
+struct Frame {
+    payload: Vec<u8>,
+    deliver_at: Instant,
+}
+
+/// Factory for one direction of a link between two SPE instances.
+#[derive(Debug, Clone, Copy)]
+pub struct SimulatedLink;
+
+/// The sending half of a simulated link.
+#[derive(Clone)]
+pub struct LinkSender {
+    config: NetworkConfig,
+    stats: Arc<LinkStats>,
+    tx: Sender<Frame>,
+    tx_busy_until: Arc<parking_lot::Mutex<Instant>>,
+}
+
+/// The receiving half of a simulated link.
+pub struct LinkReceiver {
+    rx: Receiver<Frame>,
+}
+
+impl SimulatedLink {
+    /// Creates a link with the given characteristics and splits it into halves.
+    pub fn new(config: NetworkConfig) -> (LinkSender, LinkReceiver, Arc<LinkStats>) {
+        let stats = Arc::new(LinkStats::default());
+        let (tx, rx) = unbounded();
+        let sender = LinkSender {
+            config,
+            stats: Arc::clone(&stats),
+            tx,
+            tx_busy_until: Arc::new(parking_lot::Mutex::new(Instant::now())),
+        };
+        let receiver = LinkReceiver { rx };
+        (sender, receiver, stats)
+    }
+}
+
+impl LinkSender {
+    /// Sends one frame over the link.
+    ///
+    /// The call itself never blocks for the simulated transmission time; instead the
+    /// frame is stamped with its earliest delivery instant (`now + queued transmission
+    /// delay + propagation latency`) and the receiver waits until then, which models a
+    /// store-and-forward switch without slowing the sender's thread artificially.
+    ///
+    /// Returns `false` if the receiving instance has shut down.
+    pub fn send(&self, payload: Vec<u8>) -> bool {
+        let size = payload.len();
+        self.stats.record(size);
+        let now = Instant::now();
+        let deliver_at = {
+            let mut busy = self.tx_busy_until.lock();
+            let start = (*busy).max(now);
+            let done = start + self.config.transmission_delay(size);
+            *busy = done;
+            done + self.config.latency
+        };
+        self.tx
+            .send(Frame {
+                payload,
+                deliver_at,
+            })
+            .is_ok()
+    }
+
+    /// Per-link statistics.
+    pub fn stats(&self) -> Arc<LinkStats> {
+        Arc::clone(&self.stats)
+    }
+}
+
+impl LinkReceiver {
+    /// Receives the next frame, honouring the simulated delivery time.
+    /// Returns `None` when the sending instance has shut down and no frames remain.
+    pub fn recv(&self) -> Option<Vec<u8>> {
+        let frame = self.rx.recv().ok()?;
+        let now = Instant::now();
+        if frame.deliver_at > now {
+            std::thread::sleep(frame.deliver_at - now);
+        }
+        Some(frame.payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_arrive_in_order_with_stats() {
+        let (tx, rx, stats) = SimulatedLink::new(NetworkConfig::unlimited());
+        assert!(tx.send(vec![1, 2, 3]));
+        assert!(tx.send(vec![4]));
+        assert_eq!(rx.recv().unwrap(), vec![1, 2, 3]);
+        assert_eq!(rx.recv().unwrap(), vec![4]);
+        assert_eq!(stats.frames(), 2);
+        assert_eq!(stats.bytes(), 4);
+        drop(tx);
+        assert!(rx.recv().is_none());
+    }
+
+    #[test]
+    fn transmission_delay_scales_with_size_and_bandwidth() {
+        let cfg = NetworkConfig {
+            bandwidth_bps: 8_000, // 1000 bytes/s
+            latency: Duration::ZERO,
+        };
+        assert_eq!(cfg.transmission_delay(1_000), Duration::from_secs(1));
+        assert_eq!(
+            NetworkConfig::unlimited().transmission_delay(1_000_000),
+            Duration::ZERO
+        );
+    }
+
+    #[test]
+    fn latency_delays_delivery() {
+        let (tx, rx, _stats) = SimulatedLink::new(NetworkConfig {
+            bandwidth_bps: 0,
+            latency: Duration::from_millis(20),
+        });
+        let start = Instant::now();
+        tx.send(vec![0; 16]);
+        rx.recv().unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(18));
+    }
+
+    #[test]
+    fn bandwidth_throttles_bulk_transfers() {
+        // 80 kbps = 10 KiB/s; 10 frames of 1 KiB should take about a second.
+        let (tx, rx, _stats) = SimulatedLink::new(NetworkConfig {
+            bandwidth_bps: 80_000,
+            latency: Duration::ZERO,
+        });
+        let start = Instant::now();
+        for _ in 0..10 {
+            tx.send(vec![0u8; 1_000]);
+        }
+        for _ in 0..10 {
+            rx.recv().unwrap();
+        }
+        let elapsed = start.elapsed();
+        assert!(elapsed >= Duration::from_millis(800), "elapsed {elapsed:?}");
+    }
+
+    #[test]
+    fn default_config_matches_the_testbed_switch() {
+        let cfg = NetworkConfig::default();
+        assert_eq!(cfg.bandwidth_bps, 100_000_000);
+        assert!(cfg.latency <= Duration::from_millis(1));
+    }
+}

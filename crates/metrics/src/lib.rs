@@ -1,0 +1,29 @@
+//! # genealog-metrics — measurement infrastructure for the evaluation
+//!
+//! The paper's evaluation (§7) reports four metrics per query and configuration:
+//! throughput (source tuples per second), latency (time between the latest
+//! contributing source tuple and the sink tuple), memory footprint (average and
+//! maximum) and the contribution-graph traversal time. This crate provides the
+//! measurement machinery the benchmark harnesses use to reproduce those figures:
+//!
+//! * [`alloc::TrackingAllocator`] — a counting [`core::alloc::GlobalAlloc`] wrapper
+//!   reporting live/peak heap bytes (the substitute for the JVM heap measurements of
+//!   the original testbed).
+//! * [`recorder`] — throughput, latency, traversal-time and memory-sample recorders.
+//! * [`stats`] — means, standard deviations, 95 % confidence intervals, percentiles.
+//! * [`report`] — figure-style tables (rows of NP/GL/BL per query) and CSV output.
+
+// `alloc::TrackingAllocator` implements `GlobalAlloc`, which is inherently unsafe;
+// everything else in the crate is forbidden from using unsafe code.
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alloc;
+pub mod recorder;
+pub mod report;
+pub mod stats;
+
+pub use alloc::TrackingAllocator;
+pub use recorder::{LatencyRecorder, MemorySampler, ThroughputRecorder, TraversalRecorder};
+pub use report::{FigureTable, MetricCell, RunMeasurement};
+pub use stats::Summary;

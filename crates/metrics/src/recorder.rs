@@ -1,0 +1,278 @@
+//! Recorders for the four evaluation metrics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::stats::{percentile, Summary};
+
+/// Measures throughput: tuples processed per second over a measured interval.
+#[derive(Debug)]
+pub struct ThroughputRecorder {
+    tuples: AtomicU64,
+    started: Mutex<Option<Instant>>,
+    finished: Mutex<Option<Instant>>,
+}
+
+impl Default for ThroughputRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ThroughputRecorder {
+    /// Creates an idle recorder.
+    pub fn new() -> Self {
+        ThroughputRecorder {
+            tuples: AtomicU64::new(0),
+            started: Mutex::new(None),
+            finished: Mutex::new(None),
+        }
+    }
+
+    /// Marks the beginning of the measured interval.
+    pub fn start(&self) {
+        *self.started.lock() = Some(Instant::now());
+    }
+
+    /// Marks the end of the measured interval.
+    pub fn finish(&self) {
+        *self.finished.lock() = Some(Instant::now());
+    }
+
+    /// Records `n` processed tuples.
+    pub fn add_tuples(&self, n: u64) {
+        self.tuples.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Number of tuples recorded so far.
+    pub fn tuples(&self) -> u64 {
+        self.tuples.load(Ordering::Relaxed)
+    }
+
+    /// The measured interval (start to finish, or start to now if not finished).
+    pub fn elapsed(&self) -> Duration {
+        match (*self.started.lock(), *self.finished.lock()) {
+            (Some(start), Some(end)) => end.duration_since(start),
+            (Some(start), None) => start.elapsed(),
+            _ => Duration::ZERO,
+        }
+    }
+
+    /// Tuples per second over the measured interval.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.elapsed().as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.tuples() as f64 / secs
+        }
+    }
+}
+
+/// Collects per-tuple latency samples (nanoseconds).
+#[derive(Debug, Default)]
+pub struct LatencyRecorder {
+    samples_ns: Mutex<Vec<u64>>,
+}
+
+impl LatencyRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record_ns(&self, latency_ns: u64) {
+        self.samples_ns.lock().push(latency_ns);
+    }
+
+    /// Records a batch of samples (e.g. copied from a sink's statistics).
+    pub fn record_all_ns(&self, samples: &[u64]) {
+        self.samples_ns.lock().extend_from_slice(samples);
+    }
+
+    /// Number of samples collected.
+    pub fn count(&self) -> usize {
+        self.samples_ns.lock().len()
+    }
+
+    /// Mean latency in milliseconds.
+    pub fn mean_ms(&self) -> f64 {
+        self.summary_ms().mean
+    }
+
+    /// The `p`-th percentile latency in milliseconds.
+    pub fn percentile_ms(&self, p: f64) -> f64 {
+        let samples: Vec<f64> = self
+            .samples_ns
+            .lock()
+            .iter()
+            .map(|&ns| ns as f64 / 1e6)
+            .collect();
+        percentile(&samples, p)
+    }
+
+    /// Summary of the latency samples, in milliseconds.
+    pub fn summary_ms(&self) -> Summary {
+        let samples: Vec<f64> = self
+            .samples_ns
+            .lock()
+            .iter()
+            .map(|&ns| ns as f64 / 1e6)
+            .collect();
+        Summary::of(&samples)
+    }
+}
+
+/// Collects contribution-graph traversal durations (the metric of Figure 14).
+#[derive(Debug, Default)]
+pub struct TraversalRecorder {
+    samples_ns: Mutex<Vec<u64>>,
+    graph_sizes: Mutex<Vec<usize>>,
+}
+
+impl TraversalRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Records one traversal: its duration and the number of originating tuples found.
+    pub fn record(&self, duration: Duration, graph_size: usize) {
+        self.samples_ns.lock().push(duration.as_nanos() as u64);
+        self.graph_sizes.lock().push(graph_size);
+    }
+
+    /// Number of traversals recorded.
+    pub fn count(&self) -> usize {
+        self.samples_ns.lock().len()
+    }
+
+    /// Mean traversal time in milliseconds.
+    pub fn mean_ms(&self) -> f64 {
+        self.summary_ms().mean
+    }
+
+    /// Summary of traversal times in milliseconds.
+    pub fn summary_ms(&self) -> Summary {
+        let samples: Vec<f64> = self
+            .samples_ns
+            .lock()
+            .iter()
+            .map(|&ns| ns as f64 / 1e6)
+            .collect();
+        Summary::of(&samples)
+    }
+
+    /// Mean number of originating tuples per traversal (the contribution-graph size).
+    pub fn mean_graph_size(&self) -> f64 {
+        let sizes = self.graph_sizes.lock();
+        if sizes.is_empty() {
+            0.0
+        } else {
+            sizes.iter().sum::<usize>() as f64 / sizes.len() as f64
+        }
+    }
+}
+
+/// Periodically samples a memory gauge (e.g. the tracking allocator's live bytes) and
+/// reports the average and maximum over the run, as in Figures 12 and 13.
+#[derive(Debug, Default)]
+pub struct MemorySampler {
+    samples: Mutex<Vec<usize>>,
+}
+
+impl MemorySampler {
+    /// Creates an empty sampler.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Records one sample of the gauge.
+    pub fn sample(&self, bytes: usize) {
+        self.samples.lock().push(bytes);
+    }
+
+    /// Number of samples taken.
+    pub fn count(&self) -> usize {
+        self.samples.lock().len()
+    }
+
+    /// Average sampled memory, in megabytes.
+    pub fn average_mb(&self) -> f64 {
+        let samples = self.samples.lock();
+        if samples.is_empty() {
+            return 0.0;
+        }
+        samples.iter().sum::<usize>() as f64 / samples.len() as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Maximum sampled memory, in megabytes.
+    pub fn max_mb(&self) -> f64 {
+        self.samples
+            .lock()
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0) as f64
+            / (1024.0 * 1024.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_recorder_measures_rate() {
+        let rec = ThroughputRecorder::new();
+        assert_eq!(rec.throughput(), 0.0);
+        rec.start();
+        rec.add_tuples(500);
+        rec.add_tuples(500);
+        std::thread::sleep(Duration::from_millis(20));
+        rec.finish();
+        assert_eq!(rec.tuples(), 1_000);
+        let tput = rec.throughput();
+        assert!(tput > 0.0);
+        assert!(tput < 1_000.0 / 0.02 * 1.5, "rate bounded by elapsed time");
+    }
+
+    #[test]
+    fn latency_recorder_aggregates_samples() {
+        let rec = LatencyRecorder::new();
+        rec.record_ns(1_000_000); // 1 ms
+        rec.record_all_ns(&[2_000_000, 3_000_000]);
+        assert_eq!(rec.count(), 3);
+        assert!((rec.mean_ms() - 2.0).abs() < 1e-9);
+        assert!((rec.percentile_ms(100.0) - 3.0).abs() < 1e-9);
+        let summary = rec.summary_ms();
+        assert_eq!(summary.count, 3);
+        assert_eq!(summary.min, 1.0);
+    }
+
+    #[test]
+    fn traversal_recorder_tracks_time_and_graph_size() {
+        let rec = TraversalRecorder::new();
+        rec.record(Duration::from_micros(100), 4);
+        rec.record(Duration::from_micros(300), 8);
+        assert_eq!(rec.count(), 2);
+        assert!((rec.mean_ms() - 0.2).abs() < 1e-9);
+        assert!((rec.mean_graph_size() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_sampler_reports_average_and_max() {
+        let sampler = MemorySampler::new();
+        assert_eq!(sampler.average_mb(), 0.0);
+        assert_eq!(sampler.max_mb(), 0.0);
+        sampler.sample(1024 * 1024);
+        sampler.sample(3 * 1024 * 1024);
+        assert_eq!(sampler.count(), 2);
+        assert!((sampler.average_mb() - 2.0).abs() < 1e-9);
+        assert!((sampler.max_mb() - 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,233 @@
+//! Figure-style report tables.
+//!
+//! The benchmark harnesses collect one [`RunMeasurement`] per (query, provenance
+//! configuration) pair and render them as the rows of Figures 12/13 (throughput,
+//! latency, average memory, maximum memory, each annotated with the relative change
+//! versus the no-provenance configuration) or export them as CSV.
+
+use std::fmt::Write as _;
+
+use crate::stats::Summary;
+
+/// One measured metric of one configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MetricCell {
+    /// Aggregated samples of the metric (over repeated runs).
+    pub summary: Summary,
+}
+
+impl MetricCell {
+    /// Builds a cell from raw per-run samples.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        MetricCell {
+            summary: Summary::of(samples),
+        }
+    }
+
+    /// The mean value of the metric.
+    pub fn mean(&self) -> f64 {
+        self.summary.mean
+    }
+}
+
+/// All metrics measured for one (query, configuration) pair.
+#[derive(Debug, Clone, Default)]
+pub struct RunMeasurement {
+    /// Query label ("Q1".."Q4").
+    pub query: String,
+    /// Configuration label ("NP", "GL", "BL").
+    pub configuration: String,
+    /// Source throughput in tuples per second.
+    pub throughput: MetricCell,
+    /// Mean sink latency in milliseconds.
+    pub latency_ms: MetricCell,
+    /// Average memory footprint in megabytes.
+    pub avg_memory_mb: MetricCell,
+    /// Maximum memory footprint in megabytes.
+    pub max_memory_mb: MetricCell,
+    /// Mean contribution-graph traversal time in milliseconds (GL only, Figure 14).
+    pub traversal_ms: MetricCell,
+    /// Number of sink tuples produced (sanity column).
+    pub sink_tuples: f64,
+    /// Bytes of provenance captured (used for the provenance-volume ratio).
+    pub provenance_bytes: f64,
+    /// Bytes shipped across the simulated network (inter-process experiments only).
+    pub network_bytes: f64,
+}
+
+impl RunMeasurement {
+    /// Creates an empty measurement for the given query/configuration labels.
+    pub fn new(query: impl Into<String>, configuration: impl Into<String>) -> Self {
+        RunMeasurement {
+            query: query.into(),
+            configuration: configuration.into(),
+            ..Default::default()
+        }
+    }
+}
+
+/// A figure-style table: rows grouped by query, one row per configuration.
+#[derive(Debug, Default)]
+pub struct FigureTable {
+    title: String,
+    rows: Vec<RunMeasurement>,
+}
+
+impl FigureTable {
+    /// Creates an empty table with a title (e.g. "Figure 12 — intra-process").
+    pub fn new(title: impl Into<String>) -> Self {
+        FigureTable {
+            title: title.into(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds one measured row.
+    pub fn push(&mut self, row: RunMeasurement) {
+        self.rows.push(row);
+    }
+
+    /// The collected rows.
+    pub fn rows(&self) -> &[RunMeasurement] {
+        &self.rows
+    }
+
+    /// The baseline (NP) row of a query, if present.
+    fn np_row(&self, query: &str) -> Option<&RunMeasurement> {
+        self.rows
+            .iter()
+            .find(|r| r.query == query && r.configuration == "NP")
+    }
+
+    fn change(metric: &MetricCell, baseline: Option<&MetricCell>) -> String {
+        match baseline {
+            Some(base) if base.mean() != 0.0 => {
+                format!("{:+.1}%", metric.summary.relative_change(&base.summary))
+            }
+            _ => "-".to_string(),
+        }
+    }
+
+    /// Renders the table as aligned text, one row per (query, configuration), with
+    /// the relative-change annotations of Figures 12/13.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let _ = writeln!(
+            out,
+            "{:<4} {:<4} {:>14} {:>9} {:>14} {:>9} {:>12} {:>9} {:>12} {:>9} {:>12} {:>10}",
+            "qry",
+            "cfg",
+            "thrpt(t/s)",
+            "vs NP",
+            "latency(ms)",
+            "vs NP",
+            "avg mem(MB)",
+            "vs NP",
+            "max mem(MB)",
+            "vs NP",
+            "sink tuples",
+            "trav(ms)"
+        );
+        for row in &self.rows {
+            let np = self.np_row(&row.query);
+            let _ = writeln!(
+                out,
+                "{:<4} {:<4} {:>14.0} {:>9} {:>14.2} {:>9} {:>12.2} {:>9} {:>12.2} {:>9} {:>12.0} {:>10.4}",
+                row.query,
+                row.configuration,
+                row.throughput.mean(),
+                Self::change(&row.throughput, np.map(|r| &r.throughput)),
+                row.latency_ms.mean(),
+                Self::change(&row.latency_ms, np.map(|r| &r.latency_ms)),
+                row.avg_memory_mb.mean(),
+                Self::change(&row.avg_memory_mb, np.map(|r| &r.avg_memory_mb)),
+                row.max_memory_mb.mean(),
+                Self::change(&row.max_memory_mb, np.map(|r| &r.max_memory_mb)),
+                row.sink_tuples,
+                row.traversal_ms.mean(),
+            );
+        }
+        out
+    }
+
+    /// Renders the table as CSV (one line per row, header included).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "query,configuration,throughput_tps,latency_ms,avg_memory_mb,max_memory_mb,\
+             sink_tuples,traversal_ms,provenance_bytes,network_bytes\n",
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{},{},{:.2},{:.4},{:.4},{:.4},{:.0},{:.6},{:.0},{:.0}",
+                row.query,
+                row.configuration,
+                row.throughput.mean(),
+                row.latency_ms.mean(),
+                row.avg_memory_mb.mean(),
+                row.max_memory_mb.mean(),
+                row.sink_tuples,
+                row.traversal_ms.mean(),
+                row.provenance_bytes,
+                row.network_bytes,
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(query: &str, cfg: &str, throughput: f64, latency: f64) -> RunMeasurement {
+        let mut r = RunMeasurement::new(query, cfg);
+        r.throughput = MetricCell::from_samples(&[throughput]);
+        r.latency_ms = MetricCell::from_samples(&[latency]);
+        r.avg_memory_mb = MetricCell::from_samples(&[4.0]);
+        r.max_memory_mb = MetricCell::from_samples(&[6.0]);
+        r.sink_tuples = 10.0;
+        r
+    }
+
+    #[test]
+    fn table_renders_relative_changes_against_np() {
+        let mut table = FigureTable::new("Figure 12");
+        table.push(row("Q1", "NP", 50_000.0, 100.0));
+        table.push(row("Q1", "GL", 48_000.0, 103.0));
+        table.push(row("Q1", "BL", 3_000.0, 900.0));
+        let text = table.render();
+        assert!(text.contains("Figure 12"));
+        assert!(text.contains("-4.0%"));
+        assert!(text.contains("-94.0%"));
+        assert!(text.contains("+3.0%"));
+        assert_eq!(table.rows().len(), 3);
+    }
+
+    #[test]
+    fn missing_np_row_renders_dashes() {
+        let mut table = FigureTable::new("partial");
+        table.push(row("Q2", "GL", 10.0, 1.0));
+        let text = table.render();
+        assert!(text.contains('-'));
+    }
+
+    #[test]
+    fn csv_has_one_line_per_row_plus_header() {
+        let mut table = FigureTable::new("csv");
+        table.push(row("Q1", "NP", 1.0, 2.0));
+        table.push(row("Q1", "GL", 3.0, 4.0));
+        let csv = table.to_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("query,configuration"));
+        assert!(csv.contains("Q1,GL,3.00"));
+    }
+
+    #[test]
+    fn metric_cell_from_samples() {
+        let cell = MetricCell::from_samples(&[1.0, 3.0]);
+        assert_eq!(cell.mean(), 2.0);
+        assert_eq!(MetricCell::default().mean(), 0.0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Summary statistics: mean, standard deviation, 95 % confidence interval, percentiles.
+//!
+//! The evaluation averages each metric over five runs and reports the 95 % confidence
+//! interval; [`Summary`] implements exactly that aggregation.
+
+/// Summary statistics over a set of samples.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (0 for fewer than two samples).
+    pub stddev: f64,
+    /// Half-width of the 95 % confidence interval around the mean.
+    pub ci95: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes the summary of a slice of samples (empty slices yield all zeros).
+    pub fn of(samples: &[f64]) -> Summary {
+        if samples.is_empty() {
+            return Summary::default();
+        }
+        let count = samples.len();
+        let mean = samples.iter().sum::<f64>() / count as f64;
+        let variance = if count > 1 {
+            samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (count as f64 - 1.0)
+        } else {
+            0.0
+        };
+        let stddev = variance.sqrt();
+        // 95% CI using the normal approximation (the paper averages 5 runs; the exact
+        // Student-t factor for n=5 is 2.776, used when the sample count is small).
+        let t_factor = match count {
+            0 | 1 => 0.0,
+            2 => 12.706,
+            3 => 4.303,
+            4 => 3.182,
+            5 => 2.776,
+            6 => 2.571,
+            7 => 2.447,
+            8 => 2.365,
+            9 => 2.306,
+            10 => 2.262,
+            _ => 1.96,
+        };
+        let ci95 = if count > 1 {
+            t_factor * stddev / (count as f64).sqrt()
+        } else {
+            0.0
+        };
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Summary {
+            count,
+            mean,
+            stddev,
+            ci95,
+            min,
+            max,
+        }
+    }
+
+    /// Relative change of this summary's mean with respect to a baseline mean,
+    /// in percent (the `+x%` / `-x%` annotations of Figures 12 and 13).
+    pub fn relative_change(&self, baseline: &Summary) -> f64 {
+        if baseline.mean == 0.0 {
+            return 0.0;
+        }
+        (self.mean - baseline.mean) / baseline.mean * 100.0
+    }
+}
+
+/// The `p`-th percentile (0–100) of a sample set, by linear interpolation.
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must not be NaN"));
+    let clamped = p.clamp(0.0, 100.0) / 100.0;
+    let rank = clamped * (sorted.len() - 1) as f64;
+    let low = rank.floor() as usize;
+    let high = rank.ceil() as usize;
+    if low == high {
+        sorted[low]
+    } else {
+        let weight = rank - low as f64;
+        sorted[low] * (1.0 - weight) + sorted[high] * weight
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_constant_samples() {
+        let s = Summary::of(&[5.0, 5.0, 5.0, 5.0, 5.0]);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.ci95, 0.0);
+        assert_eq!(s.min, 5.0);
+        assert_eq!(s.max, 5.0);
+    }
+
+    #[test]
+    fn summary_of_varied_samples() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.mean, 3.0);
+        assert!((s.stddev - 1.5811).abs() < 1e-3);
+        // t(0.975, 4 dof) = 2.776 -> CI ~ 2.776 * 1.5811 / sqrt(5) = 1.963
+        assert!((s.ci95 - 1.963).abs() < 1e-2);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+    }
+
+    #[test]
+    fn summary_edge_cases() {
+        assert_eq!(Summary::of(&[]), Summary::default());
+        let single = Summary::of(&[7.0]);
+        assert_eq!(single.mean, 7.0);
+        assert_eq!(single.stddev, 0.0);
+        assert_eq!(single.ci95, 0.0);
+    }
+
+    #[test]
+    fn relative_change_matches_figure_annotations() {
+        let np = Summary::of(&[50_000.0]);
+        let gl = Summary::of(&[48_000.0]);
+        assert!((gl.relative_change(&np) + 4.0).abs() < 1e-9);
+        let zero = Summary::default();
+        assert_eq!(gl.relative_change(&zero), 0.0);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let samples = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&samples, 0.0), 1.0);
+        assert_eq!(percentile(&samples, 100.0), 4.0);
+        assert_eq!(percentile(&samples, 50.0), 2.5);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[9.0], 75.0), 9.0);
+    }
+}

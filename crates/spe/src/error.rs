@@ -1,0 +1,83 @@
+//! Error types for query construction and execution.
+
+use std::fmt;
+
+/// Error returned by query construction, deployment and execution.
+///
+/// The variants distinguish *construction-time* problems (invalid windows, unconnected
+/// streams) from *run-time* problems (an operator thread panicking or a channel closing
+/// unexpectedly).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SpeError {
+    /// A query was built with an invalid configuration (empty window, zero advance,
+    /// a union with no inputs, ...). The payload describes the offending parameter.
+    InvalidQuery(String),
+    /// A stream produced by an operator was never connected to a downstream operator
+    /// and was not explicitly discarded with [`crate::query::Query::discard`].
+    UnconnectedStream {
+        /// Name of the operator producing the dangling stream.
+        producer: String,
+    },
+    /// An operator thread panicked while the query was running.
+    OperatorPanicked {
+        /// Name of the operator whose thread panicked.
+        operator: String,
+    },
+    /// An operator failed at run time (e.g. its output channel closed prematurely).
+    Runtime {
+        /// Name of the failing operator.
+        operator: String,
+        /// Human-readable description of the failure.
+        message: String,
+    },
+}
+
+impl fmt::Display for SpeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpeError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+            SpeError::UnconnectedStream { producer } => {
+                write!(f, "output stream of operator `{producer}` is not connected")
+            }
+            SpeError::OperatorPanicked { operator } => {
+                write!(f, "operator `{operator}` panicked")
+            }
+            SpeError::Runtime { operator, message } => {
+                write!(f, "operator `{operator}` failed: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SpeError::InvalidQuery("window size must be positive".into());
+        assert!(e.to_string().contains("window size"));
+        let e = SpeError::UnconnectedStream {
+            producer: "map".into(),
+        };
+        assert!(e.to_string().contains("map"));
+        let e = SpeError::OperatorPanicked {
+            operator: "agg".into(),
+        };
+        assert!(e.to_string().contains("agg"));
+        let e = SpeError::Runtime {
+            operator: "sink".into(),
+            message: "channel closed".into(),
+        };
+        assert!(e.to_string().contains("channel closed"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SpeError>();
+    }
+}

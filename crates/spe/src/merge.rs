@@ -1,0 +1,363 @@
+//! Deterministic, watermark-driven merging of multiple timestamp-sorted input streams.
+//!
+//! The paper assumes (§2) that operators with multiple input streams merge them *in
+//! timestamp order*, so that query execution — and therefore provenance — is
+//! deterministic and independent of thread interleaving or transmission latency.
+//! [`DeterministicMerge`] implements that merge: it buffers elements per input and
+//! only releases a tuple once every other input has proven (through a buffered tuple,
+//! a watermark or end-of-stream) that it cannot produce an earlier one. Ties on the
+//! timestamp are broken by input index, then by arrival order within an input, which
+//! keeps the merge total and reproducible.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use crate::channel::StreamReceiver;
+use crate::time::Timestamp;
+use crate::tuple::{Element, GTuple};
+
+/// An element produced by the merge, already in global timestamp order.
+#[derive(Debug)]
+pub enum MergedElement<T, M> {
+    /// The next tuple in timestamp order, together with the index of the input stream
+    /// it arrived on.
+    Tuple(Arc<GTuple<T, M>>, usize),
+    /// All inputs have progressed past this timestamp.
+    Watermark(Timestamp),
+    /// Every input stream has ended and all buffers are drained.
+    End,
+}
+
+#[derive(Debug)]
+struct MergeInput<T, M> {
+    rx: StreamReceiver<T, M>,
+    buffer: VecDeque<Arc<GTuple<T, M>>>,
+    /// Highest lower bound promised by this input (via watermarks or tuple timestamps).
+    promised: Timestamp,
+    ended: bool,
+}
+
+impl<T, M> MergeInput<T, M> {
+    /// Smallest timestamp this input may still deliver.
+    fn lower_bound(&self) -> Timestamp {
+        if let Some(front) = self.buffer.front() {
+            front.ts
+        } else if self.ended {
+            Timestamp::MAX
+        } else {
+            self.promised
+        }
+    }
+
+    /// Folds a received element into the local buffer/state.
+    fn fold(&mut self, element: Element<T, M>) {
+        match element {
+            Element::Tuple(t) => {
+                if t.ts > self.promised {
+                    self.promised = t.ts;
+                }
+                self.buffer.push_back(t);
+            }
+            Element::Watermark(ts) => {
+                if ts > self.promised {
+                    self.promised = ts;
+                }
+            }
+            Element::End => self.ended = true,
+        }
+    }
+}
+
+/// Merges `n` timestamp-sorted input streams into one timestamp-sorted element stream.
+#[derive(Debug)]
+pub struct DeterministicMerge<T, M> {
+    inputs: Vec<MergeInput<T, M>>,
+    emitted_watermark: Option<Timestamp>,
+}
+
+impl<T, M> DeterministicMerge<T, M> {
+    /// Creates a merge over the given input streams.
+    ///
+    /// # Panics
+    /// Panics if `receivers` is empty.
+    pub fn new(receivers: Vec<StreamReceiver<T, M>>) -> Self {
+        assert!(!receivers.is_empty(), "merge requires at least one input");
+        DeterministicMerge {
+            inputs: receivers
+                .into_iter()
+                .map(|rx| MergeInput {
+                    rx,
+                    buffer: VecDeque::new(),
+                    promised: Timestamp::MIN,
+                    ended: false,
+                })
+                .collect(),
+            emitted_watermark: None,
+        }
+    }
+
+    /// Number of input streams.
+    pub fn input_count(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Global lower bound: no future tuple can have a timestamp below this.
+    fn frontier(&self) -> Timestamp {
+        self.inputs
+            .iter()
+            .map(MergeInput::lower_bound)
+            .min()
+            .unwrap_or(Timestamp::MAX)
+    }
+
+    /// Returns the next merged element, blocking on the inputs as needed.
+    pub fn next(&mut self) -> MergedElement<T, M> {
+        loop {
+            // Candidate: the input with the smallest buffered head timestamp
+            // (ties broken by input index because of the stable min_by_key scan).
+            let candidate = self
+                .inputs
+                .iter()
+                .enumerate()
+                .filter_map(|(i, input)| input.buffer.front().map(|t| (i, t.ts)))
+                .min_by_key(|&(i, ts)| (ts, i));
+
+            let frontier = self.frontier();
+
+            if let Some((idx, ts)) = candidate {
+                // Safe to release the candidate if no other input can still produce an
+                // earlier (or equally early, lower-index) tuple.
+                let blocking = self.inputs.iter().enumerate().any(|(i, input)| {
+                    input.buffer.front().is_none()
+                        && !input.ended
+                        && (input.promised < ts || (input.promised == ts && i < idx))
+                });
+                if !blocking {
+                    let tuple = self.inputs[idx]
+                        .buffer
+                        .pop_front()
+                        .expect("candidate buffer is non-empty");
+                    return MergedElement::Tuple(tuple, idx);
+                }
+            } else {
+                // No buffered tuples anywhere.
+                if self.inputs.iter().all(|i| i.ended) {
+                    return MergedElement::End;
+                }
+                // Propagate watermark progress so downstream windows can close even
+                // while no tuples flow.
+                if frontier > Timestamp::MIN
+                    && frontier < Timestamp::MAX
+                    && self.emitted_watermark.map_or(true, |w| frontier > w)
+                {
+                    self.emitted_watermark = Some(frontier);
+                    return MergedElement::Watermark(frontier);
+                }
+            }
+
+            // Receive more input. Blocking on one *specific* input can deadlock when
+            // that input is quiet while another input's channel fills up and
+            // back-pressures a shared upstream operator (e.g. a Multiplex feeding both
+            // branches), so instead select over every input that has not yet ended and
+            // fold whatever arrives first. The release decision above stays purely
+            // timestamp-based, so determinism is unaffected by arrival order.
+            if !self.pump_any() {
+                return MergedElement::End;
+            }
+        }
+    }
+
+    /// Watermark the merge can currently guarantee to downstream operators.
+    pub fn current_watermark(&self) -> Timestamp {
+        self.frontier()
+    }
+
+    /// Blocks until any non-ended input delivers an element and folds it in.
+    /// Returns `false` when every input has already ended.
+    fn pump_any(&mut self) -> bool {
+        let live: Vec<usize> = self
+            .inputs
+            .iter()
+            .enumerate()
+            .filter(|(_, input)| !input.ended)
+            .map(|(i, _)| i)
+            .collect();
+        if live.is_empty() {
+            return false;
+        }
+        let mut select = crossbeam_channel::Select::new();
+        for &i in &live {
+            select.recv(self.inputs[i].rx.inner());
+        }
+        let op = select.select();
+        let input_idx = live[op.index()];
+        let element = op
+            .recv(self.inputs[input_idx].rx.inner())
+            .unwrap_or(Element::End);
+        self.inputs[input_idx].fold(element);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::{stream_channel, StreamSender};
+    use std::thread;
+
+    type Tup = Arc<GTuple<i64, ()>>;
+
+    fn t(ts: u64, v: i64) -> Tup {
+        Arc::new(GTuple::new(Timestamp::from_secs(ts), 0, v, ()))
+    }
+
+    fn feed(tx: StreamSender<i64, ()>, items: Vec<(u64, i64)>) {
+        for (ts, v) in items {
+            tx.send(Element::Tuple(t(ts, v))).unwrap();
+            tx.send(Element::Watermark(Timestamp::from_secs(ts))).unwrap();
+        }
+        tx.send(Element::End).unwrap();
+    }
+
+    fn drain(merge: &mut DeterministicMerge<i64, ()>) -> Vec<(u64, i64, usize)> {
+        let mut out = Vec::new();
+        loop {
+            match merge.next() {
+                MergedElement::Tuple(tuple, idx) => out.push((tuple.ts.as_secs(), tuple.data, idx)),
+                MergedElement::Watermark(_) => {}
+                MergedElement::End => break,
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn merges_two_sorted_streams_in_timestamp_order() {
+        let (tx1, rx1) = stream_channel(16);
+        let (tx2, rx2) = stream_channel(16);
+        let h1 = thread::spawn(move || feed(tx1, vec![(1, 10), (3, 30), (5, 50)]));
+        let h2 = thread::spawn(move || feed(tx2, vec![(2, 20), (4, 40), (6, 60)]));
+        let mut merge = DeterministicMerge::new(vec![rx1, rx2]);
+        let out = drain(&mut merge);
+        h1.join().unwrap();
+        h2.join().unwrap();
+        assert_eq!(
+            out.iter().map(|&(ts, ..)| ts).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4, 5, 6]
+        );
+    }
+
+    #[test]
+    fn ties_are_broken_by_input_index() {
+        let (tx1, rx1) = stream_channel(16);
+        let (tx2, rx2) = stream_channel(16);
+        // Both inputs produce a tuple at ts=5; input 0 must win.
+        feed(tx1, vec![(5, 100)]);
+        feed(tx2, vec![(5, 200)]);
+        let mut merge = DeterministicMerge::new(vec![rx1, rx2]);
+        let out = drain(&mut merge);
+        assert_eq!(out, vec![(5, 100, 0), (5, 200, 1)]);
+    }
+
+    #[test]
+    fn single_input_passthrough() {
+        let (tx, rx) = stream_channel(16);
+        feed(tx, vec![(1, 1), (2, 2)]);
+        let mut merge = DeterministicMerge::new(vec![rx]);
+        assert_eq!(merge.input_count(), 1);
+        let out = drain(&mut merge);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn empty_input_does_not_block_the_merge() {
+        let (tx1, rx1) = stream_channel(16);
+        let (tx2, rx2) = stream_channel(16);
+        feed(tx1, vec![(1, 1), (2, 2), (3, 3)]);
+        // Input 2 ends immediately without tuples.
+        tx2.send(Element::End).unwrap();
+        let mut merge = DeterministicMerge::new(vec![rx1, rx2]);
+        let out = drain(&mut merge);
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn watermarks_unblock_release_of_buffered_tuples() {
+        let (tx1, rx1) = stream_channel(16);
+        let (tx2, rx2) = stream_channel(16);
+        // Input 0 has a tuple at ts=10 buffered, input 1 sends only a watermark at 20:
+        // the tuple must be released without waiting for a tuple on input 1.
+        tx1.send(Element::Tuple(t(10, 1))).unwrap();
+        tx2.send(Element::Watermark(Timestamp::from_secs(20))).unwrap();
+        let mut merge = DeterministicMerge::new(vec![rx1, rx2]);
+        match merge.next() {
+            MergedElement::Tuple(tuple, 0) => assert_eq!(tuple.ts.as_secs(), 10),
+            other => panic!("expected tuple from input 0, got {other:?}"),
+        }
+        tx1.send(Element::End).unwrap();
+        tx2.send(Element::End).unwrap();
+        // Possibly a few watermarks before the merge observes both End markers.
+        loop {
+            match merge.next() {
+                MergedElement::End => break,
+                MergedElement::Watermark(_) => continue,
+                other => panic!("expected watermark or end, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn emits_watermarks_while_idle() {
+        let (tx1, rx1) = stream_channel::<i64, ()>(16);
+        let (tx2, rx2) = stream_channel::<i64, ()>(16);
+        tx1.send(Element::Watermark(Timestamp::from_secs(30))).unwrap();
+        tx2.send(Element::Watermark(Timestamp::from_secs(40))).unwrap();
+        let mut merge = DeterministicMerge::new(vec![rx1, rx2]);
+        // Frontier is min(30, 40) = 30.
+        match merge.next() {
+            MergedElement::Watermark(ts) => assert_eq!(ts.as_secs(), 30),
+            other => panic!("expected watermark, got {other:?}"),
+        }
+        tx1.send(Element::End).unwrap();
+        tx2.send(Element::End).unwrap();
+        loop {
+            match merge.next() {
+                MergedElement::End => break,
+                MergedElement::Watermark(_) => continue,
+                other => panic!("expected watermark or end, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one input")]
+    fn empty_merge_panics() {
+        let _ = DeterministicMerge::<i64, ()>::new(vec![]);
+    }
+
+    #[test]
+    fn merge_of_many_inputs_is_globally_sorted() {
+        let mut rxs = Vec::new();
+        let mut handles = Vec::new();
+        for k in 0..5u64 {
+            let (tx, rx) = stream_channel(16);
+            rxs.push(rx);
+            handles.push(thread::spawn(move || {
+                feed(
+                    tx,
+                    (0..20).map(|i| (k + i * 5, (k + i * 5) as i64)).collect(),
+                )
+            }));
+        }
+        let mut merge = DeterministicMerge::new(rxs);
+        let out = drain(&mut merge);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(out.len(), 100);
+        let ts: Vec<u64> = out.iter().map(|&(ts, ..)| ts).collect();
+        let mut sorted = ts.clone();
+        sorted.sort_unstable();
+        assert_eq!(ts, sorted);
+    }
+}

@@ -1,0 +1,285 @@
+//! The Aggregate operator: sliding time-window, group-by aggregation.
+//!
+//! The paper's instrumented Aggregate (§4.1) makes every tuple of the closed window
+//! contribute to the output tuple: `U2` points at the earliest window tuple, `U1` at
+//! the latest, and the window tuples are chained through their `N` pointers. That
+//! instrumentation is the [`ProvenanceSystem::aggregate_meta`] hook, which receives
+//! the full window (earliest tuple first).
+
+use std::sync::Arc;
+
+use crate::channel::{OutputSlot, StreamReceiver};
+use crate::error::SpeError;
+use crate::operator::{Operator, OperatorStats};
+use crate::provenance::ProvenanceSystem;
+use crate::time::Timestamp;
+use crate::tuple::{Element, GTuple, TupleData};
+use crate::window::{ClosedWindow, WindowSpec, WindowStore};
+
+/// The view of a closed window handed to the aggregation function.
+#[derive(Debug)]
+pub struct WindowView<'a, K, I, M> {
+    /// Start timestamp of the window (also the output tuple's timestamp).
+    pub start: Timestamp,
+    /// Group-by key of the window instance.
+    pub key: &'a K,
+    /// Window tuples in timestamp order (earliest first).
+    pub tuples: &'a [Arc<GTuple<I, M>>],
+}
+
+impl<K, I, M> WindowView<'_, K, I, M> {
+    /// Number of tuples in the window.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True if the window is empty (never the case for emitted windows).
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Iterator over the window payloads in timestamp order.
+    pub fn payloads(&self) -> impl Iterator<Item = &I> {
+        self.tuples.iter().map(|t| &t.data)
+    }
+}
+
+/// The Aggregate operator runtime.
+pub struct AggregateOp<I, O, K, KF, AF, P: ProvenanceSystem> {
+    name: String,
+    input: StreamReceiver<I, P::Meta>,
+    output: OutputSlot<O, P::Meta>,
+    store: WindowStore<K, I, P::Meta>,
+    key_fn: KF,
+    agg_fn: AF,
+    provenance: P,
+}
+
+impl<I, O, K, KF, AF, P> AggregateOp<I, O, K, KF, AF, P>
+where
+    I: TupleData,
+    O: TupleData,
+    K: Ord + Clone + Send + 'static,
+    KF: FnMut(&I) -> K + Send + 'static,
+    AF: FnMut(&WindowView<'_, K, I, P::Meta>) -> O + Send + 'static,
+    P: ProvenanceSystem,
+{
+    /// Creates an Aggregate operator.
+    pub fn new(
+        name: impl Into<String>,
+        input: StreamReceiver<I, P::Meta>,
+        output: OutputSlot<O, P::Meta>,
+        spec: WindowSpec,
+        key_fn: KF,
+        agg_fn: AF,
+        provenance: P,
+    ) -> Self {
+        AggregateOp {
+            name: name.into(),
+            input,
+            output,
+            store: WindowStore::new(spec),
+            key_fn,
+            agg_fn,
+            provenance,
+        }
+    }
+
+    fn emit_closed(
+        &mut self,
+        closed: Vec<ClosedWindow<K, I, P::Meta>>,
+        out: &crate::channel::OutputHandle<O, P::Meta>,
+        stats: &mut OperatorStats,
+    ) -> bool {
+        for window in closed {
+            if window.tuples.is_empty() {
+                continue;
+            }
+            let view = WindowView {
+                start: window.start,
+                key: &window.key,
+                tuples: &window.tuples,
+            };
+            let data = (self.agg_fn)(&view);
+            let meta = self.provenance.aggregate_meta(&window.tuples);
+            let stimulus = window
+                .tuples
+                .iter()
+                .map(|t| t.stimulus)
+                .max()
+                .unwrap_or_default();
+            let tuple = Arc::new(GTuple::new(window.start, stimulus, data, meta));
+            if out.send_tuple(tuple).is_err() {
+                return false;
+            }
+            stats.tuples_out += 1;
+        }
+        true
+    }
+}
+
+impl<I, O, K, KF, AF, P> Operator for AggregateOp<I, O, K, KF, AF, P>
+where
+    I: TupleData,
+    O: TupleData,
+    K: Ord + Clone + Send + 'static,
+    KF: FnMut(&I) -> K + Send + 'static,
+    AF: FnMut(&WindowView<'_, K, I, P::Meta>) -> O + Send + 'static,
+    P: ProvenanceSystem,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn run(mut self: Box<Self>) -> Result<OperatorStats, SpeError> {
+        let out = self.output.open();
+        let mut stats = OperatorStats::new(self.name.clone());
+        let window_size = self.store.spec().size;
+        loop {
+            match self.input.recv() {
+                Element::Tuple(tuple) => {
+                    stats.tuples_in += 1;
+                    let key = (self.key_fn)(&tuple.data);
+                    self.store.insert(key, tuple);
+                }
+                Element::Watermark(ts) => {
+                    let closed = self.store.close_up_to(ts);
+                    if !self.emit_closed(closed, &out, &mut stats) {
+                        return Ok(stats);
+                    }
+                    // Future outputs carry the start of a not-yet-closed window, which
+                    // is strictly greater than ts - WS.
+                    let downstream_wm = ts.saturating_sub(window_size);
+                    if out.send_watermark(downstream_wm).is_err() {
+                        return Ok(stats);
+                    }
+                }
+                Element::End => {
+                    let closed = self.store.close_all();
+                    let _ = self.emit_closed(closed, &out, &mut stats);
+                    let _ = out.send_watermark(Timestamp::MAX);
+                    let _ = out.send_end();
+                    return Ok(stats);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::stream_channel;
+    use crate::provenance::NoProvenance;
+    use crate::time::Duration;
+
+    fn tuple(ts: u64, car: u32, speed: u32) -> Arc<GTuple<(u32, u32), ()>> {
+        Arc::new(GTuple::new(Timestamp::from_secs(ts), ts, (car, speed), ()))
+    }
+
+    /// Runs an aggregate counting tuples per car over a WS=120s / WA=30s window,
+    /// mirroring the Q1 aggregate of Figure 1.
+    fn run_count_aggregate(
+        input: Vec<Element<(u32, u32), ()>>,
+    ) -> Vec<(u64, u32, usize)> {
+        let (in_tx, in_rx) = stream_channel(256);
+        let out_slot = OutputSlot::<(u32, usize), ()>::new();
+        let (out_tx, out_rx) = stream_channel(256);
+        out_slot.connect(out_tx);
+        for el in input {
+            in_tx.send(el).unwrap();
+        }
+        in_tx.send(Element::End).unwrap();
+
+        let spec = WindowSpec::new(Duration::from_secs(120), Duration::from_secs(30)).unwrap();
+        let op = AggregateOp::new(
+            "count",
+            in_rx,
+            out_slot,
+            spec,
+            |t: &(u32, u32)| t.0,
+            |w: &WindowView<'_, u32, (u32, u32), ()>| (*w.key, w.len()),
+            NoProvenance,
+        );
+        Box::new(op).run().unwrap();
+
+        let mut outputs = Vec::new();
+        loop {
+            match out_rx.recv() {
+                Element::Tuple(t) => outputs.push((t.ts.as_secs(), t.data.0, t.data.1)),
+                Element::Watermark(_) => {}
+                Element::End => break,
+            }
+        }
+        outputs
+    }
+
+    #[test]
+    fn counts_per_group_in_sliding_windows() {
+        // Car 1 reports at 1, 31, 61, 91 (all zero speed); car 2 reports once at 32.
+        let input = vec![
+            Element::Tuple(tuple(1, 1, 0)),
+            Element::Tuple(tuple(31, 1, 0)),
+            Element::Tuple(tuple(32, 2, 0)),
+            Element::Tuple(tuple(61, 1, 0)),
+            Element::Tuple(tuple(91, 1, 0)),
+            Element::Watermark(Timestamp::from_secs(121)),
+        ];
+        let outputs = run_count_aggregate(input);
+        // The window [0, 120) closes at watermark 121 (plus later windows at end of
+        // stream). The first closed window must count 4 tuples for car 1, 1 for car 2.
+        let first_window: Vec<_> = outputs.iter().filter(|(ts, _, _)| *ts == 0).collect();
+        assert_eq!(first_window.len(), 2);
+        assert_eq!(*first_window[0], (0, 1, 4));
+        assert_eq!(*first_window[1], (0, 2, 1));
+    }
+
+    #[test]
+    fn end_of_stream_flushes_open_windows() {
+        let input = vec![Element::Tuple(tuple(10, 5, 0))];
+        let outputs = run_count_aggregate(input);
+        // The tuple belongs to the single window [0, 120) (no earlier windows exist);
+        // flushing at end-of-stream emits it exactly once per open window containing it.
+        assert!(!outputs.is_empty());
+        assert!(outputs.iter().all(|&(_, car, _)| car == 5));
+        assert_eq!(outputs[0].2, 1);
+    }
+
+    #[test]
+    fn aggregate_output_timestamp_is_window_start() {
+        let input = vec![
+            Element::Tuple(tuple(31, 1, 0)),
+            Element::Watermark(Timestamp::from_secs(200)),
+        ];
+        let outputs = run_count_aggregate(input);
+        // Tuple at 31s belongs to windows starting at 0 and 30.
+        let starts: Vec<u64> = outputs.iter().map(|&(ts, _, _)| ts).collect();
+        assert!(starts.contains(&0));
+        assert!(starts.contains(&30));
+    }
+
+    #[test]
+    fn stimulus_of_output_is_latest_window_stimulus() {
+        let (in_tx, in_rx) = stream_channel(64);
+        let out_slot = OutputSlot::<usize, ()>::new();
+        let (out_tx, out_rx) = stream_channel(64);
+        out_slot.connect(out_tx);
+        in_tx.send(Element::Tuple(tuple(1, 1, 0))).unwrap();
+        in_tx.send(Element::Tuple(tuple(20, 1, 0))).unwrap();
+        in_tx.send(Element::End).unwrap();
+        let spec = WindowSpec::tumbling(Duration::from_secs(30)).unwrap();
+        let op = AggregateOp::new(
+            "count",
+            in_rx,
+            out_slot,
+            spec,
+            |t: &(u32, u32)| t.0,
+            |w: &WindowView<'_, u32, (u32, u32), ()>| w.len(),
+            NoProvenance,
+        );
+        Box::new(op).run().unwrap();
+        let out = out_rx.recv();
+        let out = out.as_tuple().unwrap();
+        assert_eq!(out.stimulus, 20, "stimulus must be the latest input stimulus");
+    }
+}

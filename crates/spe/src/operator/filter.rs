@@ -1,0 +1,134 @@
+//! The Filter operator: forwards or discards tuples based on a predicate.
+//!
+//! Filter is a *forwarding* operator (the paper's type (i) in Definition 3.1): it does
+//! not create new tuples, so no provenance instrumentation is defined for it — the same
+//! `Arc` travels downstream, and with it the tuple's existing metadata.
+
+use crate::channel::{OutputSlot, StreamReceiver};
+use crate::error::SpeError;
+use crate::operator::{Operator, OperatorStats};
+use crate::provenance::MetaData;
+use crate::tuple::{Element, TupleData};
+
+/// The Filter operator runtime.
+pub struct FilterOp<T, F, M> {
+    name: String,
+    input: StreamReceiver<T, M>,
+    output: OutputSlot<T, M>,
+    predicate: F,
+}
+
+impl<T, F, M> FilterOp<T, F, M>
+where
+    T: TupleData,
+    F: FnMut(&T) -> bool + Send + 'static,
+    M: MetaData,
+{
+    /// Creates a Filter operator.
+    pub fn new(
+        name: impl Into<String>,
+        input: StreamReceiver<T, M>,
+        output: OutputSlot<T, M>,
+        predicate: F,
+    ) -> Self {
+        FilterOp {
+            name: name.into(),
+            input,
+            output,
+            predicate,
+        }
+    }
+}
+
+impl<T, F, M> Operator for FilterOp<T, F, M>
+where
+    T: TupleData,
+    F: FnMut(&T) -> bool + Send + 'static,
+    M: MetaData,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn run(mut self: Box<Self>) -> Result<OperatorStats, SpeError> {
+        let out = self.output.open();
+        let mut stats = OperatorStats::new(self.name.clone());
+        loop {
+            match self.input.recv() {
+                Element::Tuple(tuple) => {
+                    stats.tuples_in += 1;
+                    if (self.predicate)(&tuple.data) {
+                        if out.send_tuple(tuple).is_err() {
+                            return Ok(stats);
+                        }
+                        stats.tuples_out += 1;
+                    }
+                }
+                Element::Watermark(ts) => {
+                    if out.send_watermark(ts).is_err() {
+                        return Ok(stats);
+                    }
+                }
+                Element::End => {
+                    let _ = out.send_end();
+                    return Ok(stats);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::stream_channel;
+    use crate::time::Timestamp;
+    use crate::tuple::GTuple;
+    use std::sync::Arc;
+
+    fn tuple(ts: u64, v: i64) -> Arc<GTuple<i64, ()>> {
+        Arc::new(GTuple::new(Timestamp::from_secs(ts), 0, v, ()))
+    }
+
+    #[test]
+    fn filter_forwards_matching_tuples_without_copying() {
+        let (in_tx, in_rx) = stream_channel(16);
+        let out_slot = OutputSlot::<i64, ()>::new();
+        let (out_tx, out_rx) = stream_channel(16);
+        out_slot.connect(out_tx);
+
+        let kept = tuple(1, 2);
+        let dropped = tuple(2, 3);
+        in_tx.send(Element::Tuple(Arc::clone(&kept))).unwrap();
+        in_tx.send(Element::Tuple(dropped)).unwrap();
+        in_tx.send(Element::End).unwrap();
+
+        let op = FilterOp::new("even", in_rx, out_slot, |v: &i64| v % 2 == 0);
+        let stats = Box::new(op).run().unwrap();
+        assert_eq!(stats.tuples_in, 2);
+        assert_eq!(stats.tuples_out, 1);
+
+        match out_rx.recv() {
+            Element::Tuple(t) => assert!(Arc::ptr_eq(&t, &kept), "Filter must forward the same Arc"),
+            other => panic!("expected tuple, got {other:?}"),
+        }
+        assert!(out_rx.recv().is_end());
+    }
+
+    #[test]
+    fn filter_forwards_watermarks_even_when_dropping_all_tuples() {
+        let (in_tx, in_rx) = stream_channel(16);
+        let out_slot = OutputSlot::<i64, ()>::new();
+        let (out_tx, out_rx) = stream_channel(16);
+        out_slot.connect(out_tx);
+
+        in_tx.send(Element::Tuple(tuple(1, 1))).unwrap();
+        in_tx.send(Element::Watermark(Timestamp::from_secs(1))).unwrap();
+        in_tx.send(Element::End).unwrap();
+
+        let op = FilterOp::new("none", in_rx, out_slot, |_: &i64| false);
+        Box::new(op).run().unwrap();
+        assert!(matches!(out_rx.recv(), Element::Watermark(ts) if ts == Timestamp::from_secs(1)));
+        assert!(out_rx.recv().is_end());
+    }
+}

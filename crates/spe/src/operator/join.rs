@@ -1,0 +1,396 @@
+//! The Join operator: predicate join of two streams within a time window.
+//!
+//! For each pair `(tL, tR)` with `|tL.ts − tR.ts| ≤ WS` that satisfies the predicate,
+//! the Join emits one output tuple combining the two payloads (§2). The paper's
+//! instrumented Join (§4.1) points `U1` at the more recent of the two inputs and `U2`
+//! at the older one — that instrumentation is the [`ProvenanceSystem::join_meta`] hook.
+//!
+//! The two inputs are processed in global timestamp order (left side wins ties), so
+//! the sequence of output tuples is deterministic regardless of thread scheduling.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use crate::channel::{OutputSlot, StreamReceiver};
+use crate::error::SpeError;
+use crate::operator::{Operator, OperatorStats};
+use crate::provenance::ProvenanceSystem;
+use crate::time::{Duration, Timestamp};
+use crate::tuple::{Element, GTuple, TupleData};
+
+struct JoinSide<T, M> {
+    rx: StreamReceiver<T, M>,
+    /// Elements received but not yet processed (kept in arrival = timestamp order).
+    pending: VecDeque<Arc<GTuple<T, M>>>,
+    /// Already-processed tuples retained for matching against the other side.
+    window: VecDeque<Arc<GTuple<T, M>>>,
+    promised: Timestamp,
+    ended: bool,
+}
+
+impl<T, M> JoinSide<T, M> {
+    fn new(rx: StreamReceiver<T, M>) -> Self {
+        JoinSide {
+            rx,
+            pending: VecDeque::new(),
+            window: VecDeque::new(),
+            promised: Timestamp::MIN,
+            ended: false,
+        }
+    }
+
+    fn lower_bound(&self) -> Timestamp {
+        if let Some(front) = self.pending.front() {
+            front.ts
+        } else if self.ended {
+            Timestamp::MAX
+        } else {
+            self.promised
+        }
+    }
+
+    fn fold(&mut self, element: Element<T, M>) {
+        match element {
+            Element::Tuple(t) => {
+                if t.ts > self.promised {
+                    self.promised = t.ts;
+                }
+                self.pending.push_back(t);
+            }
+            Element::Watermark(ts) => {
+                if ts > self.promised {
+                    self.promised = ts;
+                }
+            }
+            Element::End => self.ended = true,
+        }
+    }
+
+    fn pump(&mut self) {
+        let element = self.rx.recv();
+        self.fold(element);
+    }
+
+    fn purge(&mut self, frontier: Timestamp, ws: Duration) {
+        while let Some(front) = self.window.front() {
+            if front.ts + ws < frontier {
+                self.window.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+/// The Join operator runtime.
+pub struct JoinOp<L, R, O, PR, CF, P: ProvenanceSystem> {
+    name: String,
+    left: JoinSide<L, P::Meta>,
+    right: JoinSide<R, P::Meta>,
+    output: OutputSlot<O, P::Meta>,
+    window: Duration,
+    predicate: PR,
+    combine: CF,
+    provenance: P,
+    emitted_watermark: Timestamp,
+}
+
+impl<L, R, O, PR, CF, P> JoinOp<L, R, O, PR, CF, P>
+where
+    L: TupleData,
+    R: TupleData,
+    O: TupleData,
+    PR: FnMut(&L, &R) -> bool + Send + 'static,
+    CF: FnMut(&L, &R) -> O + Send + 'static,
+    P: ProvenanceSystem,
+{
+    /// Creates a Join operator with the given window size `WS`.
+    ///
+    /// # Panics
+    /// Panics if the window size is zero.
+    pub fn new(
+        name: impl Into<String>,
+        left: StreamReceiver<L, P::Meta>,
+        right: StreamReceiver<R, P::Meta>,
+        output: OutputSlot<O, P::Meta>,
+        window: Duration,
+        predicate: PR,
+        combine: CF,
+        provenance: P,
+    ) -> Self {
+        assert!(!window.is_zero(), "Join window size must be positive");
+        JoinOp {
+            name: name.into(),
+            left: JoinSide::new(left),
+            right: JoinSide::new(right),
+            output,
+            window,
+            predicate,
+            combine,
+            provenance,
+            emitted_watermark: Timestamp::MIN,
+        }
+    }
+}
+
+impl<L, R, O, PR, CF, P> Operator for JoinOp<L, R, O, PR, CF, P>
+where
+    L: TupleData,
+    R: TupleData,
+    O: TupleData,
+    PR: FnMut(&L, &R) -> bool + Send + 'static,
+    CF: FnMut(&L, &R) -> O + Send + 'static,
+    P: ProvenanceSystem,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn run(mut self: Box<Self>) -> Result<OperatorStats, SpeError> {
+        let out = self.output.open();
+        let mut stats = OperatorStats::new(self.name.clone());
+        loop {
+            let left_lb = self.left.lower_bound();
+            let right_lb = self.right.lower_bound();
+
+            // Can we process the left head? Only if the right side cannot still deliver
+            // an earlier tuple (ties go to the left side).
+            let left_ready = self
+                .left
+                .pending
+                .front()
+                .is_some_and(|t| t.ts <= right_lb);
+            let right_ready = self
+                .right
+                .pending
+                .front()
+                .is_some_and(|t| t.ts < left_lb);
+
+            if left_ready {
+                let tuple = self.left.pending.pop_front().expect("checked non-empty");
+                stats.tuples_in += 1;
+                for candidate in &self.right.window {
+                    if tuple.ts.distance(candidate.ts) <= self.window
+                        && (self.predicate)(&tuple.data, &candidate.data)
+                    {
+                        let data = (self.combine)(&tuple.data, &candidate.data);
+                        let meta = self.provenance.join_meta(&tuple, candidate);
+                        let output = Arc::new(GTuple::new(
+                            tuple.ts.max(candidate.ts),
+                            tuple.stimulus.max(candidate.stimulus),
+                            data,
+                            meta,
+                        ));
+                        if out.send_tuple(output).is_err() {
+                            return Ok(stats);
+                        }
+                        stats.tuples_out += 1;
+                    }
+                }
+                self.left.window.push_back(tuple);
+            } else if right_ready {
+                let tuple = self.right.pending.pop_front().expect("checked non-empty");
+                stats.tuples_in += 1;
+                for candidate in &self.left.window {
+                    if tuple.ts.distance(candidate.ts) <= self.window
+                        && (self.predicate)(&candidate.data, &tuple.data)
+                    {
+                        let data = (self.combine)(&candidate.data, &tuple.data);
+                        let meta = self.provenance.join_meta(candidate, &tuple);
+                        let output = Arc::new(GTuple::new(
+                            tuple.ts.max(candidate.ts),
+                            tuple.stimulus.max(candidate.stimulus),
+                            data,
+                            meta,
+                        ));
+                        if out.send_tuple(output).is_err() {
+                            return Ok(stats);
+                        }
+                        stats.tuples_out += 1;
+                    }
+                }
+                self.right.window.push_back(tuple);
+            } else {
+                // No head is releasable: either everything has ended, or we must wait
+                // for more elements from the side currently holding us back.
+                let frontier = left_lb.min(right_lb);
+                if frontier == Timestamp::MAX {
+                    let _ = out.send_watermark(Timestamp::MAX);
+                    let _ = out.send_end();
+                    return Ok(stats);
+                }
+                self.left.purge(frontier, self.window);
+                self.right.purge(frontier, self.window);
+                if frontier > self.emitted_watermark && frontier > Timestamp::MIN {
+                    self.emitted_watermark = frontier;
+                    if out.send_watermark(frontier).is_err() {
+                        return Ok(stats);
+                    }
+                }
+                // Receive more input. Blocking on one specific side can deadlock when
+                // that side is quiet while the other side's channel fills up and
+                // back-pressures a shared upstream (e.g. the Multiplex of Q4 feeding
+                // both Join branches), so select over whichever live side delivers
+                // first. The release decision above stays timestamp-based, keeping the
+                // output deterministic regardless of arrival order.
+                match (self.left.ended, self.right.ended) {
+                    (false, true) => self.left.pump(),
+                    (true, false) => self.right.pump(),
+                    (false, false) => {
+                        let mut select = crossbeam_channel::Select::new();
+                        let left_idx = select.recv(self.left.rx.inner());
+                        let _right_idx = select.recv(self.right.rx.inner());
+                        let op = select.select();
+                        if op.index() == left_idx {
+                            let element =
+                                op.recv(self.left.rx.inner()).unwrap_or(Element::End);
+                            self.left.fold(element);
+                        } else {
+                            let element =
+                                op.recv(self.right.rx.inner()).unwrap_or(Element::End);
+                            self.right.fold(element);
+                        }
+                    }
+                    (true, true) => {}
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::stream_channel;
+    use crate::provenance::NoProvenance;
+
+    fn tup<T: TupleData>(ts: u64, data: T) -> Arc<GTuple<T, ()>> {
+        Arc::new(GTuple::new(Timestamp::from_secs(ts), ts, data, ()))
+    }
+
+    /// Joins (meter_id, daily) with (meter_id, midnight) within one hour, as Q4 does.
+    fn run_join(
+        left: Vec<Element<(u32, i64), ()>>,
+        right: Vec<Element<(u32, i64), ()>>,
+        window_secs: u64,
+    ) -> Vec<(u64, (u32, i64, i64))> {
+        let (ltx, lrx) = stream_channel(256);
+        let (rtx, rrx) = stream_channel(256);
+        let out_slot = OutputSlot::<(u32, i64, i64), ()>::new();
+        let (otx, orx) = stream_channel(256);
+        out_slot.connect(otx);
+        for el in left {
+            ltx.send(el).unwrap();
+        }
+        ltx.send(Element::End).unwrap();
+        for el in right {
+            rtx.send(el).unwrap();
+        }
+        rtx.send(Element::End).unwrap();
+
+        let op = JoinOp::new(
+            "join",
+            lrx,
+            rrx,
+            out_slot,
+            Duration::from_secs(window_secs),
+            |l: &(u32, i64), r: &(u32, i64)| l.0 == r.0,
+            |l: &(u32, i64), r: &(u32, i64)| (l.0, l.1, r.1),
+            NoProvenance,
+        );
+        Box::new(op).run().unwrap();
+        let mut outputs = Vec::new();
+        loop {
+            match orx.recv() {
+                Element::Tuple(t) => outputs.push((t.ts.as_secs(), t.data)),
+                Element::Watermark(_) => {}
+                Element::End => break,
+            }
+        }
+        outputs
+    }
+
+    #[test]
+    fn joins_pairs_matching_predicate_within_window() {
+        let left = vec![
+            Element::Tuple(tup(10, (1u32, 100i64))),
+            Element::Tuple(tup(20, (2u32, 200i64))),
+        ];
+        let right = vec![
+            Element::Tuple(tup(15, (1u32, 5i64))),
+            Element::Tuple(tup(25, (3u32, 7i64))),
+        ];
+        let out = run_join(left, right, 60);
+        assert_eq!(out, vec![(15, (1, 100, 5))]);
+    }
+
+    #[test]
+    fn pairs_outside_window_are_not_joined() {
+        let left = vec![Element::Tuple(tup(0, (1u32, 1i64)))];
+        let right = vec![Element::Tuple(tup(100, (1u32, 2i64)))];
+        let out = run_join(left, right, 50);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn pair_exactly_at_window_boundary_is_joined() {
+        let left = vec![Element::Tuple(tup(0, (1u32, 1i64)))];
+        let right = vec![Element::Tuple(tup(50, (1u32, 2i64)))];
+        let out = run_join(left, right, 50);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn output_timestamp_is_the_more_recent_input() {
+        let left = vec![Element::Tuple(tup(40, (9u32, 1i64)))];
+        let right = vec![Element::Tuple(tup(10, (9u32, 2i64)))];
+        let out = run_join(left, right, 100);
+        assert_eq!(out, vec![(40, (9, 1, 2))]);
+    }
+
+    #[test]
+    fn join_handles_many_matches_per_tuple() {
+        let left = vec![
+            Element::Tuple(tup(10, (1u32, 1i64))),
+            Element::Tuple(tup(11, (1u32, 2i64))),
+            Element::Tuple(tup(12, (1u32, 3i64))),
+        ];
+        let right = vec![Element::Tuple(tup(12, (1u32, 9i64)))];
+        let out = run_join(left, right, 100);
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn output_is_timestamp_ordered() {
+        let left: Vec<_> = (0..20)
+            .map(|i| Element::Tuple(tup(i * 10, (1u32, i as i64))))
+            .collect();
+        let right: Vec<_> = (0..20)
+            .map(|i| Element::Tuple(tup(i * 10 + 5, (1u32, i as i64))))
+            .collect();
+        let out = run_join(left, right, 15);
+        assert!(!out.is_empty());
+        let ts: Vec<u64> = out.iter().map(|&(ts, _)| ts).collect();
+        let mut sorted = ts.clone();
+        sorted.sort_unstable();
+        assert_eq!(ts, sorted);
+    }
+
+    #[test]
+    #[should_panic(expected = "window size must be positive")]
+    fn zero_window_is_rejected() {
+        let (_ltx, lrx) = stream_channel::<i64, ()>(1);
+        let (_rtx, rrx) = stream_channel::<i64, ()>(1);
+        let slot = OutputSlot::<i64, ()>::new();
+        let _ = JoinOp::new(
+            "join",
+            lrx,
+            rrx,
+            slot,
+            Duration::ZERO,
+            |_: &i64, _: &i64| true,
+            |l: &i64, r: &i64| l + r,
+            NoProvenance,
+        );
+    }
+}

@@ -1,0 +1,285 @@
+//! The Map operator: produces one or more output tuples per input tuple.
+//!
+//! The paper's instrumented Map (§4.1) creates new tuples whose `U1` meta-attribute
+//! points at the contributing input tuple; in this engine that instrumentation is the
+//! [`ProvenanceSystem::map_meta`] hook.
+
+use std::sync::Arc;
+
+use crate::channel::{OutputSlot, StreamReceiver};
+use crate::error::SpeError;
+use crate::operator::{Operator, OperatorStats};
+use crate::provenance::ProvenanceSystem;
+use crate::tuple::{Element, GTuple, TupleData};
+
+/// The Map operator runtime.
+///
+/// The user function receives the input payload and returns *zero or more* output
+/// payloads; output tuples inherit the input tuple's timestamp and stimulus.
+/// (Returning zero outputs makes Map usable as a filtering projection, but the
+/// dedicated [`FilterOp`](crate::operator::filter::FilterOp) should be preferred when
+/// tuples are merely forwarded, because Filter does not create new tuples and
+/// therefore adds nothing to the contribution graph.)
+pub struct MapOp<I, O, F, P: ProvenanceSystem> {
+    name: String,
+    input: StreamReceiver<I, P::Meta>,
+    output: OutputSlot<O, P::Meta>,
+    function: F,
+    provenance: P,
+}
+
+impl<I, O, F, P> MapOp<I, O, F, P>
+where
+    I: TupleData,
+    O: TupleData,
+    F: FnMut(&I) -> Vec<O> + Send + 'static,
+    P: ProvenanceSystem,
+{
+    /// Creates a Map operator.
+    pub fn new(
+        name: impl Into<String>,
+        input: StreamReceiver<I, P::Meta>,
+        output: OutputSlot<O, P::Meta>,
+        function: F,
+        provenance: P,
+    ) -> Self {
+        MapOp {
+            name: name.into(),
+            input,
+            output,
+            function,
+            provenance,
+        }
+    }
+}
+
+impl<I, O, F, P> Operator for MapOp<I, O, F, P>
+where
+    I: TupleData,
+    O: TupleData,
+    F: FnMut(&I) -> Vec<O> + Send + 'static,
+    P: ProvenanceSystem,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn run(mut self: Box<Self>) -> Result<OperatorStats, SpeError> {
+        let out = self.output.open();
+        let mut stats = OperatorStats::new(self.name.clone());
+        loop {
+            match self.input.recv() {
+                Element::Tuple(tuple) => {
+                    stats.tuples_in += 1;
+                    for data in (self.function)(&tuple.data) {
+                        let meta = self.provenance.map_meta(&tuple);
+                        let output_tuple =
+                            Arc::new(GTuple::new(tuple.ts, tuple.stimulus, data, meta));
+                        if out.send_tuple(output_tuple).is_err() {
+                            return Ok(stats);
+                        }
+                        stats.tuples_out += 1;
+                    }
+                }
+                Element::Watermark(ts) => {
+                    if out.send_watermark(ts).is_err() {
+                        return Ok(stats);
+                    }
+                }
+                Element::End => {
+                    let _ = out.send_end();
+                    return Ok(stats);
+                }
+            }
+        }
+    }
+}
+
+/// A Map variant whose user function receives the *whole input tuple* (payload and
+/// provenance metadata) instead of just the payload.
+///
+/// This is the engine-level facility the paper's §4.1 calls an *instrumented*
+/// operator: it can "access and modify the meta-data used for data provenance and use
+/// such metadata to create tuples". The single-stream unfolder of `genealog` (§5.1) is
+/// built from a Multiplex plus a `MetaMapOp` applying the `findProvenance` traversal.
+pub struct MetaMapOp<I, O, F, P: ProvenanceSystem> {
+    name: String,
+    input: StreamReceiver<I, P::Meta>,
+    output: OutputSlot<O, P::Meta>,
+    function: F,
+    provenance: P,
+}
+
+impl<I, O, F, P> MetaMapOp<I, O, F, P>
+where
+    I: TupleData,
+    O: TupleData,
+    F: FnMut(&Arc<GTuple<I, P::Meta>>) -> Vec<O> + Send + 'static,
+    P: ProvenanceSystem,
+{
+    /// Creates a meta-aware Map operator.
+    pub fn new(
+        name: impl Into<String>,
+        input: StreamReceiver<I, P::Meta>,
+        output: OutputSlot<O, P::Meta>,
+        function: F,
+        provenance: P,
+    ) -> Self {
+        MetaMapOp {
+            name: name.into(),
+            input,
+            output,
+            function,
+            provenance,
+        }
+    }
+}
+
+impl<I, O, F, P> Operator for MetaMapOp<I, O, F, P>
+where
+    I: TupleData,
+    O: TupleData,
+    F: FnMut(&Arc<GTuple<I, P::Meta>>) -> Vec<O> + Send + 'static,
+    P: ProvenanceSystem,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn run(mut self: Box<Self>) -> Result<OperatorStats, SpeError> {
+        let out = self.output.open();
+        let mut stats = OperatorStats::new(self.name.clone());
+        loop {
+            match self.input.recv() {
+                Element::Tuple(tuple) => {
+                    stats.tuples_in += 1;
+                    for data in (self.function)(&tuple) {
+                        let meta = self.provenance.map_meta(&tuple);
+                        let output_tuple =
+                            Arc::new(GTuple::new(tuple.ts, tuple.stimulus, data, meta));
+                        if out.send_tuple(output_tuple).is_err() {
+                            return Ok(stats);
+                        }
+                        stats.tuples_out += 1;
+                    }
+                }
+                Element::Watermark(ts) => {
+                    if out.send_watermark(ts).is_err() {
+                        return Ok(stats);
+                    }
+                }
+                Element::End => {
+                    let _ = out.send_end();
+                    return Ok(stats);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::{stream_channel, OutputSlot};
+    use crate::provenance::NoProvenance;
+    use crate::time::Timestamp;
+
+    fn tuple(ts: u64, v: i64) -> Arc<GTuple<i64, ()>> {
+        Arc::new(GTuple::new(Timestamp::from_secs(ts), 7, v, ()))
+    }
+
+    #[test]
+    fn map_transforms_and_preserves_timestamp_and_stimulus() {
+        let (in_tx, in_rx) = stream_channel(16);
+        let out_slot = OutputSlot::<String, ()>::new();
+        let (out_tx, out_rx) = stream_channel(16);
+        out_slot.connect(out_tx);
+
+        in_tx.send(Element::Tuple(tuple(5, 21))).unwrap();
+        in_tx.send(Element::Watermark(Timestamp::from_secs(5))).unwrap();
+        in_tx.send(Element::End).unwrap();
+
+        let op = MapOp::new(
+            "fmt",
+            in_rx,
+            out_slot,
+            |v: &i64| vec![format!("v={}", v * 2)],
+            NoProvenance,
+        );
+        let stats = Box::new(op).run().unwrap();
+        assert_eq!(stats.tuples_in, 1);
+        assert_eq!(stats.tuples_out, 1);
+
+        let t = out_rx.recv();
+        let t = t.as_tuple().unwrap();
+        assert_eq!(t.data, "v=42");
+        assert_eq!(t.ts, Timestamp::from_secs(5));
+        assert_eq!(t.stimulus, 7);
+        assert!(matches!(out_rx.recv(), Element::Watermark(_)));
+        assert!(out_rx.recv().is_end());
+    }
+
+    #[test]
+    fn map_can_produce_multiple_outputs_per_input() {
+        let (in_tx, in_rx) = stream_channel(16);
+        let out_slot = OutputSlot::<i64, ()>::new();
+        let (out_tx, out_rx) = stream_channel(16);
+        out_slot.connect(out_tx);
+
+        in_tx.send(Element::Tuple(tuple(1, 3))).unwrap();
+        in_tx.send(Element::End).unwrap();
+
+        let op = MapOp::new(
+            "explode",
+            in_rx,
+            out_slot,
+            |v: &i64| (0..*v).collect::<Vec<_>>(),
+            NoProvenance,
+        );
+        let stats = Box::new(op).run().unwrap();
+        assert_eq!(stats.tuples_out, 3);
+        assert_eq!(out_rx.recv().as_tuple().unwrap().data, 0);
+        assert_eq!(out_rx.recv().as_tuple().unwrap().data, 1);
+        assert_eq!(out_rx.recv().as_tuple().unwrap().data, 2);
+    }
+
+    #[test]
+    fn meta_map_sees_the_full_input_tuple() {
+        let (in_tx, in_rx) = stream_channel(16);
+        let out_slot = OutputSlot::<u64, ()>::new();
+        let (out_tx, out_rx) = stream_channel(16);
+        out_slot.connect(out_tx);
+
+        in_tx.send(Element::Tuple(tuple(9, 100))).unwrap();
+        in_tx.send(Element::End).unwrap();
+
+        let op = MetaMapOp::new(
+            "ts-extract",
+            in_rx,
+            out_slot,
+            |t: &Arc<GTuple<i64, ()>>| vec![t.ts.as_secs()],
+            NoProvenance,
+        );
+        let stats = Box::new(op).run().unwrap();
+        assert_eq!(stats.tuples_out, 1);
+        assert_eq!(out_rx.recv().as_tuple().unwrap().data, 9);
+        assert!(out_rx.recv().is_end());
+    }
+
+    #[test]
+    fn map_with_zero_outputs_drops_the_tuple() {
+        let (in_tx, in_rx) = stream_channel(16);
+        let out_slot = OutputSlot::<i64, ()>::new();
+        let (out_tx, out_rx) = stream_channel(16);
+        out_slot.connect(out_tx);
+
+        in_tx.send(Element::Tuple(tuple(1, 3))).unwrap();
+        in_tx.send(Element::End).unwrap();
+
+        let op = MapOp::new("drop", in_rx, out_slot, |_: &i64| Vec::<i64>::new(), NoProvenance);
+        let stats = Box::new(op).run().unwrap();
+        assert_eq!(stats.tuples_in, 1);
+        assert_eq!(stats.tuples_out, 0);
+        assert!(out_rx.recv().is_end());
+    }
+}

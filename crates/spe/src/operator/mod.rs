@@ -1,0 +1,94 @@
+//! The standard streaming operators of the paper's §2.
+//!
+//! Stateless operators: [`map::MapOp`], [`filter::FilterOp`], [`multiplex::MultiplexOp`],
+//! [`union::UnionOp`]. Stateful operators: [`aggregate::AggregateOp`], [`join::JoinOp`].
+//! Edges of the query: [`source::SourceOp`] and [`sink::SinkOp`].
+//!
+//! Every operator implements the [`Operator`] runtime trait: a blocking `run` loop that
+//! consumes input elements, applies the operator semantics, calls the provenance hooks
+//! of the query's [`ProvenanceSystem`](crate::provenance::ProvenanceSystem) whenever a
+//! new tuple is created, and pushes results downstream. The query builder
+//! ([`crate::query::Query`]) constructs operators and the runtime
+//! ([`crate::runtime`]) runs each one on its own thread.
+
+pub mod aggregate;
+pub mod filter;
+pub mod join;
+pub mod map;
+pub mod multiplex;
+pub mod sink;
+pub mod source;
+pub mod union;
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use crate::error::SpeError;
+
+/// Statistics reported by an operator when its `run` loop terminates.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OperatorStats {
+    /// Operator name (unique within a query).
+    pub name: String,
+    /// Number of input tuples processed.
+    pub tuples_in: u64,
+    /// Number of output tuples produced.
+    pub tuples_out: u64,
+}
+
+impl OperatorStats {
+    /// Creates a statistics record for the named operator.
+    pub fn new(name: impl Into<String>) -> Self {
+        OperatorStats {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+}
+
+/// Runtime behaviour of an operator: a blocking loop that runs until its inputs end.
+pub trait Operator: Send {
+    /// The operator's name (unique within its query).
+    fn name(&self) -> &str;
+
+    /// Runs the operator to completion.
+    ///
+    /// # Errors
+    /// Returns [`SpeError::Runtime`] if the operator fails irrecoverably; downstream
+    /// shutdown (a closed output channel) is treated as a graceful stop, not an error.
+    fn run(self: Box<Self>) -> Result<OperatorStats, SpeError>;
+}
+
+/// Process-wide monotonic clock anchor used for stimulus/latency measurement.
+fn clock_anchor() -> Instant {
+    static ANCHOR: OnceLock<Instant> = OnceLock::new();
+    *ANCHOR.get_or_init(Instant::now)
+}
+
+/// Nanoseconds elapsed since the process-wide clock anchor.
+///
+/// Source operators stamp new tuples with this value (the *stimulus*); sinks subtract
+/// it from the current value to obtain the latency metric of the evaluation (§7).
+pub fn now_nanos() -> u64 {
+    clock_anchor().elapsed().as_nanos() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn now_nanos_is_monotonic() {
+        let a = now_nanos();
+        let b = now_nanos();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn operator_stats_constructor() {
+        let s = OperatorStats::new("filter");
+        assert_eq!(s.name, "filter");
+        assert_eq!(s.tuples_in, 0);
+        assert_eq!(s.tuples_out, 0);
+    }
+}

@@ -1,0 +1,233 @@
+//! The Sink operator: terminal consumer of a stream.
+//!
+//! Sinks invoke a user callback for every sink tuple, maintain the latency statistics
+//! used by the evaluation (time between the *stimulus* of the latest contributing
+//! source tuple and the production of the sink tuple) and optionally collect tuples
+//! in memory for inspection by tests and examples.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::channel::StreamReceiver;
+use crate::error::SpeError;
+use crate::operator::{now_nanos, Operator, OperatorStats};
+use crate::provenance::MetaData;
+use crate::tuple::{Element, GTuple, TupleData};
+
+/// Shared, thread-safe statistics of a Sink operator.
+#[derive(Debug, Default)]
+pub struct SinkStats {
+    tuples: AtomicU64,
+    latencies_ns: Mutex<Vec<u64>>,
+}
+
+impl SinkStats {
+    /// Creates an empty statistics block.
+    pub fn new() -> Arc<Self> {
+        Arc::new(SinkStats::default())
+    }
+
+    /// Number of sink tuples received so far.
+    pub fn tuple_count(&self) -> u64 {
+        self.tuples.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the recorded per-tuple latencies, in nanoseconds.
+    pub fn latencies_ns(&self) -> Vec<u64> {
+        self.latencies_ns.lock().clone()
+    }
+
+    /// Mean latency in milliseconds over all received tuples (0 if none).
+    pub fn mean_latency_ms(&self) -> f64 {
+        let lat = self.latencies_ns.lock();
+        if lat.is_empty() {
+            return 0.0;
+        }
+        lat.iter().map(|&ns| ns as f64).sum::<f64>() / lat.len() as f64 / 1e6
+    }
+
+    fn record(&self, latency_ns: u64) {
+        self.tuples.fetch_add(1, Ordering::Relaxed);
+        self.latencies_ns.lock().push(latency_ns);
+    }
+}
+
+/// A handle to the tuples collected by [`crate::query::Query::collecting_sink`].
+#[derive(Debug)]
+pub struct CollectedStream<T, M> {
+    tuples: Arc<Mutex<Vec<Arc<GTuple<T, M>>>>>,
+    stats: Arc<SinkStats>,
+}
+
+impl<T, M> Clone for CollectedStream<T, M> {
+    fn clone(&self) -> Self {
+        CollectedStream {
+            tuples: Arc::clone(&self.tuples),
+            stats: Arc::clone(&self.stats),
+        }
+    }
+}
+
+impl<T, M> Default for CollectedStream<T, M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T, M> CollectedStream<T, M> {
+    /// Creates an empty collection handle.
+    pub fn new() -> Self {
+        CollectedStream {
+            tuples: Arc::new(Mutex::new(Vec::new())),
+            stats: SinkStats::new(),
+        }
+    }
+
+    /// Snapshot of the collected tuples, in arrival order.
+    pub fn tuples(&self) -> Vec<Arc<GTuple<T, M>>> {
+        self.tuples.lock().clone()
+    }
+
+    /// Number of collected tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.lock().len()
+    }
+
+    /// True if nothing has been collected yet.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.lock().is_empty()
+    }
+
+    /// The sink statistics (latency, counts) associated with the collection.
+    pub fn stats(&self) -> &Arc<SinkStats> {
+        &self.stats
+    }
+
+    /// Appends a tuple (used by the Sink operator).
+    pub fn push(&self, tuple: Arc<GTuple<T, M>>) {
+        self.tuples.lock().push(tuple);
+    }
+
+    /// Removes and returns all collected tuples.
+    pub fn drain(&self) -> Vec<Arc<GTuple<T, M>>> {
+        std::mem::take(&mut *self.tuples.lock())
+    }
+}
+
+/// The Sink operator runtime.
+pub struct SinkOp<T, M, F> {
+    name: String,
+    input: StreamReceiver<T, M>,
+    callback: F,
+    stats: Arc<SinkStats>,
+}
+
+impl<T, M, F> SinkOp<T, M, F>
+where
+    T: TupleData,
+    M: MetaData,
+    F: FnMut(&Arc<GTuple<T, M>>) + Send + 'static,
+{
+    /// Creates a Sink operator invoking `callback` for every sink tuple.
+    pub fn new(
+        name: impl Into<String>,
+        input: StreamReceiver<T, M>,
+        callback: F,
+        stats: Arc<SinkStats>,
+    ) -> Self {
+        SinkOp {
+            name: name.into(),
+            input,
+            callback,
+            stats,
+        }
+    }
+}
+
+impl<T, M, F> Operator for SinkOp<T, M, F>
+where
+    T: TupleData,
+    M: MetaData,
+    F: FnMut(&Arc<GTuple<T, M>>) + Send + 'static,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn run(mut self: Box<Self>) -> Result<OperatorStats, SpeError> {
+        let mut stats = OperatorStats::new(self.name.clone());
+        loop {
+            match self.input.recv() {
+                Element::Tuple(tuple) => {
+                    stats.tuples_in += 1;
+                    let latency = now_nanos().saturating_sub(tuple.stimulus);
+                    self.stats.record(latency);
+                    (self.callback)(&tuple);
+                }
+                Element::Watermark(_) => {}
+                Element::End => return Ok(stats),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::stream_channel;
+    use crate::time::Timestamp;
+
+    #[test]
+    fn sink_invokes_callback_and_records_latency() {
+        let (tx, rx) = stream_channel::<i64, ()>(16);
+        let stats = SinkStats::new();
+        let collected = Arc::new(Mutex::new(Vec::new()));
+        let collected_in_cb = Arc::clone(&collected);
+
+        tx.send(Element::Tuple(Arc::new(GTuple::new(
+            Timestamp::from_secs(1),
+            now_nanos(),
+            42i64,
+            (),
+        ))))
+        .unwrap();
+        tx.send(Element::Watermark(Timestamp::from_secs(1))).unwrap();
+        tx.send(Element::End).unwrap();
+
+        let op = SinkOp::new(
+            "sink",
+            rx,
+            move |t: &Arc<GTuple<i64, ()>>| collected_in_cb.lock().push(t.data),
+            Arc::clone(&stats),
+        );
+        let op_stats = Box::new(op).run().unwrap();
+        assert_eq!(op_stats.tuples_in, 1);
+        assert_eq!(stats.tuple_count(), 1);
+        assert_eq!(stats.latencies_ns().len(), 1);
+        assert!(stats.mean_latency_ms() >= 0.0);
+        assert_eq!(*collected.lock(), vec![42]);
+    }
+
+    #[test]
+    fn collected_stream_accumulates_and_drains() {
+        let c: CollectedStream<i64, ()> = CollectedStream::new();
+        assert!(c.is_empty());
+        c.push(Arc::new(GTuple::new(Timestamp::from_secs(1), 0, 1, ())));
+        c.push(Arc::new(GTuple::new(Timestamp::from_secs(2), 0, 2, ())));
+        assert_eq!(c.len(), 2);
+        let c2 = c.clone();
+        assert_eq!(c2.len(), 2, "clone shares the same buffer");
+        let drained = c.drain();
+        assert_eq!(drained.len(), 2);
+        assert!(c2.is_empty());
+    }
+
+    #[test]
+    fn empty_sink_stats_report_zero_latency() {
+        let stats = SinkStats::new();
+        assert_eq!(stats.tuple_count(), 0);
+        assert_eq!(stats.mean_latency_ms(), 0.0);
+    }
+}

@@ -1,0 +1,728 @@
+//! The typed query builder.
+//!
+//! A [`Query`] is a DAG of operators connected by streams. The builder API is typed:
+//! every operator-adding method consumes the [`StreamRef`]s of its input streams (so a
+//! stream can be consumed exactly once — fan-out is expressed with
+//! [`Query::multiplex`], matching the operator model of the paper's §2) and returns
+//! the `StreamRef`s of the streams it produces.
+//!
+//! The query is parameterised by a [`ProvenanceSystem`]: deploying the same query with
+//! [`NoProvenance`](crate::provenance::NoProvenance), with `genealog::GeneaLog` or with
+//! `genealog_baseline::AriadneBaseline` yields the NP / GL / BL configurations compared
+//! in the paper's evaluation.
+
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+
+use crate::channel::{stream_channel, OutputSlot, StreamReceiver};
+use crate::error::SpeError;
+use crate::operator::aggregate::{AggregateOp, WindowView};
+use crate::operator::filter::FilterOp;
+use crate::operator::join::JoinOp;
+use crate::operator::map::MapOp;
+use crate::operator::multiplex::MultiplexOp;
+use crate::operator::sink::{CollectedStream, SinkOp, SinkStats};
+use crate::operator::source::{SourceConfig, SourceGenerator, SourceOp};
+use crate::operator::union::UnionOp;
+use crate::operator::Operator;
+use crate::provenance::ProvenanceSystem;
+use crate::runtime::{QueryHandle, Runtime};
+use crate::time::Duration;
+use crate::tuple::TupleData;
+use crate::window::WindowSpec;
+
+/// Identifier of an operator node inside a query graph.
+pub type NodeId = usize;
+
+/// The role of an operator node (used for introspection and reports).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NodeKind {
+    /// A Source operator.
+    Source,
+    /// A Map operator.
+    Map,
+    /// A Filter operator.
+    Filter,
+    /// A Multiplex operator.
+    Multiplex,
+    /// A Union operator.
+    Union,
+    /// An Aggregate operator.
+    Aggregate,
+    /// A Join operator.
+    Join,
+    /// A Sink operator.
+    Sink,
+    /// An operator provided by an extension crate (unfolders, Send/Receive, ...).
+    Custom(&'static str),
+}
+
+impl NodeKind {
+    /// Short label used in DOT exports and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            NodeKind::Source => "source",
+            NodeKind::Map => "map",
+            NodeKind::Filter => "filter",
+            NodeKind::Multiplex => "multiplex",
+            NodeKind::Union => "union",
+            NodeKind::Aggregate => "aggregate",
+            NodeKind::Join => "join",
+            NodeKind::Sink => "sink",
+            NodeKind::Custom(name) => name,
+        }
+    }
+}
+
+/// Static description of an operator node.
+pub struct NodeInfo {
+    /// Operator name (unique within the query).
+    pub name: String,
+    /// Operator role.
+    pub kind: NodeKind,
+    operator: Option<Box<dyn Operator>>,
+}
+
+impl std::fmt::Debug for NodeInfo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeInfo")
+            .field("name", &self.name)
+            .field("kind", &self.kind)
+            .field("has_operator", &self.operator.is_some())
+            .finish()
+    }
+}
+
+/// A typed, move-only handle to a stream produced by an operator.
+///
+/// Consuming a `StreamRef` (by passing it to another builder method) attaches exactly
+/// one consumer to the stream.
+#[derive(Debug)]
+pub struct StreamRef<T, M> {
+    slot: OutputSlot<T, M>,
+    producer: NodeId,
+    label: String,
+}
+
+impl<T, M> StreamRef<T, M> {
+    /// The node that produces this stream.
+    pub fn producer(&self) -> NodeId {
+        self.producer
+    }
+
+    /// The label of the stream (operator name plus output index).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+/// Configuration shared by all operators of a query.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryConfig {
+    /// Capacity (in elements) of the bounded channels between operators.
+    pub channel_capacity: usize,
+}
+
+impl Default for QueryConfig {
+    fn default() -> Self {
+        QueryConfig {
+            channel_capacity: 1024,
+        }
+    }
+}
+
+/// A continuous query under construction.
+pub struct Query<P: ProvenanceSystem> {
+    provenance: P,
+    config: QueryConfig,
+    nodes: Vec<NodeInfo>,
+    edges: Vec<(NodeId, NodeId)>,
+    /// Checks run at deployment time to detect dangling output streams.
+    slot_checks: Vec<(String, Box<dyn Fn() -> bool + Send>)>,
+    stop: Arc<AtomicBool>,
+    next_origin: u32,
+}
+
+impl<P: ProvenanceSystem> Query<P> {
+    /// Creates an empty query using the given provenance system.
+    pub fn new(provenance: P) -> Self {
+        Self::with_config(provenance, QueryConfig::default())
+    }
+
+    /// Creates an empty query with an explicit configuration.
+    pub fn with_config(provenance: P, config: QueryConfig) -> Self {
+        Query {
+            provenance,
+            config,
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            slot_checks: Vec::new(),
+            stop: Arc::new(AtomicBool::new(false)),
+            next_origin: 0,
+        }
+    }
+
+    /// The provenance system the query was built with.
+    pub fn provenance(&self) -> &P {
+        &self.provenance
+    }
+
+    /// The query configuration.
+    pub fn config(&self) -> QueryConfig {
+        self.config
+    }
+
+    /// Handle that, when set to `true`, asks every Source to stop injecting tuples.
+    pub fn stop_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.stop)
+    }
+
+    // ------------------------------------------------------------------
+    // Extension API: used by the unfolder operators of `genealog` and the
+    // Send/Receive endpoints of `genealog-distributed` to register custom
+    // operators while reusing the engine's wiring and validation.
+    // ------------------------------------------------------------------
+
+    /// Registers a new operator node and returns its id. The node must later receive
+    /// its runtime operator through [`Query::set_operator`].
+    pub fn add_node(&mut self, name: impl Into<String>, kind: NodeKind) -> NodeId {
+        let id = self.nodes.len();
+        self.nodes.push(NodeInfo {
+            name: name.into(),
+            kind,
+            operator: None,
+        });
+        id
+    }
+
+    /// Attaches `consumer` to `stream`, returning the receiving end of the channel.
+    pub fn attach_input<T: TupleData>(
+        &mut self,
+        stream: StreamRef<T, P::Meta>,
+        consumer: NodeId,
+    ) -> StreamReceiver<T, P::Meta> {
+        let (tx, rx) = stream_channel(self.config.channel_capacity);
+        stream.slot.connect(tx);
+        self.edges.push((stream.producer, consumer));
+        rx
+    }
+
+    /// Creates a new output stream for `producer`, returning the slot to hand to the
+    /// operator and the `StreamRef` to hand to the rest of the query.
+    pub fn new_output_stream<T: TupleData>(
+        &mut self,
+        producer: NodeId,
+        label: impl Into<String>,
+    ) -> (OutputSlot<T, P::Meta>, StreamRef<T, P::Meta>) {
+        let slot = OutputSlot::new();
+        let stream = StreamRef {
+            slot: slot.clone(),
+            producer,
+            label: label.into(),
+        };
+        let producer_name = self.nodes[producer].name.clone();
+        let check_slot = slot.clone();
+        self.slot_checks
+            .push((producer_name, Box::new(move || check_slot.is_connected())));
+        (slot, stream)
+    }
+
+    /// Installs the runtime operator of a node registered with [`Query::add_node`].
+    ///
+    /// # Panics
+    /// Panics if the node already has an operator.
+    pub fn set_operator(&mut self, node: NodeId, operator: Box<dyn Operator>) {
+        let info = &mut self.nodes[node];
+        assert!(
+            info.operator.is_none(),
+            "operator already installed for node `{}`",
+            info.name
+        );
+        info.operator = Some(operator);
+    }
+
+    /// Allocates a fresh origin id (used by Sources and Receive operators to build the
+    /// unique tuple ids of §6).
+    pub fn next_origin_id(&mut self) -> u32 {
+        let id = self.next_origin;
+        self.next_origin += 1;
+        id
+    }
+
+    // ------------------------------------------------------------------
+    // Standard operators
+    // ------------------------------------------------------------------
+
+    /// Adds a Source backed by `generator` with the default source configuration.
+    pub fn source<G: SourceGenerator>(
+        &mut self,
+        name: &str,
+        generator: G,
+    ) -> StreamRef<G::Item, P::Meta> {
+        self.source_with(name, generator, SourceConfig::default())
+    }
+
+    /// Adds a Source backed by `generator` with an explicit configuration.
+    pub fn source_with<G: SourceGenerator>(
+        &mut self,
+        name: &str,
+        generator: G,
+        config: SourceConfig,
+    ) -> StreamRef<G::Item, P::Meta> {
+        let node = self.add_node(name, NodeKind::Source);
+        let source_id = self.next_origin_id();
+        let (slot, stream) = self.new_output_stream(node, format!("{name}.out"));
+        let op = SourceOp::new(
+            name,
+            source_id,
+            generator,
+            config,
+            slot,
+            self.provenance.clone(),
+            Arc::clone(&self.stop),
+        );
+        self.set_operator(node, Box::new(op));
+        stream
+    }
+
+    /// Adds a Map producing zero or more output payloads per input payload.
+    pub fn map<I, O, F>(
+        &mut self,
+        name: &str,
+        input: StreamRef<I, P::Meta>,
+        function: F,
+    ) -> StreamRef<O, P::Meta>
+    where
+        I: TupleData,
+        O: TupleData,
+        F: FnMut(&I) -> Vec<O> + Send + 'static,
+    {
+        let node = self.add_node(name, NodeKind::Map);
+        let rx = self.attach_input(input, node);
+        let (slot, stream) = self.new_output_stream(node, format!("{name}.out"));
+        let op = MapOp::new(name, rx, slot, function, self.provenance.clone());
+        self.set_operator(node, Box::new(op));
+        stream
+    }
+
+    /// Adds a meta-aware Map whose function receives the whole input tuple (payload
+    /// *and* provenance metadata). This is the instrumented-Map facility used by the
+    /// provenance unfolders of the `genealog` crate (§5.1 of the paper).
+    pub fn map_with_meta<I, O, F>(
+        &mut self,
+        name: &str,
+        input: StreamRef<I, P::Meta>,
+        function: F,
+    ) -> StreamRef<O, P::Meta>
+    where
+        I: TupleData,
+        O: TupleData,
+        F: FnMut(&Arc<crate::tuple::GTuple<I, P::Meta>>) -> Vec<O> + Send + 'static,
+    {
+        let node = self.add_node(name, NodeKind::Map);
+        let rx = self.attach_input(input, node);
+        let (slot, stream) = self.new_output_stream(node, format!("{name}.out"));
+        let op = crate::operator::map::MetaMapOp::new(name, rx, slot, function, self.provenance.clone());
+        self.set_operator(node, Box::new(op));
+        stream
+    }
+
+    /// Adds a Map producing exactly one output payload per input payload.
+    pub fn map_one<I, O, F>(
+        &mut self,
+        name: &str,
+        input: StreamRef<I, P::Meta>,
+        mut function: F,
+    ) -> StreamRef<O, P::Meta>
+    where
+        I: TupleData,
+        O: TupleData,
+        F: FnMut(&I) -> O + Send + 'static,
+    {
+        self.map(name, input, move |data| vec![function(data)])
+    }
+
+    /// Adds a Filter forwarding the tuples that satisfy `predicate`.
+    pub fn filter<T, F>(
+        &mut self,
+        name: &str,
+        input: StreamRef<T, P::Meta>,
+        predicate: F,
+    ) -> StreamRef<T, P::Meta>
+    where
+        T: TupleData,
+        F: FnMut(&T) -> bool + Send + 'static,
+    {
+        let node = self.add_node(name, NodeKind::Filter);
+        let rx = self.attach_input(input, node);
+        let (slot, stream) = self.new_output_stream(node, format!("{name}.out"));
+        let op = FilterOp::new(name, rx, slot, predicate);
+        self.set_operator(node, Box::new(op));
+        stream
+    }
+
+    /// Adds a Multiplex copying every input tuple to `outputs` output streams.
+    pub fn multiplex<T>(
+        &mut self,
+        name: &str,
+        input: StreamRef<T, P::Meta>,
+        outputs: usize,
+    ) -> Vec<StreamRef<T, P::Meta>>
+    where
+        T: TupleData,
+    {
+        assert!(outputs > 0, "Multiplex requires at least one output");
+        let node = self.add_node(name, NodeKind::Multiplex);
+        let rx = self.attach_input(input, node);
+        let mut slots = Vec::with_capacity(outputs);
+        let mut streams = Vec::with_capacity(outputs);
+        for i in 0..outputs {
+            let (slot, stream) = self.new_output_stream(node, format!("{name}.out{i}"));
+            slots.push(slot);
+            streams.push(stream);
+        }
+        let op = MultiplexOp::new(name, rx, slots, self.provenance.clone());
+        self.set_operator(node, Box::new(op));
+        streams
+    }
+
+    /// Adds a Union deterministically merging `inputs` into one stream.
+    pub fn union<T>(
+        &mut self,
+        name: &str,
+        inputs: Vec<StreamRef<T, P::Meta>>,
+    ) -> StreamRef<T, P::Meta>
+    where
+        T: TupleData,
+    {
+        assert!(!inputs.is_empty(), "Union requires at least one input");
+        let node = self.add_node(name, NodeKind::Union);
+        let rxs: Vec<_> = inputs
+            .into_iter()
+            .map(|stream| self.attach_input(stream, node))
+            .collect();
+        let (slot, stream) = self.new_output_stream(node, format!("{name}.out"));
+        let op = UnionOp::new(name, rxs, slot);
+        self.set_operator(node, Box::new(op));
+        stream
+    }
+
+    /// Adds an Aggregate over a sliding time window with a group-by key.
+    pub fn aggregate<I, O, K, KF, AF>(
+        &mut self,
+        name: &str,
+        input: StreamRef<I, P::Meta>,
+        spec: WindowSpec,
+        key_fn: KF,
+        agg_fn: AF,
+    ) -> StreamRef<O, P::Meta>
+    where
+        I: TupleData,
+        O: TupleData,
+        K: Ord + Clone + Send + 'static,
+        KF: FnMut(&I) -> K + Send + 'static,
+        AF: FnMut(&WindowView<'_, K, I, P::Meta>) -> O + Send + 'static,
+    {
+        let node = self.add_node(name, NodeKind::Aggregate);
+        let rx = self.attach_input(input, node);
+        let (slot, stream) = self.new_output_stream(node, format!("{name}.out"));
+        let op = AggregateOp::new(name, rx, slot, spec, key_fn, agg_fn, self.provenance.clone());
+        self.set_operator(node, Box::new(op));
+        stream
+    }
+
+    /// Adds a Join of two streams within the time window `window`.
+    pub fn join<L, R, O, PR, CF>(
+        &mut self,
+        name: &str,
+        left: StreamRef<L, P::Meta>,
+        right: StreamRef<R, P::Meta>,
+        window: Duration,
+        predicate: PR,
+        combine: CF,
+    ) -> StreamRef<O, P::Meta>
+    where
+        L: TupleData,
+        R: TupleData,
+        O: TupleData,
+        PR: FnMut(&L, &R) -> bool + Send + 'static,
+        CF: FnMut(&L, &R) -> O + Send + 'static,
+    {
+        let node = self.add_node(name, NodeKind::Join);
+        let left_rx = self.attach_input(left, node);
+        let right_rx = self.attach_input(right, node);
+        let (slot, stream) = self.new_output_stream(node, format!("{name}.out"));
+        let op = JoinOp::new(
+            name,
+            left_rx,
+            right_rx,
+            slot,
+            window,
+            predicate,
+            combine,
+            self.provenance.clone(),
+        );
+        self.set_operator(node, Box::new(op));
+        stream
+    }
+
+    /// Adds a Sink invoking `callback` for every sink tuple; returns its statistics.
+    pub fn sink<T, F>(
+        &mut self,
+        name: &str,
+        input: StreamRef<T, P::Meta>,
+        callback: F,
+    ) -> Arc<SinkStats>
+    where
+        T: TupleData,
+        F: FnMut(&Arc<crate::tuple::GTuple<T, P::Meta>>) + Send + 'static,
+    {
+        let node = self.add_node(name, NodeKind::Sink);
+        let rx = self.attach_input(input, node);
+        let stats = SinkStats::new();
+        let op = SinkOp::new(name, rx, callback, Arc::clone(&stats));
+        self.set_operator(node, Box::new(op));
+        stats
+    }
+
+    /// Adds a Sink collecting every sink tuple in memory (convenient for tests,
+    /// examples and provenance collection).
+    pub fn collecting_sink<T>(
+        &mut self,
+        name: &str,
+        input: StreamRef<T, P::Meta>,
+    ) -> CollectedStream<T, P::Meta>
+    where
+        T: TupleData,
+    {
+        let node = self.add_node(name, NodeKind::Sink);
+        let rx = self.attach_input(input, node);
+        let collected = CollectedStream::new();
+        let sink_copy = collected.clone();
+        let op = SinkOp::new(
+            name,
+            rx,
+            move |t| sink_copy.push(Arc::clone(t)),
+            Arc::clone(collected.stats()),
+        );
+        self.set_operator(node, Box::new(op));
+        collected
+    }
+
+    /// Explicitly discards a stream: its elements are dropped without a consumer.
+    pub fn discard<T>(&mut self, stream: StreamRef<T, P::Meta>) {
+        stream.slot.mark_discard();
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection & deployment
+    // ------------------------------------------------------------------
+
+    /// Number of operator nodes added so far.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The `(producer, consumer)` edges of the query graph.
+    pub fn edges(&self) -> &[(NodeId, NodeId)] {
+        &self.edges
+    }
+
+    /// Names and kinds of the operator nodes.
+    pub fn node_summaries(&self) -> Vec<(String, NodeKind)> {
+        self.nodes
+            .iter()
+            .map(|n| (n.name.clone(), n.kind))
+            .collect()
+    }
+
+    /// Renders the query graph in Graphviz DOT format.
+    pub fn to_dot(&self) -> String {
+        let mut dot = String::from("digraph query {\n  rankdir=LR;\n");
+        for (id, node) in self.nodes.iter().enumerate() {
+            dot.push_str(&format!(
+                "  n{} [label=\"{}\\n({})\"];\n",
+                id,
+                node.name,
+                node.kind.label()
+            ));
+        }
+        for (from, to) in &self.edges {
+            dot.push_str(&format!("  n{from} -> n{to};\n"));
+        }
+        dot.push_str("}\n");
+        dot
+    }
+
+    /// Validates the query and spawns one thread per operator.
+    ///
+    /// # Errors
+    /// Returns [`SpeError::UnconnectedStream`] if an output stream has no consumer and
+    /// was not discarded, or [`SpeError::InvalidQuery`] if a node has no operator.
+    pub fn deploy(self) -> Result<QueryHandle, SpeError> {
+        for (producer, check) in &self.slot_checks {
+            if !check() {
+                return Err(SpeError::UnconnectedStream {
+                    producer: producer.clone(),
+                });
+            }
+        }
+        let mut operators = Vec::with_capacity(self.nodes.len());
+        for node in self.nodes {
+            let op = node.operator.ok_or_else(|| {
+                SpeError::InvalidQuery(format!("node `{}` has no operator installed", node.name))
+            })?;
+            operators.push((node.kind, op));
+        }
+        if operators.is_empty() {
+            return Err(SpeError::InvalidQuery("query has no operators".into()));
+        }
+        Ok(Runtime::spawn(operators, self.stop))
+    }
+}
+
+impl<P: ProvenanceSystem> std::fmt::Debug for Query<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Query")
+            .field("provenance", &self.provenance.label())
+            .field("nodes", &self.nodes.len())
+            .field("edges", &self.edges.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::source::VecSource;
+    use crate::provenance::NoProvenance;
+
+    #[test]
+    fn builds_and_runs_a_linear_query() {
+        let mut q = Query::new(NoProvenance);
+        let src = q.source("numbers", VecSource::with_period((0..10i64).collect(), 1_000));
+        let evens = q.filter("evens", src, |x| x % 2 == 0);
+        let doubled = q.map_one("double", evens, |x| x * 2);
+        let out = q.collecting_sink("sink", doubled);
+        assert_eq!(q.node_count(), 4);
+        assert_eq!(q.edges().len(), 3);
+        let report = q.deploy().unwrap().wait().unwrap();
+        assert_eq!(out.len(), 5);
+        let values: Vec<i64> = out.tuples().iter().map(|t| t.data).collect();
+        assert_eq!(values, vec![0, 4, 8, 12, 16]);
+        assert!(report.operator_stats().len() == 4);
+    }
+
+    #[test]
+    fn multiplex_union_round_trip() {
+        let mut q = Query::new(NoProvenance);
+        let src = q.source("numbers", VecSource::with_period((0..20i64).collect(), 500));
+        let branches = q.multiplex("mux", src, 2);
+        let mut it = branches.into_iter();
+        let small = q.filter("small", it.next().unwrap(), |x| *x < 5);
+        let large = q.filter("large", it.next().unwrap(), |x| *x >= 15);
+        let merged = q.union("union", vec![small, large]);
+        let out = q.collecting_sink("sink", merged);
+        q.deploy().unwrap().wait().unwrap();
+        let mut values: Vec<i64> = out.tuples().iter().map(|t| t.data).collect();
+        // The union is timestamp-ordered, which here equals value order.
+        assert_eq!(values, vec![0, 1, 2, 3, 4, 15, 16, 17, 18, 19]);
+        values.sort_unstable();
+        assert_eq!(values.len(), 10);
+    }
+
+    #[test]
+    fn unconnected_stream_is_rejected_at_deploy() {
+        let mut q = Query::new(NoProvenance);
+        let src = q.source("numbers", VecSource::with_period(vec![1i64], 1));
+        let _dangling = q.filter("dangling", src, |_| true);
+        let err = q.deploy().unwrap_err();
+        assert!(matches!(err, SpeError::UnconnectedStream { producer } if producer == "dangling"));
+    }
+
+    #[test]
+    fn discarded_stream_passes_validation() {
+        let mut q = Query::new(NoProvenance);
+        let src = q.source("numbers", VecSource::with_period(vec![1i64, 2, 3], 1));
+        let branches = q.multiplex("mux", src, 2);
+        let mut it = branches.into_iter();
+        let keep = it.next().unwrap();
+        let toss = it.next().unwrap();
+        let out = q.collecting_sink("sink", keep);
+        q.discard(toss);
+        q.deploy().unwrap().wait().unwrap();
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn empty_query_is_invalid() {
+        let q = Query::new(NoProvenance);
+        assert!(matches!(q.deploy(), Err(SpeError::InvalidQuery(_))));
+    }
+
+    #[test]
+    fn dot_export_mentions_all_nodes() {
+        let mut q = Query::new(NoProvenance);
+        let src = q.source("reports", VecSource::with_period(vec![1i64], 1));
+        let flt = q.filter("speed0", src, |_| true);
+        let _ = q.collecting_sink("alerts", flt);
+        let dot = q.to_dot();
+        assert!(dot.contains("reports"));
+        assert!(dot.contains("speed0"));
+        assert!(dot.contains("alerts"));
+        assert!(dot.contains("n0 -> n1"));
+        let kinds = q.node_summaries();
+        assert_eq!(kinds[0].1, NodeKind::Source);
+        assert_eq!(kinds[1].1, NodeKind::Filter);
+        assert_eq!(kinds[2].1, NodeKind::Sink);
+    }
+
+    #[test]
+    fn sink_with_callback_reports_latency_stats() {
+        let mut q = Query::new(NoProvenance);
+        let src = q.source("numbers", VecSource::with_period((0..5i64).collect(), 100));
+        let stats = q.sink("sink", src, |_| {});
+        q.deploy().unwrap().wait().unwrap();
+        assert_eq!(stats.tuple_count(), 5);
+        assert_eq!(stats.latencies_ns().len(), 5);
+    }
+
+    #[test]
+    fn aggregate_and_join_compose_in_a_query() {
+        // Count readings per meter per tumbling 1-hour window, then join with the
+        // original readings at the same hour.
+        let mut q = Query::new(NoProvenance);
+        let readings: Vec<(u32, i64)> = (0..8).map(|i| (i % 2, i as i64)).collect();
+        let src = q.source(
+            "meters",
+            VecSource::with_period(readings, 15 * 60 * 1_000), // every 15 minutes
+        );
+        let branches = q.multiplex("mux", src, 2);
+        let mut it = branches.into_iter();
+        let left = it.next().unwrap();
+        let right = it.next().unwrap();
+        let counts = q.aggregate(
+            "hourly",
+            left,
+            WindowSpec::tumbling(Duration::from_hours(1)).unwrap(),
+            |r: &(u32, i64)| r.0,
+            |w: &WindowView<'_, u32, (u32, i64), ()>| (*w.key, w.len() as i64),
+            );
+        let joined = q.join(
+            "match",
+            counts,
+            right,
+            Duration::from_hours(1),
+            |c: &(u32, i64), r: &(u32, i64)| c.0 == r.0,
+            |c: &(u32, i64), r: &(u32, i64)| (c.0, c.1, r.1),
+        );
+        let out = q.collecting_sink("sink", joined);
+        q.deploy().unwrap().wait().unwrap();
+        assert!(!out.is_empty());
+        // Every joined tuple pairs a count with a reading of the same meter.
+        for t in out.tuples() {
+            assert!(t.data.0 == 0 || t.data.0 == 1);
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! The thread-per-operator runtime.
+//!
+//! Each operator of a deployed query runs on its own OS thread (the model of the
+//! paper's SPE instances: threads sharing a process, communicating through queues).
+//! [`QueryHandle`] joins the threads and aggregates their statistics into a
+//! [`QueryReport`].
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crate::error::SpeError;
+use crate::operator::{Operator, OperatorStats};
+use crate::query::NodeKind;
+
+/// Statistics of one operator after query completion, tagged with its role.
+#[derive(Debug, Clone)]
+pub struct OperatorReport {
+    /// The operator's role in the query graph.
+    pub kind: NodeKind,
+    /// The operator's run-time counters.
+    pub stats: OperatorStats,
+}
+
+/// Aggregated result of a completed query run.
+#[derive(Debug, Clone)]
+pub struct QueryReport {
+    operators: Vec<OperatorReport>,
+    wall_time: std::time::Duration,
+}
+
+impl QueryReport {
+    /// Per-operator statistics in node-creation order.
+    pub fn operator_stats(&self) -> &[OperatorReport] {
+        &self.operators
+    }
+
+    /// Total wall-clock time between deployment and the last operator finishing.
+    pub fn wall_time(&self) -> std::time::Duration {
+        self.wall_time
+    }
+
+    /// Total number of tuples injected by all Sources.
+    pub fn source_tuples(&self) -> u64 {
+        self.operators
+            .iter()
+            .filter(|o| o.kind == NodeKind::Source)
+            .map(|o| o.stats.tuples_out)
+            .sum()
+    }
+
+    /// Total number of tuples received by all Sinks.
+    pub fn sink_tuples(&self) -> u64 {
+        self.operators
+            .iter()
+            .filter(|o| o.kind == NodeKind::Sink)
+            .map(|o| o.stats.tuples_in)
+            .sum()
+    }
+
+    /// Source throughput in tuples per second over the whole run.
+    pub fn source_throughput(&self) -> f64 {
+        let secs = self.wall_time.as_secs_f64();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        self.source_tuples() as f64 / secs
+    }
+
+    /// Statistics of the operator with the given name, if present.
+    pub fn operator(&self, name: &str) -> Option<&OperatorReport> {
+        self.operators.iter().find(|o| o.stats.name == name)
+    }
+}
+
+/// A running query: one thread per operator.
+#[derive(Debug)]
+pub struct QueryHandle {
+    threads: Vec<(NodeKind, String, JoinHandle<Result<OperatorStats, SpeError>>)>,
+    stop: Arc<AtomicBool>,
+    started: Instant,
+}
+
+impl QueryHandle {
+    /// Asks every Source of the query to stop injecting tuples; the query then drains
+    /// and terminates on its own.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the stop flag has been raised.
+    pub fn is_stopping(&self) -> bool {
+        self.stop.load(Ordering::Relaxed)
+    }
+
+    /// Waits for every operator to finish and returns the aggregated report.
+    ///
+    /// # Errors
+    /// Returns the first operator error encountered, or
+    /// [`SpeError::OperatorPanicked`] if an operator thread panicked.
+    pub fn wait(self) -> Result<QueryReport, SpeError> {
+        let mut operators = Vec::with_capacity(self.threads.len());
+        let mut first_error: Option<SpeError> = None;
+        for (kind, name, handle) in self.threads {
+            match handle.join() {
+                Ok(Ok(stats)) => operators.push(OperatorReport { kind, stats }),
+                Ok(Err(err)) => {
+                    if first_error.is_none() {
+                        first_error = Some(err);
+                    }
+                }
+                Err(_) => {
+                    if first_error.is_none() {
+                        first_error = Some(SpeError::OperatorPanicked { operator: name });
+                    }
+                }
+            }
+        }
+        if let Some(err) = first_error {
+            return Err(err);
+        }
+        Ok(QueryReport {
+            operators,
+            wall_time: self.started.elapsed(),
+        })
+    }
+}
+
+/// Spawns the operator threads of a validated query.
+pub(crate) struct Runtime;
+
+impl Runtime {
+    pub(crate) fn spawn(
+        operators: Vec<(NodeKind, Box<dyn Operator>)>,
+        stop: Arc<AtomicBool>,
+    ) -> QueryHandle {
+        let started = Instant::now();
+        let threads = operators
+            .into_iter()
+            .map(|(kind, op)| {
+                let name = op.name().to_string();
+                let thread_name = format!("spe-{name}");
+                let handle = std::thread::Builder::new()
+                    .name(thread_name)
+                    .spawn(move || op.run())
+                    .expect("failed to spawn operator thread");
+                (kind, name, handle)
+            })
+            .collect();
+        QueryHandle {
+            threads,
+            stop,
+            started,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::operator::source::{RateLimit, SourceConfig, VecSource};
+    use crate::provenance::NoProvenance;
+    use crate::query::Query;
+
+    #[test]
+    fn report_aggregates_source_and_sink_counts() {
+        let mut q = Query::new(NoProvenance);
+        let src = q.source("numbers", VecSource::with_period((0..100i64).collect(), 10));
+        let kept = q.filter("keep-half", src, |x| x % 2 == 0);
+        let _ = q.collecting_sink("sink", kept);
+        let report = q.deploy().unwrap().wait().unwrap();
+        assert_eq!(report.source_tuples(), 100);
+        assert_eq!(report.sink_tuples(), 50);
+        assert!(report.source_throughput() > 0.0);
+        assert!(report.wall_time() > std::time::Duration::ZERO);
+        assert!(report.operator("keep-half").is_some());
+        assert_eq!(report.operator("keep-half").unwrap().stats.tuples_out, 50);
+        assert!(report.operator("missing").is_none());
+    }
+
+    #[test]
+    fn stop_flag_terminates_a_rate_limited_query_early() {
+        let mut q = Query::new(NoProvenance);
+        let src = q.source_with(
+            "slow",
+            VecSource::with_period((0..1_000_000i64).collect(), 1),
+            SourceConfig {
+                rate: RateLimit::TuplesPerSecond(10_000),
+                watermark_every: 1,
+            },
+        );
+        let _ = q.collecting_sink("sink", src);
+        let handle = q.deploy().unwrap();
+        assert!(!handle.is_stopping());
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        handle.stop();
+        assert!(handle.is_stopping());
+        let report = handle.wait().unwrap();
+        assert!(report.source_tuples() < 1_000_000);
+    }
+}

@@ -1,0 +1,282 @@
+//! Logical event time: timestamps, durations and watermark arithmetic.
+//!
+//! The engine is *deterministic*: all processing decisions depend on the logical
+//! [`Timestamp`] carried by tuples (the paper's `ts` attribute), never on wall-clock
+//! arrival times. Timestamps are measured in **milliseconds** from an arbitrary,
+//! per-stream origin (e.g. the start of the simulated day).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A logical event timestamp in milliseconds (the `ts` attribute of the paper's §2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Timestamp(u64);
+
+/// A span of logical time in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration(u64);
+
+impl Timestamp {
+    /// The smallest representable timestamp.
+    pub const MIN: Timestamp = Timestamp(0);
+    /// The largest representable timestamp (used as the "stream finished" watermark).
+    pub const MAX: Timestamp = Timestamp(u64::MAX);
+
+    /// Creates a timestamp from raw milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        Timestamp(ms)
+    }
+
+    /// Creates a timestamp from whole seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        Timestamp(secs * 1_000)
+    }
+
+    /// Creates a timestamp from whole hours (convenient for smart-grid workloads).
+    pub const fn from_hours(hours: u64) -> Self {
+        Timestamp(hours * 3_600_000)
+    }
+
+    /// Raw value in milliseconds.
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Value in whole seconds (truncating).
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Saturating difference `self - other`.
+    pub fn saturating_since(self, other: Timestamp) -> Duration {
+        Duration(self.0.saturating_sub(other.0))
+    }
+
+    /// Absolute distance between two timestamps (used by the Join window predicate
+    /// `|tL.ts - tR.ts| <= WS`).
+    pub fn distance(self, other: Timestamp) -> Duration {
+        Duration(self.0.abs_diff(other.0))
+    }
+
+    /// Aligns the timestamp *down* to a multiple of `step` (window-start computation).
+    pub fn align_down(self, step: Duration) -> Timestamp {
+        assert!(step.0 > 0, "alignment step must be positive");
+        Timestamp(self.0 - self.0 % step.0)
+    }
+
+    /// Saturating addition of a duration.
+    pub fn saturating_add(self, d: Duration) -> Timestamp {
+        Timestamp(self.0.saturating_add(d.0))
+    }
+
+    /// Saturating subtraction of a duration.
+    pub fn saturating_sub(self, d: Duration) -> Timestamp {
+        Timestamp(self.0.saturating_sub(d.0))
+    }
+}
+
+impl Duration {
+    /// Zero-length duration.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Creates a duration from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        Duration(ms)
+    }
+
+    /// Creates a duration from whole seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        Duration(secs * 1_000)
+    }
+
+    /// Creates a duration from whole minutes.
+    pub const fn from_mins(mins: u64) -> Self {
+        Duration(mins * 60_000)
+    }
+
+    /// Creates a duration from whole hours.
+    pub const fn from_hours(hours: u64) -> Self {
+        Duration(hours * 3_600_000)
+    }
+
+    /// Creates a duration from whole days.
+    pub const fn from_days(days: u64) -> Self {
+        Duration(days * 86_400_000)
+    }
+
+    /// Raw value in milliseconds.
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Value in (possibly fractional) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Whether the duration is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Checked integer division of two durations (how many `other` fit in `self`).
+    pub fn div_duration(self, other: Duration) -> u64 {
+        assert!(other.0 > 0, "cannot divide by a zero duration");
+        self.0 / other.0
+    }
+}
+
+impl Add<Duration> for Timestamp {
+    type Output = Timestamp;
+    fn add(self, rhs: Duration) -> Timestamp {
+        Timestamp(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for Timestamp {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Duration> for Timestamp {
+    type Output = Timestamp;
+    fn sub(self, rhs: Duration) -> Timestamp {
+        Timestamp(self.0 - rhs.0)
+    }
+}
+
+impl Sub<Timestamp> for Timestamp {
+    type Output = Duration;
+    fn sub(self, rhs: Timestamp) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl Add<Duration> for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let secs = self.0 / 1_000;
+        let (h, m, s) = (secs / 3_600, (secs / 60) % 60, secs % 60);
+        write!(f, "{h:02}:{m:02}:{s:02}")
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ms", self.0)
+    }
+}
+
+impl From<u64> for Timestamp {
+    fn from(ms: u64) -> Self {
+        Timestamp(ms)
+    }
+}
+
+impl From<u64> for Duration {
+    fn from(ms: u64) -> Self {
+        Duration(ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        assert_eq!(Timestamp::from_secs(2).as_millis(), 2_000);
+        assert_eq!(Timestamp::from_hours(1).as_secs(), 3_600);
+        assert_eq!(Duration::from_mins(2).as_millis(), 120_000);
+        assert_eq!(Duration::from_days(1).as_millis(), 86_400_000);
+        assert_eq!(Duration::from_secs(3).as_secs_f64(), 3.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = Timestamp::from_secs(10);
+        assert_eq!(t + Duration::from_secs(5), Timestamp::from_secs(15));
+        assert_eq!(t - Duration::from_secs(5), Timestamp::from_secs(5));
+        assert_eq!(
+            Timestamp::from_secs(15) - Timestamp::from_secs(10),
+            Duration::from_secs(5)
+        );
+        assert_eq!(
+            t.saturating_sub(Duration::from_secs(100)),
+            Timestamp::MIN
+        );
+        assert_eq!(
+            Timestamp::MAX.saturating_add(Duration::from_secs(1)),
+            Timestamp::MAX
+        );
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Timestamp::from_secs(30);
+        let b = Timestamp::from_secs(90);
+        assert_eq!(a.distance(b), Duration::from_secs(60));
+        assert_eq!(b.distance(a), Duration::from_secs(60));
+    }
+
+    #[test]
+    fn align_down_to_window_advance() {
+        let advance = Duration::from_secs(30);
+        assert_eq!(
+            Timestamp::from_secs(31).align_down(advance),
+            Timestamp::from_secs(30)
+        );
+        assert_eq!(
+            Timestamp::from_secs(30).align_down(advance),
+            Timestamp::from_secs(30)
+        );
+        assert_eq!(
+            Timestamp::from_secs(29).align_down(advance),
+            Timestamp::from_secs(0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "alignment step must be positive")]
+    fn align_down_zero_step_panics() {
+        let _ = Timestamp::from_secs(1).align_down(Duration::ZERO);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Timestamp::from_secs(8 * 3600 + 62).to_string(), "08:01:02");
+        assert_eq!(Duration::from_secs(2).to_string(), "2000ms");
+    }
+
+    #[test]
+    fn ordering_and_saturating_since() {
+        assert!(Timestamp::from_secs(1) < Timestamp::from_secs(2));
+        assert_eq!(
+            Timestamp::from_secs(1).saturating_since(Timestamp::from_secs(2)),
+            Duration::ZERO
+        );
+        assert_eq!(
+            Timestamp::from_secs(5).saturating_since(Timestamp::from_secs(2)),
+            Duration::from_secs(3)
+        );
+    }
+
+    #[test]
+    fn div_duration_counts_whole_steps() {
+        assert_eq!(
+            Duration::from_secs(120).div_duration(Duration::from_secs(30)),
+            4
+        );
+        assert_eq!(
+            Duration::from_secs(119).div_duration(Duration::from_secs(30)),
+            3
+        );
+    }
+}

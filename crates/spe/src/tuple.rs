@@ -1,0 +1,190 @@
+//! Tuples, stream elements and tuple identifiers.
+//!
+//! A stream is an unbounded sequence of [`GTuple`]s sharing the same payload schema
+//! `T`. Besides the payload, every tuple carries its logical timestamp `ts`, a
+//! *stimulus* wall-clock instant used to compute end-to-end latency, and the
+//! provenance metadata `M` produced by the active
+//! [`ProvenanceSystem`](crate::provenance::ProvenanceSystem).
+//!
+//! Tuples travel between operators as `Arc<GTuple<T, M>>`. Operators that *forward*
+//! tuples (Filter, Union — the paper's type (i) operators) forward the same `Arc`;
+//! operators that *create* tuples (Map, Multiplex, Aggregate, Join — type (ii)+)
+//! allocate a new tuple whose metadata the provenance system derives from the inputs.
+//! This is exactly the property GeneaLog exploits: as long as a downstream tuple
+//! (transitively) references an upstream tuple through its metadata, the upstream
+//! tuple stays alive; once nothing references it, its memory is reclaimed.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::time::Timestamp;
+
+/// Marker bound for tuple payloads.
+///
+/// Implemented automatically for every type that is cloneable, thread-safe, `Debug`
+/// and `'static`. Payloads are plain structs such as the Linear Road position report
+/// `⟨ts, car_id, speed, pos⟩`.
+pub trait TupleData: Clone + Send + Sync + fmt::Debug + 'static {}
+impl<T: Clone + Send + Sync + fmt::Debug + 'static> TupleData for T {}
+
+/// A unique tuple identifier.
+///
+/// The paper (§6) enriches tuples with a unique id composed of "the unique id of the
+/// Source or operator producing the tuple and a sequential counter". [`TupleId`]
+/// follows that scheme: `origin` identifies the producing Source/operator (unique per
+/// query deployment), `seq` is the producer-local sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TupleId {
+    /// Identifier of the Source or operator that produced the tuple.
+    pub origin: u32,
+    /// Producer-local sequence number.
+    pub seq: u64,
+}
+
+impl TupleId {
+    /// Creates a tuple id from its parts.
+    pub const fn new(origin: u32, seq: u64) -> Self {
+        TupleId { origin, seq }
+    }
+}
+
+impl fmt::Display for TupleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.origin, self.seq)
+    }
+}
+
+/// A stream tuple: timestamp, payload and provenance metadata.
+#[derive(Debug, Clone)]
+pub struct GTuple<T, M> {
+    /// Logical creation time of the tuple (the `ts` attribute of §2).
+    pub ts: Timestamp,
+    /// Wall-clock instant (nanoseconds from an arbitrary per-run origin) at which the
+    /// *latest* source tuple contributing to this tuple entered the system. Used to
+    /// compute the latency metric of §7.
+    pub stimulus: u64,
+    /// The application payload (schema attributes `a1..an`).
+    pub data: T,
+    /// Provenance metadata, produced by the active provenance system.
+    pub meta: M,
+}
+
+impl<T, M> GTuple<T, M> {
+    /// Creates a new tuple.
+    pub fn new(ts: Timestamp, stimulus: u64, data: T, meta: M) -> Self {
+        GTuple {
+            ts,
+            stimulus,
+            data,
+            meta,
+        }
+    }
+}
+
+/// An element travelling on a stream channel.
+///
+/// Besides data tuples, streams carry *watermarks* (a promise that no tuple with a
+/// smaller timestamp will follow, which is what lets windows close deterministically)
+/// and an *end-of-stream* marker.
+#[derive(Debug)]
+pub enum Element<T, M> {
+    /// A data tuple.
+    Tuple(Arc<GTuple<T, M>>),
+    /// All future tuples on this stream have `ts >=` the carried timestamp.
+    Watermark(Timestamp),
+    /// The stream is finished; no further elements will be sent.
+    End,
+}
+
+impl<T, M> Clone for Element<T, M> {
+    fn clone(&self) -> Self {
+        match self {
+            Element::Tuple(t) => Element::Tuple(Arc::clone(t)),
+            Element::Watermark(ts) => Element::Watermark(*ts),
+            Element::End => Element::End,
+        }
+    }
+}
+
+impl<T, M> Element<T, M> {
+    /// Returns the contained tuple, if this element is a tuple.
+    pub fn as_tuple(&self) -> Option<&Arc<GTuple<T, M>>> {
+        match self {
+            Element::Tuple(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// True for [`Element::End`].
+    pub fn is_end(&self) -> bool {
+        matches!(self, Element::End)
+    }
+
+    /// The timestamp ordering key of the element: a tuple's `ts`, a watermark's
+    /// promise, or [`Timestamp::MAX`] for end-of-stream.
+    pub fn order_ts(&self) -> Timestamp {
+        match self {
+            Element::Tuple(t) => t.ts,
+            Element::Watermark(ts) => *ts,
+            Element::End => Timestamp::MAX,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Timestamp;
+
+    #[test]
+    fn tuple_id_display_and_ordering() {
+        let a = TupleId::new(1, 7);
+        let b = TupleId::new(1, 8);
+        let c = TupleId::new(2, 0);
+        assert_eq!(a.to_string(), "1#7");
+        assert!(a < b);
+        assert!(b < c);
+    }
+
+    #[test]
+    fn element_accessors() {
+        let t: Arc<GTuple<i64, ()>> = Arc::new(GTuple::new(Timestamp::from_secs(5), 0, 42, ()));
+        let e = Element::Tuple(Arc::clone(&t));
+        assert_eq!(e.as_tuple().unwrap().data, 42);
+        assert_eq!(e.order_ts(), Timestamp::from_secs(5));
+        assert!(!e.is_end());
+
+        let w: Element<i64, ()> = Element::Watermark(Timestamp::from_secs(9));
+        assert!(w.as_tuple().is_none());
+        assert_eq!(w.order_ts(), Timestamp::from_secs(9));
+
+        let end: Element<i64, ()> = Element::End;
+        assert!(end.is_end());
+        assert_eq!(end.order_ts(), Timestamp::MAX);
+    }
+
+    #[test]
+    fn element_clone_shares_tuple_allocation() {
+        let t: Arc<GTuple<String, ()>> = Arc::new(GTuple::new(
+            Timestamp::from_secs(1),
+            0,
+            "hello".to_string(),
+            (),
+        ));
+        let e = Element::Tuple(Arc::clone(&t));
+        let e2 = e.clone();
+        match (&e, &e2) {
+            (Element::Tuple(a), Element::Tuple(b)) => assert!(Arc::ptr_eq(a, b)),
+            _ => panic!("expected tuples"),
+        }
+        // 1 original + 2 elements
+        assert_eq!(Arc::strong_count(&t), 3);
+    }
+
+    #[test]
+    fn gtuple_is_send_sync_for_plain_payloads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GTuple<i64, ()>>();
+        assert_send_sync::<Element<i64, ()>>();
+    }
+}

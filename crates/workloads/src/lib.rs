@@ -1,0 +1,39 @@
+//! # genealog-workloads — workloads and queries of the GeneaLog evaluation
+//!
+//! The paper evaluates GeneaLog on four monitoring queries (§7):
+//!
+//! * **Q1** — broken-down vehicle detection on the Linear Road benchmark: a car is
+//!   stopped if four consecutive position reports have zero speed and the same
+//!   position (4 source tuples per alert).
+//! * **Q2** — accident detection: two or more stopped cars at the same position in the
+//!   same 30-second window (8 source tuples per alert).
+//! * **Q3** — long-term blackout detection on a smart grid: more than seven meters
+//!   report zero consumption for a whole day (≈192 source tuples per alert).
+//! * **Q4** — meter anomaly detection: the consumption reported at midnight is
+//!   inconsistent with the daily total (24 source tuples per alert).
+//!
+//! The original paper uses the Linear Road data generator and traces from a real
+//! smart-grid deployment; neither is available here, so [`linear_road`] and
+//! [`smart_grid`] provide deterministic, seeded simulators that emit the same schemas
+//! at the same cadence and inject stopped cars / accidents / blackouts / anomalies
+//! with configurable frequency (see DESIGN.md for the substitution argument).
+//!
+//! Every query builder is generic over the engine's provenance system, so the same
+//! query can be deployed with no provenance (NP), GeneaLog (GL) or the Ariadne-style
+//! baseline (BL), exactly like the evaluation's three configurations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod linear_road;
+pub mod oracle;
+pub mod queries;
+pub mod smart_grid;
+pub mod types;
+
+pub use linear_road::{LinearRoadConfig, LinearRoadGenerator};
+pub use smart_grid::{SmartGridConfig, SmartGridGenerator};
+pub use types::{
+    AccidentAlert, AnomalyAlert, BlackoutAlert, DailyConsumption, MeterReading, PositionReport,
+    StoppedCarCount,
+};

@@ -1,0 +1,353 @@
+//! A deterministic, seeded simulator of the Linear Road vehicular workload.
+//!
+//! The original evaluation uses the Linear Road benchmark data generator; it is not
+//! available offline, so this module simulates the relevant slice of its behaviour:
+//! every car on one expressway emits a position report every 30 seconds, some cars
+//! break down (reporting zero speed and an unchanged position for a configurable
+//! number of consecutive reports — Q1's trigger) and some breakdowns happen in pairs
+//! at the same position (Q2's accident trigger). The simulation is fully determined
+//! by the configuration and seed, so tests can predict exactly which alerts (and which
+//! provenance) a query must produce.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use genealog_spe::operator::source::SourceGenerator;
+use genealog_spe::{Duration, Timestamp};
+
+use crate::types::PositionReport;
+
+/// Configuration of the Linear Road simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinearRoadConfig {
+    /// Number of cars on the expressway.
+    pub cars: u32,
+    /// Number of reporting rounds (each car reports once per round).
+    pub rounds: u32,
+    /// Interval between a car's consecutive reports (30 s in the benchmark).
+    pub report_period: Duration,
+    /// Number of distinct positions on the expressway.
+    pub positions: u32,
+    /// Every `breakdown_every`-th car breaks down once during the run (0 = never).
+    pub breakdown_every: u32,
+    /// Number of consecutive zero-speed reports a broken-down car emits (≥ 4 to
+    /// trigger Q1).
+    pub breakdown_reports: u32,
+    /// Every `accident_pair_every`-th breakdown also stops the next car at the same
+    /// position and time, producing a Q2 accident (0 = never).
+    pub accident_pair_every: u32,
+    /// Seed of the pseudo-random generator driving speeds and positions.
+    pub seed: u64,
+}
+
+impl Default for LinearRoadConfig {
+    fn default() -> Self {
+        LinearRoadConfig {
+            cars: 100,
+            rounds: 40,
+            report_period: Duration::from_secs(30),
+            positions: 1_000,
+            breakdown_every: 10,
+            breakdown_reports: 4,
+            accident_pair_every: 2,
+            seed: 42,
+        }
+    }
+}
+
+impl LinearRoadConfig {
+    /// A small configuration convenient for unit tests.
+    pub fn small() -> Self {
+        LinearRoadConfig {
+            cars: 20,
+            rounds: 20,
+            ..Default::default()
+        }
+    }
+
+    /// Total number of position reports the simulation will emit.
+    pub fn total_reports(&self) -> u64 {
+        self.cars as u64 * self.rounds as u64
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CarPlan {
+    /// Round at which the car starts reporting zero speed, if it breaks down.
+    breakdown_start: Option<u32>,
+    /// Position at which the breakdown happens.
+    breakdown_pos: u32,
+    /// Initial position of the car.
+    start_pos: u32,
+    /// Cruising speed of the car.
+    speed: u32,
+}
+
+/// The Linear Road position-report generator.
+#[derive(Debug, Clone)]
+pub struct LinearRoadGenerator {
+    config: LinearRoadConfig,
+    plans: Vec<CarPlan>,
+    round: u32,
+    car: u32,
+}
+
+impl LinearRoadGenerator {
+    /// Creates a generator for the given configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration has zero cars or zero rounds.
+    pub fn new(config: LinearRoadConfig) -> Self {
+        assert!(config.cars > 0, "the simulation needs at least one car");
+        assert!(config.rounds > 0, "the simulation needs at least one round");
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let breakdown_window = config.rounds.saturating_sub(config.breakdown_reports + 1).max(1);
+        let mut plans: Vec<CarPlan> = (0..config.cars)
+            .map(|car| {
+                let is_breakdown =
+                    config.breakdown_every > 0 && car % config.breakdown_every == 0;
+                let breakdown_start = if is_breakdown {
+                    Some(1 + rng.gen_range(0..breakdown_window))
+                } else {
+                    None
+                };
+                CarPlan {
+                    breakdown_start,
+                    breakdown_pos: rng.gen_range(0..config.positions.max(1)),
+                    start_pos: rng.gen_range(0..config.positions.max(1)),
+                    speed: 40 + rng.gen_range(0..60),
+                }
+            })
+            .collect();
+        // Pair selected breakdowns into accidents: the car following a paired
+        // breakdown car stops at the same round and position.
+        if config.breakdown_every > 1 && config.accident_pair_every > 0 {
+            let mut breakdown_index = 0u32;
+            for car in 0..config.cars {
+                // Only the originally planned breakdowns are considered for pairing,
+                // so `accident_pair_every` keeps its "every Nth breakdown" meaning.
+                if car % config.breakdown_every != 0
+                    || plans[car as usize].breakdown_start.is_none()
+                {
+                    continue;
+                }
+                if breakdown_index % config.accident_pair_every == 0 {
+                    let partner = car + 1;
+                    if partner < config.cars && plans[partner as usize].breakdown_start.is_none() {
+                        plans[partner as usize].breakdown_start =
+                            plans[car as usize].breakdown_start;
+                        plans[partner as usize].breakdown_pos = plans[car as usize].breakdown_pos;
+                    }
+                }
+                breakdown_index += 1;
+            }
+        }
+        LinearRoadGenerator {
+            config,
+            plans,
+            round: 0,
+            car: 0,
+        }
+    }
+
+    /// The configuration the generator was built with.
+    pub fn config(&self) -> &LinearRoadConfig {
+        &self.config
+    }
+
+    /// Cars that break down during the simulation (each triggers Q1 alerts, provided
+    /// `breakdown_reports >= 4`).
+    pub fn breakdown_cars(&self) -> Vec<u32> {
+        self.plans
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.breakdown_start.is_some())
+            .map(|(car, _)| car as u32)
+            .collect()
+    }
+
+    /// Groups of cars stopped at the same position and time (each group of two or more
+    /// triggers Q2 accident alerts).
+    pub fn accident_groups(&self) -> Vec<Vec<u32>> {
+        use std::collections::BTreeMap;
+        let mut groups: BTreeMap<(u32, u32), Vec<u32>> = BTreeMap::new();
+        for (car, plan) in self.plans.iter().enumerate() {
+            if let Some(start) = plan.breakdown_start {
+                groups
+                    .entry((start, plan.breakdown_pos))
+                    .or_default()
+                    .push(car as u32);
+            }
+        }
+        groups.into_values().filter(|g| g.len() >= 2).collect()
+    }
+
+    /// Materialises the whole simulation as a timestamped vector (useful for the
+    /// provenance oracle, which needs to inspect the raw input).
+    pub fn to_vec(config: LinearRoadConfig) -> Vec<(Timestamp, PositionReport)> {
+        let mut generator = LinearRoadGenerator::new(config);
+        let mut out = Vec::with_capacity(config.total_reports() as usize);
+        while let Some(item) = generator.next_tuple() {
+            out.push(item);
+        }
+        out
+    }
+
+    fn report_for(&self, round: u32, car: u32) -> PositionReport {
+        let plan = &self.plans[car as usize];
+        let broken = plan
+            .breakdown_start
+            .map(|start| round >= start && round < start + self.config.breakdown_reports)
+            .unwrap_or(false);
+        if broken {
+            PositionReport {
+                car_id: car,
+                speed: 0,
+                pos: plan.breakdown_pos,
+            }
+        } else {
+            // The car cruises: its position advances every round, wrapping around the
+            // expressway, so consecutive reports never share a position.
+            let pos = (plan.start_pos + round * plan.speed / 10) % self.config.positions.max(1);
+            PositionReport {
+                car_id: car,
+                speed: plan.speed,
+                pos,
+            }
+        }
+    }
+}
+
+impl SourceGenerator for LinearRoadGenerator {
+    type Item = PositionReport;
+
+    fn next_tuple(&mut self) -> Option<(Timestamp, PositionReport)> {
+        if self.round >= self.config.rounds {
+            return None;
+        }
+        let ts = Timestamp::from_millis(self.round as u64 * self.config.report_period.as_millis());
+        let report = self.report_for(self.round, self.car);
+        self.car += 1;
+        if self.car >= self.config.cars {
+            self.car = 0;
+            self.round += 1;
+        }
+        Some((ts, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emits_one_report_per_car_per_round_in_timestamp_order() {
+        let config = LinearRoadConfig {
+            cars: 5,
+            rounds: 3,
+            ..LinearRoadConfig::default()
+        };
+        let reports = LinearRoadGenerator::to_vec(config);
+        assert_eq!(reports.len(), 15);
+        assert!(reports.windows(2).all(|w| w[0].0 <= w[1].0));
+        // Round boundaries: 5 reports at ts 0, 5 at 30 s, 5 at 60 s.
+        assert_eq!(reports.iter().filter(|(ts, _)| ts.as_secs() == 0).count(), 5);
+        assert_eq!(reports.iter().filter(|(ts, _)| ts.as_secs() == 30).count(), 5);
+        assert_eq!(reports.iter().filter(|(ts, _)| ts.as_secs() == 60).count(), 5);
+    }
+
+    #[test]
+    fn generation_is_deterministic_for_a_seed() {
+        let config = LinearRoadConfig::small();
+        let a = LinearRoadGenerator::to_vec(config);
+        let b = LinearRoadGenerator::to_vec(config);
+        assert_eq!(a, b);
+        let different_seed = LinearRoadConfig {
+            seed: 43,
+            ..config
+        };
+        let c = LinearRoadGenerator::to_vec(different_seed);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn breakdown_cars_emit_consecutive_zero_speed_reports_at_one_position() {
+        let config = LinearRoadConfig::small();
+        let generator = LinearRoadGenerator::new(config);
+        let breakdown_cars = generator.breakdown_cars();
+        assert!(!breakdown_cars.is_empty());
+        let reports = LinearRoadGenerator::to_vec(config);
+        for car in breakdown_cars {
+            let zero: Vec<_> = reports
+                .iter()
+                .filter(|(_, r)| r.car_id == car && r.speed == 0)
+                .collect();
+            assert_eq!(
+                zero.len(),
+                config.breakdown_reports as usize,
+                "car {car} must report zero speed exactly breakdown_reports times"
+            );
+            let positions: std::collections::HashSet<u32> =
+                zero.iter().map(|(_, r)| r.pos).collect();
+            assert_eq!(positions.len(), 1, "all zero-speed reports share one position");
+        }
+    }
+
+    #[test]
+    fn moving_cars_never_repeat_a_position_four_times() {
+        let config = LinearRoadConfig::small();
+        let generator = LinearRoadGenerator::new(config);
+        let breakdown: std::collections::HashSet<u32> =
+            generator.breakdown_cars().into_iter().collect();
+        let reports = LinearRoadGenerator::to_vec(config);
+        for car in 0..config.cars {
+            if breakdown.contains(&car) {
+                continue;
+            }
+            let zero_speed = reports
+                .iter()
+                .filter(|(_, r)| r.car_id == car && r.speed == 0)
+                .count();
+            assert_eq!(zero_speed, 0, "healthy cars never report zero speed");
+        }
+    }
+
+    #[test]
+    fn accident_groups_share_round_and_position() {
+        let config = LinearRoadConfig::default();
+        let generator = LinearRoadGenerator::new(config);
+        let groups = generator.accident_groups();
+        assert!(!groups.is_empty(), "the default configuration injects accidents");
+        let reports = LinearRoadGenerator::to_vec(config);
+        for group in groups {
+            assert!(group.len() >= 2);
+            // All cars of the group report speed 0 at the same position.
+            let positions: std::collections::HashSet<u32> = reports
+                .iter()
+                .filter(|(_, r)| group.contains(&r.car_id) && r.speed == 0)
+                .map(|(_, r)| r.pos)
+                .collect();
+            assert_eq!(positions.len(), 1);
+        }
+    }
+
+    #[test]
+    fn total_report_count_matches_config() {
+        let config = LinearRoadConfig {
+            cars: 7,
+            rounds: 11,
+            ..LinearRoadConfig::default()
+        };
+        assert_eq!(config.total_reports(), 77);
+        assert_eq!(LinearRoadGenerator::to_vec(config).len(), 77);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one car")]
+    fn zero_cars_is_rejected() {
+        let _ = LinearRoadGenerator::new(LinearRoadConfig {
+            cars: 0,
+            ..LinearRoadConfig::default()
+        });
+    }
+}

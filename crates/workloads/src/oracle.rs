@@ -1,0 +1,274 @@
+//! A brute-force provenance oracle.
+//!
+//! The oracle re-evaluates the semantics of the evaluation queries *directly on the
+//! raw input vectors* — no streaming, no windows store, no provenance metadata — and
+//! applies Definition 3.1 by hand to compute, for every alert, the exact set of source
+//! tuples contributing to it. Tests compare the provenance captured by GeneaLog (and
+//! by the baseline) against the oracle's ground truth.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use genealog_spe::{Duration, Timestamp};
+
+use crate::queries::{
+    Q1_STOPPED_REPORTS, Q1_WINDOW_ADVANCE, Q1_WINDOW_SIZE, Q2_ACCIDENT_WINDOW,
+    Q2_MIN_STOPPED_CARS, Q3_DAY_WINDOW, Q3_MIN_ZERO_METERS, Q4_ANOMALY_THRESHOLD,
+};
+use crate::types::{
+    AccidentAlert, AnomalyAlert, BlackoutAlert, MeterReading, PositionReport, StoppedCarCount,
+};
+
+/// An alert predicted by the oracle, together with the source tuples contributing to it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OracleAlert<A, S> {
+    /// Timestamp of the alert (the closing window's start, as produced by the queries).
+    pub ts: Timestamp,
+    /// The alert payload.
+    pub alert: A,
+    /// The contributing source tuples, sorted by timestamp.
+    pub sources: Vec<(Timestamp, S)>,
+}
+
+impl<A, S> OracleAlert<A, S> {
+    /// Number of contributing source tuples.
+    pub fn source_count(&self) -> usize {
+        self.sources.len()
+    }
+}
+
+fn window_starts(max_ts: Timestamp, size: Duration, advance: Duration) -> Vec<Timestamp> {
+    let mut starts = Vec::new();
+    let mut start = Timestamp::MIN;
+    // Windows may start before the first tuple; the earliest useful start is 0.
+    while start <= max_ts {
+        starts.push(start);
+        start = start + advance;
+    }
+    // Also include the windows that still contain max_ts but start after it minus size.
+    let _ = size;
+    starts
+}
+
+/// Ground truth for Q1: broken-down cars and the reports that prove each alert.
+pub fn q1_oracle(
+    reports: &[(Timestamp, PositionReport)],
+) -> Vec<OracleAlert<StoppedCarCount, PositionReport>> {
+    let max_ts = reports.iter().map(|(ts, _)| *ts).max().unwrap_or(Timestamp::MIN);
+    let mut alerts = Vec::new();
+    for start in window_starts(max_ts, Q1_WINDOW_SIZE, Q1_WINDOW_ADVANCE) {
+        let end = start + Q1_WINDOW_SIZE;
+        // Group zero-speed reports by car within the window.
+        let mut per_car: BTreeMap<u32, Vec<(Timestamp, PositionReport)>> = BTreeMap::new();
+        for &(ts, report) in reports {
+            if ts >= start && ts < end && report.speed == 0 {
+                per_car.entry(report.car_id).or_default().push((ts, report));
+            }
+        }
+        for (car_id, window) in per_car {
+            let positions: BTreeSet<u32> = window.iter().map(|(_, r)| r.pos).collect();
+            if window.len() as u32 == Q1_STOPPED_REPORTS && positions.len() == 1 {
+                let last_pos = window.last().map(|(_, r)| r.pos).unwrap_or_default();
+                alerts.push(OracleAlert {
+                    ts: start,
+                    alert: StoppedCarCount {
+                        car_id,
+                        count: window.len() as u32,
+                        distinct_pos: positions.len() as u32,
+                        last_pos,
+                    },
+                    sources: window,
+                });
+            }
+        }
+    }
+    alerts
+}
+
+/// Ground truth for Q2: accidents (two or more stopped cars at one position) and the
+/// position reports that prove each alert.
+pub fn q2_oracle(
+    reports: &[(Timestamp, PositionReport)],
+) -> Vec<OracleAlert<AccidentAlert, PositionReport>> {
+    let q1_alerts = q1_oracle(reports);
+    let max_ts = q1_alerts.iter().map(|a| a.ts).max().unwrap_or(Timestamp::MIN);
+    let mut alerts = Vec::new();
+    for start in window_starts(max_ts, Q2_ACCIDENT_WINDOW, Q2_ACCIDENT_WINDOW) {
+        let end = start + Q2_ACCIDENT_WINDOW;
+        // Group Q1 alerts by their last position within the tumbling window.
+        let mut per_pos: BTreeMap<u32, Vec<&OracleAlert<StoppedCarCount, PositionReport>>> =
+            BTreeMap::new();
+        for alert in &q1_alerts {
+            if alert.ts >= start && alert.ts < end {
+                per_pos.entry(alert.alert.last_pos).or_default().push(alert);
+            }
+        }
+        for (pos, group) in per_pos {
+            let distinct_cars: BTreeSet<u32> = group.iter().map(|a| a.alert.car_id).collect();
+            if distinct_cars.len() as u32 >= Q2_MIN_STOPPED_CARS {
+                let mut sources: Vec<(Timestamp, PositionReport)> = group
+                    .iter()
+                    .flat_map(|a| a.sources.iter().copied())
+                    .collect();
+                sources.sort_by_key(|(ts, r)| (*ts, r.car_id, r.pos));
+                sources.dedup();
+                alerts.push(OracleAlert {
+                    ts: start,
+                    alert: AccidentAlert {
+                        pos,
+                        stopped_cars: distinct_cars.len() as u32,
+                    },
+                    sources,
+                });
+            }
+        }
+    }
+    alerts
+}
+
+/// Ground truth for Q3: blackout days and the meter readings that prove each alert.
+pub fn q3_oracle(
+    readings: &[(Timestamp, MeterReading)],
+) -> Vec<OracleAlert<BlackoutAlert, MeterReading>> {
+    let max_ts = readings.iter().map(|(ts, _)| *ts).max().unwrap_or(Timestamp::MIN);
+    let mut alerts = Vec::new();
+    for start in window_starts(max_ts, Q3_DAY_WINDOW, Q3_DAY_WINDOW) {
+        let end = start + Q3_DAY_WINDOW;
+        let mut per_meter: BTreeMap<u32, Vec<(Timestamp, MeterReading)>> = BTreeMap::new();
+        for &(ts, reading) in readings {
+            if ts >= start && ts < end {
+                per_meter.entry(reading.meter_id).or_default().push((ts, reading));
+            }
+        }
+        let zero_meters: Vec<(u32, Vec<(Timestamp, MeterReading)>)> = per_meter
+            .into_iter()
+            .filter(|(_, day)| day.iter().map(|(_, r)| r.consumption).sum::<u32>() == 0)
+            .collect();
+        if zero_meters.len() as u32 > Q3_MIN_ZERO_METERS {
+            let mut sources: Vec<(Timestamp, MeterReading)> = zero_meters
+                .iter()
+                .flat_map(|(_, day)| day.iter().copied())
+                .collect();
+            sources.sort_by_key(|(ts, r)| (*ts, r.meter_id));
+            alerts.push(OracleAlert {
+                ts: start,
+                alert: BlackoutAlert {
+                    zero_meters: zero_meters.len() as u32,
+                },
+                sources,
+            });
+        }
+    }
+    alerts
+}
+
+/// Ground truth for Q4: anomalous meters and the readings that prove each alert.
+pub fn q4_oracle(
+    readings: &[(Timestamp, MeterReading)],
+) -> Vec<OracleAlert<AnomalyAlert, MeterReading>> {
+    let max_ts = readings.iter().map(|(ts, _)| *ts).max().unwrap_or(Timestamp::MIN);
+    let mut alerts = Vec::new();
+    for start in window_starts(max_ts, Q3_DAY_WINDOW, Q3_DAY_WINDOW) {
+        let end = start + Q3_DAY_WINDOW;
+        let mut per_meter: BTreeMap<u32, Vec<(Timestamp, MeterReading)>> = BTreeMap::new();
+        for &(ts, reading) in readings {
+            if ts >= start && ts < end {
+                per_meter.entry(reading.meter_id).or_default().push((ts, reading));
+            }
+        }
+        for (meter_id, day) in per_meter {
+            let total: u32 = day.iter().map(|(_, r)| r.consumption).sum();
+            // The midnight reading joined by Q4 is the one at the start of this day.
+            let Some(&(midnight_ts, midnight)) =
+                day.iter().find(|(ts, r)| *ts == start && r.hour_of_day == 0)
+            else {
+                continue;
+            };
+            let diff = (midnight.consumption * 24).abs_diff(total);
+            if diff > Q4_ANOMALY_THRESHOLD {
+                let mut sources = day.clone();
+                if !sources.iter().any(|&(ts, r)| ts == midnight_ts && r == midnight) {
+                    sources.push((midnight_ts, midnight));
+                }
+                sources.sort_by_key(|(ts, r)| (*ts, r.meter_id));
+                alerts.push(OracleAlert {
+                    ts: start,
+                    alert: AnomalyAlert {
+                        meter_id,
+                        consumption_diff: diff,
+                    },
+                    sources,
+                });
+            }
+        }
+    }
+    alerts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear_road::{LinearRoadConfig, LinearRoadGenerator};
+    use crate::smart_grid::{SmartGridConfig, SmartGridGenerator};
+
+    #[test]
+    fn q1_oracle_finds_the_injected_breakdowns_with_four_sources_each() {
+        let config = LinearRoadConfig::default();
+        let generator = LinearRoadGenerator::new(config);
+        let expected_cars: BTreeSet<u32> = generator.breakdown_cars().into_iter().collect();
+        let reports = LinearRoadGenerator::to_vec(config);
+        let alerts = q1_oracle(&reports);
+        assert!(!alerts.is_empty());
+        let cars: BTreeSet<u32> = alerts.iter().map(|a| a.alert.car_id).collect();
+        assert_eq!(cars, expected_cars);
+        assert!(alerts.iter().all(|a| a.source_count() == 4));
+        assert!(alerts
+            .iter()
+            .all(|a| a.sources.iter().all(|(_, r)| r.speed == 0)));
+    }
+
+    #[test]
+    fn q2_oracle_finds_accidents_with_eight_sources_each() {
+        let config = LinearRoadConfig::default();
+        let generator = LinearRoadGenerator::new(config);
+        assert!(!generator.accident_groups().is_empty());
+        let reports = LinearRoadGenerator::to_vec(config);
+        let alerts = q2_oracle(&reports);
+        assert!(!alerts.is_empty());
+        // Two stopped cars, four reports each: 8 source tuples (the paper's Q2 figure).
+        assert!(alerts.iter().all(|a| a.source_count() == 8));
+        assert!(alerts.iter().all(|a| a.alert.stopped_cars >= 2));
+    }
+
+    #[test]
+    fn q3_oracle_finds_the_blackout_with_192_sources() {
+        let config = SmartGridConfig::default();
+        let readings = SmartGridGenerator::to_vec(config);
+        let alerts = q3_oracle(&readings);
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].alert.zero_meters, config.blackout_meters);
+        // 8 meters × 24 hourly readings = 192 source tuples (the paper's Q3 figure).
+        assert_eq!(alerts[0].source_count(), 192);
+    }
+
+    #[test]
+    fn q4_oracle_finds_the_anomalies_with_24_sources() {
+        let config = SmartGridConfig::default();
+        let generator = SmartGridGenerator::new(config);
+        let expected: BTreeSet<u32> = generator.anomalous_meters().into_iter().collect();
+        let readings = SmartGridGenerator::to_vec(config);
+        let alerts = q4_oracle(&readings);
+        assert!(!alerts.is_empty());
+        let meters: BTreeSet<u32> = alerts.iter().map(|a| a.alert.meter_id).collect();
+        assert_eq!(meters, expected);
+        // 24 hourly readings per alert (the midnight reading is one of them).
+        assert!(alerts.iter().all(|a| a.source_count() == 24));
+    }
+
+    #[test]
+    fn oracles_report_nothing_on_empty_input() {
+        assert!(q1_oracle(&[]).is_empty());
+        assert!(q2_oracle(&[]).is_empty());
+        assert!(q3_oracle(&[]).is_empty());
+        assert!(q4_oracle(&[]).is_empty());
+    }
+}

@@ -1,0 +1,288 @@
+//! A deterministic, seeded simulator of the Smart Grid workload.
+//!
+//! The original evaluation uses hourly consumption readings from a real smart-grid
+//! deployment. Those traces are not available, so this module synthesises them: every
+//! meter reports an hourly consumption around a configurable baseline; on a chosen day
+//! a configurable set of meters reports zero consumption for the whole day (Q3's
+//! blackout trigger), and selected meters report a disproportionate consumption at
+//! midnight (Q4's anomaly trigger). The simulation is fully determined by its
+//! configuration and seed.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use genealog_spe::operator::source::SourceGenerator;
+use genealog_spe::{Duration, Timestamp};
+
+use crate::types::MeterReading;
+
+/// Configuration of the Smart Grid simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SmartGridConfig {
+    /// Number of smart meters.
+    pub meters: u32,
+    /// Number of simulated days.
+    pub days: u32,
+    /// Interval between readings of one meter (1 hour in the paper).
+    pub report_period: Duration,
+    /// Baseline hourly consumption of a healthy meter.
+    pub base_consumption: u32,
+    /// Random noise added to the baseline (uniform in `0..=noise`).
+    pub noise: u32,
+    /// Number of meters that black out together on `blackout_day` (0 = no blackout).
+    /// Q3 raises an alert when more than 7 meters report zero for a whole day.
+    pub blackout_meters: u32,
+    /// Day (0-based) on which the blackout happens.
+    pub blackout_day: u32,
+    /// Every `anomaly_every`-th meter reports an anomalous midnight value on
+    /// `anomaly_day` (0 = no anomalies).
+    pub anomaly_every: u32,
+    /// Day (0-based) on which the midnight anomalies happen.
+    pub anomaly_day: u32,
+    /// Consumption reported at midnight by an anomalous meter.
+    pub anomaly_midnight_consumption: u32,
+    /// Seed of the pseudo-random generator.
+    pub seed: u64,
+}
+
+impl Default for SmartGridConfig {
+    fn default() -> Self {
+        SmartGridConfig {
+            meters: 100,
+            days: 3,
+            report_period: Duration::from_hours(1),
+            base_consumption: 10,
+            noise: 2,
+            blackout_meters: 8,
+            blackout_day: 1,
+            anomaly_every: 10,
+            anomaly_day: 1,
+            anomaly_midnight_consumption: 500,
+            seed: 7,
+        }
+    }
+}
+
+impl SmartGridConfig {
+    /// A small configuration convenient for unit tests.
+    pub fn small() -> Self {
+        SmartGridConfig {
+            meters: 20,
+            days: 2,
+            blackout_day: 0,
+            anomaly_day: 0,
+            ..Default::default()
+        }
+    }
+
+    /// Total number of readings the simulation will emit.
+    pub fn total_readings(&self) -> u64 {
+        self.meters as u64 * self.days as u64 * 24
+    }
+}
+
+/// The Smart Grid reading generator.
+#[derive(Debug, Clone)]
+pub struct SmartGridGenerator {
+    config: SmartGridConfig,
+    rng: SmallRng,
+    hour: u32,
+    meter: u32,
+}
+
+impl SmartGridGenerator {
+    /// Creates a generator for the given configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration has zero meters or zero days.
+    pub fn new(config: SmartGridConfig) -> Self {
+        assert!(config.meters > 0, "the simulation needs at least one meter");
+        assert!(config.days > 0, "the simulation needs at least one day");
+        SmartGridGenerator {
+            config,
+            rng: SmallRng::seed_from_u64(config.seed),
+            hour: 0,
+            meter: 0,
+        }
+    }
+
+    /// The configuration the generator was built with.
+    pub fn config(&self) -> &SmartGridConfig {
+        &self.config
+    }
+
+    /// Whether `meter` blacks out on `day`.
+    pub fn is_blackout(&self, meter: u32, day: u32) -> bool {
+        day == self.config.blackout_day && meter < self.config.blackout_meters
+    }
+
+    /// Whether `meter` reports an anomalous midnight value on `day`.
+    pub fn is_anomalous(&self, meter: u32, day: u32) -> bool {
+        self.config.anomaly_every > 0
+            && day == self.config.anomaly_day
+            && meter % self.config.anomaly_every == 0
+            && !self.is_blackout(meter, day)
+    }
+
+    /// Meters expected to trigger Q4 anomaly alerts.
+    pub fn anomalous_meters(&self) -> Vec<u32> {
+        (0..self.config.meters)
+            .filter(|&m| self.is_anomalous(m, self.config.anomaly_day))
+            .collect()
+    }
+
+    /// Materialises the whole simulation as a timestamped vector.
+    pub fn to_vec(config: SmartGridConfig) -> Vec<(Timestamp, MeterReading)> {
+        let mut generator = SmartGridGenerator::new(config);
+        let mut out = Vec::with_capacity(config.total_readings() as usize);
+        while let Some(item) = generator.next_tuple() {
+            out.push(item);
+        }
+        out
+    }
+}
+
+impl SourceGenerator for SmartGridGenerator {
+    type Item = MeterReading;
+
+    fn next_tuple(&mut self) -> Option<(Timestamp, MeterReading)> {
+        let total_hours = self.config.days * 24;
+        if self.hour >= total_hours {
+            return None;
+        }
+        let day = self.hour / 24;
+        let hour_of_day = self.hour % 24;
+        let meter = self.meter;
+
+        let consumption = if self.is_blackout(meter, day) {
+            0
+        } else if self.is_anomalous(meter, day) && hour_of_day == 0 {
+            self.config.anomaly_midnight_consumption
+        } else if self.config.noise > 0 {
+            self.config.base_consumption + self.rng.gen_range(0..=self.config.noise)
+        } else {
+            self.config.base_consumption
+        };
+
+        let ts = Timestamp::from_millis(self.hour as u64 * self.config.report_period.as_millis());
+        let reading = MeterReading {
+            meter_id: meter,
+            consumption,
+            hour_of_day,
+        };
+
+        self.meter += 1;
+        if self.meter >= self.config.meters {
+            self.meter = 0;
+            self.hour += 1;
+        }
+        Some((ts, reading))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emits_one_reading_per_meter_per_hour_in_order() {
+        let config = SmartGridConfig {
+            meters: 4,
+            days: 1,
+            ..SmartGridConfig::default()
+        };
+        let readings = SmartGridGenerator::to_vec(config);
+        assert_eq!(readings.len(), 4 * 24);
+        assert!(readings.windows(2).all(|w| w[0].0 <= w[1].0));
+        // The first four readings are the four meters at hour 0.
+        assert!(readings[..4].iter().all(|(ts, r)| ts.as_secs() == 0 && r.hour_of_day == 0));
+        // The last reading is at hour 23.
+        assert_eq!(readings.last().unwrap().1.hour_of_day, 23);
+    }
+
+    #[test]
+    fn generation_is_deterministic_for_a_seed() {
+        let a = SmartGridGenerator::to_vec(SmartGridConfig::small());
+        let b = SmartGridGenerator::to_vec(SmartGridConfig::small());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn blackout_meters_report_zero_for_the_whole_blackout_day() {
+        let config = SmartGridConfig::default();
+        let generator = SmartGridGenerator::new(config);
+        let readings = SmartGridGenerator::to_vec(config);
+        for meter in 0..config.blackout_meters {
+            assert!(generator.is_blackout(meter, config.blackout_day));
+            let day_readings: Vec<_> = readings
+                .iter()
+                .filter(|(ts, r)| {
+                    r.meter_id == meter
+                        && ts.as_millis() / Duration::from_days(1).as_millis()
+                            == config.blackout_day as u64
+                })
+                .collect();
+            assert_eq!(day_readings.len(), 24);
+            assert!(day_readings.iter().all(|(_, r)| r.consumption == 0));
+        }
+        // A healthy meter never reports zero.
+        let healthy: Vec<_> = readings
+            .iter()
+            .filter(|(_, r)| r.meter_id == config.blackout_meters + 1)
+            .collect();
+        assert!(healthy.iter().all(|(_, r)| r.consumption > 0));
+    }
+
+    #[test]
+    fn anomalous_meters_spike_only_at_midnight_of_the_anomaly_day() {
+        let config = SmartGridConfig::default();
+        let generator = SmartGridGenerator::new(config);
+        let anomalous = generator.anomalous_meters();
+        assert!(!anomalous.is_empty());
+        let readings = SmartGridGenerator::to_vec(config);
+        for meter in anomalous {
+            let spikes: Vec<_> = readings
+                .iter()
+                .filter(|(_, r)| {
+                    r.meter_id == meter && r.consumption == config.anomaly_midnight_consumption
+                })
+                .collect();
+            assert_eq!(spikes.len(), 1);
+            assert_eq!(spikes[0].1.hour_of_day, 0);
+        }
+    }
+
+    #[test]
+    fn blackout_meters_are_not_also_anomalous() {
+        let config = SmartGridConfig {
+            blackout_day: 1,
+            anomaly_day: 1,
+            anomaly_every: 1,
+            ..SmartGridConfig::default()
+        };
+        let generator = SmartGridGenerator::new(config);
+        for meter in 0..config.blackout_meters {
+            assert!(!generator.is_anomalous(meter, 1));
+        }
+    }
+
+    #[test]
+    fn total_reading_count_matches_config() {
+        let config = SmartGridConfig {
+            meters: 5,
+            days: 2,
+            ..SmartGridConfig::default()
+        };
+        assert_eq!(config.total_readings(), 240);
+        assert_eq!(SmartGridGenerator::to_vec(config).len(), 240);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one meter")]
+    fn zero_meters_is_rejected() {
+        let _ = SmartGridGenerator::new(SmartGridConfig {
+            meters: 0,
+            ..SmartGridConfig::default()
+        });
+    }
+}

@@ -1,0 +1,75 @@
+//! Vehicular monitoring on the Linear Road workload: detect broken-down cars (Q1) and
+//! accidents (Q2) and show, for every alert, the position reports that prove it.
+//!
+//! Run with `cargo run -p genealog-bench --example linear_road_accidents`.
+
+use genealog::prelude::*;
+use genealog_workloads::linear_road::{LinearRoadConfig, LinearRoadGenerator};
+use genealog_workloads::queries::{build_q1, build_q2};
+use genealog_workloads::types::PositionReport;
+
+fn main() -> Result<(), SpeError> {
+    let config = LinearRoadConfig {
+        cars: 60,
+        rounds: 40,
+        ..LinearRoadConfig::default()
+    };
+    println!(
+        "simulating {} cars for {} rounds ({} position reports)...\n",
+        config.cars,
+        config.rounds,
+        config.total_reports()
+    );
+
+    // --- Q1: broken-down vehicles -------------------------------------------------
+    let mut q1 = GlQuery::new(GeneaLog::new());
+    let reports = q1.source("linear-road", LinearRoadGenerator::new(config));
+    let alerts = build_q1(&mut q1, reports);
+    let (stream, provenance) = attach_provenance_sink(&mut q1, "q1-provenance", alerts);
+    q1.discard(stream);
+    q1.deploy()?.wait()?;
+
+    let assignments = provenance.assignments();
+    println!("Q1: {} broken-down-car alert(s)", assignments.len());
+    for assignment in assignments.iter().take(3) {
+        println!(
+            "  car {} stopped at {} (window {}), proven by:",
+            assignment.sink_data.car_id, assignment.sink_data.last_pos, assignment.sink_ts
+        );
+        for record in assignment.source_records::<PositionReport>() {
+            println!(
+                "    <- {} car {} speed {} pos {}",
+                record.ts, record.data.car_id, record.data.speed, record.data.pos
+            );
+        }
+    }
+    if assignments.len() > 3 {
+        println!("  ... and {} more", assignments.len() - 3);
+    }
+
+    // --- Q2: accidents (two or more cars stopped at the same position) -------------
+    let mut q2 = GlQuery::new(GeneaLog::new());
+    let reports = q2.source("linear-road", LinearRoadGenerator::new(config));
+    let alerts = build_q2(&mut q2, reports);
+    let (stream, provenance) = attach_provenance_sink(&mut q2, "q2-provenance", alerts);
+    q2.discard(stream);
+    q2.deploy()?.wait()?;
+
+    let assignments = provenance.assignments();
+    println!("\nQ2: {} accident alert(s)", assignments.len());
+    for assignment in assignments.iter().take(3) {
+        println!(
+            "  accident at position {} involving {} car(s); {} contributing reports:",
+            assignment.sink_data.pos,
+            assignment.sink_data.stopped_cars,
+            assignment.source_count()
+        );
+        let cars: std::collections::BTreeSet<u32> = assignment
+            .source_payloads::<PositionReport>()
+            .iter()
+            .map(|r| r.car_id)
+            .collect();
+        println!("    cars involved: {cars:?}");
+    }
+    Ok(())
+}

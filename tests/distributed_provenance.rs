@@ -1,0 +1,153 @@
+//! Inter-process provenance (§6): the provenance assembled by the multi-stream
+//! unfolder on the third SPE instance of a distributed deployment must equal the
+//! provenance captured intra-process, which in turn equals the oracle's ground truth.
+
+use std::collections::BTreeSet;
+
+use genealog::prelude::*;
+use genealog_distributed::{deploy_distributed_genealog, NetworkConfig};
+use genealog_spe::operator::source::SourceConfig;
+use genealog_workloads::linear_road::{LinearRoadConfig, LinearRoadGenerator};
+use genealog_workloads::oracle::q1_oracle;
+use genealog_workloads::queries::{
+    build_q1, q1_provenance_window, q1_stage1, q1_stage2, q3_provenance_window, q3_stage1,
+    q3_stage2,
+};
+use genealog_workloads::smart_grid::{SmartGridConfig, SmartGridGenerator};
+use genealog_workloads::types::{
+    BlackoutAlert, DailyConsumption, MeterReading, PositionReport, StoppedCarCount,
+};
+
+type ProvenanceSet = BTreeSet<(u64, String)>;
+
+fn lr_config() -> LinearRoadConfig {
+    LinearRoadConfig {
+        cars: 40,
+        rounds: 30,
+        ..LinearRoadConfig::default()
+    }
+}
+
+#[test]
+fn distributed_q1_provenance_equals_intra_process_and_oracle() {
+    let config = lr_config();
+
+    // Intra-process GeneaLog provenance.
+    let mut q = GlQuery::new(GeneaLog::new());
+    let reports = q.source("lr", LinearRoadGenerator::new(config));
+    let alerts = build_q1(&mut q, reports);
+    let (out, provenance) = attach_provenance_sink(&mut q, "prov", alerts);
+    q.discard(out);
+    q.deploy().unwrap().wait().unwrap();
+    let intra: BTreeSet<ProvenanceSet> = provenance
+        .assignments()
+        .iter()
+        .map(|a| {
+            a.source_records::<PositionReport>()
+                .iter()
+                .map(|r| (r.ts.as_millis(), format!("{:?}", r.data)))
+                .collect()
+        })
+        .collect();
+
+    // Distributed (three-instance) GeneaLog provenance.
+    let outcome = deploy_distributed_genealog::<_, StoppedCarCount, StoppedCarCount, PositionReport, _, _>(
+        "q1",
+        LinearRoadGenerator::new(config),
+        SourceConfig::default(),
+        |q, s| q1_stage1(q, s),
+        |q, s| q1_stage2(q, s),
+        q1_provenance_window(),
+        NetworkConfig::unlimited(),
+    )
+    .expect("distributed deployment");
+    let distributed: BTreeSet<ProvenanceSet> = outcome
+        .provenance
+        .iter()
+        .map(|record| {
+            record
+                .sources
+                .iter()
+                .map(|s| (s.ts.as_millis(), format!("{:?}", s.data)))
+                .collect()
+        })
+        .collect();
+
+    // Oracle ground truth.
+    let oracle: BTreeSet<ProvenanceSet> = q1_oracle(&LinearRoadGenerator::to_vec(config))
+        .iter()
+        .map(|alert| {
+            alert
+                .sources
+                .iter()
+                .map(|(ts, r)| (ts.as_millis(), format!("{r:?}")))
+                .collect()
+        })
+        .collect();
+
+    assert!(!intra.is_empty());
+    assert_eq!(intra, oracle);
+    assert_eq!(distributed, oracle);
+}
+
+#[test]
+fn distributed_q3_resolves_all_192_sources_per_blackout() {
+    let config = SmartGridConfig {
+        meters: 30,
+        days: 3,
+        ..SmartGridConfig::default()
+    };
+    let outcome = deploy_distributed_genealog::<_, DailyConsumption, BlackoutAlert, MeterReading, _, _>(
+        "q3",
+        SmartGridGenerator::new(config),
+        SourceConfig {
+            // One watermark per day of readings keeps progress flowing without
+            // flooding the simulated links with per-tuple watermark frames.
+            watermark_every: 24,
+            ..SourceConfig::default()
+        },
+        |q, s| q3_stage1(q, s),
+        |q, s| q3_stage2(q, s),
+        q3_provenance_window(),
+        NetworkConfig::unlimited(),
+    )
+    .expect("distributed deployment");
+
+    assert_eq!(outcome.alerts.len(), 1);
+    assert_eq!(outcome.provenance.len(), 1);
+    let record = &outcome.provenance[0];
+    assert_eq!(record.sink_data.zero_meters, config.blackout_meters);
+    assert_eq!(record.sources.len(), 192, "8 meters x 24 readings");
+    assert!(record.sources.iter().all(|s| s.data.consumption == 0));
+    // GeneaLog only ships provenance (not the source stream) between instances: the
+    // provenance links carry far fewer bytes than shipping every reading (at the
+    // observed ~40 bytes of wire framing per tuple) would need.
+    let raw_stream_bytes = config.total_readings() * 40;
+    assert!(
+        outcome.provenance_link_bytes < raw_stream_bytes,
+        "provenance links carried {} bytes, raw stream would be ~{} bytes",
+        outcome.provenance_link_bytes,
+        raw_stream_bytes
+    );
+}
+
+#[test]
+fn distributed_run_reports_per_instance_statistics() {
+    let config = lr_config();
+    let outcome = deploy_distributed_genealog::<_, StoppedCarCount, StoppedCarCount, PositionReport, _, _>(
+        "q1",
+        LinearRoadGenerator::new(config),
+        SourceConfig::default(),
+        |q, s| q1_stage1(q, s),
+        |q, s| q1_stage2(q, s),
+        q1_provenance_window(),
+        NetworkConfig::default(),
+    )
+    .expect("distributed deployment");
+    assert_eq!(outcome.reports.len(), 3, "three SPE instances");
+    assert_eq!(outcome.source_tuples(), config.total_reports());
+    assert!(outcome.reports[0].source_tuples() > 0, "sources live on instance 1");
+    assert_eq!(outcome.reports[1].source_tuples(), 0);
+    assert!(outcome.sink_stats.tuple_count() > 0);
+    assert!(outcome.total_network_bytes() > 0);
+}

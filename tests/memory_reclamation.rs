@@ -1,0 +1,105 @@
+//! Challenge C2: GeneaLog must not retain source tuples that do not contribute to any
+//! sink tuple. Because the upstream pointers are reference-counted, a source tuple's
+//! memory is reclaimed as soon as no in-flight or sink tuple references it — in
+//! contrast to the baseline, which retains every source tuple it has ever seen.
+
+use std::sync::Arc;
+
+use genealog::prelude::*;
+use genealog_baseline::AriadneBaseline;
+use genealog_spe::Query;
+use genealog_workloads::linear_road::{LinearRoadConfig, LinearRoadGenerator};
+use genealog_workloads::queries::build_q1;
+
+fn lr_config() -> LinearRoadConfig {
+    LinearRoadConfig {
+        cars: 50,
+        rounds: 30,
+        ..LinearRoadConfig::default()
+    }
+}
+
+#[test]
+fn genealog_keeps_only_contributing_sources_alive() {
+    let config = lr_config();
+    let generator = LinearRoadGenerator::new(config);
+    let breakdown_cars = generator.breakdown_cars().len() as u64;
+
+    let mut q = GlQuery::new(GeneaLog::new());
+    let reports = q.source("lr", generator);
+    let alerts = build_q1(&mut q, reports);
+    let (out, provenance) = attach_provenance_sink(&mut q, "prov", alerts);
+    q.discard(out);
+    q.deploy().unwrap().wait().unwrap();
+
+    // After the run, the only tuples still reachable are those referenced by the
+    // collected provenance. Take weak handles to them and drop the collector: they
+    // must be reclaimed immediately.
+    let assignments = provenance.assignments();
+    assert!(!assignments.is_empty());
+    let alerts_with_provenance = assignments.len() as u64;
+    assert!(alerts_with_provenance >= breakdown_cars);
+
+    let weak_sources: Vec<std::sync::Weak<dyn genealog::ProvNode>> = assignments
+        .iter()
+        .flat_map(|a| a.sources.iter().map(Arc::downgrade))
+        .collect();
+    assert!(weak_sources.iter().all(|w| w.upgrade().is_some()));
+
+    drop(assignments);
+    drop(provenance);
+    assert!(
+        weak_sources.iter().all(|w| w.upgrade().is_none()),
+        "source tuples must be reclaimed once nothing references their provenance"
+    );
+}
+
+#[test]
+fn genealog_retains_nothing_when_no_alerts_fire() {
+    // A query whose filter never matches: every source tuple is non-contributing, so
+    // GeneaLog must not keep any of them alive after the run.
+    let mut q = GlQuery::new(GeneaLog::new());
+    let reports = q.source("lr", LinearRoadGenerator::new(lr_config()));
+    let none = q.filter("never", reports, |_| false);
+    let (out, provenance) = attach_provenance_sink(&mut q, "prov", none);
+    q.discard(out);
+    q.deploy().unwrap().wait().unwrap();
+    assert_eq!(provenance.unfolded_count(), 0);
+    assert!(provenance.assignments().is_empty());
+}
+
+#[test]
+fn baseline_retains_every_source_tuple_even_without_alerts() {
+    // The same no-alert query under the baseline: the source store still holds every
+    // source tuple, which is exactly the memory behaviour the paper criticises.
+    let config = lr_config();
+    let baseline = AriadneBaseline::new();
+    let mut q = Query::new(baseline.clone());
+    let reports = q.source("lr", LinearRoadGenerator::new(config));
+    let none = q.filter("never", reports, |_| false);
+    let out = q.collecting_sink("alerts", none);
+    q.deploy().unwrap().wait().unwrap();
+    assert!(out.is_empty());
+    assert_eq!(
+        baseline.store().len() as u64,
+        config.total_reports(),
+        "the baseline retains the entire source stream"
+    );
+}
+
+#[test]
+fn window_tuples_are_released_after_their_windows_close() {
+    // Aggregate over a sliding window, never raising alerts: the window store must not
+    // accumulate tuples beyond the open windows (the engine purges closed windows, and
+    // GeneaLog's pointers do not resurrect them).
+    let mut q = GlQuery::new(GeneaLog::new());
+    let reports = q.source("lr", LinearRoadGenerator::new(lr_config()));
+    let counts = genealog_workloads::queries::q1_stage1(&mut q, reports);
+    // Impossible threshold: no alert is ever produced downstream.
+    let alerts = q.filter("impossible", counts, |c| c.count > 1_000);
+    let (out, provenance) = attach_provenance_sink(&mut q, "prov", alerts);
+    q.discard(out);
+    let report = q.deploy().unwrap().wait().unwrap();
+    assert!(report.source_tuples() > 0);
+    assert_eq!(provenance.unfolded_count(), 0);
+}

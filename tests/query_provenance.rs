@@ -1,0 +1,206 @@
+//! Cross-crate correctness: for every evaluation query, the provenance captured by
+//! GeneaLog (and, where applicable, reconstructed by the Ariadne-style baseline)
+//! matches the ground truth computed by the brute-force oracle, and the
+//! contribution-graph sizes match the figures quoted in the paper's §7
+//! (4 / 8 / 192 / 24 source tuples per sink tuple for Q1–Q4).
+
+use std::collections::BTreeSet;
+
+use genealog::prelude::*;
+use genealog_baseline::{AriadneBaseline, BaselineCollector};
+use genealog_spe::Query;
+use genealog_workloads::linear_road::{LinearRoadConfig, LinearRoadGenerator};
+use genealog_workloads::oracle::{q1_oracle, q2_oracle, q3_oracle, q4_oracle, OracleAlert};
+use genealog_workloads::queries::{build_q1, build_q2, build_q3, build_q4};
+use genealog_workloads::smart_grid::{SmartGridConfig, SmartGridGenerator};
+use genealog_workloads::types::{MeterReading, PositionReport};
+
+fn lr_config() -> LinearRoadConfig {
+    LinearRoadConfig {
+        cars: 50,
+        rounds: 30,
+        ..LinearRoadConfig::default()
+    }
+}
+
+fn sg_config() -> SmartGridConfig {
+    SmartGridConfig {
+        meters: 40,
+        days: 3,
+        ..SmartGridConfig::default()
+    }
+}
+
+/// Canonical form of a provenance set: the sorted (ts, debug-rendered payload) pairs.
+fn canonical_sources<S: std::fmt::Debug>(sources: &[(Timestamp, S)]) -> BTreeSet<(u64, String)> {
+    sources
+        .iter()
+        .map(|(ts, s)| (ts.as_millis(), format!("{s:?}")))
+        .collect()
+}
+
+fn canonical_gl<T: TupleData, S: TupleData>(
+    assignment: &ProvenanceAssignment<T>,
+) -> BTreeSet<(u64, String)> {
+    assignment
+        .source_records::<S>()
+        .iter()
+        .map(|r| (r.ts.as_millis(), format!("{:?}", r.data)))
+        .collect()
+}
+
+/// Runs a query under GeneaLog and checks every sink tuple's provenance against the
+/// oracle's alerts (matched by canonical provenance set).
+fn assert_gl_matches_oracle<T, S, A>(
+    assignments: &[ProvenanceAssignment<T>],
+    oracle: &[OracleAlert<A, S>],
+    expected_sources_per_alert: usize,
+) where
+    T: TupleData,
+    S: TupleData,
+    A: std::fmt::Debug,
+{
+    assert_eq!(
+        assignments.len(),
+        oracle.len(),
+        "GeneaLog and the oracle must agree on the number of alerts"
+    );
+    let oracle_sets: Vec<BTreeSet<(u64, String)>> = oracle
+        .iter()
+        .map(|alert| canonical_sources(&alert.sources))
+        .collect();
+    for assignment in assignments {
+        let set = canonical_gl::<T, S>(assignment);
+        assert_eq!(set.len(), expected_sources_per_alert);
+        assert!(
+            oracle_sets.contains(&set),
+            "GeneaLog provenance {set:?} not predicted by the oracle"
+        );
+    }
+}
+
+#[test]
+fn q1_genealog_provenance_matches_the_oracle() {
+    let config = lr_config();
+    let raw = LinearRoadGenerator::to_vec(config);
+    let oracle = q1_oracle(&raw);
+    assert!(!oracle.is_empty());
+
+    let mut q = GlQuery::new(GeneaLog::new());
+    let reports = q.source("lr", LinearRoadGenerator::new(config));
+    let alerts = build_q1(&mut q, reports);
+    let (out, provenance) = attach_provenance_sink(&mut q, "prov", alerts);
+    q.discard(out);
+    q.deploy().unwrap().wait().unwrap();
+
+    assert_gl_matches_oracle::<_, PositionReport, _>(&provenance.assignments(), &oracle, 4);
+}
+
+#[test]
+fn q2_genealog_provenance_matches_the_oracle() {
+    let config = lr_config();
+    let raw = LinearRoadGenerator::to_vec(config);
+    let oracle = q2_oracle(&raw);
+    assert!(!oracle.is_empty());
+
+    let mut q = GlQuery::new(GeneaLog::new());
+    let reports = q.source("lr", LinearRoadGenerator::new(config));
+    let alerts = build_q2(&mut q, reports);
+    let (out, provenance) = attach_provenance_sink(&mut q, "prov", alerts);
+    q.discard(out);
+    q.deploy().unwrap().wait().unwrap();
+
+    // 2 stopped cars x 4 reports = 8 source tuples per accident (§7).
+    assert_gl_matches_oracle::<_, PositionReport, _>(&provenance.assignments(), &oracle, 8);
+}
+
+#[test]
+fn q3_genealog_provenance_matches_the_oracle() {
+    let config = sg_config();
+    let raw = SmartGridGenerator::to_vec(config);
+    let oracle = q3_oracle(&raw);
+    assert_eq!(oracle.len(), 1);
+    assert_eq!(oracle[0].source_count(), 192);
+
+    let mut q = GlQuery::new(GeneaLog::new());
+    let readings = q.source("sg", SmartGridGenerator::new(config));
+    let alerts = build_q3(&mut q, readings);
+    let (out, provenance) = attach_provenance_sink(&mut q, "prov", alerts);
+    q.discard(out);
+    q.deploy().unwrap().wait().unwrap();
+
+    assert_gl_matches_oracle::<_, MeterReading, _>(&provenance.assignments(), &oracle, 192);
+}
+
+#[test]
+fn q4_genealog_provenance_matches_the_oracle() {
+    let config = sg_config();
+    let raw = SmartGridGenerator::to_vec(config);
+    let oracle = q4_oracle(&raw);
+    assert!(!oracle.is_empty());
+
+    let mut q = GlQuery::new(GeneaLog::new());
+    let readings = q.source("sg", SmartGridGenerator::new(config));
+    let alerts = build_q4(&mut q, readings);
+    let (out, provenance) = attach_provenance_sink(&mut q, "prov", alerts);
+    q.discard(out);
+    q.deploy().unwrap().wait().unwrap();
+
+    // 24 hourly readings per anomaly alert (§7).
+    assert_gl_matches_oracle::<_, MeterReading, _>(&provenance.assignments(), &oracle, 24);
+}
+
+#[test]
+fn q1_baseline_provenance_matches_genealog() {
+    let config = lr_config();
+
+    // GeneaLog provenance.
+    let mut q = GlQuery::new(GeneaLog::new());
+    let reports = q.source("lr", LinearRoadGenerator::new(config));
+    let alerts = build_q1(&mut q, reports);
+    let (out, provenance) = attach_provenance_sink(&mut q, "prov", alerts);
+    q.discard(out);
+    q.deploy().unwrap().wait().unwrap();
+    let gl_sets: BTreeSet<BTreeSet<(u64, String)>> = provenance
+        .assignments()
+        .iter()
+        .map(canonical_gl::<_, PositionReport>)
+        .collect();
+
+    // Baseline provenance, reconstructed from annotations + retained store.
+    let baseline = AriadneBaseline::new();
+    let mut q = Query::new(baseline.clone());
+    let reports = q.source("lr", LinearRoadGenerator::new(config));
+    let alerts = build_q1(&mut q, reports);
+    let sink = q.collecting_sink("alerts", alerts);
+    q.deploy().unwrap().wait().unwrap();
+    let collector = BaselineCollector::new(baseline);
+    let bl_sets: BTreeSet<BTreeSet<(u64, String)>> = sink
+        .tuples()
+        .iter()
+        .map(|alert| {
+            collector
+                .resolve::<_, PositionReport>(alert)
+                .iter()
+                .map(|s| (s.ts.as_millis(), format!("{:?}", s.data)))
+                .collect()
+        })
+        .collect();
+
+    assert_eq!(gl_sets, bl_sets, "GL and BL must capture identical provenance");
+    assert!(!gl_sets.is_empty());
+}
+
+#[test]
+fn contribution_graph_sizes_match_the_paper() {
+    // Q1: 4, Q2: 8, Q3: 192, Q4: 24 source tuples per sink tuple (§7).
+    let lr = lr_config();
+    let sg = sg_config();
+
+    let raw = LinearRoadGenerator::to_vec(lr);
+    assert!(q1_oracle(&raw).iter().all(|a| a.source_count() == 4));
+    assert!(q2_oracle(&raw).iter().all(|a| a.source_count() == 8));
+    let raw = SmartGridGenerator::to_vec(sg);
+    assert!(q3_oracle(&raw).iter().all(|a| a.source_count() == 192));
+    assert!(q4_oracle(&raw).iter().all(|a| a.source_count() == 24));
+}

@@ -1,0 +1,133 @@
+//! Semantics of the provenance unfolders, checked against the paper's definitions:
+//!
+//! * Definition 5.2 / Theorem 5.3 — the single-stream unfolder's pass-through output is
+//!   an exact copy of its input stream, and its unfolded stream pairs every sink tuple
+//!   with *all* of its originating tuples.
+//! * Definition 6.3 — intra-process unfolded streams are *completely* unfolded: every
+//!   originating tuple is of kind SOURCE.
+//! * Definition 6.4 — the multi-stream unfolder forwards SOURCE-originating tuples
+//!   unchanged and replaces REMOTE-originating tuples by the matching upstream tuples.
+
+use std::collections::BTreeSet;
+
+use genealog::prelude::*;
+use genealog_workloads::linear_road::{LinearRoadConfig, LinearRoadGenerator};
+use genealog_workloads::queries::{build_q1, build_q2};
+use genealog_workloads::types::PositionReport;
+
+fn lr_config() -> LinearRoadConfig {
+    LinearRoadConfig {
+        cars: 40,
+        rounds: 25,
+        ..LinearRoadConfig::default()
+    }
+}
+
+#[test]
+fn unfolder_passthrough_is_an_exact_copy_of_the_delivering_stream() {
+    let config = lr_config();
+
+    // Reference run without the unfolder.
+    let mut reference = GlQuery::new(GeneaLog::new());
+    let reports = reference.source("lr", LinearRoadGenerator::new(config));
+    let alerts = build_q1(&mut reference, reports);
+    let ref_sink = reference.collecting_sink("alerts", alerts);
+    reference.deploy().unwrap().wait().unwrap();
+
+    // Run with the unfolder attached; the pass-through copy feeds the data sink.
+    let mut unfolded = GlQuery::new(GeneaLog::new());
+    let reports = unfolded.source("lr", LinearRoadGenerator::new(config));
+    let alerts = build_q1(&mut unfolded, reports);
+    let (passthrough, provenance) = attach_provenance_sink(&mut unfolded, "prov", alerts);
+    let sink = unfolded.collecting_sink("alerts", passthrough);
+    unfolded.deploy().unwrap().wait().unwrap();
+
+    let reference_alerts: Vec<_> = ref_sink.tuples().iter().map(|t| (t.ts, t.data)).collect();
+    let unfolded_alerts: Vec<_> = sink.tuples().iter().map(|t| (t.ts, t.data)).collect();
+    assert_eq!(
+        reference_alerts, unfolded_alerts,
+        "SO must be an exact copy of SI (Definition 5.2)"
+    );
+    // Theorem 5.3: one provenance assignment per sink tuple.
+    assert_eq!(provenance.assignments().len(), unfolded_alerts.len());
+}
+
+#[test]
+fn intra_process_unfolded_streams_are_completely_unfolded() {
+    // Definition 6.3: within one process every originating tuple is a SOURCE tuple.
+    let config = lr_config();
+    let mut q = GlQuery::new(GeneaLog::new());
+    let reports = q.source("lr", LinearRoadGenerator::new(config));
+    let alerts = build_q2(&mut q, reports);
+    let (passthrough, unfolded) = attach_unfolder(&mut q, "prov", alerts);
+    q.discard(passthrough);
+    let prov_sink = q.collecting_sink("prov", unfolded);
+    q.deploy().unwrap().wait().unwrap();
+
+    let tuples = prov_sink.tuples();
+    assert!(!tuples.is_empty());
+    assert!(
+        tuples.iter().all(|t| t.data.origin_kind == OpKind::Source),
+        "all originating tuples must be SOURCE in an intra-process deployment"
+    );
+    // The unfolded tuples carry the originating tuple's timestamp and id (Def. 6.2),
+    // consistent with the originating tuple they reference.
+    // Note: `origin_ts` may exceed `sink_ts` because aggregate outputs carry the
+    // *start* of their window while contributing tuples can lie anywhere inside it.
+    for t in &tuples {
+        assert_eq!(t.data.origin_ts, t.data.origin.ts());
+        assert_eq!(t.data.origin_id, t.data.origin.id());
+    }
+}
+
+#[test]
+fn unfolded_stream_counts_match_contribution_graph_sizes() {
+    // The unfolded stream has exactly (number of sink tuples x graph size) elements for
+    // Q1, whose graphs all have 4 source tuples.
+    let config = lr_config();
+    let mut q = GlQuery::new(GeneaLog::new());
+    let reports = q.source("lr", LinearRoadGenerator::new(config));
+    let alerts = build_q1(&mut q, reports);
+    let (passthrough, provenance) = attach_provenance_sink(&mut q, "prov", alerts);
+    let sink = q.collecting_sink("alerts", passthrough);
+    q.deploy().unwrap().wait().unwrap();
+
+    let alert_count = sink.len();
+    assert!(alert_count > 0);
+    assert_eq!(provenance.unfolded_count(), alert_count * 4);
+    // And every assignment references 4 distinct source tuples of the alerted car.
+    for assignment in provenance.assignments() {
+        let sources = assignment.source_payloads::<PositionReport>();
+        assert_eq!(sources.len(), 4);
+        let cars: BTreeSet<u32> = sources.iter().map(|r| r.car_id).collect();
+        assert_eq!(cars.len(), 1);
+        let distinct_ids: BTreeSet<_> = assignment.sources.iter().map(|s| s.id()).collect();
+        assert_eq!(distinct_ids.len(), 4, "originating tuples are distinct");
+    }
+}
+
+#[test]
+fn provenance_volume_is_a_small_fraction_of_the_source_volume() {
+    // §7: "the total size of the provenance information is negligible compared to that
+    // of the source data (0.003% to 0.5%)". The exact ratio depends on the alert rate;
+    // with the default injection rates it stays well below a few percent.
+    let config = LinearRoadConfig {
+        cars: 100,
+        rounds: 60,
+        ..LinearRoadConfig::default()
+    };
+    let mut q = GlQuery::new(GeneaLog::new());
+    let reports = q.source("lr", LinearRoadGenerator::new(config));
+    let alerts = build_q1(&mut q, reports);
+    let (out, provenance) = attach_provenance_sink(&mut q, "prov", alerts);
+    q.discard(out);
+    let report = q.deploy().unwrap().wait().unwrap();
+
+    let source_bytes = report.source_tuples() * (std::mem::size_of::<PositionReport>() as u64 + 8);
+    let provenance_bytes = provenance.estimated_bytes() as u64;
+    assert!(provenance_bytes > 0);
+    assert!(
+        (provenance_bytes as f64) < 0.05 * source_bytes as f64,
+        "provenance ({provenance_bytes} B) should be a small fraction of the source data ({source_bytes} B)"
+    );
+}
