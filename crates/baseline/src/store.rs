@@ -117,7 +117,11 @@ mod tests {
     fn store_size_grows_with_the_input() {
         let store = SourceStore::new();
         for i in 0..100 {
-            store.insert(TupleId::new(0, i), Timestamp::from_secs(i), &(i as u32, 0u32));
+            store.insert(
+                TupleId::new(0, i),
+                Timestamp::from_secs(i),
+                &(i as u32, 0u32),
+            );
         }
         assert_eq!(store.len(), 100);
         assert!(store.size_bytes() > 100 * std::mem::size_of::<TupleId>());

@@ -173,7 +173,11 @@ mod tests {
         let alerts = out.tuples();
         assert!(!alerts.is_empty());
         let first = &alerts[0];
-        assert_eq!(first.meta.len(), 4, "annotation lists the four stopped reports");
+        assert_eq!(
+            first.meta.len(),
+            4,
+            "annotation lists the four stopped reports"
+        );
 
         let collector = BaselineCollector::new(baseline);
         let sources: Vec<ResolvedSource<(u32, u32)>> = collector.resolve(first);

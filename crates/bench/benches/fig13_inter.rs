@@ -84,80 +84,202 @@ fn main() {
     let workloads = BenchWorkloads::default();
     let network = NetworkConfig::default();
     let source_config = SourceConfig::default();
-    println!(
-        "workloads: {workloads:?}\nnetwork: {network:?} (the evaluation's 100 Mbps switch)\n"
-    );
+    println!("workloads: {workloads:?}\nnetwork: {network:?} (the evaluation's 100 Mbps switch)\n");
     let mut table = FigureTable::new("Figure 13 — inter-process provenance overhead");
 
     // ---------------- Q1 ----------------
     let lr = workloads.linear_road;
-    push_row(&mut table, "Q1", "NP", measure(|| {
-        deploy_distributed_noprov::<_, StoppedCarCount, StoppedCarCount, PositionReport, _, _>(
-            "q1-np", LinearRoadGenerator::new(lr), source_config,
-            |q, s| q1_stage1(q, s), |q, s| q1_stage2(q, s), network)
-    }));
-    push_row(&mut table, "Q1", "GL", measure(|| {
-        deploy_distributed_genealog::<_, StoppedCarCount, StoppedCarCount, PositionReport, _, _>(
-            "q1-gl", LinearRoadGenerator::new(lr), source_config,
-            |q, s| q1_stage1(q, s), |q, s| q1_stage2(q, s), q1_provenance_window(), network)
-    }));
-    push_row(&mut table, "Q1", "BL", measure(|| {
-        deploy_distributed_baseline::<_, StoppedCarCount, StoppedCarCount, PositionReport, _, _>(
-            "q1-bl", LinearRoadGenerator::new(lr), source_config,
-            |q, s| q1_stage1(q, s), |q, s| q1_stage2(q, s), network)
-    }));
+    push_row(
+        &mut table,
+        "Q1",
+        "NP",
+        measure(|| {
+            deploy_distributed_noprov::<_, StoppedCarCount, StoppedCarCount, PositionReport, _, _>(
+                "q1-np",
+                LinearRoadGenerator::new(lr),
+                source_config,
+                q1_stage1,
+                q1_stage2,
+                network,
+            )
+        }),
+    );
+    push_row(
+        &mut table,
+        "Q1",
+        "GL",
+        measure(|| {
+            deploy_distributed_genealog::<_, StoppedCarCount, StoppedCarCount, PositionReport, _, _>(
+                "q1-gl",
+                LinearRoadGenerator::new(lr),
+                source_config,
+                q1_stage1,
+                q1_stage2,
+                q1_provenance_window(),
+                network,
+            )
+        }),
+    );
+    push_row(
+        &mut table,
+        "Q1",
+        "BL",
+        measure(|| {
+            deploy_distributed_baseline::<_, StoppedCarCount, StoppedCarCount, PositionReport, _, _>(
+                "q1-bl",
+                LinearRoadGenerator::new(lr),
+                source_config,
+                q1_stage1,
+                q1_stage2,
+                network,
+            )
+        }),
+    );
 
     // ---------------- Q2 ----------------
-    push_row(&mut table, "Q2", "NP", measure(|| {
-        deploy_distributed_noprov::<_, StoppedCarCount, AccidentAlert, PositionReport, _, _>(
-            "q2-np", LinearRoadGenerator::new(lr), source_config,
-            |q, s| q1_stage1(q, s), |q, s| q2_stage2(q, s), network)
-    }));
-    push_row(&mut table, "Q2", "GL", measure(|| {
-        deploy_distributed_genealog::<_, StoppedCarCount, AccidentAlert, PositionReport, _, _>(
-            "q2-gl", LinearRoadGenerator::new(lr), source_config,
-            |q, s| q1_stage1(q, s), |q, s| q2_stage2(q, s), q2_provenance_window(), network)
-    }));
-    push_row(&mut table, "Q2", "BL", measure(|| {
-        deploy_distributed_baseline::<_, StoppedCarCount, AccidentAlert, PositionReport, _, _>(
-            "q2-bl", LinearRoadGenerator::new(lr), source_config,
-            |q, s| q1_stage1(q, s), |q, s| q2_stage2(q, s), network)
-    }));
+    push_row(
+        &mut table,
+        "Q2",
+        "NP",
+        measure(|| {
+            deploy_distributed_noprov::<_, StoppedCarCount, AccidentAlert, PositionReport, _, _>(
+                "q2-np",
+                LinearRoadGenerator::new(lr),
+                source_config,
+                q1_stage1,
+                q2_stage2,
+                network,
+            )
+        }),
+    );
+    push_row(
+        &mut table,
+        "Q2",
+        "GL",
+        measure(|| {
+            deploy_distributed_genealog::<_, StoppedCarCount, AccidentAlert, PositionReport, _, _>(
+                "q2-gl",
+                LinearRoadGenerator::new(lr),
+                source_config,
+                q1_stage1,
+                q2_stage2,
+                q2_provenance_window(),
+                network,
+            )
+        }),
+    );
+    push_row(
+        &mut table,
+        "Q2",
+        "BL",
+        measure(|| {
+            deploy_distributed_baseline::<_, StoppedCarCount, AccidentAlert, PositionReport, _, _>(
+                "q2-bl",
+                LinearRoadGenerator::new(lr),
+                source_config,
+                q1_stage1,
+                q2_stage2,
+                network,
+            )
+        }),
+    );
 
     // ---------------- Q3 ----------------
     let sg = workloads.smart_grid;
-    push_row(&mut table, "Q3", "NP", measure(|| {
-        deploy_distributed_noprov::<_, DailyConsumption, BlackoutAlert, MeterReading, _, _>(
-            "q3-np", SmartGridGenerator::new(sg), source_config,
-            |q, s| q3_stage1(q, s), |q, s| q3_stage2(q, s), network)
-    }));
-    push_row(&mut table, "Q3", "GL", measure(|| {
-        deploy_distributed_genealog::<_, DailyConsumption, BlackoutAlert, MeterReading, _, _>(
-            "q3-gl", SmartGridGenerator::new(sg), source_config,
-            |q, s| q3_stage1(q, s), |q, s| q3_stage2(q, s), q3_provenance_window(), network)
-    }));
-    push_row(&mut table, "Q3", "BL", measure(|| {
-        deploy_distributed_baseline::<_, DailyConsumption, BlackoutAlert, MeterReading, _, _>(
-            "q3-bl", SmartGridGenerator::new(sg), source_config,
-            |q, s| q3_stage1(q, s), |q, s| q3_stage2(q, s), network)
-    }));
+    push_row(
+        &mut table,
+        "Q3",
+        "NP",
+        measure(|| {
+            deploy_distributed_noprov::<_, DailyConsumption, BlackoutAlert, MeterReading, _, _>(
+                "q3-np",
+                SmartGridGenerator::new(sg),
+                source_config,
+                q3_stage1,
+                q3_stage2,
+                network,
+            )
+        }),
+    );
+    push_row(
+        &mut table,
+        "Q3",
+        "GL",
+        measure(|| {
+            deploy_distributed_genealog::<_, DailyConsumption, BlackoutAlert, MeterReading, _, _>(
+                "q3-gl",
+                SmartGridGenerator::new(sg),
+                source_config,
+                q3_stage1,
+                q3_stage2,
+                q3_provenance_window(),
+                network,
+            )
+        }),
+    );
+    push_row(
+        &mut table,
+        "Q3",
+        "BL",
+        measure(|| {
+            deploy_distributed_baseline::<_, DailyConsumption, BlackoutAlert, MeterReading, _, _>(
+                "q3-bl",
+                SmartGridGenerator::new(sg),
+                source_config,
+                q3_stage1,
+                q3_stage2,
+                network,
+            )
+        }),
+    );
 
     // ---------------- Q4 ----------------
-    push_row(&mut table, "Q4", "NP", measure(|| {
-        deploy_distributed_noprov::<_, Q4Relay, AnomalyAlert, MeterReading, _, _>(
-            "q4-np", SmartGridGenerator::new(sg), source_config,
-            |q, s| q4_relay_stage1(q, s), |q, s| q4_relay_stage2(q, s), network)
-    }));
-    push_row(&mut table, "Q4", "GL", measure(|| {
-        deploy_distributed_genealog::<_, Q4Relay, AnomalyAlert, MeterReading, _, _>(
-            "q4-gl", SmartGridGenerator::new(sg), source_config,
-            |q, s| q4_relay_stage1(q, s), |q, s| q4_relay_stage2(q, s), q4_provenance_window(), network)
-    }));
-    push_row(&mut table, "Q4", "BL", measure(|| {
-        deploy_distributed_baseline::<_, Q4Relay, AnomalyAlert, MeterReading, _, _>(
-            "q4-bl", SmartGridGenerator::new(sg), source_config,
-            |q, s| q4_relay_stage1(q, s), |q, s| q4_relay_stage2(q, s), network)
-    }));
+    push_row(
+        &mut table,
+        "Q4",
+        "NP",
+        measure(|| {
+            deploy_distributed_noprov::<_, Q4Relay, AnomalyAlert, MeterReading, _, _>(
+                "q4-np",
+                SmartGridGenerator::new(sg),
+                source_config,
+                q4_relay_stage1,
+                q4_relay_stage2,
+                network,
+            )
+        }),
+    );
+    push_row(
+        &mut table,
+        "Q4",
+        "GL",
+        measure(|| {
+            deploy_distributed_genealog::<_, Q4Relay, AnomalyAlert, MeterReading, _, _>(
+                "q4-gl",
+                SmartGridGenerator::new(sg),
+                source_config,
+                q4_relay_stage1,
+                q4_relay_stage2,
+                q4_provenance_window(),
+                network,
+            )
+        }),
+    );
+    push_row(
+        &mut table,
+        "Q4",
+        "BL",
+        measure(|| {
+            deploy_distributed_baseline::<_, Q4Relay, AnomalyAlert, MeterReading, _, _>(
+                "q4-bl",
+                SmartGridGenerator::new(sg),
+                source_config,
+                q4_relay_stage1,
+                q4_relay_stage2,
+                network,
+            )
+        }),
+    );
 
     println!("\n{}", table.render());
     println!("--- CSV ---\n{}", table.to_csv());

@@ -29,8 +29,14 @@ static ALLOC: TrackingAllocator = TrackingAllocator::new();
 fn staged_traversal<G, D1, D2>(
     name: &str,
     generator: G,
-    stage1: impl FnOnce(&mut Query<GeneaLog>, StreamRef<G::Item, genealog::GlMeta>) -> StreamRef<D1, genealog::GlMeta>,
-    stage2: impl FnOnce(&mut Query<GeneaLog>, StreamRef<D1, genealog::GlMeta>) -> StreamRef<D2, genealog::GlMeta>,
+    stage1: impl FnOnce(
+        &mut Query<GeneaLog>,
+        StreamRef<G::Item, genealog::GlMeta>,
+    ) -> StreamRef<D1, genealog::GlMeta>,
+    stage2: impl FnOnce(
+        &mut Query<GeneaLog>,
+        StreamRef<D1, genealog::GlMeta>,
+    ) -> StreamRef<D2, genealog::GlMeta>,
 ) -> (f64, f64)
 where
     G: SourceGenerator,
@@ -82,7 +88,10 @@ where
 fn main() {
     let config = IntraConfig::new(Arc::new(|| ALLOC.live_bytes()));
     println!("== Figure 14 — contribution-graph traversal time per sink tuple ==\n");
-    println!("{:<4} {:>16} {:>18} {:>14}", "qry", "traversals", "mean graph size", "mean time(ms)");
+    println!(
+        "{:<4} {:>16} {:>18} {:>14}",
+        "qry", "traversals", "mean graph size", "mean time(ms)"
+    );
     for query in QueryId::ALL {
         let result = run_intra(query, SystemUnderTest::GeneaLog, &config).expect("run");
         println!(
@@ -95,19 +104,22 @@ fn main() {
     }
 
     println!("\n-- per-instance traversal cost in staged (inter-process style) deployments --");
-    println!("{:<4} {:>22} {:>22}", "qry", "instance-1 mean(ms)", "instance-2 mean(ms)");
+    println!(
+        "{:<4} {:>22} {:>22}",
+        "qry", "instance-1 mean(ms)", "instance-2 mean(ms)"
+    );
     let (i1, i2) = staged_traversal(
         "q1",
         LinearRoadGenerator::new(config.workloads.linear_road),
-        |q, s| q1_stage1(q, s),
-        |q, s| q1_stage2(q, s),
+        q1_stage1,
+        q1_stage2,
     );
     println!("{:<4} {:>22.4} {:>22.4}", "Q1", i1, i2);
     let (i1, i2) = staged_traversal(
         "q3",
         SmartGridGenerator::new(config.workloads.smart_grid),
-        |q, s| q3_stage1(q, s),
-        |q, s| q3_stage2(q, s),
+        q3_stage1,
+        q3_stage2,
     );
     println!("{:<4} {:>22.4} {:>22.4}", "Q3", i1, i2);
 }

@@ -16,7 +16,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use genealog::{erase, find_provenance, GeneaLog, GlMeta};
 use genealog_baseline::{AriadneBaseline, BlMeta};
 use genealog_distributed::wire::{WireDecode, WireEncode};
-use genealog_spe::provenance::{ProvenanceSystem, SourceContext};
+use genealog_spe::operator::source::{SourceConfig, VecSource};
+use genealog_spe::provenance::{NoProvenance, ProvenanceSystem, SourceContext};
+use genealog_spe::query::{Query, QueryConfig};
 use genealog_spe::tuple::GTuple;
 use genealog_spe::Timestamp;
 use genealog_workloads::types::PositionReport;
@@ -154,11 +156,56 @@ fn bench_wire(c: &mut Criterion) {
     group.finish();
 }
 
+/// Runs the quick-bench micro pipeline once under the given batch size and returns
+/// the number of sink tuples (so the work cannot be optimised away).
+fn run_np_pipeline(tuples: i64, batch_size: usize) -> u64 {
+    let mut q = Query::with_config(
+        NoProvenance,
+        QueryConfig::default().with_batch_size(batch_size),
+    );
+    let src = q.source_with(
+        "numbers",
+        VecSource::with_period((0..tuples).collect(), 1),
+        SourceConfig {
+            watermark_every: 1_024,
+            ..SourceConfig::default()
+        },
+    );
+    let kept = q.filter("keep-odd", src, |v| v % 2 == 1);
+    let mapped = q.map_one("affine", kept, |v| v.wrapping_mul(3) + 1);
+    let stats = q.sink("count", mapped, |_| {});
+    q.deploy().expect("deploy").wait().expect("run");
+    stats.tuple_count()
+}
+
+/// Batched-vs-unbatched transport comparison on the same NP query: the per-tuple
+/// channel cost (lock + wake-up per element) versus the amortised batched cost.
+fn bench_batching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batching");
+    group.sample_size(10);
+    const TUPLES: i64 = 20_000;
+    for &batch in &[1usize, 32, 128] {
+        group.bench_with_input(
+            BenchmarkId::new("np_pipeline", batch),
+            &batch,
+            |b, &batch| {
+                b.iter(|| {
+                    let delivered = run_np_pipeline(TUPLES, batch);
+                    assert_eq!(delivered, TUPLES as u64 / 2);
+                    delivered
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_traversal,
     bench_instrumentation,
     bench_baseline_growth,
-    bench_wire
+    bench_wire,
+    bench_batching
 );
 criterion_main!(benches);

@@ -1,0 +1,129 @@
+//! Quick throughput benchmark establishing the per-PR performance trajectory.
+//!
+//! Runs a short 4-operator micro pipeline (Source -> Filter -> Map -> Sink) under the
+//! NP and GL provenance configurations, once with the batched transport disabled
+//! (`batch_size = 1`, the pre-batching behaviour) and once with batching enabled, and
+//! writes the measurements to `BENCH_PR1.json` in the current directory (override the
+//! path with `GENEALOG_BENCH_OUT`).
+//!
+//! Usage: `cargo run --release -p genealog-bench --bin quick_bench`
+
+use std::io::Write;
+
+use genealog::GeneaLog;
+use genealog_spe::operator::source::{SourceConfig, VecSource};
+use genealog_spe::prelude::*;
+use genealog_spe::provenance::ProvenanceSystem;
+
+/// Tuples injected per measured run.
+const TUPLES: usize = 400_000;
+/// Batch size of the batched configuration.
+const BATCH: usize = 128;
+/// Repetitions per configuration; the best run is reported.
+const REPS: usize = 3;
+
+#[derive(Debug, Clone)]
+struct Measurement {
+    system: &'static str,
+    batch_size: usize,
+    throughput_tps: f64,
+    per_tuple_ns: f64,
+}
+
+fn pipeline_once<P: ProvenanceSystem>(provenance: P, batch_size: usize) -> Measurement {
+    let label = provenance.label();
+    let mut q = Query::with_config(
+        provenance,
+        QueryConfig::default().with_batch_size(batch_size),
+    );
+    let src = q.source_with(
+        "numbers",
+        VecSource::with_period((0..TUPLES as i64).collect(), 1),
+        SourceConfig {
+            // Watermarks flush batches; spacing them out keeps the pipeline
+            // throughput-bound rather than flush-bound.
+            watermark_every: 1_024,
+            ..SourceConfig::default()
+        },
+    );
+    let kept = q.filter("keep-odd", src, |v| v % 2 == 1);
+    let mapped = q.map_one("affine", kept, |v| v.wrapping_mul(3) + 1);
+    let stats = q.sink("count", mapped, |_| {});
+    let report = q.deploy().expect("deploy").wait().expect("run");
+    assert_eq!(report.source_tuples(), TUPLES as u64);
+    assert_eq!(stats.tuple_count(), TUPLES as u64 / 2);
+    let wall = report.wall_time().as_secs_f64();
+    Measurement {
+        system: label,
+        batch_size,
+        throughput_tps: TUPLES as f64 / wall,
+        per_tuple_ns: wall * 1e9 / TUPLES as f64,
+    }
+}
+
+fn best_of<P: ProvenanceSystem + Clone>(provenance: &P, batch_size: usize) -> Measurement {
+    (0..REPS)
+        .map(|_| pipeline_once(provenance.clone(), batch_size))
+        .max_by(|a, b| a.throughput_tps.total_cmp(&b.throughput_tps))
+        .expect("at least one repetition")
+}
+
+fn render_json(measurements: &[Measurement], speedup_np: f64, speedup_gl: f64) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"pr\": 1,\n");
+    out.push_str("  \"benchmark\": \"quick_bench\",\n");
+    out.push_str(
+        "  \"pipeline\": \"source -> filter(odd) -> map(3x+1) -> sink, watermark every 1024\",\n",
+    );
+    out.push_str(&format!("  \"tuples_per_run\": {TUPLES},\n"));
+    out.push_str(&format!("  \"repetitions\": {REPS},\n"));
+    out.push_str("  \"runs\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"system\": \"{}\", \"batch_size\": {}, \"throughput_tps\": {:.0}, \"per_tuple_ns\": {:.1}}}{}\n",
+            m.system,
+            m.batch_size,
+            m.throughput_tps,
+            m.per_tuple_ns,
+            if i + 1 < measurements.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"np_batched_vs_unbatched_speedup\": {speedup_np:.2},\n"
+    ));
+    out.push_str(&format!(
+        "  \"gl_batched_vs_unbatched_speedup\": {speedup_gl:.2}\n"
+    ));
+    out.push_str("}\n");
+    out
+}
+
+fn main() {
+    let np_unbatched = best_of(&NoProvenance, 1);
+    let np_batched = best_of(&NoProvenance, BATCH);
+    let gl = GeneaLog::new();
+    let gl_unbatched = best_of(&gl, 1);
+    let gl_batched = best_of(&gl, BATCH);
+
+    let speedup_np = np_batched.throughput_tps / np_unbatched.throughput_tps;
+    let speedup_gl = gl_batched.throughput_tps / gl_unbatched.throughput_tps;
+    let measurements = [np_unbatched, np_batched, gl_unbatched, gl_batched];
+
+    for m in &measurements {
+        println!(
+            "{:>2} batch={:<4} {:>12.0} tuples/s  {:>8.1} ns/tuple",
+            m.system, m.batch_size, m.throughput_tps, m.per_tuple_ns
+        );
+    }
+    println!("NP batched-vs-unbatched speedup: {speedup_np:.2}x");
+    println!("GL batched-vs-unbatched speedup: {speedup_gl:.2}x");
+
+    let json = render_json(&measurements, speedup_np, speedup_gl);
+    let path = std::env::var("GENEALOG_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR1.json".to_string());
+    let mut file = std::fs::File::create(&path).expect("create benchmark output file");
+    file.write_all(json.as_bytes())
+        .expect("write benchmark output");
+    println!("wrote {path}");
+}

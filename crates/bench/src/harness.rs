@@ -247,8 +247,9 @@ where
     D: TupleData,
     F: FnOnce(&mut Query<NoProvenance>, StreamRef<G::Item, ()>) -> StreamRef<D, ()>,
 {
-    let sink_holder: Arc<parking_lot::Mutex<Option<genealog_spe::operator::sink::CollectedStream<D, ()>>>> =
-        Arc::new(parking_lot::Mutex::new(None));
+    let sink_holder: Arc<
+        parking_lot::Mutex<Option<genealog_spe::operator::sink::CollectedStream<D, ()>>>,
+    > = Arc::new(parking_lot::Mutex::new(None));
     let holder = Arc::clone(&sink_holder);
     let mut result = run_with_system(
         NoProvenance,
@@ -395,78 +396,42 @@ pub fn run_intra(
     let lr_bytes = std::mem::size_of::<PositionReport>() as u64 + 8;
     let sg_bytes = std::mem::size_of::<MeterReading>() as u64 + 8;
     match (query, system) {
-        (QueryId::Q1, SystemUnderTest::NoProvenance) => run_np(
-            LinearRoadGenerator::new(lr),
-            lr_bytes,
-            |q, s| build_q1(q, s),
-            config,
-        ),
-        (QueryId::Q1, SystemUnderTest::GeneaLog) => run_gl(
-            LinearRoadGenerator::new(lr),
-            lr_bytes,
-            |q, s| build_q1(q, s),
-            config,
-        ),
-        (QueryId::Q1, SystemUnderTest::Baseline) => run_bl(
-            LinearRoadGenerator::new(lr),
-            lr_bytes,
-            |q, s| build_q1(q, s),
-            config,
-        ),
-        (QueryId::Q2, SystemUnderTest::NoProvenance) => run_np(
-            LinearRoadGenerator::new(lr),
-            lr_bytes,
-            |q, s| build_q2(q, s),
-            config,
-        ),
-        (QueryId::Q2, SystemUnderTest::GeneaLog) => run_gl(
-            LinearRoadGenerator::new(lr),
-            lr_bytes,
-            |q, s| build_q2(q, s),
-            config,
-        ),
-        (QueryId::Q2, SystemUnderTest::Baseline) => run_bl(
-            LinearRoadGenerator::new(lr),
-            lr_bytes,
-            |q, s| build_q2(q, s),
-            config,
-        ),
-        (QueryId::Q3, SystemUnderTest::NoProvenance) => run_np(
-            SmartGridGenerator::new(sg),
-            sg_bytes,
-            |q, s| build_q3(q, s),
-            config,
-        ),
-        (QueryId::Q3, SystemUnderTest::GeneaLog) => run_gl(
-            SmartGridGenerator::new(sg),
-            sg_bytes,
-            |q, s| build_q3(q, s),
-            config,
-        ),
-        (QueryId::Q3, SystemUnderTest::Baseline) => run_bl(
-            SmartGridGenerator::new(sg),
-            sg_bytes,
-            |q, s| build_q3(q, s),
-            config,
-        ),
-        (QueryId::Q4, SystemUnderTest::NoProvenance) => run_np(
-            SmartGridGenerator::new(sg),
-            sg_bytes,
-            |q, s| build_q4(q, s),
-            config,
-        ),
-        (QueryId::Q4, SystemUnderTest::GeneaLog) => run_gl(
-            SmartGridGenerator::new(sg),
-            sg_bytes,
-            |q, s| build_q4(q, s),
-            config,
-        ),
-        (QueryId::Q4, SystemUnderTest::Baseline) => run_bl(
-            SmartGridGenerator::new(sg),
-            sg_bytes,
-            |q, s| build_q4(q, s),
-            config,
-        ),
+        (QueryId::Q1, SystemUnderTest::NoProvenance) => {
+            run_np(LinearRoadGenerator::new(lr), lr_bytes, build_q1, config)
+        }
+        (QueryId::Q1, SystemUnderTest::GeneaLog) => {
+            run_gl(LinearRoadGenerator::new(lr), lr_bytes, build_q1, config)
+        }
+        (QueryId::Q1, SystemUnderTest::Baseline) => {
+            run_bl(LinearRoadGenerator::new(lr), lr_bytes, build_q1, config)
+        }
+        (QueryId::Q2, SystemUnderTest::NoProvenance) => {
+            run_np(LinearRoadGenerator::new(lr), lr_bytes, build_q2, config)
+        }
+        (QueryId::Q2, SystemUnderTest::GeneaLog) => {
+            run_gl(LinearRoadGenerator::new(lr), lr_bytes, build_q2, config)
+        }
+        (QueryId::Q2, SystemUnderTest::Baseline) => {
+            run_bl(LinearRoadGenerator::new(lr), lr_bytes, build_q2, config)
+        }
+        (QueryId::Q3, SystemUnderTest::NoProvenance) => {
+            run_np(SmartGridGenerator::new(sg), sg_bytes, build_q3, config)
+        }
+        (QueryId::Q3, SystemUnderTest::GeneaLog) => {
+            run_gl(SmartGridGenerator::new(sg), sg_bytes, build_q3, config)
+        }
+        (QueryId::Q3, SystemUnderTest::Baseline) => {
+            run_bl(SmartGridGenerator::new(sg), sg_bytes, build_q3, config)
+        }
+        (QueryId::Q4, SystemUnderTest::NoProvenance) => {
+            run_np(SmartGridGenerator::new(sg), sg_bytes, build_q4, config)
+        }
+        (QueryId::Q4, SystemUnderTest::GeneaLog) => {
+            run_gl(SmartGridGenerator::new(sg), sg_bytes, build_q4, config)
+        }
+        (QueryId::Q4, SystemUnderTest::Baseline) => {
+            run_bl(SmartGridGenerator::new(sg), sg_bytes, build_q4, config)
+        }
     }
 }
 

@@ -14,7 +14,5 @@
 pub mod harness;
 pub mod q4relay;
 
-pub use harness::{
-    run_intra, BenchWorkloads, IntraConfig, IntraResult, QueryId, SystemUnderTest,
-};
+pub use harness::{run_intra, BenchWorkloads, IntraConfig, IntraResult, QueryId, SystemUnderTest};
 pub use q4relay::{q4_relay_stage1, q4_relay_stage2, Q4Relay};

@@ -131,8 +131,11 @@ mod tests {
         relayed.deploy().unwrap().wait().unwrap();
 
         let direct_alerts: Vec<_> = direct_out.tuples().iter().map(|t| (t.ts, t.data)).collect();
-        let mut relayed_alerts: Vec<_> =
-            relayed_out.tuples().iter().map(|t| (t.ts, t.data)).collect();
+        let mut relayed_alerts: Vec<_> = relayed_out
+            .tuples()
+            .iter()
+            .map(|t| (t.ts, t.data))
+            .collect();
         relayed_alerts.sort_by_key(|(ts, a)| (*ts, a.meter_id));
         let mut direct_sorted = direct_alerts.clone();
         direct_sorted.sort_by_key(|(ts, a)| (*ts, a.meter_id));

@@ -17,11 +17,10 @@
 
 use std::any::Any;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use genealog_spe::tuple::{GTuple, TupleData, TupleId};
 use genealog_spe::Timestamp;
-use parking_lot::RwLock;
 
 /// The operator kind that created a tuple (the paper's meta-attribute `T`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -84,6 +83,13 @@ pub trait ProvNode: Send + Sync + fmt::Debug + 'static {
     fn u2(&self) -> Option<ProvRef>;
     /// Chain pointer `N` (next tuple of the same aggregate window).
     fn next(&self) -> Option<ProvRef>;
+    /// Borrowed view of `U1`, avoiding the reference-count round-trip of
+    /// [`ProvNode::u1`] when the caller only inspects the target.
+    fn u1_ref(&self) -> Option<&ProvRef>;
+    /// Borrowed view of `U2` (see [`ProvNode::u1_ref`]).
+    fn u2_ref(&self) -> Option<&ProvRef>;
+    /// Borrowed view of `N` (see [`ProvNode::u1_ref`]).
+    fn next_ref(&self) -> Option<&ProvRef>;
     /// The tuple payload, type-erased (downcast with [`ProvNode::payload_is`] helpers).
     fn payload_any(&self) -> &(dyn Any + Send + Sync);
     /// Debug rendering of the payload, used when writing provenance to disk or logs.
@@ -107,39 +113,54 @@ impl dyn ProvNode {
 
 /// The `N` chain pointer: set after tuple creation by the instrumented Aggregate, so it
 /// needs interior mutability inside the shared tuple.
+///
+/// The pointer is a lock-free *once-settable* cell. Within one aggregate group the
+/// successor of a tuple in the `N` chain is always the next tuple of the same group in
+/// timestamp order, so overlapping sliding windows only ever re-set a pointer to the
+/// value it already holds; the first write wins and later identical writes are no-ops.
+/// Readers ([`NextPointer::get`], traversals on the hot path) never block.
 #[derive(Default)]
 pub struct NextPointer {
-    cell: RwLock<Option<ProvRef>>,
+    cell: OnceLock<ProvRef>,
 }
 
 impl NextPointer {
     /// Creates an unset pointer.
     pub fn new() -> Self {
         NextPointer {
-            cell: RwLock::new(None),
+            cell: OnceLock::new(),
         }
     }
 
-    /// Sets the pointer (overwriting any previous value; overlapping sliding windows
-    /// legitimately re-set it to the same successor).
+    /// Sets the pointer. The first write wins; subsequent writes (overlapping sliding
+    /// windows legitimately re-chain a tuple to the same successor) are ignored.
     pub fn set(&self, next: ProvRef) {
-        *self.cell.write() = Some(next);
+        let _ = self.cell.set(next);
     }
 
-    /// Reads the pointer.
+    /// Reads the pointer (lock-free).
     pub fn get(&self) -> Option<ProvRef> {
-        self.cell.read().clone()
+        self.cell.get().cloned()
+    }
+
+    /// Borrowed view of the pointer (lock-free, no reference-count traffic).
+    pub fn get_ref(&self) -> Option<&ProvRef> {
+        self.cell.get()
     }
 
     /// Whether the pointer has been set.
     pub fn is_set(&self) -> bool {
-        self.cell.read().is_some()
+        self.cell.get().is_some()
     }
 }
 
 impl fmt::Debug for NextPointer {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "NextPointer({})", if self.is_set() { "set" } else { "unset" })
+        write!(
+            f,
+            "NextPointer({})",
+            if self.is_set() { "set" } else { "unset" }
+        )
     }
 }
 
@@ -231,6 +252,18 @@ impl<T: TupleData> ProvNode for GTuple<T, GlMeta> {
 
     fn next(&self) -> Option<ProvRef> {
         self.meta.next.get()
+    }
+
+    fn u1_ref(&self) -> Option<&ProvRef> {
+        self.meta.u1.as_ref()
+    }
+
+    fn u2_ref(&self) -> Option<&ProvRef> {
+        self.meta.u2.as_ref()
+    }
+
+    fn next_ref(&self) -> Option<&ProvRef> {
+        self.meta.next.get_ref()
     }
 
     fn payload_any(&self) -> &(dyn Any + Send + Sync) {

@@ -208,7 +208,9 @@ mod tests {
     #[test]
     fn aggregate_chains_the_window_and_points_at_its_ends() {
         let gl = GeneaLog::new();
-        let window: Vec<_> = (0..4).map(|i| source_tuple(&gl, 30 * (i + 1), i as i64)).collect();
+        let window: Vec<_> = (0..4)
+            .map(|i| source_tuple(&gl, 30 * (i + 1), i as i64))
+            .collect();
         let meta = gl.aggregate_meta(&window);
         assert_eq!(meta.kind, OpKind::Aggregate);
         // U2 = earliest, U1 = latest.

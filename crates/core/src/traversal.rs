@@ -25,13 +25,16 @@ fn node_key(node: &ProvRef) -> usize {
     std::sync::Arc::as_ptr(node) as *const () as usize
 }
 
+/// Enqueues `node` if it has not been visited. Takes a *borrowed* reference and only
+/// clones (bumping the reference count) when the node is actually new, so revisits in
+/// diamond-shaped graphs cost a pointer comparison instead of an `Arc` round-trip.
 fn enqueue_if_not_visited(
-    node: ProvRef,
+    node: &ProvRef,
     queue: &mut VecDeque<ProvRef>,
     visited: &mut HashSet<usize>,
 ) {
-    if visited.insert(node_key(&node)) {
-        queue.push_back(node);
+    if visited.insert(node_key(node)) {
+        queue.push_back(node.clone());
     }
 }
 
@@ -59,37 +62,36 @@ pub fn find_provenance_with_stats(root: &ProvRef) -> (Vec<ProvRef>, TraversalSta
         match tuple.kind() {
             OpKind::Source | OpKind::Remote => result.push(tuple),
             OpKind::Map | OpKind::Multiplex => {
-                if let Some(u1) = tuple.u1() {
+                if let Some(u1) = tuple.u1_ref() {
                     enqueue_if_not_visited(u1, &mut queue, &mut visited);
                 }
             }
             OpKind::Join => {
-                if let Some(u1) = tuple.u1() {
+                if let Some(u1) = tuple.u1_ref() {
                     enqueue_if_not_visited(u1, &mut queue, &mut visited);
                 }
-                if let Some(u2) = tuple.u2() {
+                if let Some(u2) = tuple.u2_ref() {
                     enqueue_if_not_visited(u2, &mut queue, &mut visited);
                 }
             }
             OpKind::Aggregate => {
-                let u1 = tuple.u1();
-                let u2 = tuple.u2();
-                let u1_key = u1.as_ref().map(node_key);
-                if let Some(u2) = u2 {
-                    let mut cursor = u2.next();
+                let u1_key = tuple.u1_ref().map(node_key);
+                if let Some(u2) = tuple.u2_ref() {
                     enqueue_if_not_visited(u2, &mut queue, &mut visited);
                     // Walk the N chain from U2 towards U1 (exclusive); U1 itself is
-                    // enqueued afterwards, mirroring Listing 1.
+                    // enqueued afterwards, mirroring Listing 1. Each step borrows the
+                    // chain pointer and clones once to advance the owned cursor.
+                    let mut cursor = u2.next_ref().cloned();
                     while let Some(temp) = cursor {
                         if Some(node_key(&temp)) == u1_key {
                             break;
                         }
-                        let next = temp.next();
-                        enqueue_if_not_visited(temp, &mut queue, &mut visited);
+                        let next = temp.next_ref().cloned();
+                        enqueue_if_not_visited(&temp, &mut queue, &mut visited);
                         cursor = next;
                     }
                 }
-                if let Some(u1) = u1 {
+                if let Some(u1) = tuple.u1_ref() {
                     enqueue_if_not_visited(u1, &mut queue, &mut visited);
                 }
             }
@@ -135,12 +137,7 @@ mod tests {
     }
 
     fn aggregate_of(gl: &GeneaLog, window: &[Tup<i64>], v: i64) -> Tup<i64> {
-        Arc::new(GTuple::new(
-            window[0].ts,
-            0,
-            v,
-            gl.aggregate_meta(window),
-        ))
+        Arc::new(GTuple::new(window[0].ts, 0, v, gl.aggregate_meta(window)))
     }
 
     fn join_of(gl: &GeneaLog, l: &Tup<i64>, r: &Tup<i64>, v: i64) -> Tup<i64> {
@@ -185,7 +182,10 @@ mod tests {
         let agg = aggregate_of(&gl, &window, 4);
         let prov = find_provenance(&erase(&agg));
         assert_eq!(prov.len(), 4);
-        assert_eq!(ids(&prov), ids(&window.iter().map(erase).collect::<Vec<_>>()));
+        assert_eq!(
+            ids(&prov),
+            ids(&window.iter().map(erase).collect::<Vec<_>>())
+        );
     }
 
     #[test]
@@ -316,6 +316,6 @@ mod tests {
         let alert = aggregate_of(&gl, &daily, 0);
         let (prov, stats) = find_provenance_with_stats(&erase(&alert));
         assert_eq!(prov.len(), 192);
-        assert!(stats.nodes_visited >= 192 + 8 + 1);
+        assert!(stats.nodes_visited > 192 + 8);
     }
 }

@@ -234,12 +234,16 @@ where
     let mut branches = branches.into_iter();
     let first = branches.next().expect("multiplex produced two branches");
     let second = branches.next().expect("multiplex produced two branches");
-    let remote_branch = q.filter(&format!("{name}-mu-remote"), first, |e: &UnfoldedEvent<T, S>| {
-        e.origin_kind != OpKind::Source
-    });
-    let source_branch = q.filter(&format!("{name}-mu-source"), second, |e: &UnfoldedEvent<T, S>| {
-        e.origin_kind == OpKind::Source
-    });
+    let remote_branch = q.filter(
+        &format!("{name}-mu-remote"),
+        first,
+        |e: &UnfoldedEvent<T, S>| e.origin_kind != OpKind::Source,
+    );
+    let source_branch = q.filter(
+        &format!("{name}-mu-source"),
+        second,
+        |e: &UnfoldedEvent<T, S>| e.origin_kind == OpKind::Source,
+    );
 
     // Resolve REMOTE originating tuples through the upstream unfolded streams:
     // match on upstream delivering id == derived originating id.
@@ -397,12 +401,7 @@ mod tests {
         let mut q = Query::new(NoProvenance);
         let derived = q.source(
             "derived",
-            VecSource::new(
-                derived_events
-                    .into_iter()
-                    .map(|e| (e.sink_ts, e))
-                    .collect(),
-            ),
+            VecSource::new(derived_events.into_iter().map(|e| (e.sink_ts, e)).collect()),
         );
         let upstream = q.source(
             "upstream",
@@ -427,11 +426,17 @@ mod tests {
             sink.tuples().iter().map(|t| t.data.clone()).collect();
         assert_eq!(outputs.len(), 3);
         // alert-a passes through untouched.
-        let a: Vec<_> = outputs.iter().filter(|e| e.sink_data == "alert-a").collect();
+        let a: Vec<_> = outputs
+            .iter()
+            .filter(|e| e.sink_data == "alert-a")
+            .collect();
         assert_eq!(a.len(), 1);
         assert_eq!(a[0].origin_data, Some(42));
         // alert-b is replaced by the two upstream source records.
-        let b: Vec<_> = outputs.iter().filter(|e| e.sink_data == "alert-b").collect();
+        let b: Vec<_> = outputs
+            .iter()
+            .filter(|e| e.sink_data == "alert-b")
+            .collect();
         assert_eq!(b.len(), 2);
         let mut payloads: Vec<i64> = b.iter().filter_map(|e| e.origin_data).collect();
         payloads.sort_unstable();

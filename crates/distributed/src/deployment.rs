@@ -101,7 +101,10 @@ pub struct DistributedOutcome<D, S> {
 impl<D, S> DistributedOutcome<D, S> {
     /// Total source tuples injected by instance 1.
     pub fn source_tuples(&self) -> u64 {
-        self.reports.first().map(QueryReport::source_tuples).unwrap_or(0)
+        self.reports
+            .first()
+            .map(QueryReport::source_tuples)
+            .unwrap_or(0)
     }
 
     /// Total bytes shipped over the simulated network.
@@ -110,16 +113,16 @@ impl<D, S> DistributedOutcome<D, S> {
     }
 }
 
-fn group_provenance<D, S>(
-    events: Vec<UnfoldedEvent<D, S>>,
-) -> Vec<ProvenanceRecord<D, S>>
+fn group_provenance<D, S>(events: Vec<UnfoldedEvent<D, S>>) -> Vec<ProvenanceRecord<D, S>>
 where
     D: TupleData,
     S: TupleData,
 {
     let mut order: Vec<genealog_spe::tuple::TupleId> = Vec::new();
-    let mut groups: std::collections::HashMap<genealog_spe::tuple::TupleId, ProvenanceRecord<D, S>> =
-        std::collections::HashMap::new();
+    let mut groups: std::collections::HashMap<
+        genealog_spe::tuple::TupleId,
+        ProvenanceRecord<D, S>,
+    > = std::collections::HashMap::new();
     for event in events {
         let entry = groups.entry(event.sink_id).or_insert_with(|| {
             order.push(event.sink_id);
@@ -133,7 +136,10 @@ where
             entry.sources.push(record);
         }
     }
-    order.into_iter().filter_map(|id| groups.remove(&id)).collect()
+    order
+        .into_iter()
+        .filter_map(|id| groups.remove(&id))
+        .collect()
 }
 
 /// Deploys a two-stage query over three SPE instances with **GeneaLog** provenance
@@ -171,8 +177,14 @@ where
     let mut instance1 = Query::new(GeneaLog::for_instance(1));
     let source = instance1.source_with(&format!("{name}-source"), generator, source_config);
     let stage1_out = stage1(&mut instance1, source);
-    let (data_stream, unfolded1) = attach_unfolder(&mut instance1, &format!("{name}-i1"), stage1_out);
-    add_send(&mut instance1, &format!("{name}-i1-send-data"), data_stream, data_tx);
+    let (data_stream, unfolded1) =
+        attach_unfolder(&mut instance1, &format!("{name}-i1"), stage1_out);
+    add_send(
+        &mut instance1,
+        &format!("{name}-i1-send-data"),
+        data_stream,
+        data_tx,
+    );
     let upstream_events = instance1.map_one(
         &format!("{name}-i1-upstream"),
         unfolded1,
@@ -206,10 +218,16 @@ where
 
     // --- Instance 3: Receives + MU + provenance Sink ------------------------------
     let mut instance3 = Query::new(NoProvenance);
-    let upstream: StreamRef<UpstreamEvent<S>, ()> =
-        add_receive(&mut instance3, &format!("{name}-i3-receive-upstream"), up_rx);
-    let derived: StreamRef<UnfoldedEvent<D2, S>, ()> =
-        add_receive(&mut instance3, &format!("{name}-i3-receive-derived"), derived_rx);
+    let upstream: StreamRef<UpstreamEvent<S>, ()> = add_receive(
+        &mut instance3,
+        &format!("{name}-i3-receive-upstream"),
+        up_rx,
+    );
+    let derived: StreamRef<UnfoldedEvent<D2, S>, ()> = add_receive(
+        &mut instance3,
+        &format!("{name}-i3-receive-derived"),
+        derived_rx,
+    );
     let complete = attach_multi_unfolder(
         &mut instance3,
         &format!("{name}-i3"),
@@ -220,7 +238,11 @@ where
     let provenance_sink = instance3.collecting_sink(&format!("{name}-provenance-sink"), complete);
 
     // --- Run all three instances to completion -----------------------------------
-    let handles = vec![instance1.deploy()?, instance2.deploy()?, instance3.deploy()?];
+    let handles = vec![
+        instance1.deploy()?,
+        instance2.deploy()?,
+        instance3.deploy()?,
+    ];
     let mut reports = Vec::with_capacity(handles.len());
     for handle in handles {
         reports.push(handle.wait()?);
@@ -274,7 +296,12 @@ where
     let mut instance1 = Query::new(NoProvenance);
     let source = instance1.source_with(&format!("{name}-source"), generator, source_config);
     let stage1_out = stage1(&mut instance1, source);
-    add_send(&mut instance1, &format!("{name}-i1-send-data"), stage1_out, data_tx);
+    add_send(
+        &mut instance1,
+        &format!("{name}-i1-send-data"),
+        stage1_out,
+        data_tx,
+    );
 
     let mut instance2 = Query::new(NoProvenance);
     let received: StreamRef<D1, ()> =
@@ -347,7 +374,12 @@ where
     let to_query = branches.next().expect("two branches");
     let to_provenance = branches.next().expect("two branches");
     let stage1_out = stage1(&mut instance1, to_query);
-    add_send(&mut instance1, &format!("{name}-i1-send-data"), stage1_out, data_tx);
+    add_send(
+        &mut instance1,
+        &format!("{name}-i1-send-data"),
+        stage1_out,
+        data_tx,
+    );
     // The baseline has to make the raw source stream available wherever provenance is
     // materialised, so the whole stream crosses the network.
     add_send(
@@ -365,11 +397,18 @@ where
 
     // Instance 3: persist the forwarded source stream (the baseline's provenance store).
     let mut instance3 = Query::new(NoProvenance);
-    let forwarded: StreamRef<S, ()> =
-        add_receive(&mut instance3, &format!("{name}-i3-receive-sources"), source_rx);
+    let forwarded: StreamRef<S, ()> = add_receive(
+        &mut instance3,
+        &format!("{name}-i3-receive-sources"),
+        source_rx,
+    );
     let _store = instance3.collecting_sink(&format!("{name}-source-store"), forwarded);
 
-    let handles = vec![instance1.deploy()?, instance2.deploy()?, instance3.deploy()?];
+    let handles = vec![
+        instance1.deploy()?,
+        instance2.deploy()?,
+        instance3.deploy()?,
+    ];
     let mut reports = Vec::with_capacity(handles.len());
     for handle in handles {
         reports.push(handle.wait()?);
@@ -394,9 +433,7 @@ where
 mod tests {
     use super::*;
     use genealog_workloads::linear_road::{LinearRoadConfig, LinearRoadGenerator};
-    use genealog_workloads::queries::{
-        q1_provenance_window, q1_stage1, q1_stage2,
-    };
+    use genealog_workloads::queries::{q1_provenance_window, q1_stage1, q1_stage2};
     use genealog_workloads::types::{PositionReport, StoppedCarCount};
 
     fn lr_config() -> LinearRoadConfig {
@@ -414,12 +451,19 @@ mod tests {
         let expected_cars: std::collections::BTreeSet<u32> =
             generator.breakdown_cars().into_iter().collect();
 
-        let outcome = deploy_distributed_genealog::<_, StoppedCarCount, StoppedCarCount, PositionReport, _, _>(
+        let outcome = deploy_distributed_genealog::<
+            _,
+            StoppedCarCount,
+            StoppedCarCount,
+            PositionReport,
+            _,
+            _,
+        >(
             "q1",
             generator,
             SourceConfig::default(),
-            |q, reports| q1_stage1(q, reports),
-            |q, counts| q1_stage2(q, counts),
+            q1_stage1,
+            q1_stage2,
             q1_provenance_window(),
             NetworkConfig::unlimited(),
         )
@@ -449,22 +493,30 @@ mod tests {
     fn distributed_q1_noprov_and_baseline_agree_on_alerts() {
         let config = lr_config();
 
-        let np = deploy_distributed_noprov::<_, StoppedCarCount, StoppedCarCount, PositionReport, _, _>(
-            "q1-np",
-            LinearRoadGenerator::new(config),
-            SourceConfig::default(),
-            |q, reports| q1_stage1(q, reports),
-            |q, counts| q1_stage2(q, counts),
-            NetworkConfig::unlimited(),
-        )
-        .expect("np deployment");
+        let np =
+            deploy_distributed_noprov::<_, StoppedCarCount, StoppedCarCount, PositionReport, _, _>(
+                "q1-np",
+                LinearRoadGenerator::new(config),
+                SourceConfig::default(),
+                q1_stage1,
+                q1_stage2,
+                NetworkConfig::unlimited(),
+            )
+            .expect("np deployment");
 
-        let bl = deploy_distributed_baseline::<_, StoppedCarCount, StoppedCarCount, PositionReport, _, _>(
+        let bl = deploy_distributed_baseline::<
+            _,
+            StoppedCarCount,
+            StoppedCarCount,
+            PositionReport,
+            _,
+            _,
+        >(
             "q1-bl",
             LinearRoadGenerator::new(config),
             SourceConfig::default(),
-            |q, reports| q1_stage1(q, reports),
-            |q, counts| q1_stage2(q, counts),
+            q1_stage1,
+            q1_stage2,
             NetworkConfig::unlimited(),
         )
         .expect("bl deployment");

@@ -184,7 +184,7 @@ where
         &self.name
     }
 
-    fn run(self: Box<Self>) -> Result<OperatorStats, SpeError> {
+    fn run(mut self: Box<Self>) -> Result<OperatorStats, SpeError> {
         let mut stats = OperatorStats::new(self.name.clone());
         loop {
             match self.input.recv() {
@@ -250,7 +250,7 @@ where
     }
 
     fn run(self: Box<Self>) -> Result<OperatorStats, SpeError> {
-        let out = self.output.open();
+        let mut out = self.output.open();
         let mut stats = OperatorStats::new(self.name.clone());
         while let Some(frame) = self.link.recv() {
             let decoded = decode_frame::<T>(&frame).map_err(|err| SpeError::Runtime {
@@ -322,9 +322,13 @@ mod tests {
             gl_sender.map_meta(&source_tuple),
         ));
         let derived_id = derived.meta.id;
-        in_tx.send(Element::Tuple(Arc::clone(&source_tuple))).unwrap();
+        in_tx
+            .send(Element::Tuple(Arc::clone(&source_tuple)))
+            .unwrap();
         in_tx.send(Element::Tuple(derived)).unwrap();
-        in_tx.send(Element::Watermark(Timestamp::from_secs(2))).unwrap();
+        in_tx
+            .send(Element::Watermark(Timestamp::from_secs(2)))
+            .unwrap();
         in_tx.send(Element::End).unwrap();
         let send = SendOp::new("send", in_rx, link_tx, gl_sender);
         let send_stats = Box::new(send).run().unwrap();
@@ -333,7 +337,7 @@ mod tests {
 
         // Receiving side.
         let slot = OutputSlot::<u32, GlMeta>::new();
-        let (out_tx, out_rx) = stream_channel(16);
+        let (out_tx, mut out_rx) = stream_channel(16);
         slot.connect(out_tx);
         let receive = ReceiveOp::new("receive", link_rx, slot, gl_receiver);
         let recv_stats = Box::new(receive).run().unwrap();
@@ -359,7 +363,7 @@ mod tests {
         let (link_tx, link_rx, _stats) = SimulatedLink::new(NetworkConfig::unlimited());
         drop(link_tx);
         let slot = OutputSlot::<u32, ()>::new();
-        let (out_tx, out_rx) = stream_channel(4);
+        let (out_tx, mut out_rx) = stream_channel(4);
         slot.connect(out_tx);
         let receive = ReceiveOp::new("receive", link_rx, slot, NoProvenance);
         let stats = Box::new(receive).run().unwrap();

@@ -99,6 +99,7 @@ pub struct LinkReceiver {
 
 impl SimulatedLink {
     /// Creates a link with the given characteristics and splits it into halves.
+    #[allow(clippy::new_ret_no_self)] // a link is only ever used as its two halves
     pub fn new(config: NetworkConfig) -> (LinkSender, LinkReceiver, Arc<LinkStats>) {
         let stats = Arc::new(LinkStats::default());
         let (tx, rx) = unbounded();

@@ -8,10 +8,10 @@
 
 use std::fmt;
 
-use genealog_spe::tuple::TupleId;
-use genealog_spe::Timestamp;
 use genealog::OpKind;
 use genealog::{SourceRecord, UnfoldedEvent, UpstreamEvent};
+use genealog_spe::tuple::TupleId;
+use genealog_spe::Timestamp;
 use genealog_workloads::types::{
     AccidentAlert, AnomalyAlert, BlackoutAlert, DailyConsumption, MeterReading, PositionReport,
     StoppedCarCount,

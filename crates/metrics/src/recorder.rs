@@ -212,13 +212,7 @@ impl MemorySampler {
 
     /// Maximum sampled memory, in megabytes.
     pub fn max_mb(&self) -> f64 {
-        self.samples
-            .lock()
-            .iter()
-            .copied()
-            .max()
-            .unwrap_or(0) as f64
-            / (1024.0 * 1024.0)
+        self.samples.lock().iter().copied().max().unwrap_or(0) as f64 / (1024.0 * 1024.0)
     }
 }
 

@@ -1,5 +1,25 @@
-//! Bounded stream channels connecting operators, and the output-port plumbing used by
+//! Batched stream channels connecting operators, and the output-port plumbing used by
 //! the typed query builder.
+//!
+//! # Batched transport
+//!
+//! Operators exchange [`Batch`]es of [`Element`]s rather than individual elements, so
+//! the per-tuple synchronisation cost of the underlying channel (lock, wake-up,
+//! cache-line transfer) is amortised over [`BatchConfig::size`] tuples. The flush
+//! policy preserves the engine's time semantics:
+//!
+//! * a **data tuple** is appended to the current batch, which is flushed once it
+//!   reaches the configured size;
+//! * a **watermark** is appended *and the batch is flushed immediately*, so a
+//!   watermark is never reordered relative to the data elements that precede it and
+//!   downstream windows close with unchanged timing;
+//! * the **end-of-stream marker** likewise flushes the partial batch, so no element is
+//!   ever stranded in a buffer.
+//!
+//! With `BatchConfig::size == 1` every element travels alone and the transport is
+//! behaviourally identical to the original per-element design. Back-pressure is
+//! retained: the channel is bounded in *batches*, so a fast producer still blocks when
+//! the consumer falls behind.
 //!
 //! Every stream produced by an operator is consumed by **exactly one** downstream
 //! operator (fan-out is expressed with the Multiplex operator, exactly as in the
@@ -8,13 +28,135 @@
 //! half of a bounded channel and the consumer receives the receiving half. Unconnected
 //! slots are rejected at deployment time unless explicitly discarded.
 
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use crossbeam_channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
+use smallvec::SmallVec;
 
 use crate::time::Timestamp;
 use crate::tuple::{Element, GTuple};
+
+/// Number of elements a [`Batch`] can hold without a heap allocation.
+///
+/// Deliberately smaller than the default [`BatchConfig`] size: the inline path is for
+/// the frequent *runt* batches (watermark- and end-flushed partial runs, singleton
+/// sends through [`StreamSender::send`]), while full-size data batches heap-allocate
+/// once and are moved by pointer. A larger inline capacity would bloat every `Batch`
+/// value moved through the channel.
+pub const BATCH_INLINE_CAPACITY: usize = 8;
+
+/// Per-operator batching configuration, threaded through the query builder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Number of data elements accumulated before a batch is flushed downstream.
+    /// Watermarks and end-of-stream markers always flush immediately.
+    pub size: usize,
+}
+
+impl BatchConfig {
+    /// A configuration flushing after every element (the unbatched seed behaviour).
+    pub const fn unbatched() -> Self {
+        BatchConfig { size: 1 }
+    }
+
+    /// A configuration flushing after `size` elements (clamped to at least 1).
+    pub const fn with_size(size: usize) -> Self {
+        BatchConfig {
+            size: if size == 0 { 1 } else { size },
+        }
+    }
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig { size: 32 }
+    }
+}
+
+/// A run of stream elements travelling through one channel send.
+#[derive(Debug)]
+pub struct Batch<T, M> {
+    elements: SmallVec<[Element<T, M>; BATCH_INLINE_CAPACITY]>,
+}
+
+impl<T, M> Default for Batch<T, M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T, M> Batch<T, M> {
+    /// Creates an empty batch.
+    pub fn new() -> Self {
+        Batch {
+            elements: SmallVec::new(),
+        }
+    }
+
+    /// Creates an empty batch sized for `capacity` elements.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Batch {
+            elements: SmallVec::with_capacity(capacity),
+        }
+    }
+
+    /// Creates a batch holding a single element.
+    pub fn singleton(element: Element<T, M>) -> Self {
+        let mut batch = Batch::new();
+        batch.push(element);
+        batch
+    }
+
+    /// Creates a batch holding only the end-of-stream marker.
+    pub fn end() -> Self {
+        Batch::singleton(Element::End)
+    }
+
+    /// Appends an element.
+    pub fn push(&mut self, element: Element<T, M>) {
+        self.elements.push(element);
+    }
+
+    /// Number of elements in the batch.
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// True if the batch holds no element.
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// Iterator over the contained elements.
+    pub fn iter(&self) -> std::slice::Iter<'_, Element<T, M>> {
+        self.elements.iter()
+    }
+}
+
+impl<T, M> IntoIterator for Batch<T, M> {
+    type Item = Element<T, M>;
+    type IntoIter = std::vec::IntoIter<Element<T, M>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.elements.into_iter()
+    }
+}
+
+impl<'a, T, M> IntoIterator for &'a Batch<T, M> {
+    type Item = &'a Element<T, M>;
+    type IntoIter = std::slice::Iter<'a, Element<T, M>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl<T, M> Extend<Element<T, M>> for Batch<T, M> {
+    fn extend<I: IntoIterator<Item = Element<T, M>>>(&mut self, iter: I) {
+        self.elements.extend(iter);
+    }
+}
 
 /// Error returned when sending on a stream whose consumer has shut down.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,80 +170,172 @@ impl std::fmt::Display for ChannelClosed {
 
 impl std::error::Error for ChannelClosed {}
 
-/// Sending half of a stream channel.
+/// Sending half of a stream channel (batch-granular).
 #[derive(Debug)]
 pub struct StreamSender<T, M> {
-    tx: Sender<Element<T, M>>,
+    tx: Sender<Batch<T, M>>,
+    /// Elements currently queued in the channel (shared with the receiver so
+    /// [`StreamReceiver::len`] stays element-accurate under batching).
+    queued_elements: Arc<AtomicUsize>,
 }
 
 impl<T, M> Clone for StreamSender<T, M> {
     fn clone(&self) -> Self {
         StreamSender {
             tx: self.tx.clone(),
+            queued_elements: Arc::clone(&self.queued_elements),
         }
     }
 }
 
 /// Receiving half of a stream channel.
+///
+/// The receiver unpacks arriving batches transparently: [`StreamReceiver::recv`]
+/// yields one element at a time from an internal cursor, while
+/// [`StreamReceiver::recv_batch`] hands over a whole batch for operators that iterate
+/// their input in bulk.
 #[derive(Debug)]
 pub struct StreamReceiver<T, M> {
-    rx: Receiver<Element<T, M>>,
+    rx: Receiver<Batch<T, M>>,
+    /// Elements of partially consumed batches, in arrival order.
+    pending: VecDeque<Element<T, M>>,
+    /// Elements currently queued in the channel (shared with the senders).
+    queued_elements: Arc<AtomicUsize>,
 }
 
-/// Creates a bounded stream channel with the given capacity (in elements).
+/// Creates a bounded stream channel with the given capacity (in batches).
 ///
 /// Bounded capacity is what provides back-pressure: a fast upstream operator blocks
 /// when the downstream operator cannot keep up, exactly like the queue-based
-/// communication of the paper's SPE instances.
+/// communication of the paper's SPE instances. Under batching the bound counts
+/// *batches*, so the element-level buffer scales with the configured batch size.
 pub fn stream_channel<T, M>(capacity: usize) -> (StreamSender<T, M>, StreamReceiver<T, M>) {
     let (tx, rx) = bounded(capacity.max(1));
-    (StreamSender { tx }, StreamReceiver { rx })
+    let queued_elements = Arc::new(AtomicUsize::new(0));
+    (
+        StreamSender {
+            tx,
+            queued_elements: Arc::clone(&queued_elements),
+        },
+        StreamReceiver {
+            rx,
+            pending: VecDeque::new(),
+            queued_elements,
+        },
+    )
 }
 
 impl<T, M> StreamSender<T, M> {
-    /// Sends an element, blocking while the channel is full.
+    /// Sends a single element (as a one-element batch), blocking while the channel is
+    /// full.
     ///
     /// # Errors
     /// Returns [`ChannelClosed`] if the consumer has been dropped.
     pub fn send(&self, element: Element<T, M>) -> Result<(), ChannelClosed> {
-        self.tx.send(element).map_err(|_| ChannelClosed)
+        self.send_batch(Batch::singleton(element))
+    }
+
+    /// Sends a whole batch, blocking while the channel is full. Empty batches are
+    /// dropped without a channel operation.
+    ///
+    /// # Errors
+    /// Returns [`ChannelClosed`] if the consumer has been dropped.
+    pub fn send_batch(&self, batch: Batch<T, M>) -> Result<(), ChannelClosed> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let elements = batch.len();
+        self.queued_elements.fetch_add(elements, Ordering::Relaxed);
+        self.tx.send(batch).map_err(|_| {
+            self.queued_elements.fetch_sub(elements, Ordering::Relaxed);
+            ChannelClosed
+        })
     }
 }
 
 impl<T, M> StreamReceiver<T, M> {
-    /// The underlying crossbeam receiver (used by multi-input operators to `select`
+    /// The underlying channel receiver (used by multi-input operators to `select`
     /// over several inputs without committing to a blocking receive on one of them).
-    pub(crate) fn inner(&self) -> &Receiver<Element<T, M>> {
+    ///
+    /// Callers selecting on the raw receiver must drain [`StreamReceiver::has_pending`]
+    /// elements first; the engine's multi-input operators do.
+    pub(crate) fn inner(&self) -> &Receiver<Batch<T, M>> {
         &self.rx
+    }
+
+    /// True if elements of a partially consumed batch are buffered locally.
+    pub(crate) fn has_pending(&self) -> bool {
+        !self.pending.is_empty()
     }
 
     /// Receives the next element, blocking until one is available.
     ///
     /// Returns [`Element::End`] if the producer has been dropped without sending an
     /// explicit end-of-stream marker, so consumers can treat both cases uniformly.
-    pub fn recv(&self) -> Element<T, M> {
-        self.rx.recv().unwrap_or(Element::End)
+    pub fn recv(&mut self) -> Element<T, M> {
+        loop {
+            if let Some(element) = self.pending.pop_front() {
+                return element;
+            }
+            match self.rx.recv() {
+                Ok(batch) => {
+                    self.queued_elements
+                        .fetch_sub(batch.len(), Ordering::Relaxed);
+                    self.pending.extend(batch);
+                }
+                Err(_) => return Element::End,
+            }
+        }
+    }
+
+    /// Receives the next run of elements, blocking until at least one is available.
+    ///
+    /// Returns a batch holding only [`Element::End`] if the producer has been dropped
+    /// without an explicit end-of-stream marker.
+    pub fn recv_batch(&mut self) -> Batch<T, M> {
+        if !self.pending.is_empty() {
+            let mut batch = Batch::with_capacity(self.pending.len());
+            batch.extend(self.pending.drain(..));
+            return batch;
+        }
+        match self.rx.recv() {
+            Ok(batch) => {
+                self.queued_elements
+                    .fetch_sub(batch.len(), Ordering::Relaxed);
+                batch
+            }
+            Err(_) => Batch::end(),
+        }
     }
 
     /// Receives the next element, waiting at most `timeout`.
     ///
     /// Returns `None` on timeout and `Some(Element::End)` if the producer went away.
-    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Option<Element<T, M>> {
+    pub fn recv_timeout(&mut self, timeout: std::time::Duration) -> Option<Element<T, M>> {
+        if let Some(element) = self.pending.pop_front() {
+            return Some(element);
+        }
         match self.rx.recv_timeout(timeout) {
-            Ok(el) => Some(el),
+            Ok(batch) => {
+                self.queued_elements
+                    .fetch_sub(batch.len(), Ordering::Relaxed);
+                self.pending.extend(batch);
+                self.pending.pop_front()
+            }
             Err(RecvTimeoutError::Timeout) => None,
             Err(RecvTimeoutError::Disconnected) => Some(Element::End),
         }
     }
 
-    /// Number of elements currently buffered in the channel.
+    /// Number of elements currently buffered: queued in the channel plus locally
+    /// buffered elements of a partially consumed batch.
     pub fn len(&self) -> usize {
-        self.rx.len()
+        self.queued_elements.load(Ordering::Relaxed) + self.pending.len()
     }
 
-    /// True if no element is currently buffered.
+    /// True if nothing is currently buffered.
     pub fn is_empty(&self) -> bool {
-        self.rx.is_empty()
+        self.len() == 0
     }
 }
 
@@ -116,17 +350,21 @@ enum SlotState<T, M> {
 ///
 /// Cloning an `OutputSlot` yields a handle to the *same* port (the builder keeps one
 /// clone inside the producing operator and one inside the [`StreamRef`] it returns).
+/// The slot carries the [`BatchConfig`] the builder assigned to the producing
+/// operator; [`OutputSlot::open`] bakes it into the returned [`OutputHandle`].
 ///
 /// [`StreamRef`]: crate::query::StreamRef
 #[derive(Debug)]
 pub struct OutputSlot<T, M> {
     state: Arc<Mutex<SlotState<T, M>>>,
+    batch: BatchConfig,
 }
 
 impl<T, M> Clone for OutputSlot<T, M> {
     fn clone(&self) -> Self {
         OutputSlot {
             state: Arc::clone(&self.state),
+            batch: self.batch,
         }
     }
 }
@@ -138,11 +376,23 @@ impl<T, M> Default for OutputSlot<T, M> {
 }
 
 impl<T, M> OutputSlot<T, M> {
-    /// Creates a new, unconnected output slot.
+    /// Creates a new, unconnected output slot that flushes after every element
+    /// (matching the pre-batching behaviour for direct users of the channel layer).
     pub fn new() -> Self {
+        Self::with_config(BatchConfig::unbatched())
+    }
+
+    /// Creates a new, unconnected output slot with the given batching configuration.
+    pub fn with_config(batch: BatchConfig) -> Self {
         OutputSlot {
             state: Arc::new(Mutex::new(SlotState::Unconnected)),
+            batch,
         }
+    }
+
+    /// The batching configuration operators opened from this slot will use.
+    pub fn batch_config(&self) -> BatchConfig {
+        self.batch
     }
 
     /// Connects the slot to a consumer's channel.
@@ -174,28 +424,38 @@ impl<T, M> OutputSlot<T, M> {
     /// Resolves the slot into the handle the operator uses at run time.
     pub fn open(&self) -> OutputHandle<T, M> {
         let state = self.state.lock();
-        match &*state {
-            SlotState::Connected(sender) => OutputHandle {
-                sender: Some(sender.clone()),
-            },
-            SlotState::Discard | SlotState::Unconnected => OutputHandle { sender: None },
+        let sender = match &*state {
+            SlotState::Connected(sender) => Some(sender.clone()),
+            SlotState::Discard | SlotState::Unconnected => None,
+        };
+        OutputHandle {
+            sender,
+            buffer: Batch::new(),
+            batch_size: self.batch.size.max(1),
         }
     }
 }
 
 /// Run-time handle an operator uses to emit elements on one output stream.
 ///
-/// A handle backed by a discarded slot silently drops everything, which keeps operator
-/// code free of special cases.
+/// The handle accumulates data tuples into a [`Batch`] and flushes it when the batch
+/// reaches the configured size, when a watermark or end-of-stream marker is emitted,
+/// or when [`OutputHandle::flush`] is called explicitly. A handle backed by a
+/// discarded slot silently drops everything, which keeps operator code free of
+/// special cases.
 #[derive(Debug)]
 pub struct OutputHandle<T, M> {
     sender: Option<StreamSender<T, M>>,
+    buffer: Batch<T, M>,
+    batch_size: usize,
 }
 
 impl<T, M> Clone for OutputHandle<T, M> {
     fn clone(&self) -> Self {
         OutputHandle {
             sender: self.sender.clone(),
+            buffer: Batch::new(),
+            batch_size: self.batch_size,
         }
     }
 }
@@ -203,49 +463,84 @@ impl<T, M> Clone for OutputHandle<T, M> {
 impl<T, M> OutputHandle<T, M> {
     /// Creates a handle that drops every element (used for discarded outputs).
     pub fn discard() -> Self {
-        OutputHandle { sender: None }
-    }
-
-    /// Emits a data tuple.
-    ///
-    /// # Errors
-    /// Returns [`ChannelClosed`] if the downstream operator has shut down.
-    pub fn send_tuple(&self, tuple: Arc<GTuple<T, M>>) -> Result<(), ChannelClosed> {
-        match &self.sender {
-            Some(tx) => tx.send(Element::Tuple(tuple)),
-            None => Ok(()),
+        OutputHandle {
+            sender: None,
+            buffer: Batch::new(),
+            batch_size: 1,
         }
     }
 
-    /// Emits a watermark.
+    /// The batch size this handle flushes at.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Emits a data tuple, flushing the accumulated batch once it is full.
     ///
     /// # Errors
     /// Returns [`ChannelClosed`] if the downstream operator has shut down.
-    pub fn send_watermark(&self, ts: Timestamp) -> Result<(), ChannelClosed> {
-        match &self.sender {
-            Some(tx) => tx.send(Element::Watermark(ts)),
-            None => Ok(()),
+    pub fn send_tuple(&mut self, tuple: Arc<GTuple<T, M>>) -> Result<(), ChannelClosed> {
+        if self.sender.is_none() {
+            return Ok(());
+        }
+        self.buffer.push(Element::Tuple(tuple));
+        if self.buffer.len() >= self.batch_size {
+            self.flush()
+        } else {
+            Ok(())
         }
     }
 
-    /// Emits the end-of-stream marker.
+    /// Emits a watermark. Watermarks flush the batch immediately so they are never
+    /// reordered relative to preceding data elements.
     ///
     /// # Errors
     /// Returns [`ChannelClosed`] if the downstream operator has shut down.
-    pub fn send_end(&self) -> Result<(), ChannelClosed> {
-        match &self.sender {
-            Some(tx) => tx.send(Element::End),
-            None => Ok(()),
+    pub fn send_watermark(&mut self, ts: Timestamp) -> Result<(), ChannelClosed> {
+        if self.sender.is_none() {
+            return Ok(());
+        }
+        self.buffer.push(Element::Watermark(ts));
+        self.flush()
+    }
+
+    /// Emits the end-of-stream marker, flushing any partial batch ahead of it.
+    ///
+    /// # Errors
+    /// Returns [`ChannelClosed`] if the downstream operator has shut down.
+    pub fn send_end(&mut self) -> Result<(), ChannelClosed> {
+        if self.sender.is_none() {
+            return Ok(());
+        }
+        self.buffer.push(Element::End);
+        self.flush()
+    }
+
+    /// Forwards an already-built element under the regular flush policy.
+    ///
+    /// # Errors
+    /// Returns [`ChannelClosed`] if the downstream operator has shut down.
+    pub fn send(&mut self, element: Element<T, M>) -> Result<(), ChannelClosed> {
+        match element {
+            Element::Tuple(tuple) => self.send_tuple(tuple),
+            Element::Watermark(ts) => self.send_watermark(ts),
+            Element::End => self.send_end(),
         }
     }
 
-    /// Forwards an already-built element.
+    /// Flushes the accumulated batch downstream, if any.
     ///
     /// # Errors
-    /// Returns [`ChannelClosed`] if the downstream operator has shut down.
-    pub fn send(&self, element: Element<T, M>) -> Result<(), ChannelClosed> {
+    /// Returns [`ChannelClosed`] if the downstream operator has shut down; the
+    /// buffered elements are dropped in that case, mirroring the pre-batching
+    /// behaviour of a failed send.
+    pub fn flush(&mut self) -> Result<(), ChannelClosed> {
+        if self.buffer.is_empty() {
+            return Ok(());
+        }
+        let batch = std::mem::take(&mut self.buffer);
         match &self.sender {
-            Some(tx) => tx.send(element),
+            Some(tx) => tx.send_batch(batch),
             None => Ok(()),
         }
     }
@@ -262,9 +557,10 @@ mod tests {
 
     #[test]
     fn channel_round_trip_preserves_order() {
-        let (tx, rx) = stream_channel::<i64, ()>(8);
+        let (tx, mut rx) = stream_channel::<i64, ()>(8);
         tx.send(Element::Tuple(tuple(1, 10))).unwrap();
-        tx.send(Element::Watermark(Timestamp::from_secs(1))).unwrap();
+        tx.send(Element::Watermark(Timestamp::from_secs(1)))
+            .unwrap();
         tx.send(Element::End).unwrap();
         assert_eq!(rx.recv().as_tuple().unwrap().data, 10);
         assert!(matches!(rx.recv(), Element::Watermark(_)));
@@ -272,8 +568,51 @@ mod tests {
     }
 
     #[test]
+    fn batched_send_preserves_order_across_batches() {
+        let (tx, mut rx) = stream_channel::<i64, ()>(8);
+        let mut batch = Batch::new();
+        batch.push(Element::Tuple(tuple(1, 1)));
+        batch.push(Element::Tuple(tuple(2, 2)));
+        batch.push(Element::Watermark(Timestamp::from_secs(2)));
+        tx.send_batch(batch).unwrap();
+        tx.send_batch(Batch::end()).unwrap();
+        assert_eq!(rx.recv().as_tuple().unwrap().data, 1);
+        assert_eq!(rx.recv().as_tuple().unwrap().data, 2);
+        assert!(matches!(rx.recv(), Element::Watermark(_)));
+        assert!(rx.recv().is_end());
+    }
+
+    #[test]
+    fn recv_batch_returns_whole_runs() {
+        let (tx, mut rx) = stream_channel::<i64, ()>(8);
+        let mut batch = Batch::with_capacity(2);
+        batch.push(Element::Tuple(tuple(1, 1)));
+        batch.push(Element::Tuple(tuple(2, 2)));
+        tx.send_batch(batch).unwrap();
+        let received = rx.recv_batch();
+        assert_eq!(received.len(), 2);
+        drop(tx);
+        assert!(rx.recv_batch().iter().any(|e| e.is_end()));
+    }
+
+    #[test]
+    fn recv_batch_drains_pending_elements_first() {
+        let (tx, mut rx) = stream_channel::<i64, ()>(8);
+        let mut batch = Batch::new();
+        batch.push(Element::Tuple(tuple(1, 1)));
+        batch.push(Element::Tuple(tuple(2, 2)));
+        tx.send_batch(batch).unwrap();
+        // recv() consumes the first element, leaving one pending.
+        assert_eq!(rx.recv().as_tuple().unwrap().data, 1);
+        assert!(rx.has_pending());
+        let rest = rx.recv_batch();
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest.iter().next().unwrap().as_tuple().unwrap().data, 2);
+    }
+
+    #[test]
     fn recv_on_dropped_producer_yields_end() {
-        let (tx, rx) = stream_channel::<i64, ()>(4);
+        let (tx, mut rx) = stream_channel::<i64, ()>(4);
         drop(tx);
         assert!(rx.recv().is_end());
     }
@@ -287,8 +626,10 @@ mod tests {
 
     #[test]
     fn recv_timeout_distinguishes_timeout_and_disconnect() {
-        let (tx, rx) = stream_channel::<i64, ()>(4);
-        assert!(rx.recv_timeout(std::time::Duration::from_millis(5)).is_none());
+        let (tx, mut rx) = stream_channel::<i64, ()>(4);
+        assert!(rx
+            .recv_timeout(std::time::Duration::from_millis(5))
+            .is_none());
         drop(tx);
         assert!(rx
             .recv_timeout(std::time::Duration::from_millis(5))
@@ -300,10 +641,10 @@ mod tests {
     fn output_slot_lifecycle() {
         let slot = OutputSlot::<i64, ()>::new();
         assert!(!slot.is_connected());
-        let (tx, rx) = stream_channel(4);
+        let (tx, mut rx) = stream_channel(4);
         slot.connect(tx);
         assert!(slot.is_connected());
-        let handle = slot.open();
+        let mut handle = slot.open();
         handle.send_tuple(tuple(3, 7)).unwrap();
         assert_eq!(rx.recv().as_tuple().unwrap().data, 7);
     }
@@ -323,7 +664,7 @@ mod tests {
         let slot = OutputSlot::<i64, ()>::new();
         slot.mark_discard();
         assert!(slot.is_connected());
-        let handle = slot.open();
+        let mut handle = slot.open();
         handle.send_tuple(tuple(1, 1)).unwrap();
         handle.send_watermark(Timestamp::from_secs(1)).unwrap();
         handle.send_end().unwrap();
@@ -332,7 +673,7 @@ mod tests {
     #[test]
     fn discard_does_not_override_connection() {
         let slot = OutputSlot::<i64, ()>::new();
-        let (tx, rx) = stream_channel(4);
+        let (tx, mut rx) = stream_channel(4);
         slot.connect(tx);
         slot.mark_discard();
         slot.open().send_tuple(tuple(1, 5)).unwrap();
@@ -341,7 +682,7 @@ mod tests {
 
     #[test]
     fn channel_capacity_provides_backpressure() {
-        let (tx, rx) = stream_channel::<i64, ()>(2);
+        let (tx, mut rx) = stream_channel::<i64, ()>(2);
         tx.send(Element::Tuple(tuple(1, 1))).unwrap();
         tx.send(Element::Tuple(tuple(2, 2))).unwrap();
         assert_eq!(rx.len(), 2);
@@ -352,5 +693,95 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(10));
         assert_eq!(rx.recv().as_tuple().unwrap().data, 1);
         handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn backpressure_applies_to_full_batches_too() {
+        let (tx, mut rx) = stream_channel::<i64, ()>(2);
+        for i in 0..2 {
+            let mut batch = Batch::new();
+            batch.push(Element::Tuple(tuple(i, i as i64)));
+            batch.push(Element::Tuple(tuple(i, i as i64 + 10)));
+            tx.send_batch(batch).unwrap();
+        }
+        // The channel holds 2 batches (4 elements); a third batch must block until
+        // the consumer drains a whole batch.
+        let tx2 = tx.clone();
+        let sender = std::thread::spawn(move || tx2.send_batch(Batch::singleton(Element::End)));
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        assert!(!sender.is_finished(), "third batch must be back-pressured");
+        let first = rx.recv_batch();
+        assert_eq!(first.len(), 2);
+        sender.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn output_handle_accumulates_until_batch_is_full() {
+        let slot = OutputSlot::<i64, ()>::with_config(BatchConfig::with_size(3));
+        let (tx, mut rx) = stream_channel(8);
+        slot.connect(tx);
+        let mut handle = slot.open();
+        assert_eq!(handle.batch_size(), 3);
+        handle.send_tuple(tuple(1, 1)).unwrap();
+        handle.send_tuple(tuple(2, 2)).unwrap();
+        assert!(rx.is_empty(), "partial batch must not be flushed yet");
+        handle.send_tuple(tuple(3, 3)).unwrap();
+        let batch = rx.recv_batch();
+        assert_eq!(batch.len(), 3);
+    }
+
+    #[test]
+    fn watermark_flushes_partial_batch_in_order() {
+        let slot = OutputSlot::<i64, ()>::with_config(BatchConfig::with_size(100));
+        let (tx, mut rx) = stream_channel(8);
+        slot.connect(tx);
+        let mut handle = slot.open();
+        handle.send_tuple(tuple(1, 1)).unwrap();
+        handle.send_tuple(tuple(2, 2)).unwrap();
+        handle.send_watermark(Timestamp::from_secs(2)).unwrap();
+        // One batch arrives immediately, data strictly before the watermark.
+        let batch = rx.recv_batch();
+        let kinds: Vec<bool> = batch.iter().map(|e| e.as_tuple().is_some()).collect();
+        assert_eq!(kinds, vec![true, true, false]);
+    }
+
+    #[test]
+    fn end_flushes_partial_batch() {
+        let slot = OutputSlot::<i64, ()>::with_config(BatchConfig::with_size(100));
+        let (tx, mut rx) = stream_channel(8);
+        slot.connect(tx);
+        let mut handle = slot.open();
+        handle.send_tuple(tuple(1, 7)).unwrap();
+        handle.send_end().unwrap();
+        assert_eq!(rx.recv().as_tuple().unwrap().data, 7);
+        assert!(rx.recv().is_end());
+    }
+
+    #[test]
+    fn len_counts_elements_not_batches() {
+        let (tx, mut rx) = stream_channel::<i64, ()>(8);
+        let mut batch = Batch::new();
+        batch.push(Element::Tuple(tuple(1, 1)));
+        batch.push(Element::Tuple(tuple(2, 2)));
+        batch.push(Element::Tuple(tuple(3, 3)));
+        tx.send_batch(batch).unwrap();
+        tx.send(Element::Tuple(tuple(4, 4))).unwrap();
+        assert_eq!(rx.len(), 4, "two batches holding four elements");
+        // Consuming one element unpacks the first batch into the pending buffer.
+        assert_eq!(rx.recv().as_tuple().unwrap().data, 1);
+        assert_eq!(rx.len(), 3);
+        assert!(!rx.is_empty());
+    }
+
+    #[test]
+    fn batch_size_one_flushes_every_element() {
+        let slot = OutputSlot::<i64, ()>::with_config(BatchConfig::unbatched());
+        let (tx, mut rx) = stream_channel(8);
+        slot.connect(tx);
+        let mut handle = slot.open();
+        handle.send_tuple(tuple(1, 1)).unwrap();
+        assert_eq!(rx.recv().as_tuple().unwrap().data, 1);
+        handle.send_tuple(tuple(2, 2)).unwrap();
+        assert_eq!(rx.recv().as_tuple().unwrap().data, 2);
     }
 }

@@ -52,6 +52,7 @@ pub mod window;
 
 /// Convenience re-exports of the types needed to build and run queries.
 pub mod prelude {
+    pub use crate::channel::{Batch, BatchConfig};
     pub use crate::error::SpeError;
     pub use crate::operator::sink::CollectedStream;
     pub use crate::operator::source::{RateLimit, SourceConfig, SourceGenerator, VecSource};
@@ -63,6 +64,7 @@ pub mod prelude {
     pub use crate::window::WindowSpec;
 }
 
+pub use channel::{Batch, BatchConfig};
 pub use error::SpeError;
 pub use provenance::{NoProvenance, ProvenanceSystem};
 pub use query::{Query, QueryConfig, StreamRef};

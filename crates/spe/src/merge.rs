@@ -12,7 +12,7 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use crate::channel::StreamReceiver;
+use crate::channel::{Batch, StreamReceiver};
 use crate::time::Timestamp;
 use crate::tuple::{Element, GTuple};
 
@@ -66,6 +66,13 @@ impl<T, M> MergeInput<T, M> {
             Element::End => self.ended = true,
         }
     }
+
+    /// Folds every element of a received batch, preserving arrival order.
+    fn fold_batch(&mut self, batch: Batch<T, M>) {
+        for element in batch {
+            self.fold(element);
+        }
+    }
 }
 
 /// Merges `n` timestamp-sorted input streams into one timestamp-sorted element stream.
@@ -111,6 +118,10 @@ impl<T, M> DeterministicMerge<T, M> {
     }
 
     /// Returns the next merged element, blocking on the inputs as needed.
+    ///
+    /// Not an `Iterator`: the merge never terminates by itself while inputs are
+    /// open, and the blocking receive semantics do not fit `Iterator` adapters.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> MergedElement<T, M> {
         loop {
             // Candidate: the input with the smallest buffered head timestamp
@@ -148,7 +159,7 @@ impl<T, M> DeterministicMerge<T, M> {
                 // while no tuples flow.
                 if frontier > Timestamp::MIN
                     && frontier < Timestamp::MAX
-                    && self.emitted_watermark.map_or(true, |w| frontier > w)
+                    && self.emitted_watermark.is_none_or(|w| frontier > w)
                 {
                     self.emitted_watermark = Some(frontier);
                     return MergedElement::Watermark(frontier);
@@ -175,6 +186,16 @@ impl<T, M> DeterministicMerge<T, M> {
     /// Blocks until any non-ended input delivers an element and folds it in.
     /// Returns `false` when every input has already ended.
     fn pump_any(&mut self) -> bool {
+        // Drain partially consumed batches buffered inside a receiver before
+        // selecting on the raw channels: elements held there (handed over by an
+        // earlier per-element `recv`) would otherwise be invisible to the select.
+        for input in &mut self.inputs {
+            if !input.ended && input.rx.has_pending() {
+                let batch = input.rx.recv_batch();
+                input.fold_batch(batch);
+                return true;
+            }
+        }
         let live: Vec<usize> = self
             .inputs
             .iter()
@@ -185,16 +206,18 @@ impl<T, M> DeterministicMerge<T, M> {
         if live.is_empty() {
             return false;
         }
-        let mut select = crossbeam_channel::Select::new();
-        for &i in &live {
-            select.recv(self.inputs[i].rx.inner());
-        }
-        let op = select.select();
-        let input_idx = live[op.index()];
-        let element = op
-            .recv(self.inputs[input_idx].rx.inner())
-            .unwrap_or(Element::End);
-        self.inputs[input_idx].fold(element);
+        let input_idx = {
+            let mut select = crossbeam_channel::Select::new();
+            for &i in &live {
+                select.recv(self.inputs[i].rx.inner());
+            }
+            live[select.select().index()]
+        };
+        // Complete the receive through the StreamReceiver (not the raw channel) so
+        // its element accounting stays correct; the operation is ready, so this does
+        // not block, and a disconnect folds in as an End batch.
+        let batch = self.inputs[input_idx].rx.recv_batch();
+        self.inputs[input_idx].fold_batch(batch);
         true
     }
 }
@@ -214,7 +237,8 @@ mod tests {
     fn feed(tx: StreamSender<i64, ()>, items: Vec<(u64, i64)>) {
         for (ts, v) in items {
             tx.send(Element::Tuple(t(ts, v))).unwrap();
-            tx.send(Element::Watermark(Timestamp::from_secs(ts))).unwrap();
+            tx.send(Element::Watermark(Timestamp::from_secs(ts)))
+                .unwrap();
         }
         tx.send(Element::End).unwrap();
     }
@@ -288,7 +312,8 @@ mod tests {
         // Input 0 has a tuple at ts=10 buffered, input 1 sends only a watermark at 20:
         // the tuple must be released without waiting for a tuple on input 1.
         tx1.send(Element::Tuple(t(10, 1))).unwrap();
-        tx2.send(Element::Watermark(Timestamp::from_secs(20))).unwrap();
+        tx2.send(Element::Watermark(Timestamp::from_secs(20)))
+            .unwrap();
         let mut merge = DeterministicMerge::new(vec![rx1, rx2]);
         match merge.next() {
             MergedElement::Tuple(tuple, 0) => assert_eq!(tuple.ts.as_secs(), 10),
@@ -310,8 +335,10 @@ mod tests {
     fn emits_watermarks_while_idle() {
         let (tx1, rx1) = stream_channel::<i64, ()>(16);
         let (tx2, rx2) = stream_channel::<i64, ()>(16);
-        tx1.send(Element::Watermark(Timestamp::from_secs(30))).unwrap();
-        tx2.send(Element::Watermark(Timestamp::from_secs(40))).unwrap();
+        tx1.send(Element::Watermark(Timestamp::from_secs(30)))
+            .unwrap();
+        tx2.send(Element::Watermark(Timestamp::from_secs(40)))
+            .unwrap();
         let mut merge = DeterministicMerge::new(vec![rx1, rx2]);
         // Frontier is min(30, 40) = 30.
         match merge.next() {
@@ -333,6 +360,60 @@ mod tests {
     #[should_panic(expected = "at least one input")]
     fn empty_merge_panics() {
         let _ = DeterministicMerge::<i64, ()>::new(vec![]);
+    }
+
+    #[test]
+    fn merge_drains_partially_consumed_batches() {
+        // A receiver whose batch was partially consumed through recv() still hands
+        // its locally buffered elements to the merge (pump_any drains pending
+        // before selecting on the raw channels).
+        let (tx1, mut rx1) = stream_channel::<i64, ()>(16);
+        let (tx2, rx2) = stream_channel::<i64, ()>(16);
+        let mut batch = crate::channel::Batch::new();
+        batch.push(Element::Tuple(t(1, 10)));
+        batch.push(Element::Tuple(t(2, 20)));
+        tx1.send_batch(batch).unwrap();
+        tx1.send(Element::End).unwrap();
+        tx2.send(Element::End).unwrap();
+        drop(tx1);
+        drop(tx2);
+        // Consume the first element directly; the second now sits in `pending`.
+        assert_eq!(rx1.recv().as_tuple().unwrap().data, 10);
+        let mut merge = DeterministicMerge::new(vec![rx1, rx2]);
+        let out = drain(&mut merge);
+        assert_eq!(out, vec![(2, 20, 0)]);
+    }
+
+    #[test]
+    fn select_path_receives_keep_element_accounting_accurate() {
+        // Batches received through the select path must decrement the channel's
+        // element counter exactly like direct receives: after a full drain the
+        // receivers must report empty.
+        let (tx1, rx1) = stream_channel::<i64, ()>(16);
+        let (tx2, rx2) = stream_channel::<i64, ()>(16);
+        let h1 = thread::spawn(move || {
+            let mut batch = crate::channel::Batch::new();
+            batch.push(Element::Tuple(t(1, 1)));
+            batch.push(Element::Tuple(t(3, 3)));
+            tx1.send_batch(batch).unwrap();
+            tx1.send(Element::End).unwrap();
+        });
+        let h2 = thread::spawn(move || {
+            let mut batch = crate::channel::Batch::new();
+            batch.push(Element::Tuple(t(2, 2)));
+            batch.push(Element::Tuple(t(4, 4)));
+            tx2.send_batch(batch).unwrap();
+            tx2.send(Element::End).unwrap();
+        });
+        let mut merge = DeterministicMerge::new(vec![rx1, rx2]);
+        let out = drain(&mut merge);
+        h1.join().unwrap();
+        h2.join().unwrap();
+        assert_eq!(out.len(), 4);
+        for input in &merge.inputs {
+            assert!(input.rx.is_empty(), "drained receiver must report empty");
+            assert_eq!(input.rx.len(), 0);
+        }
     }
 
     #[test]

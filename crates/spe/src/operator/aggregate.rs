@@ -88,7 +88,7 @@ where
     fn emit_closed(
         &mut self,
         closed: Vec<ClosedWindow<K, I, P::Meta>>,
-        out: &crate::channel::OutputHandle<O, P::Meta>,
+        out: &mut crate::channel::OutputHandle<O, P::Meta>,
         stats: &mut OperatorStats,
     ) -> bool {
         for window in closed {
@@ -132,34 +132,36 @@ where
     }
 
     fn run(mut self: Box<Self>) -> Result<OperatorStats, SpeError> {
-        let out = self.output.open();
+        let mut out = self.output.open();
         let mut stats = OperatorStats::new(self.name.clone());
         let window_size = self.store.spec().size;
         loop {
-            match self.input.recv() {
-                Element::Tuple(tuple) => {
-                    stats.tuples_in += 1;
-                    let key = (self.key_fn)(&tuple.data);
-                    self.store.insert(key, tuple);
-                }
-                Element::Watermark(ts) => {
-                    let closed = self.store.close_up_to(ts);
-                    if !self.emit_closed(closed, &out, &mut stats) {
+            for element in self.input.recv_batch() {
+                match element {
+                    Element::Tuple(tuple) => {
+                        stats.tuples_in += 1;
+                        let key = (self.key_fn)(&tuple.data);
+                        self.store.insert(key, tuple);
+                    }
+                    Element::Watermark(ts) => {
+                        let closed = self.store.close_up_to(ts);
+                        if !self.emit_closed(closed, &mut out, &mut stats) {
+                            return Ok(stats);
+                        }
+                        // Future outputs carry the start of a not-yet-closed window,
+                        // which is strictly greater than ts - WS.
+                        let downstream_wm = ts.saturating_sub(window_size);
+                        if out.send_watermark(downstream_wm).is_err() {
+                            return Ok(stats);
+                        }
+                    }
+                    Element::End => {
+                        let closed = self.store.close_all();
+                        let _ = self.emit_closed(closed, &mut out, &mut stats);
+                        let _ = out.send_watermark(Timestamp::MAX);
+                        let _ = out.send_end();
                         return Ok(stats);
                     }
-                    // Future outputs carry the start of a not-yet-closed window, which
-                    // is strictly greater than ts - WS.
-                    let downstream_wm = ts.saturating_sub(window_size);
-                    if out.send_watermark(downstream_wm).is_err() {
-                        return Ok(stats);
-                    }
-                }
-                Element::End => {
-                    let closed = self.store.close_all();
-                    let _ = self.emit_closed(closed, &out, &mut stats);
-                    let _ = out.send_watermark(Timestamp::MAX);
-                    let _ = out.send_end();
-                    return Ok(stats);
                 }
             }
         }
@@ -179,12 +181,10 @@ mod tests {
 
     /// Runs an aggregate counting tuples per car over a WS=120s / WA=30s window,
     /// mirroring the Q1 aggregate of Figure 1.
-    fn run_count_aggregate(
-        input: Vec<Element<(u32, u32), ()>>,
-    ) -> Vec<(u64, u32, usize)> {
+    fn run_count_aggregate(input: Vec<Element<(u32, u32), ()>>) -> Vec<(u64, u32, usize)> {
         let (in_tx, in_rx) = stream_channel(256);
         let out_slot = OutputSlot::<(u32, usize), ()>::new();
-        let (out_tx, out_rx) = stream_channel(256);
+        let (out_tx, mut out_rx) = stream_channel(256);
         out_slot.connect(out_tx);
         for el in input {
             in_tx.send(el).unwrap();
@@ -262,7 +262,7 @@ mod tests {
     fn stimulus_of_output_is_latest_window_stimulus() {
         let (in_tx, in_rx) = stream_channel(64);
         let out_slot = OutputSlot::<usize, ()>::new();
-        let (out_tx, out_rx) = stream_channel(64);
+        let (out_tx, mut out_rx) = stream_channel(64);
         out_slot.connect(out_tx);
         in_tx.send(Element::Tuple(tuple(1, 1, 0))).unwrap();
         in_tx.send(Element::Tuple(tuple(20, 1, 0))).unwrap();
@@ -280,6 +280,9 @@ mod tests {
         Box::new(op).run().unwrap();
         let out = out_rx.recv();
         let out = out.as_tuple().unwrap();
-        assert_eq!(out.stimulus, 20, "stimulus must be the latest input stimulus");
+        assert_eq!(
+            out.stimulus, 20,
+            "stimulus must be the latest input stimulus"
+        );
     }
 }

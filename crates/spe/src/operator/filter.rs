@@ -51,27 +51,29 @@ where
     }
 
     fn run(mut self: Box<Self>) -> Result<OperatorStats, SpeError> {
-        let out = self.output.open();
+        let mut out = self.output.open();
         let mut stats = OperatorStats::new(self.name.clone());
         loop {
-            match self.input.recv() {
-                Element::Tuple(tuple) => {
-                    stats.tuples_in += 1;
-                    if (self.predicate)(&tuple.data) {
-                        if out.send_tuple(tuple).is_err() {
+            for element in self.input.recv_batch() {
+                match element {
+                    Element::Tuple(tuple) => {
+                        stats.tuples_in += 1;
+                        if (self.predicate)(&tuple.data) {
+                            if out.send_tuple(tuple).is_err() {
+                                return Ok(stats);
+                            }
+                            stats.tuples_out += 1;
+                        }
+                    }
+                    Element::Watermark(ts) => {
+                        if out.send_watermark(ts).is_err() {
                             return Ok(stats);
                         }
-                        stats.tuples_out += 1;
                     }
-                }
-                Element::Watermark(ts) => {
-                    if out.send_watermark(ts).is_err() {
+                    Element::End => {
+                        let _ = out.send_end();
                         return Ok(stats);
                     }
-                }
-                Element::End => {
-                    let _ = out.send_end();
-                    return Ok(stats);
                 }
             }
         }
@@ -94,7 +96,7 @@ mod tests {
     fn filter_forwards_matching_tuples_without_copying() {
         let (in_tx, in_rx) = stream_channel(16);
         let out_slot = OutputSlot::<i64, ()>::new();
-        let (out_tx, out_rx) = stream_channel(16);
+        let (out_tx, mut out_rx) = stream_channel(16);
         out_slot.connect(out_tx);
 
         let kept = tuple(1, 2);
@@ -109,7 +111,9 @@ mod tests {
         assert_eq!(stats.tuples_out, 1);
 
         match out_rx.recv() {
-            Element::Tuple(t) => assert!(Arc::ptr_eq(&t, &kept), "Filter must forward the same Arc"),
+            Element::Tuple(t) => {
+                assert!(Arc::ptr_eq(&t, &kept), "Filter must forward the same Arc")
+            }
             other => panic!("expected tuple, got {other:?}"),
         }
         assert!(out_rx.recv().is_end());
@@ -119,11 +123,13 @@ mod tests {
     fn filter_forwards_watermarks_even_when_dropping_all_tuples() {
         let (in_tx, in_rx) = stream_channel(16);
         let out_slot = OutputSlot::<i64, ()>::new();
-        let (out_tx, out_rx) = stream_channel(16);
+        let (out_tx, mut out_rx) = stream_channel(16);
         out_slot.connect(out_tx);
 
         in_tx.send(Element::Tuple(tuple(1, 1))).unwrap();
-        in_tx.send(Element::Watermark(Timestamp::from_secs(1))).unwrap();
+        in_tx
+            .send(Element::Watermark(Timestamp::from_secs(1)))
+            .unwrap();
         in_tx.send(Element::End).unwrap();
 
         let op = FilterOp::new("none", in_rx, out_slot, |_: &i64| false);

@@ -67,8 +67,9 @@ impl<T, M> JoinSide<T, M> {
     }
 
     fn pump(&mut self) {
-        let element = self.rx.recv();
-        self.fold(element);
+        for element in self.rx.recv_batch() {
+            self.fold(element);
+        }
     }
 
     fn purge(&mut self, frontier: Timestamp, ws: Duration) {
@@ -108,6 +109,7 @@ where
     ///
     /// # Panics
     /// Panics if the window size is zero.
+    #[allow(clippy::too_many_arguments)] // mirrors the paper's Join parameters
     pub fn new(
         name: impl Into<String>,
         left: StreamReceiver<L, P::Meta>,
@@ -147,7 +149,7 @@ where
     }
 
     fn run(mut self: Box<Self>) -> Result<OperatorStats, SpeError> {
-        let out = self.output.open();
+        let mut out = self.output.open();
         let mut stats = OperatorStats::new(self.name.clone());
         loop {
             let left_lb = self.left.lower_bound();
@@ -155,16 +157,8 @@ where
 
             // Can we process the left head? Only if the right side cannot still deliver
             // an earlier tuple (ties go to the left side).
-            let left_ready = self
-                .left
-                .pending
-                .front()
-                .is_some_and(|t| t.ts <= right_lb);
-            let right_ready = self
-                .right
-                .pending
-                .front()
-                .is_some_and(|t| t.ts < left_lb);
+            let left_ready = self.left.pending.front().is_some_and(|t| t.ts <= right_lb);
+            let right_ready = self.right.pending.front().is_some_and(|t| t.ts < left_lb);
 
             if left_ready {
                 let tuple = self.left.pending.pop_front().expect("checked non-empty");
@@ -237,18 +231,28 @@ where
                     (false, true) => self.left.pump(),
                     (true, false) => self.right.pump(),
                     (false, false) => {
-                        let mut select = crossbeam_channel::Select::new();
-                        let left_idx = select.recv(self.left.rx.inner());
-                        let _right_idx = select.recv(self.right.rx.inner());
-                        let op = select.select();
-                        if op.index() == left_idx {
-                            let element =
-                                op.recv(self.left.rx.inner()).unwrap_or(Element::End);
-                            self.left.fold(element);
+                        // Drain partially consumed batches before selecting on the
+                        // raw channels, so locally buffered elements are never
+                        // overlooked while both channels are idle.
+                        if self.left.rx.has_pending() {
+                            self.left.pump();
+                        } else if self.right.rx.has_pending() {
+                            self.right.pump();
                         } else {
-                            let element =
-                                op.recv(self.right.rx.inner()).unwrap_or(Element::End);
-                            self.right.fold(element);
+                            let take_left = {
+                                let mut select = crossbeam_channel::Select::new();
+                                let left_idx = select.recv(self.left.rx.inner());
+                                let _right_idx = select.recv(self.right.rx.inner());
+                                select.select().index() == left_idx
+                            };
+                            // Complete the ready receive through the StreamReceiver
+                            // (pump -> recv_batch) so its element accounting stays
+                            // correct; a disconnect folds in as an End batch.
+                            if take_left {
+                                self.left.pump();
+                            } else {
+                                self.right.pump();
+                            }
                         }
                     }
                     (true, true) => {}
@@ -277,7 +281,7 @@ mod tests {
         let (ltx, lrx) = stream_channel(256);
         let (rtx, rrx) = stream_channel(256);
         let out_slot = OutputSlot::<(u32, i64, i64), ()>::new();
-        let (otx, orx) = stream_channel(256);
+        let (otx, mut orx) = stream_channel(256);
         out_slot.connect(otx);
         for el in left {
             ltx.send(el).unwrap();

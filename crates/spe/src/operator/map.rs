@@ -65,30 +65,32 @@ where
     }
 
     fn run(mut self: Box<Self>) -> Result<OperatorStats, SpeError> {
-        let out = self.output.open();
+        let mut out = self.output.open();
         let mut stats = OperatorStats::new(self.name.clone());
         loop {
-            match self.input.recv() {
-                Element::Tuple(tuple) => {
-                    stats.tuples_in += 1;
-                    for data in (self.function)(&tuple.data) {
-                        let meta = self.provenance.map_meta(&tuple);
-                        let output_tuple =
-                            Arc::new(GTuple::new(tuple.ts, tuple.stimulus, data, meta));
-                        if out.send_tuple(output_tuple).is_err() {
+            for element in self.input.recv_batch() {
+                match element {
+                    Element::Tuple(tuple) => {
+                        stats.tuples_in += 1;
+                        for data in (self.function)(&tuple.data) {
+                            let meta = self.provenance.map_meta(&tuple);
+                            let output_tuple =
+                                Arc::new(GTuple::new(tuple.ts, tuple.stimulus, data, meta));
+                            if out.send_tuple(output_tuple).is_err() {
+                                return Ok(stats);
+                            }
+                            stats.tuples_out += 1;
+                        }
+                    }
+                    Element::Watermark(ts) => {
+                        if out.send_watermark(ts).is_err() {
                             return Ok(stats);
                         }
-                        stats.tuples_out += 1;
                     }
-                }
-                Element::Watermark(ts) => {
-                    if out.send_watermark(ts).is_err() {
+                    Element::End => {
+                        let _ = out.send_end();
                         return Ok(stats);
                     }
-                }
-                Element::End => {
-                    let _ = out.send_end();
-                    return Ok(stats);
                 }
             }
         }
@@ -147,30 +149,32 @@ where
     }
 
     fn run(mut self: Box<Self>) -> Result<OperatorStats, SpeError> {
-        let out = self.output.open();
+        let mut out = self.output.open();
         let mut stats = OperatorStats::new(self.name.clone());
         loop {
-            match self.input.recv() {
-                Element::Tuple(tuple) => {
-                    stats.tuples_in += 1;
-                    for data in (self.function)(&tuple) {
-                        let meta = self.provenance.map_meta(&tuple);
-                        let output_tuple =
-                            Arc::new(GTuple::new(tuple.ts, tuple.stimulus, data, meta));
-                        if out.send_tuple(output_tuple).is_err() {
+            for element in self.input.recv_batch() {
+                match element {
+                    Element::Tuple(tuple) => {
+                        stats.tuples_in += 1;
+                        for data in (self.function)(&tuple) {
+                            let meta = self.provenance.map_meta(&tuple);
+                            let output_tuple =
+                                Arc::new(GTuple::new(tuple.ts, tuple.stimulus, data, meta));
+                            if out.send_tuple(output_tuple).is_err() {
+                                return Ok(stats);
+                            }
+                            stats.tuples_out += 1;
+                        }
+                    }
+                    Element::Watermark(ts) => {
+                        if out.send_watermark(ts).is_err() {
                             return Ok(stats);
                         }
-                        stats.tuples_out += 1;
                     }
-                }
-                Element::Watermark(ts) => {
-                    if out.send_watermark(ts).is_err() {
+                    Element::End => {
+                        let _ = out.send_end();
                         return Ok(stats);
                     }
-                }
-                Element::End => {
-                    let _ = out.send_end();
-                    return Ok(stats);
                 }
             }
         }
@@ -192,11 +196,13 @@ mod tests {
     fn map_transforms_and_preserves_timestamp_and_stimulus() {
         let (in_tx, in_rx) = stream_channel(16);
         let out_slot = OutputSlot::<String, ()>::new();
-        let (out_tx, out_rx) = stream_channel(16);
+        let (out_tx, mut out_rx) = stream_channel(16);
         out_slot.connect(out_tx);
 
         in_tx.send(Element::Tuple(tuple(5, 21))).unwrap();
-        in_tx.send(Element::Watermark(Timestamp::from_secs(5))).unwrap();
+        in_tx
+            .send(Element::Watermark(Timestamp::from_secs(5)))
+            .unwrap();
         in_tx.send(Element::End).unwrap();
 
         let op = MapOp::new(
@@ -223,7 +229,7 @@ mod tests {
     fn map_can_produce_multiple_outputs_per_input() {
         let (in_tx, in_rx) = stream_channel(16);
         let out_slot = OutputSlot::<i64, ()>::new();
-        let (out_tx, out_rx) = stream_channel(16);
+        let (out_tx, mut out_rx) = stream_channel(16);
         out_slot.connect(out_tx);
 
         in_tx.send(Element::Tuple(tuple(1, 3))).unwrap();
@@ -247,7 +253,7 @@ mod tests {
     fn meta_map_sees_the_full_input_tuple() {
         let (in_tx, in_rx) = stream_channel(16);
         let out_slot = OutputSlot::<u64, ()>::new();
-        let (out_tx, out_rx) = stream_channel(16);
+        let (out_tx, mut out_rx) = stream_channel(16);
         out_slot.connect(out_tx);
 
         in_tx.send(Element::Tuple(tuple(9, 100))).unwrap();
@@ -270,13 +276,19 @@ mod tests {
     fn map_with_zero_outputs_drops_the_tuple() {
         let (in_tx, in_rx) = stream_channel(16);
         let out_slot = OutputSlot::<i64, ()>::new();
-        let (out_tx, out_rx) = stream_channel(16);
+        let (out_tx, mut out_rx) = stream_channel(16);
         out_slot.connect(out_tx);
 
         in_tx.send(Element::Tuple(tuple(1, 3))).unwrap();
         in_tx.send(Element::End).unwrap();
 
-        let op = MapOp::new("drop", in_rx, out_slot, |_: &i64| Vec::<i64>::new(), NoProvenance);
+        let op = MapOp::new(
+            "drop",
+            in_rx,
+            out_slot,
+            |_: &i64| Vec::<i64>::new(),
+            NoProvenance,
+        );
         let stats = Box::new(op).run().unwrap();
         assert_eq!(stats.tuples_in, 1);
         assert_eq!(stats.tuples_out, 0);

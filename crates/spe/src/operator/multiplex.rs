@@ -35,7 +35,10 @@ where
         outputs: Vec<OutputSlot<T, P::Meta>>,
         provenance: P,
     ) -> Self {
-        assert!(!outputs.is_empty(), "Multiplex requires at least one output");
+        assert!(
+            !outputs.is_empty(),
+            "Multiplex requires at least one output"
+        );
         MultiplexOp {
             name: name.into(),
             input,
@@ -54,47 +57,49 @@ where
         &self.name
     }
 
-    fn run(self: Box<Self>) -> Result<OperatorStats, SpeError> {
-        let outs: Vec<_> = self.outputs.iter().map(OutputSlot::open).collect();
+    fn run(mut self: Box<Self>) -> Result<OperatorStats, SpeError> {
+        let mut outs: Vec<_> = self.outputs.iter().map(OutputSlot::open).collect();
         let mut stats = OperatorStats::new(self.name.clone());
         let mut live: Vec<bool> = vec![true; outs.len()];
         loop {
-            match self.input.recv() {
-                Element::Tuple(tuple) => {
-                    stats.tuples_in += 1;
-                    for (out, alive) in outs.iter().zip(live.iter_mut()) {
-                        if !*alive {
-                            continue;
+            for element in self.input.recv_batch() {
+                match element {
+                    Element::Tuple(tuple) => {
+                        stats.tuples_in += 1;
+                        for (out, alive) in outs.iter_mut().zip(live.iter_mut()) {
+                            if !*alive {
+                                continue;
+                            }
+                            let meta = self.provenance.multiplex_meta(&tuple);
+                            let copy = Arc::new(GTuple::new(
+                                tuple.ts,
+                                tuple.stimulus,
+                                tuple.data.clone(),
+                                meta,
+                            ));
+                            if out.send_tuple(copy).is_err() {
+                                *alive = false;
+                            } else {
+                                stats.tuples_out += 1;
+                            }
                         }
-                        let meta = self.provenance.multiplex_meta(&tuple);
-                        let copy = Arc::new(GTuple::new(
-                            tuple.ts,
-                            tuple.stimulus,
-                            tuple.data.clone(),
-                            meta,
-                        ));
-                        if out.send_tuple(copy).is_err() {
-                            *alive = false;
-                        } else {
-                            stats.tuples_out += 1;
+                        if live.iter().all(|a| !*a) {
+                            return Ok(stats);
                         }
                     }
-                    if live.iter().all(|a| !*a) {
+                    Element::Watermark(ts) => {
+                        for (out, alive) in outs.iter_mut().zip(live.iter_mut()) {
+                            if *alive && out.send_watermark(ts).is_err() {
+                                *alive = false;
+                            }
+                        }
+                    }
+                    Element::End => {
+                        for out in &mut outs {
+                            let _ = out.send_end();
+                        }
                         return Ok(stats);
                     }
-                }
-                Element::Watermark(ts) => {
-                    for (out, alive) in outs.iter().zip(live.iter_mut()) {
-                        if *alive && out.send_watermark(ts).is_err() {
-                            *alive = false;
-                        }
-                    }
-                }
-                Element::End => {
-                    for out in &outs {
-                        let _ = out.send_end();
-                    }
-                    return Ok(stats);
                 }
             }
         }
@@ -124,7 +129,9 @@ mod tests {
         }
 
         in_tx.send(Element::Tuple(tuple(1, 42))).unwrap();
-        in_tx.send(Element::Watermark(Timestamp::from_secs(1))).unwrap();
+        in_tx
+            .send(Element::Watermark(Timestamp::from_secs(1)))
+            .unwrap();
         in_tx.send(Element::End).unwrap();
 
         let op = MultiplexOp::new("mux", in_rx, slots, NoProvenance);
@@ -132,7 +139,7 @@ mod tests {
         assert_eq!(stats.tuples_in, 1);
         assert_eq!(stats.tuples_out, 3);
 
-        for rx in &rxs {
+        for rx in &mut rxs {
             let t = rx.recv();
             assert_eq!(t.as_tuple().unwrap().data, 42);
             assert!(matches!(rx.recv(), Element::Watermark(_)));
@@ -144,8 +151,8 @@ mod tests {
     fn multiplex_copies_are_distinct_allocations() {
         let (in_tx, in_rx) = stream_channel(16);
         let slots: Vec<OutputSlot<i64, ()>> = (0..2).map(|_| OutputSlot::new()).collect();
-        let (tx0, rx0) = stream_channel(16);
-        let (tx1, rx1) = stream_channel(16);
+        let (tx0, mut rx0) = stream_channel(16);
+        let (tx1, mut rx1) = stream_channel(16);
         slots[0].connect(tx0);
         slots[1].connect(tx1);
 
@@ -160,7 +167,10 @@ mod tests {
         let a = a.as_tuple().unwrap();
         let b = rx1.recv();
         let b = b.as_tuple().unwrap();
-        assert!(!Arc::ptr_eq(a, b), "Multiplex creates new tuples, not forwards");
+        assert!(
+            !Arc::ptr_eq(a, b),
+            "Multiplex creates new tuples, not forwards"
+        );
         assert!(!Arc::ptr_eq(a, &input));
         assert_eq!(a.data, b.data);
     }
@@ -177,7 +187,7 @@ mod tests {
         let (in_tx, in_rx) = stream_channel(16);
         let slots: Vec<OutputSlot<i64, ()>> = (0..2).map(|_| OutputSlot::new()).collect();
         let (tx0, rx0) = stream_channel(16);
-        let (tx1, rx1) = stream_channel(16);
+        let (tx1, mut rx1) = stream_channel(16);
         slots[0].connect(tx0);
         slots[1].connect(tx1);
         drop(rx0); // first consumer goes away

@@ -54,10 +54,13 @@ impl SinkStats {
     }
 }
 
+/// Shared buffer of collected tuples.
+type SharedTuples<T, M> = Arc<Mutex<Vec<Arc<GTuple<T, M>>>>>;
+
 /// A handle to the tuples collected by [`crate::query::Query::collecting_sink`].
 #[derive(Debug)]
 pub struct CollectedStream<T, M> {
-    tuples: Arc<Mutex<Vec<Arc<GTuple<T, M>>>>>,
+    tuples: SharedTuples<T, M>,
     stats: Arc<SinkStats>,
 }
 
@@ -159,15 +162,17 @@ where
     fn run(mut self: Box<Self>) -> Result<OperatorStats, SpeError> {
         let mut stats = OperatorStats::new(self.name.clone());
         loop {
-            match self.input.recv() {
-                Element::Tuple(tuple) => {
-                    stats.tuples_in += 1;
-                    let latency = now_nanos().saturating_sub(tuple.stimulus);
-                    self.stats.record(latency);
-                    (self.callback)(&tuple);
+            for element in self.input.recv_batch() {
+                match element {
+                    Element::Tuple(tuple) => {
+                        stats.tuples_in += 1;
+                        let latency = now_nanos().saturating_sub(tuple.stimulus);
+                        self.stats.record(latency);
+                        (self.callback)(&tuple);
+                    }
+                    Element::Watermark(_) => {}
+                    Element::End => return Ok(stats),
                 }
-                Element::Watermark(_) => {}
-                Element::End => return Ok(stats),
             }
         }
     }
@@ -193,7 +198,8 @@ mod tests {
             (),
         ))))
         .unwrap();
-        tx.send(Element::Watermark(Timestamp::from_secs(1))).unwrap();
+        tx.send(Element::Watermark(Timestamp::from_secs(1)))
+            .unwrap();
         tx.send(Element::End).unwrap();
 
         let op = SinkOp::new(

@@ -146,7 +146,7 @@ impl<G: SourceGenerator, P: ProvenanceSystem> Operator for SourceOp<G, P> {
     }
 
     fn run(mut self: Box<Self>) -> Result<OperatorStats, SpeError> {
-        let out = self.output.open();
+        let mut out = self.output.open();
         let mut stats = OperatorStats::new(self.name.clone());
         let mut seq: u64 = 0;
         let mut last_ts = Timestamp::MIN;
@@ -156,12 +156,15 @@ impl<G: SourceGenerator, P: ProvenanceSystem> Operator for SourceOp<G, P> {
             if self.stop.load(Ordering::Relaxed) {
                 break;
             }
-            debug_assert!(ts >= last_ts, "source generator produced out-of-order tuples");
+            debug_assert!(
+                ts >= last_ts,
+                "source generator produced out-of-order tuples"
+            );
             last_ts = ts;
 
             if let RateLimit::TuplesPerSecond(rate) = self.config.rate {
-                if rate > 0 {
-                    let expected = std::time::Duration::from_nanos(seq * 1_000_000_000 / rate);
+                if let Some(expected_nanos) = (seq * 1_000_000_000).checked_div(rate) {
+                    let expected = std::time::Duration::from_nanos(expected_nanos);
                     let elapsed = start.elapsed();
                     if expected > elapsed {
                         std::thread::sleep(expected - elapsed);
@@ -182,7 +185,7 @@ impl<G: SourceGenerator, P: ProvenanceSystem> Operator for SourceOp<G, P> {
             }
             seq += 1;
             stats.tuples_out += 1;
-            if self.config.watermark_every > 0 && seq % self.config.watermark_every == 0 {
+            if self.config.watermark_every > 0 && seq.is_multiple_of(self.config.watermark_every) {
                 let _ = out.send_watermark(ts);
             }
         }
@@ -203,14 +206,8 @@ mod tests {
     fn vec_source_yields_in_order() {
         let mut src = VecSource::with_period(vec![10i64, 20, 30], 1_000);
         assert_eq!(src.remaining(), 3);
-        assert_eq!(
-            src.next_tuple(),
-            Some((Timestamp::from_millis(0), 10))
-        );
-        assert_eq!(
-            src.next_tuple(),
-            Some((Timestamp::from_millis(1_000), 20))
-        );
+        assert_eq!(src.next_tuple(), Some((Timestamp::from_millis(0), 10)));
+        assert_eq!(src.next_tuple(), Some((Timestamp::from_millis(1_000), 20)));
         assert_eq!(src.remaining(), 1);
         assert!(src.next_tuple().is_some());
         assert!(src.next_tuple().is_none());
@@ -228,7 +225,7 @@ mod tests {
     #[test]
     fn source_op_emits_tuples_watermarks_and_end() {
         let slot = OutputSlot::<i64, ()>::new();
-        let (tx, rx) = stream_channel(64);
+        let (tx, mut rx) = stream_channel(64);
         slot.connect(tx);
         let op = SourceOp::new(
             "src",
@@ -259,7 +256,7 @@ mod tests {
     #[test]
     fn source_op_respects_stop_flag() {
         let slot = OutputSlot::<i64, ()>::new();
-        let (tx, rx) = stream_channel(1024);
+        let (tx, mut rx) = stream_channel(1024);
         slot.connect(tx);
         let stop = Arc::new(AtomicBool::new(true));
         let op = SourceOp::new(

@@ -51,7 +51,7 @@ where
     }
 
     fn run(self: Box<Self>) -> Result<OperatorStats, SpeError> {
-        let out = self.output.open();
+        let mut out = self.output.open();
         let mut stats = OperatorStats::new(self.name.clone());
         let mut merge = DeterministicMerge::new(self.inputs);
         loop {
@@ -94,16 +94,18 @@ mod tests {
         let (tx1, rx1) = stream_channel(16);
         let (tx2, rx2) = stream_channel(16);
         let out_slot = OutputSlot::<i64, ()>::new();
-        let (out_tx, out_rx) = stream_channel(64);
+        let (out_tx, mut out_rx) = stream_channel(64);
         out_slot.connect(out_tx);
 
         let a = tuple(1, 10);
         let b = tuple(2, 20);
         tx1.send(Element::Tuple(Arc::clone(&a))).unwrap();
-        tx1.send(Element::Watermark(Timestamp::from_secs(1))).unwrap();
+        tx1.send(Element::Watermark(Timestamp::from_secs(1)))
+            .unwrap();
         tx1.send(Element::End).unwrap();
         tx2.send(Element::Tuple(Arc::clone(&b))).unwrap();
-        tx2.send(Element::Watermark(Timestamp::from_secs(2))).unwrap();
+        tx2.send(Element::Watermark(Timestamp::from_secs(2)))
+            .unwrap();
         tx2.send(Element::End).unwrap();
 
         let op = UnionOp::new("union", vec![rx1, rx2], out_slot);

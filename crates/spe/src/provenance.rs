@@ -176,6 +176,9 @@ mod tests {
 
     #[test]
     fn no_provenance_meta_is_zero_sized() {
-        assert_eq!(std::mem::size_of::<<NoProvenance as ProvenanceSystem>::Meta>(), 0);
+        assert_eq!(
+            std::mem::size_of::<<NoProvenance as ProvenanceSystem>::Meta>(),
+            0
+        );
     }
 }

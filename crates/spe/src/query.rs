@@ -14,7 +14,7 @@
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 
-use crate::channel::{stream_channel, OutputSlot, StreamReceiver};
+use crate::channel::{stream_channel, BatchConfig, OutputSlot, StreamReceiver};
 use crate::error::SpeError;
 use crate::operator::aggregate::{AggregateOp, WindowView};
 use crate::operator::filter::FilterOp;
@@ -120,15 +120,36 @@ impl<T, M> StreamRef<T, M> {
 /// Configuration shared by all operators of a query.
 #[derive(Debug, Clone, Copy)]
 pub struct QueryConfig {
-    /// Capacity (in elements) of the bounded channels between operators.
+    /// Capacity (in elements) of the bounded channels between operators. The builder
+    /// converts it to a batch bound (`max(1, channel_capacity / batch_size)`), so the
+    /// element-level buffer budget per edge is independent of the batch size.
     pub channel_capacity: usize,
+    /// Default batching configuration of operator outputs. Individual operators can
+    /// override it via [`Query::set_batch_config`] before they are added.
+    pub batch: BatchConfig,
 }
 
 impl Default for QueryConfig {
     fn default() -> Self {
         QueryConfig {
             channel_capacity: 1024,
+            batch: BatchConfig::default(),
         }
+    }
+}
+
+impl QueryConfig {
+    /// Returns the configuration with a different default batch size.
+    pub fn with_batch_size(mut self, size: usize) -> Self {
+        self.batch = BatchConfig::with_size(size);
+        self
+    }
+
+    /// Returns the configuration with batching disabled (flush every element),
+    /// reproducing the engine's original per-element transport.
+    pub fn unbatched(mut self) -> Self {
+        self.batch = BatchConfig::unbatched();
+        self
     }
 }
 
@@ -136,6 +157,8 @@ impl Default for QueryConfig {
 pub struct Query<P: ProvenanceSystem> {
     provenance: P,
     config: QueryConfig,
+    /// Batch configuration stamped onto output slots of subsequently added operators.
+    current_batch: BatchConfig,
     nodes: Vec<NodeInfo>,
     edges: Vec<(NodeId, NodeId)>,
     /// Checks run at deployment time to detect dangling output streams.
@@ -155,6 +178,7 @@ impl<P: ProvenanceSystem> Query<P> {
         Query {
             provenance,
             config,
+            current_batch: config.batch,
             nodes: Vec::new(),
             edges: Vec::new(),
             slot_checks: Vec::new(),
@@ -171,6 +195,18 @@ impl<P: ProvenanceSystem> Query<P> {
     /// The query configuration.
     pub fn config(&self) -> QueryConfig {
         self.config
+    }
+
+    /// The batch configuration applied to subsequently added operators.
+    pub fn batch_config(&self) -> BatchConfig {
+        self.current_batch
+    }
+
+    /// Overrides the batch configuration for operators added *after* this call,
+    /// allowing per-operator batching (e.g. large batches inside a throughput-bound
+    /// pipeline segment, `BatchConfig::unbatched()` ahead of a latency-critical sink).
+    pub fn set_batch_config(&mut self, batch: BatchConfig) {
+        self.current_batch = batch;
     }
 
     /// Handle that, when set to `true`, asks every Source to stop injecting tuples.
@@ -202,7 +238,11 @@ impl<P: ProvenanceSystem> Query<P> {
         stream: StreamRef<T, P::Meta>,
         consumer: NodeId,
     ) -> StreamReceiver<T, P::Meta> {
-        let (tx, rx) = stream_channel(self.config.channel_capacity);
+        // The configured capacity counts elements; the channel is bounded in batches,
+        // so divide by the producer's batch size to keep the element budget constant.
+        let batch_size = stream.slot.batch_config().size.max(1);
+        let batches = (self.config.channel_capacity / batch_size).max(1);
+        let (tx, rx) = stream_channel(batches);
         stream.slot.connect(tx);
         self.edges.push((stream.producer, consumer));
         rx
@@ -215,7 +255,7 @@ impl<P: ProvenanceSystem> Query<P> {
         producer: NodeId,
         label: impl Into<String>,
     ) -> (OutputSlot<T, P::Meta>, StreamRef<T, P::Meta>) {
-        let slot = OutputSlot::new();
+        let slot = OutputSlot::with_config(self.current_batch);
         let stream = StreamRef {
             slot: slot.clone(),
             producer,
@@ -323,7 +363,8 @@ impl<P: ProvenanceSystem> Query<P> {
         let node = self.add_node(name, NodeKind::Map);
         let rx = self.attach_input(input, node);
         let (slot, stream) = self.new_output_stream(node, format!("{name}.out"));
-        let op = crate::operator::map::MetaMapOp::new(name, rx, slot, function, self.provenance.clone());
+        let op =
+            crate::operator::map::MetaMapOp::new(name, rx, slot, function, self.provenance.clone());
         self.set_operator(node, Box::new(op));
         stream
     }
@@ -427,7 +468,15 @@ impl<P: ProvenanceSystem> Query<P> {
         let node = self.add_node(name, NodeKind::Aggregate);
         let rx = self.attach_input(input, node);
         let (slot, stream) = self.new_output_stream(node, format!("{name}.out"));
-        let op = AggregateOp::new(name, rx, slot, spec, key_fn, agg_fn, self.provenance.clone());
+        let op = AggregateOp::new(
+            name,
+            rx,
+            slot,
+            spec,
+            key_fn,
+            agg_fn,
+            self.provenance.clone(),
+        );
         self.set_operator(node, Box::new(op));
         stream
     }
@@ -601,7 +650,10 @@ mod tests {
     #[test]
     fn builds_and_runs_a_linear_query() {
         let mut q = Query::new(NoProvenance);
-        let src = q.source("numbers", VecSource::with_period((0..10i64).collect(), 1_000));
+        let src = q.source(
+            "numbers",
+            VecSource::with_period((0..10i64).collect(), 1_000),
+        );
         let evens = q.filter("evens", src, |x| x % 2 == 0);
         let doubled = q.map_one("double", evens, |x| x * 2);
         let out = q.collecting_sink("sink", doubled);
@@ -708,7 +760,7 @@ mod tests {
             WindowSpec::tumbling(Duration::from_hours(1)).unwrap(),
             |r: &(u32, i64)| r.0,
             |w: &WindowView<'_, u32, (u32, i64), ()>| (*w.key, w.len() as i64),
-            );
+        );
         let joined = q.join(
             "match",
             counts,

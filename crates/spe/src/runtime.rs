@@ -74,10 +74,17 @@ impl QueryReport {
     }
 }
 
+/// A joinable operator thread, tagged with its node kind and name.
+type OperatorThread = (
+    NodeKind,
+    String,
+    JoinHandle<Result<OperatorStats, SpeError>>,
+);
+
 /// A running query: one thread per operator.
 #[derive(Debug)]
 pub struct QueryHandle {
-    threads: Vec<(NodeKind, String, JoinHandle<Result<OperatorStats, SpeError>>)>,
+    threads: Vec<OperatorThread>,
     stop: Arc<AtomicBool>,
     started: Instant,
 }

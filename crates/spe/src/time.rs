@@ -208,10 +208,7 @@ mod tests {
             Timestamp::from_secs(15) - Timestamp::from_secs(10),
             Duration::from_secs(5)
         );
-        assert_eq!(
-            t.saturating_sub(Duration::from_secs(100)),
-            Timestamp::MIN
-        );
+        assert_eq!(t.saturating_sub(Duration::from_secs(100)), Timestamp::MIN);
         assert_eq!(
             Timestamp::MAX.saturating_add(Duration::from_secs(1)),
             Timestamp::MAX

@@ -33,7 +33,9 @@ impl WindowSpec {
     /// the advance is larger than the size (which would drop tuples between windows).
     pub fn new(size: Duration, advance: Duration) -> Result<Self, SpeError> {
         if size.is_zero() {
-            return Err(SpeError::InvalidQuery("window size must be positive".into()));
+            return Err(SpeError::InvalidQuery(
+                "window size must be positive".into(),
+            ));
         }
         if advance.is_zero() {
             return Err(SpeError::InvalidQuery(
@@ -58,9 +60,8 @@ impl WindowSpec {
 
     /// The window starts a tuple with timestamp `ts` belongs to, in increasing order.
     pub fn window_starts(&self, ts: Timestamp) -> Vec<Timestamp> {
-        let mut starts = Vec::with_capacity(
-            (self.size.as_millis() / self.advance.as_millis()) as usize + 1,
-        );
+        let mut starts =
+            Vec::with_capacity((self.size.as_millis() / self.advance.as_millis()) as usize + 1);
         let mut start = ts.align_down(self.advance);
         loop {
             // Window [start, start + size) contains ts.
@@ -95,13 +96,16 @@ pub struct ClosedWindow<K, T, M> {
     pub tuples: Vec<Arc<GTuple<T, M>>>,
 }
 
+/// The per-key tuple buffers of one window instance.
+type WindowGroups<K, T, M> = BTreeMap<K, Vec<Arc<GTuple<T, M>>>>;
+
 /// Group-by sliding-window store: assigns tuples to window instances and releases the
 /// instances closed by watermark progress, in deterministic order.
 #[derive(Debug)]
 pub struct WindowStore<K, T, M> {
     spec: WindowSpec,
     /// start -> key -> tuples. Both maps are ordered so closing windows is deterministic.
-    windows: BTreeMap<Timestamp, BTreeMap<K, Vec<Arc<GTuple<T, M>>>>>,
+    windows: BTreeMap<Timestamp, WindowGroups<K, T, M>>,
     late_tuples: u64,
     watermark: Timestamp,
 }

@@ -101,11 +101,14 @@ impl LinearRoadGenerator {
         assert!(config.cars > 0, "the simulation needs at least one car");
         assert!(config.rounds > 0, "the simulation needs at least one round");
         let mut rng = SmallRng::seed_from_u64(config.seed);
-        let breakdown_window = config.rounds.saturating_sub(config.breakdown_reports + 1).max(1);
+        let breakdown_window = config
+            .rounds
+            .saturating_sub(config.breakdown_reports + 1)
+            .max(1);
         let mut plans: Vec<CarPlan> = (0..config.cars)
             .map(|car| {
                 let is_breakdown =
-                    config.breakdown_every > 0 && car % config.breakdown_every == 0;
+                    config.breakdown_every > 0 && car.is_multiple_of(config.breakdown_every);
                 let breakdown_start = if is_breakdown {
                     Some(1 + rng.gen_range(0..breakdown_window))
                 } else {
@@ -115,7 +118,7 @@ impl LinearRoadGenerator {
                     breakdown_start,
                     breakdown_pos: rng.gen_range(0..config.positions.max(1)),
                     start_pos: rng.gen_range(0..config.positions.max(1)),
-                    speed: 40 + rng.gen_range(0..60),
+                    speed: 40 + rng.gen_range(0u32..60),
                 }
             })
             .collect();
@@ -126,12 +129,12 @@ impl LinearRoadGenerator {
             for car in 0..config.cars {
                 // Only the originally planned breakdowns are considered for pairing,
                 // so `accident_pair_every` keeps its "every Nth breakdown" meaning.
-                if car % config.breakdown_every != 0
+                if !car.is_multiple_of(config.breakdown_every)
                     || plans[car as usize].breakdown_start.is_none()
                 {
                     continue;
                 }
-                if breakdown_index % config.accident_pair_every == 0 {
+                if breakdown_index.is_multiple_of(config.accident_pair_every) {
                     let partner = car + 1;
                     if partner < config.cars && plans[partner as usize].breakdown_start.is_none() {
                         plans[partner as usize].breakdown_start =
@@ -251,9 +254,18 @@ mod tests {
         assert_eq!(reports.len(), 15);
         assert!(reports.windows(2).all(|w| w[0].0 <= w[1].0));
         // Round boundaries: 5 reports at ts 0, 5 at 30 s, 5 at 60 s.
-        assert_eq!(reports.iter().filter(|(ts, _)| ts.as_secs() == 0).count(), 5);
-        assert_eq!(reports.iter().filter(|(ts, _)| ts.as_secs() == 30).count(), 5);
-        assert_eq!(reports.iter().filter(|(ts, _)| ts.as_secs() == 60).count(), 5);
+        assert_eq!(
+            reports.iter().filter(|(ts, _)| ts.as_secs() == 0).count(),
+            5
+        );
+        assert_eq!(
+            reports.iter().filter(|(ts, _)| ts.as_secs() == 30).count(),
+            5
+        );
+        assert_eq!(
+            reports.iter().filter(|(ts, _)| ts.as_secs() == 60).count(),
+            5
+        );
     }
 
     #[test]
@@ -262,10 +274,7 @@ mod tests {
         let a = LinearRoadGenerator::to_vec(config);
         let b = LinearRoadGenerator::to_vec(config);
         assert_eq!(a, b);
-        let different_seed = LinearRoadConfig {
-            seed: 43,
-            ..config
-        };
+        let different_seed = LinearRoadConfig { seed: 43, ..config };
         let c = LinearRoadGenerator::to_vec(different_seed);
         assert_ne!(a, c);
     }
@@ -289,7 +298,11 @@ mod tests {
             );
             let positions: std::collections::HashSet<u32> =
                 zero.iter().map(|(_, r)| r.pos).collect();
-            assert_eq!(positions.len(), 1, "all zero-speed reports share one position");
+            assert_eq!(
+                positions.len(),
+                1,
+                "all zero-speed reports share one position"
+            );
         }
     }
 
@@ -317,7 +330,10 @@ mod tests {
         let config = LinearRoadConfig::default();
         let generator = LinearRoadGenerator::new(config);
         let groups = generator.accident_groups();
-        assert!(!groups.is_empty(), "the default configuration injects accidents");
+        assert!(
+            !groups.is_empty(),
+            "the default configuration injects accidents"
+        );
         let reports = LinearRoadGenerator::to_vec(config);
         for group in groups {
             assert!(group.len() >= 2);

@@ -11,8 +11,8 @@ use std::collections::{BTreeMap, BTreeSet};
 use genealog_spe::{Duration, Timestamp};
 
 use crate::queries::{
-    Q1_STOPPED_REPORTS, Q1_WINDOW_ADVANCE, Q1_WINDOW_SIZE, Q2_ACCIDENT_WINDOW,
-    Q2_MIN_STOPPED_CARS, Q3_DAY_WINDOW, Q3_MIN_ZERO_METERS, Q4_ANOMALY_THRESHOLD,
+    Q1_STOPPED_REPORTS, Q1_WINDOW_ADVANCE, Q1_WINDOW_SIZE, Q2_ACCIDENT_WINDOW, Q2_MIN_STOPPED_CARS,
+    Q3_DAY_WINDOW, Q3_MIN_ZERO_METERS, Q4_ANOMALY_THRESHOLD,
 };
 use crate::types::{
     AccidentAlert, AnomalyAlert, BlackoutAlert, MeterReading, PositionReport, StoppedCarCount,
@@ -42,7 +42,7 @@ fn window_starts(max_ts: Timestamp, size: Duration, advance: Duration) -> Vec<Ti
     // Windows may start before the first tuple; the earliest useful start is 0.
     while start <= max_ts {
         starts.push(start);
-        start = start + advance;
+        start += advance;
     }
     // Also include the windows that still contain max_ts but start after it minus size.
     let _ = size;
@@ -53,7 +53,11 @@ fn window_starts(max_ts: Timestamp, size: Duration, advance: Duration) -> Vec<Ti
 pub fn q1_oracle(
     reports: &[(Timestamp, PositionReport)],
 ) -> Vec<OracleAlert<StoppedCarCount, PositionReport>> {
-    let max_ts = reports.iter().map(|(ts, _)| *ts).max().unwrap_or(Timestamp::MIN);
+    let max_ts = reports
+        .iter()
+        .map(|(ts, _)| *ts)
+        .max()
+        .unwrap_or(Timestamp::MIN);
     let mut alerts = Vec::new();
     for start in window_starts(max_ts, Q1_WINDOW_SIZE, Q1_WINDOW_ADVANCE) {
         let end = start + Q1_WINDOW_SIZE;
@@ -90,7 +94,11 @@ pub fn q2_oracle(
     reports: &[(Timestamp, PositionReport)],
 ) -> Vec<OracleAlert<AccidentAlert, PositionReport>> {
     let q1_alerts = q1_oracle(reports);
-    let max_ts = q1_alerts.iter().map(|a| a.ts).max().unwrap_or(Timestamp::MIN);
+    let max_ts = q1_alerts
+        .iter()
+        .map(|a| a.ts)
+        .max()
+        .unwrap_or(Timestamp::MIN);
     let mut alerts = Vec::new();
     for start in window_starts(max_ts, Q2_ACCIDENT_WINDOW, Q2_ACCIDENT_WINDOW) {
         let end = start + Q2_ACCIDENT_WINDOW;
@@ -129,14 +137,21 @@ pub fn q2_oracle(
 pub fn q3_oracle(
     readings: &[(Timestamp, MeterReading)],
 ) -> Vec<OracleAlert<BlackoutAlert, MeterReading>> {
-    let max_ts = readings.iter().map(|(ts, _)| *ts).max().unwrap_or(Timestamp::MIN);
+    let max_ts = readings
+        .iter()
+        .map(|(ts, _)| *ts)
+        .max()
+        .unwrap_or(Timestamp::MIN);
     let mut alerts = Vec::new();
     for start in window_starts(max_ts, Q3_DAY_WINDOW, Q3_DAY_WINDOW) {
         let end = start + Q3_DAY_WINDOW;
         let mut per_meter: BTreeMap<u32, Vec<(Timestamp, MeterReading)>> = BTreeMap::new();
         for &(ts, reading) in readings {
             if ts >= start && ts < end {
-                per_meter.entry(reading.meter_id).or_default().push((ts, reading));
+                per_meter
+                    .entry(reading.meter_id)
+                    .or_default()
+                    .push((ts, reading));
             }
         }
         let zero_meters: Vec<(u32, Vec<(Timestamp, MeterReading)>)> = per_meter
@@ -165,28 +180,39 @@ pub fn q3_oracle(
 pub fn q4_oracle(
     readings: &[(Timestamp, MeterReading)],
 ) -> Vec<OracleAlert<AnomalyAlert, MeterReading>> {
-    let max_ts = readings.iter().map(|(ts, _)| *ts).max().unwrap_or(Timestamp::MIN);
+    let max_ts = readings
+        .iter()
+        .map(|(ts, _)| *ts)
+        .max()
+        .unwrap_or(Timestamp::MIN);
     let mut alerts = Vec::new();
     for start in window_starts(max_ts, Q3_DAY_WINDOW, Q3_DAY_WINDOW) {
         let end = start + Q3_DAY_WINDOW;
         let mut per_meter: BTreeMap<u32, Vec<(Timestamp, MeterReading)>> = BTreeMap::new();
         for &(ts, reading) in readings {
             if ts >= start && ts < end {
-                per_meter.entry(reading.meter_id).or_default().push((ts, reading));
+                per_meter
+                    .entry(reading.meter_id)
+                    .or_default()
+                    .push((ts, reading));
             }
         }
         for (meter_id, day) in per_meter {
             let total: u32 = day.iter().map(|(_, r)| r.consumption).sum();
             // The midnight reading joined by Q4 is the one at the start of this day.
-            let Some(&(midnight_ts, midnight)) =
-                day.iter().find(|(ts, r)| *ts == start && r.hour_of_day == 0)
+            let Some(&(midnight_ts, midnight)) = day
+                .iter()
+                .find(|(ts, r)| *ts == start && r.hour_of_day == 0)
             else {
                 continue;
             };
             let diff = (midnight.consumption * 24).abs_diff(total);
             if diff > Q4_ANOMALY_THRESHOLD {
                 let mut sources = day.clone();
-                if !sources.iter().any(|&(ts, r)| ts == midnight_ts && r == midnight) {
+                if !sources
+                    .iter()
+                    .any(|&(ts, r)| ts == midnight_ts && r == midnight)
+                {
                     sources.push((midnight_ts, midnight));
                 }
                 sources.sort_by_key(|(ts, r)| (*ts, r.meter_id));

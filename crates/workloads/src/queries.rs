@@ -189,8 +189,8 @@ pub fn q3_stage2<P: ProvenanceSystem>(
         "q3-zero-count",
         zero_days,
         day_window(),
-        |_: &DailyConsumption| (),
-        |w: &WindowView<'_, (), DailyConsumption, P::Meta>| BlackoutAlert {
+        |_: &DailyConsumption| 0u8,
+        |w: &WindowView<'_, u8, DailyConsumption, P::Meta>| BlackoutAlert {
             zero_meters: w.len() as u32,
         },
     );

@@ -120,7 +120,7 @@ impl SmartGridGenerator {
     pub fn is_anomalous(&self, meter: u32, day: u32) -> bool {
         self.config.anomaly_every > 0
             && day == self.config.anomaly_day
-            && meter % self.config.anomaly_every == 0
+            && meter.is_multiple_of(self.config.anomaly_every)
             && !self.is_blackout(meter, day)
     }
 
@@ -195,7 +195,9 @@ mod tests {
         assert_eq!(readings.len(), 4 * 24);
         assert!(readings.windows(2).all(|w| w[0].0 <= w[1].0));
         // The first four readings are the four meters at hour 0.
-        assert!(readings[..4].iter().all(|(ts, r)| ts.as_secs() == 0 && r.hour_of_day == 0));
+        assert!(readings[..4]
+            .iter()
+            .all(|(ts, r)| ts.as_secs() == 0 && r.hour_of_day == 0));
         // The last reading is at hour 23.
         assert_eq!(readings.last().unwrap().1.hour_of_day, 23);
     }

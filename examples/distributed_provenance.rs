@@ -25,17 +25,18 @@ fn main() -> Result<(), SpeError> {
         network.bandwidth_bps / 1_000_000
     );
 
-    let outcome = deploy_distributed_genealog::<_, StoppedCarCount, StoppedCarCount, PositionReport, _, _>(
-        "q1",
-        LinearRoadGenerator::new(config),
-        SourceConfig::default(),
-        // Instance 1: zero-speed Filter + per-car Aggregate (plus its unfolder).
-        |q, reports| q1_stage1(q, reports),
-        // Instance 2: the alert Filter and the data Sink (plus its unfolder).
-        |q, counts| q1_stage2(q, counts),
-        q1_provenance_window(),
-        network,
-    )?;
+    let outcome =
+        deploy_distributed_genealog::<_, StoppedCarCount, StoppedCarCount, PositionReport, _, _>(
+            "q1",
+            LinearRoadGenerator::new(config),
+            SourceConfig::default(),
+            // Instance 1: zero-speed Filter + per-car Aggregate (plus its unfolder).
+            q1_stage1,
+            // Instance 2: the alert Filter and the data Sink (plus its unfolder).
+            q1_stage2,
+            q1_provenance_window(),
+            network,
+        )?;
 
     println!(
         "instance reports: {} | alerts at the data sink: {} | provenance records: {}",

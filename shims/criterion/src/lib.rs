@@ -1,0 +1,209 @@
+//! Offline stand-in for the subset of `criterion` used by `benches/micro.rs`:
+//! `Criterion`, benchmark groups, `Bencher::iter`, `BenchmarkId`, `black_box`
+//! and the `criterion_group!` / `criterion_main!` macros. Reports a simple
+//! mean ns/iter per benchmark instead of criterion's statistical analysis.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimising a value away.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Entry point handed to benchmark functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut routine: F) {
+        run_one("", name, 20, &mut routine);
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut routine: F,
+    ) -> &mut Self {
+        run_one(&self.name, &id.into().label, self.sample_size, &mut routine);
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self {
+        let label = id.into().label;
+        run_one(
+            &self.name,
+            &label,
+            self.sample_size,
+            &mut |b: &mut Bencher| routine(b, input),
+        );
+        self
+    }
+
+    /// Finishes the group (kept for API parity; reporting happens per-bench).
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Identifier combining a function name with a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identifier consisting only of a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        BenchmarkId {
+            label: label.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// Timer handed to the benchmark routine.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times repeated executions of `routine` and records the samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Calibrate the per-sample iteration count so one sample takes ~2 ms.
+        let calibration_start = Instant::now();
+        black_box(routine());
+        let once = calibration_start.elapsed().max(Duration::from_nanos(20));
+        let target = Duration::from_millis(2);
+        self.iters_per_sample = (target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let sample_count = self.samples.capacity();
+        for _ in 0..sample_count {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(group: &str, label: &str, samples: usize, routine: &mut F) {
+    let mut bencher = Bencher {
+        samples: Vec::with_capacity(samples),
+        iters_per_sample: 1,
+    };
+    routine(&mut bencher);
+    let full_name = if group.is_empty() {
+        label.to_string()
+    } else {
+        format!("{group}/{label}")
+    };
+    if bencher.samples.is_empty() {
+        println!("bench {full_name}: no samples recorded");
+        return;
+    }
+    let total: Duration = bencher.samples.iter().sum();
+    let iters = bencher.iters_per_sample.max(1) * bencher.samples.len() as u64;
+    let mean_ns = total.as_nanos() as f64 / iters as f64;
+    println!("bench {full_name}: {mean_ns:.1} ns/iter ({iters} iters)");
+}
+
+/// Bundles benchmark functions under one name, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group_name:ident, $($function:path),+ $(,)?) => {
+        fn $group_name() {
+            let mut criterion = $crate::Criterion::default();
+            $($function(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits a `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group_name:path),+ $(,)?) => {
+        fn main() {
+            $($group_name();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("shim");
+        group.sample_size(3);
+        let mut ran = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                ran += 1;
+                ran
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("with_input", 7), &7u32, |b, &v| {
+            b.iter(|| v * 2)
+        });
+        group.finish();
+        assert!(ran > 0);
+    }
+}

@@ -1,0 +1,127 @@
+//! Offline stand-in for the subset of `rand` used by the workload simulators:
+//! `rngs::SmallRng`, `SeedableRng::seed_from_u64` and `Rng::gen_range` over
+//! half-open and inclusive integer ranges. The generator is SplitMix64, which
+//! is deterministic, fast and statistically adequate for workload synthesis.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Types constructible from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Random-value generation over ranges.
+pub trait Rng: RngCore {
+    /// Samples a uniform value in `range`.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// The raw 64-bit generation primitive.
+pub trait RngCore {
+    /// Produces the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Ranges [`Rng::gen_range`] can sample a `T` from. The output type is a trait
+/// parameter (as in the real `rand`) so the caller's expected type drives integer
+/// literal inference inside range expressions.
+pub trait SampleRange<T> {
+    /// Samples a uniform value from the range.
+    fn sample<G: RngCore>(self, rng: &mut G) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($ty:ty),*) => {
+        $(
+            impl SampleRange<$ty> for Range<$ty> {
+                fn sample<G: RngCore>(self, rng: &mut G) -> $ty {
+                    assert!(self.start < self.end, "cannot sample an empty range");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + (rng.next_u64() % span) as i128) as $ty
+                }
+            }
+            impl SampleRange<$ty> for RangeInclusive<$ty> {
+                fn sample<G: RngCore>(self, rng: &mut G) -> $ty {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "cannot sample an empty range");
+                    let span = (end as i128 - start as i128 + 1) as u64;
+                    if span == 0 {
+                        // Full-width inclusive range: every value is valid.
+                        return rng.next_u64() as $ty;
+                    }
+                    (start as i128 + (rng.next_u64() % span) as i128) as $ty
+                }
+            }
+        )*
+    };
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, deterministic generator (SplitMix64).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            SmallRng { state: seed }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea & Flood 2014).
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        let va: Vec<u32> = (0..16).map(|_| a.gen_range(0u32..1_000)).collect();
+        let vb: Vec<u32> = (0..16).map(|_| b.gen_range(0u32..1_000)).collect();
+        assert_eq!(va, vb);
+        let mut c = SmallRng::seed_from_u64(43);
+        let vc: Vec<u32> = (0..16).map(|_| c.gen_range(0u32..1_000)).collect();
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1_000 {
+            let v = rng.gen_range(10u32..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(0u32..=2);
+            assert!(w <= 2);
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Offline stand-in for `smallvec`.
+//!
+//! Exposes the `SmallVec<[T; N]>` generic shape used in this workspace but
+//! stores elements in a plain `Vec` (no inline storage). The inline capacity
+//! `N` is honoured as the initial heap capacity, so `SmallVec::new()` on a
+//! hot path still avoids repeated early reallocation.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// Types usable as the backing-array parameter of [`SmallVec`].
+pub trait Array {
+    /// Element type of the array.
+    type Item;
+    /// Inline capacity of the array.
+    const CAPACITY: usize;
+}
+
+impl<T, const N: usize> Array for [T; N] {
+    type Item = T;
+    const CAPACITY: usize = N;
+}
+
+/// A growable vector with the `smallvec` API shape (heap-backed in this shim).
+pub struct SmallVec<A: Array> {
+    inner: Vec<A::Item>,
+}
+
+impl<A: Array> SmallVec<A> {
+    /// Creates an empty vector (no allocation until the first push).
+    pub fn new() -> Self {
+        SmallVec { inner: Vec::new() }
+    }
+
+    /// Creates an empty vector with at least `cap` capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        SmallVec {
+            inner: Vec::with_capacity(cap),
+        }
+    }
+
+    /// The inline capacity of the backing array parameter.
+    pub fn inline_size(&self) -> usize {
+        A::CAPACITY
+    }
+
+    /// Appends an element.
+    pub fn push(&mut self, value: A::Item) {
+        if self.inner.capacity() == 0 && A::CAPACITY > 0 {
+            self.inner.reserve(A::CAPACITY);
+        }
+        self.inner.push(value);
+    }
+
+    /// Removes and returns the last element.
+    pub fn pop(&mut self) -> Option<A::Item> {
+        self.inner.pop()
+    }
+
+    /// Removes every element.
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+
+    /// Moves all elements of `other` into `self`.
+    pub fn append(&mut self, other: &mut Self) {
+        self.inner.append(&mut other.inner);
+    }
+
+    /// Consumes the vector, returning the underlying `Vec`.
+    pub fn into_vec(self) -> Vec<A::Item> {
+        self.inner
+    }
+
+    /// Removes the given range and yields the removed elements.
+    pub fn drain<R: std::ops::RangeBounds<usize>>(
+        &mut self,
+        range: R,
+    ) -> std::vec::Drain<'_, A::Item> {
+        self.inner.drain(range)
+    }
+}
+
+impl<A: Array> Default for SmallVec<A> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<A: Array> Deref for SmallVec<A> {
+    type Target = [A::Item];
+    fn deref(&self) -> &[A::Item] {
+        &self.inner
+    }
+}
+
+impl<A: Array> DerefMut for SmallVec<A> {
+    fn deref_mut(&mut self) -> &mut [A::Item] {
+        &mut self.inner
+    }
+}
+
+impl<A: Array> IntoIterator for SmallVec<A> {
+    type Item = A::Item;
+    type IntoIter = std::vec::IntoIter<A::Item>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.into_iter()
+    }
+}
+
+impl<'a, A: Array> IntoIterator for &'a SmallVec<A> {
+    type Item = &'a A::Item;
+    type IntoIter = std::slice::Iter<'a, A::Item>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter()
+    }
+}
+
+impl<A: Array> Extend<A::Item> for SmallVec<A> {
+    fn extend<I: IntoIterator<Item = A::Item>>(&mut self, iter: I) {
+        self.inner.extend(iter);
+    }
+}
+
+impl<A: Array> FromIterator<A::Item> for SmallVec<A> {
+    fn from_iter<I: IntoIterator<Item = A::Item>>(iter: I) -> Self {
+        SmallVec {
+            inner: Vec::from_iter(iter),
+        }
+    }
+}
+
+impl<A: Array> fmt::Debug for SmallVec<A>
+where
+    A::Item: fmt::Debug,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl<A: Array> Clone for SmallVec<A>
+where
+    A::Item: Clone,
+{
+    fn clone(&self) -> Self {
+        SmallVec {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_iterate() {
+        let mut v: SmallVec<[i32; 4]> = SmallVec::new();
+        assert_eq!(v.inline_size(), 4);
+        v.push(1);
+        v.push(2);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.iter().sum::<i32>(), 3);
+        assert_eq!(v.pop(), Some(2));
+        v.extend([5, 6]);
+        let all: Vec<i32> = v.into_iter().collect();
+        assert_eq!(all, vec![1, 5, 6]);
+    }
+
+    #[test]
+    fn drain_and_clear() {
+        let mut v: SmallVec<[u8; 2]> = (0u8..5).collect();
+        let drained: Vec<u8> = v.drain(..).collect();
+        assert_eq!(drained.len(), 5);
+        assert!(v.is_empty());
+    }
+}

@@ -1,0 +1,11 @@
+//! Workspace façade crate for the GeneaLog reproduction.
+//!
+//! The actual functionality lives in the workspace crates; this package hosts
+//! the cross-crate integration tests (`tests/`) and runnable examples
+//! (`examples/`) and re-exports the member crates for convenience.
+
+pub use genealog;
+pub use genealog_baseline;
+pub use genealog_distributed;
+pub use genealog_spe;
+pub use genealog_workloads;

@@ -15,6 +15,10 @@ type AlertKey = (u64, String);
 type ProvenanceSet = BTreeSet<(u64, String)>;
 
 fn run_q1_once(channel_capacity: usize) -> Vec<(AlertKey, ProvenanceSet)> {
+    run_q1_with(channel_capacity, BatchConfig::default())
+}
+
+fn run_q1_with(channel_capacity: usize, batch: BatchConfig) -> Vec<(AlertKey, ProvenanceSet)> {
     let config = LinearRoadConfig {
         cars: 40,
         rounds: 30,
@@ -22,7 +26,10 @@ fn run_q1_once(channel_capacity: usize) -> Vec<(AlertKey, ProvenanceSet)> {
     };
     let mut q = GlQuery::with_config(
         GeneaLog::new(),
-        QueryConfig { channel_capacity },
+        QueryConfig {
+            channel_capacity,
+            batch,
+        },
     );
     let reports = q.source("lr", LinearRoadGenerator::new(config));
     let alerts = build_q1(&mut q, reports);
@@ -63,6 +70,28 @@ fn q1_results_do_not_depend_on_channel_capacity() {
     let large = run_q1_once(4096);
     let tiny = run_q1_once(2);
     assert_eq!(large, tiny);
+}
+
+#[test]
+fn q1_results_do_not_depend_on_batch_size() {
+    // The batched transport must be a pure transport optimisation: alerts and
+    // their provenance are identical whether elements travel one by one
+    // (the unbatched seed behaviour), in small batches or in large batches.
+    let unbatched = run_q1_with(1024, BatchConfig::unbatched());
+    let small = run_q1_with(1024, BatchConfig::with_size(7));
+    let large = run_q1_with(1024, BatchConfig::with_size(256));
+    assert_eq!(unbatched, small);
+    assert_eq!(unbatched, large);
+    assert!(!unbatched.is_empty());
+}
+
+#[test]
+fn batching_composes_with_tiny_channels() {
+    // Large batches through capacity-1 channels force a flush-blocked producer on
+    // every send; determinism must survive the resulting interleavings.
+    let reference = run_q1_with(1024, BatchConfig::unbatched());
+    let stressed = run_q1_with(1, BatchConfig::with_size(64));
+    assert_eq!(reference, stressed);
 }
 
 #[test]

@@ -51,16 +51,17 @@ fn distributed_q1_provenance_equals_intra_process_and_oracle() {
         .collect();
 
     // Distributed (three-instance) GeneaLog provenance.
-    let outcome = deploy_distributed_genealog::<_, StoppedCarCount, StoppedCarCount, PositionReport, _, _>(
-        "q1",
-        LinearRoadGenerator::new(config),
-        SourceConfig::default(),
-        |q, s| q1_stage1(q, s),
-        |q, s| q1_stage2(q, s),
-        q1_provenance_window(),
-        NetworkConfig::unlimited(),
-    )
-    .expect("distributed deployment");
+    let outcome =
+        deploy_distributed_genealog::<_, StoppedCarCount, StoppedCarCount, PositionReport, _, _>(
+            "q1",
+            LinearRoadGenerator::new(config),
+            SourceConfig::default(),
+            q1_stage1,
+            q1_stage2,
+            q1_provenance_window(),
+            NetworkConfig::unlimited(),
+        )
+        .expect("distributed deployment");
     let distributed: BTreeSet<ProvenanceSet> = outcome
         .provenance
         .iter()
@@ -97,21 +98,22 @@ fn distributed_q3_resolves_all_192_sources_per_blackout() {
         days: 3,
         ..SmartGridConfig::default()
     };
-    let outcome = deploy_distributed_genealog::<_, DailyConsumption, BlackoutAlert, MeterReading, _, _>(
-        "q3",
-        SmartGridGenerator::new(config),
-        SourceConfig {
-            // One watermark per day of readings keeps progress flowing without
-            // flooding the simulated links with per-tuple watermark frames.
-            watermark_every: 24,
-            ..SourceConfig::default()
-        },
-        |q, s| q3_stage1(q, s),
-        |q, s| q3_stage2(q, s),
-        q3_provenance_window(),
-        NetworkConfig::unlimited(),
-    )
-    .expect("distributed deployment");
+    let outcome =
+        deploy_distributed_genealog::<_, DailyConsumption, BlackoutAlert, MeterReading, _, _>(
+            "q3",
+            SmartGridGenerator::new(config),
+            SourceConfig {
+                // One watermark per day of readings keeps progress flowing without
+                // flooding the simulated links with per-tuple watermark frames.
+                watermark_every: 24,
+                ..SourceConfig::default()
+            },
+            q3_stage1,
+            q3_stage2,
+            q3_provenance_window(),
+            NetworkConfig::unlimited(),
+        )
+        .expect("distributed deployment");
 
     assert_eq!(outcome.alerts.len(), 1);
     assert_eq!(outcome.provenance.len(), 1);
@@ -134,19 +136,23 @@ fn distributed_q3_resolves_all_192_sources_per_blackout() {
 #[test]
 fn distributed_run_reports_per_instance_statistics() {
     let config = lr_config();
-    let outcome = deploy_distributed_genealog::<_, StoppedCarCount, StoppedCarCount, PositionReport, _, _>(
-        "q1",
-        LinearRoadGenerator::new(config),
-        SourceConfig::default(),
-        |q, s| q1_stage1(q, s),
-        |q, s| q1_stage2(q, s),
-        q1_provenance_window(),
-        NetworkConfig::default(),
-    )
-    .expect("distributed deployment");
+    let outcome =
+        deploy_distributed_genealog::<_, StoppedCarCount, StoppedCarCount, PositionReport, _, _>(
+            "q1",
+            LinearRoadGenerator::new(config),
+            SourceConfig::default(),
+            q1_stage1,
+            q1_stage2,
+            q1_provenance_window(),
+            NetworkConfig::default(),
+        )
+        .expect("distributed deployment");
     assert_eq!(outcome.reports.len(), 3, "three SPE instances");
     assert_eq!(outcome.source_tuples(), config.total_reports());
-    assert!(outcome.reports[0].source_tuples() > 0, "sources live on instance 1");
+    assert!(
+        outcome.reports[0].source_tuples() > 0,
+        "sources live on instance 1"
+    );
     assert_eq!(outcome.reports[1].source_tuples(), 0);
     assert!(outcome.sink_stats.tuple_count() > 0);
     assert!(outcome.total_network_bytes() > 0);

@@ -3,8 +3,10 @@
 //! flowing through every standard operator in one query.
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use genealog::prelude::*;
+use genealog_spe::channel::{stream_channel, OutputSlot};
 use genealog_spe::operator::source::{RateLimit, SourceConfig};
 use genealog_spe::query::NodeKind;
 use genealog_spe::QueryConfig;
@@ -17,6 +19,7 @@ fn tiny_channels_do_not_change_results_or_provenance() {
             GeneaLog::new(),
             QueryConfig {
                 channel_capacity: capacity,
+                batch: BatchConfig::default(),
             },
         );
         let src = q.source("sensors", VecSource::with_period(readings.clone(), 10_000));
@@ -93,7 +96,7 @@ fn every_standard_operator_participates_in_one_provenanced_query() {
         "per-minute",
         merged,
         WindowSpec::tumbling(Duration::from_mins(1)).unwrap(),
-        |_: &i64| (),
+        |_: &i64| 0u8,
         |w| w.payloads().sum::<i64>(),
     );
     let mux2 = q.multiplex("mux2", per_minute, 2);
@@ -142,7 +145,10 @@ fn query_graph_introspection_lists_nodes_and_edges() {
 #[test]
 fn latency_is_reported_per_sink_tuple() {
     let mut q = GlQuery::new(GeneaLog::new());
-    let src = q.source("numbers", VecSource::with_period((0..50i64).collect(), 1_000));
+    let src = q.source(
+        "numbers",
+        VecSource::with_period((0..50i64).collect(), 1_000),
+    );
     let stats = q.sink("sink", src, |_| {});
     q.deploy().unwrap().wait().unwrap();
     assert_eq!(stats.tuple_count(), 50);
@@ -150,4 +156,146 @@ fn latency_is_reported_per_sink_tuple() {
     assert!(stats.mean_latency_ms() >= 0.0);
     // Latencies are bounded by the run duration (well under a minute here).
     assert!(stats.latencies_ns().iter().all(|&ns| ns < 60_000_000_000));
+}
+
+// ---------------------------------------------------------------------------
+// Batched-transport semantics
+// ---------------------------------------------------------------------------
+
+fn gl_tuple(ts: u64, v: i64) -> Arc<GTuple<i64, ()>> {
+    Arc::new(GTuple::new(Timestamp::from_secs(ts), 0, v, ()))
+}
+
+#[test]
+fn watermarks_are_never_reordered_past_data_within_a_batch() {
+    // Data pushed before a watermark must arrive before it, even though the
+    // watermark forces an immediate flush of the partial batch.
+    let slot = OutputSlot::<i64, ()>::with_config(BatchConfig::with_size(1_000));
+    let (tx, mut rx) = stream_channel(16);
+    slot.connect(tx);
+    let mut out = slot.open();
+    for i in 0..5 {
+        out.send_tuple(gl_tuple(i, i as i64)).unwrap();
+    }
+    out.send_watermark(Timestamp::from_secs(4)).unwrap();
+    out.send_tuple(gl_tuple(5, 5)).unwrap();
+    out.send_end().unwrap();
+
+    let mut seen_watermark = false;
+    let mut data_before_watermark = 0;
+    let mut data_after_watermark = 0;
+    loop {
+        match rx.recv() {
+            Element::Tuple(_) if seen_watermark => data_after_watermark += 1,
+            Element::Tuple(_) => data_before_watermark += 1,
+            Element::Watermark(ts) => {
+                assert_eq!(ts, Timestamp::from_secs(4));
+                seen_watermark = true;
+            }
+            Element::End => break,
+        }
+    }
+    assert_eq!(data_before_watermark, 5);
+    assert_eq!(data_after_watermark, 1);
+}
+
+#[test]
+fn end_of_stream_flushes_partial_batches() {
+    // A batch size far larger than the stream length must not strand elements:
+    // Element::End flushes whatever is buffered ahead of it.
+    let mut q = GlQuery::with_config(
+        GeneaLog::new(),
+        QueryConfig::default().with_batch_size(10_000),
+    );
+    let src = q.source(
+        "numbers",
+        VecSource::with_period((0..7i64).collect(), 1_000),
+    );
+    let doubled = q.map_one("double", src, |v| v * 2);
+    let out = q.collecting_sink("sink", doubled);
+    q.deploy().unwrap().wait().unwrap();
+    let values: Vec<i64> = out.tuples().iter().map(|t| t.data).collect();
+    assert_eq!(values, vec![0, 2, 4, 6, 8, 10, 12]);
+}
+
+#[test]
+fn batch_size_one_matches_default_batching() {
+    // With BatchConfig::unbatched() every element travels alone, reproducing the
+    // original per-element transport; the observable behaviour must be identical.
+    let run = |config: QueryConfig| {
+        let mut q = GlQuery::with_config(GeneaLog::new(), config);
+        let src = q.source(
+            "numbers",
+            VecSource::with_period((0..100i64).collect(), 5_000),
+        );
+        let odd = q.filter("odd", src, |v| v % 2 == 1);
+        let windowed = q.aggregate(
+            "sum",
+            odd,
+            WindowSpec::tumbling(Duration::from_secs(60)).unwrap(),
+            |_: &i64| 0u8,
+            |w| w.payloads().sum::<i64>(),
+        );
+        let (out, prov) = attach_provenance_sink(&mut q, "prov", windowed);
+        q.discard(out);
+        q.deploy().unwrap().wait().unwrap();
+        prov.assignments()
+            .iter()
+            .map(|a| {
+                (
+                    a.sink_ts.as_millis(),
+                    a.sink_data,
+                    a.source_payloads::<i64>()
+                        .into_iter()
+                        .collect::<BTreeSet<_>>(),
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+    let unbatched = run(QueryConfig::default().unbatched());
+    let batched = run(QueryConfig::default().with_batch_size(64));
+    assert_eq!(unbatched, batched);
+    assert!(!unbatched.is_empty());
+}
+
+#[test]
+fn backpressure_blocks_a_fast_source_under_batching() {
+    // A capacity-1 channel holds a single batch: an unthrottled source must block
+    // behind a deliberately slow sink rather than buffer or drop elements.
+    let total: i64 = 300;
+    let mut q = GlQuery::with_config(
+        GeneaLog::new(),
+        QueryConfig {
+            channel_capacity: 1,
+            batch: BatchConfig::with_size(8),
+        },
+    );
+    let src = q.source("fast", VecSource::with_period((0..total).collect(), 1_000));
+    let stats = q.sink("slow-sink", src, |_| {
+        std::thread::sleep(std::time::Duration::from_micros(50));
+    });
+    let report = q.deploy().unwrap().wait().unwrap();
+    assert_eq!(report.source_tuples(), total as u64);
+    assert_eq!(
+        stats.tuple_count(),
+        total as u64,
+        "no element may be dropped"
+    );
+}
+
+#[test]
+fn per_operator_batch_config_is_applied_to_subsequent_operators() {
+    let mut q = GlQuery::new(GeneaLog::new());
+    assert_eq!(q.batch_config(), BatchConfig::default());
+    q.set_batch_config(BatchConfig::with_size(128));
+    let src = q.source(
+        "numbers",
+        VecSource::with_period((0..50i64).collect(), 1_000),
+    );
+    q.set_batch_config(BatchConfig::unbatched());
+    let mapped = q.map_one("copy", src, |v| *v);
+    assert_eq!(q.batch_config(), BatchConfig::unbatched());
+    let out = q.collecting_sink("sink", mapped);
+    q.deploy().unwrap().wait().unwrap();
+    assert_eq!(out.len(), 50);
 }

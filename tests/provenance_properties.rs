@@ -26,8 +26,12 @@ use genealog_workloads::types::PositionReport;
 /// Strategy: a timestamp-ordered stream of position reports where cars may stall.
 fn position_reports() -> impl Strategy<Value = Vec<(Timestamp, PositionReport)>> {
     // Up to 6 cars, up to 20 rounds, each report either moving or stopped at pos 5.
-    (2u32..6, 4u32..20, proptest::collection::vec(any::<bool>(), 8..120)).prop_map(
-        |(cars, rounds, stalls)| {
+    (
+        2u32..6,
+        4u32..20,
+        proptest::collection::vec(any::<bool>(), 8..120),
+    )
+        .prop_map(|(cars, rounds, stalls)| {
             let mut out = Vec::new();
             let mut stall_iter = stalls.into_iter().cycle();
             for round in 0..rounds {
@@ -50,11 +54,12 @@ fn position_reports() -> impl Strategy<Value = Vec<(Timestamp, PositionReport)>>
                 }
             }
             out
-        },
-    )
+        })
 }
 
-fn canonical(sources: impl IntoIterator<Item = (Timestamp, PositionReport)>) -> BTreeSet<(u64, String)> {
+fn canonical(
+    sources: impl IntoIterator<Item = (Timestamp, PositionReport)>,
+) -> BTreeSet<(u64, String)> {
     sources
         .into_iter()
         .map(|(ts, r)| (ts.as_millis(), format!("{r:?}")))

@@ -187,7 +187,10 @@ fn q1_baseline_provenance_matches_genealog() {
         })
         .collect();
 
-    assert_eq!(gl_sets, bl_sets, "GL and BL must capture identical provenance");
+    assert_eq!(
+        gl_sets, bl_sets,
+        "GL and BL must capture identical provenance"
+    );
     assert!(!gl_sets.is_empty());
 }
 
