@@ -1,69 +1,114 @@
 //! Quick throughput benchmark establishing the per-PR performance trajectory.
 //!
-//! Runs a short 4-operator micro pipeline (Source -> Filter -> Map -> Sink) under the
-//! NP and GL provenance configurations, once with the batched transport disabled
-//! (`batch_size = 1`, the pre-batching behaviour) and once with batching enabled, and
-//! writes the measurements to `BENCH_PR1.json` in the current directory (override the
-//! path with `GENEALOG_BENCH_OUT`).
+//! PR 2 measures **key-partitioned parallel execution**: a keyed sliding-window
+//! aggregate (64 keys, WS = 2048 ms / WA = 256 ms, so every tuple lands in 8
+//! overlapping windows) is run as `source -> shuffle exchange -> N aggregate shards
+//! -> keyed merge -> sink` with N in {1, 2, 4}, under the NP and GL provenance
+//! configurations. The measurements are written to `BENCH_PR2.json` in the current
+//! directory (override the path with `GENEALOG_BENCH_OUT`).
+//!
+//! The JSON records `host_cpus`: shard scaling is thread parallelism, so the
+//! 4-shard/1-shard speedup is only meaningful on a machine with enough cores — on a
+//! single-core host the sweep degenerates to a fairness check (sharding must not make
+//! things dramatically worse).
+//!
+//! Set `GENEALOG_BENCH_SMOKE=1` for a fast CI smoke run (fewer tuples, one
+//! repetition).
 //!
 //! Usage: `cargo run --release -p genealog-bench --bin quick_bench`
 
 use std::io::Write;
 
 use genealog::GeneaLog;
+use genealog_spe::operator::aggregate::WindowView;
 use genealog_spe::operator::source::{SourceConfig, VecSource};
+use genealog_spe::parallel::Parallelism;
 use genealog_spe::prelude::*;
 use genealog_spe::provenance::ProvenanceSystem;
 
-/// Tuples injected per measured run.
-const TUPLES: usize = 400_000;
-/// Batch size of the batched configuration.
-const BATCH: usize = 128;
-/// Repetitions per configuration; the best run is reported.
-const REPS: usize = 3;
+/// Batch size of the stream transport (the PR 1 configuration).
+const BATCH: usize = 256;
+/// Distinct group-by keys.
+const KEYS: u32 = 64;
+
+fn tuples_per_run() -> usize {
+    if smoke_mode() {
+        40_000
+    } else {
+        300_000
+    }
+}
+
+fn repetitions() -> usize {
+    if smoke_mode() {
+        1
+    } else {
+        3
+    }
+}
+
+fn smoke_mode() -> bool {
+    std::env::var("GENEALOG_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
 
 #[derive(Debug, Clone)]
 struct Measurement {
     system: &'static str,
-    batch_size: usize,
+    shards: usize,
     throughput_tps: f64,
     per_tuple_ns: f64,
 }
 
-fn pipeline_once<P: ProvenanceSystem>(provenance: P, batch_size: usize) -> Measurement {
+/// One run of the sharded-aggregate pipeline; returns the source throughput.
+fn sharded_once<P: ProvenanceSystem>(provenance: P, shards: usize) -> Measurement {
     let label = provenance.label();
-    let mut q = Query::with_config(
-        provenance,
-        QueryConfig::default().with_batch_size(batch_size),
-    );
+    let tuples = tuples_per_run();
+    let mut q = Query::with_config(provenance, QueryConfig::default().with_batch_size(BATCH));
+    let items: Vec<(u32, i64)> = (0..tuples).map(|i| ((i as u32) % KEYS, i as i64)).collect();
     let src = q.source_with(
-        "numbers",
-        VecSource::with_period((0..TUPLES as i64).collect(), 1),
+        "events",
+        VecSource::with_period(items, 1),
         SourceConfig {
-            // Watermarks flush batches; spacing them out keeps the pipeline
-            // throughput-bound rather than flush-bound.
-            watermark_every: 1_024,
+            // Watermarks flush batches and close windows; spacing them out keeps the
+            // pipeline throughput-bound rather than flush-bound.
+            watermark_every: 4_096,
             ..SourceConfig::default()
         },
     );
-    let kept = q.filter("keep-odd", src, |v| v % 2 == 1);
-    let mapped = q.map_one("affine", kept, |v| v.wrapping_mul(3) + 1);
-    let stats = q.sink("count", mapped, |_| {});
+    let sums = q.sharded_aggregate(
+        "sum",
+        src,
+        WindowSpec::new(Duration::from_millis(2_048), Duration::from_millis(256))
+            .expect("valid window"),
+        |t: &(u32, i64)| t.0,
+        |w: &WindowView<'_, u32, (u32, i64), P::Meta>| {
+            // A modest amount of per-window CPU work, so the aggregate shards (not
+            // the exchange) are the bottleneck that parallelism can attack.
+            let mut acc: i64 = 0;
+            for p in w.payloads() {
+                acc = acc.wrapping_mul(31).wrapping_add(p.1 ^ (acc >> 7));
+            }
+            (*w.key, acc)
+        },
+        |o: &(u32, i64)| o.0,
+        Parallelism::instances(shards),
+    );
+    let stats = q.sink("sink", sums, |_| {});
     let report = q.deploy().expect("deploy").wait().expect("run");
-    assert_eq!(report.source_tuples(), TUPLES as u64);
-    assert_eq!(stats.tuple_count(), TUPLES as u64 / 2);
+    assert_eq!(report.source_tuples(), tuples as u64);
+    assert!(stats.tuple_count() > 0, "sink must observe window outputs");
     let wall = report.wall_time().as_secs_f64();
     Measurement {
         system: label,
-        batch_size,
-        throughput_tps: TUPLES as f64 / wall,
-        per_tuple_ns: wall * 1e9 / TUPLES as f64,
+        shards,
+        throughput_tps: tuples as f64 / wall,
+        per_tuple_ns: wall * 1e9 / tuples as f64,
     }
 }
 
-fn best_of<P: ProvenanceSystem + Clone>(provenance: &P, batch_size: usize) -> Measurement {
-    (0..REPS)
-        .map(|_| pipeline_once(provenance.clone(), batch_size))
+fn best_of<P: ProvenanceSystem + Clone>(provenance: &P, shards: usize) -> Measurement {
+    (0..repetitions())
+        .map(|_| sharded_once(provenance.clone(), shards))
         .max_by(|a, b| a.throughput_tps.total_cmp(&b.throughput_tps))
         .expect("at least one repetition")
 }
@@ -71,19 +116,24 @@ fn best_of<P: ProvenanceSystem + Clone>(provenance: &P, batch_size: usize) -> Me
 fn render_json(measurements: &[Measurement], speedup_np: f64, speedup_gl: f64) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"pr\": 1,\n");
-    out.push_str("  \"benchmark\": \"quick_bench\",\n");
+    out.push_str("  \"pr\": 2,\n");
+    out.push_str("  \"benchmark\": \"sharded_aggregate\",\n");
     out.push_str(
-        "  \"pipeline\": \"source -> filter(odd) -> map(3x+1) -> sink, watermark every 1024\",\n",
+        "  \"pipeline\": \"source -> exchange -> N x aggregate(64 keys, WS 2048ms / WA 256ms) -> keyed merge -> sink\",\n",
     );
-    out.push_str(&format!("  \"tuples_per_run\": {TUPLES},\n"));
-    out.push_str(&format!("  \"repetitions\": {REPS},\n"));
+    out.push_str(&format!("  \"tuples_per_run\": {},\n", tuples_per_run()));
+    out.push_str(&format!("  \"repetitions\": {},\n", repetitions()));
+    out.push_str(&format!(
+        "  \"host_cpus\": {},\n",
+        std::thread::available_parallelism().map_or(0, |n| n.get())
+    ));
+    out.push_str(&format!("  \"smoke\": {},\n", smoke_mode()));
     out.push_str("  \"runs\": [\n");
     for (i, m) in measurements.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"system\": \"{}\", \"batch_size\": {}, \"throughput_tps\": {:.0}, \"per_tuple_ns\": {:.1}}}{}\n",
+            "    {{\"system\": \"{}\", \"shards\": {}, \"throughput_tps\": {:.0}, \"per_tuple_ns\": {:.1}}}{}\n",
             m.system,
-            m.batch_size,
+            m.shards,
             m.throughput_tps,
             m.per_tuple_ns,
             if i + 1 < measurements.len() { "," } else { "" }
@@ -91,37 +141,47 @@ fn render_json(measurements: &[Measurement], speedup_np: f64, speedup_gl: f64) -
     }
     out.push_str("  ],\n");
     out.push_str(&format!(
-        "  \"np_batched_vs_unbatched_speedup\": {speedup_np:.2},\n"
+        "  \"np_4shard_vs_1shard_speedup\": {speedup_np:.2},\n"
     ));
     out.push_str(&format!(
-        "  \"gl_batched_vs_unbatched_speedup\": {speedup_gl:.2}\n"
+        "  \"gl_4shard_vs_1shard_speedup\": {speedup_gl:.2}\n"
     ));
     out.push_str("}\n");
     out
 }
 
 fn main() {
-    let np_unbatched = best_of(&NoProvenance, 1);
-    let np_batched = best_of(&NoProvenance, BATCH);
+    let shard_counts = [1usize, 2, 4];
+    let mut measurements = Vec::new();
+    for &shards in &shard_counts {
+        measurements.push(best_of(&NoProvenance, shards));
+    }
     let gl = GeneaLog::new();
-    let gl_unbatched = best_of(&gl, 1);
-    let gl_batched = best_of(&gl, BATCH);
+    for &shards in &shard_counts {
+        measurements.push(best_of(&gl, shards));
+    }
 
-    let speedup_np = np_batched.throughput_tps / np_unbatched.throughput_tps;
-    let speedup_gl = gl_batched.throughput_tps / gl_unbatched.throughput_tps;
-    let measurements = [np_unbatched, np_batched, gl_unbatched, gl_batched];
+    let by = |system: &str, shards: usize| {
+        measurements
+            .iter()
+            .find(|m| m.system == system && m.shards == shards)
+            .expect("measured configuration")
+            .throughput_tps
+    };
+    let speedup_np = by("NP", 4) / by("NP", 1);
+    let speedup_gl = by("GL", 4) / by("GL", 1);
 
     for m in &measurements {
         println!(
-            "{:>2} batch={:<4} {:>12.0} tuples/s  {:>8.1} ns/tuple",
-            m.system, m.batch_size, m.throughput_tps, m.per_tuple_ns
+            "{:>2} shards={:<2} {:>12.0} tuples/s  {:>8.1} ns/tuple",
+            m.system, m.shards, m.throughput_tps, m.per_tuple_ns
         );
     }
-    println!("NP batched-vs-unbatched speedup: {speedup_np:.2}x");
-    println!("GL batched-vs-unbatched speedup: {speedup_gl:.2}x");
+    println!("NP 4-shard vs 1-shard speedup: {speedup_np:.2}x");
+    println!("GL 4-shard vs 1-shard speedup: {speedup_gl:.2}x");
 
     let json = render_json(&measurements, speedup_np, speedup_gl);
-    let path = std::env::var("GENEALOG_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR1.json".to_string());
+    let path = std::env::var("GENEALOG_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR2.json".to_string());
     let mut file = std::fs::File::create(&path).expect("create benchmark output file");
     file.write_all(json.as_bytes())
         .expect("write benchmark output");

@@ -81,7 +81,17 @@ pub fn find_provenance_with_stats(root: &ProvRef) -> (Vec<ProvRef>, TraversalSta
                     // Walk the N chain from U2 towards U1 (exclusive); U1 itself is
                     // enqueued afterwards, mirroring Listing 1. Each step borrows the
                     // chain pointer and clones once to advance the owned cursor.
-                    let mut cursor = u2.next_ref().cloned();
+                    //
+                    // A single-tuple window has U1 == U2 and the walk must not start
+                    // at all: the tuple's N pointer — once a later overlapping window
+                    // of the same group sets it — leads *past* this window's U1, and
+                    // following it would (racily, depending on whether that window
+                    // has closed yet) drag unrelated later tuples into the result.
+                    let mut cursor = if Some(node_key(u2)) == u1_key {
+                        None
+                    } else {
+                        u2.next_ref().cloned()
+                    };
                     while let Some(temp) = cursor {
                         if Some(node_key(&temp)) == u1_key {
                             break;
@@ -302,6 +312,26 @@ mod tests {
             ids(&prov2),
             ids(&window2.iter().map(erase).collect::<Vec<_>>())
         );
+    }
+
+    #[test]
+    fn single_tuple_window_ignores_chain_pointers_of_later_windows() {
+        // Regression: a window holding one tuple has U1 == U2. Once a later
+        // overlapping window of the same group sets that tuple's N pointer, the
+        // traversal of the single-tuple window's output must NOT follow the chain —
+        // previously it walked past U1 and returned the later window's tuples too
+        // (racily, depending on whether the later window had closed yet).
+        let gl = gl();
+        let alone = source(&gl, 60, 1);
+        let later_a = source(&gl, 67, 2);
+        let later_b = source(&gl, 69, 3);
+        let single = aggregate_of(&gl, std::slice::from_ref(&alone), 0);
+        // The next overlapping window [60, 68) chains `alone` to `later_a`.
+        let _overlap = aggregate_of(&gl, &[alone.clone(), later_a.clone()], 0);
+        let _overlap2 = aggregate_of(&gl, &[later_a, later_b], 0);
+        let prov = find_provenance(&erase(&single));
+        assert_eq!(prov.len(), 1, "only the window's own tuple contributes");
+        assert_eq!(prov[0].id(), alone.meta.id);
     }
 
     #[test]

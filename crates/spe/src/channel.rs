@@ -76,6 +76,17 @@ impl Default for BatchConfig {
     }
 }
 
+/// Converts an element-level buffer budget into a channel bound counted in batches.
+///
+/// The query builder configures channel capacity in *elements*; the underlying channel
+/// is bounded in *batches*. Ceiling division guarantees the element budget is never
+/// silently shrunk: `capacity = 100, batch_size = 32` yields 4 batch slots (128
+/// elements of head-room), not 3 (96), and a batch size larger than the capacity
+/// still leaves one full batch in flight.
+pub fn batch_budget(capacity: usize, batch_size: usize) -> usize {
+    capacity.div_ceil(batch_size.max(1)).max(1)
+}
+
 /// A run of stream elements travelling through one channel send.
 #[derive(Debug)]
 pub struct Batch<T, M> {
@@ -771,6 +782,22 @@ mod tests {
         assert_eq!(rx.recv().as_tuple().unwrap().data, 1);
         assert_eq!(rx.len(), 3);
         assert!(!rx.is_empty());
+    }
+
+    #[test]
+    fn batch_budget_uses_ceiling_division() {
+        // Exact division: unchanged.
+        assert_eq!(batch_budget(1024, 32), 32);
+        // Odd capacity/batch combinations round *up*, never shrinking the budget.
+        assert_eq!(batch_budget(100, 32), 4); // 128 elements, not 96
+        assert_eq!(batch_budget(1000, 128), 8); // 1024 elements, not 896
+        assert_eq!(batch_budget(3, 2), 2);
+        // A batch larger than the capacity still leaves one batch slot.
+        assert_eq!(batch_budget(16, 100), 1);
+        // Degenerate inputs are clamped to a working channel.
+        assert_eq!(batch_budget(0, 8), 1);
+        assert_eq!(batch_budget(8, 0), 8);
+        assert_eq!(batch_budget(1, 1), 1);
     }
 
     #[test]

@@ -5,7 +5,10 @@
 //! builds on. It provides the standard streaming operators of the paper's §2
 //! (Source, Map, Filter, Multiplex, Union, Aggregate, Join, Sink), deterministic
 //! timestamp-ordered processing, sliding time windows, a typed query-builder API and
-//! a thread-per-operator runtime with bounded, back-pressured channels.
+//! a thread-per-operator runtime with bounded, back-pressured channels. Stateful
+//! operators can additionally run as N key-partitioned shard instances (the
+//! [`parallel`] module: shuffle exchange → shards → provenance-safe fan-in) without
+//! changing results or provenance.
 //!
 //! The engine deliberately knows nothing about *how* provenance metadata is
 //! represented. Instead it exposes the [`provenance::ProvenanceSystem`] extension
@@ -43,6 +46,7 @@ pub mod channel;
 pub mod error;
 pub mod merge;
 pub mod operator;
+pub mod parallel;
 pub mod provenance;
 pub mod query;
 pub mod runtime;
@@ -54,8 +58,10 @@ pub mod window;
 pub mod prelude {
     pub use crate::channel::{Batch, BatchConfig};
     pub use crate::error::SpeError;
+    pub use crate::operator::aggregate::WindowView;
     pub use crate::operator::sink::CollectedStream;
     pub use crate::operator::source::{RateLimit, SourceConfig, SourceGenerator, VecSource};
+    pub use crate::parallel::Parallelism;
     pub use crate::provenance::{MetaData, NoProvenance, ProvenanceSystem};
     pub use crate::query::{Query, QueryConfig, StreamRef};
     pub use crate::runtime::{QueryHandle, QueryReport};
@@ -66,6 +72,7 @@ pub mod prelude {
 
 pub use channel::{Batch, BatchConfig};
 pub use error::SpeError;
+pub use parallel::Parallelism;
 pub use provenance::{NoProvenance, ProvenanceSystem};
 pub use query::{Query, QueryConfig, StreamRef};
 pub use runtime::{QueryHandle, QueryReport};

@@ -44,6 +44,13 @@ impl OperatorStats {
             ..Default::default()
         }
     }
+
+    /// Folds another operator's counters into this record (used by the runtime to
+    /// aggregate the per-shard statistics of a parallel operator into one report).
+    pub fn absorb(&mut self, other: &OperatorStats) {
+        self.tuples_in += other.tuples_in;
+        self.tuples_out += other.tuples_out;
+    }
 }
 
 /// Runtime behaviour of an operator: a blocking loop that runs until its inputs end.

@@ -1,0 +1,815 @@
+//! Key-partitioned parallel execution: shuffle exchange, sharded operator instances
+//! and a provenance-safe fan-in.
+//!
+//! The paper's evaluation runs each query as a single chain of operator threads, which
+//! caps throughput at one core per operator. This module adds the next scaling axis:
+//! a keyed stream is split by a **shuffle exchange** ([`PartitionOp`], a deterministic
+//! hash partitioner writing to one stream channel per shard), each shard runs its own
+//! instance of a stateful operator (Aggregate or Join) with private windows and state,
+//! and the shard outputs are reunified by a **canonicalising fan-in**
+//! ([`KeyedMergeOp`]) built on [`DeterministicMerge`].
+//!
+//! # Why this is provenance-safe
+//!
+//! GeneaLog's provenance model (instrumented tuples carrying chain pointers) is
+//! shard-agnostic as long as per-key order is preserved:
+//!
+//! * the partitioner *forwards* tuples (the same `Arc`, like Filter and Union — a
+//!   type (i) operator in the paper's Definition 3.1), so no metadata is created or
+//!   rewritten on the way into a shard;
+//! * every key lands on exactly one shard, so each shard's window store sees exactly
+//!   the per-key tuple sequence the single-instance operator would see — the
+//!   `aggregate_meta` / `join_meta` hooks fire with identical inputs and the `U1`,
+//!   `U2` and `N` chain pointers come out identical;
+//! * the fan-in forwards the same `Arc`s in a canonical global order (timestamp,
+//!   then group key, then per-key emission order), so downstream operators and sinks
+//!   observe the same stream — and the same contribution graphs — as the
+//!   single-instance plan, for **any** shard count.
+//!
+//! The canonical order matters: [`DeterministicMerge`] alone breaks timestamp ties by
+//! input index, which would interleave equal-timestamp windows of different keys
+//! differently for different shard counts. [`KeyedMergeOp`] therefore buffers each
+//! equal-timestamp run and stable-sorts it by the operator's group key before
+//! releasing it.
+//!
+//! # Example
+//!
+//! ```rust
+//! use genealog_spe::parallel::Parallelism;
+//! use genealog_spe::prelude::*;
+//! use genealog_spe::operator::aggregate::WindowView;
+//!
+//! # fn main() -> Result<(), SpeError> {
+//! let mut q = Query::new(NoProvenance);
+//! let readings = q.source(
+//!     "meters",
+//!     VecSource::with_period((0..100u32).map(|i| (i % 8, i as i64)).collect(), 1_000),
+//! );
+//! // Count readings per meter in 1-minute tumbling windows, on 4 parallel shards.
+//! let counts = q.sharded_aggregate(
+//!     "count",
+//!     readings,
+//!     WindowSpec::tumbling(Duration::from_secs(60))?,
+//!     |r: &(u32, i64)| r.0,
+//!     |w: &WindowView<'_, u32, (u32, i64), ()>| (*w.key, w.len() as i64),
+//!     |o: &(u32, i64)| o.0,
+//!     Parallelism::instances(4),
+//! );
+//! let out = q.collecting_sink("sink", counts);
+//! q.deploy()?.wait()?;
+//! assert!(!out.is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+use std::cmp::Ordering as CmpOrdering;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use crate::channel::{OutputHandle, OutputSlot, StreamReceiver};
+use crate::error::SpeError;
+use crate::merge::{DeterministicMerge, MergedElement};
+use crate::operator::aggregate::{AggregateOp, WindowView};
+use crate::operator::join::JoinOp;
+use crate::operator::{Operator, OperatorStats};
+use crate::provenance::{MetaData, ProvenanceSystem};
+use crate::query::{NodeKind, Query, StreamRef};
+use crate::time::Duration;
+use crate::tuple::{Element, GTuple, TupleData};
+use crate::window::WindowSpec;
+
+/// Boxed key comparator ordering the payloads of an equal-timestamp run.
+pub type KeyComparator<T> = Box<dyn FnMut(&T, &T) -> CmpOrdering + Send>;
+
+/// Number of parallel instances a sharded operator runs with.
+///
+/// [`Parallelism::default()`] defers to the query-wide default
+/// ([`QueryConfig::parallelism`](crate::query::QueryConfig)); an explicit
+/// [`Parallelism::instances`] overrides it per operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Parallelism {
+    /// Explicit instance count; 0 means "use the query default".
+    instances: usize,
+}
+
+impl Parallelism {
+    /// Runs the operator with exactly `n` parallel instances (clamped to at least 1,
+    /// so an explicit request never silently falls back to the query default).
+    pub const fn instances(n: usize) -> Self {
+        Parallelism {
+            instances: if n == 0 { 1 } else { n },
+        }
+    }
+
+    /// Resolves the effective instance count against the query-wide default.
+    pub fn resolve(self, default: usize) -> usize {
+        let n = if self.instances == 0 {
+            default
+        } else {
+            self.instances
+        };
+        n.max(1)
+    }
+}
+
+/// Deterministic shard assignment: hashes `key` and reduces it modulo `shards`.
+///
+/// The hasher is seeded with a fixed state, so the assignment is stable across runs
+/// and processes — a requirement for reproducible sharded execution (and for the
+/// byte-identical output guarantee of the shard-equivalence tests).
+pub fn shard_of<K: Hash + ?Sized>(key: &K, shards: usize) -> usize {
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut hasher);
+    (hasher.finish() % shards.max(1) as u64) as usize
+}
+
+/// The shuffle-exchange operator: routes each tuple to the shard owning its key.
+///
+/// Partition is a *forwarding* operator (no provenance instrumentation, Definition 3.1
+/// type (i)): it moves the input `Arc` to exactly one output, so shard-local operators
+/// see the very tuples — and the very metadata — the single-instance plan would see.
+/// Watermarks and the end-of-stream marker are broadcast to every shard, which keeps
+/// each shard's window-closing schedule identical to the unsharded operator's.
+pub struct PartitionOp<T, M> {
+    name: String,
+    input: StreamReceiver<T, M>,
+    outputs: Vec<OutputSlot<T, M>>,
+    shard_fn: Box<dyn FnMut(&T) -> usize + Send>,
+}
+
+impl<T, M> PartitionOp<T, M>
+where
+    T: TupleData,
+    M: MetaData,
+{
+    /// Creates a Partition operator.
+    ///
+    /// `shard_fn` must return an index below `outputs.len()` (out-of-range indices
+    /// are clamped to the last shard).
+    ///
+    /// # Panics
+    /// Panics if `outputs` is empty.
+    pub fn new(
+        name: impl Into<String>,
+        input: StreamReceiver<T, M>,
+        outputs: Vec<OutputSlot<T, M>>,
+        shard_fn: Box<dyn FnMut(&T) -> usize + Send>,
+    ) -> Self {
+        assert!(
+            !outputs.is_empty(),
+            "Partition requires at least one output"
+        );
+        PartitionOp {
+            name: name.into(),
+            input,
+            outputs,
+            shard_fn,
+        }
+    }
+}
+
+impl<T, M> Operator for PartitionOp<T, M>
+where
+    T: TupleData,
+    M: MetaData,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn run(mut self: Box<Self>) -> Result<OperatorStats, SpeError> {
+        let mut outs: Vec<_> = self.outputs.iter().map(OutputSlot::open).collect();
+        let mut stats = OperatorStats::new(self.name.clone());
+        let last = outs.len() - 1;
+        loop {
+            for element in self.input.recv_batch() {
+                match element {
+                    Element::Tuple(tuple) => {
+                        stats.tuples_in += 1;
+                        let shard = (self.shard_fn)(&tuple.data).min(last);
+                        // A closed shard means the query is shutting down; losing a
+                        // key range would corrupt results, so stop the whole exchange.
+                        if outs[shard].send_tuple(tuple).is_err() {
+                            return Ok(stats);
+                        }
+                        stats.tuples_out += 1;
+                    }
+                    Element::Watermark(ts) => {
+                        for out in &mut outs {
+                            if out.send_watermark(ts).is_err() {
+                                return Ok(stats);
+                            }
+                        }
+                    }
+                    Element::End => {
+                        for out in &mut outs {
+                            let _ = out.send_end();
+                        }
+                        return Ok(stats);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The provenance-safe fan-in reunifying shard outputs into one canonical stream.
+///
+/// Built on [`DeterministicMerge`] for the global timestamp order, with one extra
+/// step: each run of equal-timestamp tuples is buffered and stable-sorted by the
+/// operator's group key before release. The merge alone breaks timestamp ties by
+/// input index, which depends on how keys were spread over shards; the key sort makes
+/// the output order `(timestamp, key, per-key emission order)` — independent of the
+/// shard count, including the degenerate single-shard plan.
+///
+/// Like Union, the fan-in *forwards* tuples (same `Arc`), so GeneaLog chain pointers
+/// pass through untouched.
+///
+/// The equal-timestamp run buffer is bounded by the number of tuples the upstream
+/// operator emits *at one timestamp* (for an aggregate: at most one window output per
+/// group key), not by a channel capacity — canonical ordering requires the whole run
+/// before it can be sorted. Extremely skewed workloads (e.g. a join producing
+/// quadratically many matches at a single timestamp) pay for that run in memory.
+pub struct KeyedMergeOp<T, M> {
+    name: String,
+    inputs: Vec<StreamReceiver<T, M>>,
+    output: OutputSlot<T, M>,
+    cmp: KeyComparator<T>,
+}
+
+impl<T, M> KeyedMergeOp<T, M>
+where
+    T: TupleData,
+    M: MetaData,
+{
+    /// Creates a fan-in over the given shard outputs, ordering equal-timestamp runs
+    /// with `cmp` (a comparison on the payloads' group keys).
+    ///
+    /// # Panics
+    /// Panics if `inputs` is empty.
+    pub fn new(
+        name: impl Into<String>,
+        inputs: Vec<StreamReceiver<T, M>>,
+        output: OutputSlot<T, M>,
+        cmp: KeyComparator<T>,
+    ) -> Self {
+        assert!(!inputs.is_empty(), "ShardMerge requires at least one input");
+        KeyedMergeOp {
+            name: name.into(),
+            inputs,
+            output,
+            cmp,
+        }
+    }
+
+    /// Sorts the buffered equal-timestamp run by key (stable, so per-key emission
+    /// order survives) and releases it downstream. Returns `false` on shutdown.
+    fn flush_run(
+        run: &mut Vec<Arc<GTuple<T, M>>>,
+        cmp: &mut (dyn FnMut(&T, &T) -> CmpOrdering + Send),
+        out: &mut OutputHandle<T, M>,
+        stats: &mut OperatorStats,
+    ) -> bool {
+        run.sort_by(|a, b| cmp(&a.data, &b.data));
+        for tuple in run.drain(..) {
+            if out.send_tuple(tuple).is_err() {
+                return false;
+            }
+            stats.tuples_out += 1;
+        }
+        true
+    }
+}
+
+impl<T, M> Operator for KeyedMergeOp<T, M>
+where
+    T: TupleData,
+    M: MetaData,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn run(self: Box<Self>) -> Result<OperatorStats, SpeError> {
+        let mut out = self.output.open();
+        let mut stats = OperatorStats::new(self.name.clone());
+        let mut merge = DeterministicMerge::new(self.inputs);
+        let mut cmp = self.cmp;
+        // The run of equal-timestamp tuples currently being collected. It is released
+        // once the merge proves the timestamp is complete (a later tuple, a strictly
+        // later watermark, or end-of-stream).
+        let mut run: Vec<Arc<GTuple<T, M>>> = Vec::new();
+        loop {
+            match merge.next() {
+                MergedElement::Tuple(tuple, _) => {
+                    stats.tuples_in += 1;
+                    if run.first().is_some_and(|head| head.ts != tuple.ts)
+                        && !Self::flush_run(&mut run, &mut *cmp, &mut out, &mut stats)
+                    {
+                        return Ok(stats);
+                    }
+                    run.push(tuple);
+                }
+                MergedElement::Watermark(ts) => {
+                    // A watermark beyond the run's timestamp proves the run complete.
+                    // A watermark at or below it must still be forwarded (held tuples
+                    // have ts >= the watermark, so ordering semantics are preserved).
+                    if run.first().is_some_and(|head| ts > head.ts)
+                        && !Self::flush_run(&mut run, &mut *cmp, &mut out, &mut stats)
+                    {
+                        return Ok(stats);
+                    }
+                    if out.send_watermark(ts).is_err() {
+                        return Ok(stats);
+                    }
+                }
+                MergedElement::End => {
+                    let _ = Self::flush_run(&mut run, &mut *cmp, &mut out, &mut stats);
+                    let _ = out.send_end();
+                    return Ok(stats);
+                }
+            }
+        }
+    }
+}
+
+impl<P: ProvenanceSystem> Query<P> {
+    /// Adds a shuffle exchange: hash-partitions `input` into `shards` streams, with
+    /// all tuples of one key routed to the same shard. Watermarks are broadcast.
+    ///
+    /// The partitioner forwards tuples without copying or re-instrumenting them, so
+    /// provenance metadata passes through untouched.
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero.
+    pub fn partition<T, K, KF>(
+        &mut self,
+        name: &str,
+        input: StreamRef<T, P::Meta>,
+        shards: usize,
+        mut key_fn: KF,
+    ) -> Vec<StreamRef<T, P::Meta>>
+    where
+        T: TupleData,
+        K: Hash,
+        KF: FnMut(&T) -> K + Send + 'static,
+    {
+        assert!(shards > 0, "Partition requires at least one shard");
+        let node = self.add_node(name, NodeKind::Partition);
+        self.set_shard_group(node, name, shards);
+        let rx = self.attach_input(input, node);
+        let mut slots = Vec::with_capacity(shards);
+        let mut streams = Vec::with_capacity(shards);
+        for i in 0..shards {
+            let (slot, stream) = self.new_output_stream(node, format!("{name}.shard{i}"));
+            slots.push(slot);
+            streams.push(stream);
+        }
+        let shard_fn = Box::new(move |data: &T| shard_of(&key_fn(data), shards));
+        let op = PartitionOp::new(name, rx, slots, shard_fn);
+        self.set_operator(node, Box::new(op));
+        streams
+    }
+
+    /// Adds a provenance-safe fan-in over shard outputs: the merged stream is ordered
+    /// by `(timestamp, out_key, per-key emission order)`, independent of how many
+    /// shards produced it.
+    ///
+    /// # Panics
+    /// Panics if `inputs` is empty.
+    pub fn keyed_merge<T, K, OK>(
+        &mut self,
+        name: &str,
+        inputs: Vec<StreamRef<T, P::Meta>>,
+        mut out_key: OK,
+    ) -> StreamRef<T, P::Meta>
+    where
+        T: TupleData,
+        K: Ord,
+        OK: FnMut(&T) -> K + Send + 'static,
+    {
+        assert!(!inputs.is_empty(), "ShardMerge requires at least one input");
+        let node = self.add_node(name, NodeKind::ShardMerge);
+        self.set_shard_group(node, name, inputs.len());
+        let rxs: Vec<_> = inputs
+            .into_iter()
+            .map(|stream| self.attach_input(stream, node))
+            .collect();
+        let (slot, stream) = self.new_output_stream(node, format!("{name}.out"));
+        let cmp = Box::new(move |a: &T, b: &T| {
+            let ka = out_key(a);
+            let kb = out_key(b);
+            ka.cmp(&kb)
+        });
+        let op = KeyedMergeOp::new(name, rxs, slot, cmp);
+        self.set_operator(node, Box::new(op));
+        stream
+    }
+
+    /// Adds a key-partitioned Aggregate running `parallelism` shard instances.
+    ///
+    /// Semantics are identical to [`Query::aggregate`]: a sliding window `spec` with
+    /// group-by `key_fn` and aggregation `agg_fn`. The stream is hash-partitioned on
+    /// the group key, each shard aggregates its keys with a private window store, and
+    /// the shard outputs are reunified in canonical `(timestamp, key)` order via
+    /// `out_key` (the group key re-extracted from an output payload). Output tuples,
+    /// their order, and their GeneaLog contribution graphs are identical for every
+    /// shard count.
+    #[allow(clippy::too_many_arguments)] // mirrors aggregate() plus the sharding knobs
+    pub fn sharded_aggregate<I, O, K, KF, AF, OK>(
+        &mut self,
+        name: &str,
+        input: StreamRef<I, P::Meta>,
+        spec: WindowSpec,
+        key_fn: KF,
+        agg_fn: AF,
+        out_key: OK,
+        parallelism: Parallelism,
+    ) -> StreamRef<O, P::Meta>
+    where
+        I: TupleData,
+        O: TupleData,
+        K: Ord + Hash + Clone + Send + 'static,
+        KF: FnMut(&I) -> K + Clone + Send + 'static,
+        AF: FnMut(&WindowView<'_, K, I, P::Meta>) -> O + Clone + Send + 'static,
+        OK: FnMut(&O) -> K + Send + 'static,
+    {
+        let instances = parallelism.resolve(self.config().parallelism);
+        let shards = self.partition(
+            &format!("{name}.exchange"),
+            input,
+            instances,
+            key_fn.clone(),
+        );
+        let mut outs = Vec::with_capacity(instances);
+        for (i, shard) in shards.into_iter().enumerate() {
+            let shard_name = format!("{name}[{i}]");
+            let node = self.add_node(shard_name.clone(), NodeKind::ShardedAggregate);
+            self.set_shard_group(node, name, instances);
+            let rx = self.attach_input(shard, node);
+            let (slot, stream) = self.new_output_stream(node, format!("{shard_name}.out"));
+            let op = AggregateOp::new(
+                shard_name,
+                rx,
+                slot,
+                spec,
+                key_fn.clone(),
+                agg_fn.clone(),
+                self.provenance().clone(),
+            );
+            self.set_operator(node, Box::new(op));
+            outs.push(stream);
+        }
+        self.keyed_merge(&format!("{name}.merge"), outs, out_key)
+    }
+
+    /// Adds a key-partitioned equi-key Join running `parallelism` shard instances.
+    ///
+    /// Both inputs are hash-partitioned on their key extractors (`left_key`,
+    /// `right_key`), so matching pairs always meet inside the same shard; `predicate`
+    /// further filters candidate pairs *within* a key — pairs whose keys differ never
+    /// meet, which is what makes the join shardable. Shard outputs are reunified in
+    /// canonical `(timestamp, out_key, per-key emission order)`.
+    #[allow(clippy::too_many_arguments)] // mirrors join() plus the sharding knobs
+    pub fn sharded_join<L, R, O, K, LK, RK, OK, PR, CF>(
+        &mut self,
+        name: &str,
+        left: StreamRef<L, P::Meta>,
+        right: StreamRef<R, P::Meta>,
+        window: Duration,
+        left_key: LK,
+        right_key: RK,
+        out_key: OK,
+        predicate: PR,
+        combine: CF,
+        parallelism: Parallelism,
+    ) -> StreamRef<O, P::Meta>
+    where
+        L: TupleData,
+        R: TupleData,
+        O: TupleData,
+        K: Ord + Hash + Clone + Send + 'static,
+        LK: FnMut(&L) -> K + Send + 'static,
+        RK: FnMut(&R) -> K + Send + 'static,
+        OK: FnMut(&O) -> K + Send + 'static,
+        PR: FnMut(&L, &R) -> bool + Clone + Send + 'static,
+        CF: FnMut(&L, &R) -> O + Clone + Send + 'static,
+    {
+        let instances = parallelism.resolve(self.config().parallelism);
+        let lefts = self.partition(&format!("{name}.lx"), left, instances, left_key);
+        let rights = self.partition(&format!("{name}.rx"), right, instances, right_key);
+        let mut outs = Vec::with_capacity(instances);
+        for (i, (l, r)) in lefts.into_iter().zip(rights).enumerate() {
+            let shard_name = format!("{name}[{i}]");
+            let node = self.add_node(shard_name.clone(), NodeKind::ShardedJoin);
+            self.set_shard_group(node, name, instances);
+            let left_rx = self.attach_input(l, node);
+            let right_rx = self.attach_input(r, node);
+            let (slot, stream) = self.new_output_stream(node, format!("{shard_name}.out"));
+            let op = JoinOp::new(
+                shard_name,
+                left_rx,
+                right_rx,
+                slot,
+                window,
+                predicate.clone(),
+                combine.clone(),
+                self.provenance().clone(),
+            );
+            self.set_operator(node, Box::new(op));
+            outs.push(stream);
+        }
+        self.keyed_merge(&format!("{name}.merge"), outs, out_key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::stream_channel;
+    use crate::operator::source::VecSource;
+    use crate::provenance::NoProvenance;
+    use crate::time::Timestamp;
+
+    fn tuple(ts: u64, key: u32, v: i64) -> Arc<GTuple<(u32, i64), ()>> {
+        Arc::new(GTuple::new(Timestamp::from_secs(ts), 0, (key, v), ()))
+    }
+
+    #[test]
+    fn parallelism_resolution() {
+        assert_eq!(Parallelism::default().resolve(1), 1);
+        assert_eq!(Parallelism::default().resolve(8), 8);
+        assert_eq!(Parallelism::instances(4).resolve(1), 4);
+        // An explicit 0 clamps to one instance; it does NOT fall back to the default.
+        assert_eq!(Parallelism::instances(0).resolve(3), 1);
+        assert_eq!(Parallelism::default().resolve(0), 1);
+    }
+
+    #[test]
+    fn shard_assignment_is_deterministic_and_in_range() {
+        for shards in [1usize, 2, 3, 4, 7] {
+            for key in 0u64..100 {
+                let a = shard_of(&key, shards);
+                assert!(a < shards);
+                assert_eq!(a, shard_of(&key, shards), "stable across calls");
+            }
+        }
+        // Keys actually spread over shards (not all on one).
+        let hit: std::collections::BTreeSet<usize> = (0u64..64).map(|k| shard_of(&k, 4)).collect();
+        assert!(hit.len() > 1, "64 keys must use more than one of 4 shards");
+    }
+
+    #[test]
+    fn partition_routes_keys_consistently_and_broadcasts_watermarks() {
+        let (in_tx, in_rx) = stream_channel(64);
+        let slots: Vec<OutputSlot<(u32, i64), ()>> = (0..3).map(|_| OutputSlot::new()).collect();
+        let mut rxs = Vec::new();
+        for slot in &slots {
+            let (tx, rx) = stream_channel(64);
+            slot.connect(tx);
+            rxs.push(rx);
+        }
+        for i in 0..12u64 {
+            in_tx
+                .send(Element::Tuple(tuple(i, (i % 4) as u32, i as i64)))
+                .unwrap();
+        }
+        in_tx
+            .send(Element::Watermark(Timestamp::from_secs(12)))
+            .unwrap();
+        in_tx.send(Element::End).unwrap();
+
+        let op = PartitionOp::new(
+            "part",
+            in_rx,
+            slots,
+            Box::new(|t: &(u32, i64)| shard_of(&t.0, 3)),
+        );
+        let stats = Box::new(op).run().unwrap();
+        assert_eq!(stats.tuples_in, 12);
+        assert_eq!(stats.tuples_out, 12);
+
+        let mut key_to_shard: std::collections::BTreeMap<u32, usize> = Default::default();
+        let mut total = 0;
+        for (shard, rx) in rxs.iter_mut().enumerate() {
+            let mut watermarks = 0;
+            let mut last_value_per_key: std::collections::BTreeMap<u32, i64> = Default::default();
+            loop {
+                match rx.recv() {
+                    Element::Tuple(t) => {
+                        total += 1;
+                        let prior = key_to_shard.insert(t.data.0, shard);
+                        assert!(
+                            prior.is_none_or(|p| p == shard),
+                            "key {} seen on two shards",
+                            t.data.0
+                        );
+                        // Per-key order is preserved.
+                        if let Some(prev) = last_value_per_key.insert(t.data.0, t.data.1) {
+                            assert!(prev < t.data.1);
+                        }
+                    }
+                    Element::Watermark(_) => watermarks += 1,
+                    Element::End => break,
+                }
+            }
+            assert_eq!(watermarks, 1, "watermark broadcast to every shard");
+        }
+        assert_eq!(total, 12);
+    }
+
+    #[test]
+    fn keyed_merge_canonicalises_equal_timestamp_runs() {
+        // Two shards emit windows with the same timestamp for different keys; shard 1
+        // holds the *smaller* key, so the raw merge tie-break (input index) would
+        // order keys 2, 1 — the keyed merge must order them 1, 2.
+        let (tx0, rx0) = stream_channel::<(u32, i64), ()>(16);
+        let (tx1, rx1) = stream_channel::<(u32, i64), ()>(16);
+        let out_slot = OutputSlot::new();
+        let (out_tx, mut out_rx) = stream_channel(64);
+        out_slot.connect(out_tx);
+
+        tx0.send(Element::Tuple(tuple(10, 2, 20))).unwrap();
+        tx0.send(Element::Tuple(tuple(10, 4, 40))).unwrap();
+        tx0.send(Element::End).unwrap();
+        tx1.send(Element::Tuple(tuple(10, 1, 10))).unwrap();
+        tx1.send(Element::Tuple(tuple(10, 3, 30))).unwrap();
+        tx1.send(Element::End).unwrap();
+
+        let op = KeyedMergeOp::new(
+            "merge",
+            vec![rx0, rx1],
+            out_slot,
+            Box::new(|a: &(u32, i64), b: &(u32, i64)| a.0.cmp(&b.0)),
+        );
+        let stats = Box::new(op).run().unwrap();
+        assert_eq!(stats.tuples_in, 4);
+        assert_eq!(stats.tuples_out, 4);
+
+        let mut keys = Vec::new();
+        loop {
+            match out_rx.recv() {
+                Element::Tuple(t) => keys.push(t.data.0),
+                Element::Watermark(_) => {}
+                Element::End => break,
+            }
+        }
+        assert_eq!(keys, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn keyed_merge_releases_run_on_strictly_later_watermark() {
+        let (tx0, rx0) = stream_channel::<(u32, i64), ()>(16);
+        let out_slot = OutputSlot::new();
+        let (out_tx, mut out_rx) = stream_channel(64);
+        out_slot.connect(out_tx);
+
+        tx0.send(Element::Tuple(tuple(5, 1, 1))).unwrap();
+        // A watermark at the run's own timestamp must NOT release it (an equal-ts
+        // tuple may still arrive)...
+        tx0.send(Element::Watermark(Timestamp::from_secs(5)))
+            .unwrap();
+        tx0.send(Element::Tuple(tuple(5, 0, 0))).unwrap();
+        // ...but a strictly later watermark must.
+        tx0.send(Element::Watermark(Timestamp::from_secs(6)))
+            .unwrap();
+        tx0.send(Element::End).unwrap();
+
+        let op = KeyedMergeOp::new(
+            "merge",
+            vec![rx0],
+            out_slot,
+            Box::new(|a: &(u32, i64), b: &(u32, i64)| a.0.cmp(&b.0)),
+        );
+        Box::new(op).run().unwrap();
+
+        let mut seen: Vec<(bool, u64)> = Vec::new();
+        loop {
+            match out_rx.recv() {
+                Element::Tuple(t) => seen.push((true, t.data.0 as u64)),
+                Element::Watermark(ts) => seen.push((false, ts.as_secs())),
+                Element::End => break,
+            }
+        }
+        // Watermark 5 forwarded while the run is held; the run (key-sorted: 0 then 1)
+        // is flushed before watermark 6 passes it.
+        assert_eq!(seen, vec![(false, 5), (true, 0), (true, 1), (false, 6)]);
+    }
+
+    #[test]
+    fn sharded_aggregate_matches_single_instance_aggregate() {
+        fn run(instances: usize) -> Vec<(u64, u32, i64)> {
+            let mut q = Query::new(NoProvenance);
+            let items: Vec<(u32, i64)> = (0..64).map(|i| (i % 8, i as i64)).collect();
+            let src = q.source("src", VecSource::with_period(items, 1_000));
+            let sums = q.sharded_aggregate(
+                "sum",
+                src,
+                WindowSpec::tumbling(Duration::from_secs(16)).unwrap(),
+                |t: &(u32, i64)| t.0,
+                |w: &WindowView<'_, u32, (u32, i64), ()>| {
+                    (*w.key, w.payloads().map(|p| p.1).sum::<i64>())
+                },
+                |o: &(u32, i64)| o.0,
+                Parallelism::instances(instances),
+            );
+            let out = q.collecting_sink("sink", sums);
+            q.deploy().unwrap().wait().unwrap();
+            out.tuples()
+                .iter()
+                .map(|t| (t.ts.as_secs(), t.data.0, t.data.1))
+                .collect()
+        }
+        let one = run(1);
+        let four = run(4);
+        assert!(!one.is_empty());
+        assert_eq!(one, four, "shard count must not change the output stream");
+    }
+
+    #[test]
+    fn sharded_join_matches_pairs_within_keys() {
+        let mut q = Query::new(NoProvenance);
+        let left_items: Vec<(u32, i64)> = (0..16).map(|i| (i % 4, i as i64)).collect();
+        let right_items: Vec<(u32, i64)> = (0..16).map(|i| (i % 4, 100 + i as i64)).collect();
+        let left = q.source("left", VecSource::with_period(left_items, 1_000));
+        let right = q.source("right", VecSource::with_period(right_items, 1_000));
+        let joined = q.sharded_join(
+            "match",
+            left,
+            right,
+            Duration::from_secs(2),
+            |l: &(u32, i64)| l.0,
+            |r: &(u32, i64)| r.0,
+            |o: &(u32, i64, i64)| o.0,
+            |l: &(u32, i64), r: &(u32, i64)| l.0 == r.0,
+            |l: &(u32, i64), r: &(u32, i64)| (l.0, l.1, r.1),
+            Parallelism::instances(3),
+        );
+        let out = q.collecting_sink("sink", joined);
+        q.deploy().unwrap().wait().unwrap();
+        assert!(!out.is_empty());
+        for t in out.tuples() {
+            // Combined pairs agree on the key: left value i pairs with right 100 + j
+            // where i ≡ j (mod 4).
+            assert_eq!(t.data.1 % 4, (t.data.2 - 100) % 4);
+        }
+    }
+
+    #[test]
+    fn shard_group_reports_are_aggregated() {
+        let mut q = Query::new(NoProvenance);
+        let items: Vec<(u32, i64)> = (0..40).map(|i| (i % 5, i as i64)).collect();
+        let src = q.source("src", VecSource::with_period(items, 1_000));
+        let counts = q.sharded_aggregate(
+            "agg",
+            src,
+            WindowSpec::tumbling(Duration::from_secs(10)).unwrap(),
+            |t: &(u32, i64)| t.0,
+            |w: &WindowView<'_, u32, (u32, i64), ()>| (*w.key, w.len() as i64),
+            |o: &(u32, i64)| o.0,
+            Parallelism::instances(4),
+        );
+        let out = q.collecting_sink("sink", counts);
+        let report = q.deploy().unwrap().wait().unwrap();
+        assert!(!out.is_empty());
+        // The four shard threads appear as ONE report named after the logical
+        // operator, with summed counters covering the whole input.
+        let agg = report.operator("agg").expect("aggregated shard report");
+        assert_eq!(agg.kind, NodeKind::ShardedAggregate);
+        assert_eq!(agg.instances, 4);
+        assert_eq!(agg.stats.tuples_in, 40);
+        assert_eq!(agg.stats.tuples_out, out.len() as u64);
+        assert!(
+            report.operator("agg[0]").is_none(),
+            "individual shard reports are folded away"
+        );
+        let exchange = report.operator("agg.exchange").expect("partition report");
+        assert_eq!(exchange.kind, NodeKind::Partition);
+        assert_eq!(exchange.stats.tuples_in, 40);
+        assert_eq!(
+            exchange.instances, 1,
+            "the exchange is one thread, whatever its fan-out"
+        );
+    }
+
+    #[test]
+    fn query_default_parallelism_applies_to_sharded_operators() {
+        use crate::query::QueryConfig;
+        let mut q = Query::with_config(NoProvenance, QueryConfig::default().with_parallelism(3));
+        let items: Vec<(u32, i64)> = (0..12).map(|i| (i % 3, i as i64)).collect();
+        let src = q.source("src", VecSource::with_period(items, 1_000));
+        let counts = q.sharded_aggregate(
+            "agg",
+            src,
+            WindowSpec::tumbling(Duration::from_secs(4)).unwrap(),
+            |t: &(u32, i64)| t.0,
+            |w: &WindowView<'_, u32, (u32, i64), ()>| (*w.key, w.len() as i64),
+            |o: &(u32, i64)| o.0,
+            Parallelism::default(),
+        );
+        let out = q.collecting_sink("sink", counts);
+        let report = q.deploy().unwrap().wait().unwrap();
+        assert!(!out.is_empty());
+        assert_eq!(report.operator("agg").unwrap().instances, 3);
+    }
+}

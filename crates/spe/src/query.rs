@@ -54,6 +54,14 @@ pub enum NodeKind {
     Join,
     /// A Sink operator.
     Sink,
+    /// A shuffle exchange: hash-partitions a keyed stream across shard instances.
+    Partition,
+    /// One shard instance of a key-partitioned Aggregate.
+    ShardedAggregate,
+    /// One shard instance of a key-partitioned Join.
+    ShardedJoin,
+    /// The provenance-safe fan-in reunifying shard outputs into one ordered stream.
+    ShardMerge,
     /// An operator provided by an extension crate (unfolders, Send/Receive, ...).
     Custom(&'static str),
 }
@@ -70,9 +78,27 @@ impl NodeKind {
             NodeKind::Aggregate => "aggregate",
             NodeKind::Join => "join",
             NodeKind::Sink => "sink",
+            NodeKind::Partition => "partition",
+            NodeKind::ShardedAggregate => "sharded-aggregate",
+            NodeKind::ShardedJoin => "sharded-join",
+            NodeKind::ShardMerge => "shard-merge",
             NodeKind::Custom(name) => name,
         }
     }
+}
+
+/// Membership of a node in a group of parallel shard instances.
+///
+/// All nodes sharing a group name are one *logical* operator split over `instances`
+/// threads: the runtime folds their statistics into a single
+/// [`OperatorReport`](crate::runtime::OperatorReport) and DOT exports annotate them
+/// with the shard count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardGroup {
+    /// Name of the logical operator the shards belong to.
+    pub name: String,
+    /// Number of parallel instances in the group.
+    pub instances: usize,
 }
 
 /// Static description of an operator node.
@@ -81,6 +107,8 @@ pub struct NodeInfo {
     pub name: String,
     /// Operator role.
     pub kind: NodeKind,
+    /// Shard group this node belongs to, if it is part of a parallel operator.
+    pub shard_group: Option<ShardGroup>,
     operator: Option<Box<dyn Operator>>,
 }
 
@@ -89,6 +117,7 @@ impl std::fmt::Debug for NodeInfo {
         f.debug_struct("NodeInfo")
             .field("name", &self.name)
             .field("kind", &self.kind)
+            .field("shard_group", &self.shard_group)
             .field("has_operator", &self.operator.is_some())
             .finish()
     }
@@ -127,6 +156,10 @@ pub struct QueryConfig {
     /// Default batching configuration of operator outputs. Individual operators can
     /// override it via [`Query::set_batch_config`] before they are added.
     pub batch: BatchConfig,
+    /// Default number of parallel instances for sharded operators added with
+    /// [`Parallelism::default()`](crate::parallel::Parallelism). Individual operators
+    /// override it with [`Parallelism::instances`](crate::parallel::Parallelism::instances).
+    pub parallelism: usize,
 }
 
 impl Default for QueryConfig {
@@ -134,6 +167,7 @@ impl Default for QueryConfig {
         QueryConfig {
             channel_capacity: 1024,
             batch: BatchConfig::default(),
+            parallelism: 1,
         }
     }
 }
@@ -149,6 +183,13 @@ impl QueryConfig {
     /// reproducing the engine's original per-element transport.
     pub fn unbatched(mut self) -> Self {
         self.batch = BatchConfig::unbatched();
+        self
+    }
+
+    /// Returns the configuration with a different default shard count for parallel
+    /// operators (clamped to at least 1).
+    pub fn with_parallelism(mut self, instances: usize) -> Self {
+        self.parallelism = instances.max(1);
         self
     }
 }
@@ -227,9 +268,21 @@ impl<P: ProvenanceSystem> Query<P> {
         self.nodes.push(NodeInfo {
             name: name.into(),
             kind,
+            shard_group: None,
             operator: None,
         });
         id
+    }
+
+    /// Assigns a node to a shard group: all nodes of one group are shard instances of
+    /// the same logical operator, reported as one aggregated
+    /// [`OperatorReport`](crate::runtime::OperatorReport) and rendered with their
+    /// shard count in DOT exports.
+    pub fn set_shard_group(&mut self, node: NodeId, group: impl Into<String>, instances: usize) {
+        self.nodes[node].shard_group = Some(ShardGroup {
+            name: group.into(),
+            instances: instances.max(1),
+        });
     }
 
     /// Attaches `consumer` to `stream`, returning the receiving end of the channel.
@@ -239,9 +292,10 @@ impl<P: ProvenanceSystem> Query<P> {
         consumer: NodeId,
     ) -> StreamReceiver<T, P::Meta> {
         // The configured capacity counts elements; the channel is bounded in batches,
-        // so divide by the producer's batch size to keep the element budget constant.
-        let batch_size = stream.slot.batch_config().size.max(1);
-        let batches = (self.config.channel_capacity / batch_size).max(1);
+        // so convert with ceiling division to keep the element budget no smaller than
+        // configured regardless of the producer's batch size.
+        let batch_size = stream.slot.batch_config().size;
+        let batches = crate::channel::batch_budget(self.config.channel_capacity, batch_size);
         let (tx, rx) = stream_channel(batches);
         stream.slot.connect(tx);
         self.edges.push((stream.producer, consumer));
@@ -587,18 +641,34 @@ impl<P: ProvenanceSystem> Query<P> {
     }
 
     /// Renders the query graph in Graphviz DOT format.
+    ///
+    /// Shard-group members carry their shard count on the label (`×N`) and exchange
+    /// edges (out of a Partition, into a ShardMerge) are drawn dashed. Node names are
+    /// escaped, so user-supplied names containing quotes or backslashes cannot break
+    /// the DOT output.
     pub fn to_dot(&self) -> String {
+        fn escape(name: &str) -> String {
+            name.replace('\\', "\\\\").replace('"', "\\\"")
+        }
         let mut dot = String::from("digraph query {\n  rankdir=LR;\n");
         for (id, node) in self.nodes.iter().enumerate() {
+            let shards = match &node.shard_group {
+                Some(group) if group.instances > 1 => format!(" \u{d7}{}", group.instances),
+                _ => String::new(),
+            };
             dot.push_str(&format!(
-                "  n{} [label=\"{}\\n({})\"];\n",
+                "  n{} [label=\"{}\\n({}{})\"];\n",
                 id,
-                node.name,
-                node.kind.label()
+                escape(&node.name),
+                node.kind.label(),
+                shards
             ));
         }
         for (from, to) in &self.edges {
-            dot.push_str(&format!("  n{from} -> n{to};\n"));
+            let exchange = matches!(self.nodes[*from].kind, NodeKind::Partition)
+                || matches!(self.nodes[*to].kind, NodeKind::ShardMerge);
+            let attrs = if exchange { " [style=dashed]" } else { "" };
+            dot.push_str(&format!("  n{from} -> n{to}{attrs};\n"));
         }
         dot.push_str("}\n");
         dot
@@ -622,7 +692,7 @@ impl<P: ProvenanceSystem> Query<P> {
             let op = node.operator.ok_or_else(|| {
                 SpeError::InvalidQuery(format!("node `{}` has no operator installed", node.name))
             })?;
-            operators.push((node.kind, op));
+            operators.push((node.kind, node.shard_group, op));
         }
         if operators.is_empty() {
             return Err(SpeError::InvalidQuery("query has no operators".into()));
@@ -728,6 +798,46 @@ mod tests {
         assert_eq!(kinds[0].1, NodeKind::Source);
         assert_eq!(kinds[1].1, NodeKind::Filter);
         assert_eq!(kinds[2].1, NodeKind::Sink);
+    }
+
+    #[test]
+    fn dot_export_escapes_hostile_node_names() {
+        let mut q = Query::new(NoProvenance);
+        let src = q.source("evil\"]; bad [\\", VecSource::with_period(vec![1i64], 1));
+        let _ = q.collecting_sink("sink", src);
+        let dot = q.to_dot();
+        // The quote and backslash are escaped, so the label cannot terminate early.
+        assert!(dot.contains("evil\\\"]; bad [\\\\"));
+        assert!(!dot.contains("label=\"evil\"]"));
+    }
+
+    #[test]
+    fn dot_export_renders_shard_counts_and_exchange_edges() {
+        use crate::operator::aggregate::WindowView;
+        use crate::parallel::Parallelism;
+        let mut q = Query::new(NoProvenance);
+        let src = q.source(
+            "src",
+            VecSource::with_period((0..8u32).map(|i| (i, 0i64)).collect(), 1_000),
+        );
+        let agg = q.sharded_aggregate(
+            "agg",
+            src,
+            WindowSpec::tumbling(crate::time::Duration::from_secs(4)).unwrap(),
+            |t: &(u32, i64)| t.0,
+            |w: &WindowView<'_, u32, (u32, i64), ()>| (*w.key, w.len() as i64),
+            |o: &(u32, i64)| o.0,
+            Parallelism::instances(4),
+        );
+        let _ = q.collecting_sink("sink", agg);
+        let dot = q.to_dot();
+        assert!(dot.contains("agg.exchange\\n(partition \u{d7}4)"));
+        assert!(dot.contains("agg[0]\\n(sharded-aggregate \u{d7}4)"));
+        assert!(dot.contains("agg.merge\\n(shard-merge \u{d7}4)"));
+        // Exchange edges out of the partition and into the merge are dashed.
+        assert!(dot.contains("[style=dashed]"));
+        // An ordinary edge (source -> partition) stays solid.
+        assert!(dot.contains("n0 -> n1;\n"));
     }
 
     #[test]

@@ -12,14 +12,21 @@ use std::time::Instant;
 
 use crate::error::SpeError;
 use crate::operator::{Operator, OperatorStats};
-use crate::query::NodeKind;
+use crate::query::{NodeKind, ShardGroup};
 
 /// Statistics of one operator after query completion, tagged with its role.
+///
+/// For key-partitioned operators the report covers the whole shard group: the runtime
+/// folds the per-shard thread statistics into one report carrying the group name and
+/// the number of instances.
 #[derive(Debug, Clone)]
 pub struct OperatorReport {
     /// The operator's role in the query graph.
     pub kind: NodeKind,
-    /// The operator's run-time counters.
+    /// Number of parallel shard instances folded into this report (1 for ordinary
+    /// operators).
+    pub instances: usize,
+    /// The operator's run-time counters (summed over all shard instances).
     pub stats: OperatorStats,
 }
 
@@ -74,10 +81,11 @@ impl QueryReport {
     }
 }
 
-/// A joinable operator thread, tagged with its node kind and name.
+/// A joinable operator thread, tagged with its node kind, name and shard group.
 type OperatorThread = (
     NodeKind,
     String,
+    Option<ShardGroup>,
     JoinHandle<Result<OperatorStats, SpeError>>,
 );
 
@@ -107,11 +115,41 @@ impl QueryHandle {
     /// Returns the first operator error encountered, or
     /// [`SpeError::OperatorPanicked`] if an operator thread panicked.
     pub fn wait(self) -> Result<QueryReport, SpeError> {
-        let mut operators = Vec::with_capacity(self.threads.len());
+        let mut operators: Vec<OperatorReport> = Vec::with_capacity(self.threads.len());
+        // Shard group name -> index into `operators`, so every shard thread of one
+        // logical operator folds into a single aggregated report.
+        let mut group_index: std::collections::HashMap<String, usize> =
+            std::collections::HashMap::new();
         let mut first_error: Option<SpeError> = None;
-        for (kind, name, handle) in self.threads {
+        for (kind, name, group, handle) in self.threads {
             match handle.join() {
-                Ok(Ok(stats)) => operators.push(OperatorReport { kind, stats }),
+                Ok(Ok(stats)) => match group {
+                    Some(group) => match group_index.get(&group.name) {
+                        Some(&idx) => {
+                            operators[idx].stats.absorb(&stats);
+                            // Count the threads actually folded in, not the group's
+                            // declared width: single-node groups (the partition and
+                            // fan-in of an exchange carry a group for DOT labelling)
+                            // report instances = 1.
+                            operators[idx].instances += 1;
+                        }
+                        None => {
+                            group_index.insert(group.name.clone(), operators.len());
+                            let mut merged = OperatorStats::new(group.name);
+                            merged.absorb(&stats);
+                            operators.push(OperatorReport {
+                                kind,
+                                instances: 1,
+                                stats: merged,
+                            });
+                        }
+                    },
+                    None => operators.push(OperatorReport {
+                        kind,
+                        instances: 1,
+                        stats,
+                    }),
+                },
                 Ok(Err(err)) => {
                     if first_error.is_none() {
                         first_error = Some(err);
@@ -139,20 +177,20 @@ pub(crate) struct Runtime;
 
 impl Runtime {
     pub(crate) fn spawn(
-        operators: Vec<(NodeKind, Box<dyn Operator>)>,
+        operators: Vec<(NodeKind, Option<ShardGroup>, Box<dyn Operator>)>,
         stop: Arc<AtomicBool>,
     ) -> QueryHandle {
         let started = Instant::now();
         let threads = operators
             .into_iter()
-            .map(|(kind, op)| {
+            .map(|(kind, group, op)| {
                 let name = op.name().to_string();
                 let thread_name = format!("spe-{name}");
                 let handle = std::thread::Builder::new()
                     .name(thread_name)
                     .spawn(move || op.run())
                     .expect("failed to spawn operator thread");
-                (kind, name, handle)
+                (kind, name, group, handle)
             })
             .collect();
         QueryHandle {

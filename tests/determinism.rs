@@ -29,6 +29,7 @@ fn run_q1_with(channel_capacity: usize, batch: BatchConfig) -> Vec<(AlertKey, Pr
         QueryConfig {
             channel_capacity,
             batch,
+            ..QueryConfig::default()
         },
     );
     let reports = q.source("lr", LinearRoadGenerator::new(config));

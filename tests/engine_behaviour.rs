@@ -20,6 +20,7 @@ fn tiny_channels_do_not_change_results_or_provenance() {
             QueryConfig {
                 channel_capacity: capacity,
                 batch: BatchConfig::default(),
+                ..QueryConfig::default()
             },
         );
         let src = q.source("sensors", VecSource::with_period(readings.clone(), 10_000));
@@ -268,6 +269,7 @@ fn backpressure_blocks_a_fast_source_under_batching() {
         QueryConfig {
             channel_capacity: 1,
             batch: BatchConfig::with_size(8),
+            ..QueryConfig::default()
         },
     );
     let src = q.source("fast", VecSource::with_period((0..total).collect(), 1_000));
