@@ -1,16 +1,17 @@
 //! Quick throughput benchmark establishing the per-PR performance trajectory.
 //!
-//! PR 2 measures **key-partitioned parallel execution**: a keyed sliding-window
-//! aggregate (64 keys, WS = 2048 ms / WA = 256 ms, so every tuple lands in 8
-//! overlapping windows) is run as `source -> shuffle exchange -> N aggregate shards
-//! -> keyed merge -> sink` with N in {1, 2, 4}, under the NP and GL provenance
-//! configurations. The measurements are written to `BENCH_PR2.json` in the current
+//! PR 3 measures **operator fusion**: a stateless `filter -> map -> map` chain is run
+//! with the physical-plan fusion pass on and off, under the NP and GL provenance
+//! configurations. Fused, the three stages share one thread and exchange tuples by
+//! direct calls; unfused, each stage is its own thread behind a bounded batched
+//! channel. The measurements are written to `BENCH_PR3.json` in the current
 //! directory (override the path with `GENEALOG_BENCH_OUT`).
 //!
-//! The JSON records `host_cpus`: shard scaling is thread parallelism, so the
-//! 4-shard/1-shard speedup is only meaningful on a machine with enough cores — on a
-//! single-core host the sweep degenerates to a fairness check (sharding must not make
-//! things dramatically worse).
+//! The JSON records `host_cpus`: fusion trades thread-level parallelism for zero
+//! transport cost, so its benefit is largest when operators outnumber cores — on a
+//! single-core host every channel hop is pure overhead and fusion shows its upper
+//! bound; on a many-core host a cheap chain can still win fused because the stages
+//! never saturate one core each.
 //!
 //! Set `GENEALOG_BENCH_SMOKE=1` for a fast CI smoke run (fewer tuples, one
 //! repetition).
@@ -20,22 +21,18 @@
 use std::io::Write;
 
 use genealog::GeneaLog;
-use genealog_spe::operator::aggregate::WindowView;
 use genealog_spe::operator::source::{SourceConfig, VecSource};
-use genealog_spe::parallel::Parallelism;
 use genealog_spe::prelude::*;
 use genealog_spe::provenance::ProvenanceSystem;
 
 /// Batch size of the stream transport (the PR 1 configuration).
 const BATCH: usize = 256;
-/// Distinct group-by keys.
-const KEYS: u32 = 64;
 
 fn tuples_per_run() -> usize {
     if smoke_mode() {
-        40_000
+        60_000
     } else {
-        300_000
+        500_000
     }
 }
 
@@ -54,61 +51,53 @@ fn smoke_mode() -> bool {
 #[derive(Debug, Clone)]
 struct Measurement {
     system: &'static str,
-    shards: usize,
+    fused: bool,
     throughput_tps: f64,
     per_tuple_ns: f64,
 }
 
-/// One run of the sharded-aggregate pipeline; returns the source throughput.
-fn sharded_once<P: ProvenanceSystem>(provenance: P, shards: usize) -> Measurement {
+/// One run of the stateless-chain pipeline; returns the source throughput.
+fn chain_once<P: ProvenanceSystem>(provenance: P, fused: bool) -> Measurement {
     let label = provenance.label();
     let tuples = tuples_per_run();
-    let mut q = Query::with_config(provenance, QueryConfig::default().with_batch_size(BATCH));
-    let items: Vec<(u32, i64)> = (0..tuples).map(|i| ((i as u32) % KEYS, i as i64)).collect();
+    let mut q = Query::with_config(
+        provenance,
+        QueryConfig::default()
+            .with_batch_size(BATCH)
+            .with_fusion(fused),
+    );
+    let items: Vec<i64> = (0..tuples as i64).collect();
     let src = q.source_with(
         "events",
         VecSource::with_period(items, 1),
         SourceConfig {
-            // Watermarks flush batches and close windows; spacing them out keeps the
-            // pipeline throughput-bound rather than flush-bound.
+            // Watermarks flush batches; spacing them out keeps the pipeline
+            // throughput-bound rather than flush-bound.
             watermark_every: 4_096,
             ..SourceConfig::default()
         },
     );
-    let sums = q.sharded_aggregate(
-        "sum",
-        src,
-        WindowSpec::new(Duration::from_millis(2_048), Duration::from_millis(256))
-            .expect("valid window"),
-        |t: &(u32, i64)| t.0,
-        |w: &WindowView<'_, u32, (u32, i64), P::Meta>| {
-            // A modest amount of per-window CPU work, so the aggregate shards (not
-            // the exchange) are the bottleneck that parallelism can attack.
-            let mut acc: i64 = 0;
-            for p in w.payloads() {
-                acc = acc.wrapping_mul(31).wrapping_add(p.1 ^ (acc >> 7));
-            }
-            (*w.key, acc)
-        },
-        |o: &(u32, i64)| o.0,
-        Parallelism::instances(shards),
-    );
-    let stats = q.sink("sink", sums, |_| {});
+    // A stateless hot path with per-stage work small enough that the transport
+    // between stages (channel + batch + wake-up vs a direct call) dominates.
+    let kept = q.filter("select", src, |x| x % 16 != 0);
+    let scaled = q.map_one("scale", kept, |x| x.wrapping_mul(31) ^ (x >> 3));
+    let tagged = q.map_one("tag", scaled, |x| x.wrapping_add(0x9E37_79B9));
+    let stats = q.sink("sink", tagged, |_| {});
     let report = q.deploy().expect("deploy").wait().expect("run");
     assert_eq!(report.source_tuples(), tuples as u64);
-    assert!(stats.tuple_count() > 0, "sink must observe window outputs");
+    assert!(stats.tuple_count() > 0, "sink must observe chain outputs");
     let wall = report.wall_time().as_secs_f64();
     Measurement {
         system: label,
-        shards,
+        fused,
         throughput_tps: tuples as f64 / wall,
         per_tuple_ns: wall * 1e9 / tuples as f64,
     }
 }
 
-fn best_of<P: ProvenanceSystem + Clone>(provenance: &P, shards: usize) -> Measurement {
+fn best_of<P: ProvenanceSystem + Clone>(provenance: &P, fused: bool) -> Measurement {
     (0..repetitions())
-        .map(|_| sharded_once(provenance.clone(), shards))
+        .map(|_| chain_once(provenance.clone(), fused))
         .max_by(|a, b| a.throughput_tps.total_cmp(&b.throughput_tps))
         .expect("at least one repetition")
 }
@@ -116,10 +105,10 @@ fn best_of<P: ProvenanceSystem + Clone>(provenance: &P, shards: usize) -> Measur
 fn render_json(measurements: &[Measurement], speedup_np: f64, speedup_gl: f64) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"pr\": 2,\n");
-    out.push_str("  \"benchmark\": \"sharded_aggregate\",\n");
+    out.push_str("  \"pr\": 3,\n");
+    out.push_str("  \"benchmark\": \"fused_stateless_chain\",\n");
     out.push_str(
-        "  \"pipeline\": \"source -> exchange -> N x aggregate(64 keys, WS 2048ms / WA 256ms) -> keyed merge -> sink\",\n",
+        "  \"pipeline\": \"source -> filter -> map -> map -> sink (fused: one thread, no channels; unfused: thread-per-operator)\",\n",
     );
     out.push_str(&format!("  \"tuples_per_run\": {},\n", tuples_per_run()));
     out.push_str(&format!("  \"repetitions\": {},\n", repetitions()));
@@ -131,9 +120,9 @@ fn render_json(measurements: &[Measurement], speedup_np: f64, speedup_gl: f64) -
     out.push_str("  \"runs\": [\n");
     for (i, m) in measurements.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"system\": \"{}\", \"shards\": {}, \"throughput_tps\": {:.0}, \"per_tuple_ns\": {:.1}}}{}\n",
+            "    {{\"system\": \"{}\", \"fused\": {}, \"throughput_tps\": {:.0}, \"per_tuple_ns\": {:.1}}}{}\n",
             m.system,
-            m.shards,
+            m.fused,
             m.throughput_tps,
             m.per_tuple_ns,
             if i + 1 < measurements.len() { "," } else { "" }
@@ -141,47 +130,46 @@ fn render_json(measurements: &[Measurement], speedup_np: f64, speedup_gl: f64) -
     }
     out.push_str("  ],\n");
     out.push_str(&format!(
-        "  \"np_4shard_vs_1shard_speedup\": {speedup_np:.2},\n"
+        "  \"np_fused_vs_unfused_speedup\": {speedup_np:.2},\n"
     ));
     out.push_str(&format!(
-        "  \"gl_4shard_vs_1shard_speedup\": {speedup_gl:.2}\n"
+        "  \"gl_fused_vs_unfused_speedup\": {speedup_gl:.2}\n"
     ));
     out.push_str("}\n");
     out
 }
 
 fn main() {
-    let shard_counts = [1usize, 2, 4];
     let mut measurements = Vec::new();
-    for &shards in &shard_counts {
-        measurements.push(best_of(&NoProvenance, shards));
+    for fused in [false, true] {
+        measurements.push(best_of(&NoProvenance, fused));
     }
     let gl = GeneaLog::new();
-    for &shards in &shard_counts {
-        measurements.push(best_of(&gl, shards));
+    for fused in [false, true] {
+        measurements.push(best_of(&gl, fused));
     }
 
-    let by = |system: &str, shards: usize| {
+    let by = |system: &str, fused: bool| {
         measurements
             .iter()
-            .find(|m| m.system == system && m.shards == shards)
+            .find(|m| m.system == system && m.fused == fused)
             .expect("measured configuration")
             .throughput_tps
     };
-    let speedup_np = by("NP", 4) / by("NP", 1);
-    let speedup_gl = by("GL", 4) / by("GL", 1);
+    let speedup_np = by("NP", true) / by("NP", false);
+    let speedup_gl = by("GL", true) / by("GL", false);
 
     for m in &measurements {
         println!(
-            "{:>2} shards={:<2} {:>12.0} tuples/s  {:>8.1} ns/tuple",
-            m.system, m.shards, m.throughput_tps, m.per_tuple_ns
+            "{:>2} fused={:<5} {:>12.0} tuples/s  {:>8.1} ns/tuple",
+            m.system, m.fused, m.throughput_tps, m.per_tuple_ns
         );
     }
-    println!("NP 4-shard vs 1-shard speedup: {speedup_np:.2}x");
-    println!("GL 4-shard vs 1-shard speedup: {speedup_gl:.2}x");
+    println!("NP fused vs unfused speedup: {speedup_np:.2}x");
+    println!("GL fused vs unfused speedup: {speedup_gl:.2}x");
 
     let json = render_json(&measurements, speedup_np, speedup_gl);
-    let path = std::env::var("GENEALOG_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR2.json".to_string());
+    let path = std::env::var("GENEALOG_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR3.json".to_string());
     let mut file = std::fs::File::create(&path).expect("create benchmark output file");
     file.write_all(json.as_bytes())
         .expect("write benchmark output");

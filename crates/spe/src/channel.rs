@@ -80,11 +80,44 @@ impl Default for BatchConfig {
 ///
 /// The query builder configures channel capacity in *elements*; the underlying channel
 /// is bounded in *batches*. Ceiling division guarantees the element budget is never
-/// silently shrunk: `capacity = 100, batch_size = 32` yields 4 batch slots (128
-/// elements of head-room), not 3 (96), and a batch size larger than the capacity
-/// still leaves one full batch in flight.
+/// shrunk: `capacity = 100, batch_size = 32` yields 4 batch slots (128 elements of
+/// head-room), not 3 (96).
+///
+/// The budget can only ever be *exceeded*, and only by the single-slot floor: a batch
+/// size larger than the capacity still leaves one full batch in flight, which holds
+/// `batch_size > capacity` elements. That over-allocation is not silent — it is
+/// reported by [`batch_budget_checked`] and logged here. The log fires at most once
+/// per process (later occurrences are routine once the first is known; use
+/// [`batch_budget_checked`] to detect every case programmatically), and `capacity`
+/// here is the *per-channel* budget, which for shard channels is the configured
+/// capacity already divided over the fan-out.
 pub fn batch_budget(capacity: usize, batch_size: usize) -> usize {
-    capacity.div_ceil(batch_size.max(1)).max(1)
+    let (slots, over_allocated) = batch_budget_checked(capacity, batch_size);
+    if over_allocated {
+        static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+        WARN_ONCE.call_once(|| {
+            eprintln!(
+                "genealog-spe: batch size {batch_size} exceeds a channel's element \
+                 budget of {capacity}; the one-batch floor over-allocates that channel \
+                 to {batch_size} buffered elements (logged once per process; use \
+                 batch_budget_checked to detect further over-allocations)"
+            );
+        });
+    }
+    slots
+}
+
+/// [`batch_budget`] plus an explicit over-allocation flag.
+///
+/// Returns `(slots, over_allocated)`: `slots` is the channel bound in batches and
+/// `over_allocated` is true exactly when the one-batch floor grants the edge *more*
+/// elements than the configured capacity (i.e. `batch_size > capacity`, including the
+/// degenerate `capacity == 0`). Callers that must not exceed an element budget can
+/// use the flag to reject or clamp the configuration instead of relying on the log.
+pub fn batch_budget_checked(capacity: usize, batch_size: usize) -> (usize, bool) {
+    let size = batch_size.max(1);
+    let slots = capacity.div_ceil(size).max(1);
+    (slots, size > capacity)
 }
 
 /// A run of stream elements travelling through one channel send.
@@ -798,6 +831,25 @@ mod tests {
         assert_eq!(batch_budget(0, 8), 1);
         assert_eq!(batch_budget(8, 0), 8);
         assert_eq!(batch_budget(1, 1), 1);
+    }
+
+    #[test]
+    fn batch_budget_signals_over_allocation() {
+        // Within budget: rounding up stays at or below one extra batch, no signal.
+        assert_eq!(batch_budget_checked(1024, 32), (32, false));
+        assert_eq!(batch_budget_checked(100, 32), (4, false));
+        assert_eq!(batch_budget_checked(3, 2), (2, false));
+        assert_eq!(batch_budget_checked(1, 1), (1, false));
+        // The one-batch floor grants MORE elements than configured: flagged.
+        assert_eq!(batch_budget_checked(16, 100), (1, true));
+        assert_eq!(batch_budget_checked(0, 8), (1, true));
+        // The flag never fires when a whole batch fits within the capacity.
+        for capacity in 1usize..64 {
+            for batch in 1usize..=capacity {
+                let (_, over) = batch_budget_checked(capacity, batch);
+                assert!(!over, "capacity {capacity} batch {batch} fits");
+            }
+        }
     }
 
     #[test]

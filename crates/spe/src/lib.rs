@@ -44,6 +44,7 @@
 
 pub mod channel;
 pub mod error;
+pub mod fusion;
 pub mod merge;
 pub mod operator;
 pub mod parallel;

@@ -4,11 +4,47 @@
 //! not create new tuples, so no provenance instrumentation is defined for it — the same
 //! `Arc` travels downstream, and with it the tuple's existing metadata.
 
-use crate::channel::{OutputSlot, StreamReceiver};
+use std::sync::Arc;
+
+use crate::channel::{ChannelClosed, OutputSlot, StreamReceiver};
 use crate::error::SpeError;
-use crate::operator::{Operator, OperatorStats};
+use crate::fusion::{PendingChain, SealableChain, StageCounters};
+use crate::operator::{FusedStage, Operator, OperatorStats};
 use crate::provenance::MetaData;
-use crate::tuple::{Element, TupleData};
+use crate::tuple::{GTuple, TupleData};
+
+/// The Filter semantics as a fusable [`FusedStage`]: forwards the input `Arc` when
+/// the predicate holds, drops it otherwise. Because the same `Arc` travels on, the
+/// tuple's provenance metadata passes through untouched — fused or not.
+pub struct FilterStage<F> {
+    predicate: F,
+}
+
+impl<F> FilterStage<F> {
+    /// Creates a Filter stage from its predicate.
+    pub fn new(predicate: F) -> Self {
+        FilterStage { predicate }
+    }
+}
+
+impl<T, F, M> FusedStage<T, T, M> for FilterStage<F>
+where
+    T: TupleData,
+    F: FnMut(&T) -> bool + Send + 'static,
+    M: MetaData,
+{
+    fn process(
+        &mut self,
+        tuple: Arc<GTuple<T, M>>,
+        emit: &mut dyn FnMut(Arc<GTuple<T, M>>) -> Result<(), ChannelClosed>,
+    ) -> Result<(), ChannelClosed> {
+        if (self.predicate)(&tuple.data) {
+            emit(tuple)
+        } else {
+            Ok(())
+        }
+    }
+}
 
 /// The Filter operator runtime.
 pub struct FilterOp<T, F, M> {
@@ -50,33 +86,18 @@ where
         &self.name
     }
 
-    fn run(mut self: Box<Self>) -> Result<OperatorStats, SpeError> {
-        let mut out = self.output.open();
-        let mut stats = OperatorStats::new(self.name.clone());
-        loop {
-            for element in self.input.recv_batch() {
-                match element {
-                    Element::Tuple(tuple) => {
-                        stats.tuples_in += 1;
-                        if (self.predicate)(&tuple.data) {
-                            if out.send_tuple(tuple).is_err() {
-                                return Ok(stats);
-                            }
-                            stats.tuples_out += 1;
-                        }
-                    }
-                    Element::Watermark(ts) => {
-                        if out.send_watermark(ts).is_err() {
-                            return Ok(stats);
-                        }
-                    }
-                    Element::End => {
-                        let _ = out.send_end();
-                        return Ok(stats);
-                    }
-                }
-            }
-        }
+    fn run(self: Box<Self>) -> Result<OperatorStats, SpeError> {
+        // One source of truth for the operator semantics: run as a chain of one
+        // FilterStage — exactly what the query builder deploys for this operator.
+        let this = *self;
+        let counters = Arc::new(StageCounters::default());
+        let chain = PendingChain::start(
+            this.input,
+            Box::new(FilterStage::new(this.predicate)) as Box<dyn FusedStage<T, T, M>>,
+            Arc::clone(&counters),
+            this.output,
+        );
+        Box::new(Box::new(chain).seal(this.name, counters)).run()
     }
 }
 
@@ -85,7 +106,7 @@ mod tests {
     use super::*;
     use crate::channel::stream_channel;
     use crate::time::Timestamp;
-    use crate::tuple::GTuple;
+    use crate::tuple::Element;
     use std::sync::Arc;
 
     fn tuple(ts: u64, v: i64) -> Arc<GTuple<i64, ()>> {

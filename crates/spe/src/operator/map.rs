@@ -6,11 +6,87 @@
 
 use std::sync::Arc;
 
-use crate::channel::{OutputSlot, StreamReceiver};
+use crate::channel::{ChannelClosed, OutputSlot, StreamReceiver};
 use crate::error::SpeError;
-use crate::operator::{Operator, OperatorStats};
+use crate::fusion::{PendingChain, SealableChain, StageCounters};
+use crate::operator::{FusedStage, Operator, OperatorStats};
 use crate::provenance::ProvenanceSystem;
-use crate::tuple::{Element, GTuple, TupleData};
+use crate::tuple::{GTuple, TupleData};
+
+/// The Map semantics as a fusable [`FusedStage`]: for every output payload the user
+/// function returns, a new tuple is created with metadata from the provenance
+/// system's `map_meta` hook — exactly the instrumentation point of the standalone
+/// [`MapOp`], so fused and unfused plans produce byte-identical contribution graphs.
+pub struct MapStage<F, P> {
+    function: F,
+    provenance: P,
+}
+
+impl<F, P> MapStage<F, P> {
+    /// Creates a Map stage from the user function and the query's provenance system.
+    pub fn new(function: F, provenance: P) -> Self {
+        MapStage {
+            function,
+            provenance,
+        }
+    }
+}
+
+impl<I, O, F, P> FusedStage<I, O, P::Meta> for MapStage<F, P>
+where
+    I: TupleData,
+    O: TupleData,
+    F: FnMut(&I) -> Vec<O> + Send + 'static,
+    P: ProvenanceSystem,
+{
+    fn process(
+        &mut self,
+        tuple: Arc<GTuple<I, P::Meta>>,
+        emit: &mut dyn FnMut(Arc<GTuple<O, P::Meta>>) -> Result<(), ChannelClosed>,
+    ) -> Result<(), ChannelClosed> {
+        for data in (self.function)(&tuple.data) {
+            let meta = self.provenance.map_meta(&tuple);
+            emit(Arc::new(GTuple::new(tuple.ts, tuple.stimulus, data, meta)))?;
+        }
+        Ok(())
+    }
+}
+
+/// The meta-aware Map semantics as a fusable [`FusedStage`] (see [`MetaMapOp`]).
+pub struct MetaMapStage<F, P> {
+    function: F,
+    provenance: P,
+}
+
+impl<F, P> MetaMapStage<F, P> {
+    /// Creates a meta-aware Map stage.
+    pub fn new(function: F, provenance: P) -> Self {
+        MetaMapStage {
+            function,
+            provenance,
+        }
+    }
+}
+
+impl<I, O, F, P> FusedStage<I, O, P::Meta> for MetaMapStage<F, P>
+where
+    I: TupleData,
+    O: TupleData,
+    F: FnMut(&Arc<GTuple<I, P::Meta>>) -> Vec<O> + Send + 'static,
+    P: ProvenanceSystem,
+{
+    fn process(
+        &mut self,
+        tuple: Arc<GTuple<I, P::Meta>>,
+        emit: &mut dyn FnMut(Arc<GTuple<O, P::Meta>>) -> Result<(), ChannelClosed>,
+    ) -> Result<(), ChannelClosed> {
+        for data in (self.function)(&tuple) {
+            let meta = self.provenance.map_meta(&tuple);
+            emit(Arc::new(GTuple::new(tuple.ts, tuple.stimulus, data, meta)))?;
+        }
+        Ok(())
+    }
+}
 
 /// The Map operator runtime.
 ///
@@ -64,36 +140,19 @@ where
         &self.name
     }
 
-    fn run(mut self: Box<Self>) -> Result<OperatorStats, SpeError> {
-        let mut out = self.output.open();
-        let mut stats = OperatorStats::new(self.name.clone());
-        loop {
-            for element in self.input.recv_batch() {
-                match element {
-                    Element::Tuple(tuple) => {
-                        stats.tuples_in += 1;
-                        for data in (self.function)(&tuple.data) {
-                            let meta = self.provenance.map_meta(&tuple);
-                            let output_tuple =
-                                Arc::new(GTuple::new(tuple.ts, tuple.stimulus, data, meta));
-                            if out.send_tuple(output_tuple).is_err() {
-                                return Ok(stats);
-                            }
-                            stats.tuples_out += 1;
-                        }
-                    }
-                    Element::Watermark(ts) => {
-                        if out.send_watermark(ts).is_err() {
-                            return Ok(stats);
-                        }
-                    }
-                    Element::End => {
-                        let _ = out.send_end();
-                        return Ok(stats);
-                    }
-                }
-            }
-        }
+    fn run(self: Box<Self>) -> Result<OperatorStats, SpeError> {
+        // One source of truth for the operator semantics: run as a chain of one
+        // MapStage — exactly what the query builder deploys for this operator.
+        let this = *self;
+        let counters = Arc::new(StageCounters::default());
+        let chain = PendingChain::start(
+            this.input,
+            Box::new(MapStage::new(this.function, this.provenance))
+                as Box<dyn FusedStage<I, O, P::Meta>>,
+            Arc::clone(&counters),
+            this.output,
+        );
+        Box::new(Box::new(chain).seal(this.name, counters)).run()
     }
 }
 
@@ -148,36 +207,19 @@ where
         &self.name
     }
 
-    fn run(mut self: Box<Self>) -> Result<OperatorStats, SpeError> {
-        let mut out = self.output.open();
-        let mut stats = OperatorStats::new(self.name.clone());
-        loop {
-            for element in self.input.recv_batch() {
-                match element {
-                    Element::Tuple(tuple) => {
-                        stats.tuples_in += 1;
-                        for data in (self.function)(&tuple) {
-                            let meta = self.provenance.map_meta(&tuple);
-                            let output_tuple =
-                                Arc::new(GTuple::new(tuple.ts, tuple.stimulus, data, meta));
-                            if out.send_tuple(output_tuple).is_err() {
-                                return Ok(stats);
-                            }
-                            stats.tuples_out += 1;
-                        }
-                    }
-                    Element::Watermark(ts) => {
-                        if out.send_watermark(ts).is_err() {
-                            return Ok(stats);
-                        }
-                    }
-                    Element::End => {
-                        let _ = out.send_end();
-                        return Ok(stats);
-                    }
-                }
-            }
-        }
+    fn run(self: Box<Self>) -> Result<OperatorStats, SpeError> {
+        // One source of truth for the operator semantics: run as a chain of one
+        // MetaMapStage — exactly what the query builder deploys for this operator.
+        let this = *self;
+        let counters = Arc::new(StageCounters::default());
+        let chain = PendingChain::start(
+            this.input,
+            Box::new(MetaMapStage::new(this.function, this.provenance))
+                as Box<dyn FusedStage<I, O, P::Meta>>,
+            Arc::clone(&counters),
+            this.output,
+        );
+        Box::new(Box::new(chain).seal(this.name, counters)).run()
     }
 }
 
@@ -187,6 +229,7 @@ mod tests {
     use crate::channel::{stream_channel, OutputSlot};
     use crate::provenance::NoProvenance;
     use crate::time::Timestamp;
+    use crate::tuple::Element;
 
     fn tuple(ts: u64, v: i64) -> Arc<GTuple<i64, ()>> {
         Arc::new(GTuple::new(Timestamp::from_secs(ts), 7, v, ()))

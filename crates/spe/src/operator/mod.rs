@@ -20,10 +20,13 @@ pub mod sink;
 pub mod source;
 pub mod union;
 
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
+use crate::channel::ChannelClosed;
 use crate::error::SpeError;
+use crate::provenance::MetaData;
+use crate::tuple::{GTuple, TupleData};
 
 /// Statistics reported by an operator when its `run` loop terminates.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -51,6 +54,37 @@ impl OperatorStats {
         self.tuples_in += other.tuples_in;
         self.tuples_out += other.tuples_out;
     }
+}
+
+/// A stateless, single-input/single-output processing step that the physical-plan
+/// fusion pass ([`crate::fusion`]) can compose with adjacent steps into one thread.
+///
+/// The stateless operators (Filter, Map and the meta-aware Map) are expressed as
+/// stages: a stage receives one input tuple and hands zero or more output tuples to
+/// `emit`. When fusion is enabled ([`QueryConfig::fusion`](crate::query::QueryConfig))
+/// the query builder chains consecutive stages so that a tuple flows through all of
+/// them in a single call stack — no intermediate channel, batch buffer or thread
+/// hand-off. When fusion is disabled every stage still runs through the same driver,
+/// just as a chain of length one, so fused and unfused plans execute identical
+/// per-tuple code.
+///
+/// Stages never see watermarks or the end-of-stream marker: every stateless operator
+/// forwards them unchanged, so the chain driver short-circuits them straight to the
+/// chain output. This is also what makes fusion provenance-transparent — a stage
+/// either forwards the input `Arc` (Filter) or calls the exact provenance hook the
+/// standalone operator would call (Map), so GeneaLog metadata is byte-identical
+/// whether or not the plan is fused.
+pub trait FusedStage<I: TupleData, O: TupleData, M: MetaData>: Send + 'static {
+    /// Processes one input tuple, handing each output tuple to `emit`.
+    ///
+    /// # Errors
+    /// Propagates [`ChannelClosed`] from `emit` so the chain can shut down
+    /// gracefully when the downstream consumer has gone away.
+    fn process(
+        &mut self,
+        tuple: Arc<GTuple<I, M>>,
+        emit: &mut dyn FnMut(Arc<GTuple<O, M>>) -> Result<(), ChannelClosed>,
+    ) -> Result<(), ChannelClosed>;
 }
 
 /// Runtime behaviour of an operator: a blocking loop that runs until its inputs end.

@@ -70,10 +70,12 @@ use crate::channel::{OutputHandle, OutputSlot, StreamReceiver};
 use crate::error::SpeError;
 use crate::merge::{DeterministicMerge, MergedElement};
 use crate::operator::aggregate::{AggregateOp, WindowView};
+use crate::operator::filter::FilterStage;
 use crate::operator::join::JoinOp;
+use crate::operator::map::MapStage;
 use crate::operator::{Operator, OperatorStats};
 use crate::provenance::{MetaData, ProvenanceSystem};
-use crate::query::{NodeKind, Query, StreamRef};
+use crate::query::{NodeKind, Query, ShardGroup, StreamRef};
 use crate::time::Duration;
 use crate::tuple::{Element, GTuple, TupleData};
 use crate::window::WindowSpec;
@@ -361,7 +363,10 @@ impl<P: ProvenanceSystem> Query<P> {
         let mut slots = Vec::with_capacity(shards);
         let mut streams = Vec::with_capacity(shards);
         for i in 0..shards {
-            let (slot, stream) = self.new_output_stream(node, format!("{name}.shard{i}"));
+            let (slot, mut stream) = self.new_output_stream(node, format!("{name}.shard{i}"));
+            // The N shard channels are one logical edge split N ways: budget them
+            // jointly so the exchange cannot buffer N× the configured capacity.
+            stream.capacity_share = shards;
             slots.push(slot);
             streams.push(stream);
         }
@@ -447,7 +452,9 @@ impl<P: ProvenanceSystem> Query<P> {
             let node = self.add_node(shard_name.clone(), NodeKind::ShardedAggregate);
             self.set_shard_group(node, name, instances);
             let rx = self.attach_input(shard, node);
-            let (slot, stream) = self.new_output_stream(node, format!("{shard_name}.out"));
+            let (slot, mut stream) = self.new_output_stream(node, format!("{shard_name}.out"));
+            // Shard outputs feeding the fan-in are likewise one logical edge.
+            stream.capacity_share = instances;
             let op = AggregateOp::new(
                 shard_name,
                 rx,
@@ -505,7 +512,9 @@ impl<P: ProvenanceSystem> Query<P> {
             self.set_shard_group(node, name, instances);
             let left_rx = self.attach_input(l, node);
             let right_rx = self.attach_input(r, node);
-            let (slot, stream) = self.new_output_stream(node, format!("{shard_name}.out"));
+            let (slot, mut stream) = self.new_output_stream(node, format!("{shard_name}.out"));
+            // Shard outputs feeding the fan-in are likewise one logical edge.
+            stream.capacity_share = instances;
             let op = JoinOp::new(
                 shard_name,
                 left_rx,
@@ -520,6 +529,82 @@ impl<P: ProvenanceSystem> Query<P> {
             outs.push(stream);
         }
         self.keyed_merge(&format!("{name}.merge"), outs, out_key)
+    }
+
+    /// Applies one logical Filter to every stream of a shard fan-out, returning the
+    /// filtered shard streams in the same order.
+    ///
+    /// Each shard gets its own instance `name[i]` of the predicate; the instances
+    /// form a shard group, so the runtime folds their statistics into one report and
+    /// DOT exports annotate them with the shard count. Under
+    /// [`QueryConfig::fusion`](crate::query::QueryConfig) consecutive per-shard
+    /// stateless stages fuse *within* each shard — never across the exchange or the
+    /// fan-in, which are multi-stream fusion boundaries.
+    pub fn filter_shards<T, F>(
+        &mut self,
+        name: &str,
+        shards: Vec<StreamRef<T, P::Meta>>,
+        predicate: F,
+    ) -> Vec<StreamRef<T, P::Meta>>
+    where
+        T: TupleData,
+        F: FnMut(&T) -> bool + Clone + Send + 'static,
+    {
+        assert!(
+            !shards.is_empty(),
+            "filter_shards requires at least one shard"
+        );
+        let instances = shards.len();
+        shards
+            .into_iter()
+            .enumerate()
+            .map(|(i, shard)| {
+                self.add_fused_stage(
+                    &format!("{name}[{i}]"),
+                    NodeKind::Filter,
+                    Some(ShardGroup {
+                        name: name.to_string(),
+                        instances,
+                    }),
+                    shard,
+                    FilterStage::new(predicate.clone()),
+                )
+            })
+            .collect()
+    }
+
+    /// Applies one logical Map to every stream of a shard fan-out, returning the
+    /// mapped shard streams in the same order (see [`Query::filter_shards`]).
+    pub fn map_shards<I, O, F>(
+        &mut self,
+        name: &str,
+        shards: Vec<StreamRef<I, P::Meta>>,
+        function: F,
+    ) -> Vec<StreamRef<O, P::Meta>>
+    where
+        I: TupleData,
+        O: TupleData,
+        F: FnMut(&I) -> Vec<O> + Clone + Send + 'static,
+    {
+        assert!(!shards.is_empty(), "map_shards requires at least one shard");
+        let instances = shards.len();
+        let provenance = self.provenance().clone();
+        shards
+            .into_iter()
+            .enumerate()
+            .map(|(i, shard)| {
+                self.add_fused_stage(
+                    &format!("{name}[{i}]"),
+                    NodeKind::Map,
+                    Some(ShardGroup {
+                        name: name.to_string(),
+                        instances,
+                    }),
+                    shard,
+                    MapStage::new(function.clone(), provenance.clone()),
+                )
+            })
+            .collect()
     }
 }
 
@@ -790,6 +875,134 @@ mod tests {
             exchange.instances, 1,
             "the exchange is one thread, whatever its fan-out"
         );
+    }
+
+    #[test]
+    fn shard_channels_are_budgeted_jointly() {
+        use crate::query::QueryConfig;
+        // The configured per-edge element budget must not be multiplied by the
+        // exchange fan-out: the N partition channels (and the N shard-output
+        // channels feeding the fan-in) share it, each getting capacity/N rounded up
+        // to whole batches (floor one batch).
+        let config = QueryConfig::default(); // 1024 elements, batch 32
+        for n in [1usize, 2, 4] {
+            let mut q = Query::with_config(NoProvenance, config);
+            let items: Vec<(u32, i64)> = (0..8).map(|i| (i % 4, i as i64)).collect();
+            let src = q.source("src", VecSource::with_period(items, 1_000));
+            let counts = q.sharded_aggregate(
+                "agg",
+                src,
+                WindowSpec::tumbling(Duration::from_secs(4)).unwrap(),
+                |t: &(u32, i64)| t.0,
+                |w: &WindowView<'_, u32, (u32, i64), ()>| (*w.key, w.len() as i64),
+                |o: &(u32, i64)| o.0,
+                Parallelism::instances(n),
+            );
+            let _ = q.collecting_sink("sink", counts);
+
+            let kinds: Vec<NodeKind> = q.node_summaries().iter().map(|(_, k)| *k).collect();
+            let mut exchange_total = 0usize;
+            let mut fanin_total = 0usize;
+            for ((from, to), budget) in q.edges().iter().zip(q.edge_budgets()) {
+                if kinds[*from] == NodeKind::Partition {
+                    exchange_total += budget;
+                }
+                if kinds[*to] == NodeKind::ShardMerge {
+                    fanin_total += budget;
+                }
+            }
+            // 1024 divides evenly by 1, 2 and 4 shards into whole 32-element
+            // batches, so the joint headroom is exactly the configured capacity.
+            assert_eq!(
+                exchange_total, config.channel_capacity,
+                "{n}-shard exchange headroom must equal the configured capacity"
+            );
+            assert_eq!(
+                fanin_total, config.channel_capacity,
+                "{n}-shard fan-in headroom must equal the configured capacity"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_channel_budget_floors_at_one_batch() {
+        use crate::query::QueryConfig;
+        // 8 shards sharing 100 elements with 32-element batches: each channel
+        // floors at one whole batch rather than rounding down to zero.
+        let mut q = Query::with_config(
+            NoProvenance,
+            QueryConfig {
+                channel_capacity: 100,
+                ..QueryConfig::default()
+            },
+        );
+        let src = q.source(
+            "src",
+            VecSource::with_period((0..8u32).map(|i| (i, 0i64)).collect(), 1_000),
+        );
+        let shards = q.partition("part", src, 8, |t: &(u32, i64)| t.0);
+        for shard in shards {
+            let _ = q.collecting_sink(&format!("sink{}", shard.label()), shard);
+        }
+        let kinds: Vec<NodeKind> = q.node_summaries().iter().map(|(_, k)| *k).collect();
+        for ((from, _), budget) in q.edges().iter().zip(q.edge_budgets()) {
+            if kinds[*from] == NodeKind::Partition {
+                assert_eq!(*budget, 32, "one whole batch per shard channel");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_local_stages_fuse_within_shards() {
+        use crate::query::QueryConfig;
+        // partition -> per-shard filter -> per-shard map -> keyed merge: with fusion
+        // the stateless stages collapse within each shard (never across the exchange
+        // or the fan-in), and the output stream is identical to the unfused plan.
+        let run = |fusion: bool| {
+            let mut q =
+                Query::with_config(NoProvenance, QueryConfig::default().with_fusion(fusion));
+            let items: Vec<(u32, i64)> = (0..64).map(|i| (i % 8, i as i64)).collect();
+            let src = q.source("src", VecSource::with_period(items, 1_000));
+            let shards = q.partition("part", src, 4, |t: &(u32, i64)| t.0);
+            let kept = q.filter_shards("keep", shards, |t: &(u32, i64)| t.1 % 2 == 0);
+            let scaled = q.map_shards("scale", kept, |t: &(u32, i64)| vec![(t.0, t.1 * 10)]);
+            let merged = q.keyed_merge("merge", scaled, |t: &(u32, i64)| t.0);
+            let out = q.collecting_sink("sink", merged);
+            let report = q.deploy().unwrap().wait().unwrap();
+            let values: Vec<(u64, u32, i64)> = out
+                .tuples()
+                .iter()
+                .map(|t| (t.ts.as_secs(), t.data.0, t.data.1))
+                .collect();
+            (report, values)
+        };
+        let (unfused_report, unfused) = run(false);
+        let (fused_report, fused) = run(true);
+        assert!(!fused.is_empty());
+        assert_eq!(fused, unfused, "shard-local fusion must not change results");
+        // Unfused: src, part, 4 keep, 4 scale, merge, sink = 12 threads but the
+        // shard groups fold to 6 reports; fused: the 4 keep+scale chains fold into
+        // one grouped chain report.
+        assert_eq!(unfused_report.operator_stats().len(), 6);
+        assert_eq!(fused_report.operator_stats().len(), 5);
+        let chain = fused_report.operator("keep+scale").expect("fused chain");
+        assert_eq!(chain.kind, NodeKind::Fused);
+        assert_eq!(chain.instances, 4, "one fused thread per shard");
+        assert_eq!(chain.stats.tuples_in, 64);
+        assert_eq!(chain.stats.tuples_out, 32);
+        // Stage stats are summed across the shard chains under the logical names.
+        let keep = fused_report.fused_stage("keep").expect("filter stage");
+        assert_eq!(keep.tuples_in, 64);
+        assert_eq!(keep.tuples_out, 32);
+        let scale = fused_report.fused_stage("scale").expect("map stage");
+        assert_eq!(scale.tuples_in, 32);
+        assert_eq!(scale.tuples_out, 32);
+        // Unfused grouped reports: same totals, reported per logical operator.
+        assert_eq!(
+            unfused_report.operator("keep").unwrap().stats.tuples_out,
+            32
+        );
+        assert_eq!(unfused_report.operator("scale").unwrap().instances, 4);
     }
 
     #[test]

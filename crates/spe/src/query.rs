@@ -11,22 +11,24 @@
 //! `genealog_baseline::AriadneBaseline` yields the NP / GL / BL configurations compared
 //! in the paper's evaluation.
 
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 
 use crate::channel::{stream_channel, BatchConfig, OutputSlot, StreamReceiver};
 use crate::error::SpeError;
+use crate::fusion::{ChainEntry, PendingChain, StageCounters, StageInfo};
 use crate::operator::aggregate::{AggregateOp, WindowView};
-use crate::operator::filter::FilterOp;
+use crate::operator::filter::FilterStage;
 use crate::operator::join::JoinOp;
-use crate::operator::map::MapOp;
+use crate::operator::map::{MapStage, MetaMapStage};
 use crate::operator::multiplex::MultiplexOp;
 use crate::operator::sink::{CollectedStream, SinkOp, SinkStats};
 use crate::operator::source::{SourceConfig, SourceGenerator, SourceOp};
 use crate::operator::union::UnionOp;
-use crate::operator::Operator;
+use crate::operator::{FusedStage, Operator};
 use crate::provenance::ProvenanceSystem;
-use crate::runtime::{QueryHandle, Runtime};
+use crate::runtime::{OperatorSpec, QueryHandle, Runtime};
 use crate::time::Duration;
 use crate::tuple::TupleData;
 use crate::window::WindowSpec;
@@ -62,6 +64,9 @@ pub enum NodeKind {
     ShardedJoin,
     /// The provenance-safe fan-in reunifying shard outputs into one ordered stream.
     ShardMerge,
+    /// A fused chain of stateless operators running on one thread (see
+    /// [`crate::fusion`]).
+    Fused,
     /// An operator provided by an extension crate (unfolders, Send/Receive, ...).
     Custom(&'static str),
 }
@@ -82,6 +87,7 @@ impl NodeKind {
             NodeKind::ShardedAggregate => "sharded-aggregate",
             NodeKind::ShardedJoin => "sharded-join",
             NodeKind::ShardMerge => "shard-merge",
+            NodeKind::Fused => "fused",
             NodeKind::Custom(name) => name,
         }
     }
@@ -132,6 +138,11 @@ pub struct StreamRef<T, M> {
     slot: OutputSlot<T, M>,
     producer: NodeId,
     label: String,
+    /// How many sibling channels share this stream's logical edge budget: the N
+    /// streams of a shard fan-out each carry `capacity_share = N`, so attaching a
+    /// consumer allocates `channel_capacity / N` elements (floor one batch) instead
+    /// of the full per-edge budget. 1 for ordinary streams.
+    pub(crate) capacity_share: usize,
 }
 
 impl<T, M> StreamRef<T, M> {
@@ -160,6 +171,12 @@ pub struct QueryConfig {
     /// [`Parallelism::default()`](crate::parallel::Parallelism). Individual operators
     /// override it with [`Parallelism::instances`](crate::parallel::Parallelism::instances).
     pub parallelism: usize,
+    /// Whether the physical-plan fusion pass collapses contiguous chains of
+    /// stateless single-input/single-output operators (filter → map → map …) into
+    /// single-thread fused pipelines with no intermediate channels (see
+    /// [`crate::fusion`]). Off by default: fused plans produce the same results and
+    /// provenance but report fused chains as one operator, so fusion is opt-in.
+    pub fusion: bool,
 }
 
 impl Default for QueryConfig {
@@ -168,6 +185,7 @@ impl Default for QueryConfig {
             channel_capacity: 1024,
             batch: BatchConfig::default(),
             parallelism: 1,
+            fusion: false,
         }
     }
 }
@@ -192,6 +210,13 @@ impl QueryConfig {
         self.parallelism = instances.max(1);
         self
     }
+
+    /// Returns the configuration with the stateless-chain fusion pass enabled or
+    /// disabled.
+    pub fn with_fusion(mut self, enabled: bool) -> Self {
+        self.fusion = enabled;
+        self
+    }
 }
 
 /// A continuous query under construction.
@@ -202,6 +227,11 @@ pub struct Query<P: ProvenanceSystem> {
     current_batch: BatchConfig,
     nodes: Vec<NodeInfo>,
     edges: Vec<(NodeId, NodeId)>,
+    /// Element-level buffer headroom of each edge, aligned with `edges` (0 for the
+    /// channel-free stage-to-stage edges inside a fused chain).
+    edge_budgets: Vec<usize>,
+    /// Pending fused chains, keyed by the node id of each chain's current tail.
+    fused_tails: HashMap<NodeId, ChainEntry>,
     /// Checks run at deployment time to detect dangling output streams.
     slot_checks: Vec<(String, Box<dyn Fn() -> bool + Send>)>,
     stop: Arc<AtomicBool>,
@@ -222,6 +252,8 @@ impl<P: ProvenanceSystem> Query<P> {
             current_batch: config.batch,
             nodes: Vec::new(),
             edges: Vec::new(),
+            edge_budgets: Vec::new(),
+            fused_tails: HashMap::new(),
             slot_checks: Vec::new(),
             stop: Arc::new(AtomicBool::new(false)),
             next_origin: 0,
@@ -293,12 +325,18 @@ impl<P: ProvenanceSystem> Query<P> {
     ) -> StreamReceiver<T, P::Meta> {
         // The configured capacity counts elements; the channel is bounded in batches,
         // so convert with ceiling division to keep the element budget no smaller than
-        // configured regardless of the producer's batch size.
+        // configured regardless of the producer's batch size. Streams that are one of
+        // N siblings of a shard fan-out carry `capacity_share = N` and get 1/N of the
+        // budget each (floor one batch), so the total buffered-element headroom of a
+        // logical edge is independent of its physical fan-out.
         let batch_size = stream.slot.batch_config().size;
-        let batches = crate::channel::batch_budget(self.config.channel_capacity, batch_size);
+        let share = stream.capacity_share.max(1);
+        let capacity = self.config.channel_capacity.div_ceil(share);
+        let batches = crate::channel::batch_budget(capacity, batch_size);
         let (tx, rx) = stream_channel(batches);
         stream.slot.connect(tx);
         self.edges.push((stream.producer, consumer));
+        self.edge_budgets.push(batches * batch_size.max(1));
         rx
     }
 
@@ -314,6 +352,7 @@ impl<P: ProvenanceSystem> Query<P> {
             slot: slot.clone(),
             producer,
             label: label.into(),
+            capacity_share: 1,
         };
         let producer_name = self.nodes[producer].name.clone();
         let check_slot = slot.clone();
@@ -342,6 +381,93 @@ impl<P: ProvenanceSystem> Query<P> {
         let id = self.next_origin;
         self.next_origin += 1;
         id
+    }
+
+    /// Registers a stateless single-input/single-output operator expressed as a
+    /// [`FusedStage`]. This is the single construction path for Filter and Map:
+    ///
+    /// * if fusion is enabled and `input` is the tail stream of a pending fused
+    ///   chain with a compatible shard group, the stage *extends* that chain — no
+    ///   channel is allocated between the two stages;
+    /// * otherwise the stage starts a new chain of length one, pulling from a
+    ///   regular channel out of the (unfusable) producer.
+    ///
+    /// Either way the node is sealed into a runnable [`FusedOp`](crate::fusion::FusedOp)
+    /// at deployment time, so fused and unfused plans execute identical per-tuple
+    /// code and differ only in how many threads and channels carry it.
+    pub(crate) fn add_fused_stage<I, O, S>(
+        &mut self,
+        name: &str,
+        kind: NodeKind,
+        group: Option<ShardGroup>,
+        input: StreamRef<I, P::Meta>,
+        stage: S,
+    ) -> StreamRef<O, P::Meta>
+    where
+        I: TupleData,
+        O: TupleData,
+        S: FusedStage<I, O, P::Meta>,
+    {
+        let node = self.add_node(name, kind);
+        self.nodes[node].shard_group = group.clone();
+        let counters = Arc::new(StageCounters::default());
+        let info = StageInfo {
+            name: group
+                .as_ref()
+                .map_or_else(|| name.to_string(), |g| g.name.clone()),
+            counters: Arc::clone(&counters),
+        };
+        // A stateless stage keeps its input's shard membership: its output stream
+        // inherits the capacity share, so per-shard stage pipelines stay jointly
+        // budgeted all the way to the fan-in.
+        let share = input.capacity_share;
+        let extend = self.config.fusion
+            && self
+                .fused_tails
+                .get(&input.producer)
+                .is_some_and(|entry| entry.accepts(group.as_ref()));
+        let (slot, mut stream) = self.new_output_stream(node, format!("{name}.out"));
+        stream.capacity_share = share;
+        if extend {
+            let mut entry = self
+                .fused_tails
+                .remove(&input.producer)
+                .expect("chain tail");
+            // Bypass the old tail's output slot: the stages are connected by direct
+            // calls, not a channel. The discard mark satisfies deploy validation.
+            input.slot.mark_discard();
+            self.edges.push((input.producer, node));
+            self.edge_budgets.push(0);
+            let chain = entry
+                .pending
+                .into_any()
+                .downcast::<PendingChain<I, P::Meta>>()
+                .expect("fused chain tail type mismatch");
+            entry.pending =
+                Box::new(chain.then(Box::new(stage), Arc::clone(&counters), slot.clone()));
+            entry.nodes.push(node);
+            entry.stages.push(info);
+            entry.merge_group(group);
+            self.fused_tails.insert(node, entry);
+        } else {
+            let rx = self.attach_input(input, node);
+            let chain = PendingChain::start(
+                rx,
+                Box::new(stage) as Box<dyn FusedStage<I, O, P::Meta>>,
+                Arc::clone(&counters),
+                slot.clone(),
+            );
+            self.fused_tails.insert(
+                node,
+                ChainEntry {
+                    nodes: vec![node],
+                    stages: vec![info],
+                    group,
+                    pending: Box::new(chain),
+                },
+            );
+        }
+        stream
     }
 
     // ------------------------------------------------------------------
@@ -392,12 +518,14 @@ impl<P: ProvenanceSystem> Query<P> {
         O: TupleData,
         F: FnMut(&I) -> Vec<O> + Send + 'static,
     {
-        let node = self.add_node(name, NodeKind::Map);
-        let rx = self.attach_input(input, node);
-        let (slot, stream) = self.new_output_stream(node, format!("{name}.out"));
-        let op = MapOp::new(name, rx, slot, function, self.provenance.clone());
-        self.set_operator(node, Box::new(op));
-        stream
+        let provenance = self.provenance.clone();
+        self.add_fused_stage(
+            name,
+            NodeKind::Map,
+            None,
+            input,
+            MapStage::new(function, provenance),
+        )
     }
 
     /// Adds a meta-aware Map whose function receives the whole input tuple (payload
@@ -414,13 +542,14 @@ impl<P: ProvenanceSystem> Query<P> {
         O: TupleData,
         F: FnMut(&Arc<crate::tuple::GTuple<I, P::Meta>>) -> Vec<O> + Send + 'static,
     {
-        let node = self.add_node(name, NodeKind::Map);
-        let rx = self.attach_input(input, node);
-        let (slot, stream) = self.new_output_stream(node, format!("{name}.out"));
-        let op =
-            crate::operator::map::MetaMapOp::new(name, rx, slot, function, self.provenance.clone());
-        self.set_operator(node, Box::new(op));
-        stream
+        let provenance = self.provenance.clone();
+        self.add_fused_stage(
+            name,
+            NodeKind::Map,
+            None,
+            input,
+            MetaMapStage::new(function, provenance),
+        )
     }
 
     /// Adds a Map producing exactly one output payload per input payload.
@@ -449,12 +578,13 @@ impl<P: ProvenanceSystem> Query<P> {
         T: TupleData,
         F: FnMut(&T) -> bool + Send + 'static,
     {
-        let node = self.add_node(name, NodeKind::Filter);
-        let rx = self.attach_input(input, node);
-        let (slot, stream) = self.new_output_stream(node, format!("{name}.out"));
-        let op = FilterOp::new(name, rx, slot, predicate);
-        self.set_operator(node, Box::new(op));
-        stream
+        self.add_fused_stage(
+            name,
+            NodeKind::Filter,
+            None,
+            input,
+            FilterStage::new(predicate),
+        )
     }
 
     /// Adds a Multiplex copying every input tuple to `outputs` output streams.
@@ -632,6 +762,17 @@ impl<P: ProvenanceSystem> Query<P> {
         &self.edges
     }
 
+    /// Element-level buffer headroom of each edge, aligned with [`Query::edges`].
+    ///
+    /// The headroom is the channel's bound in batches times the producer's batch
+    /// size: how many elements the edge can absorb before back-pressure engages.
+    /// The N channels of a shard fan-out are budgeted *jointly* — each reports
+    /// roughly `channel_capacity / N` — and the channel-free stage-to-stage edges
+    /// inside a fused chain report 0.
+    pub fn edge_budgets(&self) -> &[usize] {
+        &self.edge_budgets
+    }
+
     /// Names and kinds of the operator nodes.
     pub fn node_summaries(&self) -> Vec<(String, NodeKind)> {
         self.nodes
@@ -643,7 +784,9 @@ impl<P: ProvenanceSystem> Query<P> {
     /// Renders the query graph in Graphviz DOT format.
     ///
     /// Shard-group members carry their shard count on the label (`×N`) and exchange
-    /// edges (out of a Partition, into a ShardMerge) are drawn dashed. Node names are
+    /// edges (out of a Partition, into a ShardMerge) are drawn dashed. A fused chain
+    /// of two or more stateless stages renders as a single boxed node listing the
+    /// stage names; its channel-free internal edges are not drawn. Node names are
     /// escaped, so user-supplied names containing quotes or backslashes cannot break
     /// the DOT output.
     pub fn to_dot(&self) -> String {
@@ -651,7 +794,38 @@ impl<P: ProvenanceSystem> Query<P> {
             name.replace('\\', "\\\\").replace('"', "\\\"")
         }
         let mut dot = String::from("digraph query {\n  rankdir=LR;\n");
+        // Members of a multi-stage fused chain all render through the chain's head.
+        // Chains are rendered in head-node order so the output is deterministic.
+        let mut chain_head: HashMap<NodeId, NodeId> = HashMap::new();
+        let mut chains: Vec<&ChainEntry> = self
+            .fused_tails
+            .values()
+            .filter(|e| e.nodes.len() > 1)
+            .collect();
+        chains.sort_by_key(|e| e.nodes[0]);
+        for entry in chains {
+            let head = entry.nodes[0];
+            for &member in &entry.nodes {
+                chain_head.insert(member, head);
+            }
+            let stages = entry
+                .nodes
+                .iter()
+                .map(|&member| escape(&self.nodes[member].name))
+                .collect::<Vec<_>>()
+                .join(" \u{2192} ");
+            let shards = match &entry.group {
+                Some(group) if group.instances > 1 => format!(" \u{d7}{}", group.instances),
+                _ => String::new(),
+            };
+            dot.push_str(&format!(
+                "  n{head} [shape=box label=\"{stages}\\n(fused{shards})\"];\n"
+            ));
+        }
         for (id, node) in self.nodes.iter().enumerate() {
+            if chain_head.contains_key(&id) {
+                continue;
+            }
             let shards = match &node.shard_group {
                 Some(group) if group.instances > 1 => format!(" \u{d7}{}", group.instances),
                 _ => String::new(),
@@ -665,21 +839,35 @@ impl<P: ProvenanceSystem> Query<P> {
             ));
         }
         for (from, to) in &self.edges {
+            let (f, t) = (
+                chain_head.get(from).copied().unwrap_or(*from),
+                chain_head.get(to).copied().unwrap_or(*to),
+            );
+            if f == t {
+                continue; // channel-free edge inside a fused chain
+            }
             let exchange = matches!(self.nodes[*from].kind, NodeKind::Partition)
                 || matches!(self.nodes[*to].kind, NodeKind::ShardMerge);
             let attrs = if exchange { " [style=dashed]" } else { "" };
-            dot.push_str(&format!("  n{from} -> n{to}{attrs};\n"));
+            dot.push_str(&format!("  n{f} -> n{t}{attrs};\n"));
         }
         dot.push_str("}\n");
         dot
     }
 
-    /// Validates the query and spawns one thread per operator.
+    /// Validates the query, runs the physical-plan fusion pass and spawns one thread
+    /// per physical operator.
+    ///
+    /// The fusion pass seals every pending stateless chain collected by the builder:
+    /// a chain of one stage becomes an ordinary single-operator thread; a chain of
+    /// two or more stages becomes one [`FusedOp`](crate::fusion::FusedOp) thread
+    /// whose report still names the original operators (see
+    /// [`OperatorReport::stages`](crate::runtime::OperatorReport)).
     ///
     /// # Errors
     /// Returns [`SpeError::UnconnectedStream`] if an output stream has no consumer and
     /// was not discarded, or [`SpeError::InvalidQuery`] if a node has no operator.
-    pub fn deploy(self) -> Result<QueryHandle, SpeError> {
+    pub fn deploy(mut self) -> Result<QueryHandle, SpeError> {
         for (producer, check) in &self.slot_checks {
             if !check() {
                 return Err(SpeError::UnconnectedStream {
@@ -687,17 +875,58 @@ impl<P: ProvenanceSystem> Query<P> {
                 });
             }
         }
-        let mut operators = Vec::with_capacity(self.nodes.len());
-        for node in self.nodes {
-            let op = node.operator.ok_or_else(|| {
-                SpeError::InvalidQuery(format!("node `{}` has no operator installed", node.name))
-            })?;
-            operators.push((node.kind, node.shard_group, op));
+        // The fusion pass: index the collected chains by their head node, so specs
+        // come out in node-creation order, and remember every fused member.
+        let mut chains: HashMap<NodeId, ChainEntry> = HashMap::new();
+        let mut members: HashSet<NodeId> = HashSet::new();
+        for (_, entry) in self.fused_tails.drain() {
+            members.extend(entry.nodes.iter().copied());
+            chains.insert(entry.nodes[0], entry);
         }
-        if operators.is_empty() {
+        let mut specs = Vec::with_capacity(self.nodes.len());
+        for (id, node) in self.nodes.into_iter().enumerate() {
+            if let Some(entry) = chains.remove(&id) {
+                let single = entry.nodes.len() == 1;
+                let head = Arc::clone(&entry.stages.first().expect("chain stage").counters);
+                let name = if single {
+                    node.name.clone()
+                } else {
+                    entry
+                        .stages
+                        .iter()
+                        .map(|s| s.name.as_str())
+                        .collect::<Vec<_>>()
+                        .join("+")
+                };
+                let op = entry.pending.seal(name, head);
+                specs.push(OperatorSpec {
+                    kind: if single { node.kind } else { NodeKind::Fused },
+                    group: entry.group,
+                    stages: if single { Vec::new() } else { entry.stages },
+                    op: Box::new(op),
+                });
+            } else if members.contains(&id) {
+                // Folded into the chain sealed at its head node.
+                continue;
+            } else {
+                let op = node.operator.ok_or_else(|| {
+                    SpeError::InvalidQuery(format!(
+                        "node `{}` has no operator installed",
+                        node.name
+                    ))
+                })?;
+                specs.push(OperatorSpec {
+                    kind: node.kind,
+                    group: node.shard_group,
+                    stages: Vec::new(),
+                    op,
+                });
+            }
+        }
+        if specs.is_empty() {
             return Err(SpeError::InvalidQuery("query has no operators".into()));
         }
-        Ok(Runtime::spawn(operators, self.stop))
+        Ok(Runtime::spawn(specs, self.stop))
     }
 }
 
@@ -838,6 +1067,101 @@ mod tests {
         assert!(dot.contains("[style=dashed]"));
         // An ordinary edge (source -> partition) stays solid.
         assert!(dot.contains("n0 -> n1;\n"));
+    }
+
+    #[test]
+    fn fusion_collapses_stateless_chain_into_one_thread() {
+        let run = |fusion: bool| {
+            let mut q =
+                Query::with_config(NoProvenance, QueryConfig::default().with_fusion(fusion));
+            let src = q.source(
+                "numbers",
+                VecSource::with_period((0..10i64).collect(), 1_000),
+            );
+            let evens = q.filter("evens", src, |x| x % 2 == 0);
+            let doubled = q.map_one("double", evens, |x| x * 2);
+            let out = q.collecting_sink("sink", doubled);
+            let report = q.deploy().unwrap().wait().unwrap();
+            let values: Vec<i64> = out.tuples().iter().map(|t| t.data).collect();
+            (report, values)
+        };
+
+        let (unfused_report, unfused_values) = run(false);
+        let (fused_report, fused_values) = run(true);
+        assert_eq!(fused_values, vec![0, 4, 8, 12, 16]);
+        assert_eq!(
+            fused_values, unfused_values,
+            "fusion must not change results"
+        );
+
+        // Unfused: 4 threads/reports. Fused: filter+map collapse into one.
+        assert_eq!(unfused_report.operator_stats().len(), 4);
+        assert_eq!(fused_report.operator_stats().len(), 3);
+        let chain = fused_report.operator("evens+double").expect("chain report");
+        assert_eq!(chain.kind, NodeKind::Fused);
+        assert_eq!(chain.stats.tuples_in, 10, "chain input = head stage input");
+        assert_eq!(
+            chain.stats.tuples_out, 5,
+            "chain output = tail stage output"
+        );
+        // The chain report still names the original operators, with their counters.
+        assert_eq!(chain.stages.len(), 2);
+        let evens = fused_report.fused_stage("evens").expect("filter stage");
+        assert_eq!(evens.tuples_in, 10);
+        assert_eq!(evens.tuples_out, 5);
+        let double = fused_report.fused_stage("double").expect("map stage");
+        assert_eq!(double.tuples_in, 5);
+        assert_eq!(double.tuples_out, 5);
+        // Unfused reports carry no stage breakdown and count identically.
+        let plain = unfused_report.operator("evens").unwrap();
+        assert!(plain.stages.is_empty());
+        assert_eq!(plain.stats.tuples_out, 5);
+    }
+
+    #[test]
+    fn fusion_stops_at_multi_stream_boundaries() {
+        // multiplex (fan-out) and union (fan-in) are never fused; the stateless
+        // stages on each branch fuse among themselves only.
+        let mut q = Query::with_config(NoProvenance, QueryConfig::default().with_fusion(true));
+        let src = q.source("numbers", VecSource::with_period((0..20i64).collect(), 500));
+        let branches = q.multiplex("mux", src, 2);
+        let mut it = branches.into_iter();
+        let small = q.filter("small", it.next().unwrap(), |x| *x < 5);
+        let small2 = q.map_one("small2", small, |x| x + 100);
+        let large = q.filter("large", it.next().unwrap(), |x| *x >= 15);
+        let merged = q.union("union", vec![small2, large]);
+        let out = q.collecting_sink("sink", merged);
+        let report = q.deploy().unwrap().wait().unwrap();
+        let mut values: Vec<i64> = out.tuples().iter().map(|t| t.data).collect();
+        values.sort_unstable();
+        assert_eq!(values, vec![15, 16, 17, 18, 19, 100, 101, 102, 103, 104]);
+        // source, mux, fused(small+small2), large, union, sink = 6 physical ops.
+        assert_eq!(report.operator_stats().len(), 6);
+        assert!(report.operator("small+small2").is_some());
+        assert!(
+            report.operator("large").is_some(),
+            "single-stage chains report as the plain operator"
+        );
+        assert!(report.operator("large").unwrap().stages.is_empty());
+    }
+
+    #[test]
+    fn dot_export_renders_fused_chain_as_single_box() {
+        let mut q = Query::with_config(NoProvenance, QueryConfig::default().with_fusion(true));
+        let src = q.source("numbers", VecSource::with_period(vec![1i64], 1));
+        let flt = q.filter("evens", src, |x| x % 2 == 0);
+        let doubled = q.map_one("double", flt, |x| x * 2);
+        let _ = q.collecting_sink("sink", doubled);
+        let dot = q.to_dot();
+        // One boxed node lists both stage names; the member nodes are not drawn.
+        assert!(dot.contains("shape=box label=\"evens \u{2192} double\\n(fused)\""));
+        assert!(!dot.contains("(filter)"));
+        assert!(!dot.contains("(map)"));
+        // Edges route through the chain box (head node id 1): source -> chain -> sink.
+        assert!(dot.contains("n0 -> n1;\n"));
+        assert!(dot.contains("n1 -> n3;\n"));
+        // The channel-free internal edge is not drawn.
+        assert!(!dot.contains("n1 -> n2"));
     }
 
     #[test]

@@ -11,6 +11,7 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use crate::error::SpeError;
+use crate::fusion::StageInfo;
 use crate::operator::{Operator, OperatorStats};
 use crate::query::{NodeKind, ShardGroup};
 
@@ -18,7 +19,9 @@ use crate::query::{NodeKind, ShardGroup};
 ///
 /// For key-partitioned operators the report covers the whole shard group: the runtime
 /// folds the per-shard thread statistics into one report carrying the group name and
-/// the number of instances.
+/// the number of instances. For a fused chain the report covers the whole chain
+/// thread, and [`OperatorReport::stages`] still names the original operators with
+/// their individual counters.
 #[derive(Debug, Clone)]
 pub struct OperatorReport {
     /// The operator's role in the query graph.
@@ -28,6 +31,10 @@ pub struct OperatorReport {
     pub instances: usize,
     /// The operator's run-time counters (summed over all shard instances).
     pub stats: OperatorStats,
+    /// Per-stage counters of the original operators folded into a fused chain, in
+    /// stage order (summed over shard instances for sharded chains); empty for
+    /// ordinary, unfused operators.
+    pub stages: Vec<OperatorStats>,
 }
 
 /// Aggregated result of a completed query run.
@@ -79,13 +86,36 @@ impl QueryReport {
     pub fn operator(&self, name: &str) -> Option<&OperatorReport> {
         self.operators.iter().find(|o| o.stats.name == name)
     }
+
+    /// Statistics of one original operator folded into a fused chain, if present.
+    ///
+    /// Fused chains report as one [`OperatorReport`] named after the whole chain;
+    /// this accessor finds an individual stage by its original operator name.
+    pub fn fused_stage(&self, name: &str) -> Option<&OperatorStats> {
+        self.operators
+            .iter()
+            .flat_map(|o| o.stages.iter())
+            .find(|s| s.name == name)
+    }
 }
 
-/// A joinable operator thread, tagged with its node kind, name and shard group.
+/// What the runtime spawns for one physical operator: the boxed run loop plus the
+/// reporting metadata (node kind, shard group, and — for fused chains — the stage
+/// handles naming the original operators).
+pub(crate) struct OperatorSpec {
+    pub(crate) kind: NodeKind,
+    pub(crate) group: Option<ShardGroup>,
+    pub(crate) stages: Vec<StageInfo>,
+    pub(crate) op: Box<dyn Operator>,
+}
+
+/// A joinable operator thread, tagged with its node kind, name, shard group and
+/// fused-stage reporting handles.
 type OperatorThread = (
     NodeKind,
     String,
     Option<ShardGroup>,
+    Vec<StageInfo>,
     JoinHandle<Result<OperatorStats, SpeError>>,
 );
 
@@ -121,35 +151,52 @@ impl QueryHandle {
         let mut group_index: std::collections::HashMap<String, usize> =
             std::collections::HashMap::new();
         let mut first_error: Option<SpeError> = None;
-        for (kind, name, group, handle) in self.threads {
+        for (kind, name, group, stages, handle) in self.threads {
             match handle.join() {
-                Ok(Ok(stats)) => match group {
-                    Some(group) => match group_index.get(&group.name) {
-                        Some(&idx) => {
-                            operators[idx].stats.absorb(&stats);
-                            // Count the threads actually folded in, not the group's
-                            // declared width: single-node groups (the partition and
-                            // fan-in of an exchange carry a group for DOT labelling)
-                            // report instances = 1.
-                            operators[idx].instances += 1;
-                        }
-                        None => {
-                            group_index.insert(group.name.clone(), operators.len());
-                            let mut merged = OperatorStats::new(group.name);
-                            merged.absorb(&stats);
-                            operators.push(OperatorReport {
-                                kind,
-                                instances: 1,
-                                stats: merged,
-                            });
-                        }
-                    },
-                    None => operators.push(OperatorReport {
-                        kind,
-                        instances: 1,
-                        stats,
-                    }),
-                },
+                Ok(Ok(stats)) => {
+                    // The thread has finished, so the fused-stage counters are final.
+                    let stage_stats: Vec<OperatorStats> =
+                        stages.iter().map(StageInfo::snapshot).collect();
+                    match group {
+                        Some(group) => match group_index.get(&group.name) {
+                            Some(&idx) => {
+                                operators[idx].stats.absorb(&stats);
+                                // Count the threads actually folded in, not the group's
+                                // declared width: single-node groups (the partition and
+                                // fan-in of an exchange carry a group for DOT labelling)
+                                // report instances = 1.
+                                operators[idx].instances += 1;
+                                // Sibling shard chains have identical stage structure;
+                                // fold their per-stage counters positionally.
+                                let existing = &mut operators[idx].stages;
+                                if existing.len() == stage_stats.len() {
+                                    for (merged, stage) in existing.iter_mut().zip(&stage_stats) {
+                                        merged.absorb(stage);
+                                    }
+                                } else if existing.is_empty() {
+                                    *existing = stage_stats;
+                                }
+                            }
+                            None => {
+                                group_index.insert(group.name.clone(), operators.len());
+                                let mut merged = OperatorStats::new(group.name);
+                                merged.absorb(&stats);
+                                operators.push(OperatorReport {
+                                    kind,
+                                    instances: 1,
+                                    stats: merged,
+                                    stages: stage_stats,
+                                });
+                            }
+                        },
+                        None => operators.push(OperatorReport {
+                            kind,
+                            instances: 1,
+                            stats,
+                            stages: stage_stats,
+                        }),
+                    }
+                }
                 Ok(Err(err)) => {
                     if first_error.is_none() {
                         first_error = Some(err);
@@ -176,21 +223,24 @@ impl QueryHandle {
 pub(crate) struct Runtime;
 
 impl Runtime {
-    pub(crate) fn spawn(
-        operators: Vec<(NodeKind, Option<ShardGroup>, Box<dyn Operator>)>,
-        stop: Arc<AtomicBool>,
-    ) -> QueryHandle {
+    pub(crate) fn spawn(operators: Vec<OperatorSpec>, stop: Arc<AtomicBool>) -> QueryHandle {
         let started = Instant::now();
         let threads = operators
             .into_iter()
-            .map(|(kind, group, op)| {
+            .map(|spec| {
+                let OperatorSpec {
+                    kind,
+                    group,
+                    stages,
+                    op,
+                } = spec;
                 let name = op.name().to_string();
                 let thread_name = format!("spe-{name}");
                 let handle = std::thread::Builder::new()
                     .name(thread_name)
                     .spawn(move || op.run())
                     .expect("failed to spawn operator thread");
-                (kind, name, group, handle)
+                (kind, name, group, stages, handle)
             })
             .collect();
         QueryHandle {
