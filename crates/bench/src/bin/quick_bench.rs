@@ -1,17 +1,18 @@
 //! Quick throughput benchmark establishing the per-PR performance trajectory.
 //!
-//! PR 3 measures **operator fusion**: a stateless `filter -> map -> map` chain is run
-//! with the physical-plan fusion pass on and off, under the NP and GL provenance
-//! configurations. Fused, the three stages share one thread and exchange tuples by
-//! direct calls; unfused, each stage is its own thread behind a bounded batched
-//! channel. The measurements are written to `BENCH_PR3.json` in the current
+//! PR 4 measures **distributed shard groups**: a keyed aggregate is run with its
+//! shards placed on 1, 2 and 4 *remote SPE instances* (Partition exchange →
+//! instrumented Send → link → `Receive → aggregate → Send` → link → Receive →
+//! provenance-safe fan-in), under the NP and GL provenance configurations, and
+//! compared against the all-local sharded plan at the same shard counts. The links
+//! are the batch-aware simulated transport with unlimited bandwidth, so the sweep
+//! isolates the serialisation + framing cost of crossing an instance boundary from
+//! network physics. The measurements are written to `BENCH_PR4.json` in the current
 //! directory (override the path with `GENEALOG_BENCH_OUT`).
 //!
-//! The JSON records `host_cpus`: fusion trades thread-level parallelism for zero
-//! transport cost, so its benefit is largest when operators outnumber cores — on a
-//! single-core host every channel hop is pure overhead and fusion shows its upper
-//! bound; on a many-core host a cheap chain can still win fused because the stages
-//! never saturate one core each.
+//! The JSON records `host_cpus`: each remote shard adds an engine instance of its
+//! own threads, so on a single-core host the sweep shows serialisation overhead
+//! only; on a many-core host remote shards buy real parallelism.
 //!
 //! Set `GENEALOG_BENCH_SMOKE=1` for a fast CI smoke run (fewer tuples, one
 //! repetition).
@@ -21,18 +22,25 @@
 use std::io::Write;
 
 use genealog::GeneaLog;
+use genealog_distributed::deployment::remote_shard_group;
+use genealog_distributed::{NetworkConfig, WireProvenance};
+use genealog_spe::operator::aggregate::WindowView;
 use genealog_spe::operator::source::{SourceConfig, VecSource};
 use genealog_spe::prelude::*;
-use genealog_spe::provenance::ProvenanceSystem;
+use genealog_spe::query::ShardPlacement;
 
 /// Batch size of the stream transport (the PR 1 configuration).
 const BATCH: usize = 256;
+/// Number of distinct keys the stream is partitioned on.
+const KEYS: u32 = 64;
+
+type Reading = (u32, i64);
 
 fn tuples_per_run() -> usize {
     if smoke_mode() {
-        60_000
+        40_000
     } else {
-        500_000
+        300_000
     }
 }
 
@@ -51,64 +59,97 @@ fn smoke_mode() -> bool {
 #[derive(Debug, Clone)]
 struct Measurement {
     system: &'static str,
-    fused: bool,
+    shards: usize,
+    remote: bool,
     throughput_tps: f64,
     per_tuple_ns: f64,
 }
 
-/// One run of the stateless-chain pipeline; returns the source throughput.
-fn chain_once<P: ProvenanceSystem>(provenance: P, fused: bool) -> Measurement {
+/// One run of the sharded-aggregate pipeline with the given placement mode.
+fn sharded_once<P>(
+    provenance: P,
+    make_instance: fn(u32) -> P,
+    shards: usize,
+    remote: bool,
+) -> Measurement
+where
+    P: WireProvenance,
+{
     let label = provenance.label();
     let tuples = tuples_per_run();
-    let mut q = Query::with_config(
-        provenance,
-        QueryConfig::default()
-            .with_batch_size(BATCH)
-            .with_fusion(fused),
-    );
-    let items: Vec<i64> = (0..tuples as i64).collect();
+    let spec = WindowSpec::tumbling(Duration::from_secs(60)).unwrap();
+    let agg = |w: &WindowView<'_, u32, Reading, P::Meta>| {
+        (*w.key, w.payloads().map(|p| p.1).sum::<i64>())
+    };
+    let key = |r: &Reading| r.0;
+
+    let config = QueryConfig::default().with_batch_size(BATCH);
+    let (placements, group) = if remote {
+        let (placements, group) = remote_shard_group::<P, Reading, Reading, _, _>(
+            "agg",
+            shards,
+            NetworkConfig::unlimited(),
+            config,
+            move |i| make_instance(1 + i as u32),
+            move |rq, _i, input| rq.aggregate("agg", input, spec, key, agg),
+        )
+        .expect("remote shard group");
+        (placements, Some(group))
+    } else {
+        (ShardPlacement::all_local(shards), None)
+    };
+
+    let mut q = Query::with_config(provenance, config);
+    let items: Vec<Reading> = (0..tuples).map(|i| ((i as u32) % KEYS, i as i64)).collect();
     let src = q.source_with(
         "events",
         VecSource::with_period(items, 1),
         SourceConfig {
-            // Watermarks flush batches; spacing them out keeps the pipeline
-            // throughput-bound rather than flush-bound.
             watermark_every: 4_096,
             ..SourceConfig::default()
         },
     );
-    // A stateless hot path with per-stage work small enough that the transport
-    // between stages (channel + batch + wake-up vs a direct call) dominates.
-    let kept = q.filter("select", src, |x| x % 16 != 0);
-    let scaled = q.map_one("scale", kept, |x| x.wrapping_mul(31) ^ (x >> 3));
-    let tagged = q.map_one("tag", scaled, |x| x.wrapping_add(0x9E37_79B9));
-    let stats = q.sink("sink", tagged, |_| {});
+    let sums =
+        q.sharded_aggregate_placed("agg", src, spec, key, agg, |o: &Reading| o.0, placements);
+    let stats = q.sink("sink", sums, |_| {});
     let report = q.deploy().expect("deploy").wait().expect("run");
+    if let Some(group) = group {
+        group.wait().expect("remote instances");
+    }
     assert_eq!(report.source_tuples(), tuples as u64);
-    assert!(stats.tuple_count() > 0, "sink must observe chain outputs");
+    assert!(stats.tuple_count() > 0, "sink must observe window outputs");
     let wall = report.wall_time().as_secs_f64();
     Measurement {
         system: label,
-        fused,
+        shards,
+        remote,
         throughput_tps: tuples as f64 / wall,
         per_tuple_ns: wall * 1e9 / tuples as f64,
     }
 }
 
-fn best_of<P: ProvenanceSystem + Clone>(provenance: &P, fused: bool) -> Measurement {
+fn best_of<P>(
+    provenance: &P,
+    make_instance: fn(u32) -> P,
+    shards: usize,
+    remote: bool,
+) -> Measurement
+where
+    P: WireProvenance,
+{
     (0..repetitions())
-        .map(|_| chain_once(provenance.clone(), fused))
+        .map(|_| sharded_once(provenance.clone(), make_instance, shards, remote))
         .max_by(|a, b| a.throughput_tps.total_cmp(&b.throughput_tps))
         .expect("at least one repetition")
 }
 
-fn render_json(measurements: &[Measurement], speedup_np: f64, speedup_gl: f64) -> String {
+fn render_json(measurements: &[Measurement]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"pr\": 3,\n");
-    out.push_str("  \"benchmark\": \"fused_stateless_chain\",\n");
+    out.push_str("  \"pr\": 4,\n");
+    out.push_str("  \"benchmark\": \"distributed_sharded_aggregate\",\n");
     out.push_str(
-        "  \"pipeline\": \"source -> filter -> map -> map -> sink (fused: one thread, no channels; unfused: thread-per-operator)\",\n",
+        "  \"pipeline\": \"source -> partition -> [shard aggregate xN, local threads or remote SPE instances over simulated links] -> keyed merge -> sink\",\n",
     );
     out.push_str(&format!("  \"tuples_per_run\": {},\n", tuples_per_run()));
     out.push_str(&format!("  \"repetitions\": {},\n", repetitions()));
@@ -120,56 +161,43 @@ fn render_json(measurements: &[Measurement], speedup_np: f64, speedup_gl: f64) -
     out.push_str("  \"runs\": [\n");
     for (i, m) in measurements.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"system\": \"{}\", \"fused\": {}, \"throughput_tps\": {:.0}, \"per_tuple_ns\": {:.1}}}{}\n",
+            "    {{\"system\": \"{}\", \"shards\": {}, \"remote\": {}, \"throughput_tps\": {:.0}, \"per_tuple_ns\": {:.1}}}{}\n",
             m.system,
-            m.fused,
+            m.shards,
+            m.remote,
             m.throughput_tps,
             m.per_tuple_ns,
             if i + 1 < measurements.len() { "," } else { "" }
         ));
     }
-    out.push_str("  ],\n");
-    out.push_str(&format!(
-        "  \"np_fused_vs_unfused_speedup\": {speedup_np:.2},\n"
-    ));
-    out.push_str(&format!(
-        "  \"gl_fused_vs_unfused_speedup\": {speedup_gl:.2}\n"
-    ));
+    out.push_str("  ]\n");
     out.push_str("}\n");
     out
 }
 
 fn main() {
     let mut measurements = Vec::new();
-    for fused in [false, true] {
-        measurements.push(best_of(&NoProvenance, fused));
+    for shards in [1usize, 2, 4] {
+        for remote in [false, true] {
+            measurements.push(best_of(&NoProvenance, |_| NoProvenance, shards, remote));
+        }
     }
-    let gl = GeneaLog::new();
-    for fused in [false, true] {
-        measurements.push(best_of(&gl, fused));
+    let gl = GeneaLog::for_instance(0);
+    for shards in [1usize, 2, 4] {
+        for remote in [false, true] {
+            measurements.push(best_of(&gl, GeneaLog::for_instance, shards, remote));
+        }
     }
-
-    let by = |system: &str, fused: bool| {
-        measurements
-            .iter()
-            .find(|m| m.system == system && m.fused == fused)
-            .expect("measured configuration")
-            .throughput_tps
-    };
-    let speedup_np = by("NP", true) / by("NP", false);
-    let speedup_gl = by("GL", true) / by("GL", false);
 
     for m in &measurements {
         println!(
-            "{:>2} fused={:<5} {:>12.0} tuples/s  {:>8.1} ns/tuple",
-            m.system, m.fused, m.throughput_tps, m.per_tuple_ns
+            "{:>2} shards={} remote={:<5} {:>12.0} tuples/s  {:>8.1} ns/tuple",
+            m.system, m.shards, m.remote, m.throughput_tps, m.per_tuple_ns
         );
     }
-    println!("NP fused vs unfused speedup: {speedup_np:.2}x");
-    println!("GL fused vs unfused speedup: {speedup_gl:.2}x");
 
-    let json = render_json(&measurements, speedup_np, speedup_gl);
-    let path = std::env::var("GENEALOG_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR3.json".to_string());
+    let json = render_json(&measurements);
+    let path = std::env::var("GENEALOG_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR4.json".to_string());
     let mut file = std::fs::File::create(&path).expect("create benchmark output file");
     file.write_all(json.as_bytes())
         .expect("write benchmark output");

@@ -18,49 +18,53 @@
 
 use std::sync::Arc;
 
-use genealog_spe::operator::sink::SinkStats;
+use genealog_spe::operator::sink::{CollectedStream, SinkStats};
 use genealog_spe::operator::source::{SourceConfig, SourceGenerator};
 use genealog_spe::provenance::NoProvenance;
-use genealog_spe::query::{NodeKind, Query, StreamRef};
-use genealog_spe::runtime::QueryReport;
+use genealog_spe::query::{NodeId, NodeKind, Query, QueryConfig, ShardPlacement, StreamRef};
+use genealog_spe::runtime::{QueryHandle, QueryReport};
 use genealog_spe::tuple::TupleData;
 use genealog_spe::{Duration, SpeError, Timestamp};
 
 use genealog::{
     attach_multi_unfolder, attach_unfolder, GeneaLog, GlMeta, SourceRecord, UnfoldedEvent,
-    UpstreamEvent,
+    UnfoldedTuple, UpstreamEvent,
 };
 use genealog_baseline::AriadneBaseline;
 
 use crate::endpoint::{ReceiveOp, SendOp, WireProvenance};
-use crate::network::{NetworkConfig, SimulatedLink};
+use crate::network::{
+    FrameSink, FrameSource, LinkSender, LinkStats, MuxReceiver, NetworkConfig, SharedLink,
+    SimulatedLink,
+};
 use crate::wire::{WireDecode, WireEncode};
 
-/// Adds a Send operator shipping `stream` onto `link` (extension of the query builder).
-pub fn add_send<T, P>(
+/// Adds a Send operator shipping `stream` onto `link` (extension of the query
+/// builder), returning the node id of the endpoint.
+pub fn add_send<T, P, L>(
     q: &mut Query<P>,
     name: &str,
     stream: StreamRef<T, P::Meta>,
-    link: crate::network::LinkSender,
-) where
+    link: L,
+) -> NodeId
+where
     T: TupleData + WireEncode,
     P: WireProvenance,
+    L: FrameSink,
 {
     let node = q.add_node(name, NodeKind::Custom("send"));
     let rx = q.attach_input(stream, node);
     let op = SendOp::new(name, rx, link, q.provenance().clone());
     q.set_operator(node, Box::new(op));
+    node
 }
 
 /// Adds a Receive operator materialising the stream arriving on `link`.
-pub fn add_receive<T, P>(
-    q: &mut Query<P>,
-    name: &str,
-    link: crate::network::LinkReceiver,
-) -> StreamRef<T, P::Meta>
+pub fn add_receive<T, P, L>(q: &mut Query<P>, name: &str, link: L) -> StreamRef<T, P::Meta>
 where
     T: TupleData + WireDecode,
     P: genealog_spe::provenance::ProvenanceSystem,
+    L: FrameSource,
 {
     let node = q.add_node(name, NodeKind::Custom("receive"));
     let (slot, stream) = q.new_output_stream(node, format!("{name}.out"));
@@ -113,7 +117,9 @@ impl<D, S> DistributedOutcome<D, S> {
     }
 }
 
-fn group_provenance<D, S>(events: Vec<UnfoldedEvent<D, S>>) -> Vec<ProvenanceRecord<D, S>>
+/// Groups a stream of unfolded events into one [`ProvenanceRecord`] per sink tuple,
+/// preserving the order in which sink tuples first appeared.
+pub fn group_provenance<D, S>(events: Vec<UnfoldedEvent<D, S>>) -> Vec<ProvenanceRecord<D, S>>
 where
     D: TupleData,
     S: TupleData,
@@ -140,6 +146,356 @@ where
         .into_iter()
         .filter_map(|id| groups.remove(&id))
         .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Distributed shard groups: spanning the Partition exchange across SPE instances
+// ---------------------------------------------------------------------------
+
+/// Traffic counters of the links connecting one remote shard to its originating
+/// instance.
+#[derive(Debug, Clone)]
+pub struct ShardLinks {
+    /// Traffic origin → remote (the shard's partitioned sub-stream).
+    pub forward: Arc<LinkStats>,
+    /// Traffic remote → origin (the shard results; for groups built with
+    /// [`remote_shard_group_gl`] the unfolded provenance events share this same
+    /// physical link, multiplexed — [`remote_shard_group`] ships results only).
+    pub back: Arc<LinkStats>,
+}
+
+/// The remote SPE instances hosting the shards of one distributed shard group.
+///
+/// Returned by [`remote_shard_group`] / [`remote_shard_group_gl`] alongside the
+/// [`ShardPlacement`]s to hand to
+/// `Query::sharded_aggregate_placed`. After the originating query has drained, call
+/// [`RemoteShardGroup::wait`] to join the remote instances and fold their reports
+/// into the origin's with
+/// [`QueryReport::merge_distributed`](genealog_spe::runtime::QueryReport).
+pub struct RemoteShardGroup {
+    handles: Vec<QueryHandle>,
+    links: Vec<ShardLinks>,
+}
+
+impl RemoteShardGroup {
+    /// Number of remote SPE instances in the group.
+    pub fn instances(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Per-shard link statistics, in shard order.
+    pub fn links(&self) -> &[ShardLinks] {
+        &self.links
+    }
+
+    /// Total bytes shipped from the originating instance to the remote shards.
+    pub fn forward_bytes(&self) -> u64 {
+        self.links.iter().map(|l| l.forward.bytes()).sum()
+    }
+
+    /// Total bytes shipped from the remote shards back to the originating instance.
+    pub fn back_bytes(&self) -> u64 {
+        self.links.iter().map(|l| l.back.bytes()).sum()
+    }
+
+    /// Waits for every remote instance to drain and returns their reports, in shard
+    /// order.
+    ///
+    /// # Errors
+    /// Returns the first remote instance's engine error encountered.
+    pub fn wait(self) -> Result<Vec<QueryReport>, SpeError> {
+        self.handles.into_iter().map(QueryHandle::wait).collect()
+    }
+}
+
+/// What [`remote_shard_group`] hands back: the per-shard placements for the
+/// originating query and the handle joining the remote instances.
+pub type ShardGroupDeployment<P, I, O> = (Vec<ShardPlacement<P, I, O>>, RemoteShardGroup);
+
+/// The placement that splices one remote shard into the originating query: egress
+/// Send onto the forward link, ingress Receive from the return link, both tagged
+/// into per-endpoint shard groups so the runtime folds their reports across the
+/// group. Shared by [`remote_shard_group`] and [`remote_shard_group_gl`] so the
+/// two paths cannot drift apart.
+fn splice_remote_shard<P, I, O, R>(
+    name: &str,
+    instances: usize,
+    forward_tx: LinkSender,
+    return_rx: R,
+) -> ShardPlacement<P, I, O>
+where
+    P: WireProvenance,
+    I: TupleData + WireEncode,
+    O: TupleData + WireDecode,
+    R: FrameSource,
+{
+    let group_name = name.to_string();
+    ShardPlacement::remote(
+        move |q: &mut Query<P>, idx: usize, shard: StreamRef<I, P::Meta>| {
+            let egress = add_send(q, &format!("{group_name}.egress[{idx}]"), shard, forward_tx);
+            q.set_shard_group(egress, format!("{group_name}.egress"), instances);
+            let stream: StreamRef<O, P::Meta> =
+                add_receive(q, &format!("{group_name}.ingress[{idx}]"), return_rx);
+            q.set_shard_group(
+                stream.producer(),
+                format!("{group_name}.ingress"),
+                instances,
+            );
+            stream
+        },
+    )
+}
+
+/// Builds the remote SPE instances of a distributed shard group and the matching
+/// [`ShardPlacement`]s for the originating query.
+///
+/// For each of the `instances` shards this spawns a dedicated SPE instance running
+/// `ReceiveOp → (the plan built by `build`) → SendOp`, connected to the origin by a
+/// forward and a return [`SimulatedLink`]. The returned placements splice each shard
+/// into the origin's Partition exchange: the shard's partitioned sub-stream leaves
+/// through an instrumented Send (`{name}.egress[i]`), and the remote results re-enter
+/// through a Receive (`{name}.ingress[i]`) feeding the provenance-safe fan-in.
+///
+/// `provenance` is called once per instance so each remote engine gets its own id
+/// namespace (e.g. `GeneaLog::for_instance`); `build` should name the shard operator
+/// with the group's logical name (the same in every instance) so
+/// [`QueryReport::merge_distributed`](genealog_spe::runtime::QueryReport) folds the
+/// per-instance reports into one operator with an `instances` count, exactly like a
+/// local shard group.
+///
+/// # Errors
+/// Propagates deployment errors from the remote instances.
+pub fn remote_shard_group<P, I, O, PF, B>(
+    name: &str,
+    instances: usize,
+    network: NetworkConfig,
+    config: QueryConfig,
+    provenance: PF,
+    build: B,
+) -> Result<ShardGroupDeployment<P, I, O>, SpeError>
+where
+    P: WireProvenance,
+    I: TupleData + WireEncode + WireDecode,
+    O: TupleData + WireEncode + WireDecode,
+    PF: Fn(usize) -> P,
+    B: Fn(&mut Query<P>, usize, StreamRef<I, P::Meta>) -> StreamRef<O, P::Meta>,
+{
+    assert!(instances > 0, "a shard group needs at least one instance");
+    let mut placements = Vec::with_capacity(instances);
+    let mut handles = Vec::with_capacity(instances);
+    let mut links = Vec::with_capacity(instances);
+    for i in 0..instances {
+        let (forward_tx, forward_rx, forward_stats) = SimulatedLink::new(network);
+        let (back_tx, back_rx, back_stats) = SimulatedLink::new(network);
+
+        let mut remote = Query::with_config(provenance(i), config);
+        let received: StreamRef<I, P::Meta> =
+            add_receive(&mut remote, &format!("{name}.recv"), forward_rx);
+        let out = build(&mut remote, i, received);
+        add_send(&mut remote, &format!("{name}.send"), out, back_tx);
+        handles.push(remote.deploy()?);
+
+        placements.push(splice_remote_shard(name, instances, forward_tx, back_rx));
+        links.push(ShardLinks {
+            forward: forward_stats,
+            back: back_stats,
+        });
+    }
+    Ok((placements, RemoteShardGroup { handles, links }))
+}
+
+/// A distributed shard group under **GeneaLog**: the placements, the remote
+/// instances, and the per-shard provenance streams needed to stitch lineage across
+/// the REMOTE boundary (see [`attach_shard_provenance_sink`]).
+pub struct GlShardGroup<I, O> {
+    /// Placements for `Query::sharded_aggregate_placed` on the originating query.
+    pub placements: Vec<ShardPlacement<GeneaLog, I, O>>,
+    /// The remote instances and link counters.
+    pub group: RemoteShardGroup,
+    /// Per-shard receivers of the remote instances' unfolded provenance streams
+    /// (`UpstreamEvent<I>` frames, multiplexed onto the shards' return links).
+    pub provenance_links: Vec<MuxReceiver>,
+}
+
+/// [`remote_shard_group`] under **GeneaLog**, with cross-boundary provenance.
+///
+/// Each remote instance additionally runs a single-stream unfolder on its shard
+/// output and ships the unfolded stream — mapped to [`UpstreamEvent`]s keyed by the
+/// delivering tuple's id — back to the origin on a second channel of the shard's
+/// return link (multiplexed, [`SharedLink`]). The origin resolves the REMOTE
+/// originating tuples of its own unfolded sink stream against these upstream streams
+/// with the multi-stream unfolder (Definition 6.4), which is what makes the
+/// distributed shard group's contribution sets identical to the single-instance
+/// plan's.
+///
+/// Remote instance `i` uses the GeneaLog id namespace `first_instance + i`; the
+/// originating query must use a different one.
+///
+/// # Errors
+/// Propagates deployment errors from the remote instances.
+pub fn remote_shard_group_gl<I, O, B>(
+    name: &str,
+    instances: usize,
+    first_instance: u32,
+    network: NetworkConfig,
+    config: QueryConfig,
+    build: B,
+) -> Result<GlShardGroup<I, O>, SpeError>
+where
+    I: TupleData + WireEncode + WireDecode,
+    O: TupleData + WireEncode + WireDecode,
+    B: Fn(&mut Query<GeneaLog>, usize, StreamRef<I, GlMeta>) -> StreamRef<O, GlMeta>,
+{
+    assert!(instances > 0, "a shard group needs at least one instance");
+    let mut placements = Vec::with_capacity(instances);
+    let mut handles = Vec::with_capacity(instances);
+    let mut links = Vec::with_capacity(instances);
+    let mut provenance_links = Vec::with_capacity(instances);
+    for i in 0..instances {
+        let (forward_tx, forward_rx, forward_stats) = SimulatedLink::new(network);
+        // One physical return link, two multiplexed channels: shard results and the
+        // unfolded provenance stream.
+        let (mut back_txs, mut back_rxs, back_stats) = SharedLink::new(2, network);
+        let provenance_tx = back_txs.pop().expect("two channels");
+        let data_tx = back_txs.pop().expect("two channels");
+        let provenance_rx = back_rxs.pop().expect("two channels");
+        let data_rx = back_rxs.pop().expect("two channels");
+
+        let mut remote =
+            Query::with_config(GeneaLog::for_instance(first_instance + i as u32), config);
+        let received: StreamRef<I, GlMeta> =
+            add_receive(&mut remote, &format!("{name}.recv"), forward_rx);
+        let out = build(&mut remote, i, received);
+        let (to_send, unfolded) = attach_unfolder(&mut remote, &format!("{name}.su"), out);
+        add_send(&mut remote, &format!("{name}.send"), to_send, data_tx);
+        let events = remote.map_one(
+            &format!("{name}.su.events"),
+            unfolded,
+            |u: &UnfoldedTuple<O>| u.to_event::<I>().to_upstream(),
+        );
+        add_send(
+            &mut remote,
+            &format!("{name}.send.prov"),
+            events,
+            provenance_tx,
+        );
+        handles.push(remote.deploy()?);
+
+        placements.push(splice_remote_shard(name, instances, forward_tx, data_rx));
+        links.push(ShardLinks {
+            forward: forward_stats,
+            back: back_stats,
+        });
+        provenance_links.push(provenance_rx);
+    }
+    Ok(GlShardGroup {
+        placements,
+        group: RemoteShardGroup { handles, links },
+        provenance_links,
+    })
+}
+
+/// Collects the stitched provenance of a query whose plan contains distributed shard
+/// groups (the output of [`attach_shard_provenance_sink`]).
+#[derive(Debug, Clone)]
+pub struct ShardProvenanceCollector<O, S> {
+    collected: CollectedStream<UnfoldedEvent<O, S>, GlMeta>,
+}
+
+impl<O: TupleData, S: TupleData> ShardProvenanceCollector<O, S> {
+    /// Number of unfolded events collected (one per sink-tuple/source-tuple pair).
+    pub fn event_count(&self) -> usize {
+        self.collected.len()
+    }
+
+    /// The per-sink-tuple provenance, in sink order.
+    pub fn records(&self) -> Vec<ProvenanceRecord<O, S>> {
+        group_provenance(
+            self.collected
+                .tuples()
+                .iter()
+                .map(|t| t.data.clone())
+                .collect(),
+        )
+    }
+}
+
+/// Attaches a provenance sink that stitches GeneaLog lineage across the REMOTE
+/// boundaries of distributed shard groups.
+///
+/// The origin's own unfolded stream terminates at REMOTE originating tuples for
+/// every sink tuple that crossed back from a remote shard; this helper resolves them
+/// with the multi-stream unfolder of §6 against the remote instances' unfolded
+/// streams (`provenance_links`, from [`GlShardGroup`]), so the collected records
+/// carry the actual source tuples — identical to what
+/// `genealog::attach_provenance_sink` reports for the equivalent single-instance
+/// plan. Local shards' lineage needs no stitching (their chain pointers never left
+/// the process) and passes the unfolder through unchanged, so mixed local/remote
+/// groups work too.
+///
+/// `upstream_window` is the MU join window: it must cover the maximum time distance
+/// between a sink tuple and the upstream delivering tuples contributing to it (the
+/// sum of the plan's stateful window sizes, §6.1).
+///
+/// Returns the pass-through copy of `stream` (connect it to the query's Sink) and
+/// the collector.
+///
+/// # Panics
+/// Panics if `provenance_links` is empty (with no remote shard there is no REMOTE
+/// boundary; use `genealog::attach_provenance_sink` instead).
+pub fn attach_shard_provenance_sink<O, S>(
+    q: &mut Query<GeneaLog>,
+    name: &str,
+    stream: StreamRef<O, GlMeta>,
+    provenance_links: Vec<MuxReceiver>,
+    upstream_window: Duration,
+) -> (StreamRef<O, GlMeta>, ShardProvenanceCollector<O, S>)
+where
+    O: TupleData,
+    S: TupleData + WireEncode + WireDecode,
+{
+    assert!(
+        !provenance_links.is_empty(),
+        "stitching requires at least one remote provenance stream"
+    );
+    let (passthrough, unfolded) = attach_unfolder(q, name, stream);
+    let derived = q.map_one(
+        &format!("{name}.events"),
+        unfolded,
+        |u: &UnfoldedTuple<O>| u.to_event::<S>(),
+    );
+    let upstreams = provenance_links
+        .into_iter()
+        .enumerate()
+        .map(|(i, link)| {
+            add_receive::<UpstreamEvent<S>, _, _>(q, &format!("{name}.upstream[{i}]"), link)
+        })
+        .collect();
+    let complete = attach_multi_unfolder(q, name, derived, upstreams, upstream_window);
+    let collected = q.collecting_sink(&format!("{name}.sink"), complete);
+    (passthrough, ShardProvenanceCollector { collected })
+}
+
+/// Renders the query graphs of several SPE instances as one DOT digraph with one
+/// cluster per instance, making the process boundaries of a distributed deployment
+/// visible.
+///
+/// Each entry is `(label, fragment)` where the fragment comes from
+/// `Query::to_dot_fragment` rendered with a prefix unique to that instance (e.g.
+/// `i0_`, `i1_`, …); Send/Receive endpoints are already drawn with a distinct shape
+/// by the fragment renderer.
+pub fn instances_dot(instances: &[(String, String)]) -> String {
+    let mut dot = String::from("digraph deployment {\n  rankdir=LR;\n");
+    for (i, (label, fragment)) in instances.iter().enumerate() {
+        let escaped = label.replace('\\', "\\\\").replace('"', "\\\"");
+        dot.push_str(&format!(
+            "  subgraph cluster_{i} {{\n  label=\"{escaped}\";\n  style=dashed;\n"
+        ));
+        dot.push_str(fragment);
+        dot.push_str("  }\n");
+    }
+    dot.push_str("}\n");
+    dot
 }
 
 /// Deploys a two-stage query over three SPE instances with **GeneaLog** provenance

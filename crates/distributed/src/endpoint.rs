@@ -5,6 +5,19 @@
 //! asking the local provenance system for their metadata through the `remote_meta`
 //! hook — the received tuple is tagged `REMOTE` unless it was a source tuple at the
 //! sending side, exactly as the paper's instrumented Send prescribes (§4.1).
+//!
+//! The framing is **batch-aware**: Send drains its input in batches (the engine's
+//! batched transport, PR 1) and packs each run of consecutive data tuples into one
+//! [`WireFrame::Tuples`] frame, so the per-frame overhead of the link (channel send,
+//! simulated store-and-forward, per-frame latency) is amortised over the batch, just
+//! as the in-process channels amortise their synchronisation cost. Watermarks and the
+//! end-of-stream marker flush the pending run and travel as frames of their own,
+//! preserving the engine's ordering semantics across the wire.
+//!
+//! Both operators are generic over the frame transport
+//! ([`FrameSink`](crate::network::FrameSink) /
+//! [`FrameSource`](crate::network::FrameSource)), so a stream can have a link of its
+//! own or share a multiplexed one ([`SharedLink`](crate::network::SharedLink)).
 
 use std::sync::Arc;
 
@@ -18,7 +31,7 @@ use genealog_spe::Timestamp;
 use genealog::{GeneaLog, GlMeta, OpKind};
 use genealog_baseline::{AriadneBaseline, BlMeta};
 
-use crate::network::{LinkReceiver, LinkSender};
+use crate::network::{FrameSink, FrameSource, LinkReceiver, LinkSender};
 use crate::wire::{WireDecode, WireEncode, WireError, WireReader};
 
 /// The provenance-dependent information a Send operator attaches to each frame: the
@@ -82,88 +95,186 @@ impl WireProvenance for AriadneBaseline {
     }
 }
 
-const FRAME_TUPLE: u8 = 0;
-const FRAME_WATERMARK: u8 = 1;
-const FRAME_END: u8 = 2;
-
-fn encode_tuple_frame<T: WireEncode>(
-    ts: Timestamp,
-    stimulus: u64,
-    tag: WireTag,
-    data: &T,
-) -> Vec<u8> {
-    let mut frame = Vec::with_capacity(64);
-    FRAME_TUPLE.encode(&mut frame);
-    ts.encode(&mut frame);
-    stimulus.encode(&mut frame);
-    tag.id.encode(&mut frame);
-    tag.was_source.encode(&mut frame);
-    data.encode(&mut frame);
-    frame
-}
-
-fn encode_watermark_frame(ts: Timestamp) -> Vec<u8> {
-    let mut frame = Vec::with_capacity(16);
-    FRAME_WATERMARK.encode(&mut frame);
-    ts.encode(&mut frame);
-    frame
-}
-
-fn encode_end_frame() -> Vec<u8> {
-    vec![FRAME_END]
-}
-
-/// A decoded incoming frame.
-#[derive(Debug)]
-enum DecodedFrame<T> {
-    Tuple {
-        ts: Timestamp,
-        stimulus: u64,
-        tag: WireTag,
-        data: T,
-    },
-    Watermark(Timestamp),
-    End,
-}
-
-fn decode_frame<T: WireDecode>(bytes: &[u8]) -> Result<DecodedFrame<T>, WireError> {
-    let mut reader = WireReader::new(bytes);
-    match u8::decode(&mut reader)? {
-        FRAME_TUPLE => Ok(DecodedFrame::Tuple {
-            ts: Timestamp::decode(&mut reader)?,
-            stimulus: u64::decode(&mut reader)?,
-            tag: WireTag {
-                id: TupleId::decode(&mut reader)?,
-                was_source: bool::decode(&mut reader)?,
-            },
-            data: T::decode(&mut reader)?,
-        }),
-        FRAME_WATERMARK => Ok(DecodedFrame::Watermark(Timestamp::decode(&mut reader)?)),
-        FRAME_END => Ok(DecodedFrame::End),
-        other => Err(WireError {
-            message: format!("unknown frame tag {other}"),
-        }),
+impl WireEncode for WireTag {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.id.encode(out);
+        self.was_source.encode(out);
     }
 }
 
+impl WireDecode for WireTag {
+    fn decode(reader: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(WireTag {
+            id: TupleId::decode(reader)?,
+            was_source: bool::decode(reader)?,
+        })
+    }
+}
+
+const FRAME_TUPLES: u8 = 0;
+const FRAME_WATERMARK: u8 = 1;
+const FRAME_END: u8 = 2;
+
+/// One data tuple as shipped inside a [`WireFrame::Tuples`] frame: the attributes
+/// that cross the instance boundary (no `Arc`, no provenance pointers — exactly the
+/// constraint §6 starts from).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireTuple<T> {
+    /// Logical timestamp of the tuple.
+    pub ts: Timestamp,
+    /// Stimulus instant, forwarded for end-to-end latency accounting.
+    pub stimulus: u64,
+    /// The provenance wire tag (sender-side id + source flag).
+    pub tag: WireTag,
+    /// The payload.
+    pub data: T,
+}
+
+impl<T: WireEncode> WireEncode for WireTuple<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.ts.encode(out);
+        self.stimulus.encode(out);
+        self.tag.encode(out);
+        self.data.encode(out);
+    }
+}
+
+impl<T: WireDecode> WireDecode for WireTuple<T> {
+    fn decode(reader: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(WireTuple {
+            ts: Timestamp::decode(reader)?,
+            stimulus: u64::decode(reader)?,
+            tag: WireTag::decode(reader)?,
+            data: T::decode(reader)?,
+        })
+    }
+}
+
+/// One frame of the inter-instance framing: a *run* of consecutive data tuples
+/// (batch-aware framing), a watermark, or the end-of-stream marker.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireFrame<T> {
+    /// A run of data tuples sharing one frame.
+    Tuples(Vec<WireTuple<T>>),
+    /// A watermark; always framed alone so it is never reordered.
+    Watermark(Timestamp),
+    /// The end-of-stream marker.
+    End,
+}
+
+impl<T: WireEncode> WireEncode for WireFrame<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            WireFrame::Tuples(run) => {
+                FRAME_TUPLES.encode(out);
+                run.encode(out);
+            }
+            WireFrame::Watermark(ts) => {
+                FRAME_WATERMARK.encode(out);
+                ts.encode(out);
+            }
+            WireFrame::End => FRAME_END.encode(out),
+        }
+    }
+}
+
+impl<T: WireDecode> WireDecode for WireFrame<T> {
+    fn decode(reader: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match u8::decode(reader)? {
+            FRAME_TUPLES => Ok(WireFrame::Tuples(Vec::<WireTuple<T>>::decode(reader)?)),
+            FRAME_WATERMARK => Ok(WireFrame::Watermark(Timestamp::decode(reader)?)),
+            FRAME_END => Ok(WireFrame::End),
+            other => Err(WireError {
+                message: format!("unknown frame tag {other}"),
+            }),
+        }
+    }
+}
+
+/// Incrementally builds a [`WireFrame::Tuples`] frame without materialising the run.
+///
+/// The Send operator appends tuples straight out of its input batches (no
+/// intermediate `WireTuple` allocation, no payload clone) and takes the finished
+/// frame when the run is flushed. The byte layout is identical to encoding the
+/// equivalent `WireFrame::Tuples` value, which the wire round-trip tests pin.
+#[derive(Debug, Default)]
+pub struct TupleFrameBuilder {
+    buf: Vec<u8>,
+    count: u32,
+}
+
+impl TupleFrameBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        TupleFrameBuilder::default()
+    }
+
+    /// Appends one tuple to the pending run.
+    pub fn push<T: WireEncode>(&mut self, ts: Timestamp, stimulus: u64, tag: WireTag, data: &T) {
+        if self.count == 0 {
+            self.buf.clear();
+            FRAME_TUPLES.encode(&mut self.buf);
+            0u32.encode(&mut self.buf); // run length, patched by `take`
+        }
+        ts.encode(&mut self.buf);
+        stimulus.encode(&mut self.buf);
+        tag.encode(&mut self.buf);
+        data.encode(&mut self.buf);
+        self.count += 1;
+    }
+
+    /// Number of tuples in the pending run.
+    pub fn len(&self) -> u32 {
+        self.count
+    }
+
+    /// True if no tuple is pending.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Takes the finished frame, leaving the builder empty; `None` for an empty run.
+    pub fn take(&mut self) -> Option<Vec<u8>> {
+        if self.count == 0 {
+            return None;
+        }
+        self.buf[1..5].copy_from_slice(&self.count.to_le_bytes());
+        self.count = 0;
+        Some(std::mem::take(&mut self.buf))
+    }
+}
+
+fn encode_watermark_frame(ts: Timestamp) -> Vec<u8> {
+    WireFrame::<()>::Watermark(ts).to_bytes()
+}
+
+fn encode_end_frame() -> Vec<u8> {
+    WireFrame::<()>::End.to_bytes()
+}
+
 /// The Send operator: serialises a stream onto a link towards another SPE instance.
-pub struct SendOp<T, P: ProvenanceSystem> {
+///
+/// Generic over the frame transport `L`, so the stream can own its link
+/// ([`LinkSender`]) or share a multiplexed one
+/// ([`MuxSender`](crate::network::MuxSender)).
+pub struct SendOp<T, P: ProvenanceSystem, L = LinkSender> {
     name: String,
     input: StreamReceiver<T, P::Meta>,
-    link: LinkSender,
+    link: L,
     provenance: P,
 }
 
-impl<T, P> SendOp<T, P>
+impl<T, P, L> SendOp<T, P, L>
 where
     T: TupleData + WireEncode,
     P: WireProvenance,
+    L: FrameSink,
 {
     /// Creates a Send operator writing to `link`.
     pub fn new(
         name: impl Into<String>,
         input: StreamReceiver<T, P::Meta>,
-        link: LinkSender,
+        link: L,
         provenance: P,
     ) -> Self {
         SendOp {
@@ -175,10 +286,11 @@ where
     }
 }
 
-impl<T, P> Operator for SendOp<T, P>
+impl<T, P, L> Operator for SendOp<T, P, L>
 where
     T: TupleData + WireEncode,
     P: WireProvenance,
+    L: FrameSink,
 {
     fn name(&self) -> &str {
         &self.name
@@ -186,48 +298,81 @@ where
 
     fn run(mut self: Box<Self>) -> Result<OperatorStats, SpeError> {
         let mut stats = OperatorStats::new(self.name.clone());
+        let mut frame = TupleFrameBuilder::new();
+        // Ships the pending run; tuples count as "out" only once their frame
+        // actually made it onto the link. Returns false when the link is down.
+        fn flush<L: FrameSink>(
+            frame: &mut TupleFrameBuilder,
+            link: &L,
+            stats: &mut OperatorStats,
+        ) -> bool {
+            let run_len = u64::from(frame.len());
+            match frame.take() {
+                Some(pending) => {
+                    if link.send_frame(pending) {
+                        stats.tuples_out += run_len;
+                        true
+                    } else {
+                        false
+                    }
+                }
+                None => true,
+            }
+        }
         loop {
-            match self.input.recv() {
-                Element::Tuple(tuple) => {
-                    stats.tuples_in += 1;
-                    let tag = self.provenance.wire_tag(&tuple);
-                    let frame = encode_tuple_frame(tuple.ts, tuple.stimulus, tag, &tuple.data);
-                    if !self.link.send(frame) {
+            let batch = self.input.recv_batch();
+            for element in batch {
+                match element {
+                    Element::Tuple(tuple) => {
+                        stats.tuples_in += 1;
+                        let tag = self.provenance.wire_tag(&tuple);
+                        frame.push(tuple.ts, tuple.stimulus, tag, &tuple.data);
+                    }
+                    Element::Watermark(ts) => {
+                        // The pending run precedes the watermark on the wire, like
+                        // the in-process flush policy.
+                        if !flush(&mut frame, &self.link, &mut stats) {
+                            return Ok(stats);
+                        }
+                        if !self.link.send_frame(encode_watermark_frame(ts)) {
+                            return Ok(stats);
+                        }
+                    }
+                    Element::End => {
+                        let _ = flush(&mut frame, &self.link, &mut stats);
+                        let _ = self.link.send_frame(encode_end_frame());
                         return Ok(stats);
                     }
-                    stats.tuples_out += 1;
                 }
-                Element::Watermark(ts) => {
-                    if !self.link.send(encode_watermark_frame(ts)) {
-                        return Ok(stats);
-                    }
-                }
-                Element::End => {
-                    let _ = self.link.send(encode_end_frame());
-                    return Ok(stats);
-                }
+            }
+            // Flush at the batch boundary: one upstream batch becomes (at most) one
+            // frame, so wire framing tracks the transport's batch size.
+            if !flush(&mut frame, &self.link, &mut stats) {
+                return Ok(stats);
             }
         }
     }
 }
 
-/// The Receive operator: materialises a stream arriving from another SPE instance.
-pub struct ReceiveOp<T, P: ProvenanceSystem> {
+/// The Receive operator: materialises a stream arriving from another SPE instance
+/// (generic over the frame transport `L`, see [`SendOp`]).
+pub struct ReceiveOp<T, P: ProvenanceSystem, L = LinkReceiver> {
     name: String,
-    link: LinkReceiver,
+    link: L,
     output: OutputSlot<T, P::Meta>,
     provenance: P,
 }
 
-impl<T, P> ReceiveOp<T, P>
+impl<T, P, L> ReceiveOp<T, P, L>
 where
     T: TupleData + WireDecode,
     P: ProvenanceSystem,
+    L: FrameSource,
 {
     /// Creates a Receive operator reading from `link`.
     pub fn new(
         name: impl Into<String>,
-        link: LinkReceiver,
+        link: L,
         output: OutputSlot<T, P::Meta>,
         provenance: P,
     ) -> Self {
@@ -240,10 +385,11 @@ where
     }
 }
 
-impl<T, P> Operator for ReceiveOp<T, P>
+impl<T, P, L> Operator for ReceiveOp<T, P, L>
 where
     T: TupleData + WireDecode,
     P: ProvenanceSystem,
+    L: FrameSource,
 {
     fn name(&self) -> &str {
         &self.name
@@ -252,36 +398,39 @@ where
     fn run(self: Box<Self>) -> Result<OperatorStats, SpeError> {
         let mut out = self.output.open();
         let mut stats = OperatorStats::new(self.name.clone());
-        while let Some(frame) = self.link.recv() {
-            let decoded = decode_frame::<T>(&frame).map_err(|err| SpeError::Runtime {
+        'frames: while let Some(frame) = self.link.recv_frame() {
+            let decoded = WireFrame::<T>::from_bytes(&frame).map_err(|err| SpeError::Runtime {
                 operator: self.name.clone(),
                 message: err.to_string(),
             })?;
             match decoded {
-                DecodedFrame::Tuple {
-                    ts,
-                    stimulus,
-                    tag,
-                    data,
-                } => {
-                    stats.tuples_in += 1;
-                    let meta = self.provenance.remote_meta(&RemoteContext {
-                        id: tag.id,
-                        ts,
-                        was_source: tag.was_source,
-                    });
-                    let tuple = Arc::new(GTuple::new(ts, stimulus, data, meta));
-                    if out.send_tuple(tuple).is_err() {
-                        return Ok(stats);
+                WireFrame::Tuples(run) => {
+                    for wire_tuple in run {
+                        stats.tuples_in += 1;
+                        let WireTuple {
+                            ts,
+                            stimulus,
+                            tag,
+                            data,
+                        } = wire_tuple;
+                        let meta = self.provenance.remote_meta(&RemoteContext {
+                            id: tag.id,
+                            ts,
+                            was_source: tag.was_source,
+                        });
+                        let tuple = Arc::new(GTuple::new(ts, stimulus, data, meta));
+                        if out.send_tuple(tuple).is_err() {
+                            return Ok(stats);
+                        }
+                        stats.tuples_out += 1;
                     }
-                    stats.tuples_out += 1;
                 }
-                DecodedFrame::Watermark(ts) => {
+                WireFrame::Watermark(ts) => {
                     if out.send_watermark(ts).is_err() {
                         return Ok(stats);
                     }
                 }
-                DecodedFrame::End => break,
+                WireFrame::End => break 'frames,
             }
         }
         let _ = out.send_end();

@@ -18,7 +18,11 @@
 //!   kind, or `SOURCE` for forwarded source tuples).
 //! * [`deployment`] — the three-instance deployments of Figures 7, 9C, 10C and 11C for
 //!   Q1–Q4 under NP, GL and BL, wiring the single-stream unfolders on instances 1–2
-//!   and the multi-stream unfolder on instance 3.
+//!   and the multi-stream unfolder on instance 3 — plus the **distributed shard
+//!   group** helpers ([`deployment::remote_shard_group`],
+//!   [`deployment::remote_shard_group_gl`]) that span a key-partitioned operator's
+//!   Partition exchange across SPE instances, with the provenance stitched back
+//!   together by [`deployment::attach_shard_provenance_sink`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,9 +33,16 @@ pub mod network;
 pub mod wire;
 
 pub use deployment::{
-    deploy_distributed_baseline, deploy_distributed_genealog, deploy_distributed_noprov,
-    DistributedOutcome, ProvenanceRecord,
+    attach_shard_provenance_sink, deploy_distributed_baseline, deploy_distributed_genealog,
+    deploy_distributed_noprov, group_provenance, instances_dot, remote_shard_group,
+    remote_shard_group_gl, DistributedOutcome, GlShardGroup, ProvenanceRecord, RemoteShardGroup,
+    ShardGroupDeployment, ShardLinks, ShardProvenanceCollector,
 };
-pub use endpoint::{ReceiveOp, SendOp, WireProvenance};
-pub use network::{LinkStats, NetworkConfig, SimulatedLink};
+pub use endpoint::{
+    ReceiveOp, SendOp, TupleFrameBuilder, WireFrame, WireProvenance, WireTag, WireTuple,
+};
+pub use network::{
+    FrameSink, FrameSource, LinkStats, MuxReceiver, MuxSender, NetworkConfig, SharedLink,
+    SimulatedLink,
+};
 pub use wire::{WireDecode, WireEncode, WireError};

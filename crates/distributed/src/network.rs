@@ -5,12 +5,21 @@
 //! fixed propagation latency plus a serialisation delay proportional to the frame size
 //! and the configured bandwidth, with per-link counters of frames and bytes so the
 //! benchmarks can compare how much each provenance configuration ships.
+//!
+//! [`SharedLink`] multiplexes several logical frame channels onto one such link (the
+//! common case for distributed shard groups, where a remote instance returns both its
+//! result stream and its unfolded provenance stream to the originating instance over
+//! one physical connection). The [`FrameSink`] / [`FrameSource`] traits abstract over
+//! plain and multiplexed link halves, so the Send and Receive operators work with
+//! either.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam_channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
 
 /// Bandwidth and propagation latency of a simulated link.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -161,9 +170,219 @@ impl LinkReceiver {
     }
 }
 
+/// The sending side of a frame transport towards another SPE instance.
+///
+/// Implemented by the plain [`LinkSender`] and by the per-channel [`MuxSender`]s of a
+/// [`SharedLink`], so the Send operator is agnostic to whether its stream has a link
+/// of its own or shares one.
+pub trait FrameSink: Send + 'static {
+    /// Ships one frame. Returns `false` if the receiving instance has shut down.
+    fn send_frame(&self, frame: Vec<u8>) -> bool;
+}
+
+/// The receiving side of a frame transport (see [`FrameSink`]).
+pub trait FrameSource: Send + 'static {
+    /// Receives the next frame, honouring the simulated delivery time. Returns
+    /// `None` once the sending instance has shut down and no frames remain.
+    fn recv_frame(&self) -> Option<Vec<u8>>;
+}
+
+impl FrameSink for LinkSender {
+    fn send_frame(&self, frame: Vec<u8>) -> bool {
+        self.send(frame)
+    }
+}
+
+impl FrameSource for LinkReceiver {
+    fn recv_frame(&self) -> Option<Vec<u8>> {
+        self.recv()
+    }
+}
+
+/// Factory for a link carrying several multiplexed frame channels.
+///
+/// Each frame is prefixed with its channel id (a little-endian `u32`), so what the
+/// [`LinkStats`] count is what actually crosses the wire. The receiving side
+/// demultiplexes *on demand*: a channel's receiver first drains its own queue, then
+/// pulls frames off the shared link, parking frames addressed to other channels in
+/// their queues. No demux thread is needed; progress is guaranteed because every
+/// channel's sender terminates its stream with an explicit end frame.
+#[derive(Debug, Clone, Copy)]
+pub struct SharedLink;
+
+/// The sending half of one channel of a [`SharedLink`].
+#[derive(Clone)]
+pub struct MuxSender {
+    channel: u32,
+    inner: LinkSender,
+}
+
+struct MuxState {
+    queues: Vec<VecDeque<Vec<u8>>>,
+    closed: bool,
+}
+
+/// The receiving half of one channel of a [`SharedLink`].
+///
+/// Two locks, deliberately: `queues` is only ever held for a pop or a park (never
+/// across a blocking receive), so a channel whose frames have already arrived drains
+/// them even while the sibling channel's receiver is blocked pulling the link; the
+/// separate `puller` lock serialises the pulls themselves, preserving per-channel
+/// FIFO order.
+pub struct MuxReceiver {
+    channel: usize,
+    queues: Arc<Mutex<MuxState>>,
+    puller: Arc<Mutex<LinkReceiver>>,
+}
+
+impl SharedLink {
+    /// Creates a link multiplexing `channels` frame channels and splits it into the
+    /// per-channel halves (index `i` of the senders pairs with index `i` of the
+    /// receivers), plus the shared traffic counters.
+    ///
+    /// # Panics
+    /// Panics if `channels` is zero.
+    #[allow(clippy::new_ret_no_self)] // like SimulatedLink, only used as its halves
+    pub fn new(
+        channels: usize,
+        config: NetworkConfig,
+    ) -> (Vec<MuxSender>, Vec<MuxReceiver>, Arc<LinkStats>) {
+        assert!(channels > 0, "a shared link needs at least one channel");
+        let (tx, rx, stats) = SimulatedLink::new(config);
+        let queues = Arc::new(Mutex::new(MuxState {
+            queues: (0..channels).map(|_| VecDeque::new()).collect(),
+            closed: false,
+        }));
+        let puller = Arc::new(Mutex::new(rx));
+        let senders = (0..channels)
+            .map(|channel| MuxSender {
+                channel: channel as u32,
+                inner: tx.clone(),
+            })
+            .collect();
+        let receivers = (0..channels)
+            .map(|channel| MuxReceiver {
+                channel,
+                queues: Arc::clone(&queues),
+                puller: Arc::clone(&puller),
+            })
+            .collect();
+        (senders, receivers, stats)
+    }
+}
+
+impl FrameSink for MuxSender {
+    fn send_frame(&self, frame: Vec<u8>) -> bool {
+        let mut framed = Vec::with_capacity(frame.len() + 4);
+        framed.extend_from_slice(&self.channel.to_le_bytes());
+        framed.extend_from_slice(&frame);
+        self.inner.send(framed)
+    }
+}
+
+impl MuxReceiver {
+    /// Pops this channel's next queued frame; `Some(None)` means the link is closed
+    /// and drained, `None` means nothing is queued yet.
+    fn try_pop(&self) -> Option<Option<Vec<u8>>> {
+        let mut state = self.queues.lock();
+        if let Some(frame) = state.queues[self.channel].pop_front() {
+            return Some(Some(frame));
+        }
+        if state.closed {
+            return Some(None);
+        }
+        None
+    }
+}
+
+impl FrameSource for MuxReceiver {
+    fn recv_frame(&self) -> Option<Vec<u8>> {
+        loop {
+            if let Some(result) = self.try_pop() {
+                return result;
+            }
+            // Become the puller. The queues lock is NOT held across the blocking
+            // receive, so sibling channels keep draining frames that already
+            // arrived while this thread waits on the link.
+            let puller = self.puller.lock();
+            // Another puller may have parked (or closed) our frame while this
+            // thread waited for the puller lock.
+            if let Some(result) = self.try_pop() {
+                return result;
+            }
+            match puller.recv() {
+                Some(mut framed) => {
+                    if framed.len() < 4 {
+                        continue; // runt frame: no channel prefix, drop it
+                    }
+                    let channel =
+                        u32::from_le_bytes(framed[..4].try_into().expect("4-byte prefix")) as usize;
+                    // Strip the prefix in place: one memmove, no re-allocation on
+                    // the per-frame hot path.
+                    framed.drain(..4);
+                    let mut state = self.queues.lock();
+                    if channel < state.queues.len() {
+                        state.queues[channel].push_back(framed);
+                    }
+                }
+                None => {
+                    self.queues.lock().closed = true;
+                    return None;
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn shared_link_demultiplexes_per_channel_in_order() {
+        let (txs, rxs, stats) = SharedLink::new(2, NetworkConfig::unlimited());
+        assert!(txs[0].send_frame(vec![10]));
+        assert!(txs[1].send_frame(vec![20]));
+        assert!(txs[0].send_frame(vec![11]));
+        // Channel 1 reads its frame even though channel 0's frames arrived first.
+        assert_eq!(rxs[1].recv_frame().unwrap(), vec![20]);
+        assert_eq!(rxs[0].recv_frame().unwrap(), vec![10]);
+        assert_eq!(rxs[0].recv_frame().unwrap(), vec![11]);
+        // The stats count the channel prefix: 3 frames of 1 payload + 4 prefix bytes.
+        assert_eq!(stats.frames(), 3);
+        assert_eq!(stats.bytes(), 15);
+        drop(txs);
+        assert!(rxs[0].recv_frame().is_none());
+        assert!(rxs[1].recv_frame().is_none());
+    }
+
+    #[test]
+    fn shared_link_sibling_drains_while_puller_blocks() {
+        let (txs, mut rxs, _stats) = SharedLink::new(2, NetworkConfig::unlimited());
+        let rx1 = rxs.pop().expect("two receivers");
+        let rx0 = rxs.pop().expect("two receivers");
+        // Receiver 1 becomes the blocked puller on an empty link.
+        let blocked = std::thread::spawn(move || rx1.recv_frame());
+        std::thread::sleep(Duration::from_millis(20));
+        // A channel-0 frame arriving while receiver 1 holds the puller role must
+        // reach receiver 0 without waiting for any channel-1 traffic.
+        assert!(txs[0].send_frame(vec![42]));
+        assert_eq!(rx0.recv_frame().unwrap(), vec![42]);
+        // Unblock receiver 1 with its own frame.
+        assert!(txs[1].send_frame(vec![7]));
+        assert_eq!(blocked.join().unwrap().unwrap(), vec![7]);
+    }
+
+    #[test]
+    fn shared_link_channels_close_independently_of_queued_frames() {
+        let (txs, rxs, _stats) = SharedLink::new(2, NetworkConfig::unlimited());
+        txs[1].send_frame(vec![7]);
+        drop(txs);
+        // Channel 0 sees the closed link; channel 1 still gets its queued frame.
+        assert!(rxs[0].recv_frame().is_none());
+        assert_eq!(rxs[1].recv_frame().unwrap(), vec![7]);
+        assert!(rxs[1].recv_frame().is_none());
+    }
 
     #[test]
     fn frames_arrive_in_order_with_stats() {

@@ -201,6 +201,26 @@ impl WireDecode for () {
     }
 }
 
+macro_rules! impl_wire_tuple {
+    ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {
+        $(
+            impl<$($name: WireEncode),+> WireEncode for ($($name,)+) {
+                fn encode(&self, out: &mut Vec<u8>) {
+                    $(self.$idx.encode(out);)+
+                }
+            }
+            impl<$($name: WireDecode),+> WireDecode for ($($name,)+) {
+                fn decode(reader: &mut WireReader<'_>) -> Result<Self, WireError> {
+                    Ok(($($name::decode(reader)?,)+))
+                }
+            }
+        )+
+    };
+}
+
+// Keyed payloads such as `(key, value)` readings cross shard-group links directly.
+impl_wire_tuple!((A: 0), (A: 0, B: 1), (A: 0, B: 1, C: 2), (A: 0, B: 1, C: 2, D: 3));
+
 impl WireEncode for Timestamp {
     fn encode(&self, out: &mut Vec<u8>) {
         self.as_millis().encode(out);

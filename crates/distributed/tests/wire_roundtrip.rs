@@ -1,0 +1,150 @@
+//! Wire-framing round-trip pins: whatever a Send operator frames, the Receive side
+//! must decode back to the identical value — for random tuples, runs, watermarks and
+//! tags — and the REMOTE tagging rule (§4.1: source tuples keep `SOURCE` across the
+//! boundary, everything else becomes `REMOTE`) must hold for every provenance system.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use genealog::{GeneaLog, GlMeta, OpKind};
+use genealog_distributed::{
+    TupleFrameBuilder, WireDecode, WireEncode, WireFrame, WireProvenance, WireTag, WireTuple,
+};
+use genealog_spe::provenance::{ProvenanceSystem, RemoteContext, SourceContext};
+use genealog_spe::tuple::{GTuple, TupleId};
+use genealog_spe::Timestamp;
+
+type Payload = (u32, i64);
+
+type RawTuple = ((u64, u64), (u32, u64, bool), (u32, i64));
+
+fn wire_tuple(
+    ((ts, stimulus), (origin, seq, was_source), (key, value)): RawTuple,
+) -> WireTuple<Payload> {
+    WireTuple {
+        ts: Timestamp::from_millis(ts),
+        stimulus,
+        tag: WireTag {
+            id: TupleId::new(origin, seq),
+            was_source,
+        },
+        data: (key, value),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `WireTag` encode → decode identity for arbitrary ids and source flags.
+    #[test]
+    fn wire_tags_round_trip(origin in any::<u32>(), seq in any::<u64>(), was_source in any::<bool>()) {
+        let tag = WireTag { id: TupleId::new(origin, seq), was_source };
+        let decoded = WireTag::from_bytes(&tag.to_bytes()).expect("decode");
+        prop_assert_eq!(decoded, tag);
+    }
+
+    /// Batch frames (runs of tuples) encode → decode to the identical run, for any
+    /// run length including the empty run.
+    #[test]
+    fn tuple_frames_round_trip(
+        raw in proptest::collection::vec(
+            ((0u64..1 << 48, any::<u64>()), (any::<u32>(), any::<u64>(), any::<bool>()), (any::<u32>(), any::<i64>())),
+            0..20,
+        )
+    ) {
+        let run: Vec<WireTuple<Payload>> = raw.into_iter().map(wire_tuple).collect();
+        let frame = WireFrame::Tuples(run);
+        let decoded = WireFrame::<Payload>::from_bytes(&frame.to_bytes()).expect("decode");
+        prop_assert_eq!(decoded, frame);
+    }
+
+    /// The Send operator's incremental frame builder produces byte-identical frames
+    /// to encoding the equivalent `WireFrame::Tuples` value, so the builder cannot
+    /// drift from the declarative codec.
+    #[test]
+    fn frame_builder_matches_declarative_encoding(
+        raw in proptest::collection::vec(
+            ((0u64..1 << 48, any::<u64>()), (any::<u32>(), any::<u64>(), any::<bool>()), (any::<u32>(), any::<i64>())),
+            1..20,
+        )
+    ) {
+        let run: Vec<WireTuple<Payload>> = raw.into_iter().map(wire_tuple).collect();
+        let mut builder = TupleFrameBuilder::new();
+        for t in &run {
+            builder.push(t.ts, t.stimulus, t.tag, &t.data);
+        }
+        prop_assert_eq!(builder.len() as usize, run.len());
+        let built = builder.take().expect("non-empty run");
+        prop_assert!(builder.is_empty(), "take drains the builder");
+        prop_assert_eq!(built, WireFrame::Tuples(run).to_bytes());
+    }
+
+    /// Watermark frames round-trip and are distinct from tuple frames.
+    #[test]
+    fn watermark_frames_round_trip(ts in 0u64..1 << 48) {
+        let frame = WireFrame::<Payload>::Watermark(Timestamp::from_millis(ts));
+        let decoded = WireFrame::<Payload>::from_bytes(&frame.to_bytes()).expect("decode");
+        prop_assert_eq!(decoded, frame);
+    }
+
+    /// The REMOTE tagging rule under GeneaLog: a source tuple crossing the boundary
+    /// stays `SOURCE` and keeps its sender-side id; a derived tuple becomes `REMOTE`
+    /// but also keeps its sender-side id (the MU join key of Definition 6.4).
+    #[test]
+    fn remote_tagging_rule_for_source_vs_derived(seq in any::<u64>(), v in any::<u32>()) {
+        let gl = GeneaLog::for_instance(3);
+        let ctx = SourceContext { source_id: 0, seq, ts: Timestamp::from_secs(1) };
+        let source: Arc<GTuple<u32, GlMeta>> =
+            Arc::new(GTuple::new(ctx.ts, 0, v, gl.source_meta(&ctx, &v)));
+        let derived: Arc<GTuple<u32, GlMeta>> =
+            Arc::new(GTuple::new(ctx.ts, 0, v, gl.map_meta(&source)));
+
+        let source_tag = gl.wire_tag(&source);
+        prop_assert!(source_tag.was_source);
+        prop_assert_eq!(source_tag.id, source.meta.id);
+        let derived_tag = gl.wire_tag(&derived);
+        prop_assert!(!derived_tag.was_source);
+        prop_assert_eq!(derived_tag.id, derived.meta.id);
+
+        // What a Receive operator materialises from those tags: SOURCE survives the
+        // boundary, everything else re-materialises as REMOTE.
+        let receiver = GeneaLog::for_instance(4);
+        let from_source = receiver.remote_meta(&RemoteContext {
+            id: source_tag.id, ts: source.ts, was_source: source_tag.was_source,
+        });
+        prop_assert_eq!(from_source.kind, OpKind::Source);
+        prop_assert_eq!(from_source.id, source.meta.id);
+        let from_derived = receiver.remote_meta(&RemoteContext {
+            id: derived_tag.id, ts: derived.ts, was_source: derived_tag.was_source,
+        });
+        prop_assert_eq!(from_derived.kind, OpKind::Remote);
+        prop_assert_eq!(from_derived.id, derived.meta.id);
+    }
+}
+
+/// End frames are a single tag byte and unknown tags are rejected.
+#[test]
+fn end_and_unknown_frames() {
+    let end = WireFrame::<Payload>::End;
+    assert_eq!(end.to_bytes(), vec![2]);
+    assert_eq!(
+        WireFrame::<Payload>::from_bytes(&[2]).expect("decode"),
+        WireFrame::End
+    );
+    assert!(WireFrame::<Payload>::from_bytes(&[99]).is_err());
+    assert!(WireFrame::<Payload>::from_bytes(&[]).is_err());
+}
+
+/// A truncated batch frame is rejected rather than silently shortened.
+#[test]
+fn truncated_tuple_frames_are_rejected() {
+    let frame = WireFrame::Tuples(vec![wire_tuple(((1, 2), (3, 4, true), (5, 6)))]);
+    let bytes = frame.to_bytes();
+    for cut in 1..bytes.len() {
+        assert!(
+            WireFrame::<Payload>::from_bytes(&bytes[..cut]).is_err(),
+            "truncation at {cut} must fail"
+        );
+    }
+}

@@ -75,7 +75,7 @@ use crate::operator::join::JoinOp;
 use crate::operator::map::MapStage;
 use crate::operator::{Operator, OperatorStats};
 use crate::provenance::{MetaData, ProvenanceSystem};
-use crate::query::{NodeKind, Query, ShardGroup, StreamRef};
+use crate::query::{JoinShardPlacement, NodeKind, Query, ShardGroup, ShardPlacement, StreamRef};
 use crate::time::Duration;
 use crate::tuple::{Element, GTuple, TupleData};
 use crate::window::WindowSpec;
@@ -440,6 +440,62 @@ impl<P: ProvenanceSystem> Query<P> {
         OK: FnMut(&O) -> K + Send + 'static,
     {
         let instances = parallelism.resolve(self.config().parallelism);
+        self.sharded_aggregate_placed(
+            name,
+            input,
+            spec,
+            key_fn,
+            agg_fn,
+            out_key,
+            ShardPlacement::all_local(instances),
+        )
+    }
+
+    /// Adds a key-partitioned Aggregate with an explicit *placement* per shard.
+    ///
+    /// This is the distributed generalisation of [`Query::sharded_aggregate`]: each
+    /// entry of `placements` decides where the corresponding shard runs.
+    /// [`ShardPlacement::Local`] builds the shard operator in this process exactly as
+    /// `sharded_aggregate` does; [`ShardPlacement::Remote`] hands the shard's
+    /// partitioned sub-stream to a route callback that ships it to another SPE
+    /// instance (`SendOp → link → ReceiveOp → shard operator → SendOp → link →
+    /// ReceiveOp`) and returns the stream coming back. Either way the shard stream
+    /// re-enters the provenance-safe fan-in with the same joint channel budget, so
+    /// the deterministic `(timestamp, key, per-key emission order)` output — and,
+    /// under GeneaLog, the contribution sets once REMOTE origins are stitched by the
+    /// multi-stream unfolder — are placement-invariant.
+    ///
+    /// For remote placements `spec`/`key_fn`/`agg_fn` are not used to build the shard
+    /// operator (the remote instance's plan is constructed by the shard-group
+    /// deployment helper); they still define the exchange key and the semantics local
+    /// shards run with, so mixed local/remote groups stay consistent.
+    ///
+    /// # Panics
+    /// Panics if `placements` is empty.
+    #[allow(clippy::too_many_arguments)] // mirrors sharded_aggregate with placements
+    pub fn sharded_aggregate_placed<I, O, K, KF, AF, OK>(
+        &mut self,
+        name: &str,
+        input: StreamRef<I, P::Meta>,
+        spec: WindowSpec,
+        key_fn: KF,
+        agg_fn: AF,
+        out_key: OK,
+        placements: Vec<ShardPlacement<P, I, O>>,
+    ) -> StreamRef<O, P::Meta>
+    where
+        I: TupleData,
+        O: TupleData,
+        K: Ord + Hash + Clone + Send + 'static,
+        KF: FnMut(&I) -> K + Clone + Send + 'static,
+        AF: FnMut(&WindowView<'_, K, I, P::Meta>) -> O + Clone + Send + 'static,
+        OK: FnMut(&O) -> K + Send + 'static,
+    {
+        assert!(
+            !placements.is_empty(),
+            "a sharded operator needs at least one shard placement"
+        );
+        let instances = placements.len();
         let shards = self.partition(
             &format!("{name}.exchange"),
             input,
@@ -447,24 +503,31 @@ impl<P: ProvenanceSystem> Query<P> {
             key_fn.clone(),
         );
         let mut outs = Vec::with_capacity(instances);
-        for (i, shard) in shards.into_iter().enumerate() {
-            let shard_name = format!("{name}[{i}]");
-            let node = self.add_node(shard_name.clone(), NodeKind::ShardedAggregate);
-            self.set_shard_group(node, name, instances);
-            let rx = self.attach_input(shard, node);
-            let (slot, mut stream) = self.new_output_stream(node, format!("{shard_name}.out"));
-            // Shard outputs feeding the fan-in are likewise one logical edge.
+        for (i, (shard, placement)) in shards.into_iter().zip(placements).enumerate() {
+            let mut stream = match placement {
+                ShardPlacement::Local => {
+                    let shard_name = format!("{name}[{i}]");
+                    let node = self.add_node(shard_name.clone(), NodeKind::ShardedAggregate);
+                    self.set_shard_group(node, name, instances);
+                    let rx = self.attach_input(shard, node);
+                    let (slot, stream) = self.new_output_stream(node, format!("{shard_name}.out"));
+                    let op = AggregateOp::new(
+                        shard_name,
+                        rx,
+                        slot,
+                        spec,
+                        key_fn.clone(),
+                        agg_fn.clone(),
+                        self.provenance().clone(),
+                    );
+                    self.set_operator(node, Box::new(op));
+                    stream
+                }
+                ShardPlacement::Remote(route) => route(self, i, shard),
+            };
+            // Shard outputs feeding the fan-in are one logical edge, whether the
+            // shard ran in-process or on a remote instance.
             stream.capacity_share = instances;
-            let op = AggregateOp::new(
-                shard_name,
-                rx,
-                slot,
-                spec,
-                key_fn.clone(),
-                agg_fn.clone(),
-                self.provenance().clone(),
-            );
-            self.set_operator(node, Box::new(op));
             outs.push(stream);
         }
         self.keyed_merge(&format!("{name}.merge"), outs, out_key)
@@ -503,29 +566,87 @@ impl<P: ProvenanceSystem> Query<P> {
         CF: FnMut(&L, &R) -> O + Clone + Send + 'static,
     {
         let instances = parallelism.resolve(self.config().parallelism);
+        self.sharded_join_placed(
+            name,
+            left,
+            right,
+            window,
+            left_key,
+            right_key,
+            out_key,
+            predicate,
+            combine,
+            JoinShardPlacement::all_local(instances),
+        )
+    }
+
+    /// Adds a key-partitioned equi-key Join with an explicit *placement* per shard
+    /// (the join counterpart of [`Query::sharded_aggregate_placed`]): both inputs are
+    /// hash-partitioned, each shard runs locally or on a remote SPE instance, and the
+    /// returning streams re-enter the canonical fan-in with joint channel budgets.
+    ///
+    /// # Panics
+    /// Panics if `placements` is empty.
+    #[allow(clippy::too_many_arguments)] // mirrors sharded_join with placements
+    pub fn sharded_join_placed<L, R, O, K, LK, RK, OK, PR, CF>(
+        &mut self,
+        name: &str,
+        left: StreamRef<L, P::Meta>,
+        right: StreamRef<R, P::Meta>,
+        window: Duration,
+        left_key: LK,
+        right_key: RK,
+        out_key: OK,
+        predicate: PR,
+        combine: CF,
+        placements: Vec<JoinShardPlacement<P, L, R, O>>,
+    ) -> StreamRef<O, P::Meta>
+    where
+        L: TupleData,
+        R: TupleData,
+        O: TupleData,
+        K: Ord + Hash + Clone + Send + 'static,
+        LK: FnMut(&L) -> K + Send + 'static,
+        RK: FnMut(&R) -> K + Send + 'static,
+        OK: FnMut(&O) -> K + Send + 'static,
+        PR: FnMut(&L, &R) -> bool + Clone + Send + 'static,
+        CF: FnMut(&L, &R) -> O + Clone + Send + 'static,
+    {
+        assert!(
+            !placements.is_empty(),
+            "a sharded operator needs at least one shard placement"
+        );
+        let instances = placements.len();
         let lefts = self.partition(&format!("{name}.lx"), left, instances, left_key);
         let rights = self.partition(&format!("{name}.rx"), right, instances, right_key);
         let mut outs = Vec::with_capacity(instances);
-        for (i, (l, r)) in lefts.into_iter().zip(rights).enumerate() {
-            let shard_name = format!("{name}[{i}]");
-            let node = self.add_node(shard_name.clone(), NodeKind::ShardedJoin);
-            self.set_shard_group(node, name, instances);
-            let left_rx = self.attach_input(l, node);
-            let right_rx = self.attach_input(r, node);
-            let (slot, mut stream) = self.new_output_stream(node, format!("{shard_name}.out"));
-            // Shard outputs feeding the fan-in are likewise one logical edge.
+        for (i, ((l, r), placement)) in lefts.into_iter().zip(rights).zip(placements).enumerate() {
+            let mut stream = match placement {
+                JoinShardPlacement::Local => {
+                    let shard_name = format!("{name}[{i}]");
+                    let node = self.add_node(shard_name.clone(), NodeKind::ShardedJoin);
+                    self.set_shard_group(node, name, instances);
+                    let left_rx = self.attach_input(l, node);
+                    let right_rx = self.attach_input(r, node);
+                    let (slot, stream) = self.new_output_stream(node, format!("{shard_name}.out"));
+                    let op = JoinOp::new(
+                        shard_name,
+                        left_rx,
+                        right_rx,
+                        slot,
+                        window,
+                        predicate.clone(),
+                        combine.clone(),
+                        self.provenance().clone(),
+                    );
+                    self.set_operator(node, Box::new(op));
+                    stream
+                }
+                JoinShardPlacement::Remote(route) => route(self, i, l, r),
+            };
+            // Shard outputs feeding the fan-in are one logical edge, whether the
+            // shard ran in-process or on a remote instance.
             stream.capacity_share = instances;
-            let op = JoinOp::new(
-                shard_name,
-                left_rx,
-                right_rx,
-                slot,
-                window,
-                predicate.clone(),
-                combine.clone(),
-                self.provenance().clone(),
-            );
-            self.set_operator(node, Box::new(op));
             outs.push(stream);
         }
         self.keyed_merge(&format!("{name}.merge"), outs, out_key)

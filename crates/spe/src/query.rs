@@ -107,6 +107,128 @@ pub struct ShardGroup {
     pub instances: usize,
 }
 
+/// A route splicing one *remote* shard of a key-partitioned operator into the plan
+/// of the originating SPE instance.
+///
+/// The callback receives the originating query, the shard index and the shard's
+/// partitioned sub-stream; it must install whatever carries the sub-stream out of the
+/// process (an instrumented Send operator onto a link) and return the stream that
+/// comes back from the remote instance (a Receive operator on the return link). The
+/// `genealog-distributed` crate provides ready-made routes via its shard-group
+/// deployment helpers.
+pub type RemoteRoute<P, I, O> = Box<
+    dyn FnOnce(
+        &mut Query<P>,
+        usize,
+        StreamRef<I, <P as ProvenanceSystem>::Meta>,
+    ) -> StreamRef<O, <P as ProvenanceSystem>::Meta>,
+>;
+
+/// A [`RemoteRoute`] for a two-input (join) shard: the callback receives both
+/// partitioned sub-streams of the shard and returns the stream coming back from the
+/// remote instance.
+pub type RemoteJoinRoute<P, L, R, O> = Box<
+    dyn FnOnce(
+        &mut Query<P>,
+        usize,
+        StreamRef<L, <P as ProvenanceSystem>::Meta>,
+        StreamRef<R, <P as ProvenanceSystem>::Meta>,
+    ) -> StreamRef<O, <P as ProvenanceSystem>::Meta>,
+>;
+
+/// Where one shard instance of a key-partitioned operator executes.
+///
+/// [`Query::sharded_aggregate_placed`](crate::parallel) takes one placement per
+/// shard: `Local` shards run as threads of the originating SPE instance (the
+/// behaviour of [`Query::sharded_aggregate`](crate::parallel)); `Remote` shards are
+/// spliced out to another SPE instance through a [`RemoteRoute`]. The Partition
+/// exchange, the provenance-safe fan-in and the joint channel budgeting are identical
+/// for both, so local and remote shards can be mixed freely within one group.
+pub enum ShardPlacement<P: ProvenanceSystem, I, O> {
+    /// The shard runs in this process, as its own operator thread.
+    Local,
+    /// The shard runs on another SPE instance reached through the given route.
+    Remote(RemoteRoute<P, I, O>),
+}
+
+impl<P: ProvenanceSystem, I, O> ShardPlacement<P, I, O> {
+    /// `instances` local placements (the single-process default), clamped to at
+    /// least one.
+    pub fn all_local(instances: usize) -> Vec<Self> {
+        (0..instances.max(1))
+            .map(|_| ShardPlacement::Local)
+            .collect()
+    }
+
+    /// Wraps a route callback as a remote placement.
+    pub fn remote<F>(route: F) -> Self
+    where
+        F: FnOnce(&mut Query<P>, usize, StreamRef<I, P::Meta>) -> StreamRef<O, P::Meta> + 'static,
+    {
+        ShardPlacement::Remote(Box::new(route))
+    }
+
+    /// True for remote placements.
+    pub fn is_remote(&self) -> bool {
+        matches!(self, ShardPlacement::Remote(_))
+    }
+}
+
+impl<P: ProvenanceSystem, I, O> std::fmt::Debug for ShardPlacement<P, I, O> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardPlacement::Local => f.write_str("Local"),
+            ShardPlacement::Remote(_) => f.write_str("Remote(..)"),
+        }
+    }
+}
+
+/// Where one shard instance of a key-partitioned *join* executes (see
+/// [`ShardPlacement`]; a join shard consumes two partitioned sub-streams).
+pub enum JoinShardPlacement<P: ProvenanceSystem, L, R, O> {
+    /// The shard runs in this process, as its own operator thread.
+    Local,
+    /// The shard runs on another SPE instance reached through the given route.
+    Remote(RemoteJoinRoute<P, L, R, O>),
+}
+
+impl<P: ProvenanceSystem, L, R, O> JoinShardPlacement<P, L, R, O> {
+    /// `instances` local placements, clamped to at least one.
+    pub fn all_local(instances: usize) -> Vec<Self> {
+        (0..instances.max(1))
+            .map(|_| JoinShardPlacement::Local)
+            .collect()
+    }
+
+    /// Wraps a route callback as a remote placement.
+    pub fn remote<F>(route: F) -> Self
+    where
+        F: FnOnce(
+                &mut Query<P>,
+                usize,
+                StreamRef<L, P::Meta>,
+                StreamRef<R, P::Meta>,
+            ) -> StreamRef<O, P::Meta>
+            + 'static,
+    {
+        JoinShardPlacement::Remote(Box::new(route))
+    }
+
+    /// True for remote placements.
+    pub fn is_remote(&self) -> bool {
+        matches!(self, JoinShardPlacement::Remote(_))
+    }
+}
+
+impl<P: ProvenanceSystem, L, R, O> std::fmt::Debug for JoinShardPlacement<P, L, R, O> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JoinShardPlacement::Local => f.write_str("Local"),
+            JoinShardPlacement::Remote(_) => f.write_str("Remote(..)"),
+        }
+    }
+}
+
 /// Static description of an operator node.
 pub struct NodeInfo {
     /// Operator name (unique within the query).
@@ -790,10 +912,27 @@ impl<P: ProvenanceSystem> Query<P> {
     /// escaped, so user-supplied names containing quotes or backslashes cannot break
     /// the DOT output.
     pub fn to_dot(&self) -> String {
+        let mut dot = String::from("digraph query {\n  rankdir=LR;\n");
+        dot.push_str(&self.to_dot_fragment("n"));
+        dot.push_str("}\n");
+        dot
+    }
+
+    /// Renders the node and edge statements of the query graph without the
+    /// surrounding `digraph` wrapper, with every node id prefixed by `prefix`.
+    ///
+    /// This is the building block for rendering *distributed* deployments: each SPE
+    /// instance renders its own fragment under a distinct prefix and an outer
+    /// assembler (e.g. `genealog_distributed::deployment::instances_dot`) wraps the
+    /// fragments in one cluster per instance, making process boundaries visible.
+    /// Send and Receive endpoints (nodes of kind `Custom("send")` /
+    /// `Custom("receive")`) are drawn with the `cds` shape to mark where a stream
+    /// leaves or enters the instance.
+    pub fn to_dot_fragment(&self, prefix: &str) -> String {
         fn escape(name: &str) -> String {
             name.replace('\\', "\\\\").replace('"', "\\\"")
         }
-        let mut dot = String::from("digraph query {\n  rankdir=LR;\n");
+        let mut dot = String::new();
         // Members of a multi-stage fused chain all render through the chain's head.
         // Chains are rendered in head-node order so the output is deterministic.
         let mut chain_head: HashMap<NodeId, NodeId> = HashMap::new();
@@ -819,7 +958,7 @@ impl<P: ProvenanceSystem> Query<P> {
                 _ => String::new(),
             };
             dot.push_str(&format!(
-                "  n{head} [shape=box label=\"{stages}\\n(fused{shards})\"];\n"
+                "  {prefix}{head} [shape=box label=\"{stages}\\n(fused{shards})\"];\n"
             ));
         }
         for (id, node) in self.nodes.iter().enumerate() {
@@ -830,9 +969,17 @@ impl<P: ProvenanceSystem> Query<P> {
                 Some(group) if group.instances > 1 => format!(" \u{d7}{}", group.instances),
                 _ => String::new(),
             };
+            // Instance-boundary endpoints render as "cds" (a tagged box pointing
+            // off the page): the stream leaves or enters the process here.
+            let shape = match node.kind {
+                NodeKind::Custom(kind) if kind == "send" || kind == "receive" => "shape=cds ",
+                _ => "",
+            };
             dot.push_str(&format!(
-                "  n{} [label=\"{}\\n({}{})\"];\n",
+                "  {}{} [{}label=\"{}\\n({}{})\"];\n",
+                prefix,
                 id,
+                shape,
                 escape(&node.name),
                 node.kind.label(),
                 shards
@@ -849,9 +996,8 @@ impl<P: ProvenanceSystem> Query<P> {
             let exchange = matches!(self.nodes[*from].kind, NodeKind::Partition)
                 || matches!(self.nodes[*to].kind, NodeKind::ShardMerge);
             let attrs = if exchange { " [style=dashed]" } else { "" };
-            dot.push_str(&format!("  n{f} -> n{t}{attrs};\n"));
+            dot.push_str(&format!("  {prefix}{f} -> {prefix}{t}{attrs};\n"));
         }
-        dot.push_str("}\n");
         dot
     }
 

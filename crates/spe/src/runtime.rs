@@ -97,6 +97,51 @@ impl QueryReport {
             .flat_map(|o| o.stages.iter())
             .find(|s| s.name == name)
     }
+
+    /// Folds the per-instance reports of a distributed deployment into one report.
+    ///
+    /// Operators sharing a name across instances are shard instances of the same
+    /// logical operator (the shard-group deployment helpers name every remote
+    /// instance's operators identically): their counters are summed and their
+    /// `instances` counts added, so a shard group spanning SPE instances reports
+    /// exactly like a local shard group — one [`OperatorReport`] with an `instances`
+    /// count. Operators unique to one instance pass through unchanged, in the order
+    /// the reports were given; the wall time is the maximum over the instances
+    /// (they run concurrently).
+    pub fn merge_distributed<I: IntoIterator<Item = QueryReport>>(reports: I) -> QueryReport {
+        let mut operators: Vec<OperatorReport> = Vec::new();
+        let mut index: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+        let mut wall_time = std::time::Duration::ZERO;
+        for report in reports {
+            wall_time = wall_time.max(report.wall_time);
+            for op in report.operators {
+                match index.get(&op.stats.name) {
+                    Some(&i) => {
+                        operators[i].stats.absorb(&op.stats);
+                        operators[i].instances += op.instances;
+                        // Same-named operators across instances have identical stage
+                        // structure (if any); fold per-stage counters positionally.
+                        let existing = &mut operators[i].stages;
+                        if existing.len() == op.stages.len() {
+                            for (merged, stage) in existing.iter_mut().zip(&op.stages) {
+                                merged.absorb(stage);
+                            }
+                        } else if existing.is_empty() {
+                            *existing = op.stages;
+                        }
+                    }
+                    None => {
+                        index.insert(op.stats.name.clone(), operators.len());
+                        operators.push(op);
+                    }
+                }
+            }
+        }
+        QueryReport {
+            operators,
+            wall_time,
+        }
+    }
 }
 
 /// What the runtime spawns for one physical operator: the boxed run loop plus the
