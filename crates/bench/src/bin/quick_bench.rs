@@ -1,18 +1,21 @@
 //! Quick throughput benchmark establishing the per-PR performance trajectory.
 //!
-//! PR 4 measures **distributed shard groups**: a keyed aggregate is run with its
-//! shards placed on 1, 2 and 4 *remote SPE instances* (Partition exchange →
-//! instrumented Send → link → `Receive → aggregate → Send` → link → Receive →
-//! provenance-safe fan-in), under the NP and GL provenance configurations, and
-//! compared against the all-local sharded plan at the same shard counts. The links
-//! are the batch-aware simulated transport with unlimited bandwidth, so the sweep
-//! isolates the serialisation + framing cost of crossing an instance boundary from
-//! network physics. The measurements are written to `BENCH_PR4.json` in the current
-//! directory (override the path with `GENEALOG_BENCH_OUT`).
+//! PR 5 measures the **planner-lowered pipeline**: the query is declared once on
+//! the `LogicalPlan` builder (`source → filter → map → aggregate → sink`) and the
+//! planner decides the physical shape — the sweep varies the sharding annotation
+//! (1, 2, 4 shards) and the fusion flag (on, the new default, vs off) under the NP
+//! and GL provenance configurations. The stateless `live → scale` chain fuses into
+//! one thread when fusion is on, so the sweep isolates what planner-owned fusion
+//! buys on the pre-exchange hot path at each shard count. The measurements are
+//! written to `BENCH_PR5.json` in the current directory (override the path with
+//! `GENEALOG_BENCH_OUT`).
 //!
-//! The JSON records `host_cpus`: each remote shard adds an engine instance of its
-//! own threads, so on a single-core host the sweep shows serialisation overhead
-//! only; on a many-core host remote shards buy real parallelism.
+//! Per-stage counters survive fusion: the run prints one sample report through
+//! `QueryReport::render_operators`, which lists the original operators of every
+//! fused chain (`OperatorReport::stages`) as indented rows.
+//!
+//! The JSON records `host_cpus`: on a single-core host the shard sweep shows only
+//! the state-partitioning gain, not thread parallelism.
 //!
 //! Set `GENEALOG_BENCH_SMOKE=1` for a fast CI smoke run (fewer tuples, one
 //! repetition).
@@ -22,12 +25,11 @@
 use std::io::Write;
 
 use genealog::GeneaLog;
-use genealog_distributed::deployment::remote_shard_group;
-use genealog_distributed::{NetworkConfig, WireProvenance};
+use genealog_spe::logical::LogicalPlan;
 use genealog_spe::operator::aggregate::WindowView;
 use genealog_spe::operator::source::{SourceConfig, VecSource};
 use genealog_spe::prelude::*;
-use genealog_spe::query::ShardPlacement;
+use genealog_spe::provenance::MetaData;
 
 /// Batch size of the stream transport (the PR 1 configuration).
 const BATCH: usize = 256;
@@ -60,96 +62,84 @@ fn smoke_mode() -> bool {
 struct Measurement {
     system: &'static str,
     shards: usize,
-    remote: bool,
+    fusion: bool,
     throughput_tps: f64,
     per_tuple_ns: f64,
 }
 
-/// One run of the sharded-aggregate pipeline with the given placement mode.
-fn sharded_once<P>(
-    provenance: P,
-    make_instance: fn(u32) -> P,
-    shards: usize,
-    remote: bool,
-) -> Measurement
+fn sum_window<M: MetaData>(w: &WindowView<'_, u32, Reading, M>) -> Reading {
+    (*w.key, w.payloads().map(|p| p.1).sum::<i64>())
+}
+
+/// One run of the declared pipeline with the given planner annotations.
+fn planner_once<P>(provenance: P, shards: usize, fusion: bool) -> (Measurement, QueryReport)
 where
-    P: WireProvenance,
+    P: ProvenanceSystem,
 {
     let label = provenance.label();
     let tuples = tuples_per_run();
     let spec = WindowSpec::tumbling(Duration::from_secs(60)).unwrap();
-    let agg = |w: &WindowView<'_, u32, Reading, P::Meta>| {
-        (*w.key, w.payloads().map(|p| p.1).sum::<i64>())
-    };
-    let key = |r: &Reading| r.0;
 
-    let config = QueryConfig::default().with_batch_size(BATCH);
-    let (placements, group) = if remote {
-        let (placements, group) = remote_shard_group::<P, Reading, Reading, _, _>(
-            "agg",
-            shards,
-            NetworkConfig::unlimited(),
-            config,
-            move |i| make_instance(1 + i as u32),
-            move |rq, _i, input| rq.aggregate("agg", input, spec, key, agg),
-        )
-        .expect("remote shard group");
-        (placements, Some(group))
-    } else {
-        (ShardPlacement::all_local(shards), None)
-    };
-
-    let mut q = Query::with_config(provenance, config);
-    let items: Vec<Reading> = (0..tuples).map(|i| ((i as u32) % KEYS, i as i64)).collect();
-    let src = q.source_with(
-        "events",
-        VecSource::with_period(items, 1),
-        SourceConfig {
-            watermark_every: 4_096,
-            ..SourceConfig::default()
-        },
+    let plan = LogicalPlan::with_config(
+        provenance,
+        PlannerConfig::default()
+            .with_batch_size(BATCH)
+            .with_fusion(fusion),
     );
-    let sums =
-        q.sharded_aggregate_placed("agg", src, spec, key, agg, |o: &Reading| o.0, placements);
-    let stats = q.sink("sink", sums, |_| {});
-    let report = q.deploy().expect("deploy").wait().expect("run");
-    if let Some(group) = group {
-        group.wait().expect("remote instances");
-    }
+    let items: Vec<Reading> = (0..tuples).map(|i| ((i as u32) % KEYS, i as i64)).collect();
+    let stats = plan
+        .source_with(
+            "events",
+            VecSource::with_period(items, 1),
+            SourceConfig {
+                watermark_every: 4_096,
+                ..SourceConfig::default()
+            },
+        )
+        .filter("live", |r: &Reading| r.1 >= 0)
+        .map_one("scale", |r: &Reading| (r.0, r.1 * 2))
+        .aggregate(
+            "agg",
+            spec,
+            |r: &Reading| r.0,
+            sum_window,
+            |o: &Reading| o.0,
+        )
+        .with(Parallelism::shards(shards))
+        .sink("sink", |_| {});
+    let report = plan.deploy().expect("lower + deploy").wait().expect("run");
     assert_eq!(report.source_tuples(), tuples as u64);
     assert!(stats.tuple_count() > 0, "sink must observe window outputs");
     let wall = report.wall_time().as_secs_f64();
-    Measurement {
-        system: label,
-        shards,
-        remote,
-        throughput_tps: tuples as f64 / wall,
-        per_tuple_ns: wall * 1e9 / tuples as f64,
-    }
+    (
+        Measurement {
+            system: label,
+            shards,
+            fusion,
+            throughput_tps: tuples as f64 / wall,
+            per_tuple_ns: wall * 1e9 / tuples as f64,
+        },
+        report,
+    )
 }
 
-fn best_of<P>(
-    provenance: &P,
-    make_instance: fn(u32) -> P,
-    shards: usize,
-    remote: bool,
-) -> Measurement
+fn best_of<P>(provenance: &P, shards: usize, fusion: bool) -> (Measurement, QueryReport)
 where
-    P: WireProvenance,
+    P: ProvenanceSystem,
 {
     (0..repetitions())
-        .map(|_| sharded_once(provenance.clone(), make_instance, shards, remote))
-        .max_by(|a, b| a.throughput_tps.total_cmp(&b.throughput_tps))
+        .map(|_| planner_once(provenance.clone(), shards, fusion))
+        .max_by(|a, b| a.0.throughput_tps.total_cmp(&b.0.throughput_tps))
         .expect("at least one repetition")
 }
 
 fn render_json(measurements: &[Measurement]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"pr\": 4,\n");
-    out.push_str("  \"benchmark\": \"distributed_sharded_aggregate\",\n");
+    out.push_str("  \"pr\": 5,\n");
+    out.push_str("  \"benchmark\": \"planner_lowered_pipeline\",\n");
     out.push_str(
-        "  \"pipeline\": \"source -> partition -> [shard aggregate xN, local threads or remote SPE instances over simulated links] -> keyed merge -> sink\",\n",
+        "  \"pipeline\": \"LogicalPlan: source -> filter -> map -> aggregate(.with(shards)) -> sink, lowered by the planner with fusion on/off\",\n",
     );
     out.push_str(&format!("  \"tuples_per_run\": {},\n", tuples_per_run()));
     out.push_str(&format!("  \"repetitions\": {},\n", repetitions()));
@@ -161,10 +151,10 @@ fn render_json(measurements: &[Measurement]) -> String {
     out.push_str("  \"runs\": [\n");
     for (i, m) in measurements.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"system\": \"{}\", \"shards\": {}, \"remote\": {}, \"throughput_tps\": {:.0}, \"per_tuple_ns\": {:.1}}}{}\n",
+            "    {{\"system\": \"{}\", \"shards\": {}, \"fusion\": {}, \"throughput_tps\": {:.0}, \"per_tuple_ns\": {:.1}}}{}\n",
             m.system,
             m.shards,
-            m.remote,
+            m.fusion,
             m.throughput_tps,
             m.per_tuple_ns,
             if i + 1 < measurements.len() { "," } else { "" }
@@ -177,27 +167,40 @@ fn render_json(measurements: &[Measurement]) -> String {
 
 fn main() {
     let mut measurements = Vec::new();
+    let mut sample_report: Option<QueryReport> = None;
     for shards in [1usize, 2, 4] {
-        for remote in [false, true] {
-            measurements.push(best_of(&NoProvenance, |_| NoProvenance, shards, remote));
+        for fusion in [true, false] {
+            let (m, report) = best_of(&NoProvenance, shards, fusion);
+            measurements.push(m);
+            if fusion && shards == 4 {
+                sample_report = Some(report);
+            }
         }
     }
-    let gl = GeneaLog::for_instance(0);
+    let gl = GeneaLog::new();
     for shards in [1usize, 2, 4] {
-        for remote in [false, true] {
-            measurements.push(best_of(&gl, GeneaLog::for_instance, shards, remote));
+        for fusion in [true, false] {
+            let (m, _) = best_of(&gl, shards, fusion);
+            measurements.push(m);
         }
     }
 
     for m in &measurements {
         println!(
-            "{:>2} shards={} remote={:<5} {:>12.0} tuples/s  {:>8.1} ns/tuple",
-            m.system, m.shards, m.remote, m.throughput_tps, m.per_tuple_ns
+            "{:>2} shards={} fusion={:<5} {:>12.0} tuples/s  {:>8.1} ns/tuple",
+            m.system, m.shards, m.fusion, m.throughput_tps, m.per_tuple_ns
         );
     }
 
+    if let Some(report) = sample_report {
+        println!(
+            "\nsample report (NP, 4 shards, fusion on) — fused chains keep per-stage counters:"
+        );
+        print!("{}", report.render_operators());
+    }
+
     let json = render_json(&measurements);
-    let path = std::env::var("GENEALOG_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR4.json".to_string());
+    let path = std::env::var("GENEALOG_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR5.json".to_string());
     let mut file = std::fs::File::create(&path).expect("create benchmark output file");
     file.write_all(json.as_bytes())
         .expect("write benchmark output");

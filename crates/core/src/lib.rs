@@ -75,19 +75,23 @@ pub mod unfolder;
 /// Convenience re-exports for building provenance-enabled queries.
 pub mod prelude {
     pub use crate::meta::{GlMeta, OpKind, ProvNode, ProvRef};
-    pub use crate::sink::{attach_provenance_sink, ProvenanceAssignment, ProvenanceCollector};
+    pub use crate::sink::{
+        attach_provenance_sink, logical_provenance_sink, ProvenanceAssignment, ProvenanceCollector,
+    };
     pub use crate::system::GeneaLog;
     pub use crate::traversal::{find_provenance, find_provenance_with_stats};
     pub use crate::unfolder::{
         attach_multi_unfolder, attach_unfolder, SourceRecord, UnfoldedEvent, UnfoldedTuple,
         UpstreamEvent,
     };
-    pub use crate::GlQuery;
+    pub use crate::{GlPlan, GlQuery};
     pub use genealog_spe::prelude::*;
 }
 
 pub use meta::{erase, GlMeta, OpKind, ProvNode, ProvRef};
-pub use sink::{attach_provenance_sink, ProvenanceAssignment, ProvenanceCollector};
+pub use sink::{
+    attach_provenance_sink, logical_provenance_sink, ProvenanceAssignment, ProvenanceCollector,
+};
 pub use system::GeneaLog;
 pub use traversal::{find_provenance, find_provenance_with_stats, TraversalStats};
 pub use unfolder::{
@@ -97,3 +101,7 @@ pub use unfolder::{
 
 /// A query instrumented with GeneaLog provenance.
 pub type GlQuery = genealog_spe::Query<GeneaLog>;
+
+/// A declarative logical plan instrumented with GeneaLog provenance (lowered to a
+/// [`GlQuery`] by the planner).
+pub type GlPlan = genealog_spe::LogicalPlan<GeneaLog>;

@@ -90,7 +90,7 @@ pub trait ProvNode: Send + Sync + fmt::Debug + 'static {
     fn u2_ref(&self) -> Option<&ProvRef>;
     /// Borrowed view of `N` (see [`ProvNode::u1_ref`]).
     fn next_ref(&self) -> Option<&ProvRef>;
-    /// The tuple payload, type-erased (downcast with [`ProvNode::payload_is`] helpers).
+    /// The tuple payload, type-erased (downcast with the `ProvNode` payload helpers).
     fn payload_any(&self) -> &(dyn Any + Send + Sync);
     /// Debug rendering of the payload, used when writing provenance to disk or logs.
     fn render(&self) -> String;

@@ -9,6 +9,7 @@
 use std::collections::HashMap;
 use std::io::Write;
 
+use genealog_spe::logical::LogicalStream;
 use genealog_spe::operator::sink::CollectedStream;
 use genealog_spe::query::{Query, StreamRef};
 use genealog_spe::tuple::{TupleData, TupleId};
@@ -148,6 +149,27 @@ pub fn attach_provenance_sink<T: TupleData>(
 ) -> (StreamRef<T, GlMeta>, ProvenanceCollector<T>) {
     let (passthrough, unfolded) = attach_unfolder(q, name, input);
     let collected = q.collecting_sink(&format!("{name}-provenance-sink"), unfolded);
+    (passthrough, ProvenanceCollector::from_collected(collected))
+}
+
+/// [`attach_provenance_sink`] for the declarative logical-plan API: attaches the
+/// single-stream unfolder and its collecting sink behind a
+/// [`LogicalStream`], at lowering time.
+///
+/// Returns the pass-through logical stream (connect it to the plan's Sink, or
+/// discard it) and the collector, which is populated once the lowered query runs.
+pub fn logical_provenance_sink<T: TupleData>(
+    stream: LogicalStream<GeneaLog, T>,
+    name: &str,
+) -> (LogicalStream<GeneaLog, T>, ProvenanceCollector<T>) {
+    let collected: CollectedStream<UnfoldedTuple<T>, GlMeta> = CollectedStream::new();
+    let copy = collected.clone();
+    let owned = name.to_string();
+    let passthrough = stream.raw(&format!("{name}-provenance"), move |q, s| {
+        let (passthrough, unfolded) = attach_unfolder(q, &owned, s);
+        q.collecting_sink_into(&format!("{owned}-provenance-sink"), unfolded, &copy);
+        passthrough
+    });
     (passthrough, ProvenanceCollector::from_collected(collected))
 }
 

@@ -1,7 +1,7 @@
 //! The GeneaLog provenance system: the instrumented operators of §4.1.
 //!
 //! [`GeneaLog`] implements the engine's
-//! [`ProvenanceSystem`](genealog_spe::provenance::ProvenanceSystem) extension point.
+//! [`ProvenanceSystem`] extension point.
 //! Each hook sets the fixed-size meta-attributes exactly as the paper prescribes:
 //!
 //! | operator  | `T`         | `U1`              | `U2`               | `N`                     |

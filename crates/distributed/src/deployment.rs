@@ -18,9 +18,10 @@
 
 use std::sync::Arc;
 
+use genealog_spe::logical::{LogicalPlan, LogicalStream};
 use genealog_spe::operator::sink::{CollectedStream, SinkStats};
 use genealog_spe::operator::source::{SourceConfig, SourceGenerator};
-use genealog_spe::provenance::NoProvenance;
+use genealog_spe::provenance::{NoProvenance, ProvenanceSystem};
 use genealog_spe::query::{NodeId, NodeKind, Query, QueryConfig, ShardPlacement, StreamRef};
 use genealog_spe::runtime::{QueryHandle, QueryReport};
 use genealog_spe::tuple::TupleData;
@@ -71,6 +72,33 @@ where
     let op = ReceiveOp::new(name, link, slot, q.provenance().clone());
     q.set_operator(node, Box::new(op));
     stream
+}
+
+/// Terminates a [`LogicalStream`] with a Send endpoint shipping it onto `link`
+/// (the logical-plan counterpart of [`add_send`]; the endpoint is spliced in at
+/// lowering time).
+pub fn send_stream<T, P, L>(stream: LogicalStream<P, T>, name: &str, link: L)
+where
+    T: TupleData + WireEncode,
+    P: WireProvenance,
+    L: FrameSink,
+{
+    let owned = name.to_string();
+    stream.raw_sink(name, move |q, s| {
+        add_send(q, &owned, s, link);
+    });
+}
+
+/// Roots a [`LogicalStream`] at a Receive endpoint materialising the stream
+/// arriving on `link` (the logical-plan counterpart of [`add_receive`]).
+pub fn receive_stream<T, P, L>(plan: &LogicalPlan<P>, name: &str, link: L) -> LogicalStream<P, T>
+where
+    T: TupleData + WireDecode,
+    P: ProvenanceSystem,
+    L: FrameSource,
+{
+    let owned = name.to_string();
+    plan.extend_source(name, "receive", move |q| add_receive(q, &owned, link))
 }
 
 /// The provenance of one sink tuple as captured at the provenance instance.
@@ -454,6 +482,58 @@ where
     O: TupleData,
     S: TupleData + WireEncode + WireDecode,
 {
+    let collected = CollectedStream::new();
+    let passthrough = attach_shard_provenance_into(
+        q,
+        name,
+        stream,
+        provenance_links,
+        upstream_window,
+        collected.clone(),
+    );
+    (passthrough, ShardProvenanceCollector { collected })
+}
+
+/// [`attach_shard_provenance_sink`] for the declarative logical-plan API: the
+/// unfolder, the MU and the stitched-provenance sink are spliced in behind the
+/// [`LogicalStream`] at lowering time. The collector is populated once the lowered
+/// query runs.
+///
+/// # Panics
+/// Panics (at lowering) if `provenance_links` is empty.
+pub fn logical_shard_provenance_sink<O, S>(
+    stream: LogicalStream<GeneaLog, O>,
+    name: &str,
+    provenance_links: Vec<MuxReceiver>,
+    upstream_window: Duration,
+) -> (LogicalStream<GeneaLog, O>, ShardProvenanceCollector<O, S>)
+where
+    O: TupleData,
+    S: TupleData + WireEncode + WireDecode,
+{
+    let collected: CollectedStream<UnfoldedEvent<O, S>, GlMeta> = CollectedStream::new();
+    let copy = collected.clone();
+    let owned = name.to_string();
+    let passthrough = stream.raw(&format!("{name}-stitch"), move |q, s| {
+        attach_shard_provenance_into(q, &owned, s, provenance_links, upstream_window, copy)
+    });
+    (passthrough, ShardProvenanceCollector { collected })
+}
+
+/// Core of the stitched-provenance attachment, sinking the complete unfolded
+/// stream into a caller-provided collection.
+fn attach_shard_provenance_into<O, S>(
+    q: &mut Query<GeneaLog>,
+    name: &str,
+    stream: StreamRef<O, GlMeta>,
+    provenance_links: Vec<MuxReceiver>,
+    upstream_window: Duration,
+    collected: CollectedStream<UnfoldedEvent<O, S>, GlMeta>,
+) -> StreamRef<O, GlMeta>
+where
+    O: TupleData,
+    S: TupleData + WireEncode + WireDecode,
+{
     assert!(
         !provenance_links.is_empty(),
         "stitching requires at least one remote provenance stream"
@@ -472,8 +552,8 @@ where
         })
         .collect();
     let complete = attach_multi_unfolder(q, name, derived, upstreams, upstream_window);
-    let collected = q.collecting_sink(&format!("{name}.sink"), complete);
-    (passthrough, ShardProvenanceCollector { collected })
+    q.collecting_sink_into(&format!("{name}.sink"), complete, &collected);
+    passthrough
 }
 
 /// Renders the query graphs of several SPE instances as one DOT digraph with one
@@ -501,9 +581,12 @@ pub fn instances_dot(instances: &[(String, String)]) -> String {
 /// Deploys a two-stage query over three SPE instances with **GeneaLog** provenance
 /// (the GL rows of Figure 13), blocking until completion.
 ///
-/// `stage1` builds the operators of instance 1 (fed by the Source), `stage2` those of
-/// instance 2 (fed by the tuples received from instance 1); `provenance_window` is the
-/// MU join window (the sum of the query's stateful window sizes, §6.1).
+/// Each instance's plan is built on the declarative [`LogicalPlan`] builder (the
+/// planner owns fusion and channel budgets per instance); `stage1`/`stage2` remain
+/// physical-layer callbacks — they receive the lowered [`Query`] and the lowered
+/// input stream — so the existing workload stage builders plug in unchanged.
+/// `provenance_window` is the MU join window (the sum of the query's stateful window
+/// sizes, §6.1).
 ///
 /// # Errors
 /// Propagates any engine deployment or runtime error from the three instances.
@@ -522,83 +605,69 @@ where
     S: TupleData + WireEncode + WireDecode,
     D1: TupleData + WireEncode + WireDecode,
     D2: TupleData + WireEncode + WireDecode,
-    F1: FnOnce(&mut Query<GeneaLog>, StreamRef<S, GlMeta>) -> StreamRef<D1, GlMeta>,
-    F2: FnOnce(&mut Query<GeneaLog>, StreamRef<D1, GlMeta>) -> StreamRef<D2, GlMeta>,
+    F1: FnOnce(&mut Query<GeneaLog>, StreamRef<S, GlMeta>) -> StreamRef<D1, GlMeta> + 'static,
+    F2: FnOnce(&mut Query<GeneaLog>, StreamRef<D1, GlMeta>) -> StreamRef<D2, GlMeta> + 'static,
 {
     let (data_tx, data_rx, data_stats) = SimulatedLink::new(network);
     let (up_tx, up_rx, up_stats) = SimulatedLink::new(network);
     let (derived_tx, derived_rx, derived_stats) = SimulatedLink::new(network);
 
     // --- Instance 1: Source + stage 1 + SU + Sends -------------------------------
-    let mut instance1 = Query::new(GeneaLog::for_instance(1));
-    let source = instance1.source_with(&format!("{name}-source"), generator, source_config);
-    let stage1_out = stage1(&mut instance1, source);
-    let (data_stream, unfolded1) =
-        attach_unfolder(&mut instance1, &format!("{name}-i1"), stage1_out);
-    add_send(
-        &mut instance1,
-        &format!("{name}-i1-send-data"),
-        data_stream,
-        data_tx,
-    );
-    let upstream_events = instance1.map_one(
-        &format!("{name}-i1-upstream"),
-        unfolded1,
-        |u: &genealog::UnfoldedTuple<D1>| u.to_event::<S>().to_upstream(),
-    );
-    add_send(
-        &mut instance1,
-        &format!("{name}-i1-send-upstream"),
-        upstream_events,
-        up_tx,
-    );
+    let plan1 = LogicalPlan::new(GeneaLog::for_instance(1));
+    let n1 = name.to_string();
+    plan1
+        .source_with(&format!("{name}-source"), generator, source_config)
+        .raw(&format!("{name}-stage1"), move |q, s| stage1(q, s))
+        .raw_sink(&format!("{name}-i1-ship"), move |q, s| {
+            let (data_stream, unfolded1) = attach_unfolder(q, &format!("{n1}-i1"), s);
+            add_send(q, &format!("{n1}-i1-send-data"), data_stream, data_tx);
+            let upstream_events = q.map_one(
+                &format!("{n1}-i1-upstream"),
+                unfolded1,
+                |u: &genealog::UnfoldedTuple<D1>| u.to_event::<S>().to_upstream(),
+            );
+            add_send(q, &format!("{n1}-i1-send-upstream"), upstream_events, up_tx);
+        });
 
     // --- Instance 2: Receive + stage 2 + data Sink + SU + Send -------------------
-    let mut instance2 = Query::new(GeneaLog::for_instance(2));
-    let received: StreamRef<D1, GlMeta> =
-        add_receive(&mut instance2, &format!("{name}-i2-receive"), data_rx);
-    let stage2_out = stage2(&mut instance2, received);
-    let (to_sink, unfolded2) = attach_unfolder(&mut instance2, &format!("{name}-i2"), stage2_out);
-    let data_sink = instance2.collecting_sink(&format!("{name}-data-sink"), to_sink);
-    let derived_events = instance2.map_one(
-        &format!("{name}-i2-derived"),
-        unfolded2,
-        |u: &genealog::UnfoldedTuple<D2>| u.to_event::<S>(),
-    );
-    add_send(
-        &mut instance2,
-        &format!("{name}-i2-send-derived"),
-        derived_events,
-        derived_tx,
-    );
+    let plan2 = LogicalPlan::new(GeneaLog::for_instance(2));
+    let n2 = name.to_string();
+    let received: LogicalStream<GeneaLog, D1> =
+        receive_stream(&plan2, &format!("{name}-i2-receive"), data_rx);
+    let data_sink = received
+        .raw(&format!("{name}-stage2"), move |q, s| stage2(q, s))
+        .raw(&format!("{name}-i2-su"), move |q, s| {
+            let (to_sink, unfolded2) = attach_unfolder(q, &format!("{n2}-i2"), s);
+            let derived_events = q.map_one(
+                &format!("{n2}-i2-derived"),
+                unfolded2,
+                |u: &genealog::UnfoldedTuple<D2>| u.to_event::<S>(),
+            );
+            add_send(
+                q,
+                &format!("{n2}-i2-send-derived"),
+                derived_events,
+                derived_tx,
+            );
+            to_sink
+        })
+        .collecting_sink(&format!("{name}-data-sink"));
 
     // --- Instance 3: Receives + MU + provenance Sink ------------------------------
-    let mut instance3 = Query::new(NoProvenance);
-    let upstream: StreamRef<UpstreamEvent<S>, ()> = add_receive(
-        &mut instance3,
-        &format!("{name}-i3-receive-upstream"),
-        up_rx,
-    );
-    let derived: StreamRef<UnfoldedEvent<D2, S>, ()> = add_receive(
-        &mut instance3,
-        &format!("{name}-i3-receive-derived"),
-        derived_rx,
-    );
-    let complete = attach_multi_unfolder(
-        &mut instance3,
-        &format!("{name}-i3"),
-        derived,
-        vec![upstream],
-        provenance_window,
-    );
-    let provenance_sink = instance3.collecting_sink(&format!("{name}-provenance-sink"), complete);
+    let plan3 = LogicalPlan::new(NoProvenance);
+    let n3 = name.to_string();
+    let upstream: LogicalStream<NoProvenance, UpstreamEvent<S>> =
+        receive_stream(&plan3, &format!("{name}-i3-receive-upstream"), up_rx);
+    let derived: LogicalStream<NoProvenance, UnfoldedEvent<D2, S>> =
+        receive_stream(&plan3, &format!("{name}-i3-receive-derived"), derived_rx);
+    let provenance_sink = derived
+        .raw_with(upstream, &format!("{name}-i3-mu"), move |q, d, u| {
+            attach_multi_unfolder(q, &format!("{n3}-i3"), d, vec![u], provenance_window)
+        })
+        .collecting_sink(&format!("{name}-provenance-sink"));
 
     // --- Run all three instances to completion -----------------------------------
-    let handles = vec![
-        instance1.deploy()?,
-        instance2.deploy()?,
-        instance3.deploy()?,
-    ];
+    let handles = vec![plan1.deploy()?, plan2.deploy()?, plan3.deploy()?];
     let mut reports = Vec::with_capacity(handles.len());
     for handle in handles {
         reports.push(handle.wait()?);
@@ -627,7 +696,8 @@ where
 }
 
 /// Deploys a two-stage query over two SPE instances with **no provenance**
-/// (the NP rows of Figure 13), blocking until completion.
+/// (the NP rows of Figure 13), blocking until completion. Both instances are built
+/// on the declarative [`LogicalPlan`] builder (see [`deploy_distributed_genealog`]).
 ///
 /// # Errors
 /// Propagates any engine deployment or runtime error.
@@ -644,28 +714,25 @@ where
     S: TupleData + WireEncode + WireDecode,
     D1: TupleData + WireEncode + WireDecode,
     D2: TupleData + WireEncode + WireDecode,
-    F1: FnOnce(&mut Query<NoProvenance>, StreamRef<S, ()>) -> StreamRef<D1, ()>,
-    F2: FnOnce(&mut Query<NoProvenance>, StreamRef<D1, ()>) -> StreamRef<D2, ()>,
+    F1: FnOnce(&mut Query<NoProvenance>, StreamRef<S, ()>) -> StreamRef<D1, ()> + 'static,
+    F2: FnOnce(&mut Query<NoProvenance>, StreamRef<D1, ()>) -> StreamRef<D2, ()> + 'static,
 {
     let (data_tx, data_rx, data_stats) = SimulatedLink::new(network);
 
-    let mut instance1 = Query::new(NoProvenance);
-    let source = instance1.source_with(&format!("{name}-source"), generator, source_config);
-    let stage1_out = stage1(&mut instance1, source);
-    add_send(
-        &mut instance1,
-        &format!("{name}-i1-send-data"),
-        stage1_out,
-        data_tx,
-    );
+    let plan1 = LogicalPlan::new(NoProvenance);
+    let stage1_out = plan1
+        .source_with(&format!("{name}-source"), generator, source_config)
+        .raw(&format!("{name}-stage1"), move |q, s| stage1(q, s));
+    send_stream(stage1_out, &format!("{name}-i1-send-data"), data_tx);
 
-    let mut instance2 = Query::new(NoProvenance);
-    let received: StreamRef<D1, ()> =
-        add_receive(&mut instance2, &format!("{name}-i2-receive"), data_rx);
-    let stage2_out = stage2(&mut instance2, received);
-    let data_sink = instance2.collecting_sink(&format!("{name}-data-sink"), stage2_out);
+    let plan2 = LogicalPlan::new(NoProvenance);
+    let received: LogicalStream<NoProvenance, D1> =
+        receive_stream(&plan2, &format!("{name}-i2-receive"), data_rx);
+    let data_sink = received
+        .raw(&format!("{name}-stage2"), move |q, s| stage2(q, s))
+        .collecting_sink(&format!("{name}-data-sink"));
 
-    let handles = vec![instance1.deploy()?, instance2.deploy()?];
+    let handles = vec![plan1.deploy()?, plan2.deploy()?];
     let mut reports = Vec::with_capacity(handles.len());
     for handle in handles {
         reports.push(handle.wait()?);
@@ -712,59 +779,46 @@ where
     D1: TupleData + WireEncode + WireDecode,
     D2: TupleData + WireEncode + WireDecode,
     F1: FnOnce(
-        &mut Query<AriadneBaseline>,
-        StreamRef<S, genealog_baseline::BlMeta>,
-    ) -> StreamRef<D1, genealog_baseline::BlMeta>,
+            &mut Query<AriadneBaseline>,
+            StreamRef<S, genealog_baseline::BlMeta>,
+        ) -> StreamRef<D1, genealog_baseline::BlMeta>
+        + 'static,
     F2: FnOnce(
-        &mut Query<AriadneBaseline>,
-        StreamRef<D1, genealog_baseline::BlMeta>,
-    ) -> StreamRef<D2, genealog_baseline::BlMeta>,
+            &mut Query<AriadneBaseline>,
+            StreamRef<D1, genealog_baseline::BlMeta>,
+        ) -> StreamRef<D2, genealog_baseline::BlMeta>
+        + 'static,
 {
     let (data_tx, data_rx, data_stats) = SimulatedLink::new(network);
     let (source_tx, source_rx, source_stats) = SimulatedLink::new(network);
 
-    let mut instance1 = Query::new(AriadneBaseline::new());
-    let source = instance1.source_with(&format!("{name}-source"), generator, source_config);
-    let branches = instance1.multiplex(&format!("{name}-i1-mux"), source, 2);
+    let plan1 = LogicalPlan::new(AriadneBaseline::new());
+    let branches = plan1
+        .source_with(&format!("{name}-source"), generator, source_config)
+        .multiplex(&format!("{name}-i1-mux"), 2);
     let mut branches = branches.into_iter();
     let to_query = branches.next().expect("two branches");
     let to_provenance = branches.next().expect("two branches");
-    let stage1_out = stage1(&mut instance1, to_query);
-    add_send(
-        &mut instance1,
-        &format!("{name}-i1-send-data"),
-        stage1_out,
-        data_tx,
-    );
+    let stage1_out = to_query.raw(&format!("{name}-stage1"), move |q, s| stage1(q, s));
+    send_stream(stage1_out, &format!("{name}-i1-send-data"), data_tx);
     // The baseline has to make the raw source stream available wherever provenance is
     // materialised, so the whole stream crosses the network.
-    add_send(
-        &mut instance1,
-        &format!("{name}-i1-send-sources"),
-        to_provenance,
-        source_tx,
-    );
+    send_stream(to_provenance, &format!("{name}-i1-send-sources"), source_tx);
 
-    let mut instance2 = Query::new(AriadneBaseline::new());
-    let received: StreamRef<D1, genealog_baseline::BlMeta> =
-        add_receive(&mut instance2, &format!("{name}-i2-receive"), data_rx);
-    let stage2_out = stage2(&mut instance2, received);
-    let data_sink = instance2.collecting_sink(&format!("{name}-data-sink"), stage2_out);
+    let plan2 = LogicalPlan::new(AriadneBaseline::new());
+    let received: LogicalStream<AriadneBaseline, D1> =
+        receive_stream(&plan2, &format!("{name}-i2-receive"), data_rx);
+    let data_sink = received
+        .raw(&format!("{name}-stage2"), move |q, s| stage2(q, s))
+        .collecting_sink(&format!("{name}-data-sink"));
 
     // Instance 3: persist the forwarded source stream (the baseline's provenance store).
-    let mut instance3 = Query::new(NoProvenance);
-    let forwarded: StreamRef<S, ()> = add_receive(
-        &mut instance3,
-        &format!("{name}-i3-receive-sources"),
-        source_rx,
-    );
-    let _store = instance3.collecting_sink(&format!("{name}-source-store"), forwarded);
+    let plan3 = LogicalPlan::new(NoProvenance);
+    let forwarded: LogicalStream<NoProvenance, S> =
+        receive_stream(&plan3, &format!("{name}-i3-receive-sources"), source_rx);
+    let _store = forwarded.collecting_sink(&format!("{name}-source-store"));
 
-    let handles = vec![
-        instance1.deploy()?,
-        instance2.deploy()?,
-        instance3.deploy()?,
-    ];
+    let handles = vec![plan1.deploy()?, plan2.deploy()?, plan3.deploy()?];
     let mut reports = Vec::with_capacity(handles.len());
     for handle in handles {
         reports.push(handle.wait()?);

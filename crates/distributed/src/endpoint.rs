@@ -14,10 +14,9 @@
 //! end-of-stream marker flush the pending run and travel as frames of their own,
 //! preserving the engine's ordering semantics across the wire.
 //!
-//! Both operators are generic over the frame transport
-//! ([`FrameSink`](crate::network::FrameSink) /
-//! [`FrameSource`](crate::network::FrameSource)), so a stream can have a link of its
-//! own or share a multiplexed one ([`SharedLink`](crate::network::SharedLink)).
+//! Both operators are generic over the frame transport ([`FrameSink`] /
+//! [`FrameSource`]), so a stream can have a link of its own or share a multiplexed
+//! one ([`SharedLink`](crate::network::SharedLink)).
 
 use std::sync::Arc;
 

@@ -18,7 +18,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crossbeam_channel::{unbounded, Receiver, Sender};
+use crossbeam_channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
 /// Bandwidth and propagation latency of a simulated link.
@@ -28,25 +28,45 @@ pub struct NetworkConfig {
     pub bandwidth_bps: u64,
     /// One-way propagation latency.
     pub latency: Duration,
+    /// High-water mark of the link's send queue, in frames (0 = unbounded).
+    ///
+    /// A real socket exerts back-pressure: once the kernel send buffer fills, the
+    /// sending thread blocks until the receiver drains. Bounding the simulated
+    /// queue reproduces that behaviour — [`LinkSender::send`] blocks while
+    /// `send_queue_frames` frames are in flight — so cross-process back-pressure is
+    /// exercised before the real TCP transport lands. The default bound is
+    /// deliberately modest; raise it (or set 0) to decouple sender and receiver.
+    pub send_queue_frames: usize,
 }
 
 impl Default for NetworkConfig {
     fn default() -> Self {
-        // The evaluation's 100 Mbps switch with a sub-millisecond LAN latency.
+        // The evaluation's 100 Mbps switch with a sub-millisecond LAN latency and a
+        // kernel-buffer-sized send queue.
         NetworkConfig {
             bandwidth_bps: 100_000_000,
             latency: Duration::from_micros(200),
+            send_queue_frames: 4_096,
         }
     }
 }
 
 impl NetworkConfig {
-    /// A link with unlimited bandwidth and no latency (useful in tests).
+    /// A link with unlimited bandwidth, no latency and an unbounded send queue
+    /// (useful in tests).
     pub fn unlimited() -> Self {
         NetworkConfig {
             bandwidth_bps: 0,
             latency: Duration::ZERO,
+            send_queue_frames: 0,
         }
+    }
+
+    /// Returns the configuration with a different send-queue high-water mark
+    /// (0 = unbounded).
+    pub fn with_send_queue_frames(mut self, frames: usize) -> Self {
+        self.send_queue_frames = frames;
+        self
     }
 
     /// Time needed to serialise `bytes` onto the link.
@@ -111,7 +131,11 @@ impl SimulatedLink {
     #[allow(clippy::new_ret_no_self)] // a link is only ever used as its two halves
     pub fn new(config: NetworkConfig) -> (LinkSender, LinkReceiver, Arc<LinkStats>) {
         let stats = Arc::new(LinkStats::default());
-        let (tx, rx) = unbounded();
+        let (tx, rx) = if config.send_queue_frames == 0 {
+            unbounded()
+        } else {
+            bounded(config.send_queue_frames)
+        };
         let sender = LinkSender {
             config,
             stats: Arc::clone(&stats),
@@ -126,10 +150,13 @@ impl SimulatedLink {
 impl LinkSender {
     /// Sends one frame over the link.
     ///
-    /// The call itself never blocks for the simulated transmission time; instead the
+    /// The call never blocks for the simulated *transmission* time; instead the
     /// frame is stamped with its earliest delivery instant (`now + queued transmission
     /// delay + propagation latency`) and the receiver waits until then, which models a
-    /// store-and-forward switch without slowing the sender's thread artificially.
+    /// store-and-forward switch without slowing the sender's thread artificially. It
+    /// DOES block while the send queue holds
+    /// [`NetworkConfig::send_queue_frames`] undelivered frames — the link's
+    /// back-pressure point.
     ///
     /// Returns `false` if the receiving instance has shut down.
     pub fn send(&self, payload: Vec<u8>) -> bool {
@@ -402,6 +429,7 @@ mod tests {
         let cfg = NetworkConfig {
             bandwidth_bps: 8_000, // 1000 bytes/s
             latency: Duration::ZERO,
+            ..NetworkConfig::unlimited()
         };
         assert_eq!(cfg.transmission_delay(1_000), Duration::from_secs(1));
         assert_eq!(
@@ -415,6 +443,7 @@ mod tests {
         let (tx, rx, _stats) = SimulatedLink::new(NetworkConfig {
             bandwidth_bps: 0,
             latency: Duration::from_millis(20),
+            ..NetworkConfig::unlimited()
         });
         let start = Instant::now();
         tx.send(vec![0; 16]);
@@ -428,6 +457,7 @@ mod tests {
         let (tx, rx, _stats) = SimulatedLink::new(NetworkConfig {
             bandwidth_bps: 80_000,
             latency: Duration::ZERO,
+            ..NetworkConfig::unlimited()
         });
         let start = Instant::now();
         for _ in 0..10 {
@@ -445,5 +475,67 @@ mod tests {
         let cfg = NetworkConfig::default();
         assert_eq!(cfg.bandwidth_bps, 100_000_000);
         assert!(cfg.latency <= Duration::from_millis(1));
+        assert!(
+            cfg.send_queue_frames > 0,
+            "the default send queue is bounded"
+        );
+        assert_eq!(NetworkConfig::unlimited().send_queue_frames, 0);
+        assert_eq!(
+            NetworkConfig::unlimited()
+                .with_send_queue_frames(7)
+                .send_queue_frames,
+            7
+        );
+    }
+
+    #[test]
+    fn bounded_send_queue_exerts_back_pressure() {
+        use std::sync::atomic::AtomicUsize;
+        // High-water mark of 1 frame with no receiver draining: the second send
+        // must block until the receiver pops a frame.
+        let (tx, rx, _stats) =
+            SimulatedLink::new(NetworkConfig::unlimited().with_send_queue_frames(1));
+        let sent = Arc::new(AtomicUsize::new(0));
+        let sent_in_thread = Arc::clone(&sent);
+        let sender = std::thread::spawn(move || {
+            for i in 0..3u8 {
+                assert!(tx.send(vec![i]));
+                sent_in_thread.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        let blocked_at = sent.load(Ordering::SeqCst);
+        assert!(
+            blocked_at < 3,
+            "the sender must block at the high-water mark, sent {blocked_at}"
+        );
+        // Draining the receiver releases the sender frame by frame.
+        assert_eq!(rx.recv().unwrap(), vec![0]);
+        assert_eq!(rx.recv().unwrap(), vec![1]);
+        assert_eq!(rx.recv().unwrap(), vec![2]);
+        sender.join().unwrap();
+        assert_eq!(sent.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn shared_link_inherits_the_send_queue_bound() {
+        // The multiplexed link sits on one SimulatedLink: its channels share the
+        // same bounded send queue.
+        let (txs, rxs, _stats) =
+            SharedLink::new(2, NetworkConfig::unlimited().with_send_queue_frames(2));
+        let t0 = txs[0].clone();
+        let t1 = txs[1].clone();
+        let done = std::thread::spawn(move || {
+            assert!(t0.send_frame(vec![1]));
+            assert!(t1.send_frame(vec![2]));
+            // Third frame exceeds the shared high-water mark until a drain.
+            assert!(t0.send_frame(vec![3]));
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(!done.is_finished(), "the shared queue must block when full");
+        assert_eq!(rxs[0].recv_frame().unwrap(), vec![1]);
+        assert_eq!(rxs[1].recv_frame().unwrap(), vec![2]);
+        assert_eq!(rxs[0].recv_frame().unwrap(), vec![3]);
+        done.join().unwrap();
     }
 }

@@ -12,7 +12,7 @@
 //!
 //! # How a chain is built
 //!
-//! The query builder keeps, per stateless node, a [`PendingChain`]: a composition of
+//! The query builder keeps, per stateless node, a `PendingChain`: a composition of
 //! [`FusedStage`]s rooted at the channel coming out of the nearest *unfusable*
 //! upstream operator (a Source, a stateful operator, a Multiplex/Union, a shuffle
 //! exchange or a shard merge). Adding another stateless operator on the chain's tail

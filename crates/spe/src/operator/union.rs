@@ -2,7 +2,7 @@
 //!
 //! Union is a forwarding operator (no provenance instrumentation, Definition 3.1 type
 //! (i)). Determinism comes from the timestamp-ordered merge of
-//! [`DeterministicMerge`](crate::merge::DeterministicMerge), as required by §2.
+//! [`DeterministicMerge`], as required by §2.
 
 use crate::channel::{OutputSlot, StreamReceiver};
 use crate::error::SpeError;

@@ -103,6 +103,12 @@ impl Parallelism {
         }
     }
 
+    /// Alias of [`Parallelism::instances`] reading naturally as a planner hint on a
+    /// [`LogicalStream`](crate::logical::LogicalStream): `.with(Parallelism::shards(4))`.
+    pub const fn shards(n: usize) -> Self {
+        Self::instances(n)
+    }
+
     /// Resolves the effective instance count against the query-wide default.
     pub fn resolve(self, default: usize) -> usize {
         let n = if self.instances == 0 {
@@ -386,12 +392,26 @@ impl<P: ProvenanceSystem> Query<P> {
         &mut self,
         name: &str,
         inputs: Vec<StreamRef<T, P::Meta>>,
-        mut out_key: OK,
+        out_key: OK,
     ) -> StreamRef<T, P::Meta>
     where
         T: TupleData,
         K: Ord,
         OK: FnMut(&T) -> K + Send + 'static,
+    {
+        self.keyed_merge_cmp(name, inputs, crate::planner::merge_cmp(out_key))
+    }
+
+    /// [`Query::keyed_merge`] with an explicit run comparator instead of a key
+    /// extractor (the form the planner stores while a shard region is open).
+    pub(crate) fn keyed_merge_cmp<T>(
+        &mut self,
+        name: &str,
+        inputs: Vec<StreamRef<T, P::Meta>>,
+        cmp: KeyComparator<T>,
+    ) -> StreamRef<T, P::Meta>
+    where
+        T: TupleData,
     {
         assert!(!inputs.is_empty(), "ShardMerge requires at least one input");
         let node = self.add_node(name, NodeKind::ShardMerge);
@@ -401,11 +421,6 @@ impl<P: ProvenanceSystem> Query<P> {
             .map(|stream| self.attach_input(stream, node))
             .collect();
         let (slot, stream) = self.new_output_stream(node, format!("{name}.out"));
-        let cmp = Box::new(move |a: &T, b: &T| {
-            let ka = out_key(a);
-            let kb = out_key(b);
-            ka.cmp(&kb)
-        });
         let op = KeyedMergeOp::new(name, rxs, slot, cmp);
         self.set_operator(node, Box::new(op));
         stream
@@ -440,15 +455,15 @@ impl<P: ProvenanceSystem> Query<P> {
         OK: FnMut(&O) -> K + Send + 'static,
     {
         let instances = parallelism.resolve(self.config().parallelism);
-        self.sharded_aggregate_placed(
+        let shards = self.shard_aggregate_streams(
             name,
             input,
             spec,
             key_fn,
             agg_fn,
-            out_key,
             ShardPlacement::all_local(instances),
-        )
+        );
+        self.keyed_merge(&format!("{name}.merge"), shards, out_key)
     }
 
     /// Adds a key-partitioned Aggregate with an explicit *placement* per shard.
@@ -473,6 +488,11 @@ impl<P: ProvenanceSystem> Query<P> {
     /// # Panics
     /// Panics if `placements` is empty.
     #[allow(clippy::too_many_arguments)] // mirrors sharded_aggregate with placements
+    #[deprecated(
+        note = "build the plan on `LogicalPlan` and annotate the aggregate with \
+                `.place(placements)` (or `.with(Parallelism::shards(n))` for all-local \
+                groups); the planner inserts the exchange and fan-in"
+    )]
     pub fn sharded_aggregate_placed<I, O, K, KF, AF, OK>(
         &mut self,
         name: &str,
@@ -490,6 +510,31 @@ impl<P: ProvenanceSystem> Query<P> {
         KF: FnMut(&I) -> K + Clone + Send + 'static,
         AF: FnMut(&WindowView<'_, K, I, P::Meta>) -> O + Clone + Send + 'static,
         OK: FnMut(&O) -> K + Send + 'static,
+    {
+        let shards = self.shard_aggregate_streams(name, input, spec, key_fn, agg_fn, placements);
+        self.keyed_merge(&format!("{name}.merge"), shards, out_key)
+    }
+
+    /// Lowering core of a placed sharded Aggregate: the exchange and the shard
+    /// instances (local threads or remote splices), *without* the fan-in. The
+    /// returned shard streams carry the joint capacity share; the caller closes the
+    /// region with [`Query::keyed_merge`] / `keyed_merge_cmp` — immediately (the
+    /// legacy entry points) or after further per-shard stages (the planner).
+    pub(crate) fn shard_aggregate_streams<I, O, K, KF, AF>(
+        &mut self,
+        name: &str,
+        input: StreamRef<I, P::Meta>,
+        spec: WindowSpec,
+        key_fn: KF,
+        agg_fn: AF,
+        placements: Vec<ShardPlacement<P, I, O>>,
+    ) -> Vec<StreamRef<O, P::Meta>>
+    where
+        I: TupleData,
+        O: TupleData,
+        K: Ord + Hash + Clone + Send + 'static,
+        KF: FnMut(&I) -> K + Clone + Send + 'static,
+        AF: FnMut(&WindowView<'_, K, I, P::Meta>) -> O + Clone + Send + 'static,
     {
         assert!(
             !placements.is_empty(),
@@ -530,7 +575,7 @@ impl<P: ProvenanceSystem> Query<P> {
             stream.capacity_share = instances;
             outs.push(stream);
         }
-        self.keyed_merge(&format!("{name}.merge"), outs, out_key)
+        outs
     }
 
     /// Adds a key-partitioned equi-key Join running `parallelism` shard instances.
@@ -566,18 +611,18 @@ impl<P: ProvenanceSystem> Query<P> {
         CF: FnMut(&L, &R) -> O + Clone + Send + 'static,
     {
         let instances = parallelism.resolve(self.config().parallelism);
-        self.sharded_join_placed(
+        let shards = self.shard_join_streams(
             name,
             left,
             right,
             window,
             left_key,
             right_key,
-            out_key,
             predicate,
             combine,
             JoinShardPlacement::all_local(instances),
-        )
+        );
+        self.keyed_merge(&format!("{name}.merge"), shards, out_key)
     }
 
     /// Adds a key-partitioned equi-key Join with an explicit *placement* per shard
@@ -588,6 +633,9 @@ impl<P: ProvenanceSystem> Query<P> {
     /// # Panics
     /// Panics if `placements` is empty.
     #[allow(clippy::too_many_arguments)] // mirrors sharded_join with placements
+    #[deprecated(note = "build the plan on `LogicalPlan` and annotate the join with \
+                `.place_join(placements)` (or `.with(Parallelism::shards(n))` for \
+                all-local groups); the planner inserts the exchanges and fan-in")]
     pub fn sharded_join_placed<L, R, O, K, LK, RK, OK, PR, CF>(
         &mut self,
         name: &str,
@@ -609,6 +657,38 @@ impl<P: ProvenanceSystem> Query<P> {
         LK: FnMut(&L) -> K + Send + 'static,
         RK: FnMut(&R) -> K + Send + 'static,
         OK: FnMut(&O) -> K + Send + 'static,
+        PR: FnMut(&L, &R) -> bool + Clone + Send + 'static,
+        CF: FnMut(&L, &R) -> O + Clone + Send + 'static,
+    {
+        let shards = self.shard_join_streams(
+            name, left, right, window, left_key, right_key, predicate, combine, placements,
+        );
+        self.keyed_merge(&format!("{name}.merge"), shards, out_key)
+    }
+
+    /// Lowering core of a placed sharded Join (see
+    /// [`Query::shard_aggregate_streams`]): both exchanges and the shard instances,
+    /// without the fan-in.
+    #[allow(clippy::too_many_arguments)] // the full join declaration in one place
+    pub(crate) fn shard_join_streams<L, R, O, K, LK, RK, PR, CF>(
+        &mut self,
+        name: &str,
+        left: StreamRef<L, P::Meta>,
+        right: StreamRef<R, P::Meta>,
+        window: Duration,
+        left_key: LK,
+        right_key: RK,
+        predicate: PR,
+        combine: CF,
+        placements: Vec<JoinShardPlacement<P, L, R, O>>,
+    ) -> Vec<StreamRef<O, P::Meta>>
+    where
+        L: TupleData,
+        R: TupleData,
+        O: TupleData,
+        K: Ord + Hash + Clone + Send + 'static,
+        LK: FnMut(&L) -> K + Send + 'static,
+        RK: FnMut(&R) -> K + Send + 'static,
         PR: FnMut(&L, &R) -> bool + Clone + Send + 'static,
         CF: FnMut(&L, &R) -> O + Clone + Send + 'static,
     {
@@ -649,7 +729,7 @@ impl<P: ProvenanceSystem> Query<P> {
             stream.capacity_share = instances;
             outs.push(stream);
         }
-        self.keyed_merge(&format!("{name}.merge"), outs, out_key)
+        outs
     }
 
     /// Applies one logical Filter to every stream of a shard fan-out, returning the
@@ -661,7 +741,26 @@ impl<P: ProvenanceSystem> Query<P> {
     /// [`QueryConfig::fusion`](crate::query::QueryConfig) consecutive per-shard
     /// stateless stages fuse *within* each shard — never across the exchange or the
     /// fan-in, which are multi-stream fusion boundaries.
+    #[deprecated(
+        note = "build the plan on `LogicalPlan`: a `.filter(..)` after a sharded \
+                stateful operator stays inside the shard region automatically"
+    )]
     pub fn filter_shards<T, F>(
+        &mut self,
+        name: &str,
+        shards: Vec<StreamRef<T, P::Meta>>,
+        predicate: F,
+    ) -> Vec<StreamRef<T, P::Meta>>
+    where
+        T: TupleData,
+        F: FnMut(&T) -> bool + Clone + Send + 'static,
+    {
+        self.filter_shard_streams(name, shards, predicate)
+    }
+
+    /// Lowering core of a per-shard Filter (one instance per shard stream, grouped
+    /// for reporting; fuses within each shard under the fusion pass).
+    pub(crate) fn filter_shard_streams<T, F>(
         &mut self,
         name: &str,
         shards: Vec<StreamRef<T, P::Meta>>,
@@ -696,7 +795,27 @@ impl<P: ProvenanceSystem> Query<P> {
 
     /// Applies one logical Map to every stream of a shard fan-out, returning the
     /// mapped shard streams in the same order (see [`Query::filter_shards`]).
+    #[deprecated(
+        note = "build the plan on `LogicalPlan`: a `.map(..)` carrying a `.keyed(..)` \
+                annotation after a sharded stateful operator stays inside the shard \
+                region automatically"
+    )]
     pub fn map_shards<I, O, F>(
+        &mut self,
+        name: &str,
+        shards: Vec<StreamRef<I, P::Meta>>,
+        function: F,
+    ) -> Vec<StreamRef<O, P::Meta>>
+    where
+        I: TupleData,
+        O: TupleData,
+        F: FnMut(&I) -> Vec<O> + Clone + Send + 'static,
+    {
+        self.map_shard_streams(name, shards, function)
+    }
+
+    /// Lowering core of a per-shard Map (see [`Query::filter_shard_streams`]).
+    pub(crate) fn map_shard_streams<I, O, F>(
         &mut self,
         name: &str,
         shards: Vec<StreamRef<I, P::Meta>>,
@@ -1074,6 +1193,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // pins the legacy per-shard entry points until removal
     fn shard_local_stages_fuse_within_shards() {
         use crate::query::QueryConfig;
         // partition -> per-shard filter -> per-shard map -> keyed merge: with fusion

@@ -833,12 +833,29 @@ impl<P: ProvenanceSystem> Query<P> {
         T: TupleData,
         F: FnMut(&Arc<crate::tuple::GTuple<T, P::Meta>>) + Send + 'static,
     {
+        let stats = SinkStats::new();
+        self.sink_into(name, input, callback, Arc::clone(&stats));
+        stats
+    }
+
+    /// Adds a Sink with a caller-provided statistics handle — the building block of
+    /// [`Query::sink`], and of the logical layer's eagerly-created sink handles
+    /// (the handle exists before the plan is lowered, so it can be returned to the
+    /// caller while the sink itself is wired at lowering time).
+    pub fn sink_into<T, F>(
+        &mut self,
+        name: &str,
+        input: StreamRef<T, P::Meta>,
+        callback: F,
+        stats: Arc<SinkStats>,
+    ) where
+        T: TupleData,
+        F: FnMut(&Arc<crate::tuple::GTuple<T, P::Meta>>) + Send + 'static,
+    {
         let node = self.add_node(name, NodeKind::Sink);
         let rx = self.attach_input(input, node);
-        let stats = SinkStats::new();
-        let op = SinkOp::new(name, rx, callback, Arc::clone(&stats));
+        let op = SinkOp::new(name, rx, callback, stats);
         self.set_operator(node, Box::new(op));
-        stats
     }
 
     /// Adds a Sink collecting every sink tuple in memory (convenient for tests,
@@ -851,18 +868,24 @@ impl<P: ProvenanceSystem> Query<P> {
     where
         T: TupleData,
     {
-        let node = self.add_node(name, NodeKind::Sink);
-        let rx = self.attach_input(input, node);
         let collected = CollectedStream::new();
-        let sink_copy = collected.clone();
-        let op = SinkOp::new(
-            name,
-            rx,
-            move |t| sink_copy.push(Arc::clone(t)),
-            Arc::clone(collected.stats()),
-        );
-        self.set_operator(node, Box::new(op));
+        self.collecting_sink_into(name, input, &collected);
         collected
+    }
+
+    /// Adds a Sink pushing every sink tuple into a caller-provided collection (see
+    /// [`Query::sink_into`]).
+    pub fn collecting_sink_into<T>(
+        &mut self,
+        name: &str,
+        input: StreamRef<T, P::Meta>,
+        collected: &CollectedStream<T, P::Meta>,
+    ) where
+        T: TupleData,
+    {
+        let copy = collected.clone();
+        let stats = Arc::clone(collected.stats());
+        self.sink_into(name, input, move |t| copy.push(Arc::clone(t)), stats);
     }
 
     /// Explicitly discards a stream: its elements are dropped without a consumer.

@@ -98,6 +98,37 @@ impl QueryReport {
             .find(|s| s.name == name)
     }
 
+    /// Renders a per-operator text table of the report.
+    ///
+    /// Fused chains list the per-stage counters of their original operators
+    /// ([`OperatorReport::stages`]) as indented rows, so a report printed with
+    /// fusion on loses no telemetry compared to the thread-per-operator plan.
+    pub fn render_operators(&self) -> String {
+        let mut out = String::new();
+        for op in &self.operators {
+            let instances = if op.instances > 1 {
+                format!(" \u{d7}{}", op.instances)
+            } else {
+                String::new()
+            };
+            out.push_str(&format!(
+                "{:<28} {:>10} in {:>10} out  ({}{})\n",
+                op.stats.name,
+                op.stats.tuples_in,
+                op.stats.tuples_out,
+                op.kind.label(),
+                instances
+            ));
+            for stage in &op.stages {
+                out.push_str(&format!(
+                    "  \u{21b3} {:<24} {:>10} in {:>10} out\n",
+                    stage.name, stage.tuples_in, stage.tuples_out
+                ));
+            }
+        }
+        out
+    }
+
     /// Folds the per-instance reports of a distributed deployment into one report.
     ///
     /// Operators sharing a name across instances are shard instances of the same
@@ -316,6 +347,24 @@ mod tests {
         assert!(report.operator("keep-half").is_some());
         assert_eq!(report.operator("keep-half").unwrap().stats.tuples_out, 50);
         assert!(report.operator("missing").is_none());
+    }
+
+    #[test]
+    fn rendered_report_lists_fused_stage_counters() {
+        use crate::query::QueryConfig;
+        let mut q = Query::with_config(NoProvenance, QueryConfig::default().with_fusion(true));
+        let src = q.source("numbers", VecSource::with_period((0..10i64).collect(), 10));
+        let evens = q.filter("evens", src, |x| x % 2 == 0);
+        let doubled = q.map_one("double", evens, |x| x * 2);
+        let _ = q.collecting_sink("sink", doubled);
+        let report = q.deploy().unwrap().wait().unwrap();
+        let rendered = report.render_operators();
+        // The chain row names the fused thread; the indented rows keep the
+        // original operators' counters visible.
+        assert!(rendered.contains("evens+double"));
+        assert!(rendered.contains("\u{21b3} evens"));
+        assert!(rendered.contains("\u{21b3} double"));
+        assert!(rendered.contains("(fused)"));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The four evaluation queries (Q1–Q4) as reusable builders.
 //!
 //! Every builder is generic over the engine's
-//! [`ProvenanceSystem`](genealog_spe::provenance::ProvenanceSystem), so the same query
+//! [`ProvenanceSystem`], so the same query
 //! graph can be deployed with `NoProvenance` (NP), `genealog::GeneaLog` (GL) or
 //! `genealog_baseline::AriadneBaseline` (BL).
 //!

@@ -22,11 +22,14 @@ fn main() -> Result<(), SpeError> {
     );
 
     // --- Q1: broken-down vehicles -------------------------------------------------
-    let mut q1 = GlQuery::new(GeneaLog::new());
-    let reports = q1.source("linear-road", LinearRoadGenerator::new(config));
-    let alerts = build_q1(&mut q1, reports);
-    let (stream, provenance) = attach_provenance_sink(&mut q1, "q1-provenance", alerts);
-    q1.discard(stream);
+    // Declared on the logical builder; the workload's physical stage builder plugs
+    // in through the `raw` escape hatch and the planner lowers (and fuses) the plan.
+    let q1 = GlPlan::new(GeneaLog::new());
+    let alerts = q1
+        .source("linear-road", LinearRoadGenerator::new(config))
+        .raw("q1", build_q1);
+    let (stream, provenance) = logical_provenance_sink(alerts, "q1-provenance");
+    stream.discard();
     q1.deploy()?.wait()?;
 
     let assignments = provenance.assignments();
@@ -48,11 +51,12 @@ fn main() -> Result<(), SpeError> {
     }
 
     // --- Q2: accidents (two or more cars stopped at the same position) -------------
-    let mut q2 = GlQuery::new(GeneaLog::new());
-    let reports = q2.source("linear-road", LinearRoadGenerator::new(config));
-    let alerts = build_q2(&mut q2, reports);
-    let (stream, provenance) = attach_provenance_sink(&mut q2, "q2-provenance", alerts);
-    q2.discard(stream);
+    let q2 = GlPlan::new(GeneaLog::new());
+    let alerts = q2
+        .source("linear-road", LinearRoadGenerator::new(config))
+        .raw("q2", build_q2);
+    let (stream, provenance) = logical_provenance_sink(alerts, "q2-provenance");
+    stream.discard();
     q2.deploy()?.wait()?;
 
     let assignments = provenance.assignments();

@@ -1,12 +1,12 @@
-//! Key-partitioned parallel execution with provenance: a Smart-Grid-style keyed
-//! aggregate runs on 4 shard instances, and every alert's provenance still resolves
-//! to exactly the readings of its own meter — the exchange and the fan-in are
-//! invisible to GeneaLog.
+//! Key-partitioned parallel execution with provenance, on the declarative builder:
+//! a Smart-Grid-style keyed aggregate is *declared once* and annotated with
+//! `.with(Parallelism::shards(4))` — the planner inserts the shuffle exchange, the
+//! four shard instances and the provenance-safe fan-in, and every alert's
+//! provenance still resolves to exactly the readings of its own meter.
 //!
 //! Run with: `cargo run --release --example parallel_aggregate`
 
 use genealog::prelude::*;
-use genealog_spe::parallel::Parallelism;
 
 fn main() {
     let meters: u32 = 16;
@@ -22,26 +22,28 @@ fn main() {
         }
     }
 
-    let mut q = GlQuery::new(GeneaLog::new());
-    let src = q.source("meters", VecSource::new(readings));
+    // Total load per meter over tumbling 4-hour windows; the shard count is an
+    // annotation, not a different method. The `spike` filter after the aggregate
+    // stays *inside* the shard region: the planner runs it per shard, ahead of the
+    // canonical fan-in, and fuses it there.
+    let plan = GlPlan::new(GeneaLog::new());
+    let spikes = plan
+        .source("meters", VecSource::new(readings))
+        .aggregate(
+            "load",
+            WindowSpec::tumbling(Duration::from_hours(4)).expect("valid window"),
+            |r: &(u32, i64)| r.0,
+            |w: &WindowView<'_, u32, (u32, i64), GlMeta>| {
+                (*w.key, w.payloads().map(|p| p.1).sum::<i64>())
+            },
+            |o: &(u32, i64)| o.0,
+        )
+        .with(Parallelism::shards(4))
+        .filter("spike", |(_, total): &(u32, i64)| *total > 200);
 
-    // Total load per meter over tumbling 4-hour windows, on 4 parallel shards.
-    let totals = q.sharded_aggregate(
-        "load",
-        src,
-        WindowSpec::tumbling(Duration::from_hours(4)).expect("valid window"),
-        |r: &(u32, i64)| r.0,
-        |w: &WindowView<'_, u32, (u32, i64), GlMeta>| {
-            (*w.key, w.payloads().map(|p| p.1).sum::<i64>())
-        },
-        |o: &(u32, i64)| o.0,
-        Parallelism::instances(4),
-    );
-    let spikes = q.filter("spike", totals, |(_, total)| *total > 200);
-
-    let (out, provenance) = attach_provenance_sink(&mut q, "prov", spikes);
-    let sink = q.collecting_sink("alerts", out);
-    let report = q.deploy().expect("deploy").wait().expect("run");
+    let (out, provenance) = logical_provenance_sink(spikes, "prov");
+    let sink = out.collecting_sink("alerts");
+    let report = plan.deploy().expect("deploy").wait().expect("run");
 
     println!(
         "{} readings -> {} spike alerts ({} shard instances reported as one operator)",

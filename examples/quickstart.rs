@@ -1,5 +1,7 @@
-//! Quickstart: build a small monitoring query, enable GeneaLog provenance, and trace
-//! every alert back to the exact source readings that caused it.
+//! Quickstart: declare a small monitoring query once on the logical-plan builder,
+//! let the planner lower it (fusion, sharding and channel budgets are *its* job),
+//! enable GeneaLog provenance, and trace every alert back to the exact source
+//! readings that caused it.
 //!
 //! Run with `cargo run -p genealog-bench --example quickstart`.
 
@@ -19,25 +21,30 @@ fn main() -> Result<(), SpeError> {
         (1, 60),
     ];
 
-    // 1. Build the query against the GeneaLog-instrumented engine.
-    let mut q = GlQuery::new(GeneaLog::new());
-    let source = q.source("sensors", VecSource::with_period(readings, 30_000));
-    let hot = q.filter("hot", source, |(_, temp): &(u32, i64)| *temp > 90);
-    let counts = q.aggregate(
-        "hot-count",
-        hot,
-        WindowSpec::new(Duration::from_secs(120), Duration::from_secs(30))?,
-        |(sensor, _): &(u32, i64)| *sensor,
-        |window| (*window.key, window.len()),
-    );
-    let alerts = q.filter("alerts", counts, |(_, n): &(u32, usize)| *n >= 3);
+    // 1. Declare the query once on the logical plan. No physical decisions here:
+    //    whether `hot` fuses with its neighbours, or `hot-count` runs sharded, is
+    //    decided by the planner at lowering time (annotate with
+    //    `.with(Parallelism::shards(n))` / `.place(..)` to shard the aggregate —
+    //    the declaration itself never changes).
+    let plan = GlPlan::new(GeneaLog::new());
+    let alerts = plan
+        .source("sensors", VecSource::with_period(readings, 30_000))
+        .filter("hot", |(_, temp): &(u32, i64)| *temp > 90)
+        .aggregate(
+            "hot-count",
+            WindowSpec::new(Duration::from_secs(120), Duration::from_secs(30))?,
+            |(sensor, _): &(u32, i64)| *sensor,
+            |window: &WindowView<'_, u32, (u32, i64), GlMeta>| (*window.key, window.len()),
+            |(sensor, _): &(u32, usize)| *sensor,
+        )
+        .filter("alerts", |(_, n): &(u32, usize)| *n >= 3);
 
     // 2. Attach the provenance sink (the single-stream unfolder of the paper's §5).
-    let (alert_stream, provenance) = attach_provenance_sink(&mut q, "provenance", alerts);
-    let alert_sink = q.collecting_sink("alert-sink", alert_stream);
+    let (alert_stream, provenance) = logical_provenance_sink(alerts, "provenance");
+    let alert_sink = alert_stream.collecting_sink("alert-sink");
 
-    // 3. Run the query to completion.
-    q.deploy()?.wait()?;
+    // 3. Lower the plan and run the physical query to completion.
+    plan.deploy()?.wait()?;
 
     // 4. Inspect the alerts and, for each, the source readings that explain it.
     println!("{} alert(s) raised\n", alert_sink.len());

@@ -22,11 +22,14 @@ fn main() -> Result<(), SpeError> {
     );
 
     // --- Q3: long-term blackout detection ------------------------------------------
-    let mut q3 = GlQuery::new(GeneaLog::new());
-    let readings = q3.source("smart-grid", SmartGridGenerator::new(config));
-    let alerts = build_q3(&mut q3, readings);
-    let (stream, provenance) = attach_provenance_sink(&mut q3, "q3-provenance", alerts);
-    q3.discard(stream);
+    // Declared on the logical builder; the workload's physical stage builder plugs
+    // in through the `raw` escape hatch and the planner lowers (and fuses) the plan.
+    let q3 = GlPlan::new(GeneaLog::new());
+    let alerts = q3
+        .source("smart-grid", SmartGridGenerator::new(config))
+        .raw("q3", build_q3);
+    let (stream, provenance) = logical_provenance_sink(alerts, "q3-provenance");
+    stream.discard();
     q3.deploy()?.wait()?;
 
     for assignment in provenance.assignments() {
@@ -47,11 +50,12 @@ fn main() -> Result<(), SpeError> {
     }
 
     // --- Q4: anomalous meter detection ----------------------------------------------
-    let mut q4 = GlQuery::new(GeneaLog::new());
-    let readings = q4.source("smart-grid", SmartGridGenerator::new(config));
-    let alerts = build_q4(&mut q4, readings);
-    let (stream, provenance) = attach_provenance_sink(&mut q4, "q4-provenance", alerts);
-    q4.discard(stream);
+    let q4 = GlPlan::new(GeneaLog::new());
+    let alerts = q4
+        .source("smart-grid", SmartGridGenerator::new(config))
+        .raw("q4", build_q4);
+    let (stream, provenance) = logical_provenance_sink(alerts, "q4-provenance");
+    stream.discard();
     q4.deploy()?.wait()?;
 
     let assignments = provenance.assignments();

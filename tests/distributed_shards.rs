@@ -12,6 +12,11 @@
 //! GeneaLog tuple *ids* are allocated per instance and legitimately differ between
 //! the plans, so the comparisons use timestamps, payloads and contribution sets.
 
+// These pins exercise the deprecated `sharded_*_placed` entry points on purpose:
+// they must keep behaving identically until removal (`tests/logical_plan.rs` pins
+// the annotation-based replacements against them).
+#![allow(deprecated)]
+
 use std::collections::BTreeSet;
 
 use proptest::prelude::*;

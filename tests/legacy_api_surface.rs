@@ -1,0 +1,82 @@
+//! Public-API surface pin for the deprecated legacy entry points.
+//!
+//! `sharded_aggregate_placed`, `sharded_join_placed`, `filter_shards` and
+//! `map_shards` are superseded by the logical-plan annotations
+//! (`.with(Parallelism::shards(n))`, `.place(..)`, `.keyed(..)`) but are kept for
+//! one release. This suite guarantees they still **compile and run** — CI runs it
+//! as the public-API surface check, so removing or breaking a deprecated signature
+//! fails loudly instead of silently stranding downstream users.
+
+#![allow(deprecated)]
+
+use genealog_spe::operator::aggregate::WindowView;
+use genealog_spe::prelude::*;
+use genealog_spe::query::{JoinShardPlacement, ShardPlacement};
+
+type Reading = (u32, i64);
+
+fn key(r: &Reading) -> u32 {
+    r.0
+}
+
+#[test]
+fn deprecated_sharded_aggregate_placed_still_works() {
+    let mut q = Query::new(NoProvenance);
+    let items: Vec<Reading> = (0..32).map(|i| (i % 4, i as i64)).collect();
+    let src = q.source("src", VecSource::with_period(items, 1_000));
+    let sums = q.sharded_aggregate_placed(
+        "sum",
+        src,
+        WindowSpec::tumbling(Duration::from_secs(8)).unwrap(),
+        key,
+        |w: &WindowView<'_, u32, Reading, ()>| (*w.key, w.payloads().map(|p| p.1).sum::<i64>()),
+        key,
+        ShardPlacement::all_local(3),
+    );
+    let out = q.collecting_sink("sink", sums);
+    let report = q.deploy().unwrap().wait().unwrap();
+    assert!(!out.is_empty());
+    assert_eq!(report.operator("sum").unwrap().instances, 3);
+}
+
+#[test]
+fn deprecated_shard_stage_helpers_still_work() {
+    let mut q = Query::new(NoProvenance);
+    let items: Vec<Reading> = (0..32).map(|i| (i % 4, i as i64)).collect();
+    let src = q.source("src", VecSource::with_period(items, 1_000));
+    let shards = q.partition("part", src, 2, key);
+    let kept = q.filter_shards("keep", shards, |r: &Reading| r.1 % 2 == 0);
+    let scaled = q.map_shards("scale", kept, |r: &Reading| vec![(r.0, r.1 * 10)]);
+    let merged = q.keyed_merge("merge", scaled, key);
+    let out = q.collecting_sink("sink", merged);
+    q.deploy().unwrap().wait().unwrap();
+    assert_eq!(out.len(), 16);
+    assert!(out.tuples().iter().all(|t| t.data.1 % 10 == 0));
+}
+
+#[test]
+fn deprecated_sharded_join_placed_still_works() {
+    let mut q = Query::new(NoProvenance);
+    let left_items: Vec<Reading> = (0..16).map(|i| (i % 4, i as i64)).collect();
+    let right_items: Vec<Reading> = (0..16).map(|i| (i % 4, 100 + i as i64)).collect();
+    let left = q.source("left", VecSource::with_period(left_items, 1_000));
+    let right = q.source("right", VecSource::with_period(right_items, 1_000));
+    let joined = q.sharded_join_placed(
+        "match",
+        left,
+        right,
+        Duration::from_secs(2),
+        key,
+        key,
+        |o: &(u32, i64, i64)| o.0,
+        |l: &Reading, r: &Reading| l.0 == r.0,
+        |l: &Reading, r: &Reading| (l.0, l.1, r.1),
+        JoinShardPlacement::all_local(2),
+    );
+    let out = q.collecting_sink("sink", joined);
+    q.deploy().unwrap().wait().unwrap();
+    assert!(!out.is_empty());
+    for t in out.tuples() {
+        assert_eq!(t.data.1 % 4, (t.data.2 - 100) % 4);
+    }
+}
