@@ -73,6 +73,11 @@ impl ProvenanceSystem for AriadneBaseline {
         // the provenance node (handled by the deployment, see `genealog-distributed`).
         BlMeta::source(ctx.id)
     }
+
+    fn detach_meta(&self, meta: &BlMeta) -> BlMeta {
+        // Baseline annotations are immutable id lists; a plain clone restores them.
+        meta.clone()
+    }
 }
 
 /// Reconstructs per-sink-tuple provenance from annotations plus the retained store.

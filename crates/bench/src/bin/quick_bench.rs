@@ -1,18 +1,16 @@
 //! Quick throughput benchmark establishing the per-PR performance trajectory.
 //!
-//! PR 5 measures the **planner-lowered pipeline**: the query is declared once on
-//! the `LogicalPlan` builder (`source → filter → map → aggregate → sink`) and the
-//! planner decides the physical shape — the sweep varies the sharding annotation
-//! (1, 2, 4 shards) and the fusion flag (on, the new default, vs off) under the NP
-//! and GL provenance configurations. The stateless `live → scale` chain fuses into
-//! one thread when fusion is on, so the sweep isolates what planner-owned fusion
-//! buys on the pre-exchange hot path at each shard count. The measurements are
-//! written to `BENCH_PR5.json` in the current directory (override the path with
-//! `GENEALOG_BENCH_OUT`).
-//!
-//! Per-stage counters survive fusion: the run prints one sample report through
-//! `QueryReport::render_operators`, which lists the original operators of every
-//! fused chain (`OperatorReport::stages`) as indented rows.
+//! PR 6 measures the **cost of fault tolerance**: the planner-lowered pipeline of
+//! PR 5 (`source → filter → map → aggregate → sink`, fusion on) is run with
+//! checkpointing off and on at each shard count under the NP and GL provenance
+//! configurations. With checkpointing on, every source injects an epoch barrier
+//! every [`CHECKPOINT_INTERVAL`] tuples; barriers align at the shard fan-in and
+//! each stateful operator snapshots its keyed window state (and, under GL, its
+//! slice of the provenance graph) into an in-memory [`CheckpointStore`]. The
+//! on/off delta is reported as `overhead_pct` per (system, shards) pair — the
+//! steady-state price of recoverability, with no fault injected. The measurements
+//! are written to `BENCH_PR6.json` in the current directory (override the path
+//! with `GENEALOG_BENCH_OUT`).
 //!
 //! The JSON records `host_cpus`: on a single-core host the shard sweep shows only
 //! the state-partitioning gain, not thread parallelism.
@@ -35,6 +33,9 @@ use genealog_spe::provenance::MetaData;
 const BATCH: usize = 256;
 /// Number of distinct keys the stream is partitioned on.
 const KEYS: u32 = 64;
+/// Tuples per checkpoint epoch when checkpointing is on: each source commits its
+/// replay offset and emits a barrier every this many tuples.
+const CHECKPOINT_INTERVAL: u64 = 25_000;
 
 type Reading = (u32, i64);
 
@@ -62,9 +63,17 @@ fn smoke_mode() -> bool {
 struct Measurement {
     system: &'static str,
     shards: usize,
-    fusion: bool,
+    checkpoints: bool,
     throughput_tps: f64,
     per_tuple_ns: f64,
+}
+
+/// Steady-state checkpoint cost for one (system, shards) pair.
+#[derive(Debug, Clone)]
+struct Overhead {
+    system: &'static str,
+    shards: usize,
+    overhead_pct: f64,
 }
 
 fn sum_window<M: MetaData>(w: &WindowView<'_, u32, Reading, M>) -> Reading {
@@ -72,7 +81,7 @@ fn sum_window<M: MetaData>(w: &WindowView<'_, u32, Reading, M>) -> Reading {
 }
 
 /// One run of the declared pipeline with the given planner annotations.
-fn planner_once<P>(provenance: P, shards: usize, fusion: bool) -> (Measurement, QueryReport)
+fn planner_once<P>(provenance: P, shards: usize, checkpoints: bool) -> (Measurement, QueryReport)
 where
     P: ProvenanceSystem,
 {
@@ -80,12 +89,16 @@ where
     let tuples = tuples_per_run();
     let spec = WindowSpec::tumbling(Duration::from_secs(60)).unwrap();
 
-    let plan = LogicalPlan::with_config(
-        provenance,
-        PlannerConfig::default()
-            .with_batch_size(BATCH)
-            .with_fusion(fusion),
-    );
+    let mut config = PlannerConfig::default().with_batch_size(BATCH);
+    if checkpoints {
+        // A fresh store per run: the bench measures the barrier + snapshot cost,
+        // not recovery, so nothing is ever restored from it.
+        config = config.with_checkpoints(CheckpointConfig::new(
+            CHECKPOINT_INTERVAL,
+            CheckpointStore::in_memory(),
+        ));
+    }
+    let plan = LogicalPlan::with_config(provenance, config);
     let items: Vec<Reading> = (0..tuples).map(|i| ((i as u32) % KEYS, i as i64)).collect();
     let stats = plan
         .source_with(
@@ -115,7 +128,7 @@ where
         Measurement {
             system: label,
             shards,
-            fusion,
+            checkpoints,
             throughput_tps: tuples as f64 / wall,
             per_tuple_ns: wall * 1e9 / tuples as f64,
         },
@@ -123,25 +136,28 @@ where
     )
 }
 
-fn best_of<P>(provenance: &P, shards: usize, fusion: bool) -> (Measurement, QueryReport)
+fn best_of<P>(provenance: &P, shards: usize, checkpoints: bool) -> (Measurement, QueryReport)
 where
     P: ProvenanceSystem,
 {
     (0..repetitions())
-        .map(|_| planner_once(provenance.clone(), shards, fusion))
+        .map(|_| planner_once(provenance.clone(), shards, checkpoints))
         .max_by(|a, b| a.0.throughput_tps.total_cmp(&b.0.throughput_tps))
         .expect("at least one repetition")
 }
 
-fn render_json(measurements: &[Measurement]) -> String {
+fn render_json(measurements: &[Measurement], overheads: &[Overhead]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"pr\": 5,\n");
-    out.push_str("  \"benchmark\": \"planner_lowered_pipeline\",\n");
+    out.push_str("  \"pr\": 6,\n");
+    out.push_str("  \"benchmark\": \"checkpointed_pipeline\",\n");
     out.push_str(
-        "  \"pipeline\": \"LogicalPlan: source -> filter -> map -> aggregate(.with(shards)) -> sink, lowered by the planner with fusion on/off\",\n",
+        "  \"pipeline\": \"LogicalPlan: source -> filter -> map -> aggregate(.with(shards)) -> sink, fusion on, epoch checkpointing off vs on\",\n",
     );
     out.push_str(&format!("  \"tuples_per_run\": {},\n", tuples_per_run()));
+    out.push_str(&format!(
+        "  \"checkpoint_interval\": {CHECKPOINT_INTERVAL},\n"
+    ));
     out.push_str(&format!("  \"repetitions\": {},\n", repetitions()));
     out.push_str(&format!(
         "  \"host_cpus\": {},\n",
@@ -151,13 +167,24 @@ fn render_json(measurements: &[Measurement]) -> String {
     out.push_str("  \"runs\": [\n");
     for (i, m) in measurements.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"system\": \"{}\", \"shards\": {}, \"fusion\": {}, \"throughput_tps\": {:.0}, \"per_tuple_ns\": {:.1}}}{}\n",
+            "    {{\"system\": \"{}\", \"shards\": {}, \"checkpoints\": {}, \"throughput_tps\": {:.0}, \"per_tuple_ns\": {:.1}}}{}\n",
             m.system,
             m.shards,
-            m.fusion,
+            m.checkpoints,
             m.throughput_tps,
             m.per_tuple_ns,
             if i + 1 < measurements.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"checkpoint_overhead\": [\n");
+    for (i, o) in overheads.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"system\": \"{}\", \"shards\": {}, \"overhead_pct\": {:.1}}}{}\n",
+            o.system,
+            o.shards,
+            o.overhead_pct,
+            if i + 1 < overheads.len() { "," } else { "" }
         ));
     }
     out.push_str("  ]\n");
@@ -165,42 +192,68 @@ fn render_json(measurements: &[Measurement]) -> String {
     out
 }
 
+fn sweep<P: ProvenanceSystem>(
+    provenance: &P,
+    measurements: &mut Vec<Measurement>,
+    overheads: &mut Vec<Overhead>,
+    mut keep_report: impl FnMut(usize, bool, QueryReport),
+) {
+    for shards in [1usize, 2, 4] {
+        let mut pair = Vec::with_capacity(2);
+        for checkpoints in [false, true] {
+            let (m, report) = best_of(provenance, shards, checkpoints);
+            keep_report(shards, checkpoints, report);
+            pair.push(m.clone());
+            measurements.push(m);
+        }
+        let (off, on) = (&pair[0], &pair[1]);
+        overheads.push(Overhead {
+            system: off.system,
+            shards,
+            overhead_pct: (on.per_tuple_ns - off.per_tuple_ns) / off.per_tuple_ns * 100.0,
+        });
+    }
+}
+
 fn main() {
     let mut measurements = Vec::new();
+    let mut overheads = Vec::new();
     let mut sample_report: Option<QueryReport> = None;
-    for shards in [1usize, 2, 4] {
-        for fusion in [true, false] {
-            let (m, report) = best_of(&NoProvenance, shards, fusion);
-            measurements.push(m);
-            if fusion && shards == 4 {
-                sample_report = Some(report);
+    sweep(
+        &NoProvenance,
+        &mut measurements,
+        &mut overheads,
+        |s, c, r| {
+            if s == 4 && c {
+                sample_report = Some(r);
             }
-        }
-    }
+        },
+    );
     let gl = GeneaLog::new();
-    for shards in [1usize, 2, 4] {
-        for fusion in [true, false] {
-            let (m, _) = best_of(&gl, shards, fusion);
-            measurements.push(m);
-        }
-    }
+    sweep(&gl, &mut measurements, &mut overheads, |_, _, _| {});
 
     for m in &measurements {
         println!(
-            "{:>2} shards={} fusion={:<5} {:>12.0} tuples/s  {:>8.1} ns/tuple",
-            m.system, m.shards, m.fusion, m.throughput_tps, m.per_tuple_ns
+            "{:>2} shards={} checkpoints={:<5} {:>12.0} tuples/s  {:>8.1} ns/tuple",
+            m.system, m.shards, m.checkpoints, m.throughput_tps, m.per_tuple_ns
+        );
+    }
+    for o in &overheads {
+        println!(
+            "{:>2} shards={} checkpoint overhead {:>6.1}%",
+            o.system, o.shards, o.overhead_pct
         );
     }
 
     if let Some(report) = sample_report {
         println!(
-            "\nsample report (NP, 4 shards, fusion on) — fused chains keep per-stage counters:"
+            "\nsample report (NP, 4 shards, checkpoints on) — barriers ride the data channels:"
         );
         print!("{}", report.render_operators());
     }
 
-    let json = render_json(&measurements);
-    let path = std::env::var("GENEALOG_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR5.json".to_string());
+    let json = render_json(&measurements, &overheads);
+    let path = std::env::var("GENEALOG_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR6.json".to_string());
     let mut file = std::fs::File::create(&path).expect("create benchmark output file");
     file.write_all(json.as_bytes())
         .expect("write benchmark output");

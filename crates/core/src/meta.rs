@@ -215,6 +215,26 @@ impl GlMeta {
             next: NextPointer::new(),
         }
     }
+
+    /// Clone for a checkpoint restore: kind, id and the `U1`/`U2` back-pointers are
+    /// preserved (they reference the part of the provenance graph that was frozen
+    /// before the checkpoint barrier), but the `N` cell comes back **unset**.
+    ///
+    /// `N` is the only meta-attribute written after tuple creation — the aggregate
+    /// chains a window's tuples when the window closes. A restored tuple sits in a
+    /// window that had *not* closed at the checkpoint cut, so its `N` must be free
+    /// for the recovered run's own window-close to claim; carrying over a value the
+    /// failed run may have written after the cut would stitch the restored lineage
+    /// into the abandoned run's graph.
+    pub fn detach(&self) -> Self {
+        GlMeta {
+            kind: self.kind,
+            id: self.id,
+            u1: self.u1.clone(),
+            u2: self.u2.clone(),
+            next: NextPointer::new(),
+        }
+    }
 }
 
 impl fmt::Debug for GlMeta {

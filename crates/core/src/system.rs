@@ -131,6 +131,10 @@ impl ProvenanceSystem for GeneaLog {
         };
         GlMeta::leaf(kind, ctx.id)
     }
+
+    fn detach_meta(&self, meta: &GlMeta) -> GlMeta {
+        meta.detach()
+    }
 }
 
 #[cfg(test)]

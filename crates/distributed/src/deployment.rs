@@ -34,6 +34,7 @@ use genealog::{
 use genealog_baseline::AriadneBaseline;
 
 use crate::endpoint::{ReceiveOp, SendOp, WireProvenance};
+use crate::fault::{FaultySender, LinkFaults};
 use crate::network::{
     FrameSink, FrameSource, LinkSender, LinkStats, MuxReceiver, NetworkConfig, SharedLink,
     SimulatedLink,
@@ -69,7 +70,8 @@ where
 {
     let node = q.add_node(name, NodeKind::Custom("receive"));
     let (slot, stream) = q.new_output_stream(node, format!("{name}.out"));
-    let op = ReceiveOp::new(name, link, slot, q.provenance().clone());
+    let op = ReceiveOp::new(name, link, slot, q.provenance().clone())
+        .with_checkpoints(q.checkpoint_handle());
     q.set_operator(node, Box::new(op));
     stream
 }
@@ -374,6 +376,54 @@ where
     O: TupleData + WireEncode + WireDecode,
     B: Fn(&mut Query<GeneaLog>, usize, StreamRef<I, GlMeta>) -> StreamRef<O, GlMeta>,
 {
+    remote_shard_group_gl_with_faults(
+        name,
+        instances,
+        |i| GeneaLog::for_instance(first_instance + i as u32),
+        network,
+        config,
+        |_| LinkFaults::none(),
+        build,
+    )
+}
+
+/// [`remote_shard_group_gl`] with frame faults injected on the remote → origin data
+/// channel of selected shards.
+///
+/// `faults` is called once per shard index; the returned [`LinkFaults`] decorate the
+/// shard's return-link data channel with a [`FaultySender`]. A severed channel
+/// surfaces at the origin's ingress as a mid-stream close, a dropped frame as a
+/// sequence gap — both fail the originating query into the recovery path, which is
+/// exactly what the fault-injection tests drive. Pass `|_| LinkFaults::none()` (or
+/// use [`remote_shard_group_gl`]) for a healthy deployment.
+///
+/// `systems` supplies the [`GeneaLog`] instance for each shard index instead of the
+/// plain `first_instance` namespace offset of [`remote_shard_group_gl`]. Recovery
+/// drivers need this: tuple ids must stay unique across restart attempts (the
+/// checkpointed provenance prefix is grouped by sink tuple id, so a rebuilt engine
+/// that restarts its id counter at zero could collide with ids already persisted by
+/// the failed attempt). Passing clones of one long-lived system per shard keeps the
+/// shared id counter monotone across attempts.
+///
+/// # Errors
+/// Propagates deployment errors from the remote instances.
+#[allow(clippy::too_many_arguments)]
+pub fn remote_shard_group_gl_with_faults<I, O, B, FF, SF>(
+    name: &str,
+    instances: usize,
+    systems: SF,
+    network: NetworkConfig,
+    config: QueryConfig,
+    faults: FF,
+    build: B,
+) -> Result<GlShardGroup<I, O>, SpeError>
+where
+    I: TupleData + WireEncode + WireDecode,
+    O: TupleData + WireEncode + WireDecode,
+    B: Fn(&mut Query<GeneaLog>, usize, StreamRef<I, GlMeta>) -> StreamRef<O, GlMeta>,
+    FF: Fn(usize) -> LinkFaults,
+    SF: Fn(usize) -> GeneaLog,
+{
     assert!(instances > 0, "a shard group needs at least one instance");
     let mut placements = Vec::with_capacity(instances);
     let mut handles = Vec::with_capacity(instances);
@@ -389,12 +439,12 @@ where
         let provenance_rx = back_rxs.pop().expect("two channels");
         let data_rx = back_rxs.pop().expect("two channels");
 
-        let mut remote =
-            Query::with_config(GeneaLog::for_instance(first_instance + i as u32), config);
+        let mut remote = Query::with_config(systems(i), config);
         let received: StreamRef<I, GlMeta> =
             add_receive(&mut remote, &format!("{name}.recv"), forward_rx);
         let out = build(&mut remote, i, received);
         let (to_send, unfolded) = attach_unfolder(&mut remote, &format!("{name}.su"), out);
+        let data_tx = FaultySender::new(data_tx, faults(i));
         add_send(&mut remote, &format!("{name}.send"), to_send, data_tx);
         let events = remote.map_one(
             &format!("{name}.su.events"),

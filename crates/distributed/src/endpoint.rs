@@ -24,6 +24,7 @@ use genealog_spe::channel::{OutputSlot, StreamReceiver};
 use genealog_spe::error::SpeError;
 use genealog_spe::operator::{Operator, OperatorStats};
 use genealog_spe::provenance::{NoProvenance, ProvenanceSystem, RemoteContext};
+use genealog_spe::state::CheckpointHandle;
 use genealog_spe::tuple::{Element, GTuple, TupleData, TupleId};
 use genealog_spe::Timestamp;
 
@@ -113,6 +114,7 @@ impl WireDecode for WireTag {
 const FRAME_TUPLES: u8 = 0;
 const FRAME_WATERMARK: u8 = 1;
 const FRAME_END: u8 = 2;
+const FRAME_BARRIER: u8 = 3;
 
 /// One data tuple as shipped inside a [`WireFrame::Tuples`] frame: the attributes
 /// that cross the instance boundary (no `Arc`, no provenance pointers — exactly the
@@ -157,6 +159,9 @@ pub enum WireFrame<T> {
     Tuples(Vec<WireTuple<T>>),
     /// A watermark; always framed alone so it is never reordered.
     Watermark(Timestamp),
+    /// An epoch barrier; framed alone like a watermark, so the checkpoint cut
+    /// crosses the instance boundary at its exact stream position.
+    Barrier(u64),
     /// The end-of-stream marker.
     End,
 }
@@ -172,6 +177,10 @@ impl<T: WireEncode> WireEncode for WireFrame<T> {
                 FRAME_WATERMARK.encode(out);
                 ts.encode(out);
             }
+            WireFrame::Barrier(epoch) => {
+                FRAME_BARRIER.encode(out);
+                epoch.encode(out);
+            }
             WireFrame::End => FRAME_END.encode(out),
         }
     }
@@ -182,6 +191,7 @@ impl<T: WireDecode> WireDecode for WireFrame<T> {
         match u8::decode(reader)? {
             FRAME_TUPLES => Ok(WireFrame::Tuples(Vec::<WireTuple<T>>::decode(reader)?)),
             FRAME_WATERMARK => Ok(WireFrame::Watermark(Timestamp::decode(reader)?)),
+            FRAME_BARRIER => Ok(WireFrame::Barrier(u64::decode(reader)?)),
             FRAME_END => Ok(WireFrame::End),
             other => Err(WireError {
                 message: format!("unknown frame tag {other}"),
@@ -247,8 +257,25 @@ fn encode_watermark_frame(ts: Timestamp) -> Vec<u8> {
     WireFrame::<()>::Watermark(ts).to_bytes()
 }
 
+fn encode_barrier_frame(epoch: u64) -> Vec<u8> {
+    WireFrame::<()>::Barrier(epoch).to_bytes()
+}
+
 fn encode_end_frame() -> Vec<u8> {
     WireFrame::<()>::End.to_bytes()
+}
+
+/// Prefixes `frame` with its per-link sequence number.
+///
+/// Every frame a Send operator ships carries a monotonically increasing `u64`,
+/// letting the Receive operator detect lost frames (a sequence gap — surfaced as a
+/// runtime error so the recovery path replays from the last checkpoint) and discard
+/// duplicated ones (a sequence number at or below the last delivered frame).
+fn with_seq(seq: u64, frame: Vec<u8>) -> Vec<u8> {
+    let mut framed = Vec::with_capacity(frame.len() + 8);
+    framed.extend_from_slice(&seq.to_le_bytes());
+    framed.extend_from_slice(&frame);
+    framed
 }
 
 /// The Send operator: serialises a stream onto a link towards another SPE instance.
@@ -298,17 +325,19 @@ where
     fn run(mut self: Box<Self>) -> Result<OperatorStats, SpeError> {
         let mut stats = OperatorStats::new(self.name.clone());
         let mut frame = TupleFrameBuilder::new();
+        let mut seq = 0u64;
         // Ships the pending run; tuples count as "out" only once their frame
         // actually made it onto the link. Returns false when the link is down.
         fn flush<L: FrameSink>(
             frame: &mut TupleFrameBuilder,
             link: &L,
+            seq: &mut u64,
             stats: &mut OperatorStats,
         ) -> bool {
             let run_len = u64::from(frame.len());
             match frame.take() {
                 Some(pending) => {
-                    if link.send_frame(pending) {
+                    if ship(link, seq, pending) {
                         stats.tuples_out += run_len;
                         true
                     } else {
@@ -316,6 +345,15 @@ where
                     }
                 }
                 None => true,
+            }
+        }
+        // Ships one control or data frame under the next sequence number.
+        fn ship<L: FrameSink>(link: &L, seq: &mut u64, frame: Vec<u8>) -> bool {
+            if link.send_frame(with_seq(*seq, frame)) {
+                *seq += 1;
+                true
+            } else {
+                false
             }
         }
         loop {
@@ -330,23 +368,33 @@ where
                     Element::Watermark(ts) => {
                         // The pending run precedes the watermark on the wire, like
                         // the in-process flush policy.
-                        if !flush(&mut frame, &self.link, &mut stats) {
+                        if !flush(&mut frame, &self.link, &mut seq, &mut stats) {
                             return Ok(stats);
                         }
-                        if !self.link.send_frame(encode_watermark_frame(ts)) {
+                        if !ship(&self.link, &mut seq, encode_watermark_frame(ts)) {
+                            return Ok(stats);
+                        }
+                    }
+                    Element::Barrier(epoch) => {
+                        // Like a watermark: the pre-barrier run must cross the wire
+                        // before the cut does.
+                        if !flush(&mut frame, &self.link, &mut seq, &mut stats) {
+                            return Ok(stats);
+                        }
+                        if !ship(&self.link, &mut seq, encode_barrier_frame(epoch)) {
                             return Ok(stats);
                         }
                     }
                     Element::End => {
-                        let _ = flush(&mut frame, &self.link, &mut stats);
-                        let _ = self.link.send_frame(encode_end_frame());
+                        let _ = flush(&mut frame, &self.link, &mut seq, &mut stats);
+                        let _ = ship(&self.link, &mut seq, encode_end_frame());
                         return Ok(stats);
                     }
                 }
             }
             // Flush at the batch boundary: one upstream batch becomes (at most) one
             // frame, so wire framing tracks the transport's batch size.
-            if !flush(&mut frame, &self.link, &mut stats) {
+            if !flush(&mut frame, &self.link, &mut seq, &mut stats) {
                 return Ok(stats);
             }
         }
@@ -360,6 +408,7 @@ pub struct ReceiveOp<T, P: ProvenanceSystem, L = LinkReceiver> {
     link: L,
     output: OutputSlot<T, P::Meta>,
     provenance: P,
+    checkpoints: Option<CheckpointHandle>,
 }
 
 impl<T, P, L> ReceiveOp<T, P, L>
@@ -380,7 +429,21 @@ where
             link,
             output,
             provenance,
+            checkpoints: None,
         }
+    }
+
+    /// Makes the operator fence the deployment's checkpoint store before failing on
+    /// a broken link.
+    ///
+    /// The fence must be raised *while this operator still holds its output
+    /// channel*: only then does it strictly precede the synthesized end-of-stream
+    /// the downstream fan-in would otherwise use to drop this input from barrier
+    /// alignment, which in turn could let a partial epoch reach completeness (the
+    /// upstream instance behind the severed link keeps committing, unaware).
+    pub fn with_checkpoints(mut self, checkpoints: CheckpointHandle) -> Self {
+        self.checkpoints = Some(checkpoints);
+        self
     }
 }
 
@@ -397,11 +460,42 @@ where
     fn run(self: Box<Self>) -> Result<OperatorStats, SpeError> {
         let mut out = self.output.open();
         let mut stats = OperatorStats::new(self.name.clone());
-        'frames: while let Some(frame) = self.link.recv_frame() {
-            let decoded = WireFrame::<T>::from_bytes(&frame).map_err(|err| SpeError::Runtime {
+        // Raised while `out` is still held, so the fence strictly precedes the
+        // synthesized end-of-stream downstream peers see once this thread exits.
+        let fail = |message: String| {
+            if let Some(config) = self.checkpoints.as_ref().and_then(|h| h.get()) {
+                config.store.fence();
+            }
+            SpeError::Runtime {
                 operator: self.name.clone(),
-                message: err.to_string(),
-            })?;
+                message,
+            }
+        };
+        let mut expected_seq = 0u64;
+        let mut ended = false;
+        'frames: while let Some(framed) = self.link.recv_frame() {
+            if framed.len() < 8 {
+                return Err(fail(format!(
+                    "runt frame of {} bytes (no sequence number)",
+                    framed.len()
+                )));
+            }
+            let seq = u64::from_le_bytes(framed[..8].try_into().expect("8-byte prefix"));
+            if seq < expected_seq {
+                // A link-level duplicate: this frame was already delivered and
+                // applied; re-applying it would double tuples downstream.
+                continue;
+            }
+            if seq > expected_seq {
+                // A lost frame. The stream can no longer be trusted: fail the query
+                // so the recovery path replays it from the last checkpoint.
+                return Err(fail(format!(
+                    "sequence gap on the link: expected frame {expected_seq}, got {seq}"
+                )));
+            }
+            expected_seq += 1;
+            let decoded =
+                WireFrame::<T>::from_bytes(&framed[8..]).map_err(|err| fail(err.to_string()))?;
             match decoded {
                 WireFrame::Tuples(run) => {
                     for wire_tuple in run {
@@ -429,8 +523,22 @@ where
                         return Ok(stats);
                     }
                 }
-                WireFrame::End => break 'frames,
+                WireFrame::Barrier(epoch) => {
+                    if out.send_barrier(epoch).is_err() {
+                        return Ok(stats);
+                    }
+                }
+                WireFrame::End => {
+                    ended = true;
+                    break 'frames;
+                }
             }
+        }
+        if !ended && expected_seq > 0 {
+            // The link died mid-stream (severed connection, crashed sender). A
+            // stream that started but never delivered its end marker is incomplete:
+            // fail the query so recovery can rebuild and replay it.
+            return Err(fail("link closed before the end-of-stream marker".into()));
         }
         let _ = out.send_end();
         Ok(stats)

@@ -23,24 +23,30 @@
 //!   [`deployment::remote_shard_group_gl`]) that span a key-partitioned operator's
 //!   Partition exchange across SPE instances, with the provenance stitched back
 //!   together by [`deployment::attach_shard_provenance_sink`].
+//! * [`fault`] — controlled failure injection ([`fault::FaultySender`],
+//!   [`fault::FaultPlan`]): dropped, duplicated, delayed and severed frames, plus
+//!   the fire-once triggers the recovery tests use to kill a shard thread on the
+//!   first attempt only.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod deployment;
 pub mod endpoint;
+pub mod fault;
 pub mod network;
 pub mod wire;
 
 pub use deployment::{
     attach_shard_provenance_sink, deploy_distributed_baseline, deploy_distributed_genealog,
     deploy_distributed_noprov, group_provenance, instances_dot, remote_shard_group,
-    remote_shard_group_gl, DistributedOutcome, GlShardGroup, ProvenanceRecord, RemoteShardGroup,
-    ShardGroupDeployment, ShardLinks, ShardProvenanceCollector,
+    remote_shard_group_gl, remote_shard_group_gl_with_faults, DistributedOutcome, GlShardGroup,
+    ProvenanceRecord, RemoteShardGroup, ShardGroupDeployment, ShardLinks, ShardProvenanceCollector,
 };
 pub use endpoint::{
     ReceiveOp, SendOp, TupleFrameBuilder, WireFrame, WireProvenance, WireTag, WireTuple,
 };
+pub use fault::{FaultPlan, FaultySender, LinkFaults, OneShot};
 pub use network::{
     FrameSink, FrameSource, LinkStats, MuxReceiver, MuxSender, NetworkConfig, SharedLink,
     SimulatedLink,

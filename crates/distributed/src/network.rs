@@ -18,7 +18,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crossbeam_channel::{bounded, unbounded, Receiver, Sender};
+use crossbeam_channel::{bounded, unbounded, Receiver, SendTimeoutError, Sender};
 use parking_lot::Mutex;
 
 /// Bandwidth and propagation latency of a simulated link.
@@ -37,6 +37,14 @@ pub struct NetworkConfig {
     /// exercised before the real TCP transport lands. The default bound is
     /// deliberately modest; raise it (or set 0) to decouple sender and receiver.
     pub send_queue_frames: usize,
+    /// Upper bound on how long a bounded send may block on a full queue before the
+    /// link is declared dead (0 = wait forever).
+    ///
+    /// Without it, a receiver that stops draining — a crashed remote instance whose
+    /// receiving thread is gone but whose queue is still full — wedges the sending
+    /// operator forever. With the timeout the send fails instead, the Send operator
+    /// reports a broken link, and the recovery path gets to rebuild the deployment.
+    pub send_timeout: Duration,
 }
 
 impl Default for NetworkConfig {
@@ -47,6 +55,7 @@ impl Default for NetworkConfig {
             bandwidth_bps: 100_000_000,
             latency: Duration::from_micros(200),
             send_queue_frames: 4_096,
+            send_timeout: Duration::from_secs(5),
         }
     }
 }
@@ -59,6 +68,7 @@ impl NetworkConfig {
             bandwidth_bps: 0,
             latency: Duration::ZERO,
             send_queue_frames: 0,
+            send_timeout: Duration::from_secs(5),
         }
     }
 
@@ -66,6 +76,13 @@ impl NetworkConfig {
     /// (0 = unbounded).
     pub fn with_send_queue_frames(mut self, frames: usize) -> Self {
         self.send_queue_frames = frames;
+        self
+    }
+
+    /// Returns the configuration with a different bounded-send timeout
+    /// (0 = wait forever).
+    pub fn with_send_timeout(mut self, timeout: Duration) -> Self {
+        self.send_timeout = timeout;
         self
     }
 
@@ -156,9 +173,13 @@ impl LinkSender {
     /// store-and-forward switch without slowing the sender's thread artificially. It
     /// DOES block while the send queue holds
     /// [`NetworkConfig::send_queue_frames`] undelivered frames — the link's
-    /// back-pressure point.
+    /// back-pressure point — but for at most [`NetworkConfig::send_timeout`] when
+    /// that is non-zero.
     ///
-    /// Returns `false` if the receiving instance has shut down.
+    /// Returns `false` if the receiving instance has shut down, or if a bounded
+    /// queue stayed full past the send timeout (a receiver that will never drain
+    /// again looks exactly like back-pressure; the timeout is what tells them
+    /// apart).
     pub fn send(&self, payload: Vec<u8>) -> bool {
         let size = payload.len();
         self.stats.record(size);
@@ -170,12 +191,18 @@ impl LinkSender {
             *busy = done;
             done + self.config.latency
         };
-        self.tx
-            .send(Frame {
-                payload,
-                deliver_at,
-            })
-            .is_ok()
+        let frame = Frame {
+            payload,
+            deliver_at,
+        };
+        if self.config.send_queue_frames != 0 && self.config.send_timeout > Duration::ZERO {
+            match self.tx.send_timeout(frame, self.config.send_timeout) {
+                Ok(()) => true,
+                Err(SendTimeoutError::Timeout(_)) | Err(SendTimeoutError::Disconnected(_)) => false,
+            }
+        } else {
+            self.tx.send(frame).is_ok()
+        }
     }
 
     /// Per-link statistics.
@@ -515,6 +542,26 @@ mod tests {
         assert_eq!(rx.recv().unwrap(), vec![2]);
         sender.join().unwrap();
         assert_eq!(sent.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn bounded_send_times_out_when_the_receiver_never_drains() {
+        let (tx, rx, _stats) = SimulatedLink::new(
+            NetworkConfig::unlimited()
+                .with_send_queue_frames(1)
+                .with_send_timeout(Duration::from_millis(50)),
+        );
+        assert!(tx.send(vec![0]));
+        // The queue is full and nobody is draining it: the second send must give
+        // up after the timeout instead of wedging the sending operator forever.
+        let start = Instant::now();
+        assert!(!tx.send(vec![1]));
+        assert!(start.elapsed() >= Duration::from_millis(40));
+        // With the receiver dropped the failure is immediate (disconnected).
+        drop(rx);
+        let start = Instant::now();
+        assert!(!tx.send(vec![2]));
+        assert!(start.elapsed() < Duration::from_millis(40));
     }
 
     #[test]

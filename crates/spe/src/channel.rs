@@ -548,6 +548,21 @@ impl<T, M> OutputHandle<T, M> {
         self.flush()
     }
 
+    /// Emits an epoch barrier. Like watermarks, barriers flush the batch
+    /// immediately, so a barrier is always the *last* element of the batch that
+    /// carries it — fan-in alignment relies on this to know that an input which
+    /// delivered a barrier has no pre-barrier elements left buffered.
+    ///
+    /// # Errors
+    /// Returns [`ChannelClosed`] if the downstream operator has shut down.
+    pub fn send_barrier(&mut self, epoch: u64) -> Result<(), ChannelClosed> {
+        if self.sender.is_none() {
+            return Ok(());
+        }
+        self.buffer.push(Element::Barrier(epoch));
+        self.flush()
+    }
+
     /// Emits the end-of-stream marker, flushing any partial batch ahead of it.
     ///
     /// # Errors
@@ -568,6 +583,7 @@ impl<T, M> OutputHandle<T, M> {
         match element {
             Element::Tuple(tuple) => self.send_tuple(tuple),
             Element::Watermark(ts) => self.send_watermark(ts),
+            Element::Barrier(epoch) => self.send_barrier(epoch),
             Element::End => self.send_end(),
         }
     }

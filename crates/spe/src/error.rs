@@ -31,6 +31,13 @@ pub enum SpeError {
         /// Human-readable description of the failure.
         message: String,
     },
+    /// Every recovery attempt of [`crate::state::run_with_recovery`] failed.
+    RecoveryExhausted {
+        /// Number of runs attempted (initial attempt included).
+        attempts: usize,
+        /// The error of the last failed attempt.
+        last_error: Box<SpeError>,
+    },
 }
 
 impl fmt::Display for SpeError {
@@ -45,6 +52,15 @@ impl fmt::Display for SpeError {
             }
             SpeError::Runtime { operator, message } => {
                 write!(f, "operator `{operator}` failed: {message}")
+            }
+            SpeError::RecoveryExhausted {
+                attempts,
+                last_error,
+            } => {
+                write!(
+                    f,
+                    "recovery exhausted after {attempts} attempts: {last_error}"
+                )
             }
         }
     }

@@ -24,9 +24,9 @@
 //! boundary).
 //!
 //! Fusion composes with sharding: the per-shard streams of a
-//! [`partition`](crate::query::Query::partition) are ordinary streams, so per-shard
-//! stateless stages (e.g. [`filter_shards`](crate::query::Query::filter_shards))
-//! fuse *within* each shard — never across the exchange or the merge fan-in, which
+//! [`partition`](crate::query::Query::partition) are ordinary streams, so the
+//! per-shard stateless stages the planner lowers into an open shard region fuse
+//! *within* each shard — never across the exchange or the merge fan-in, which
 //! are multi-stream operators and therefore natural boundaries.
 //!
 //! # Why fusion is provenance-transparent
@@ -109,11 +109,15 @@ impl StageInfo {
 
 /// Runs a sealed chain to completion: pulls elements from the captured head
 /// receiver, passes tuples through the composed stages into the tuple sink, forwards
-/// watermarks to the watermark sink and returns on end-of-stream or channel close.
+/// watermarks to the watermark sink and epoch barriers to the barrier sink, and
+/// returns on end-of-stream or channel close. Stateless stages hold no state across
+/// a barrier, so forwarding it through the chain boundary is the entire checkpoint
+/// protocol for fused chains.
 type ChainDriver<T, M> = Box<
     dyn FnOnce(
             &mut dyn FnMut(Arc<GTuple<T, M>>) -> Result<(), ChannelClosed>,
             &mut dyn FnMut(Timestamp) -> Result<(), ChannelClosed>,
+            &mut dyn FnMut(u64) -> Result<(), ChannelClosed>,
         ) + Send,
 >;
 
@@ -142,7 +146,7 @@ impl<T: TupleData, M: MetaData> PendingChain<T, M> {
         output: OutputSlot<T, M>,
     ) -> Self {
         let stage_counters = Arc::clone(&counters);
-        let driver: ChainDriver<T, M> = Box::new(move |emit, wm| loop {
+        let driver: ChainDriver<T, M> = Box::new(move |emit, wm, barrier| loop {
             for element in rx.recv_batch() {
                 match element {
                     Element::Tuple(tuple) => {
@@ -153,6 +157,11 @@ impl<T: TupleData, M: MetaData> PendingChain<T, M> {
                     }
                     Element::Watermark(ts) => {
                         if wm(ts).is_err() {
+                            return;
+                        }
+                    }
+                    Element::Barrier(epoch) => {
+                        if barrier(epoch).is_err() {
                             return;
                         }
                     }
@@ -179,7 +188,7 @@ impl<T: TupleData, M: MetaData> PendingChain<T, M> {
         let inner = self.driver;
         let prev = self.counters;
         let stage_counters = Arc::clone(&counters);
-        let driver: ChainDriver<O, M> = Box::new(move |emit, wm| {
+        let driver: ChainDriver<O, M> = Box::new(move |emit, wm, barrier| {
             inner(
                 &mut |tuple| {
                     // The previous stage's output and this stage's input are the
@@ -189,6 +198,7 @@ impl<T: TupleData, M: MetaData> PendingChain<T, M> {
                     stage.process(tuple, &mut *emit)
                 },
                 wm,
+                barrier,
             )
         });
         PendingChain {
@@ -240,6 +250,7 @@ impl<T: TupleData, M: MetaData> SealableChain for PendingChain<T, M> {
                         Ok(())
                     },
                     &mut |ts| out.borrow_mut().send_watermark(ts),
+                    &mut |epoch| out.borrow_mut().send_barrier(epoch),
                 );
                 let _ = out.into_inner().send_end();
             }),
@@ -376,6 +387,7 @@ mod tests {
             match out_rx.recv() {
                 Element::Tuple(t) => values.push(t.data),
                 Element::Watermark(_) => watermarks += 1,
+                Element::Barrier(_) => {}
                 Element::End => break,
             }
         }

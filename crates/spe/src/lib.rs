@@ -53,6 +53,7 @@ pub mod planner;
 pub mod provenance;
 pub mod query;
 pub mod runtime;
+pub mod state;
 pub mod time;
 pub mod tuple;
 pub mod window;
@@ -70,6 +71,10 @@ pub mod prelude {
     pub use crate::provenance::{MetaData, NoProvenance, ProvenanceSystem};
     pub use crate::query::{Query, QueryConfig, StreamRef};
     pub use crate::runtime::{QueryHandle, QueryReport};
+    pub use crate::state::{
+        run_with_recovery, CheckpointConfig, CheckpointStore, InMemoryBackend, RecoveryConfig,
+        SerializingBackend, Snapshot, StateBackend,
+    };
     pub use crate::time::{Duration, Timestamp};
     pub use crate::tuple::{Element, GTuple, TupleData, TupleId};
     pub use crate::window::WindowSpec;
@@ -83,6 +88,10 @@ pub use planner::PlannerConfig;
 pub use provenance::{NoProvenance, ProvenanceSystem};
 pub use query::{Query, QueryConfig, StreamRef};
 pub use runtime::{QueryHandle, QueryReport};
+pub use state::{
+    run_with_recovery, CheckpointConfig, CheckpointHandle, CheckpointStore, InMemoryBackend,
+    RecoveryConfig, SerializingBackend, Snapshot, StateBackend,
+};
 pub use time::{Duration, Timestamp};
 pub use tuple::{Element, GTuple, TupleData, TupleId};
 pub use window::WindowSpec;

@@ -187,7 +187,7 @@ impl<P: ProvenanceSystem> LogicalPlan<P> {
 
     /// The planner configuration the plan will be lowered with.
     pub fn config(&self) -> PlannerConfig {
-        self.shared.borrow().config
+        self.shared.borrow().config.clone()
     }
 
     /// Number of logical nodes added so far.
@@ -301,11 +301,14 @@ impl<P: ProvenanceSystem> LogicalPlan<P> {
             let mut state = self.shared.borrow_mut();
             (
                 state.provenance.clone(),
-                state.config,
+                state.config.clone(),
                 std::mem::take(&mut state.sinks),
             )
         };
         let mut q = Query::with_config(provenance, config.query_config());
+        if let Some(checkpoints) = config.checkpoints {
+            q.set_checkpoints(checkpoints);
+        }
         for sink in sinks {
             sink(&mut q);
         }
@@ -569,7 +572,7 @@ impl<P: ProvenanceSystem, T: TupleData> LogicalStream<P, T> {
     ) -> LogicalStream<P, O>
     where
         O: TupleData,
-        K: Ord + std::hash::Hash + Clone + Send + 'static,
+        K: Ord + std::hash::Hash + Clone + Send + Sync + 'static,
         KF: FnMut(&T) -> K + Clone + Send + 'static,
         AF: FnMut(&WindowView<'_, K, T, P::Meta>) -> O + Clone + Send + 'static,
         OK: FnMut(&O) -> K + Send + 'static,

@@ -24,6 +24,9 @@ pub enum MergedElement<T, M> {
     Tuple(Arc<GTuple<T, M>>, usize),
     /// All inputs have progressed past this timestamp.
     Watermark(Timestamp),
+    /// Every live input has delivered the barrier for this epoch and every buffered
+    /// pre-barrier tuple has been released: the cut is aligned at this fan-in.
+    Barrier(u64),
     /// Every input stream has ended and all buffers are drained.
     End,
 }
@@ -34,6 +37,10 @@ struct MergeInput<T, M> {
     buffer: VecDeque<Arc<GTuple<T, M>>>,
     /// Highest lower bound promised by this input (via watermarks or tuple timestamps).
     promised: Timestamp,
+    /// Epoch barrier this input has reached and is now blocked on (checkpoint
+    /// alignment): the input is not pumped again until every other live input
+    /// reaches the same barrier.
+    at_barrier: Option<u64>,
     ended: bool,
 }
 
@@ -42,7 +49,10 @@ impl<T, M> MergeInput<T, M> {
     fn lower_bound(&self) -> Timestamp {
         if let Some(front) = self.buffer.front() {
             front.ts
-        } else if self.ended {
+        } else if self.ended || self.at_barrier.is_some() {
+            // An input blocked on a barrier delivers nothing until the cut is
+            // aligned, so it must not hold back the release of other inputs'
+            // buffered pre-barrier tuples.
             Timestamp::MAX
         } else {
             self.promised
@@ -63,6 +73,7 @@ impl<T, M> MergeInput<T, M> {
                     self.promised = ts;
                 }
             }
+            Element::Barrier(epoch) => self.at_barrier = Some(epoch),
             Element::End => self.ended = true,
         }
     }
@@ -96,6 +107,7 @@ impl<T, M> DeterministicMerge<T, M> {
                     rx,
                     buffer: VecDeque::new(),
                     promised: Timestamp::MIN,
+                    at_barrier: None,
                     ended: false,
                 })
                 .collect(),
@@ -141,6 +153,7 @@ impl<T, M> DeterministicMerge<T, M> {
                 let blocking = self.inputs.iter().enumerate().any(|(i, input)| {
                     input.buffer.front().is_none()
                         && !input.ended
+                        && input.at_barrier.is_none()
                         && (input.promised < ts || (input.promised == ts && i < idx))
                 });
                 if !blocking {
@@ -154,6 +167,25 @@ impl<T, M> DeterministicMerge<T, M> {
                 // No buffered tuples anywhere.
                 if self.inputs.iter().all(|i| i.ended) {
                     return MergedElement::End;
+                }
+                // All live inputs blocked on a barrier and every pre-barrier tuple
+                // released: the cut is aligned. Clear the marks and emit a single
+                // barrier downstream (ended inputs count as trivially aligned).
+                if self
+                    .inputs
+                    .iter()
+                    .all(|i| i.ended || i.at_barrier.is_some())
+                {
+                    let epoch = self
+                        .inputs
+                        .iter()
+                        .filter_map(|i| i.at_barrier)
+                        .max()
+                        .expect("at least one live input is at a barrier");
+                    for input in &mut self.inputs {
+                        input.at_barrier = None;
+                    }
+                    return MergedElement::Barrier(epoch);
                 }
                 // Propagate watermark progress so downstream windows can close even
                 // while no tuples flow.
@@ -189,8 +221,12 @@ impl<T, M> DeterministicMerge<T, M> {
         // Drain partially consumed batches buffered inside a receiver before
         // selecting on the raw channels: elements held there (handed over by an
         // earlier per-element `recv`) would otherwise be invisible to the select.
+        // Inputs blocked on a barrier are excluded entirely: consuming their
+        // post-barrier elements before the cut is aligned would mix epochs. The
+        // barrier is always the last element of the batch that carries it, so an
+        // at-barrier input never holds unconsumed pre-barrier elements.
         for input in &mut self.inputs {
-            if !input.ended && input.rx.has_pending() {
+            if !input.ended && input.at_barrier.is_none() && input.rx.has_pending() {
                 let batch = input.rx.recv_batch();
                 input.fold_batch(batch);
                 return true;
@@ -200,7 +236,7 @@ impl<T, M> DeterministicMerge<T, M> {
             .inputs
             .iter()
             .enumerate()
-            .filter(|(_, input)| !input.ended)
+            .filter(|(_, input)| !input.ended && input.at_barrier.is_none())
             .map(|(i, _)| i)
             .collect();
         if live.is_empty() {
@@ -248,7 +284,7 @@ mod tests {
         loop {
             match merge.next() {
                 MergedElement::Tuple(tuple, idx) => out.push((tuple.ts.as_secs(), tuple.data, idx)),
-                MergedElement::Watermark(_) => {}
+                MergedElement::Watermark(_) | MergedElement::Barrier(_) => {}
                 MergedElement::End => break,
             }
         }
@@ -414,6 +450,62 @@ mod tests {
             assert!(input.rx.is_empty(), "drained receiver must report empty");
             assert_eq!(input.rx.len(), 0);
         }
+    }
+
+    #[test]
+    fn barriers_align_across_inputs_before_being_forwarded() {
+        let (tx1, rx1) = stream_channel::<i64, ()>(16);
+        let (tx2, rx2) = stream_channel::<i64, ()>(16);
+        // Input 0 reaches the barrier first, with a pre-barrier tuple still buffered;
+        // input 1 trails with two tuples before its own barrier. The merge must
+        // release every pre-barrier tuple, then emit exactly one aligned barrier.
+        tx1.send(Element::Tuple(t(1, 10))).unwrap();
+        tx1.send(Element::Barrier(1)).unwrap();
+        tx2.send(Element::Tuple(t(2, 20))).unwrap();
+        tx2.send(Element::Tuple(t(3, 30))).unwrap();
+        tx2.send(Element::Barrier(1)).unwrap();
+        tx1.send(Element::End).unwrap();
+        tx2.send(Element::End).unwrap();
+        let mut merge = DeterministicMerge::new(vec![rx1, rx2]);
+        let mut tuples = Vec::new();
+        let mut barriers = Vec::new();
+        loop {
+            match merge.next() {
+                MergedElement::Tuple(tuple, _) => {
+                    assert!(barriers.is_empty(), "tuple released after the barrier");
+                    tuples.push(tuple.ts.as_secs());
+                }
+                MergedElement::Barrier(epoch) => barriers.push(epoch),
+                MergedElement::Watermark(_) => {}
+                MergedElement::End => break,
+            }
+        }
+        assert_eq!(tuples, vec![1, 2, 3]);
+        assert_eq!(barriers, vec![1]);
+    }
+
+    #[test]
+    fn barrier_aligns_against_an_ended_input() {
+        let (tx1, rx1) = stream_channel::<i64, ()>(16);
+        let (tx2, rx2) = stream_channel::<i64, ()>(16);
+        tx1.send(Element::Tuple(t(1, 10))).unwrap();
+        tx1.send(Element::Barrier(7)).unwrap();
+        tx1.send(Element::End).unwrap();
+        // Input 1 ends without ever seeing a barrier: it counts as aligned.
+        tx2.send(Element::End).unwrap();
+        let mut merge = DeterministicMerge::new(vec![rx1, rx2]);
+        let mut saw_barrier = false;
+        loop {
+            match merge.next() {
+                MergedElement::Barrier(epoch) => {
+                    assert_eq!(epoch, 7);
+                    saw_barrier = true;
+                }
+                MergedElement::End => break,
+                _ => {}
+            }
+        }
+        assert!(saw_barrier);
     }
 
     #[test]

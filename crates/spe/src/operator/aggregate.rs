@@ -11,10 +11,11 @@ use std::sync::Arc;
 use crate::channel::{OutputSlot, StreamReceiver};
 use crate::error::SpeError;
 use crate::operator::{Operator, OperatorStats};
-use crate::provenance::ProvenanceSystem;
+use crate::provenance::{detach_tuple, ProvenanceSystem};
+use crate::state::{CheckpointHandle, Snapshot};
 use crate::time::Timestamp;
 use crate::tuple::{Element, GTuple, TupleData};
-use crate::window::{ClosedWindow, WindowSpec, WindowStore};
+use crate::window::{ClosedWindow, WindowSpec, WindowStore, WindowStoreSnapshot};
 
 /// The view of a closed window handed to the aggregation function.
 #[derive(Debug)]
@@ -53,18 +54,22 @@ pub struct AggregateOp<I, O, K, KF, AF, P: ProvenanceSystem> {
     key_fn: KF,
     agg_fn: AF,
     provenance: P,
+    checkpoints: CheckpointHandle,
 }
 
 impl<I, O, K, KF, AF, P> AggregateOp<I, O, K, KF, AF, P>
 where
     I: TupleData,
     O: TupleData,
-    K: Ord + Clone + Send + 'static,
+    K: Ord + Clone + Send + Sync + 'static,
     KF: FnMut(&I) -> K + Send + 'static,
     AF: FnMut(&WindowView<'_, K, I, P::Meta>) -> O + Send + 'static,
     P: ProvenanceSystem,
 {
-    /// Creates an Aggregate operator.
+    /// Creates an Aggregate operator. When `checkpoints` is filled before the query
+    /// is deployed, the operator snapshots its window store — the buffered tuples
+    /// with their live provenance pointers — on every epoch barrier.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         name: impl Into<String>,
         input: StreamReceiver<I, P::Meta>,
@@ -73,6 +78,7 @@ where
         key_fn: KF,
         agg_fn: AF,
         provenance: P,
+        checkpoints: CheckpointHandle,
     ) -> Self {
         AggregateOp {
             name: name.into(),
@@ -82,6 +88,7 @@ where
             key_fn,
             agg_fn,
             provenance,
+            checkpoints,
         }
     }
 
@@ -122,7 +129,7 @@ impl<I, O, K, KF, AF, P> Operator for AggregateOp<I, O, K, KF, AF, P>
 where
     I: TupleData,
     O: TupleData,
-    K: Ord + Clone + Send + 'static,
+    K: Ord + Clone + Send + Sync + 'static,
     KF: FnMut(&I) -> K + Send + 'static,
     AF: FnMut(&WindowView<'_, K, I, P::Meta>) -> O + Send + 'static,
     P: ProvenanceSystem,
@@ -135,6 +142,22 @@ where
         let mut out = self.output.open();
         let mut stats = OperatorStats::new(self.name.clone());
         let window_size = self.store.spec().size;
+        let checkpoints = self.checkpoints.get().cloned();
+        if let Some(ckpt) = &checkpoints {
+            ckpt.store.register(&self.name);
+            if let Some(snapshot) = ckpt
+                .store
+                .restore_snapshot(&self.name)
+                .and_then(|s| s.downcast::<WindowStoreSnapshot<K, I, P::Meta>>())
+            {
+                // Re-materialise the open windows through detached clones so the
+                // restored slice of the provenance graph has fresh `N` cells for
+                // this run's window-close chains to claim.
+                let provenance = self.provenance.clone();
+                self.store
+                    .restore(&snapshot, &mut |t| detach_tuple(&provenance, t));
+            }
+        }
         loop {
             for element in self.input.recv_batch() {
                 match element {
@@ -152,6 +175,18 @@ where
                         // which is strictly greater than ts - WS.
                         let downstream_wm = ts.saturating_sub(window_size);
                         if out.send_watermark(downstream_wm).is_err() {
+                            return Ok(stats);
+                        }
+                    }
+                    Element::Barrier(epoch) => {
+                        if let Some(ckpt) = &checkpoints {
+                            ckpt.store.commit(
+                                &self.name,
+                                epoch,
+                                Snapshot::inline(self.store.snapshot()),
+                            );
+                        }
+                        if out.send_barrier(epoch).is_err() {
                             return Ok(stats);
                         }
                     }
@@ -200,6 +235,7 @@ mod tests {
             |t: &(u32, u32)| t.0,
             |w: &WindowView<'_, u32, (u32, u32), ()>| (*w.key, w.len()),
             NoProvenance,
+            Default::default(),
         );
         Box::new(op).run().unwrap();
 
@@ -207,7 +243,7 @@ mod tests {
         loop {
             match out_rx.recv() {
                 Element::Tuple(t) => outputs.push((t.ts.as_secs(), t.data.0, t.data.1)),
-                Element::Watermark(_) => {}
+                Element::Watermark(_) | Element::Barrier(_) => {}
                 Element::End => break,
             }
         }
@@ -276,6 +312,7 @@ mod tests {
             |t: &(u32, u32)| t.0,
             |w: &WindowView<'_, u32, (u32, u32), ()>| w.len(),
             NoProvenance,
+            Default::default(),
         );
         Box::new(op).run().unwrap();
         let out = out_rx.recv();

@@ -14,9 +14,20 @@ use std::sync::Arc;
 use crate::channel::{OutputSlot, StreamReceiver};
 use crate::error::SpeError;
 use crate::operator::{Operator, OperatorStats};
-use crate::provenance::ProvenanceSystem;
+use crate::provenance::{detach_tuple, ProvenanceSystem};
+use crate::state::{CheckpointHandle, Snapshot};
 use crate::time::{Duration, Timestamp};
 use crate::tuple::{Element, GTuple, TupleData};
+
+/// Everything a Join persists at an epoch barrier: both sides' retained time windows
+/// and the watermark already emitted downstream. Pending buffers are provably empty
+/// at alignment (any pending head is releasable once the other side is blocked on
+/// the barrier), so they need no snapshot.
+struct JoinSnapshot<L, R, M> {
+    left_window: Vec<Arc<GTuple<L, M>>>,
+    right_window: Vec<Arc<GTuple<R, M>>>,
+    emitted_watermark: Timestamp,
+}
 
 struct JoinSide<T, M> {
     rx: StreamReceiver<T, M>,
@@ -25,6 +36,9 @@ struct JoinSide<T, M> {
     /// Already-processed tuples retained for matching against the other side.
     window: VecDeque<Arc<GTuple<T, M>>>,
     promised: Timestamp,
+    /// Epoch barrier this side has reached (checkpoint alignment): the side is not
+    /// pumped again until the other side reaches the same barrier.
+    at_barrier: Option<u64>,
     ended: bool,
 }
 
@@ -35,6 +49,7 @@ impl<T, M> JoinSide<T, M> {
             pending: VecDeque::new(),
             window: VecDeque::new(),
             promised: Timestamp::MIN,
+            at_barrier: None,
             ended: false,
         }
     }
@@ -42,7 +57,10 @@ impl<T, M> JoinSide<T, M> {
     fn lower_bound(&self) -> Timestamp {
         if let Some(front) = self.pending.front() {
             front.ts
-        } else if self.ended {
+        } else if self.ended || self.at_barrier.is_some() {
+            // A side blocked on a barrier delivers nothing until the cut is aligned,
+            // so it must not hold back the release of the other side's buffered
+            // pre-barrier tuples.
             Timestamp::MAX
         } else {
             self.promised
@@ -62,6 +80,7 @@ impl<T, M> JoinSide<T, M> {
                     self.promised = ts;
                 }
             }
+            Element::Barrier(epoch) => self.at_barrier = Some(epoch),
             Element::End => self.ended = true,
         }
     }
@@ -94,6 +113,7 @@ pub struct JoinOp<L, R, O, PR, CF, P: ProvenanceSystem> {
     combine: CF,
     provenance: P,
     emitted_watermark: Timestamp,
+    checkpoints: CheckpointHandle,
 }
 
 impl<L, R, O, PR, CF, P> JoinOp<L, R, O, PR, CF, P>
@@ -105,7 +125,9 @@ where
     CF: FnMut(&L, &R) -> O + Send + 'static,
     P: ProvenanceSystem,
 {
-    /// Creates a Join operator with the given window size `WS`.
+    /// Creates a Join operator with the given window size `WS`. When `checkpoints`
+    /// is filled before the query is deployed, the Join aligns epoch barriers across
+    /// its two inputs and snapshots both time windows at each aligned cut.
     ///
     /// # Panics
     /// Panics if the window size is zero.
@@ -119,6 +141,7 @@ where
         predicate: PR,
         combine: CF,
         provenance: P,
+        checkpoints: CheckpointHandle,
     ) -> Self {
         assert!(!window.is_zero(), "Join window size must be positive");
         JoinOp {
@@ -131,6 +154,7 @@ where
             combine,
             provenance,
             emitted_watermark: Timestamp::MIN,
+            checkpoints,
         }
     }
 }
@@ -151,6 +175,30 @@ where
     fn run(mut self: Box<Self>) -> Result<OperatorStats, SpeError> {
         let mut out = self.output.open();
         let mut stats = OperatorStats::new(self.name.clone());
+        let checkpoints = self.checkpoints.get().cloned();
+        if let Some(ckpt) = &checkpoints {
+            ckpt.store.register(&self.name);
+            if let Some(snapshot) = ckpt
+                .store
+                .restore_snapshot(&self.name)
+                .and_then(|s| s.downcast::<JoinSnapshot<L, R, P::Meta>>())
+            {
+                // Re-stitch the provenance graph slice: every restored window tuple
+                // gets a fresh, unset N-cell so recovered chains link only among
+                // recovered tuples (see `ProvenanceSystem::detach_meta`).
+                self.left.window = snapshot
+                    .left_window
+                    .iter()
+                    .map(|t| detach_tuple(&self.provenance, t))
+                    .collect();
+                self.right.window = snapshot
+                    .right_window
+                    .iter()
+                    .map(|t| detach_tuple(&self.provenance, t))
+                    .collect();
+                self.emitted_watermark = snapshot.emitted_watermark;
+            }
+        }
         loop {
             let left_lb = self.left.lower_bound();
             let right_lb = self.right.lower_bound();
@@ -205,6 +253,40 @@ where
                 }
                 self.right.window.push_back(tuple);
             } else {
+                // Barrier alignment must be checked *before* the frontier==MAX end
+                // branch: when both sides are blocked on a barrier, both lower
+                // bounds read MAX exactly like the all-ended case. Reaching this
+                // branch with a side blocked or ended means its pending buffer is
+                // empty (a pending head would be releasable against a MAX bound),
+                // so the windows are the only state crossing the cut.
+                let left_blocked = self.left.at_barrier.is_some();
+                let right_blocked = self.right.at_barrier.is_some();
+                let left_at_cut = left_blocked || self.left.ended;
+                let right_at_cut = right_blocked || self.right.ended;
+                if (left_blocked || right_blocked) && left_at_cut && right_at_cut {
+                    let epoch = self
+                        .left
+                        .at_barrier
+                        .into_iter()
+                        .chain(self.right.at_barrier)
+                        .max()
+                        .expect("at least one side is at a barrier");
+                    if let Some(ckpt) = &checkpoints {
+                        let snapshot = JoinSnapshot {
+                            left_window: self.left.window.iter().cloned().collect(),
+                            right_window: self.right.window.iter().cloned().collect(),
+                            emitted_watermark: self.emitted_watermark,
+                        };
+                        ckpt.store
+                            .commit(&self.name, epoch, Snapshot::inline(snapshot));
+                    }
+                    self.left.at_barrier = None;
+                    self.right.at_barrier = None;
+                    if out.send_barrier(epoch).is_err() {
+                        return Ok(stats);
+                    }
+                    continue;
+                }
                 // No head is releasable: either everything has ended, or we must wait
                 // for more elements from the side currently holding us back.
                 let frontier = left_lb.min(right_lb);
@@ -227,10 +309,14 @@ where
                 // both Join branches), so select over whichever live side delivers
                 // first. The release decision above stays timestamp-based, keeping the
                 // output deterministic regardless of arrival order.
-                match (self.left.ended, self.right.ended) {
-                    (false, true) => self.left.pump(),
-                    (true, false) => self.right.pump(),
-                    (false, false) => {
+                // A side blocked on a barrier is never pumped: consuming its
+                // post-barrier elements before the cut is aligned would mix epochs.
+                let left_pumpable = !self.left.ended && self.left.at_barrier.is_none();
+                let right_pumpable = !self.right.ended && self.right.at_barrier.is_none();
+                match (left_pumpable, right_pumpable) {
+                    (true, false) => self.left.pump(),
+                    (false, true) => self.right.pump(),
+                    (true, true) => {
                         // Drain partially consumed batches before selecting on the
                         // raw channels, so locally buffered elements are never
                         // overlooked while both channels are idle.
@@ -255,7 +341,9 @@ where
                             }
                         }
                     }
-                    (true, true) => {}
+                    // Unreachable while the query runs: both sides blocked/ended is
+                    // handled by the alignment and end branches above.
+                    (false, false) => {}
                 }
             }
         }
@@ -301,13 +389,14 @@ mod tests {
             |l: &(u32, i64), r: &(u32, i64)| l.0 == r.0,
             |l: &(u32, i64), r: &(u32, i64)| (l.0, l.1, r.1),
             NoProvenance,
+            Default::default(),
         );
         Box::new(op).run().unwrap();
         let mut outputs = Vec::new();
         loop {
             match orx.recv() {
                 Element::Tuple(t) => outputs.push((t.ts.as_secs(), t.data)),
-                Element::Watermark(_) => {}
+                Element::Watermark(_) | Element::Barrier(_) => {}
                 Element::End => break,
             }
         }
@@ -395,6 +484,52 @@ mod tests {
             |_: &i64, _: &i64| true,
             |l: &i64, r: &i64| l + r,
             NoProvenance,
+            Default::default(),
         );
+    }
+
+    #[test]
+    fn join_aligns_barriers_and_forwards_one() {
+        let (ltx, lrx) = stream_channel::<(u32, i64), ()>(64);
+        let (rtx, rrx) = stream_channel::<(u32, i64), ()>(64);
+        let out_slot = OutputSlot::<(u32, i64, i64), ()>::new();
+        let (otx, mut orx) = stream_channel(64);
+        out_slot.connect(otx);
+        // Both sides carry a barrier for epoch 1 after their pre-barrier tuple; the
+        // join must release the pair first, then forward exactly one barrier.
+        ltx.send(Element::Tuple(tup(10, (1u32, 100i64)))).unwrap();
+        ltx.send(Element::Barrier(1)).unwrap();
+        ltx.send(Element::End).unwrap();
+        rtx.send(Element::Tuple(tup(15, (1u32, 5i64)))).unwrap();
+        rtx.send(Element::Barrier(1)).unwrap();
+        rtx.send(Element::End).unwrap();
+
+        let op = JoinOp::new(
+            "join",
+            lrx,
+            rrx,
+            out_slot,
+            Duration::from_secs(60),
+            |l: &(u32, i64), r: &(u32, i64)| l.0 == r.0,
+            |l: &(u32, i64), r: &(u32, i64)| (l.0, l.1, r.1),
+            NoProvenance,
+            Default::default(),
+        );
+        Box::new(op).run().unwrap();
+        let mut tuples = Vec::new();
+        let mut barriers = Vec::new();
+        loop {
+            match orx.recv() {
+                Element::Tuple(t) => {
+                    assert!(barriers.is_empty(), "tuple emitted after the barrier");
+                    tuples.push(t.data);
+                }
+                Element::Barrier(epoch) => barriers.push(epoch),
+                Element::Watermark(_) => {}
+                Element::End => break,
+            }
+        }
+        assert_eq!(tuples, vec![(1, 100, 5)]);
+        assert_eq!(barriers, vec![1]);
     }
 }

@@ -94,6 +94,15 @@ where
                             }
                         }
                     }
+                    Element::Barrier(epoch) => {
+                        // Like watermarks, barriers are broadcast so every branch of
+                        // the fan-out observes the cut at the same stream position.
+                        for (out, alive) in outs.iter_mut().zip(live.iter_mut()) {
+                            if *alive && out.send_barrier(epoch).is_err() {
+                                *alive = false;
+                            }
+                        }
+                    }
                     Element::End => {
                         for out in &mut outs {
                             let _ = out.send_end();

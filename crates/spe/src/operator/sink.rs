@@ -14,6 +14,7 @@ use crate::channel::StreamReceiver;
 use crate::error::SpeError;
 use crate::operator::{now_nanos, Operator, OperatorStats};
 use crate::provenance::MetaData;
+use crate::state::{CheckpointHandle, Snapshot};
 use crate::tuple::{Element, GTuple, TupleData};
 
 /// Shared, thread-safe statistics of a Sink operator.
@@ -117,6 +118,12 @@ impl<T, M> CollectedStream<T, M> {
     pub fn drain(&self) -> Vec<Arc<GTuple<T, M>>> {
         std::mem::take(&mut *self.tuples.lock())
     }
+
+    /// Replaces the collected tuples with a checkpointed prefix (used by the Sink
+    /// operator when restoring from an epoch snapshot).
+    pub fn restore(&self, tuples: Vec<Arc<GTuple<T, M>>>) {
+        *self.tuples.lock() = tuples;
+    }
 }
 
 /// The Sink operator runtime.
@@ -125,6 +132,10 @@ pub struct SinkOp<T, M, F> {
     input: StreamReceiver<T, M>,
     callback: F,
     stats: Arc<SinkStats>,
+    /// The collection backing a collecting sink, if any: it doubles as the sink's
+    /// checkpointable state (the output prefix committed at each epoch barrier).
+    collected: Option<CollectedStream<T, M>>,
+    checkpoints: CheckpointHandle,
 }
 
 impl<T, M, F> SinkOp<T, M, F>
@@ -134,17 +145,26 @@ where
     F: FnMut(&Arc<GTuple<T, M>>) + Send + 'static,
 {
     /// Creates a Sink operator invoking `callback` for every sink tuple.
+    ///
+    /// `collected` names the collection the callback feeds, if any; it becomes the
+    /// sink's checkpointable state. Sinks without collection state still participate
+    /// in checkpoints (committing an empty snapshot) so that a complete epoch
+    /// guarantees the barrier reached every query output.
     pub fn new(
         name: impl Into<String>,
         input: StreamReceiver<T, M>,
         callback: F,
         stats: Arc<SinkStats>,
+        collected: Option<CollectedStream<T, M>>,
+        checkpoints: CheckpointHandle,
     ) -> Self {
         SinkOp {
             name: name.into(),
             input,
             callback,
             stats,
+            collected,
+            checkpoints,
         }
     }
 }
@@ -161,6 +181,18 @@ where
 
     fn run(mut self: Box<Self>) -> Result<OperatorStats, SpeError> {
         let mut stats = OperatorStats::new(self.name.clone());
+        let checkpoints = self.checkpoints.get().cloned();
+        if let Some(ckpt) = &checkpoints {
+            ckpt.store.register(&self.name);
+            if let Some(snapshot) = ckpt.store.restore_snapshot(&self.name) {
+                if let (Some(collected), Some(prefix)) = (
+                    &self.collected,
+                    snapshot.downcast::<Vec<Arc<GTuple<T, M>>>>(),
+                ) {
+                    collected.restore(prefix.as_ref().clone());
+                }
+            }
+        }
         loop {
             for element in self.input.recv_batch() {
                 match element {
@@ -171,6 +203,15 @@ where
                         (self.callback)(&tuple);
                     }
                     Element::Watermark(_) => {}
+                    Element::Barrier(epoch) => {
+                        if let Some(ckpt) = &checkpoints {
+                            let snapshot = match &self.collected {
+                                Some(c) => Snapshot::inline(c.tuples()),
+                                None => Snapshot::bytes(Vec::new()),
+                            };
+                            ckpt.store.commit(&self.name, epoch, snapshot);
+                        }
+                    }
                     Element::End => return Ok(stats),
                 }
             }
@@ -207,6 +248,8 @@ mod tests {
             rx,
             move |t: &Arc<GTuple<i64, ()>>| collected_in_cb.lock().push(t.data),
             Arc::clone(&stats),
+            None,
+            Default::default(),
         );
         let op_stats = Box::new(op).run().unwrap();
         assert_eq!(op_stats.tuples_in, 1);

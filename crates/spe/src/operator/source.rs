@@ -13,6 +13,7 @@ use crate::channel::OutputSlot;
 use crate::error::SpeError;
 use crate::operator::{now_nanos, Operator, OperatorStats};
 use crate::provenance::{ProvenanceSystem, SourceContext};
+use crate::state::{CheckpointHandle, Snapshot};
 use crate::time::Timestamp;
 use crate::tuple::{GTuple, TupleData};
 
@@ -115,10 +116,15 @@ pub struct SourceOp<G: SourceGenerator, P: ProvenanceSystem> {
     output: OutputSlot<G::Item, P::Meta>,
     provenance: P,
     stop: Arc<AtomicBool>,
+    checkpoints: CheckpointHandle,
 }
 
 impl<G: SourceGenerator, P: ProvenanceSystem> SourceOp<G, P> {
-    /// Creates a Source operator.
+    /// Creates a Source operator. When `checkpoints` is filled before the query is
+    /// deployed, the Source injects an epoch barrier every
+    /// [`interval`](crate::state::CheckpointConfig::interval) tuples and commits its
+    /// replay offset for that epoch.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         name: impl Into<String>,
         source_id: u32,
@@ -127,6 +133,7 @@ impl<G: SourceGenerator, P: ProvenanceSystem> SourceOp<G, P> {
         output: OutputSlot<G::Item, P::Meta>,
         provenance: P,
         stop: Arc<AtomicBool>,
+        checkpoints: CheckpointHandle,
     ) -> Self {
         SourceOp {
             name: name.into(),
@@ -136,6 +143,7 @@ impl<G: SourceGenerator, P: ProvenanceSystem> SourceOp<G, P> {
             output,
             provenance,
             stop,
+            checkpoints,
         }
     }
 }
@@ -150,7 +158,30 @@ impl<G: SourceGenerator, P: ProvenanceSystem> Operator for SourceOp<G, P> {
         let mut stats = OperatorStats::new(self.name.clone());
         let mut seq: u64 = 0;
         let mut last_ts = Timestamp::MIN;
+
+        let checkpoints = self.checkpoints.get().cloned();
+        if let Some(ckpt) = &checkpoints {
+            ckpt.store.register(&self.name);
+            if let Some(offset) = ckpt
+                .store
+                .restore_snapshot(&self.name)
+                .and_then(|s| s.as_u64())
+            {
+                // Fast-forward to the committed replay offset: the generator is
+                // deterministic, so discarding the first `offset` tuples reproduces
+                // exactly the prefix the checkpoint already covers. Resuming with
+                // `seq = offset` keeps the watermark and barrier cadence identical
+                // to a run that never failed.
+                while seq < offset {
+                    if self.generator.next_tuple().is_none() {
+                        break;
+                    }
+                    seq += 1;
+                }
+            }
+        }
         let start = std::time::Instant::now();
+        let base_seq = seq;
 
         while let Some((ts, data)) = self.generator.next_tuple() {
             if self.stop.load(Ordering::Relaxed) {
@@ -163,7 +194,7 @@ impl<G: SourceGenerator, P: ProvenanceSystem> Operator for SourceOp<G, P> {
             last_ts = ts;
 
             if let RateLimit::TuplesPerSecond(rate) = self.config.rate {
-                if let Some(expected_nanos) = (seq * 1_000_000_000).checked_div(rate) {
+                if let Some(expected_nanos) = ((seq - base_seq) * 1_000_000_000).checked_div(rate) {
                     let expected = std::time::Duration::from_nanos(expected_nanos);
                     let elapsed = start.elapsed();
                     if expected > elapsed {
@@ -187,6 +218,16 @@ impl<G: SourceGenerator, P: ProvenanceSystem> Operator for SourceOp<G, P> {
             stats.tuples_out += 1;
             if self.config.watermark_every > 0 && seq.is_multiple_of(self.config.watermark_every) {
                 let _ = out.send_watermark(ts);
+            }
+            if let Some(ckpt) = &checkpoints {
+                if seq.is_multiple_of(ckpt.interval) {
+                    // The epoch's replay offset is committed *before* the barrier is
+                    // emitted, so a barrier seen downstream always has its source
+                    // offset on record.
+                    let epoch = seq / ckpt.interval;
+                    ckpt.store.commit(&self.name, epoch, Snapshot::u64(seq));
+                    let _ = out.send_barrier(epoch);
+                }
             }
         }
         let _ = out.send_watermark(Timestamp::MAX);
@@ -235,6 +276,7 @@ mod tests {
             slot,
             NoProvenance,
             Arc::new(AtomicBool::new(false)),
+            Default::default(),
         );
         let stats = Box::new(op).run().unwrap();
         assert_eq!(stats.tuples_out, 3);
@@ -245,6 +287,7 @@ mod tests {
             match rx.recv() {
                 Element::Tuple(_) => tuples += 1,
                 Element::Watermark(_) => watermarks += 1,
+                Element::Barrier(_) => {}
                 Element::End => break,
             }
         }
@@ -267,6 +310,7 @@ mod tests {
             slot,
             NoProvenance,
             stop,
+            Default::default(),
         );
         let stats = Box::new(op).run().unwrap();
         assert_eq!(stats.tuples_out, 0);
@@ -295,6 +339,7 @@ mod tests {
             slot,
             NoProvenance,
             Arc::new(AtomicBool::new(false)),
+            Default::default(),
         );
         let start = std::time::Instant::now();
         Box::new(op).run().unwrap();

@@ -68,6 +68,14 @@ where
                         return Ok(stats);
                     }
                 }
+                MergedElement::Barrier(epoch) => {
+                    // The merge aligned the cut and drained every pre-barrier tuple,
+                    // so Union holds no state across the barrier: forwarding it is
+                    // the entire checkpoint protocol for this operator.
+                    if out.send_barrier(epoch).is_err() {
+                        return Ok(stats);
+                    }
+                }
                 MergedElement::End => {
                     let _ = out.send_end();
                     return Ok(stats);
@@ -119,7 +127,7 @@ mod tests {
         loop {
             match out_rx.recv() {
                 Element::Tuple(t) => rest.push(t),
-                Element::Watermark(_) => {}
+                Element::Watermark(_) | Element::Barrier(_) => {}
                 Element::End => break,
             }
         }

@@ -209,6 +209,16 @@ where
                             }
                         }
                     }
+                    Element::Barrier(epoch) => {
+                        // Broadcast like watermarks: every shard observes the cut at
+                        // the same position in its key range, so the shard instances
+                        // snapshot a consistent global cut.
+                        for out in &mut outs {
+                            if out.send_barrier(epoch).is_err() {
+                                return Ok(stats);
+                            }
+                        }
+                    }
                     Element::End => {
                         for out in &mut outs {
                             let _ = out.send_end();
@@ -331,6 +341,18 @@ where
                         return Ok(stats);
                     }
                 }
+                MergedElement::Barrier(epoch) => {
+                    // The aligned barrier proves every shard has emitted all outputs
+                    // for the windows closed before the cut (watermarks precede the
+                    // barrier on every shard channel), so the held run is complete:
+                    // flush it and the fan-in crosses the barrier stateless.
+                    if !Self::flush_run(&mut run, &mut *cmp, &mut out, &mut stats) {
+                        return Ok(stats);
+                    }
+                    if out.send_barrier(epoch).is_err() {
+                        return Ok(stats);
+                    }
+                }
                 MergedElement::End => {
                     let _ = Self::flush_run(&mut run, &mut *cmp, &mut out, &mut stats);
                     let _ = out.send_end();
@@ -449,7 +471,7 @@ impl<P: ProvenanceSystem> Query<P> {
     where
         I: TupleData,
         O: TupleData,
-        K: Ord + Hash + Clone + Send + 'static,
+        K: Ord + Hash + Clone + Send + Sync + 'static,
         KF: FnMut(&I) -> K + Clone + Send + 'static,
         AF: FnMut(&WindowView<'_, K, I, P::Meta>) -> O + Clone + Send + 'static,
         OK: FnMut(&O) -> K + Send + 'static,
@@ -466,60 +488,11 @@ impl<P: ProvenanceSystem> Query<P> {
         self.keyed_merge(&format!("{name}.merge"), shards, out_key)
     }
 
-    /// Adds a key-partitioned Aggregate with an explicit *placement* per shard.
-    ///
-    /// This is the distributed generalisation of [`Query::sharded_aggregate`]: each
-    /// entry of `placements` decides where the corresponding shard runs.
-    /// [`ShardPlacement::Local`] builds the shard operator in this process exactly as
-    /// `sharded_aggregate` does; [`ShardPlacement::Remote`] hands the shard's
-    /// partitioned sub-stream to a route callback that ships it to another SPE
-    /// instance (`SendOp → link → ReceiveOp → shard operator → SendOp → link →
-    /// ReceiveOp`) and returns the stream coming back. Either way the shard stream
-    /// re-enters the provenance-safe fan-in with the same joint channel budget, so
-    /// the deterministic `(timestamp, key, per-key emission order)` output — and,
-    /// under GeneaLog, the contribution sets once REMOTE origins are stitched by the
-    /// multi-stream unfolder — are placement-invariant.
-    ///
-    /// For remote placements `spec`/`key_fn`/`agg_fn` are not used to build the shard
-    /// operator (the remote instance's plan is constructed by the shard-group
-    /// deployment helper); they still define the exchange key and the semantics local
-    /// shards run with, so mixed local/remote groups stay consistent.
-    ///
-    /// # Panics
-    /// Panics if `placements` is empty.
-    #[allow(clippy::too_many_arguments)] // mirrors sharded_aggregate with placements
-    #[deprecated(
-        note = "build the plan on `LogicalPlan` and annotate the aggregate with \
-                `.place(placements)` (or `.with(Parallelism::shards(n))` for all-local \
-                groups); the planner inserts the exchange and fan-in"
-    )]
-    pub fn sharded_aggregate_placed<I, O, K, KF, AF, OK>(
-        &mut self,
-        name: &str,
-        input: StreamRef<I, P::Meta>,
-        spec: WindowSpec,
-        key_fn: KF,
-        agg_fn: AF,
-        out_key: OK,
-        placements: Vec<ShardPlacement<P, I, O>>,
-    ) -> StreamRef<O, P::Meta>
-    where
-        I: TupleData,
-        O: TupleData,
-        K: Ord + Hash + Clone + Send + 'static,
-        KF: FnMut(&I) -> K + Clone + Send + 'static,
-        AF: FnMut(&WindowView<'_, K, I, P::Meta>) -> O + Clone + Send + 'static,
-        OK: FnMut(&O) -> K + Send + 'static,
-    {
-        let shards = self.shard_aggregate_streams(name, input, spec, key_fn, agg_fn, placements);
-        self.keyed_merge(&format!("{name}.merge"), shards, out_key)
-    }
-
     /// Lowering core of a placed sharded Aggregate: the exchange and the shard
     /// instances (local threads or remote splices), *without* the fan-in. The
     /// returned shard streams carry the joint capacity share; the caller closes the
-    /// region with [`Query::keyed_merge`] / `keyed_merge_cmp` — immediately (the
-    /// legacy entry points) or after further per-shard stages (the planner).
+    /// region with [`Query::keyed_merge`] / `keyed_merge_cmp` — immediately
+    /// ([`Query::sharded_aggregate`]) or after further per-shard stages (the planner).
     pub(crate) fn shard_aggregate_streams<I, O, K, KF, AF>(
         &mut self,
         name: &str,
@@ -532,7 +505,7 @@ impl<P: ProvenanceSystem> Query<P> {
     where
         I: TupleData,
         O: TupleData,
-        K: Ord + Hash + Clone + Send + 'static,
+        K: Ord + Hash + Clone + Send + Sync + 'static,
         KF: FnMut(&I) -> K + Clone + Send + 'static,
         AF: FnMut(&WindowView<'_, K, I, P::Meta>) -> O + Clone + Send + 'static,
     {
@@ -564,6 +537,7 @@ impl<P: ProvenanceSystem> Query<P> {
                         key_fn.clone(),
                         agg_fn.clone(),
                         self.provenance().clone(),
+                        self.checkpoint_handle(),
                     );
                     self.set_operator(node, Box::new(op));
                     stream
@@ -625,47 +599,6 @@ impl<P: ProvenanceSystem> Query<P> {
         self.keyed_merge(&format!("{name}.merge"), shards, out_key)
     }
 
-    /// Adds a key-partitioned equi-key Join with an explicit *placement* per shard
-    /// (the join counterpart of [`Query::sharded_aggregate_placed`]): both inputs are
-    /// hash-partitioned, each shard runs locally or on a remote SPE instance, and the
-    /// returning streams re-enter the canonical fan-in with joint channel budgets.
-    ///
-    /// # Panics
-    /// Panics if `placements` is empty.
-    #[allow(clippy::too_many_arguments)] // mirrors sharded_join with placements
-    #[deprecated(note = "build the plan on `LogicalPlan` and annotate the join with \
-                `.place_join(placements)` (or `.with(Parallelism::shards(n))` for \
-                all-local groups); the planner inserts the exchanges and fan-in")]
-    pub fn sharded_join_placed<L, R, O, K, LK, RK, OK, PR, CF>(
-        &mut self,
-        name: &str,
-        left: StreamRef<L, P::Meta>,
-        right: StreamRef<R, P::Meta>,
-        window: Duration,
-        left_key: LK,
-        right_key: RK,
-        out_key: OK,
-        predicate: PR,
-        combine: CF,
-        placements: Vec<JoinShardPlacement<P, L, R, O>>,
-    ) -> StreamRef<O, P::Meta>
-    where
-        L: TupleData,
-        R: TupleData,
-        O: TupleData,
-        K: Ord + Hash + Clone + Send + 'static,
-        LK: FnMut(&L) -> K + Send + 'static,
-        RK: FnMut(&R) -> K + Send + 'static,
-        OK: FnMut(&O) -> K + Send + 'static,
-        PR: FnMut(&L, &R) -> bool + Clone + Send + 'static,
-        CF: FnMut(&L, &R) -> O + Clone + Send + 'static,
-    {
-        let shards = self.shard_join_streams(
-            name, left, right, window, left_key, right_key, predicate, combine, placements,
-        );
-        self.keyed_merge(&format!("{name}.merge"), shards, out_key)
-    }
-
     /// Lowering core of a placed sharded Join (see
     /// [`Query::shard_aggregate_streams`]): both exchanges and the shard instances,
     /// without the fan-in.
@@ -718,6 +651,7 @@ impl<P: ProvenanceSystem> Query<P> {
                         predicate.clone(),
                         combine.clone(),
                         self.provenance().clone(),
+                        self.checkpoint_handle(),
                     );
                     self.set_operator(node, Box::new(op));
                     stream
@@ -732,8 +666,8 @@ impl<P: ProvenanceSystem> Query<P> {
         outs
     }
 
-    /// Applies one logical Filter to every stream of a shard fan-out, returning the
-    /// filtered shard streams in the same order.
+    /// Lowering core of a per-shard Filter (one instance per shard stream, grouped
+    /// for reporting; fuses within each shard under the fusion pass).
     ///
     /// Each shard gets its own instance `name[i]` of the predicate; the instances
     /// form a shard group, so the runtime folds their statistics into one report and
@@ -741,25 +675,6 @@ impl<P: ProvenanceSystem> Query<P> {
     /// [`QueryConfig::fusion`](crate::query::QueryConfig) consecutive per-shard
     /// stateless stages fuse *within* each shard — never across the exchange or the
     /// fan-in, which are multi-stream fusion boundaries.
-    #[deprecated(
-        note = "build the plan on `LogicalPlan`: a `.filter(..)` after a sharded \
-                stateful operator stays inside the shard region automatically"
-    )]
-    pub fn filter_shards<T, F>(
-        &mut self,
-        name: &str,
-        shards: Vec<StreamRef<T, P::Meta>>,
-        predicate: F,
-    ) -> Vec<StreamRef<T, P::Meta>>
-    where
-        T: TupleData,
-        F: FnMut(&T) -> bool + Clone + Send + 'static,
-    {
-        self.filter_shard_streams(name, shards, predicate)
-    }
-
-    /// Lowering core of a per-shard Filter (one instance per shard stream, grouped
-    /// for reporting; fuses within each shard under the fusion pass).
     pub(crate) fn filter_shard_streams<T, F>(
         &mut self,
         name: &str,
@@ -772,7 +687,7 @@ impl<P: ProvenanceSystem> Query<P> {
     {
         assert!(
             !shards.is_empty(),
-            "filter_shards requires at least one shard"
+            "a per-shard Filter requires at least one shard"
         );
         let instances = shards.len();
         shards
@@ -793,27 +708,6 @@ impl<P: ProvenanceSystem> Query<P> {
             .collect()
     }
 
-    /// Applies one logical Map to every stream of a shard fan-out, returning the
-    /// mapped shard streams in the same order (see [`Query::filter_shards`]).
-    #[deprecated(
-        note = "build the plan on `LogicalPlan`: a `.map(..)` carrying a `.keyed(..)` \
-                annotation after a sharded stateful operator stays inside the shard \
-                region automatically"
-    )]
-    pub fn map_shards<I, O, F>(
-        &mut self,
-        name: &str,
-        shards: Vec<StreamRef<I, P::Meta>>,
-        function: F,
-    ) -> Vec<StreamRef<O, P::Meta>>
-    where
-        I: TupleData,
-        O: TupleData,
-        F: FnMut(&I) -> Vec<O> + Clone + Send + 'static,
-    {
-        self.map_shard_streams(name, shards, function)
-    }
-
     /// Lowering core of a per-shard Map (see [`Query::filter_shard_streams`]).
     pub(crate) fn map_shard_streams<I, O, F>(
         &mut self,
@@ -826,7 +720,10 @@ impl<P: ProvenanceSystem> Query<P> {
         O: TupleData,
         F: FnMut(&I) -> Vec<O> + Clone + Send + 'static,
     {
-        assert!(!shards.is_empty(), "map_shards requires at least one shard");
+        assert!(
+            !shards.is_empty(),
+            "a per-shard Map requires at least one shard"
+        );
         let instances = shards.len();
         let provenance = self.provenance().clone();
         shards
@@ -935,6 +832,7 @@ mod tests {
                         }
                     }
                     Element::Watermark(_) => watermarks += 1,
+                    Element::Barrier(_) => {}
                     Element::End => break,
                 }
             }
@@ -975,7 +873,7 @@ mod tests {
         loop {
             match out_rx.recv() {
                 Element::Tuple(t) => keys.push(t.data.0),
-                Element::Watermark(_) => {}
+                Element::Watermark(_) | Element::Barrier(_) => {}
                 Element::End => break,
             }
         }
@@ -1013,6 +911,7 @@ mod tests {
             match out_rx.recv() {
                 Element::Tuple(t) => seen.push((true, t.data.0 as u64)),
                 Element::Watermark(ts) => seen.push((false, ts.as_secs())),
+                Element::Barrier(_) => {}
                 Element::End => break,
             }
         }
@@ -1193,7 +1092,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // pins the legacy per-shard entry points until removal
     fn shard_local_stages_fuse_within_shards() {
         use crate::query::QueryConfig;
         // partition -> per-shard filter -> per-shard map -> keyed merge: with fusion
@@ -1205,8 +1103,8 @@ mod tests {
             let items: Vec<(u32, i64)> = (0..64).map(|i| (i % 8, i as i64)).collect();
             let src = q.source("src", VecSource::with_period(items, 1_000));
             let shards = q.partition("part", src, 4, |t: &(u32, i64)| t.0);
-            let kept = q.filter_shards("keep", shards, |t: &(u32, i64)| t.1 % 2 == 0);
-            let scaled = q.map_shards("scale", kept, |t: &(u32, i64)| vec![(t.0, t.1 * 10)]);
+            let kept = q.filter_shard_streams("keep", shards, |t: &(u32, i64)| t.1 % 2 == 0);
+            let scaled = q.map_shard_streams("scale", kept, |t: &(u32, i64)| vec![(t.0, t.1 * 10)]);
             let merged = q.keyed_merge("merge", scaled, |t: &(u32, i64)| t.0);
             let out = q.collecting_sink("sink", merged);
             let report = q.deploy().unwrap().wait().unwrap();

@@ -21,8 +21,8 @@
 //!   physical-layer callers keep their report shapes.)
 //! * **Shard regions** — between a sharded stateful operator and its fan-in the plan
 //!   is an *open shard region* (`Lowered::Shards`): stateless operators lower to
-//!   per-shard stages inside the region (the planner-owned equivalent of the
-//!   deprecated `filter_shards`/`map_shards`), and the canonical merge is inserted
+//!   per-shard stages inside the region (the planner-owned successor of the
+//!   removed `filter_shards`/`map_shards` entry points), and the canonical merge is inserted
 //!   only where something genuinely needs the reunified stream — a stateful
 //!   operator, a fan-out/fan-in, a sink, or a payload type change without a
 //!   [`keyed`](crate::logical::LogicalStream::keyed) annotation.
@@ -34,6 +34,7 @@ use crate::channel::BatchConfig;
 use crate::parallel::KeyComparator;
 use crate::provenance::ProvenanceSystem;
 use crate::query::{Query, QueryConfig, StreamRef};
+use crate::state::CheckpointConfig;
 use crate::tuple::TupleData;
 
 /// Configuration of the planner pass (see [`crate::logical`]).
@@ -42,7 +43,7 @@ use crate::tuple::TupleData;
 /// default**. Fused chains report per-stage counters through
 /// [`OperatorReport::stages`](crate::runtime::OperatorReport), so nothing is lost by
 /// fusing; turn it off only to compare thread-per-operator execution.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct PlannerConfig {
     /// Capacity (in elements) of the bounded channels between physical operators.
     pub channel_capacity: usize,
@@ -55,6 +56,12 @@ pub struct PlannerConfig {
     /// Whether eligible stateless chains fuse into single-thread pipelines.
     /// **On by default.**
     pub fusion: bool,
+    /// When set, the lowered query runs with epoch-based checkpointing: sources
+    /// inject barriers every [`CheckpointConfig::interval`] tuples and every
+    /// stateful operator snapshots into the shared
+    /// [`CheckpointStore`](crate::state::CheckpointStore). `None` (the default)
+    /// lowers a checkpoint-free query — no barriers ever enter the dataflow.
+    pub checkpoints: Option<CheckpointConfig>,
 }
 
 impl Default for PlannerConfig {
@@ -64,6 +71,7 @@ impl Default for PlannerConfig {
             batch: BatchConfig::default(),
             parallelism: 1,
             fusion: true,
+            checkpoints: None,
         }
     }
 }
@@ -97,6 +105,14 @@ impl PlannerConfig {
     /// Returns the configuration with the fusion pass enabled or disabled.
     pub fn with_fusion(mut self, enabled: bool) -> Self {
         self.fusion = enabled;
+        self
+    }
+
+    /// Returns the configuration with epoch-based checkpointing enabled: the lowered
+    /// query registers its stateful operators with the config's store and sources
+    /// inject a barrier every `config.interval` tuples.
+    pub fn with_checkpoints(mut self, config: CheckpointConfig) -> Self {
+        self.checkpoints = Some(config);
         self
     }
 

@@ -97,6 +97,31 @@ pub trait ProvenanceSystem: Clone + Send + Sync + 'static {
     /// process boundary (`T` stays `SOURCE` for forwarded source tuples and becomes
     /// `REMOTE` otherwise).
     fn remote_meta(&self, ctx: &RemoteContext) -> Self::Meta;
+
+    /// Clones metadata for a checkpoint *restore* (see [`crate::state`]).
+    ///
+    /// Restored tuples re-enter live operator state (window buffers), so any
+    /// metadata cell the provenance system mutates *after* tuple creation (GeneaLog's
+    /// `N` pointer, written when a window closes) must come back **unset**: the
+    /// recovered run will re-write it when its own windows close, and a stale value
+    /// from the failed run would corrupt the re-stitched lineage. Immutable fields
+    /// (kind, id, `U1`/`U2` back-pointers into the already-frozen part of the
+    /// provenance graph) are cloned as-is.
+    fn detach_meta(&self, meta: &Self::Meta) -> Self::Meta;
+}
+
+/// Clones a buffered tuple for a checkpoint restore: same timestamp, stimulus and
+/// payload, metadata detached through [`ProvenanceSystem::detach_meta`].
+pub fn detach_tuple<T: TupleData, P: ProvenanceSystem>(
+    provenance: &P,
+    tuple: &Arc<GTuple<T, P::Meta>>,
+) -> Arc<GTuple<T, P::Meta>> {
+    Arc::new(GTuple::new(
+        tuple.ts,
+        tuple.stimulus,
+        tuple.data.clone(),
+        provenance.detach_meta(&tuple.meta),
+    ))
 }
 
 /// The "NP" (no provenance) configuration: metadata is `()`, every hook is a no-op.
@@ -135,6 +160,9 @@ impl ProvenanceSystem for NoProvenance {
 
     #[inline]
     fn remote_meta(&self, _ctx: &RemoteContext) -> Self::Meta {}
+
+    #[inline]
+    fn detach_meta(&self, _meta: &Self::Meta) -> Self::Meta {}
 }
 
 #[cfg(test)]

@@ -13,7 +13,7 @@
 
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::AtomicBool;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use crate::channel::{stream_channel, BatchConfig, OutputSlot, StreamReceiver};
 use crate::error::SpeError;
@@ -29,6 +29,7 @@ use crate::operator::union::UnionOp;
 use crate::operator::{FusedStage, Operator};
 use crate::provenance::ProvenanceSystem;
 use crate::runtime::{OperatorSpec, QueryHandle, Runtime};
+use crate::state::{CheckpointConfig, CheckpointHandle};
 use crate::time::Duration;
 use crate::tuple::TupleData;
 use crate::window::WindowSpec;
@@ -358,6 +359,10 @@ pub struct Query<P: ProvenanceSystem> {
     slot_checks: Vec<(String, Box<dyn Fn() -> bool + Send>)>,
     stop: Arc<AtomicBool>,
     next_origin: u32,
+    /// Checkpoint configuration shared with every checkpoint-aware operator. The
+    /// cell is handed to operators at construction time and read when they start
+    /// running, so [`Query::set_checkpoints`] works at any point before deployment.
+    checkpoints: CheckpointHandle,
 }
 
 impl<P: ProvenanceSystem> Query<P> {
@@ -379,7 +384,24 @@ impl<P: ProvenanceSystem> Query<P> {
             slot_checks: Vec::new(),
             stop: Arc::new(AtomicBool::new(false)),
             next_origin: 0,
+            checkpoints: Arc::new(OnceLock::new()),
         }
+    }
+
+    /// Enables epoch-based checkpointing: Sources inject an epoch barrier every
+    /// [`interval`](CheckpointConfig::interval) tuples and every stateful operator
+    /// and sink snapshots its state into the configured
+    /// [`CheckpointStore`](crate::state::CheckpointStore) when the barrier reaches
+    /// it. Must be called before [`Query::deploy`]; calling it twice keeps the
+    /// first configuration.
+    pub fn set_checkpoints(&self, config: CheckpointConfig) {
+        let _ = self.checkpoints.set(config);
+    }
+
+    /// The shared checkpoint handle, for extension crates that construct
+    /// checkpoint-aware operators (e.g. distributed shard splicing).
+    pub fn checkpoint_handle(&self) -> CheckpointHandle {
+        Arc::clone(&self.checkpoints)
     }
 
     /// The provenance system the query was built with.
@@ -623,6 +645,7 @@ impl<P: ProvenanceSystem> Query<P> {
             slot,
             self.provenance.clone(),
             Arc::clone(&self.stop),
+            Arc::clone(&self.checkpoints),
         );
         self.set_operator(node, Box::new(op));
         stream
@@ -767,7 +790,7 @@ impl<P: ProvenanceSystem> Query<P> {
     where
         I: TupleData,
         O: TupleData,
-        K: Ord + Clone + Send + 'static,
+        K: Ord + Clone + Send + Sync + 'static,
         KF: FnMut(&I) -> K + Send + 'static,
         AF: FnMut(&WindowView<'_, K, I, P::Meta>) -> O + Send + 'static,
     {
@@ -782,6 +805,7 @@ impl<P: ProvenanceSystem> Query<P> {
             key_fn,
             agg_fn,
             self.provenance.clone(),
+            Arc::clone(&self.checkpoints),
         );
         self.set_operator(node, Box::new(op));
         stream
@@ -817,6 +841,7 @@ impl<P: ProvenanceSystem> Query<P> {
             predicate,
             combine,
             self.provenance.clone(),
+            Arc::clone(&self.checkpoints),
         );
         self.set_operator(node, Box::new(op));
         stream
@@ -852,9 +877,32 @@ impl<P: ProvenanceSystem> Query<P> {
         T: TupleData,
         F: FnMut(&Arc<crate::tuple::GTuple<T, P::Meta>>) + Send + 'static,
     {
+        self.add_sink(name, input, callback, stats, None);
+    }
+
+    /// The single construction path for sinks: `collected` names the collection the
+    /// callback feeds (if any), which doubles as the sink's checkpointable state.
+    fn add_sink<T, F>(
+        &mut self,
+        name: &str,
+        input: StreamRef<T, P::Meta>,
+        callback: F,
+        stats: Arc<SinkStats>,
+        collected: Option<CollectedStream<T, P::Meta>>,
+    ) where
+        T: TupleData,
+        F: FnMut(&Arc<crate::tuple::GTuple<T, P::Meta>>) + Send + 'static,
+    {
         let node = self.add_node(name, NodeKind::Sink);
         let rx = self.attach_input(input, node);
-        let op = SinkOp::new(name, rx, callback, stats);
+        let op = SinkOp::new(
+            name,
+            rx,
+            callback,
+            stats,
+            collected,
+            Arc::clone(&self.checkpoints),
+        );
         self.set_operator(node, Box::new(op));
     }
 
@@ -885,7 +933,13 @@ impl<P: ProvenanceSystem> Query<P> {
     {
         let copy = collected.clone();
         let stats = Arc::clone(collected.stats());
-        self.sink_into(name, input, move |t| copy.push(Arc::clone(t)), stats);
+        self.add_sink(
+            name,
+            input,
+            move |t| copy.push(Arc::clone(t)),
+            stats,
+            Some(collected.clone()),
+        );
     }
 
     /// Explicitly discards a stream: its elements are dropped without a consumer.
@@ -1095,7 +1149,7 @@ impl<P: ProvenanceSystem> Query<P> {
         if specs.is_empty() {
             return Err(SpeError::InvalidQuery("query has no operators".into()));
         }
-        Ok(Runtime::spawn(specs, self.stop))
+        Ok(Runtime::spawn(specs, self.stop, self.checkpoints))
     }
 }
 

@@ -299,7 +299,11 @@ impl QueryHandle {
 pub(crate) struct Runtime;
 
 impl Runtime {
-    pub(crate) fn spawn(operators: Vec<OperatorSpec>, stop: Arc<AtomicBool>) -> QueryHandle {
+    pub(crate) fn spawn(
+        operators: Vec<OperatorSpec>,
+        stop: Arc<AtomicBool>,
+        checkpoints: crate::state::CheckpointHandle,
+    ) -> QueryHandle {
         let started = Instant::now();
         let threads = operators
             .into_iter()
@@ -312,9 +316,40 @@ impl Runtime {
                 } = spec;
                 let name = op.name().to_string();
                 let thread_name = format!("spe-{name}");
+                let stop_on_panic = Arc::clone(&stop);
+                let checkpoints = Arc::clone(&checkpoints);
+                let panic_name = name.clone();
                 let handle = std::thread::Builder::new()
                     .name(thread_name)
-                    .spawn(move || op.run())
+                    .spawn(move || {
+                        // A panicking operator must not leave the query wedged:
+                        // catching the unwind lets us (1) raise the stop flag so
+                        // rate-limited sources cease producing, and (2) turn the
+                        // panic into a structured error naming the operator.
+                        // Unwinding has already dropped the operator's channel
+                        // endpoints, so peers drain out naturally: downstream sees
+                        // end-of-stream, upstream sees a closed channel.
+                        let result = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                            move || op.run(),
+                        )) {
+                            Ok(result) => result,
+                            Err(_) => {
+                                stop_on_panic.store(true, Ordering::Relaxed);
+                                Err(SpeError::OperatorPanicked {
+                                    operator: panic_name,
+                                })
+                            }
+                        };
+                        if result.is_err() {
+                            // Keep post-failure commits from other threads out of
+                            // the store, so no epoch influenced by the failure can
+                            // reach completeness and become the restore point.
+                            if let Some(config) = checkpoints.get() {
+                                config.store.fence();
+                            }
+                        }
+                        result
+                    })
                     .expect("failed to spawn operator thread");
                 (kind, name, group, stages, handle)
             })

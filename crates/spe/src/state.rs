@@ -1,0 +1,612 @@
+//! Pluggable state backends, epoch checkpoints and the recovery runner.
+//!
+//! Fault tolerance follows the classic aligned-barrier design (Chandy–Lamport cuts,
+//! as popularised by Flink, and the backend-parameterised operator state of arcon):
+//!
+//! 1. When a [`CheckpointConfig`] is installed on a query, every Source injects an
+//!    [`Element::Barrier`](crate::tuple::Element) into its output each `interval`
+//!    tuples and commits its replay offset for that epoch.
+//! 2. Barriers flow through every channel in stream order (and across the
+//!    distributed wire as `WireFrame::Barrier`). Stateless operators forward them;
+//!    fan-in operators (Union, Join, the shard fan-in) *align*: an input that has
+//!    delivered the barrier is held back until every other input reaches the same
+//!    barrier, at which point the operator commits a [`Snapshot`] of its keyed state
+//!    — including its slice of the provenance graph, i.e. the buffered tuples with
+//!    their live `U1`/`U2`/`N` pointers — and forwards the barrier once.
+//! 3. An epoch is *complete* once every registered participant (sources, stateful
+//!    operators, sinks) has committed it. Recovery rebuilds the query from scratch,
+//!    restores each participant from the latest complete epoch and replays the
+//!    sources from their committed offsets; because the engine is deterministic, the
+//!    recovered run's sink output and stitched contribution sets are byte-identical
+//!    to a fault-free run.
+//!
+//! The [`StateBackend`] trait hides where snapshots live: [`InMemoryBackend`] keeps
+//! them as cheap `Arc` clones, [`SerializingBackend`] additionally accounts for the
+//! serialised footprint of byte-encoded snapshots (source offsets, sink prefixes).
+//! Graph-slice snapshots are process-local by design — the `N`/`U` pointers are
+//! reference-counted pointers, not serialisable ids — which matches the paper's
+//! single-process-per-instance deployment model.
+
+use std::any::Any;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::Mutex;
+
+use crate::error::SpeError;
+use crate::runtime::{QueryHandle, QueryReport};
+
+/// One operator-state snapshot committed for one epoch.
+#[derive(Clone)]
+pub enum Snapshot {
+    /// A process-local snapshot shared by `Arc` (window buffers carrying live
+    /// provenance pointers cannot be serialised without losing the graph).
+    Inline(Arc<dyn Any + Send + Sync>),
+    /// A byte-encoded snapshot (source replay offsets, sink prefixes, counters).
+    Bytes(Vec<u8>),
+}
+
+impl fmt::Debug for Snapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Snapshot::Inline(_) => f.write_str("Snapshot::Inline(..)"),
+            Snapshot::Bytes(b) => write!(f, "Snapshot::Bytes({} bytes)", b.len()),
+        }
+    }
+}
+
+impl Snapshot {
+    /// Wraps a process-local state value.
+    pub fn inline<S: Any + Send + Sync>(state: S) -> Self {
+        Snapshot::Inline(Arc::new(state))
+    }
+
+    /// Wraps an already-encoded byte snapshot.
+    pub fn bytes(bytes: Vec<u8>) -> Self {
+        Snapshot::Bytes(bytes)
+    }
+
+    /// Encodes a `u64` (e.g. a source replay offset) as a byte snapshot.
+    pub fn u64(value: u64) -> Self {
+        Snapshot::Bytes(value.to_le_bytes().to_vec())
+    }
+
+    /// Downcasts an inline snapshot back to its concrete state type.
+    pub fn downcast<S: Any + Send + Sync>(&self) -> Option<Arc<S>> {
+        match self {
+            Snapshot::Inline(any) => Arc::clone(any).downcast().ok(),
+            Snapshot::Bytes(_) => None,
+        }
+    }
+
+    /// The raw bytes of a byte snapshot.
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            Snapshot::Bytes(b) => Some(b),
+            Snapshot::Inline(_) => None,
+        }
+    }
+
+    /// Decodes a snapshot previously produced by [`Snapshot::u64`].
+    pub fn as_u64(&self) -> Option<u64> {
+        let bytes = self.as_bytes()?;
+        Some(u64::from_le_bytes(bytes.try_into().ok()?))
+    }
+
+    /// Serialised size of the snapshot (0 for inline snapshots).
+    pub fn serialized_len(&self) -> usize {
+        match self {
+            Snapshot::Bytes(b) => b.len(),
+            Snapshot::Inline(_) => 0,
+        }
+    }
+}
+
+/// Where committed snapshots live.
+///
+/// Backends are keyed by `(participant, epoch)`; committing the same key twice
+/// overwrites (recovery replays re-commit the epochs after the restore point).
+pub trait StateBackend: fmt::Debug + Send + Sync {
+    /// Short human-readable backend name, used in reports.
+    fn name(&self) -> &'static str;
+
+    /// Stores a snapshot.
+    fn put(&self, participant: &str, epoch: u64, snapshot: Snapshot);
+
+    /// Retrieves a snapshot.
+    fn get(&self, participant: &str, epoch: u64) -> Option<Snapshot>;
+
+    /// Discards every snapshot of epochs strictly greater than `epoch` (incomplete
+    /// epochs are dropped when recovery begins).
+    fn remove_after(&self, epoch: u64);
+
+    /// Number of snapshots currently stored.
+    fn snapshot_count(&self) -> usize;
+
+    /// Total serialised footprint of the stored snapshots, in bytes (inline
+    /// snapshots contribute 0 — they are shared, not copied).
+    fn serialized_bytes(&self) -> usize;
+}
+
+type SnapshotMap = HashMap<(String, u64), Snapshot>;
+
+/// The default backend: snapshots stay in memory exactly as committed.
+#[derive(Debug, Default)]
+pub struct InMemoryBackend {
+    snapshots: Mutex<SnapshotMap>,
+}
+
+impl InMemoryBackend {
+    /// Creates an empty in-memory backend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl StateBackend for InMemoryBackend {
+    fn name(&self) -> &'static str {
+        "in-memory"
+    }
+
+    fn put(&self, participant: &str, epoch: u64, snapshot: Snapshot) {
+        self.snapshots
+            .lock()
+            .insert((participant.to_string(), epoch), snapshot);
+    }
+
+    fn get(&self, participant: &str, epoch: u64) -> Option<Snapshot> {
+        self.snapshots
+            .lock()
+            .get(&(participant.to_string(), epoch))
+            .cloned()
+    }
+
+    fn remove_after(&self, epoch: u64) {
+        self.snapshots.lock().retain(|(_, e), _| *e <= epoch);
+    }
+
+    fn snapshot_count(&self) -> usize {
+        self.snapshots.lock().len()
+    }
+
+    fn serialized_bytes(&self) -> usize {
+        self.snapshots
+            .lock()
+            .values()
+            .map(Snapshot::serialized_len)
+            .sum()
+    }
+}
+
+/// A backend that stores byte snapshots as owned serialised copies (simulating a
+/// durable store) and keeps graph-slice snapshots inline.
+///
+/// Byte snapshots are copied on commit and on restore, so a restore never aliases
+/// the committing run's buffers; the backend additionally tracks the cumulative
+/// number of bytes written, which the benchmarks use to report checkpoint overhead.
+/// Inline snapshots (the provenance graph slices) cannot cross a process boundary —
+/// a documented limitation shared with the paper's in-process provenance graph.
+#[derive(Debug, Default)]
+pub struct SerializingBackend {
+    inner: InMemoryBackend,
+    bytes_written: Mutex<u64>,
+}
+
+impl SerializingBackend {
+    /// Creates an empty serialising backend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cumulative number of serialised bytes written since creation (not reduced by
+    /// [`StateBackend::remove_after`]).
+    pub fn bytes_written(&self) -> u64 {
+        *self.bytes_written.lock()
+    }
+}
+
+impl StateBackend for SerializingBackend {
+    fn name(&self) -> &'static str {
+        "serializing"
+    }
+
+    fn put(&self, participant: &str, epoch: u64, snapshot: Snapshot) {
+        let snapshot = match snapshot {
+            // An owned copy stands in for the write to a durable store.
+            Snapshot::Bytes(b) => {
+                *self.bytes_written.lock() += b.len() as u64;
+                Snapshot::Bytes(b.clone())
+            }
+            inline => inline,
+        };
+        self.inner.put(participant, epoch, snapshot);
+    }
+
+    fn get(&self, participant: &str, epoch: u64) -> Option<Snapshot> {
+        self.inner.get(participant, epoch).map(|s| match s {
+            Snapshot::Bytes(b) => Snapshot::Bytes(b.clone()),
+            inline => inline,
+        })
+    }
+
+    fn remove_after(&self, epoch: u64) {
+        self.inner.remove_after(epoch);
+    }
+
+    fn snapshot_count(&self) -> usize {
+        self.inner.snapshot_count()
+    }
+
+    fn serialized_bytes(&self) -> usize {
+        self.inner.serialized_bytes()
+    }
+}
+
+#[derive(Debug, Default)]
+struct StoreState {
+    /// Participants registered by the current (or last) run.
+    participants: HashSet<String>,
+    /// epoch -> participants that committed it.
+    commits: BTreeMap<u64, HashSet<String>>,
+    /// The epoch the next run restores from (set by [`CheckpointStore::begin_recovery`]).
+    restore_epoch: Option<u64>,
+    /// Number of recoveries performed so far.
+    recoveries: u64,
+    /// Failure fence: once raised, commits are discarded until the next
+    /// [`CheckpointStore::begin_recovery`]. See [`CheckpointStore::fence`].
+    fenced: bool,
+}
+
+/// Coordinates epoch completeness across every participant of a deployment.
+///
+/// One store is shared — by `Arc` — across the origin query and every remote SPE
+/// instance of a distributed deployment, so "latest complete epoch" is a
+/// deployment-global cut. Operators register at thread start and commit once per
+/// barrier; the recovery runner consults the store between attempts.
+#[derive(Debug)]
+pub struct CheckpointStore {
+    backend: Arc<dyn StateBackend>,
+    state: Mutex<StoreState>,
+}
+
+impl CheckpointStore {
+    /// Creates a store over the given backend.
+    pub fn new(backend: Arc<dyn StateBackend>) -> Arc<Self> {
+        Arc::new(CheckpointStore {
+            backend,
+            state: Mutex::new(StoreState::default()),
+        })
+    }
+
+    /// Creates a store over the default [`InMemoryBackend`].
+    pub fn in_memory() -> Arc<Self> {
+        Self::new(Arc::new(InMemoryBackend::new()))
+    }
+
+    /// The backend snapshots are stored in.
+    pub fn backend(&self) -> &Arc<dyn StateBackend> {
+        &self.backend
+    }
+
+    /// Registers a checkpoint participant (called by every participating operator
+    /// when its thread starts). An epoch is complete only once every registered
+    /// participant has committed it.
+    pub fn register(&self, participant: &str) {
+        self.state
+            .lock()
+            .participants
+            .insert(participant.to_string());
+    }
+
+    /// Commits `participant`'s snapshot for `epoch`. Discarded while the store is
+    /// [fenced](CheckpointStore::fence).
+    pub fn commit(&self, participant: &str, epoch: u64, snapshot: Snapshot) {
+        let mut state = self.state.lock();
+        if state.fenced {
+            return;
+        }
+        self.backend.put(participant, epoch, snapshot);
+        state
+            .commits
+            .entry(epoch)
+            .or_default()
+            .insert(participant.to_string());
+    }
+
+    /// Raises the failure fence: every subsequent [`commit`](CheckpointStore::commit)
+    /// is discarded until [`begin_recovery`](CheckpointStore::begin_recovery) clears
+    /// the fence.
+    ///
+    /// A failing operator calls this *before* dropping its channel endpoints. Without
+    /// the fence, a fan-in downstream of the failure would see a synthesized
+    /// end-of-stream, exclude the dead input from barrier alignment and keep
+    /// forwarding barriers built from the surviving inputs only — and if the
+    /// participants cut off by the failure also keep committing (e.g. a remote shard
+    /// behind a severed return link), a *partial* cut could reach completeness and
+    /// become the restore point. Fencing at the failure site strictly precedes the
+    /// synthesized end-of-stream, so no post-failure commit can complete an epoch.
+    pub fn fence(&self) {
+        self.state.lock().fenced = true;
+    }
+
+    /// Whether the failure fence is currently raised.
+    pub fn is_fenced(&self) -> bool {
+        self.state.lock().fenced
+    }
+
+    /// The greatest epoch every registered participant has committed, if any.
+    pub fn latest_complete_epoch(&self) -> Option<u64> {
+        let state = self.state.lock();
+        state
+            .commits
+            .iter()
+            .rev()
+            .find(|(_, committed)| state.participants.is_subset(committed))
+            .map(|(&epoch, _)| epoch)
+    }
+
+    /// Declares the previous run failed: pins the restore point to the latest
+    /// complete epoch, discards every commit after it (incomplete epochs may contain
+    /// snapshots influenced by the failure) and clears the participant registry for
+    /// the next attempt. Returns the restore epoch, or `None` when no epoch ever
+    /// completed (the next run starts from scratch).
+    pub fn begin_recovery(&self) -> Option<u64> {
+        let restore = self.latest_complete_epoch();
+        let mut state = self.state.lock();
+        state.restore_epoch = restore;
+        if let Some(epoch) = restore {
+            state.commits.retain(|&e, _| e <= epoch);
+            self.backend.remove_after(epoch);
+        } else {
+            // No complete epoch: the next run starts from scratch and re-commits
+            // every epoch, overwriting whatever the failed run left behind.
+            state.commits.clear();
+        }
+        state.participants.clear();
+        state.fenced = false;
+        state.recoveries += 1;
+        restore
+    }
+
+    /// The epoch the current run restores from (`None` outside recovery).
+    pub fn restore_epoch(&self) -> Option<u64> {
+        self.state.lock().restore_epoch
+    }
+
+    /// The snapshot `participant` should restore from, if the store is in recovery
+    /// and the participant committed the restore epoch.
+    pub fn restore_snapshot(&self, participant: &str) -> Option<Snapshot> {
+        let epoch = self.restore_epoch()?;
+        self.backend.get(participant, epoch)
+    }
+
+    /// Number of recoveries performed so far.
+    pub fn recoveries(&self) -> u64 {
+        self.state.lock().recoveries
+    }
+}
+
+/// Checkpointing configuration installed on a query via
+/// [`Query::set_checkpoints`](crate::query::Query::set_checkpoints).
+#[derive(Clone, Debug)]
+pub struct CheckpointConfig {
+    /// Number of tuples each Source emits per epoch (barriers are injected every
+    /// `interval` tuples).
+    pub interval: u64,
+    /// The deployment-wide checkpoint store.
+    pub store: Arc<CheckpointStore>,
+}
+
+impl CheckpointConfig {
+    /// Creates a configuration (interval clamped to at least 1).
+    pub fn new(interval: u64, store: Arc<CheckpointStore>) -> Self {
+        CheckpointConfig {
+            interval: interval.max(1),
+            store,
+        }
+    }
+}
+
+/// The cell through which operators observe the query's checkpoint configuration.
+///
+/// Operators capture the handle at construction time and read it when their thread
+/// starts, so the configuration can be installed any time before `deploy()` — which
+/// is what lets remote build closures install the shared store on the remote query.
+pub type CheckpointHandle = Arc<OnceLock<CheckpointConfig>>;
+
+/// Retry/backoff policy of [`run_with_recovery`].
+#[derive(Clone, Copy, Debug)]
+pub struct RecoveryConfig {
+    /// Maximum number of runs (initial attempt included). Clamped to at least 1.
+    pub max_attempts: usize,
+    /// Delay between a failure and the next attempt (reconnect backoff).
+    pub backoff: std::time::Duration,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            max_attempts: 3,
+            backoff: std::time::Duration::from_millis(10),
+        }
+    }
+}
+
+/// Runs a query with automatic recovery: `build` constructs a fresh deployment
+/// (attempt number passed in, starting at 0) and returns its [`QueryHandle`] plus
+/// whatever per-attempt handles the caller needs back (sinks, collectors). On
+/// failure the store's [`begin_recovery`](CheckpointStore::begin_recovery) pins the
+/// restore point, the runner backs off, and `build` is invoked again — fresh
+/// channels, fresh links (this is the reconnect path for severed remote links).
+///
+/// Returns the report and handles of the first successful attempt.
+///
+/// # Errors
+/// [`SpeError::RecoveryExhausted`] after `max_attempts` failed runs; build errors
+/// propagate immediately.
+pub fn run_with_recovery<R, F>(
+    store: &Arc<CheckpointStore>,
+    config: RecoveryConfig,
+    mut build: F,
+) -> Result<(QueryReport, R), SpeError>
+where
+    F: FnMut(usize) -> Result<(QueryHandle, R), SpeError>,
+{
+    let attempts = config.max_attempts.max(1);
+    let mut last_error = None;
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            std::thread::sleep(config.backoff);
+        }
+        let (handle, extras) = build(attempt)?;
+        match handle.wait() {
+            Ok(report) => return Ok((report, extras)),
+            Err(error) => {
+                store.begin_recovery();
+                last_error = Some(error);
+            }
+        }
+    }
+    Err(SpeError::RecoveryExhausted {
+        attempts,
+        last_error: Box::new(last_error.expect("at least one attempt ran")),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_roundtrips_bytes_and_inline() {
+        let s = Snapshot::u64(42);
+        assert_eq!(s.as_u64(), Some(42));
+        assert_eq!(s.serialized_len(), 8);
+        assert!(s.downcast::<Vec<u8>>().is_none());
+
+        let s = Snapshot::inline(vec![1u8, 2, 3]);
+        assert_eq!(*s.downcast::<Vec<u8>>().unwrap(), vec![1, 2, 3]);
+        assert!(s.as_bytes().is_none());
+        assert_eq!(s.serialized_len(), 0);
+    }
+
+    #[test]
+    fn complete_epoch_requires_every_participant() {
+        let store = CheckpointStore::in_memory();
+        store.register("src");
+        store.register("agg");
+        store.commit("src", 0, Snapshot::u64(10));
+        assert_eq!(store.latest_complete_epoch(), None);
+        store.commit("agg", 0, Snapshot::bytes(vec![]));
+        assert_eq!(store.latest_complete_epoch(), Some(0));
+        store.commit("src", 1, Snapshot::u64(20));
+        store.commit("agg", 1, Snapshot::bytes(vec![]));
+        store.commit("src", 2, Snapshot::u64(30));
+        // Epoch 2 incomplete: latest complete stays 1.
+        assert_eq!(store.latest_complete_epoch(), Some(1));
+    }
+
+    #[test]
+    fn recovery_pins_restore_point_and_drops_incomplete_epochs() {
+        let store = CheckpointStore::in_memory();
+        store.register("src");
+        store.commit("src", 0, Snapshot::u64(10));
+        store.commit("src", 1, Snapshot::u64(20));
+        store.register("late");
+        store.commit("late", 0, Snapshot::bytes(vec![]));
+        assert_eq!(store.begin_recovery(), Some(0));
+        assert_eq!(store.restore_epoch(), Some(0));
+        assert_eq!(store.restore_snapshot("src").unwrap().as_u64(), Some(10));
+        // Epoch 1's snapshot was dropped with the incomplete epoch.
+        assert!(store.backend().get("src", 1).is_none());
+        assert_eq!(store.recoveries(), 1);
+        // Participants re-register on the next attempt.
+        store.register("src");
+        store.register("late");
+        store.commit("src", 1, Snapshot::u64(20));
+        store.commit("late", 1, Snapshot::bytes(vec![]));
+        assert_eq!(store.latest_complete_epoch(), Some(1));
+    }
+
+    #[test]
+    fn recovery_without_any_complete_epoch_starts_fresh() {
+        let store = CheckpointStore::in_memory();
+        store.register("src");
+        store.register("agg");
+        store.commit("src", 0, Snapshot::u64(10));
+        assert_eq!(store.begin_recovery(), None);
+        assert_eq!(store.restore_epoch(), None);
+        assert!(store.restore_snapshot("src").is_none());
+    }
+
+    #[test]
+    fn serializing_backend_accounts_for_bytes() {
+        let backend = SerializingBackend::new();
+        backend.put("src", 0, Snapshot::u64(1));
+        backend.put("src", 1, Snapshot::u64(2));
+        backend.put("agg", 0, Snapshot::inline(7i64));
+        assert_eq!(backend.bytes_written(), 16);
+        assert_eq!(backend.serialized_bytes(), 16);
+        assert_eq!(backend.snapshot_count(), 3);
+        backend.remove_after(0);
+        assert_eq!(backend.snapshot_count(), 2);
+        // Cumulative write counter is monotone.
+        assert_eq!(backend.bytes_written(), 16);
+        assert_eq!(
+            backend.get("agg", 0).unwrap().downcast::<i64>().map(|v| *v),
+            Some(7)
+        );
+    }
+
+    #[test]
+    fn run_with_recovery_retries_until_success() {
+        let store = CheckpointStore::in_memory();
+        let mut seen = Vec::new();
+        let result = run_with_recovery(&store, RecoveryConfig::default(), |attempt| {
+            seen.push(attempt);
+            // Build a trivial query that succeeds only on the second attempt.
+            let mut q = crate::query::Query::new(crate::provenance::NoProvenance);
+            let src = q.source(
+                "s",
+                crate::operator::source::VecSource::with_period(vec![1i64], 1_000),
+            );
+            if attempt == 0 {
+                let boom = q.map_one("boom", src, |_| -> i64 { panic!("injected") });
+                q.discard(boom);
+            } else {
+                q.discard(src);
+            }
+            Ok((q.deploy()?, attempt))
+        });
+        let (_, winning_attempt) = result.unwrap();
+        assert_eq!(winning_attempt, 1);
+        assert_eq!(seen, vec![0, 1]);
+        assert_eq!(store.recoveries(), 1);
+    }
+
+    #[test]
+    fn run_with_recovery_gives_up_after_max_attempts() {
+        let store = CheckpointStore::in_memory();
+        let config = RecoveryConfig {
+            max_attempts: 2,
+            backoff: std::time::Duration::from_millis(1),
+        };
+        let result: Result<(QueryReport, ()), SpeError> =
+            run_with_recovery(&store, config, |_attempt| {
+                let mut q = crate::query::Query::new(crate::provenance::NoProvenance);
+                let src = q.source(
+                    "s",
+                    crate::operator::source::VecSource::with_period(vec![1i64], 1_000),
+                );
+                let boom = q.map_one("boom", src, |_| -> i64 { panic!("always") });
+                q.discard(boom);
+                Ok((q.deploy()?, ()))
+            });
+        match result {
+            Err(SpeError::RecoveryExhausted { attempts, .. }) => assert_eq!(attempts, 2),
+            other => panic!("expected RecoveryExhausted, got {other:?}"),
+        }
+        assert_eq!(store.recoveries(), 2);
+    }
+}

@@ -92,6 +92,11 @@ pub enum Element<T, M> {
     Tuple(Arc<GTuple<T, M>>),
     /// All future tuples on this stream have `ts >=` the carried timestamp.
     Watermark(Timestamp),
+    /// An epoch barrier: every tuple of the carried epoch (and earlier) has already
+    /// been sent on this stream. Barriers are injected by Sources when checkpointing
+    /// is enabled (see [`crate::state`]), flow through every channel in stream order,
+    /// and are aligned at fan-in operators before the operator snapshots its state.
+    Barrier(u64),
     /// The stream is finished; no further elements will be sent.
     End,
 }
@@ -101,6 +106,7 @@ impl<T, M> Clone for Element<T, M> {
         match self {
             Element::Tuple(t) => Element::Tuple(Arc::clone(t)),
             Element::Watermark(ts) => Element::Watermark(*ts),
+            Element::Barrier(epoch) => Element::Barrier(*epoch),
             Element::End => Element::End,
         }
     }
@@ -121,11 +127,14 @@ impl<T, M> Element<T, M> {
     }
 
     /// The timestamp ordering key of the element: a tuple's `ts`, a watermark's
-    /// promise, or [`Timestamp::MAX`] for end-of-stream.
+    /// promise, or [`Timestamp::MAX`] for end-of-stream. Barriers carry no
+    /// timestamp of their own; they block their input until aligned, so they order
+    /// like end-of-stream.
     pub fn order_ts(&self) -> Timestamp {
         match self {
             Element::Tuple(t) => t.ts,
             Element::Watermark(ts) => *ts,
+            Element::Barrier(_) => Timestamp::MAX,
             Element::End => Timestamp::MAX,
         }
     }

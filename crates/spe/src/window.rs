@@ -99,6 +99,41 @@ pub struct ClosedWindow<K, T, M> {
 /// The per-key tuple buffers of one window instance.
 type WindowGroups<K, T, M> = BTreeMap<K, Vec<Arc<GTuple<T, M>>>>;
 
+/// Callback that re-materialises one buffered tuple when restoring a snapshot,
+/// detaching it from mutable provenance state owned by the run the snapshot was
+/// taken from (see [`WindowStore::restore`]).
+pub type DetachFn<'a, T, M> = dyn FnMut(&Arc<GTuple<T, M>>) -> Arc<GTuple<T, M>> + 'a;
+
+/// A point-in-time copy of a [`WindowStore`], taken at an epoch barrier.
+///
+/// The snapshot shares the buffered tuple `Arc`s with the live store (cheap to take);
+/// [`WindowStore::restore`] re-materialises them through a caller-supplied *detach*
+/// clone so the restored store never aliases mutable metadata of the run the snapshot
+/// was taken from (see
+/// [`ProvenanceSystem::detach_meta`](crate::provenance::ProvenanceSystem::detach_meta)).
+#[derive(Debug)]
+pub struct WindowStoreSnapshot<K, T, M> {
+    windows: BTreeMap<Timestamp, WindowGroups<K, T, M>>,
+    late_tuples: u64,
+    watermark: Timestamp,
+}
+
+impl<K, T, M> WindowStoreSnapshot<K, T, M> {
+    /// Number of tuple references held by the snapshot.
+    pub fn buffered_tuples(&self) -> usize {
+        self.windows
+            .values()
+            .flat_map(|g| g.values())
+            .map(Vec::len)
+            .sum()
+    }
+
+    /// The watermark the store had reached when the snapshot was taken.
+    pub fn watermark(&self) -> Timestamp {
+        self.watermark
+    }
+}
+
 /// Group-by sliding-window store: assigns tuples to window instances and releases the
 /// instances closed by watermark progress, in deterministic order.
 #[derive(Debug)]
@@ -194,6 +229,44 @@ impl<K: Ord + Clone, T, M> WindowStore<K, T, M> {
             .flat_map(|g| g.values())
             .map(Vec::len)
             .sum()
+    }
+
+    /// Takes a point-in-time copy of the store (open windows, watermark, late-tuple
+    /// count). Buffered tuples are shared by `Arc`, so this is cheap even for large
+    /// windows.
+    pub fn snapshot(&self) -> WindowStoreSnapshot<K, T, M> {
+        WindowStoreSnapshot {
+            windows: self.windows.clone(),
+            late_tuples: self.late_tuples,
+            watermark: self.watermark,
+        }
+    }
+
+    /// Replaces the store's contents with a snapshot, re-materialising every buffered
+    /// tuple through `detach`.
+    ///
+    /// `detach` must produce a fresh allocation whose mutable metadata is reset; it is
+    /// called once per *occurrence* (a tuple buffered in several overlapping sliding
+    /// windows is detached per window instance, which keeps each recovered window's
+    /// provenance chain self-contained).
+    pub fn restore(
+        &mut self,
+        snapshot: &WindowStoreSnapshot<K, T, M>,
+        detach: &mut DetachFn<'_, T, M>,
+    ) {
+        self.windows = snapshot
+            .windows
+            .iter()
+            .map(|(start, groups)| {
+                let groups = groups
+                    .iter()
+                    .map(|(key, tuples)| (key.clone(), tuples.iter().map(&mut *detach).collect()))
+                    .collect();
+                (*start, groups)
+            })
+            .collect();
+        self.late_tuples = snapshot.late_tuples;
+        self.watermark = snapshot.watermark;
     }
 }
 

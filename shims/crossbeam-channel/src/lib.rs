@@ -27,6 +27,33 @@ impl<T> fmt::Display for SendError<T> {
     }
 }
 
+/// Error returned by [`Sender::send_timeout`]; carries the unsent value back to
+/// the caller.
+pub enum SendTimeoutError<T> {
+    /// The timeout elapsed while the channel stayed full.
+    Timeout(T),
+    /// Every receiver is gone.
+    Disconnected(T),
+}
+
+impl<T> fmt::Debug for SendTimeoutError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SendTimeoutError::Timeout(_) => f.write_str("SendTimeoutError::Timeout(..)"),
+            SendTimeoutError::Disconnected(_) => f.write_str("SendTimeoutError::Disconnected(..)"),
+        }
+    }
+}
+
+impl<T> fmt::Display for SendTimeoutError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SendTimeoutError::Timeout(_) => f.write_str("timed out sending on a full channel"),
+            SendTimeoutError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+        }
+    }
+}
+
 /// Error returned by [`Receiver::recv`] when the channel is empty and every
 /// sender is gone.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -220,6 +247,39 @@ impl<T> Sender<T> {
                 .not_full
                 .wait(core)
                 .unwrap_or_else(|e| e.into_inner());
+            core.waiting_senders -= 1;
+        }
+    }
+
+    /// Sends `value`, waiting at most `timeout` while the channel is full.
+    ///
+    /// # Errors
+    /// [`SendTimeoutError::Timeout`] if the channel stayed full for the whole
+    /// timeout, [`SendTimeoutError::Disconnected`] if every receiver is gone;
+    /// both carry the value back.
+    pub fn send_timeout(&self, value: T, timeout: Duration) -> Result<(), SendTimeoutError<T>> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut core = self.shared.core.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if core.receivers == 0 {
+                return Err(SendTimeoutError::Disconnected(value));
+            }
+            if core.queue.len() < core.capacity {
+                core.queue.push_back(value);
+                self.shared.notify_arrival(&mut core);
+                return Ok(());
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Err(SendTimeoutError::Timeout(value));
+            }
+            core.waiting_senders += 1;
+            let (guard, _result) = self
+                .shared
+                .not_full
+                .wait_timeout(core, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            core = guard;
             core.waiting_senders -= 1;
         }
     }

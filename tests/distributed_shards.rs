@@ -12,25 +12,21 @@
 //! GeneaLog tuple *ids* are allocated per instance and legitimately differ between
 //! the plans, so the comparisons use timestamps, payloads and contribution sets.
 
-// These pins exercise the deprecated `sharded_*_placed` entry points on purpose:
-// they must keep behaving identically until removal (`tests/logical_plan.rs` pins
-// the annotation-based replacements against them).
-#![allow(deprecated)]
-
 use std::collections::BTreeSet;
 
 use proptest::prelude::*;
 
 use genealog::prelude::*;
 use genealog_distributed::deployment::{
-    attach_shard_provenance_sink, instances_dot, remote_shard_group, remote_shard_group_gl,
+    instances_dot, logical_shard_provenance_sink, remote_shard_group, remote_shard_group_gl,
 };
 use genealog_distributed::NetworkConfig;
+use genealog_spe::logical::LogicalPlan;
 use genealog_spe::operator::aggregate::WindowView;
 use genealog_spe::parallel::Parallelism;
 use genealog_spe::provenance::NoProvenance;
 use genealog_spe::query::{NodeKind, QueryConfig, ShardPlacement};
-use genealog_spe::Query;
+use genealog_spe::{PlannerConfig, Query};
 
 type Key = u32;
 type Reading = (Key, i64);
@@ -119,26 +115,19 @@ fn run_gl_remote(
     )
     .unwrap();
 
-    let mut q = GlQuery::new(GeneaLog::for_instance(0));
-    let src = q.source("readings", VecSource::new(reports.to_vec()));
-    let sums = q.sharded_aggregate_placed(
-        "sum",
-        src,
-        window_spec(),
-        sum_key,
-        sum_window,
-        |o: &Reading| o.0,
-        shards.placements,
-    );
-    let (out, provenance) = attach_shard_provenance_sink::<Reading, Reading>(
-        &mut q,
-        "prov",
+    let plan = GlPlan::new(GeneaLog::for_instance(0));
+    let sums = plan
+        .source("readings", VecSource::new(reports.to_vec()))
+        .aggregate("sum", window_spec(), sum_key, sum_window, |o: &Reading| o.0)
+        .place(shards.placements);
+    let (out, provenance) = logical_shard_provenance_sink::<Reading, Reading>(
         sums,
+        "prov",
         shards.provenance_links,
         Duration::from_hours(24),
     );
-    let sink = q.collecting_sink("sink", out);
-    q.deploy().unwrap().wait().unwrap();
+    let sink = out.collecting_sink("sink");
+    plan.deploy().unwrap().wait().unwrap();
     shards.group.wait().unwrap();
 
     let tuples = sink
@@ -273,19 +262,13 @@ fn np_remote_shards_match_plain_aggregate() {
             move |rq, _i, input| rq.aggregate("sum", input, spec, sum_key, agg),
         )
         .unwrap();
-        let mut q = Query::new(NoProvenance);
-        let src = q.source("readings", VecSource::new(reports.clone()));
-        let sums = q.sharded_aggregate_placed(
-            "sum",
-            src,
-            spec,
-            sum_key,
-            agg,
-            |o: &Reading| o.0,
-            placements,
-        );
-        let out = q.collecting_sink("sink", sums);
-        q.deploy().unwrap().wait().unwrap();
+        let plan = LogicalPlan::new(NoProvenance);
+        let out = plan
+            .source("readings", VecSource::new(reports.clone()))
+            .aggregate("sum", spec, sum_key, agg, |o: &Reading| o.0)
+            .place(placements)
+            .collecting_sink("sink");
+        plan.deploy().unwrap().wait().unwrap();
         group.wait().unwrap();
         let remote: Vec<_> = out
             .tuples()
@@ -312,19 +295,13 @@ fn mixed_local_and_remote_shards_are_equivalent() {
         |w: &WindowView<'_, Key, Reading, ()>| (*w.key, w.payloads().map(|p| p.1).sum::<i64>());
 
     let run = |placements: Vec<ShardPlacement<NoProvenance, Reading, Reading>>| {
-        let mut q = Query::new(NoProvenance);
-        let src = q.source("readings", VecSource::new(reports.clone()));
-        let sums = q.sharded_aggregate_placed(
-            "sum",
-            src,
-            spec,
-            sum_key,
-            agg,
-            |o: &Reading| o.0,
-            placements,
-        );
-        let out = q.collecting_sink("sink", sums);
-        q.deploy().unwrap().wait().unwrap();
+        let plan = LogicalPlan::new(NoProvenance);
+        let out = plan
+            .source("readings", VecSource::new(reports.clone()))
+            .aggregate("sum", spec, sum_key, agg, |o: &Reading| o.0)
+            .place(placements)
+            .collecting_sink("sink");
+        plan.deploy().unwrap().wait().unwrap();
         out.tuples()
             .iter()
             .map(|t| (t.ts.as_millis(), t.data))
@@ -375,19 +352,19 @@ fn remote_shard_edges_share_the_edge_budget() {
             move |rq, _i, input| rq.aggregate("agg", input, spec, sum_key, agg),
         )
         .unwrap();
-        let mut q = Query::with_config(NoProvenance, config);
-        let items: Vec<Reading> = (0..8).map(|i| (i % 4, i as i64)).collect();
-        let src = q.source("src", VecSource::with_period(items, 1_000));
-        let counts = q.sharded_aggregate_placed(
-            "agg",
-            src,
-            spec,
-            sum_key,
-            agg,
-            |o: &Reading| o.0,
-            placements,
+        let plan = LogicalPlan::with_config(
+            NoProvenance,
+            PlannerConfig::default()
+                .with_channel_capacity(config.channel_capacity)
+                .with_fusion(false),
         );
-        let _ = q.collecting_sink("sink", counts);
+        let items: Vec<Reading> = (0..8).map(|i| (i % 4, i as i64)).collect();
+        let _ = plan
+            .source("src", VecSource::with_period(items, 1_000))
+            .aggregate("agg", spec, sum_key, agg, |o: &Reading| o.0)
+            .place(placements)
+            .collecting_sink("sink");
+        let q = plan.lower().unwrap();
 
         let kinds: Vec<NodeKind> = q.node_summaries().iter().map(|(_, k)| *k).collect();
         let mut exchange_total = 0usize;
@@ -431,20 +408,14 @@ fn distributed_shard_group_reports_fold_into_one_operator() {
         move |rq, _i, input| rq.aggregate("agg", input, spec, sum_key, agg),
     )
     .unwrap();
-    let mut q = Query::new(NoProvenance);
+    let plan = LogicalPlan::with_config(NoProvenance, PlannerConfig::default().with_fusion(false));
     let items: Vec<Reading> = (0..40).map(|i| (i % 5, i as i64)).collect();
-    let src = q.source("src", VecSource::with_period(items, 1_000));
-    let counts = q.sharded_aggregate_placed(
-        "agg",
-        src,
-        spec,
-        sum_key,
-        agg,
-        |o: &Reading| o.0,
-        placements,
-    );
-    let out = q.collecting_sink("sink", counts);
-    let origin_report = q.deploy().unwrap().wait().unwrap();
+    let out = plan
+        .source("src", VecSource::with_period(items, 1_000))
+        .aggregate("agg", spec, sum_key, agg, |o: &Reading| o.0)
+        .place(placements)
+        .collecting_sink("sink");
+    let origin_report = plan.deploy().unwrap().wait().unwrap();
     let remote_reports = group.wait().unwrap();
     assert!(!out.is_empty());
 

@@ -193,6 +193,7 @@ fn watermarks_are_never_reordered_past_data_within_a_batch() {
                 assert_eq!(ts, Timestamp::from_secs(4));
                 seen_watermark = true;
             }
+            Element::Barrier(_) => {}
             Element::End => break,
         }
     }

@@ -1,0 +1,372 @@
+//! Fault injection against the epoch-based checkpoint/recovery path (the tentpole
+//! robustness guarantee): a run that loses a shard thread mid-stream, or whose
+//! remote link is severed and re-established, must — after recovering from the
+//! latest complete checkpoint — produce **byte-identical** results to a run that
+//! never failed:
+//!
+//! * **sink bytes** — the same tuples in the same canonical `(timestamp, payload)`
+//!   order, the recovered prefix coming out of the sink's checkpointed state and
+//!   the suffix out of the replay;
+//! * **GeneaLog contribution sets** — identical per-sink-tuple source sets, i.e.
+//!   the checkpoint captured each operator's slice of the provenance graph well
+//!   enough for the restored run to re-stitch lineage.
+//!
+//! Faults are armed through [`OneShot`] triggers and [`FaultPlan`]s so they hit
+//! the first attempt only: the rebuilt attempt models the replacement thread /
+//! re-established link and must run clean. Coverage spans shard counts {1, 2, 4},
+//! local and remote placements, and operator fusion on/off.
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use genealog::prelude::*;
+use genealog_distributed::deployment::{
+    logical_shard_provenance_sink, remote_shard_group_gl_with_faults,
+};
+use genealog_distributed::{FaultPlan, LinkFaults, NetworkConfig, OneShot};
+use genealog_spe::operator::aggregate::WindowView;
+use genealog_spe::query::{QueryConfig, ShardPlacement};
+use genealog_spe::state::{run_with_recovery, CheckpointConfig, CheckpointStore, RecoveryConfig};
+use genealog_spe::PlannerConfig;
+
+type Key = u32;
+type Reading = (Key, i64);
+/// `(ts_millis, debug-rendered payload)` — the byte-level identity of a sink tuple.
+type SinkTuple = (u64, String);
+/// A sink tuple plus the canonical set of source tuples contributing to it.
+type Lineage = (SinkTuple, BTreeSet<SinkTuple>);
+
+/// Epoch length (tuples per barrier) used throughout: small enough that every
+/// generated stream spans several epochs.
+const INTERVAL: u64 = 5;
+
+fn window_spec() -> WindowSpec {
+    WindowSpec::new(Duration::from_secs(8), Duration::from_secs(4)).unwrap()
+}
+
+fn sum_key(r: &Reading) -> Key {
+    r.0
+}
+
+fn sum_window(w: &WindowView<'_, Key, Reading, GlMeta>) -> Reading {
+    (*w.key, w.payloads().map(|p| p.1).sum::<i64>())
+}
+
+fn canonical_tuples(
+    sink: &genealog_spe::operator::sink::CollectedStream<Reading, GlMeta>,
+) -> Vec<SinkTuple> {
+    sink.tuples()
+        .iter()
+        .map(|t| (t.ts.as_millis(), format!("{:?}", t.data)))
+        .collect()
+}
+
+/// Outcome of one (possibly recovered) run, in canonical form.
+struct Run {
+    tuples: Vec<SinkTuple>,
+    lineage: Vec<Lineage>,
+    recoveries: u64,
+    fault_fired: bool,
+}
+
+// ---------------------------------------------------------------------------
+// Scenario A: a local shard thread is killed mid-stream
+// ---------------------------------------------------------------------------
+
+/// Runs `source -> aggregate(place all_local(shards)) -> provenance sink -> sink`
+/// under GeneaLog with checkpointing on. When `kill_at_close` is set, the window
+/// close function panics — once, on the first attempt — after that many window
+/// closes, killing whichever shard thread happens to evaluate it; the recovery
+/// runner rebuilds the plan, restores every operator from the latest complete
+/// epoch and replays the sources from their committed offsets.
+fn run_local(
+    reports: &[(Timestamp, Reading)],
+    shards: usize,
+    fusion: bool,
+    kill_at_close: Option<u64>,
+) -> Run {
+    let store = CheckpointStore::in_memory();
+    let trigger = OneShot::armed();
+    let closes = Arc::new(AtomicU64::new(0));
+    // One provenance system for ALL attempts: clones share the id counter, so the
+    // rebuilt engine keeps allocating tuple ids *after* the failed attempt's ids.
+    // The checkpointed provenance prefix is grouped by sink tuple id — restarting
+    // the counter at zero would let a post-restore sink tuple collide with a
+    // checkpointed one and merge their contribution sets.
+    let system = GeneaLog::new();
+
+    let (_, (sink, provenance)) =
+        run_with_recovery(&store, RecoveryConfig::default(), |_attempt| {
+            let plan = GlPlan::with_config(
+                system.clone(),
+                PlannerConfig::default()
+                    .with_fusion(fusion)
+                    .with_checkpoints(CheckpointConfig::new(INTERVAL, Arc::clone(&store))),
+            );
+            let trigger = Arc::clone(&trigger);
+            let closes = Arc::clone(&closes);
+            let sums = plan
+                .source("readings", VecSource::new(reports.to_vec()))
+                .aggregate(
+                    "sum",
+                    window_spec(),
+                    sum_key,
+                    move |w: &WindowView<'_, Key, Reading, GlMeta>| {
+                        if let Some(k) = kill_at_close {
+                            if closes.fetch_add(1, Ordering::SeqCst) + 1 >= k && trigger.fire() {
+                                panic!("injected shard failure");
+                            }
+                        }
+                        sum_window(w)
+                    },
+                    |o: &Reading| o.0,
+                )
+                .place(ShardPlacement::<GeneaLog, Reading, Reading>::all_local(
+                    shards,
+                ));
+            let (out, provenance) = logical_provenance_sink(sums, "prov");
+            let sink = out.collecting_sink("sink");
+            Ok((plan.deploy()?, (sink, provenance)))
+        })
+        .expect("recovery must succeed within the attempt budget");
+
+    let tuples = canonical_tuples(&sink);
+    let mut lineage: Vec<Lineage> = provenance
+        .assignments()
+        .iter()
+        .map(|a| {
+            let key = (a.sink_ts.as_millis(), format!("{:?}", a.sink_data));
+            let sources: BTreeSet<SinkTuple> = a
+                .source_records::<Reading>()
+                .iter()
+                .map(|r| (r.ts.as_millis(), format!("{:?}", r.data)))
+                .collect();
+            (key, sources)
+        })
+        .collect();
+    lineage.sort();
+    Run {
+        tuples,
+        lineage,
+        recoveries: store.recoveries(),
+        fault_fired: kill_at_close.is_some() && !trigger.is_armed(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario B: a remote shard's return link is severed mid-stream
+// ---------------------------------------------------------------------------
+
+/// Runs the distributed plan — every shard of the aggregate on its own remote SPE
+/// instance — under GeneaLog with a deployment-global checkpoint store shared by
+/// the origin and every remote engine. `fault` (applied to shard 0's return-link
+/// data channel, first attempt only) severs the link mid-stream: the origin's
+/// ingress observes a close without the end-of-stream marker, fences the store and
+/// fails the query; the rebuilt attempt re-establishes fresh links, restores the
+/// remote window state from the shared store and replays.
+fn run_remote(
+    reports: &[(Timestamp, Reading)],
+    instances: usize,
+    fusion: bool,
+    fault: &FaultPlan,
+    network: NetworkConfig,
+) -> Run {
+    let store = CheckpointStore::in_memory();
+    // Long-lived provenance systems (origin = instance 0, remotes = 1..=instances):
+    // every attempt gets clones sharing the id counters, so tuple ids stay unique
+    // across restarts and the checkpointed provenance prefix cannot collide with
+    // ids the rebuilt engines allocate after the restore point.
+    let origin_system = GeneaLog::for_instance(0);
+    let remote_systems: Vec<GeneaLog> = (0..instances)
+        .map(|i| GeneaLog::for_instance(1 + i as u32))
+        .collect();
+
+    let (_, (sink, provenance, group)) =
+        run_with_recovery(&store, RecoveryConfig::default(), |attempt| {
+            let link_faults = fault.link_faults_for_attempt(attempt);
+            let store_remote = Arc::clone(&store);
+            let remote_systems = remote_systems.clone();
+            let shards = remote_shard_group_gl_with_faults::<Reading, Reading, _, _, _>(
+                "sum",
+                instances,
+                move |i| remote_systems[i].clone(),
+                network,
+                QueryConfig::default(),
+                move |i| {
+                    if i == 0 {
+                        link_faults.clone()
+                    } else {
+                        LinkFaults::none()
+                    }
+                },
+                move |rq, i, input| {
+                    // Every remote engine joins the deployment-global checkpoint
+                    // protocol; shard operators need per-instance participant
+                    // names so their snapshots do not collide in the shared store.
+                    rq.set_checkpoints(CheckpointConfig::new(INTERVAL, Arc::clone(&store_remote)));
+                    rq.aggregate(
+                        &format!("sum[{i}]"),
+                        input,
+                        window_spec(),
+                        sum_key,
+                        sum_window,
+                    )
+                },
+            )?;
+
+            let plan = GlPlan::with_config(
+                origin_system.clone(),
+                PlannerConfig::default()
+                    .with_fusion(fusion)
+                    .with_checkpoints(CheckpointConfig::new(INTERVAL, Arc::clone(&store))),
+            );
+            let sums = plan
+                .source("readings", VecSource::new(reports.to_vec()))
+                .aggregate("sum", window_spec(), sum_key, sum_window, |o: &Reading| o.0)
+                .place(shards.placements);
+            let (out, provenance) = logical_shard_provenance_sink::<Reading, Reading>(
+                sums,
+                "prov",
+                shards.provenance_links,
+                Duration::from_hours(24),
+            );
+            let sink = out.collecting_sink("sink");
+            Ok((plan.deploy()?, (sink, provenance, shards.group)))
+        })
+        .expect("recovery must succeed within the attempt budget");
+    // The winning attempt's remote engines drain clean.
+    group.wait().expect("winning attempt's remote instances");
+
+    let tuples = canonical_tuples(&sink);
+    let mut lineage: Vec<Lineage> = provenance
+        .records()
+        .iter()
+        .map(|r| {
+            let key = (r.sink_ts.as_millis(), format!("{:?}", r.sink_data));
+            let sources: BTreeSet<SinkTuple> = r
+                .sources
+                .iter()
+                .map(|s| (s.ts.as_millis(), format!("{:?}", s.data)))
+                .collect();
+            (key, sources)
+        })
+        .collect();
+    lineage.sort();
+    let recoveries = store.recoveries();
+    Run {
+        tuples,
+        lineage,
+        recoveries,
+        fault_fired: recoveries > 0,
+    }
+}
+
+/// Strategy: a timestamp-ordered stream of keyed readings spanning several
+/// checkpoint epochs and several window closes.
+fn keyed_readings() -> impl Strategy<Value = Vec<(Timestamp, Reading)>> {
+    proptest::collection::vec((0u32..4, 0u64..100, 0u64..5), 8..40).prop_map(|steps| {
+        let mut ts = 0u64;
+        steps
+            .into_iter()
+            .map(|(key, value, gap)| {
+                ts += gap; // non-decreasing; repeated timestamps exercise tie-breaking
+                (Timestamp::from_secs(ts), (key, value as i64 - 50))
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// **Kill a shard thread mid-stream.** For every shard count in {1, 2, 4} and
+    /// fusion on/off, a run whose shard aggregate panics at the `kill_at_close`-th
+    /// window close recovers from the latest complete checkpoint and produces the
+    /// identical sink bytes and identical GeneaLog contribution sets as the
+    /// fault-free run of the same plan.
+    #[test]
+    fn killed_shard_recovers_byte_identically(
+        reports in keyed_readings(),
+        kill_at_close in 1u64..5,
+    ) {
+        for shards in [1usize, 2, 4] {
+            for fusion in [true, false] {
+                let clean = run_local(&reports, shards, fusion, None);
+                prop_assert_eq!(clean.recoveries, 0);
+                let recovered = run_local(&reports, shards, fusion, Some(kill_at_close));
+                if recovered.fault_fired {
+                    prop_assert!(
+                        recovered.recoveries >= 1,
+                        "the injected panic must push the run through recovery"
+                    );
+                }
+                prop_assert_eq!(&clean.tuples, &recovered.tuples);
+                prop_assert_eq!(&clean.lineage, &recovered.lineage);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// **Sever a remote link mid-stream.** For every remote shard count in
+    /// {1, 2, 4} and fusion on/off at the origin, a distributed run whose shard-0
+    /// return link is severed before its `sever_at`-th frame recovers — fresh
+    /// links, remote window state restored from the shared store, sources
+    /// replayed — and produces the identical sink bytes and stitched GeneaLog
+    /// contribution sets as the fault-free distributed run.
+    #[test]
+    fn severed_remote_link_recovers_byte_identically(
+        reports in keyed_readings(),
+        sever_at in 1u64..5,
+    ) {
+        let fault = FaultPlan::with_link_faults(LinkFaults::none().severing_before(sever_at));
+        for instances in [1usize, 2, 4] {
+            for fusion in [true, false] {
+                let clean = run_remote(
+                    &reports, instances, fusion, &FaultPlan::default(),
+                    NetworkConfig::unlimited(),
+                );
+                prop_assert_eq!(clean.recoveries, 0);
+                let recovered = run_remote(
+                    &reports, instances, fusion, &fault, NetworkConfig::unlimited(),
+                );
+                prop_assert_eq!(&clean.tuples, &recovered.tuples);
+                prop_assert_eq!(&clean.lineage, &recovered.lineage);
+            }
+        }
+    }
+}
+
+/// Back-pressure during recovery (regression): with a *bounded* link send queue, a
+/// severed return link must not deadlock the deployment. The origin's ingress dies
+/// and stops pulling the shared return link, so the remote's sends can fill the
+/// bounded queue; the link-layer send timeout must unwedge the remote engines so
+/// the failed attempt tears down and the replay completes. Run under a watchdog:
+/// the historical failure mode is a hang, not a wrong answer.
+#[test]
+fn bounded_links_with_replay_do_not_deadlock() {
+    let reports: Vec<(Timestamp, Reading)> = (0..32u64)
+        .map(|i| (Timestamp::from_secs(i), ((i % 3) as Key, i as i64)))
+        .collect();
+    let bounded = NetworkConfig::unlimited()
+        .with_send_queue_frames(2)
+        .with_send_timeout(std::time::Duration::from_millis(200));
+    let fault = FaultPlan::with_link_faults(LinkFaults::none().severing_before(2));
+
+    let (done_tx, done_rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let clean = run_remote(&reports, 2, true, &FaultPlan::default(), bounded);
+        let recovered = run_remote(&reports, 2, true, &fault, bounded);
+        done_tx.send((clean, recovered)).ok();
+    });
+    let (clean, recovered) = done_rx
+        .recv_timeout(std::time::Duration::from_secs(60))
+        .expect("bounded-queue recovery deadlocked: the return link never unwedged");
+    assert_eq!(clean.tuples, recovered.tuples);
+    assert_eq!(clean.lineage, recovered.lineage);
+}

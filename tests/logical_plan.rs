@@ -11,8 +11,6 @@
 //! The per-stage counters of fused chains must also survive in reports
 //! (`OperatorReport::stages`), so turning fusion on by default loses no telemetry.
 
-#![allow(deprecated)] // the legacy reference plans pin the deprecated entry points
-
 use std::collections::BTreeSet;
 
 use proptest::prelude::*;
@@ -105,20 +103,20 @@ fn legacy_np_plain(reports: &[(Timestamp, Reading)]) -> Vec<SinkTuple> {
     sink_tuples(&out)
 }
 
-/// The legacy reference with the deprecated sharded entry point.
+/// The legacy reference with the hand-built sharded entry point.
 fn legacy_np_sharded(reports: &[(Timestamp, Reading)], shards: usize) -> Vec<SinkTuple> {
     let mut q = Query::new(NoProvenance);
     let src = q.source("readings", VecSource::new(reports.to_vec()));
     let kept = q.filter("keep", src, keep);
     let scaled = q.map_one("scale", kept, scale);
-    let sums = q.sharded_aggregate_placed(
+    let sums = q.sharded_aggregate(
         "sum",
         scaled,
         window_spec(),
         sum_key,
         sum_window,
         sum_key,
-        ShardPlacement::all_local(shards),
+        Parallelism::instances(shards),
     );
     let alerts = q.filter("busy", sums, busy);
     let out = q.collecting_sink("sink", alerts);
@@ -408,7 +406,7 @@ fn default_fusion_keeps_per_stage_counters() {
 fn lowered_shard_channels_share_the_edge_budget() {
     let config = PlannerConfig::default(); // 1024 elements, batch 32
     for n in [1usize, 2, 4] {
-        let plan = LogicalPlan::with_config(NoProvenance, config);
+        let plan = LogicalPlan::with_config(NoProvenance, config.clone());
         let _out = plan
             .source(
                 "src",

@@ -193,7 +193,7 @@ proptest! {
         loop {
             match merge.next() {
                 MergedElement::Tuple(t, _) => merged.push(t.data),
-                MergedElement::Watermark(_) => {}
+                MergedElement::Watermark(_) | MergedElement::Barrier(_) => {}
                 MergedElement::End => break,
             }
         }
