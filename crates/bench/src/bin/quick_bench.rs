@@ -1,16 +1,18 @@
 //! Quick throughput benchmark establishing the per-PR performance trajectory.
 //!
-//! PR 6 measures the **cost of fault tolerance**: the planner-lowered pipeline of
-//! PR 5 (`source → filter → map → aggregate → sink`, fusion on) is run with
-//! checkpointing off and on at each shard count under the NP and GL provenance
-//! configurations. With checkpointing on, every source injects an epoch barrier
-//! every [`CHECKPOINT_INTERVAL`] tuples; barriers align at the shard fan-in and
-//! each stateful operator snapshots its keyed window state (and, under GL, its
-//! slice of the provenance graph) into an in-memory [`CheckpointStore`]. The
-//! on/off delta is reported as `overhead_pct` per (system, shards) pair — the
-//! steady-state price of recoverability, with no fault injected. The measurements
-//! are written to `BENCH_PR6.json` in the current directory (override the path
-//! with `GENEALOG_BENCH_OUT`).
+//! PR 7 measures the **cost of always-on observability**: the planner-lowered
+//! pipeline of PR 5 (`source → filter → map → aggregate → sink`, fusion on) is
+//! run with the live metrics registry disabled and enabled at each shard count
+//! under the NP and GL provenance configurations. With metrics on, every
+//! operator publishes tuple counters into the registry on the hot path, channels
+//! export queue-depth gauges and back-pressure stall counters, and the sink
+//! feeds the latency histogram — everything `/metrics` serves while the query
+//! runs. The on/off delta is reported as `overhead_pct` per (system, shards)
+//! pair — the steady-state price of the observability plane, which stays within
+//! single-digit percent because the hot path touches only per-instance atomics
+//! (the registry is consulted at collection time, never per tuple). The
+//! measurements are written to `BENCH_PR7.json` in the current directory
+//! (override the path with `GENEALOG_BENCH_OUT`).
 //!
 //! The JSON records `host_cpus`: on a single-core host the shard sweep shows only
 //! the state-partitioning gain, not thread parallelism.
@@ -33,9 +35,6 @@ use genealog_spe::provenance::MetaData;
 const BATCH: usize = 256;
 /// Number of distinct keys the stream is partitioned on.
 const KEYS: u32 = 64;
-/// Tuples per checkpoint epoch when checkpointing is on: each source commits its
-/// replay offset and emits a barrier every this many tuples.
-const CHECKPOINT_INTERVAL: u64 = 25_000;
 
 type Reading = (u32, i64);
 
@@ -63,12 +62,12 @@ fn smoke_mode() -> bool {
 struct Measurement {
     system: &'static str,
     shards: usize,
-    checkpoints: bool,
+    metrics: bool,
     throughput_tps: f64,
     per_tuple_ns: f64,
 }
 
-/// Steady-state checkpoint cost for one (system, shards) pair.
+/// Steady-state observability cost for one (system, shards) pair.
 #[derive(Debug, Clone)]
 struct Overhead {
     system: &'static str,
@@ -81,7 +80,7 @@ fn sum_window<M: MetaData>(w: &WindowView<'_, u32, Reading, M>) -> Reading {
 }
 
 /// One run of the declared pipeline with the given planner annotations.
-fn planner_once<P>(provenance: P, shards: usize, checkpoints: bool) -> (Measurement, QueryReport)
+fn planner_once<P>(provenance: P, shards: usize, metrics: bool) -> (Measurement, QueryReport)
 where
     P: ProvenanceSystem,
 {
@@ -89,15 +88,9 @@ where
     let tuples = tuples_per_run();
     let spec = WindowSpec::tumbling(Duration::from_secs(60)).unwrap();
 
-    let mut config = PlannerConfig::default().with_batch_size(BATCH);
-    if checkpoints {
-        // A fresh store per run: the bench measures the barrier + snapshot cost,
-        // not recovery, so nothing is ever restored from it.
-        config = config.with_checkpoints(CheckpointConfig::new(
-            CHECKPOINT_INTERVAL,
-            CheckpointStore::in_memory(),
-        ));
-    }
+    let config = PlannerConfig::default()
+        .with_batch_size(BATCH)
+        .with_metrics(metrics);
     let plan = LogicalPlan::with_config(provenance, config);
     let items: Vec<Reading> = (0..tuples).map(|i| ((i as u32) % KEYS, i as i64)).collect();
     let stats = plan
@@ -128,7 +121,7 @@ where
         Measurement {
             system: label,
             shards,
-            checkpoints,
+            metrics,
             throughput_tps: tuples as f64 / wall,
             per_tuple_ns: wall * 1e9 / tuples as f64,
         },
@@ -136,12 +129,12 @@ where
     )
 }
 
-fn best_of<P>(provenance: &P, shards: usize, checkpoints: bool) -> (Measurement, QueryReport)
+fn best_of<P>(provenance: &P, shards: usize, metrics: bool) -> (Measurement, QueryReport)
 where
     P: ProvenanceSystem,
 {
     (0..repetitions())
-        .map(|_| planner_once(provenance.clone(), shards, checkpoints))
+        .map(|_| planner_once(provenance.clone(), shards, metrics))
         .max_by(|a, b| a.0.throughput_tps.total_cmp(&b.0.throughput_tps))
         .expect("at least one repetition")
 }
@@ -149,15 +142,12 @@ where
 fn render_json(measurements: &[Measurement], overheads: &[Overhead]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"pr\": 6,\n");
-    out.push_str("  \"benchmark\": \"checkpointed_pipeline\",\n");
+    out.push_str("  \"pr\": 7,\n");
+    out.push_str("  \"benchmark\": \"observability_plane\",\n");
     out.push_str(
-        "  \"pipeline\": \"LogicalPlan: source -> filter -> map -> aggregate(.with(shards)) -> sink, fusion on, epoch checkpointing off vs on\",\n",
+        "  \"pipeline\": \"LogicalPlan: source -> filter -> map -> aggregate(.with(shards)) -> sink, fusion on, live metrics registry off vs on\",\n",
     );
     out.push_str(&format!("  \"tuples_per_run\": {},\n", tuples_per_run()));
-    out.push_str(&format!(
-        "  \"checkpoint_interval\": {CHECKPOINT_INTERVAL},\n"
-    ));
     out.push_str(&format!("  \"repetitions\": {},\n", repetitions()));
     out.push_str(&format!(
         "  \"host_cpus\": {},\n",
@@ -167,17 +157,17 @@ fn render_json(measurements: &[Measurement], overheads: &[Overhead]) -> String {
     out.push_str("  \"runs\": [\n");
     for (i, m) in measurements.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"system\": \"{}\", \"shards\": {}, \"checkpoints\": {}, \"throughput_tps\": {:.0}, \"per_tuple_ns\": {:.1}}}{}\n",
+            "    {{\"system\": \"{}\", \"shards\": {}, \"metrics\": {}, \"throughput_tps\": {:.0}, \"per_tuple_ns\": {:.1}}}{}\n",
             m.system,
             m.shards,
-            m.checkpoints,
+            m.metrics,
             m.throughput_tps,
             m.per_tuple_ns,
             if i + 1 < measurements.len() { "," } else { "" }
         ));
     }
     out.push_str("  ],\n");
-    out.push_str("  \"checkpoint_overhead\": [\n");
+    out.push_str("  \"metrics_overhead\": [\n");
     for (i, o) in overheads.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"system\": \"{}\", \"shards\": {}, \"overhead_pct\": {:.1}}}{}\n",
@@ -200,9 +190,9 @@ fn sweep<P: ProvenanceSystem>(
 ) {
     for shards in [1usize, 2, 4] {
         let mut pair = Vec::with_capacity(2);
-        for checkpoints in [false, true] {
-            let (m, report) = best_of(provenance, shards, checkpoints);
-            keep_report(shards, checkpoints, report);
+        for metrics in [false, true] {
+            let (m, report) = best_of(provenance, shards, metrics);
+            keep_report(shards, metrics, report);
             pair.push(m.clone());
             measurements.push(m);
         }
@@ -223,8 +213,8 @@ fn main() {
         &NoProvenance,
         &mut measurements,
         &mut overheads,
-        |s, c, r| {
-            if s == 4 && c {
+        |s, m, r| {
+            if s == 4 && m {
                 sample_report = Some(r);
             }
         },
@@ -234,26 +224,24 @@ fn main() {
 
     for m in &measurements {
         println!(
-            "{:>2} shards={} checkpoints={:<5} {:>12.0} tuples/s  {:>8.1} ns/tuple",
-            m.system, m.shards, m.checkpoints, m.throughput_tps, m.per_tuple_ns
+            "{:>2} shards={} metrics={:<5} {:>12.0} tuples/s  {:>8.1} ns/tuple",
+            m.system, m.shards, m.metrics, m.throughput_tps, m.per_tuple_ns
         );
     }
     for o in &overheads {
         println!(
-            "{:>2} shards={} checkpoint overhead {:>6.1}%",
+            "{:>2} shards={} metrics overhead {:>6.1}%",
             o.system, o.shards, o.overhead_pct
         );
     }
 
     if let Some(report) = sample_report {
-        println!(
-            "\nsample report (NP, 4 shards, checkpoints on) — barriers ride the data channels:"
-        );
+        println!("\nsample report (NP, 4 shards, metrics on) — the registry's final fold:");
         print!("{}", report.render_operators());
     }
 
     let json = render_json(&measurements, &overheads);
-    let path = std::env::var("GENEALOG_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR6.json".to_string());
+    let path = std::env::var("GENEALOG_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR7.json".to_string());
     let mut file = std::fs::File::create(&path).expect("create benchmark output file");
     file.write_all(json.as_bytes())
         .expect("write benchmark output");

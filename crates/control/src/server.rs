@@ -1,0 +1,298 @@
+//! The control server: route table, accept loop and graceful shutdown.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use genealog_metrics::MetricsRegistry;
+
+use crate::http::{read_request, write_response, Request, Response};
+
+/// Resolves provenance queries against a running (or completed) query.
+///
+/// Implementors map a sink tuple id (`origin#seq`, also accepted as
+/// `origin-seq`) to the JSON rendering of that tuple's GeneaLog contribution
+/// set; `None` means the sink tuple is unknown (yet).
+///
+/// Any `Fn(&str) -> Option<String>` closure is a service, so collectors can be
+/// plugged in without depending on this crate's types.
+pub trait ProvenanceQuery: Send + Sync + 'static {
+    /// The contribution set of `sink_id` as a JSON document, or `None` if no
+    /// sink tuple with that id has been observed.
+    fn contribution_set(&self, sink_id: &str) -> Option<String>;
+}
+
+impl<F> ProvenanceQuery for F
+where
+    F: Fn(&str) -> Option<String> + Send + Sync + 'static,
+{
+    fn contribution_set(&self, sink_id: &str) -> Option<String> {
+        self(sink_id)
+    }
+}
+
+/// The observable surface of one query, ready to be served.
+///
+/// Build with the query's registry, optionally attach the topology rendering
+/// and a provenance service, then [`serve`](ControlPlane::serve).
+pub struct ControlPlane {
+    registry: Arc<MetricsRegistry>,
+    topology: Option<String>,
+    provenance: Option<Arc<dyn ProvenanceQuery>>,
+}
+
+impl std::fmt::Debug for ControlPlane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ControlPlane")
+            .field("topology", &self.topology.is_some())
+            .field("provenance", &self.provenance.is_some())
+            .finish()
+    }
+}
+
+impl ControlPlane {
+    /// A control plane serving `registry` (normally `Query::registry()`).
+    pub fn new(registry: Arc<MetricsRegistry>) -> Self {
+        ControlPlane {
+            registry,
+            topology: None,
+            provenance: None,
+        }
+    }
+
+    /// Attaches the DOT rendering served at `/topology.dot` (render it with
+    /// `Query::to_dot` before deploying — deployment consumes the query).
+    pub fn with_topology(mut self, dot: impl Into<String>) -> Self {
+        self.topology = Some(dot.into());
+        self
+    }
+
+    /// Attaches the provenance service behind `/provenance/{sink_tuple_id}`.
+    pub fn with_provenance(mut self, service: impl ProvenanceQuery) -> Self {
+        self.provenance = Some(Arc::new(service));
+        self
+    }
+
+    /// Binds a loopback listener on an ephemeral port and starts serving.
+    ///
+    /// # Errors
+    /// Propagates the bind failure.
+    pub fn serve(self) -> io::Result<ControlServer> {
+        self.serve_on("127.0.0.1:0")
+    }
+
+    /// Binds `addr` and starts serving.
+    ///
+    /// # Errors
+    /// Propagates bind/local-addr failures.
+    pub fn serve_on(self, addr: impl ToSocketAddrs) -> io::Result<ControlServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_in_loop = Arc::clone(&stop);
+        let plane = Arc::new(self);
+        let thread = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if stop_in_loop.load(Ordering::Relaxed) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let plane = Arc::clone(&plane);
+                // One short-lived thread per connection: a slow client must not
+                // stall the accept loop (or the shutdown self-connect).
+                std::thread::spawn(move || handle_connection(stream, &plane));
+            }
+        });
+        Ok(ControlServer {
+            addr,
+            stop,
+            thread: Some(thread),
+        })
+    }
+}
+
+/// Serves one connection: parse, route, respond, close.
+fn handle_connection(mut stream: TcpStream, plane: &ControlPlane) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let Some(request) = read_request(&mut stream) else {
+        return;
+    };
+    let response = route(plane, &request);
+    let _ = write_response(&mut stream, &response);
+}
+
+/// The route table.
+fn route(plane: &ControlPlane, request: &Request) -> Response {
+    if request.method != "GET" {
+        return Response::text(405, "only GET is supported\n");
+    }
+    match request.path.as_str() {
+        "/healthz" => Response::text(200, "ok\n"),
+        "/metrics" => Response {
+            status: 200,
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+            body: plane.registry.render_prometheus().into_bytes(),
+        },
+        "/topology.dot" => match &plane.topology {
+            Some(dot) => Response {
+                status: 200,
+                content_type: "text/vnd.graphviz; charset=utf-8",
+                body: dot.clone().into_bytes(),
+            },
+            None => Response::not_found("no topology attached"),
+        },
+        path => match path.strip_prefix("/provenance/") {
+            Some(sink_id) => match &plane.provenance {
+                Some(service) => match service.contribution_set(sink_id) {
+                    Some(json) => Response {
+                        status: 200,
+                        content_type: "application/json",
+                        body: json.into_bytes(),
+                    },
+                    None => Response::not_found(&format!("no sink tuple {sink_id}")),
+                },
+                None => Response::not_found("no provenance service attached"),
+            },
+            None => Response::not_found(path),
+        },
+    }
+}
+
+/// A running control server; dropping it shuts the accept loop down.
+#[derive(Debug)]
+pub struct ControlServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ControlServer {
+    /// The bound address (useful with the default ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A full URL for `path`, e.g. `server.url("/metrics")`.
+    pub fn url(&self, path: &str) -> String {
+        format!("http://{}{}", self.addr, path)
+    }
+
+    /// Stops the accept loop and joins it.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        let Some(thread) = self.thread.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::Relaxed);
+        // Unblock the accept loop; the connection is dropped unserved.
+        let _ = TcpStream::connect(self.addr);
+        let _ = thread.join();
+    }
+}
+
+impl Drop for ControlServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    /// A hand-rolled HTTP GET (the test suite has no HTTP client dependency).
+    fn get(addr: SocketAddr, path: &str) -> (u16, String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: control\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        let (head, body) = raw.split_once("\r\n\r\n").unwrap();
+        let status = head
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap();
+        let content_type = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Type: "))
+            .unwrap_or("")
+            .to_string();
+        (status, content_type, body.to_string())
+    }
+
+    fn plane_with_all_routes() -> ControlPlane {
+        let registry = MetricsRegistry::new();
+        registry
+            .counter("genealog_test_total", &[("operator", "op")])
+            .add(7);
+        ControlPlane::new(registry)
+            .with_topology("digraph G {}\n")
+            .with_provenance(|sink_id: &str| {
+                (sink_id == "3#0").then(|| r#"{"sink":"3#0"}"#.to_string())
+            })
+    }
+
+    #[test]
+    fn serves_health_metrics_topology_and_provenance() {
+        let server = plane_with_all_routes().serve().unwrap();
+
+        let (status, _, body) = get(server.addr(), "/healthz");
+        assert_eq!((status, body.as_str()), (200, "ok\n"));
+
+        let (status, content_type, body) = get(server.addr(), "/metrics");
+        assert_eq!(status, 200);
+        assert!(content_type.starts_with("text/plain; version=0.0.4"));
+        assert!(body.contains("# TYPE genealog_test_total counter"));
+        assert!(body.contains(r#"genealog_test_total{operator="op"} 7"#));
+
+        let (status, content_type, body) = get(server.addr(), "/topology.dot");
+        assert_eq!(status, 200);
+        assert!(content_type.starts_with("text/vnd.graphviz"));
+        assert_eq!(body, "digraph G {}\n");
+
+        // The '#' of a sink id arrives percent-encoded.
+        let (status, content_type, body) = get(server.addr(), "/provenance/3%230");
+        assert_eq!(status, 200);
+        assert_eq!(content_type, "application/json");
+        assert_eq!(body, r#"{"sink":"3#0"}"#);
+
+        let (status, _, _) = get(server.addr(), "/provenance/9#9");
+        assert_eq!(status, 404);
+        let (status, _, _) = get(server.addr(), "/nope");
+        assert_eq!(status, 404);
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn missing_services_yield_404_and_post_is_rejected() {
+        let server = ControlPlane::new(MetricsRegistry::new()).serve().unwrap();
+        let (status, _, _) = get(server.addr(), "/topology.dot");
+        assert_eq!(status, 404);
+        let (status, _, _) = get(server.addr(), "/provenance/1#1");
+        assert_eq!(status, 404);
+
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        write!(stream, "POST /metrics HTTP/1.1\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        assert!(raw.starts_with("HTTP/1.1 405"));
+    }
+
+    #[test]
+    fn shutdown_is_prompt_and_idempotent_via_drop() {
+        let server = ControlPlane::new(MetricsRegistry::new()).serve().unwrap();
+        let addr = server.addr();
+        drop(server);
+        // The port is released: a fresh bind to the same address succeeds.
+        let rebind = TcpListener::bind(addr);
+        assert!(rebind.is_ok(), "accept loop still holds {addr}");
+    }
+}

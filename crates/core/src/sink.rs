@@ -9,6 +9,7 @@
 use std::collections::HashMap;
 use std::io::Write;
 
+use genealog_control::json;
 use genealog_spe::logical::LogicalStream;
 use genealog_spe::operator::sink::CollectedStream;
 use genealog_spe::query::{Query, StreamRef};
@@ -37,6 +38,32 @@ impl<T: TupleData> ProvenanceAssignment<T> {
     /// Number of originating tuples.
     pub fn source_count(&self) -> usize {
         self.sources.len()
+    }
+
+    /// The assignment as the JSON document served by the control endpoint's
+    /// `/provenance/{sink_tuple_id}` route.
+    pub fn to_json(&self) -> String {
+        json::object([
+            (
+                "sink",
+                json::object([
+                    ("id", json::string(&self.sink_id.to_string())),
+                    ("ts_ms", self.sink_ts.as_millis().to_string()),
+                    ("data", json::string(&format!("{:?}", self.sink_data))),
+                ]),
+            ),
+            ("source_count", self.source_count().to_string()),
+            (
+                "sources",
+                json::array(self.sources.iter().map(|s| {
+                    json::object([
+                        ("id", json::string(&s.id().to_string())),
+                        ("ts_ms", s.ts().as_millis().to_string()),
+                        ("data", json::string(&s.render())),
+                    ])
+                })),
+            ),
+        ])
     }
 
     /// The originating payloads downcast to the source schema `S` (payloads of other
@@ -78,6 +105,23 @@ impl<T: TupleData> ProvenanceCollector<T> {
     /// Number of unfolded tuples collected (one per sink-tuple/source-tuple pair).
     pub fn unfolded_count(&self) -> usize {
         self.collected.len()
+    }
+
+    /// The assignment of one sink tuple, if its provenance has been collected.
+    pub fn assignment(&self, sink_id: TupleId) -> Option<ProvenanceAssignment<T>> {
+        self.assignments()
+            .into_iter()
+            .find(|a| a.sink_id == sink_id)
+    }
+
+    /// Resolves a control-endpoint provenance query: parses `sink_id` (`origin#seq`
+    /// or `origin-seq`) and renders the tuple's contribution set as JSON. This is
+    /// the [`genealog_control::ProvenanceQuery`] implementation, so a collector
+    /// plugs directly into
+    /// [`ControlPlane::with_provenance`](genealog_control::ControlPlane::with_provenance).
+    pub fn contribution_json(&self, sink_id: &str) -> Option<String> {
+        let id = TupleId::parse(sink_id)?;
+        Some(self.assignment(id)?.to_json())
     }
 
     /// Groups the collected unfolded tuples into one assignment per sink tuple,
@@ -134,6 +178,12 @@ impl<T: TupleData> ProvenanceCollector<T> {
             }
         }
         Ok(())
+    }
+}
+
+impl<T: TupleData> genealog_control::ProvenanceQuery for ProvenanceCollector<T> {
+    fn contribution_set(&self, sink_id: &str) -> Option<String> {
+        self.contribution_json(sink_id)
     }
 }
 

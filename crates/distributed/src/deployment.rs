@@ -16,14 +16,18 @@
 //! [`DistributedOutcome`] with the per-instance reports, the alerts, the captured
 //! provenance and the per-link traffic counters.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::thread::JoinHandle;
 
+use genealog_control::json;
+use genealog_metrics::{decode_samples, MetricsRegistry};
 use genealog_spe::logical::{LogicalPlan, LogicalStream};
 use genealog_spe::operator::sink::{CollectedStream, SinkStats};
 use genealog_spe::operator::source::{SourceConfig, SourceGenerator};
 use genealog_spe::provenance::{NoProvenance, ProvenanceSystem};
 use genealog_spe::query::{NodeId, NodeKind, Query, QueryConfig, ShardPlacement, StreamRef};
-use genealog_spe::runtime::{QueryHandle, QueryReport};
+use genealog_spe::runtime::{QueryCompletion, QueryHandle, QueryReport};
 use genealog_spe::tuple::TupleData;
 use genealog_spe::{Duration, SpeError, Timestamp};
 
@@ -106,6 +110,8 @@ where
 /// The provenance of one sink tuple as captured at the provenance instance.
 #[derive(Debug, Clone)]
 pub struct ProvenanceRecord<D, S> {
+    /// Unique id of the sink tuple.
+    pub sink_id: genealog_spe::tuple::TupleId,
     /// Timestamp of the sink tuple.
     pub sink_ts: Timestamp,
     /// Payload of the sink tuple.
@@ -163,6 +169,7 @@ where
         let entry = groups.entry(event.sink_id).or_insert_with(|| {
             order.push(event.sink_id);
             ProvenanceRecord {
+                sink_id: event.sink_id,
                 sink_ts: event.sink_ts,
                 sink_data: event.sink_data.clone(),
                 sources: Vec::new(),
@@ -205,9 +212,70 @@ pub struct ShardLinks {
 pub struct RemoteShardGroup {
     handles: Vec<QueryHandle>,
     links: Vec<ShardLinks>,
+    shippers: Vec<MetricsShipper>,
+    metrics_rxs: Vec<MuxReceiver>,
+    pumps: Vec<JoinHandle<()>>,
+}
+
+/// The thread continuously shipping one remote instance's metrics registry over a
+/// channel of its return link, plus the flag that asks it for a final snapshot.
+struct MetricsShipper {
+    stop: Arc<AtomicBool>,
+    thread: JoinHandle<()>,
+}
+
+/// Spawns the shipper thread of one remote instance: every ~20 ms (and once more
+/// after the instance has drained, so the last shipment carries the final counter
+/// values) it encodes the instance's registry and pushes it onto `link`.
+///
+/// The shipper's lifetime is tied to the *engine*, not to [`RemoteShardGroup::wait`]:
+/// `link` is a sender clone of the shared physical return link, and the origin's
+/// ingress detects a dead remote instance by that link closing. A shipper that kept
+/// its sender alive after the engine tore down (e.g. a severed data channel failing
+/// the remote mid-stream) would hold the link open forever and the originating
+/// query — and with it the whole recovery path — would wedge waiting for an
+/// end-of-stream that can no longer arrive.
+fn spawn_metrics_shipper<L: FrameSink>(
+    registry: Arc<MetricsRegistry>,
+    link: L,
+    engine: QueryCompletion,
+) -> MetricsShipper {
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_in_thread = Arc::clone(&stop);
+    let thread = std::thread::spawn(move || {
+        while !stop_in_thread.load(Ordering::Relaxed) && !engine.is_finished() {
+            if !link.send_frame(registry.encode_snapshot()) {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        // Final snapshot, then drop the sender so the physical link can close.
+        let _ = link.send_frame(registry.encode_snapshot());
+    });
+    MetricsShipper { stop, thread }
 }
 
 impl RemoteShardGroup {
+    /// Streams the remote instances' registry snapshots into `registry` (normally
+    /// the originating query's, see `Query::registry`): shard `i` installs as
+    /// remote instance `{name}[i]`, making the spanning shard group one live
+    /// metrics surface at the origin. The pump threads drain until the shard
+    /// links close; [`RemoteShardGroup::wait`] joins them, so after it returns the
+    /// registry holds every shard's final snapshot.
+    pub fn stream_metrics_into(&mut self, name: &str, registry: &Arc<MetricsRegistry>) {
+        for (i, rx) in self.metrics_rxs.drain(..).enumerate() {
+            let registry = Arc::clone(registry);
+            let key = format!("{name}[{i}]");
+            self.pumps.push(std::thread::spawn(move || {
+                while let Some(frame) = rx.recv_frame() {
+                    if let Some(samples) = decode_samples(&frame) {
+                        registry.install_remote(&key, samples);
+                    }
+                }
+            }));
+        }
+    }
+
     /// Number of remote SPE instances in the group.
     pub fn instances(&self) -> usize {
         self.handles.len()
@@ -234,7 +302,20 @@ impl RemoteShardGroup {
     /// # Errors
     /// Returns the first remote instance's engine error encountered.
     pub fn wait(self) -> Result<Vec<QueryReport>, SpeError> {
-        self.handles.into_iter().map(QueryHandle::wait).collect()
+        let reports: Result<Vec<QueryReport>, SpeError> =
+            self.handles.into_iter().map(QueryHandle::wait).collect();
+        // The remote queries have drained: ask each shipper for its final snapshot,
+        // then join the pumps (they stop once the shard links close), so the
+        // origin's registry reads the shards' final counters after this returns.
+        for shipper in self.shippers {
+            shipper.stop.store(true, Ordering::Relaxed);
+            let _ = shipper.thread.join();
+        }
+        drop(self.metrics_rxs);
+        for pump in self.pumps {
+            let _ = pump.join();
+        }
+        reports
     }
 }
 
@@ -314,24 +395,50 @@ where
     let mut placements = Vec::with_capacity(instances);
     let mut handles = Vec::with_capacity(instances);
     let mut links = Vec::with_capacity(instances);
+    let mut shippers = Vec::with_capacity(instances);
+    let mut metrics_rxs = Vec::with_capacity(instances);
     for i in 0..instances {
         let (forward_tx, forward_rx, forward_stats) = SimulatedLink::new(network);
-        let (back_tx, back_rx, back_stats) = SimulatedLink::new(network);
+        // One physical return link, two multiplexed channels: shard results and the
+        // instance's live metrics snapshots.
+        let (mut back_txs, mut back_rxs, back_stats) = SharedLink::new(2, network);
+        let metrics_tx = back_txs.pop().expect("two channels");
+        let data_tx = back_txs.pop().expect("two channels");
+        let metrics_rx = back_rxs.pop().expect("two channels");
+        let data_rx = back_rxs.pop().expect("two channels");
 
         let mut remote = Query::with_config(provenance(i), config);
         let received: StreamRef<I, P::Meta> =
             add_receive(&mut remote, &format!("{name}.recv"), forward_rx);
         let out = build(&mut remote, i, received);
-        add_send(&mut remote, &format!("{name}.send"), out, back_tx);
-        handles.push(remote.deploy()?);
+        add_send(&mut remote, &format!("{name}.send"), out, data_tx);
+        let handle = remote.deploy()?;
+        if handle.registry().is_enabled() {
+            shippers.push(spawn_metrics_shipper(
+                handle.registry(),
+                metrics_tx,
+                handle.completion(),
+            ));
+        }
+        handles.push(handle);
 
-        placements.push(splice_remote_shard(name, instances, forward_tx, back_rx));
+        placements.push(splice_remote_shard(name, instances, forward_tx, data_rx));
         links.push(ShardLinks {
             forward: forward_stats,
             back: back_stats,
         });
+        metrics_rxs.push(metrics_rx);
     }
-    Ok((placements, RemoteShardGroup { handles, links }))
+    Ok((
+        placements,
+        RemoteShardGroup {
+            handles,
+            links,
+            shippers,
+            metrics_rxs,
+            pumps: Vec::new(),
+        },
+    ))
 }
 
 /// A distributed shard group under **GeneaLog**: the placements, the remote
@@ -429,15 +536,19 @@ where
     let mut handles = Vec::with_capacity(instances);
     let mut links = Vec::with_capacity(instances);
     let mut provenance_links = Vec::with_capacity(instances);
+    let mut shippers = Vec::with_capacity(instances);
+    let mut metrics_rxs = Vec::with_capacity(instances);
     for i in 0..instances {
         let (forward_tx, forward_rx, forward_stats) = SimulatedLink::new(network);
-        // One physical return link, two multiplexed channels: shard results and the
-        // unfolded provenance stream.
-        let (mut back_txs, mut back_rxs, back_stats) = SharedLink::new(2, network);
-        let provenance_tx = back_txs.pop().expect("two channels");
-        let data_tx = back_txs.pop().expect("two channels");
-        let provenance_rx = back_rxs.pop().expect("two channels");
-        let data_rx = back_rxs.pop().expect("two channels");
+        // One physical return link, three multiplexed channels: shard results, the
+        // unfolded provenance stream, and the instance's live metrics snapshots.
+        let (mut back_txs, mut back_rxs, back_stats) = SharedLink::new(3, network);
+        let metrics_tx = back_txs.pop().expect("three channels");
+        let provenance_tx = back_txs.pop().expect("three channels");
+        let data_tx = back_txs.pop().expect("three channels");
+        let metrics_rx = back_rxs.pop().expect("three channels");
+        let provenance_rx = back_rxs.pop().expect("three channels");
+        let data_rx = back_rxs.pop().expect("three channels");
 
         let mut remote = Query::with_config(systems(i), config);
         let received: StreamRef<I, GlMeta> =
@@ -457,7 +568,15 @@ where
             events,
             provenance_tx,
         );
-        handles.push(remote.deploy()?);
+        let handle = remote.deploy()?;
+        if handle.registry().is_enabled() {
+            shippers.push(spawn_metrics_shipper(
+                handle.registry(),
+                metrics_tx,
+                handle.completion(),
+            ));
+        }
+        handles.push(handle);
 
         placements.push(splice_remote_shard(name, instances, forward_tx, data_rx));
         links.push(ShardLinks {
@@ -465,10 +584,17 @@ where
             back: back_stats,
         });
         provenance_links.push(provenance_rx);
+        metrics_rxs.push(metrics_rx);
     }
     Ok(GlShardGroup {
         placements,
-        group: RemoteShardGroup { handles, links },
+        group: RemoteShardGroup {
+            handles,
+            links,
+            shippers,
+            metrics_rxs,
+            pumps: Vec::new(),
+        },
         provenance_links,
     })
 }
@@ -495,6 +621,48 @@ impl<O: TupleData, S: TupleData> ShardProvenanceCollector<O, S> {
                 .map(|t| t.data.clone())
                 .collect(),
         )
+    }
+
+    /// Resolves a control-endpoint provenance query against the stitched shard
+    /// provenance: parses `sink_id` (`origin#seq` or `origin-seq`) and renders that
+    /// sink tuple's contribution set as JSON. This backs the
+    /// [`genealog_control::ProvenanceQuery`] implementation, so the collector of a
+    /// spanning shard group plugs directly into
+    /// [`ControlPlane::with_provenance`](genealog_control::ControlPlane::with_provenance).
+    pub fn contribution_json(&self, sink_id: &str) -> Option<String> {
+        let id = genealog_spe::tuple::TupleId::parse(sink_id)?;
+        let record = self.records().into_iter().find(|r| r.sink_id == id)?;
+        Some(json::object([
+            (
+                "sink",
+                json::object([
+                    ("id", json::string(&record.sink_id.to_string())),
+                    ("ts_ms", record.sink_ts.as_millis().to_string()),
+                    ("data", json::string(&format!("{:?}", record.sink_data))),
+                ]),
+            ),
+            ("source_count", record.sources.len().to_string()),
+            (
+                "sources",
+                json::array(record.sources.iter().map(|s| {
+                    json::object([
+                        ("id", json::string(&s.id.to_string())),
+                        ("ts_ms", s.ts.as_millis().to_string()),
+                        ("data", json::string(&format!("{:?}", s.data))),
+                    ])
+                })),
+            ),
+        ]))
+    }
+}
+
+impl<O, S> genealog_control::ProvenanceQuery for ShardProvenanceCollector<O, S>
+where
+    O: TupleData,
+    S: TupleData,
+{
+    fn contribution_set(&self, sink_id: &str) -> Option<String> {
+        self.contribution_json(sink_id)
     }
 }
 

@@ -22,6 +22,7 @@ use std::sync::Arc;
 
 use genealog_spe::channel::{OutputSlot, StreamReceiver};
 use genealog_spe::error::SpeError;
+use genealog_spe::metrics::{OpCounters, OpMetrics};
 use genealog_spe::operator::{Operator, OperatorStats};
 use genealog_spe::provenance::{NoProvenance, ProvenanceSystem, RemoteContext};
 use genealog_spe::state::CheckpointHandle;
@@ -288,6 +289,7 @@ pub struct SendOp<T, P: ProvenanceSystem, L = LinkSender> {
     input: StreamReceiver<T, P::Meta>,
     link: L,
     provenance: P,
+    metrics: OpMetrics,
 }
 
 impl<T, P, L> SendOp<T, P, L>
@@ -308,6 +310,7 @@ where
             input,
             link,
             provenance,
+            metrics: OpMetrics::deferred(),
         }
     }
 }
@@ -322,8 +325,12 @@ where
         &self.name
     }
 
+    fn set_metrics(&mut self, metrics: OpMetrics) {
+        self.metrics = metrics;
+    }
+
     fn run(mut self: Box<Self>) -> Result<OperatorStats, SpeError> {
-        let mut stats = OperatorStats::new(self.name.clone());
+        let counters = self.metrics.handles(&self.name);
         let mut frame = TupleFrameBuilder::new();
         let mut seq = 0u64;
         // Ships the pending run; tuples count as "out" only once their frame
@@ -332,13 +339,13 @@ where
             frame: &mut TupleFrameBuilder,
             link: &L,
             seq: &mut u64,
-            stats: &mut OperatorStats,
+            counters: &OpCounters,
         ) -> bool {
             let run_len = u64::from(frame.len());
             match frame.take() {
                 Some(pending) => {
                     if ship(link, seq, pending) {
-                        stats.tuples_out += run_len;
+                        counters.add_out(run_len);
                         true
                     } else {
                         false
@@ -361,41 +368,41 @@ where
             for element in batch {
                 match element {
                     Element::Tuple(tuple) => {
-                        stats.tuples_in += 1;
+                        counters.inc_in();
                         let tag = self.provenance.wire_tag(&tuple);
                         frame.push(tuple.ts, tuple.stimulus, tag, &tuple.data);
                     }
                     Element::Watermark(ts) => {
                         // The pending run precedes the watermark on the wire, like
                         // the in-process flush policy.
-                        if !flush(&mut frame, &self.link, &mut seq, &mut stats) {
-                            return Ok(stats);
+                        if !flush(&mut frame, &self.link, &mut seq, &counters) {
+                            return Ok(counters.stats(&self.name));
                         }
                         if !ship(&self.link, &mut seq, encode_watermark_frame(ts)) {
-                            return Ok(stats);
+                            return Ok(counters.stats(&self.name));
                         }
                     }
                     Element::Barrier(epoch) => {
                         // Like a watermark: the pre-barrier run must cross the wire
                         // before the cut does.
-                        if !flush(&mut frame, &self.link, &mut seq, &mut stats) {
-                            return Ok(stats);
+                        if !flush(&mut frame, &self.link, &mut seq, &counters) {
+                            return Ok(counters.stats(&self.name));
                         }
                         if !ship(&self.link, &mut seq, encode_barrier_frame(epoch)) {
-                            return Ok(stats);
+                            return Ok(counters.stats(&self.name));
                         }
                     }
                     Element::End => {
-                        let _ = flush(&mut frame, &self.link, &mut seq, &mut stats);
+                        let _ = flush(&mut frame, &self.link, &mut seq, &counters);
                         let _ = ship(&self.link, &mut seq, encode_end_frame());
-                        return Ok(stats);
+                        return Ok(counters.stats(&self.name));
                     }
                 }
             }
             // Flush at the batch boundary: one upstream batch becomes (at most) one
             // frame, so wire framing tracks the transport's batch size.
-            if !flush(&mut frame, &self.link, &mut seq, &mut stats) {
-                return Ok(stats);
+            if !flush(&mut frame, &self.link, &mut seq, &counters) {
+                return Ok(counters.stats(&self.name));
             }
         }
     }
@@ -409,6 +416,7 @@ pub struct ReceiveOp<T, P: ProvenanceSystem, L = LinkReceiver> {
     output: OutputSlot<T, P::Meta>,
     provenance: P,
     checkpoints: Option<CheckpointHandle>,
+    metrics: OpMetrics,
 }
 
 impl<T, P, L> ReceiveOp<T, P, L>
@@ -430,6 +438,7 @@ where
             output,
             provenance,
             checkpoints: None,
+            metrics: OpMetrics::deferred(),
         }
     }
 
@@ -457,9 +466,13 @@ where
         &self.name
     }
 
+    fn set_metrics(&mut self, metrics: OpMetrics) {
+        self.metrics = metrics;
+    }
+
     fn run(self: Box<Self>) -> Result<OperatorStats, SpeError> {
         let mut out = self.output.open();
-        let mut stats = OperatorStats::new(self.name.clone());
+        let counters = self.metrics.handles(&self.name);
         // Raised while `out` is still held, so the fence strictly precedes the
         // synthesized end-of-stream downstream peers see once this thread exits.
         let fail = |message: String| {
@@ -499,7 +512,7 @@ where
             match decoded {
                 WireFrame::Tuples(run) => {
                     for wire_tuple in run {
-                        stats.tuples_in += 1;
+                        counters.inc_in();
                         let WireTuple {
                             ts,
                             stimulus,
@@ -513,19 +526,19 @@ where
                         });
                         let tuple = Arc::new(GTuple::new(ts, stimulus, data, meta));
                         if out.send_tuple(tuple).is_err() {
-                            return Ok(stats);
+                            return Ok(counters.stats(&self.name));
                         }
-                        stats.tuples_out += 1;
+                        counters.inc_out();
                     }
                 }
                 WireFrame::Watermark(ts) => {
                     if out.send_watermark(ts).is_err() {
-                        return Ok(stats);
+                        return Ok(counters.stats(&self.name));
                     }
                 }
                 WireFrame::Barrier(epoch) => {
                     if out.send_barrier(epoch).is_err() {
-                        return Ok(stats);
+                        return Ok(counters.stats(&self.name));
                     }
                 }
                 WireFrame::End => {
@@ -541,7 +554,7 @@ where
             return Err(fail("link closed before the end-of-stream marker".into()));
         }
         let _ = out.send_end();
-        Ok(stats)
+        Ok(counters.stats(&self.name))
     }
 }
 

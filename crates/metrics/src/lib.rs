@@ -12,6 +12,15 @@
 //! * [`recorder`] — throughput, latency, traversal-time and memory-sample recorders.
 //! * [`stats`] — means, standard deviations, 95 % confidence intervals, percentiles.
 //! * [`report`] — figure-style tables (rows of NP/GL/BL per query) and CSV output.
+//!
+//! Since PR 7 the crate also hosts the **live observability plane**:
+//!
+//! * [`registry`] — the lock-free, shard-aware [`MetricsRegistry`] of counters,
+//!   gauges and log-scale latency histograms that operators publish into while a
+//!   query runs, with Prometheus text exposition and a wire codec for folding
+//!   remote SPE instances into one surface.
+//! * [`trace`] — the ring-buffer event [`Tracer`] with pluggable subscribers that
+//!   replaces ad-hoc `eprintln!` warnings.
 
 // `alloc::TrackingAllocator` implements `GlobalAlloc`, which is inherently unsafe;
 // everything else in the crate is forbidden from using unsafe code.
@@ -20,10 +29,17 @@
 
 pub mod alloc;
 pub mod recorder;
+pub mod registry;
 pub mod report;
 pub mod stats;
+pub mod trace;
 
 pub use alloc::TrackingAllocator;
 pub use recorder::{LatencyRecorder, MemorySampler, ThroughputRecorder, TraversalRecorder};
+pub use registry::{
+    decode_samples, encode_samples, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry,
+    Sample, SampleValue,
+};
 pub use report::{FigureTable, MetricCell, RunMeasurement};
 pub use stats::Summary;
+pub use trace::{CountingSubscriber, TraceEvent, TraceSubscriber, Tracer};

@@ -1,0 +1,193 @@
+//! Ring-buffer event tracing with pluggable subscribers.
+//!
+//! Runtime components emit structured [`TraceEvent`]s (operator start/stop,
+//! barrier alignment, recovery attempts, link faults, one-time warnings) into a
+//! process-wide [`Tracer`] instead of writing ad-hoc `eprintln!` lines. The tracer
+//! keeps a bounded ring of recent events for post-hoc inspection and fans each
+//! event out to registered [`TraceSubscriber`]s; tests subscribe to assert on
+//! emission counts, and the control endpoint can expose the ring.
+
+use std::collections::{HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::{Mutex, RwLock};
+
+/// Capacity of the ring of recent events kept by a [`Tracer`].
+const RING_CAPACITY: usize = 1024;
+
+/// One structured runtime event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Monotonic sequence number, unique within the emitting tracer.
+    pub seq: u64,
+    /// Event kind, e.g. `"operator-start"`, `"operator-panic"`,
+    /// `"batch-budget-over-allocation"`, `"recovery-attempt"`.
+    pub kind: &'static str,
+    /// What the event is about (operator name, channel key, link name).
+    pub target: String,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+/// Receives every event emitted by a tracer it is subscribed to. Implementations
+/// must be cheap and non-blocking — they run inline on the emitting thread.
+pub trait TraceSubscriber: Send + Sync {
+    /// Called once per emitted event.
+    fn on_event(&self, event: &TraceEvent);
+}
+
+/// The event tracer (see the module docs). Usually accessed through
+/// [`Tracer::global`]; tests may build private instances with [`Tracer::new`].
+pub struct Tracer {
+    seq: AtomicU64,
+    ring: Mutex<VecDeque<TraceEvent>>,
+    once: Mutex<HashSet<(&'static str, String)>>,
+    subscribers: RwLock<Vec<Arc<dyn TraceSubscriber>>>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tracer {
+    /// Creates an empty tracer with no subscribers.
+    pub fn new() -> Self {
+        Tracer {
+            seq: AtomicU64::new(0),
+            ring: Mutex::new(VecDeque::with_capacity(RING_CAPACITY)),
+            once: Mutex::new(HashSet::new()),
+            subscribers: RwLock::new(Vec::new()),
+        }
+    }
+
+    /// The process-wide tracer runtime components emit into.
+    pub fn global() -> &'static Tracer {
+        static GLOBAL: OnceLock<Tracer> = OnceLock::new();
+        GLOBAL.get_or_init(Tracer::new)
+    }
+
+    /// Registers a subscriber for all subsequent events.
+    pub fn subscribe(&self, subscriber: Arc<dyn TraceSubscriber>) {
+        self.subscribers.write().push(subscriber);
+    }
+
+    /// Emits an event: appends it to the ring (evicting the oldest when full) and
+    /// notifies every subscriber.
+    pub fn emit(&self, kind: &'static str, target: impl Into<String>, message: impl Into<String>) {
+        let event = TraceEvent {
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            kind,
+            target: target.into(),
+            message: message.into(),
+        };
+        {
+            let mut ring = self.ring.lock();
+            if ring.len() == RING_CAPACITY {
+                ring.pop_front();
+            }
+            ring.push_back(event.clone());
+        }
+        for sub in self.subscribers.read().iter() {
+            sub.on_event(&event);
+        }
+    }
+
+    /// Emits the event only the first time this `(kind, target)` pair is seen —
+    /// the replacement for one-shot `eprintln!` warnings. Returns whether the
+    /// event was emitted.
+    pub fn emit_once(
+        &self,
+        kind: &'static str,
+        target: impl Into<String>,
+        message: impl Into<String>,
+    ) -> bool {
+        let target = target.into();
+        if !self.once.lock().insert((kind, target.clone())) {
+            return false;
+        }
+        self.emit(kind, target, message);
+        true
+    }
+
+    /// The most recent events, oldest first (bounded by the ring capacity).
+    pub fn recent(&self) -> Vec<TraceEvent> {
+        self.ring.lock().iter().cloned().collect()
+    }
+}
+
+/// A subscriber that counts events matching a `(kind, target)` pair — the
+/// building block for "emitted exactly once" assertions in tests.
+pub struct CountingSubscriber {
+    kind: &'static str,
+    target: String,
+    hits: AtomicU64,
+}
+
+impl CountingSubscriber {
+    /// Counts events whose kind and target equal the given pair.
+    pub fn new(kind: &'static str, target: impl Into<String>) -> Arc<Self> {
+        Arc::new(CountingSubscriber {
+            kind,
+            target: target.into(),
+            hits: AtomicU64::new(0),
+        })
+    }
+
+    /// Number of matching events seen so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+}
+
+impl TraceSubscriber for CountingSubscriber {
+    fn on_event(&self, event: &TraceEvent) {
+        if event.kind == self.kind && event.target == self.target {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emit_records_and_notifies() {
+        let tracer = Tracer::new();
+        let sub = CountingSubscriber::new("operator-start", "agg");
+        tracer.subscribe(sub.clone());
+        tracer.emit("operator-start", "agg", "spawned");
+        tracer.emit("operator-start", "src", "spawned");
+        assert_eq!(sub.hits(), 1);
+        let recent = tracer.recent();
+        assert_eq!(recent.len(), 2);
+        assert_eq!(recent[0].kind, "operator-start");
+        assert_eq!(recent[0].target, "agg");
+        assert!(recent[0].seq < recent[1].seq);
+    }
+
+    #[test]
+    fn emit_once_deduplicates_by_kind_and_target() {
+        let tracer = Tracer::new();
+        let sub = CountingSubscriber::new("warn", "chan-a");
+        tracer.subscribe(sub.clone());
+        assert!(tracer.emit_once("warn", "chan-a", "first"));
+        assert!(!tracer.emit_once("warn", "chan-a", "second"));
+        assert!(tracer.emit_once("warn", "chan-b", "other target still fires"));
+        assert_eq!(sub.hits(), 1);
+    }
+
+    #[test]
+    fn ring_is_bounded() {
+        let tracer = Tracer::new();
+        for i in 0..(RING_CAPACITY + 10) {
+            tracer.emit("tick", "t", format!("{i}"));
+        }
+        let recent = tracer.recent();
+        assert_eq!(recent.len(), RING_CAPACITY);
+        assert_eq!(recent[0].message, "10", "oldest events evicted");
+    }
+}

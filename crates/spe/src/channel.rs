@@ -86,23 +86,25 @@ impl Default for BatchConfig {
 /// The budget can only ever be *exceeded*, and only by the single-slot floor: a batch
 /// size larger than the capacity still leaves one full batch in flight, which holds
 /// `batch_size > capacity` elements. That over-allocation is not silent — it is
-/// reported by [`batch_budget_checked`] and logged here. The log fires at most once
-/// per process (later occurrences are routine once the first is known; use
-/// [`batch_budget_checked`] to detect every case programmatically), and `capacity`
-/// here is the *per-channel* budget, which for shard channels is the configured
-/// capacity already divided over the fan-out.
+/// reported by [`batch_budget_checked`] and emitted as a
+/// `batch-budget-over-allocation` event on the global
+/// [`Tracer`](genealog_metrics::Tracer), once per distinct `capacity`/`batch_size`
+/// combination (later occurrences of the same combination are routine once the
+/// first is known; use [`batch_budget_checked`] to detect every case
+/// programmatically). `capacity` here is the *per-channel* budget, which for shard
+/// channels is the configured capacity already divided over the fan-out.
 pub fn batch_budget(capacity: usize, batch_size: usize) -> usize {
     let (slots, over_allocated) = batch_budget_checked(capacity, batch_size);
     if over_allocated {
-        static WARN_ONCE: std::sync::Once = std::sync::Once::new();
-        WARN_ONCE.call_once(|| {
-            eprintln!(
-                "genealog-spe: batch size {batch_size} exceeds a channel's element \
-                 budget of {capacity}; the one-batch floor over-allocates that channel \
-                 to {batch_size} buffered elements (logged once per process; use \
-                 batch_budget_checked to detect further over-allocations)"
-            );
-        });
+        genealog_metrics::Tracer::global().emit_once(
+            "batch-budget-over-allocation",
+            format!("capacity={capacity},batch={batch_size}"),
+            format!(
+                "batch size {batch_size} exceeds the channel's element budget of \
+                 {capacity}; the one-batch floor over-allocates the channel to \
+                 {batch_size} buffered elements"
+            ),
+        );
     }
     slots
 }
@@ -221,6 +223,10 @@ pub struct StreamSender<T, M> {
     /// Elements currently queued in the channel (shared with the receiver so
     /// [`StreamReceiver::len`] stays element-accurate under batching).
     queued_elements: Arc<AtomicUsize>,
+    /// Optional back-pressure stall counter, incremented whenever a send finds the
+    /// channel full and has to block. `None` (the default) keeps the hot path to a
+    /// single blocking send.
+    stalls: Option<Arc<genealog_metrics::Counter>>,
 }
 
 impl<T, M> Clone for StreamSender<T, M> {
@@ -228,6 +234,7 @@ impl<T, M> Clone for StreamSender<T, M> {
         StreamSender {
             tx: self.tx.clone(),
             queued_elements: Arc::clone(&self.queued_elements),
+            stalls: self.stalls.clone(),
         }
     }
 }
@@ -260,6 +267,7 @@ pub fn stream_channel<T, M>(capacity: usize) -> (StreamSender<T, M>, StreamRecei
         StreamSender {
             tx,
             queued_elements: Arc::clone(&queued_elements),
+            stalls: None,
         },
         StreamReceiver {
             rx,
@@ -290,10 +298,33 @@ impl<T, M> StreamSender<T, M> {
         }
         let elements = batch.len();
         self.queued_elements.fetch_add(elements, Ordering::Relaxed);
+        // With a stall counter attached, try a non-blocking send first so a full
+        // channel is observable before the blocking send parks the producer.
+        let batch = match &self.stalls {
+            Some(stalls) => match self.tx.send_timeout(batch, std::time::Duration::ZERO) {
+                Ok(()) => return Ok(()),
+                Err(crossbeam_channel::SendTimeoutError::Timeout(batch)) => {
+                    stalls.inc();
+                    batch
+                }
+                Err(crossbeam_channel::SendTimeoutError::Disconnected(_)) => {
+                    self.queued_elements.fetch_sub(elements, Ordering::Relaxed);
+                    return Err(ChannelClosed);
+                }
+            },
+            None => batch,
+        };
         self.tx.send(batch).map_err(|_| {
             self.queued_elements.fetch_sub(elements, Ordering::Relaxed);
             ChannelClosed
         })
+    }
+
+    /// Attaches a back-pressure stall counter: every send that finds the channel
+    /// full bumps it once before blocking. Called by the query builder when the
+    /// owning query has metrics enabled.
+    pub fn set_stall_counter(&mut self, counter: Arc<genealog_metrics::Counter>) {
+        self.stalls = Some(counter);
     }
 }
 
@@ -369,6 +400,13 @@ impl<T, M> StreamReceiver<T, M> {
             Err(RecvTimeoutError::Timeout) => None,
             Err(RecvTimeoutError::Disconnected) => Some(Element::End),
         }
+    }
+
+    /// Shared element-depth cell of the channel, for wiring queue-depth gauges.
+    /// Counts elements queued in the channel (not the receiver's locally buffered
+    /// run of a partially consumed batch).
+    pub fn depth_handle(&self) -> Arc<AtomicUsize> {
+        Arc::clone(&self.queued_elements)
     }
 
     /// Number of elements currently buffered: queued in the channel plus locally
@@ -866,6 +904,38 @@ mod tests {
                 assert!(!over, "capacity {capacity} batch {batch} fits");
             }
         }
+    }
+
+    #[test]
+    fn stall_counter_counts_backpressure_blocks() {
+        let (mut tx, mut rx) = stream_channel::<i64, ()>(1);
+        let stalls = Arc::new(genealog_metrics::Counter::default());
+        tx.set_stall_counter(Arc::clone(&stalls));
+        tx.send(Element::Tuple(tuple(1, 1))).unwrap();
+        assert_eq!(stalls.get(), 0, "uncontended send must not count a stall");
+        let tx2 = tx.clone();
+        let blocked = std::thread::spawn(move || tx2.send(Element::Tuple(tuple(2, 2))));
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        assert_eq!(rx.recv().as_tuple().unwrap().data, 1);
+        blocked.join().unwrap().unwrap();
+        assert_eq!(stalls.get(), 1, "the blocked send must count one stall");
+    }
+
+    #[test]
+    fn over_allocation_warning_traces_exactly_once() {
+        use genealog_metrics::{CountingSubscriber, Tracer};
+        // A capacity/batch combination unique to this test, so parallel tests
+        // triggering the warning for other combinations cannot interfere.
+        let sub = CountingSubscriber::new("batch-budget-over-allocation", "capacity=7,batch=9931");
+        Tracer::global().subscribe(sub.clone());
+        assert_eq!(batch_budget(7, 9931), 1);
+        assert_eq!(batch_budget(7, 9931), 1);
+        assert_eq!(sub.hits(), 1, "warning must be emitted exactly once");
+        // Combinations within budget never trace.
+        let quiet = CountingSubscriber::new("batch-budget-over-allocation", "capacity=64,batch=8");
+        Tracer::global().subscribe(quiet.clone());
+        assert_eq!(batch_budget(64, 8), 8);
+        assert_eq!(quiet.hits(), 0);
     }
 
     #[test]

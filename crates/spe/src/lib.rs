@@ -47,6 +47,7 @@ pub mod error;
 pub mod fusion;
 pub mod logical;
 pub mod merge;
+pub mod metrics;
 pub mod operator;
 pub mod parallel;
 pub mod planner;

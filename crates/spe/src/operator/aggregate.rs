@@ -10,6 +10,7 @@ use std::sync::Arc;
 
 use crate::channel::{OutputSlot, StreamReceiver};
 use crate::error::SpeError;
+use crate::metrics::{OpCounters, OpMetrics};
 use crate::operator::{Operator, OperatorStats};
 use crate::provenance::{detach_tuple, ProvenanceSystem};
 use crate::state::{CheckpointHandle, Snapshot};
@@ -55,6 +56,7 @@ pub struct AggregateOp<I, O, K, KF, AF, P: ProvenanceSystem> {
     agg_fn: AF,
     provenance: P,
     checkpoints: CheckpointHandle,
+    metrics: OpMetrics,
 }
 
 impl<I, O, K, KF, AF, P> AggregateOp<I, O, K, KF, AF, P>
@@ -89,6 +91,7 @@ where
             agg_fn,
             provenance,
             checkpoints,
+            metrics: OpMetrics::deferred(),
         }
     }
 
@@ -96,7 +99,7 @@ where
         &mut self,
         closed: Vec<ClosedWindow<K, I, P::Meta>>,
         out: &mut crate::channel::OutputHandle<O, P::Meta>,
-        stats: &mut OperatorStats,
+        counters: &OpCounters,
     ) -> bool {
         for window in closed {
             if window.tuples.is_empty() {
@@ -119,7 +122,7 @@ where
             if out.send_tuple(tuple).is_err() {
                 return false;
             }
-            stats.tuples_out += 1;
+            counters.inc_out();
         }
         true
     }
@@ -138,9 +141,13 @@ where
         &self.name
     }
 
+    fn set_metrics(&mut self, metrics: OpMetrics) {
+        self.metrics = metrics;
+    }
+
     fn run(mut self: Box<Self>) -> Result<OperatorStats, SpeError> {
         let mut out = self.output.open();
-        let mut stats = OperatorStats::new(self.name.clone());
+        let counters = self.metrics.handles(&self.name);
         let window_size = self.store.spec().size;
         let checkpoints = self.checkpoints.get().cloned();
         if let Some(ckpt) = &checkpoints {
@@ -162,20 +169,20 @@ where
             for element in self.input.recv_batch() {
                 match element {
                     Element::Tuple(tuple) => {
-                        stats.tuples_in += 1;
+                        counters.inc_in();
                         let key = (self.key_fn)(&tuple.data);
                         self.store.insert(key, tuple);
                     }
                     Element::Watermark(ts) => {
                         let closed = self.store.close_up_to(ts);
-                        if !self.emit_closed(closed, &mut out, &mut stats) {
-                            return Ok(stats);
+                        if !self.emit_closed(closed, &mut out, &counters) {
+                            return Ok(counters.stats(&self.name));
                         }
                         // Future outputs carry the start of a not-yet-closed window,
                         // which is strictly greater than ts - WS.
                         let downstream_wm = ts.saturating_sub(window_size);
                         if out.send_watermark(downstream_wm).is_err() {
-                            return Ok(stats);
+                            return Ok(counters.stats(&self.name));
                         }
                     }
                     Element::Barrier(epoch) => {
@@ -187,15 +194,15 @@ where
                             );
                         }
                         if out.send_barrier(epoch).is_err() {
-                            return Ok(stats);
+                            return Ok(counters.stats(&self.name));
                         }
                     }
                     Element::End => {
                         let closed = self.store.close_all();
-                        let _ = self.emit_closed(closed, &mut out, &mut stats);
+                        let _ = self.emit_closed(closed, &mut out, &counters);
                         let _ = out.send_watermark(Timestamp::MAX);
                         let _ = out.send_end();
-                        return Ok(stats);
+                        return Ok(counters.stats(&self.name));
                     }
                 }
             }

@@ -13,6 +13,7 @@ use std::sync::Arc;
 
 use crate::channel::{OutputSlot, StreamReceiver};
 use crate::error::SpeError;
+use crate::metrics::OpMetrics;
 use crate::operator::{Operator, OperatorStats};
 use crate::provenance::{detach_tuple, ProvenanceSystem};
 use crate::state::{CheckpointHandle, Snapshot};
@@ -114,6 +115,7 @@ pub struct JoinOp<L, R, O, PR, CF, P: ProvenanceSystem> {
     provenance: P,
     emitted_watermark: Timestamp,
     checkpoints: CheckpointHandle,
+    metrics: OpMetrics,
 }
 
 impl<L, R, O, PR, CF, P> JoinOp<L, R, O, PR, CF, P>
@@ -155,6 +157,7 @@ where
             provenance,
             emitted_watermark: Timestamp::MIN,
             checkpoints,
+            metrics: OpMetrics::deferred(),
         }
     }
 }
@@ -172,9 +175,13 @@ where
         &self.name
     }
 
+    fn set_metrics(&mut self, metrics: OpMetrics) {
+        self.metrics = metrics;
+    }
+
     fn run(mut self: Box<Self>) -> Result<OperatorStats, SpeError> {
         let mut out = self.output.open();
-        let mut stats = OperatorStats::new(self.name.clone());
+        let counters = self.metrics.handles(&self.name);
         let checkpoints = self.checkpoints.get().cloned();
         if let Some(ckpt) = &checkpoints {
             ckpt.store.register(&self.name);
@@ -210,7 +217,7 @@ where
 
             if left_ready {
                 let tuple = self.left.pending.pop_front().expect("checked non-empty");
-                stats.tuples_in += 1;
+                counters.inc_in();
                 for candidate in &self.right.window {
                     if tuple.ts.distance(candidate.ts) <= self.window
                         && (self.predicate)(&tuple.data, &candidate.data)
@@ -224,15 +231,15 @@ where
                             meta,
                         ));
                         if out.send_tuple(output).is_err() {
-                            return Ok(stats);
+                            return Ok(counters.stats(&self.name));
                         }
-                        stats.tuples_out += 1;
+                        counters.inc_out();
                     }
                 }
                 self.left.window.push_back(tuple);
             } else if right_ready {
                 let tuple = self.right.pending.pop_front().expect("checked non-empty");
-                stats.tuples_in += 1;
+                counters.inc_in();
                 for candidate in &self.left.window {
                     if tuple.ts.distance(candidate.ts) <= self.window
                         && (self.predicate)(&candidate.data, &tuple.data)
@@ -246,9 +253,9 @@ where
                             meta,
                         ));
                         if out.send_tuple(output).is_err() {
-                            return Ok(stats);
+                            return Ok(counters.stats(&self.name));
                         }
-                        stats.tuples_out += 1;
+                        counters.inc_out();
                     }
                 }
                 self.right.window.push_back(tuple);
@@ -283,7 +290,7 @@ where
                     self.left.at_barrier = None;
                     self.right.at_barrier = None;
                     if out.send_barrier(epoch).is_err() {
-                        return Ok(stats);
+                        return Ok(counters.stats(&self.name));
                     }
                     continue;
                 }
@@ -293,14 +300,14 @@ where
                 if frontier == Timestamp::MAX {
                     let _ = out.send_watermark(Timestamp::MAX);
                     let _ = out.send_end();
-                    return Ok(stats);
+                    return Ok(counters.stats(&self.name));
                 }
                 self.left.purge(frontier, self.window);
                 self.right.purge(frontier, self.window);
                 if frontier > self.emitted_watermark && frontier > Timestamp::MIN {
                     self.emitted_watermark = frontier;
                     if out.send_watermark(frontier).is_err() {
-                        return Ok(stats);
+                        return Ok(counters.stats(&self.name));
                     }
                 }
                 // Receive more input. Blocking on one specific side can deadlock when

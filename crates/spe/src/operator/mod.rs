@@ -98,6 +98,13 @@ pub trait Operator: Send {
     /// Returns [`SpeError::Runtime`] if the operator fails irrecoverably; downstream
     /// shutdown (a closed output channel) is treated as a graceful stop, not an error.
     fn run(self: Box<Self>) -> Result<OperatorStats, SpeError>;
+
+    /// Hands the operator its [`OpMetrics`](crate::metrics::OpMetrics) cell so
+    /// its counts surface in the query's live registry. Called by the query
+    /// between [`set_operator`](crate::query::Query::set_operator) and deploy;
+    /// the default ignores the cell (the operator then only reports through the
+    /// [`OperatorStats`] it returns from [`run`](Operator::run)).
+    fn set_metrics(&mut self, _metrics: crate::metrics::OpMetrics) {}
 }
 
 /// Process-wide monotonic clock anchor used for stimulus/latency measurement.

@@ -8,6 +8,7 @@ use std::sync::Arc;
 
 use crate::channel::{OutputSlot, StreamReceiver};
 use crate::error::SpeError;
+use crate::metrics::OpMetrics;
 use crate::operator::{Operator, OperatorStats};
 use crate::provenance::ProvenanceSystem;
 use crate::tuple::{Element, GTuple, TupleData};
@@ -18,6 +19,7 @@ pub struct MultiplexOp<T, P: ProvenanceSystem> {
     input: StreamReceiver<T, P::Meta>,
     outputs: Vec<OutputSlot<T, P::Meta>>,
     provenance: P,
+    metrics: OpMetrics,
 }
 
 impl<T, P> MultiplexOp<T, P>
@@ -44,6 +46,7 @@ where
             input,
             outputs,
             provenance,
+            metrics: OpMetrics::deferred(),
         }
     }
 }
@@ -57,15 +60,19 @@ where
         &self.name
     }
 
+    fn set_metrics(&mut self, metrics: OpMetrics) {
+        self.metrics = metrics;
+    }
+
     fn run(mut self: Box<Self>) -> Result<OperatorStats, SpeError> {
         let mut outs: Vec<_> = self.outputs.iter().map(OutputSlot::open).collect();
-        let mut stats = OperatorStats::new(self.name.clone());
+        let counters = self.metrics.handles(&self.name);
         let mut live: Vec<bool> = vec![true; outs.len()];
         loop {
             for element in self.input.recv_batch() {
                 match element {
                     Element::Tuple(tuple) => {
-                        stats.tuples_in += 1;
+                        counters.inc_in();
                         for (out, alive) in outs.iter_mut().zip(live.iter_mut()) {
                             if !*alive {
                                 continue;
@@ -80,11 +87,11 @@ where
                             if out.send_tuple(copy).is_err() {
                                 *alive = false;
                             } else {
-                                stats.tuples_out += 1;
+                                counters.inc_out();
                             }
                         }
                         if live.iter().all(|a| !*a) {
-                            return Ok(stats);
+                            return Ok(counters.stats(&self.name));
                         }
                     }
                     Element::Watermark(ts) => {
@@ -107,7 +114,7 @@ where
                         for out in &mut outs {
                             let _ = out.send_end();
                         }
-                        return Ok(stats);
+                        return Ok(counters.stats(&self.name));
                     }
                 }
             }

@@ -12,6 +12,7 @@ use parking_lot::Mutex;
 
 use crate::channel::StreamReceiver;
 use crate::error::SpeError;
+use crate::metrics::OpMetrics;
 use crate::operator::{now_nanos, Operator, OperatorStats};
 use crate::provenance::MetaData;
 use crate::state::{CheckpointHandle, Snapshot};
@@ -136,6 +137,7 @@ pub struct SinkOp<T, M, F> {
     /// checkpointable state (the output prefix committed at each epoch barrier).
     collected: Option<CollectedStream<T, M>>,
     checkpoints: CheckpointHandle,
+    metrics: OpMetrics,
 }
 
 impl<T, M, F> SinkOp<T, M, F>
@@ -165,6 +167,7 @@ where
             stats,
             collected,
             checkpoints,
+            metrics: OpMetrics::deferred(),
         }
     }
 }
@@ -179,8 +182,14 @@ where
         &self.name
     }
 
+    fn set_metrics(&mut self, metrics: OpMetrics) {
+        self.metrics = metrics;
+    }
+
     fn run(mut self: Box<Self>) -> Result<OperatorStats, SpeError> {
-        let mut stats = OperatorStats::new(self.name.clone());
+        let counters = self.metrics.handles(&self.name);
+        // The live latency histogram (p50/p95/p99 of stimulus-to-sink time).
+        let latency_histogram = counters.histogram("genealog_sink_latency_ns");
         let checkpoints = self.checkpoints.get().cloned();
         if let Some(ckpt) = &checkpoints {
             ckpt.store.register(&self.name);
@@ -197,9 +206,10 @@ where
             for element in self.input.recv_batch() {
                 match element {
                     Element::Tuple(tuple) => {
-                        stats.tuples_in += 1;
+                        counters.inc_in();
                         let latency = now_nanos().saturating_sub(tuple.stimulus);
                         self.stats.record(latency);
+                        latency_histogram.record(latency);
                         (self.callback)(&tuple);
                     }
                     Element::Watermark(_) => {}
@@ -212,7 +222,7 @@ where
                             ckpt.store.commit(&self.name, epoch, snapshot);
                         }
                     }
-                    Element::End => return Ok(stats),
+                    Element::End => return Ok(counters.stats(&self.name)),
                 }
             }
         }

@@ -11,6 +11,7 @@ use std::sync::Arc;
 
 use crate::channel::OutputSlot;
 use crate::error::SpeError;
+use crate::metrics::OpMetrics;
 use crate::operator::{now_nanos, Operator, OperatorStats};
 use crate::provenance::{ProvenanceSystem, SourceContext};
 use crate::state::{CheckpointHandle, Snapshot};
@@ -117,6 +118,7 @@ pub struct SourceOp<G: SourceGenerator, P: ProvenanceSystem> {
     provenance: P,
     stop: Arc<AtomicBool>,
     checkpoints: CheckpointHandle,
+    metrics: OpMetrics,
 }
 
 impl<G: SourceGenerator, P: ProvenanceSystem> SourceOp<G, P> {
@@ -144,6 +146,7 @@ impl<G: SourceGenerator, P: ProvenanceSystem> SourceOp<G, P> {
             provenance,
             stop,
             checkpoints,
+            metrics: OpMetrics::deferred(),
         }
     }
 }
@@ -153,9 +156,17 @@ impl<G: SourceGenerator, P: ProvenanceSystem> Operator for SourceOp<G, P> {
         &self.name
     }
 
+    fn set_metrics(&mut self, metrics: OpMetrics) {
+        self.metrics = metrics;
+    }
+
     fn run(mut self: Box<Self>) -> Result<OperatorStats, SpeError> {
         let mut out = self.output.open();
-        let mut stats = OperatorStats::new(self.name.clone());
+        let counters = self.metrics.handles(&self.name);
+        // Live load-shedding signals: how far the source has replayed and which
+        // barrier epoch it last committed.
+        let replay_offset = counters.gauge("genealog_source_replay_offset");
+        let barrier_epoch = counters.gauge("genealog_source_barrier_epoch");
         let mut seq: u64 = 0;
         let mut last_ts = Timestamp::MIN;
 
@@ -178,6 +189,7 @@ impl<G: SourceGenerator, P: ProvenanceSystem> Operator for SourceOp<G, P> {
                     }
                     seq += 1;
                 }
+                replay_offset.set(seq);
             }
         }
         let start = std::time::Instant::now();
@@ -212,10 +224,11 @@ impl<G: SourceGenerator, P: ProvenanceSystem> Operator for SourceOp<G, P> {
             let tuple = Arc::new(GTuple::new(ts, now_nanos(), data, meta));
             if out.send_tuple(tuple).is_err() {
                 // Downstream shut down: stop injecting.
-                return Ok(stats);
+                return Ok(counters.stats(&self.name));
             }
             seq += 1;
-            stats.tuples_out += 1;
+            counters.inc_out();
+            replay_offset.set(seq);
             if self.config.watermark_every > 0 && seq.is_multiple_of(self.config.watermark_every) {
                 let _ = out.send_watermark(ts);
             }
@@ -226,13 +239,14 @@ impl<G: SourceGenerator, P: ProvenanceSystem> Operator for SourceOp<G, P> {
                     // offset on record.
                     let epoch = seq / ckpt.interval;
                     ckpt.store.commit(&self.name, epoch, Snapshot::u64(seq));
+                    barrier_epoch.set(epoch);
                     let _ = out.send_barrier(epoch);
                 }
             }
         }
         let _ = out.send_watermark(Timestamp::MAX);
         let _ = out.send_end();
-        Ok(stats)
+        Ok(counters.stats(&self.name))
     }
 }
 

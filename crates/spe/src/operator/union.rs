@@ -7,6 +7,7 @@
 use crate::channel::{OutputSlot, StreamReceiver};
 use crate::error::SpeError;
 use crate::merge::{DeterministicMerge, MergedElement};
+use crate::metrics::OpMetrics;
 use crate::operator::{Operator, OperatorStats};
 use crate::provenance::MetaData;
 use crate::tuple::TupleData;
@@ -16,6 +17,7 @@ pub struct UnionOp<T, M> {
     name: String,
     inputs: Vec<StreamReceiver<T, M>>,
     output: OutputSlot<T, M>,
+    metrics: OpMetrics,
 }
 
 impl<T, M> UnionOp<T, M>
@@ -37,6 +39,7 @@ where
             name: name.into(),
             inputs,
             output,
+            metrics: OpMetrics::deferred(),
         }
     }
 }
@@ -50,22 +53,26 @@ where
         &self.name
     }
 
+    fn set_metrics(&mut self, metrics: OpMetrics) {
+        self.metrics = metrics;
+    }
+
     fn run(self: Box<Self>) -> Result<OperatorStats, SpeError> {
         let mut out = self.output.open();
-        let mut stats = OperatorStats::new(self.name.clone());
+        let counters = self.metrics.handles(&self.name);
         let mut merge = DeterministicMerge::new(self.inputs);
         loop {
             match merge.next() {
                 MergedElement::Tuple(tuple, _) => {
-                    stats.tuples_in += 1;
+                    counters.inc_in();
                     if out.send_tuple(tuple).is_err() {
-                        return Ok(stats);
+                        return Ok(counters.stats(&self.name));
                     }
-                    stats.tuples_out += 1;
+                    counters.inc_out();
                 }
                 MergedElement::Watermark(ts) => {
                     if out.send_watermark(ts).is_err() {
-                        return Ok(stats);
+                        return Ok(counters.stats(&self.name));
                     }
                 }
                 MergedElement::Barrier(epoch) => {
@@ -73,12 +80,12 @@ where
                     // so Union holds no state across the barrier: forwarding it is
                     // the entire checkpoint protocol for this operator.
                     if out.send_barrier(epoch).is_err() {
-                        return Ok(stats);
+                        return Ok(counters.stats(&self.name));
                     }
                 }
                 MergedElement::End => {
                     let _ = out.send_end();
-                    return Ok(stats);
+                    return Ok(counters.stats(&self.name));
                 }
             }
         }

@@ -69,6 +69,7 @@ use std::sync::Arc;
 use crate::channel::{OutputHandle, OutputSlot, StreamReceiver};
 use crate::error::SpeError;
 use crate::merge::{DeterministicMerge, MergedElement};
+use crate::metrics::{OpCounters, OpMetrics};
 use crate::operator::aggregate::{AggregateOp, WindowView};
 use crate::operator::filter::FilterStage;
 use crate::operator::join::JoinOp;
@@ -143,6 +144,7 @@ pub struct PartitionOp<T, M> {
     input: StreamReceiver<T, M>,
     outputs: Vec<OutputSlot<T, M>>,
     shard_fn: Box<dyn FnMut(&T) -> usize + Send>,
+    metrics: OpMetrics,
 }
 
 impl<T, M> PartitionOp<T, M>
@@ -172,6 +174,7 @@ where
             input,
             outputs,
             shard_fn,
+            metrics: OpMetrics::deferred(),
         }
     }
 }
@@ -185,27 +188,31 @@ where
         &self.name
     }
 
+    fn set_metrics(&mut self, metrics: OpMetrics) {
+        self.metrics = metrics;
+    }
+
     fn run(mut self: Box<Self>) -> Result<OperatorStats, SpeError> {
         let mut outs: Vec<_> = self.outputs.iter().map(OutputSlot::open).collect();
-        let mut stats = OperatorStats::new(self.name.clone());
+        let counters = self.metrics.handles(&self.name);
         let last = outs.len() - 1;
         loop {
             for element in self.input.recv_batch() {
                 match element {
                     Element::Tuple(tuple) => {
-                        stats.tuples_in += 1;
+                        counters.inc_in();
                         let shard = (self.shard_fn)(&tuple.data).min(last);
                         // A closed shard means the query is shutting down; losing a
                         // key range would corrupt results, so stop the whole exchange.
                         if outs[shard].send_tuple(tuple).is_err() {
-                            return Ok(stats);
+                            return Ok(counters.stats(&self.name));
                         }
-                        stats.tuples_out += 1;
+                        counters.inc_out();
                     }
                     Element::Watermark(ts) => {
                         for out in &mut outs {
                             if out.send_watermark(ts).is_err() {
-                                return Ok(stats);
+                                return Ok(counters.stats(&self.name));
                             }
                         }
                     }
@@ -215,7 +222,7 @@ where
                         // snapshot a consistent global cut.
                         for out in &mut outs {
                             if out.send_barrier(epoch).is_err() {
-                                return Ok(stats);
+                                return Ok(counters.stats(&self.name));
                             }
                         }
                     }
@@ -223,7 +230,7 @@ where
                         for out in &mut outs {
                             let _ = out.send_end();
                         }
-                        return Ok(stats);
+                        return Ok(counters.stats(&self.name));
                     }
                 }
             }
@@ -253,6 +260,7 @@ pub struct KeyedMergeOp<T, M> {
     inputs: Vec<StreamReceiver<T, M>>,
     output: OutputSlot<T, M>,
     cmp: KeyComparator<T>,
+    metrics: OpMetrics,
 }
 
 impl<T, M> KeyedMergeOp<T, M>
@@ -277,6 +285,7 @@ where
             inputs,
             output,
             cmp,
+            metrics: OpMetrics::deferred(),
         }
     }
 
@@ -286,14 +295,14 @@ where
         run: &mut Vec<Arc<GTuple<T, M>>>,
         cmp: &mut (dyn FnMut(&T, &T) -> CmpOrdering + Send),
         out: &mut OutputHandle<T, M>,
-        stats: &mut OperatorStats,
+        counters: &OpCounters,
     ) -> bool {
         run.sort_by(|a, b| cmp(&a.data, &b.data));
         for tuple in run.drain(..) {
             if out.send_tuple(tuple).is_err() {
                 return false;
             }
-            stats.tuples_out += 1;
+            counters.inc_out();
         }
         true
     }
@@ -308,9 +317,13 @@ where
         &self.name
     }
 
+    fn set_metrics(&mut self, metrics: OpMetrics) {
+        self.metrics = metrics;
+    }
+
     fn run(self: Box<Self>) -> Result<OperatorStats, SpeError> {
         let mut out = self.output.open();
-        let mut stats = OperatorStats::new(self.name.clone());
+        let counters = self.metrics.handles(&self.name);
         let mut merge = DeterministicMerge::new(self.inputs);
         let mut cmp = self.cmp;
         // The run of equal-timestamp tuples currently being collected. It is released
@@ -320,11 +333,11 @@ where
         loop {
             match merge.next() {
                 MergedElement::Tuple(tuple, _) => {
-                    stats.tuples_in += 1;
+                    counters.inc_in();
                     if run.first().is_some_and(|head| head.ts != tuple.ts)
-                        && !Self::flush_run(&mut run, &mut *cmp, &mut out, &mut stats)
+                        && !Self::flush_run(&mut run, &mut *cmp, &mut out, &counters)
                     {
-                        return Ok(stats);
+                        return Ok(counters.stats(&self.name));
                     }
                     run.push(tuple);
                 }
@@ -333,12 +346,12 @@ where
                     // A watermark at or below it must still be forwarded (held tuples
                     // have ts >= the watermark, so ordering semantics are preserved).
                     if run.first().is_some_and(|head| ts > head.ts)
-                        && !Self::flush_run(&mut run, &mut *cmp, &mut out, &mut stats)
+                        && !Self::flush_run(&mut run, &mut *cmp, &mut out, &counters)
                     {
-                        return Ok(stats);
+                        return Ok(counters.stats(&self.name));
                     }
                     if out.send_watermark(ts).is_err() {
-                        return Ok(stats);
+                        return Ok(counters.stats(&self.name));
                     }
                 }
                 MergedElement::Barrier(epoch) => {
@@ -346,17 +359,17 @@ where
                     // for the windows closed before the cut (watermarks precede the
                     // barrier on every shard channel), so the held run is complete:
                     // flush it and the fan-in crosses the barrier stateless.
-                    if !Self::flush_run(&mut run, &mut *cmp, &mut out, &mut stats) {
-                        return Ok(stats);
+                    if !Self::flush_run(&mut run, &mut *cmp, &mut out, &counters) {
+                        return Ok(counters.stats(&self.name));
                     }
                     if out.send_barrier(epoch).is_err() {
-                        return Ok(stats);
+                        return Ok(counters.stats(&self.name));
                     }
                 }
                 MergedElement::End => {
-                    let _ = Self::flush_run(&mut run, &mut *cmp, &mut out, &mut stats);
+                    let _ = Self::flush_run(&mut run, &mut *cmp, &mut out, &counters);
                     let _ = out.send_end();
-                    return Ok(stats);
+                    return Ok(counters.stats(&self.name));
                 }
             }
         }

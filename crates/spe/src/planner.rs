@@ -62,6 +62,10 @@ pub struct PlannerConfig {
     /// [`CheckpointStore`](crate::state::CheckpointStore). `None` (the default)
     /// lowers a checkpoint-free query — no barriers ever enter the dataflow.
     pub checkpoints: Option<CheckpointConfig>,
+    /// Whether the lowered query publishes into a live
+    /// [`MetricsRegistry`](genealog_metrics::MetricsRegistry) (see
+    /// [`QueryConfig::metrics`]). On by default.
+    pub metrics: bool,
 }
 
 impl Default for PlannerConfig {
@@ -72,6 +76,7 @@ impl Default for PlannerConfig {
             parallelism: 1,
             fusion: true,
             checkpoints: None,
+            metrics: true,
         }
     }
 }
@@ -116,6 +121,12 @@ impl PlannerConfig {
         self
     }
 
+    /// Returns the configuration with live metrics publication enabled or disabled.
+    pub fn with_metrics(mut self, enabled: bool) -> Self {
+        self.metrics = enabled;
+        self
+    }
+
     /// The physical [`QueryConfig`] the planner hands to the lowered query.
     pub fn query_config(&self) -> QueryConfig {
         QueryConfig {
@@ -123,6 +134,7 @@ impl PlannerConfig {
             batch: self.batch,
             parallelism: self.parallelism,
             fusion: self.fusion,
+            metrics: self.metrics,
         }
     }
 }

@@ -15,9 +15,12 @@ use std::collections::{HashMap, HashSet};
 use std::sync::atomic::AtomicBool;
 use std::sync::{Arc, OnceLock};
 
+use genealog_metrics::MetricsRegistry;
+
 use crate::channel::{stream_channel, BatchConfig, OutputSlot, StreamReceiver};
 use crate::error::SpeError;
 use crate::fusion::{ChainEntry, PendingChain, StageCounters, StageInfo};
+use crate::metrics::OpMetrics;
 use crate::operator::aggregate::{AggregateOp, WindowView};
 use crate::operator::filter::FilterStage;
 use crate::operator::join::JoinOp;
@@ -300,6 +303,12 @@ pub struct QueryConfig {
     /// [`crate::fusion`]). Off by default: fused plans produce the same results and
     /// provenance but report fused chains as one operator, so fusion is opt-in.
     pub fusion: bool,
+    /// Whether the query publishes into a live [`MetricsRegistry`] (per-operator
+    /// tuple counters, queue-depth gauges, back-pressure stall counters, sink
+    /// latency histograms, checkpoint gauges). On by default — the hot path is a
+    /// handful of relaxed atomic increments; [`QueryConfig::with_metrics`]`(false)`
+    /// reduces it to the counters the end-of-run report needs anyway.
+    pub metrics: bool,
 }
 
 impl Default for QueryConfig {
@@ -309,6 +318,7 @@ impl Default for QueryConfig {
             batch: BatchConfig::default(),
             parallelism: 1,
             fusion: false,
+            metrics: true,
         }
     }
 }
@@ -340,6 +350,12 @@ impl QueryConfig {
         self.fusion = enabled;
         self
     }
+
+    /// Returns the configuration with live metrics publication enabled or disabled.
+    pub fn with_metrics(mut self, enabled: bool) -> Self {
+        self.metrics = enabled;
+        self
+    }
 }
 
 /// A continuous query under construction.
@@ -363,6 +379,12 @@ pub struct Query<P: ProvenanceSystem> {
     /// cell is handed to operators at construction time and read when they start
     /// running, so [`Query::set_checkpoints`] works at any point before deployment.
     checkpoints: CheckpointHandle,
+    /// The live metrics registry of the query (disabled when
+    /// [`QueryConfig::metrics`] is off).
+    registry: Arc<MetricsRegistry>,
+    /// Per-node metrics cells, aligned with `nodes`. Handed to operators when they
+    /// are installed and bound to logical names at deploy time.
+    node_metrics: Vec<OpMetrics>,
 }
 
 impl<P: ProvenanceSystem> Query<P> {
@@ -385,7 +407,20 @@ impl<P: ProvenanceSystem> Query<P> {
             stop: Arc::new(AtomicBool::new(false)),
             next_origin: 0,
             checkpoints: Arc::new(OnceLock::new()),
+            registry: if config.metrics {
+                MetricsRegistry::new()
+            } else {
+                MetricsRegistry::disabled()
+            },
+            node_metrics: Vec::new(),
         }
+    }
+
+    /// The live metrics registry the query's operators publish into. Shared with
+    /// the [`QueryHandle`] at deploy time; hand it to a control endpoint to expose
+    /// the running query.
+    pub fn registry(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.registry)
     }
 
     /// Enables epoch-based checkpointing: Sources inject an epoch barrier every
@@ -447,6 +482,7 @@ impl<P: ProvenanceSystem> Query<P> {
             shard_group: None,
             operator: None,
         });
+        self.node_metrics.push(OpMetrics::deferred());
         id
     }
 
@@ -477,7 +513,22 @@ impl<P: ProvenanceSystem> Query<P> {
         let share = stream.capacity_share.max(1);
         let capacity = self.config.channel_capacity.div_ceil(share);
         let batches = crate::channel::batch_budget(capacity, batch_size);
-        let (tx, rx) = stream_channel(batches);
+        let (mut tx, rx) = stream_channel(batches);
+        if self.registry.is_enabled() {
+            // One edge key per physical channel: the producing stream's label is
+            // unique per output port, the consumer name disambiguates fan-ins.
+            let edge = format!("{}->{}", stream.label, self.nodes[consumer].name);
+            tx.set_stall_counter(self.registry.counter(
+                "genealog_channel_backpressure_stalls_total",
+                &[("edge", &edge)],
+            ));
+            let depth = rx.depth_handle();
+            self.registry.gauge_fn(
+                "genealog_channel_queue_depth",
+                &[("edge", &edge)],
+                Arc::new(move || depth.load(std::sync::atomic::Ordering::Relaxed) as u64),
+            );
+        }
         stream.slot.connect(tx);
         self.edges.push((stream.producer, consumer));
         self.edge_budgets.push(batches * batch_size.max(1));
@@ -509,13 +560,14 @@ impl<P: ProvenanceSystem> Query<P> {
     ///
     /// # Panics
     /// Panics if the node already has an operator.
-    pub fn set_operator(&mut self, node: NodeId, operator: Box<dyn Operator>) {
+    pub fn set_operator(&mut self, node: NodeId, mut operator: Box<dyn Operator>) {
         let info = &mut self.nodes[node];
         assert!(
             info.operator.is_none(),
             "operator already installed for node `{}`",
             info.name
         );
+        operator.set_metrics(self.node_metrics[node].clone());
         info.operator = Some(operator);
     }
 
@@ -1106,6 +1158,7 @@ impl<P: ProvenanceSystem> Query<P> {
             members.extend(entry.nodes.iter().copied());
             chains.insert(entry.nodes[0], entry);
         }
+        self.register_collectors(&chains, &members);
         let mut specs = Vec::with_capacity(self.nodes.len());
         for (id, node) in self.nodes.into_iter().enumerate() {
             if let Some(entry) = chains.remove(&id) {
@@ -1149,7 +1202,109 @@ impl<P: ProvenanceSystem> Query<P> {
         if specs.is_empty() {
             return Err(SpeError::InvalidQuery("query has no operators".into()));
         }
-        Ok(Runtime::spawn(specs, self.stop, self.checkpoints))
+        Ok(Runtime::spawn(
+            specs,
+            self.stop,
+            self.checkpoints,
+            self.registry,
+        ))
+    }
+
+    /// Binds every operator's metrics cell to its logical name and registers the
+    /// registry collectors: per-logical-operator tuple counters (summed over shard
+    /// instances and fused-stage counters sharing the name) and the checkpoint-path
+    /// gauges.
+    fn register_collectors(&self, chains: &HashMap<NodeId, ChainEntry>, members: &HashSet<NodeId>) {
+        use std::collections::BTreeMap;
+
+        use genealog_metrics::Counter;
+
+        // Physical counter pairs of thread-per-operator nodes, grouped by logical
+        // name (the shard-group name folds N instances into one label).
+        type CounterPair = (Arc<Counter>, Arc<Counter>);
+        let mut op_groups: BTreeMap<String, Vec<CounterPair>> = BTreeMap::new();
+        for (id, node) in self.nodes.iter().enumerate() {
+            if node.operator.is_none() || members.contains(&id) {
+                // Fused-chain members report through their stage counters below.
+                continue;
+            }
+            let logical = node
+                .shard_group
+                .as_ref()
+                .map_or(node.name.as_str(), |g| g.name.as_str());
+            let cell = &self.node_metrics[id];
+            cell.bind(logical, &self.registry);
+            if let Some(pair) = cell.counter_pair() {
+                op_groups.entry(logical.to_string()).or_default().push(pair);
+            }
+        }
+        if !self.registry.is_enabled() {
+            return;
+        }
+        // Stage counters of fused chains (including single-stage "chains", i.e.
+        // plain Filter/Map operators), grouped the same way — StageInfo::name is
+        // already the logical name.
+        let mut stage_groups: BTreeMap<String, Vec<Arc<StageCounters>>> = BTreeMap::new();
+        for entry in chains.values() {
+            for info in &entry.stages {
+                stage_groups
+                    .entry(info.name.clone())
+                    .or_default()
+                    .push(Arc::clone(&info.counters));
+            }
+        }
+        let names: std::collections::BTreeSet<&String> =
+            op_groups.keys().chain(stage_groups.keys()).collect();
+        for name in names {
+            let pairs = op_groups.get(name).cloned().unwrap_or_default();
+            let stages = stage_groups.get(name).cloned().unwrap_or_default();
+            let (in_pairs, in_stages) = (pairs.clone(), stages.clone());
+            self.registry.counter_fn(
+                "genealog_operator_tuples_in_total",
+                &[("operator", name)],
+                Arc::new(move || {
+                    in_pairs.iter().map(|(i, _)| i.get()).sum::<u64>()
+                        + in_stages.iter().map(|c| c.tuples_in()).sum::<u64>()
+                }),
+            );
+            self.registry.counter_fn(
+                "genealog_operator_tuples_out_total",
+                &[("operator", name)],
+                Arc::new(move || {
+                    pairs.iter().map(|(_, o)| o.get()).sum::<u64>()
+                        + stages.iter().map(|c| c.tuples_out()).sum::<u64>()
+                }),
+            );
+        }
+        if let Some(config) = self.checkpoints.get() {
+            let store = Arc::clone(&config.store);
+            let (bytes, written, epoch, latency) = (
+                Arc::clone(&store),
+                Arc::clone(&store),
+                Arc::clone(&store),
+                store,
+            );
+            self.registry.gauge_fn(
+                "genealog_checkpoint_snapshot_bytes",
+                &[],
+                Arc::new(move || bytes.backend().serialized_bytes() as u64),
+            );
+            self.registry.counter_fn(
+                "genealog_checkpoint_bytes_written_total",
+                &[],
+                Arc::new(move || written.backend().bytes_written()),
+            );
+            self.registry.gauge_fn(
+                "genealog_checkpoint_latest_complete_epoch",
+                &[],
+                Arc::new(move || epoch.latest_complete_epoch().map_or(0, |e| e + 1)),
+            );
+            self.registry.gauge_fn(
+                "genealog_checkpoint_epoch_commit_latency_ns",
+                &[],
+                Arc::new(move || latency.last_epoch_commit_latency_ns().unwrap_or(0)),
+            );
+        }
     }
 }
 

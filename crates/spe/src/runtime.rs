@@ -5,10 +5,12 @@
 //! [`QueryHandle`] joins the threads and aggregates their statistics into a
 //! [`QueryReport`].
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
+
+use genealog_metrics::{HistogramSnapshot, MetricsRegistry, Tracer};
 
 use crate::error::SpeError;
 use crate::fusion::StageInfo;
@@ -35,6 +37,10 @@ pub struct OperatorReport {
     /// stage order (summed over shard instances for sharded chains); empty for
     /// ordinary, unfused operators.
     pub stages: Vec<OperatorStats>,
+    /// Final sink-latency histogram (`genealog_sink_latency_ns`), taken from the
+    /// query's metrics registry when the run finishes. `None` for non-sink
+    /// operators and for queries run with metrics disabled.
+    pub latency: Option<HistogramSnapshot>,
 }
 
 /// Aggregated result of a completed query run.
@@ -150,6 +156,11 @@ impl QueryReport {
                     Some(&i) => {
                         operators[i].stats.absorb(&op.stats);
                         operators[i].instances += op.instances;
+                        match (&mut operators[i].latency, op.latency) {
+                            (Some(merged), Some(latency)) => merged.merge(&latency),
+                            (slot @ None, Some(latency)) => *slot = Some(latency),
+                            _ => {}
+                        }
                         // Same-named operators across instances have identical stage
                         // structure (if any); fold per-stage counters positionally.
                         let existing = &mut operators[i].stages;
@@ -168,6 +179,17 @@ impl QueryReport {
                 }
             }
         }
+        QueryReport {
+            operators,
+            wall_time,
+        }
+    }
+
+    /// Assembles a report directly from its parts. Exposed for tests exercising
+    /// [`QueryReport::merge_distributed`] with hand-built per-instance reports;
+    /// not part of the stable API.
+    #[doc(hidden)]
+    pub fn from_parts(operators: Vec<OperatorReport>, wall_time: std::time::Duration) -> Self {
         QueryReport {
             operators,
             wall_time,
@@ -201,9 +223,38 @@ pub struct QueryHandle {
     threads: Vec<OperatorThread>,
     stop: Arc<AtomicBool>,
     started: Instant,
+    registry: Arc<MetricsRegistry>,
+    running: Arc<AtomicUsize>,
+}
+
+/// A cheap, cloneable probe answering whether a deployed query's operator threads
+/// have all finished (successfully, with an error, or by panicking).
+///
+/// Obtained from [`QueryHandle::completion`] for watchers that must not consume
+/// the handle. The distributed metrics shipper is the motivating case: it holds a
+/// sender clone of the remote instance's physical return link, and the origin
+/// detects a dead remote engine by that link closing — so the shipper has to tie
+/// its own lifetime to the engine's instead of waiting to be told to stop.
+#[derive(Clone, Debug)]
+pub struct QueryCompletion {
+    running: Arc<AtomicUsize>,
+}
+
+impl QueryCompletion {
+    /// Whether every operator thread of the query has exited.
+    pub fn is_finished(&self) -> bool {
+        self.running.load(Ordering::Acquire) == 0
+    }
 }
 
 impl QueryHandle {
+    /// A probe for the query's completion that does not consume the handle.
+    pub fn completion(&self) -> QueryCompletion {
+        QueryCompletion {
+            running: Arc::clone(&self.running),
+        }
+    }
+
     /// Asks every Source of the query to stop injecting tuples; the query then drains
     /// and terminates on its own.
     pub fn stop(&self) {
@@ -215,12 +266,20 @@ impl QueryHandle {
         self.stop.load(Ordering::Relaxed)
     }
 
+    /// The live metrics registry of the running query (the same registry
+    /// [`Query::registry`](crate::query::Query::registry) returned before
+    /// deployment).
+    pub fn registry(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.registry)
+    }
+
     /// Waits for every operator to finish and returns the aggregated report.
     ///
     /// # Errors
     /// Returns the first operator error encountered, or
     /// [`SpeError::OperatorPanicked`] if an operator thread panicked.
     pub fn wait(self) -> Result<QueryReport, SpeError> {
+        let registry = Arc::clone(&self.registry);
         let mut operators: Vec<OperatorReport> = Vec::with_capacity(self.threads.len());
         // Shard group name -> index into `operators`, so every shard thread of one
         // logical operator folds into a single aggregated report.
@@ -262,6 +321,7 @@ impl QueryHandle {
                                     instances: 1,
                                     stats: merged,
                                     stages: stage_stats,
+                                    latency: None,
                                 });
                             }
                         },
@@ -270,6 +330,7 @@ impl QueryHandle {
                             instances: 1,
                             stats,
                             stages: stage_stats,
+                            latency: None,
                         }),
                     }
                 }
@@ -288,6 +349,13 @@ impl QueryHandle {
         if let Some(err) = first_error {
             return Err(err);
         }
+        // The threads are joined, so the registry's sink-latency histograms are
+        // final: attach each operator's snapshot (sinks only, in practice).
+        for op in &mut operators {
+            op.latency = registry
+                .histogram_snapshot("genealog_sink_latency_ns", &[("operator", &op.stats.name)])
+                .filter(|snapshot| !snapshot.is_empty());
+        }
         Ok(QueryReport {
             operators,
             wall_time: self.started.elapsed(),
@@ -303,8 +371,10 @@ impl Runtime {
         operators: Vec<OperatorSpec>,
         stop: Arc<AtomicBool>,
         checkpoints: crate::state::CheckpointHandle,
+        registry: Arc<MetricsRegistry>,
     ) -> QueryHandle {
         let started = Instant::now();
+        let running = Arc::new(AtomicUsize::new(operators.len()));
         let threads = operators
             .into_iter()
             .map(|spec| {
@@ -318,10 +388,12 @@ impl Runtime {
                 let thread_name = format!("spe-{name}");
                 let stop_on_panic = Arc::clone(&stop);
                 let checkpoints = Arc::clone(&checkpoints);
+                let running = Arc::clone(&running);
                 let panic_name = name.clone();
                 let handle = std::thread::Builder::new()
                     .name(thread_name)
                     .spawn(move || {
+                        Tracer::global().emit("operator-start", panic_name.clone(), "spawned");
                         // A panicking operator must not leave the query wedged:
                         // catching the unwind lets us (1) raise the stop flag so
                         // rate-limited sources cease producing, and (2) turn the
@@ -332,9 +404,21 @@ impl Runtime {
                         let result = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(
                             move || op.run(),
                         )) {
-                            Ok(result) => result,
+                            Ok(result) => {
+                                Tracer::global().emit(
+                                    "operator-stop",
+                                    panic_name.clone(),
+                                    "finished",
+                                );
+                                result
+                            }
                             Err(_) => {
                                 stop_on_panic.store(true, Ordering::Relaxed);
+                                Tracer::global().emit(
+                                    "operator-panic",
+                                    panic_name.clone(),
+                                    "operator thread panicked; stop flag raised",
+                                );
                                 Err(SpeError::OperatorPanicked {
                                     operator: panic_name,
                                 })
@@ -348,6 +432,9 @@ impl Runtime {
                                 config.store.fence();
                             }
                         }
+                        // Panics are already caught above, so this runs on every
+                        // exit path and the completion probe cannot stay stuck.
+                        running.fetch_sub(1, Ordering::Release);
                         result
                     })
                     .expect("failed to spawn operator thread");
@@ -358,15 +445,122 @@ impl Runtime {
             threads,
             stop,
             started,
+            registry,
+            running,
         }
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use super::{OperatorReport, QueryReport};
     use crate::operator::source::{RateLimit, SourceConfig, VecSource};
+    use crate::operator::OperatorStats;
     use crate::provenance::NoProvenance;
-    use crate::query::Query;
+    use crate::query::{NodeKind, Query};
+
+    fn op(name: &str, tuples_in: u64, tuples_out: u64, stages: &[(&str, u64)]) -> OperatorReport {
+        let mut stats = OperatorStats::new(name.to_string());
+        stats.tuples_in = tuples_in;
+        stats.tuples_out = tuples_out;
+        OperatorReport {
+            kind: NodeKind::Aggregate,
+            instances: 1,
+            stats,
+            stages: stages
+                .iter()
+                .map(|(stage, n)| {
+                    let mut s = OperatorStats::new(stage.to_string());
+                    s.tuples_in = *n;
+                    s.tuples_out = *n;
+                    s
+                })
+                .collect(),
+            latency: None,
+        }
+    }
+
+    #[test]
+    fn merge_distributed_ignores_empty_instance_reports() {
+        let ms = std::time::Duration::from_millis;
+        let merged = QueryReport::merge_distributed([
+            QueryReport::from_parts(vec![], ms(30)),
+            QueryReport::from_parts(vec![op("agg", 7, 3, &[])], ms(10)),
+            QueryReport::from_parts(vec![], ms(20)),
+        ]);
+        // Empty instances contribute no operators but still count into wall time
+        // (the deployment waited on them).
+        assert_eq!(merged.operator_stats().len(), 1);
+        assert_eq!(merged.operator("agg").unwrap().stats.tuples_in, 7);
+        assert_eq!(merged.operator("agg").unwrap().instances, 1);
+        assert_eq!(merged.wall_time(), ms(30));
+        // Degenerate but legal: merging nothing at all.
+        let empty = QueryReport::merge_distributed([]);
+        assert!(empty.operator_stats().is_empty());
+        assert_eq!(empty.sink_tuples(), 0);
+    }
+
+    #[test]
+    fn merge_distributed_folds_matching_stage_shapes_positionally() {
+        let merged = QueryReport::merge_distributed([
+            QueryReport::from_parts(
+                vec![op("chain", 10, 4, &[("keep", 10), ("scale", 6)])],
+                std::time::Duration::ZERO,
+            ),
+            QueryReport::from_parts(
+                vec![op("chain", 20, 8, &[("keep", 20), ("scale", 12)])],
+                std::time::Duration::ZERO,
+            ),
+        ]);
+        let chain = merged.operator("chain").unwrap();
+        assert_eq!(chain.instances, 2);
+        assert_eq!(chain.stats.tuples_in, 30);
+        assert_eq!(chain.stages.len(), 2);
+        assert_eq!(merged.fused_stage("keep").unwrap().tuples_in, 30);
+        assert_eq!(merged.fused_stage("scale").unwrap().tuples_in, 18);
+    }
+
+    #[test]
+    fn merge_distributed_keeps_first_stages_on_mismatched_shapes() {
+        // An instance reporting the chain unfused (no stages) merges its top-level
+        // counters into whichever stage shape arrived first — in either order.
+        let fused = || {
+            QueryReport::from_parts(
+                vec![op("chain", 5, 2, &[("keep", 5), ("scale", 3)])],
+                std::time::Duration::ZERO,
+            )
+        };
+        let unfused =
+            || QueryReport::from_parts(vec![op("chain", 7, 3, &[])], std::time::Duration::ZERO);
+
+        let merged = QueryReport::merge_distributed([fused(), unfused()]);
+        let chain = merged.operator("chain").unwrap();
+        assert_eq!(chain.stats.tuples_in, 12, "top-level counters always fold");
+        assert_eq!(chain.stages.len(), 2, "the fused shape survives");
+        assert_eq!(merged.fused_stage("keep").unwrap().tuples_in, 5);
+
+        let merged = QueryReport::merge_distributed([unfused(), fused()]);
+        let chain = merged.operator("chain").unwrap();
+        assert_eq!(chain.stats.tuples_in, 12);
+        assert_eq!(
+            chain.stages.len(),
+            2,
+            "an empty shape adopts the later instance's stages"
+        );
+
+        // Genuinely different non-empty shapes: first shape wins, counters of the
+        // conflicting stages are dropped rather than mis-attributed positionally.
+        let other = QueryReport::from_parts(
+            vec![op("chain", 9, 9, &[("resample", 9)])],
+            std::time::Duration::ZERO,
+        );
+        let merged = QueryReport::merge_distributed([fused(), other]);
+        let chain = merged.operator("chain").unwrap();
+        assert_eq!(chain.stats.tuples_in, 14);
+        assert_eq!(chain.stages.len(), 2);
+        assert!(merged.fused_stage("resample").is_none());
+        assert_eq!(merged.fused_stage("keep").unwrap().tuples_in, 5);
+    }
 
     #[test]
     fn report_aggregates_source_and_sink_counts() {

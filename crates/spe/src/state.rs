@@ -127,6 +127,14 @@ pub trait StateBackend: fmt::Debug + Send + Sync {
     /// Total serialised footprint of the stored snapshots, in bytes (inline
     /// snapshots contribute 0 — they are shared, not copied).
     fn serialized_bytes(&self) -> usize;
+
+    /// Cumulative serialised bytes written since creation. Backends that do not
+    /// track writes separately report their current footprint (writes minus
+    /// whatever [`StateBackend::remove_after`] discarded);
+    /// [`SerializingBackend`] overrides this with its true write counter.
+    fn bytes_written(&self) -> u64 {
+        self.serialized_bytes() as u64
+    }
 }
 
 type SnapshotMap = HashMap<(String, u64), Snapshot>;
@@ -241,6 +249,10 @@ impl StateBackend for SerializingBackend {
     fn serialized_bytes(&self) -> usize {
         self.inner.serialized_bytes()
     }
+
+    fn bytes_written(&self) -> u64 {
+        SerializingBackend::bytes_written(self)
+    }
 }
 
 #[derive(Debug, Default)]
@@ -256,6 +268,12 @@ struct StoreState {
     /// Failure fence: once raised, commits are discarded until the next
     /// [`CheckpointStore::begin_recovery`]. See [`CheckpointStore::fence`].
     fenced: bool,
+    /// When the first commit of each not-yet-complete epoch arrived, for the
+    /// commit-latency gauge.
+    epoch_started: HashMap<u64, std::time::Instant>,
+    /// Wall-clock nanoseconds between the first and the completing commit of the
+    /// most recently completed epoch.
+    last_commit_latency_ns: Option<u64>,
 }
 
 /// Coordinates epoch completeness across every participant of a deployment.
@@ -308,10 +326,24 @@ impl CheckpointStore {
         }
         self.backend.put(participant, epoch, snapshot);
         state
+            .epoch_started
+            .entry(epoch)
+            .or_insert_with(std::time::Instant::now);
+        state
             .commits
             .entry(epoch)
             .or_default()
             .insert(participant.to_string());
+        // The commit that completes an epoch closes its latency measurement.
+        let complete = state
+            .commits
+            .get(&epoch)
+            .is_some_and(|committed| state.participants.is_subset(committed));
+        if complete {
+            if let Some(started) = state.epoch_started.remove(&epoch) {
+                state.last_commit_latency_ns = Some(started.elapsed().as_nanos() as u64);
+            }
+        }
     }
 
     /// Raises the failure fence: every subsequent [`commit`](CheckpointStore::commit)
@@ -366,6 +398,15 @@ impl CheckpointStore {
         state.participants.clear();
         state.fenced = false;
         state.recoveries += 1;
+        drop(state);
+        genealog_metrics::Tracer::global().emit(
+            "recovery-begin",
+            self.backend.name(),
+            match restore {
+                Some(epoch) => format!("restoring from epoch {epoch}"),
+                None => "no complete epoch; restarting from scratch".to_string(),
+            },
+        );
         restore
     }
 
@@ -384,6 +425,13 @@ impl CheckpointStore {
     /// Number of recoveries performed so far.
     pub fn recoveries(&self) -> u64 {
         self.state.lock().recoveries
+    }
+
+    /// Wall-clock nanoseconds between the first and the completing commit of the
+    /// most recently completed epoch (`None` before any epoch completes). This is
+    /// the live "epoch commit latency" gauge of the observability plane.
+    pub fn last_epoch_commit_latency_ns(&self) -> Option<u64> {
+        self.state.lock().last_commit_latency_ns
     }
 }
 
@@ -458,6 +506,11 @@ where
     for attempt in 0..attempts {
         if attempt > 0 {
             std::thread::sleep(config.backoff);
+            genealog_metrics::Tracer::global().emit(
+                "recovery-attempt",
+                store.backend().name(),
+                format!("attempt {attempt} of {attempts}"),
+            );
         }
         let (handle, extras) = build(attempt)?;
         match handle.wait() {

@@ -46,6 +46,17 @@ impl TupleId {
     pub const fn new(origin: u32, seq: u64) -> Self {
         TupleId { origin, seq }
     }
+
+    /// Parses the [`Display`](fmt::Display) form `origin#seq`, also accepting the
+    /// URL-friendly `origin-seq` used by the control endpoint's provenance route
+    /// (`#` starts a fragment in URLs, so curl callers prefer the dash form).
+    pub fn parse(s: &str) -> Option<Self> {
+        let (origin, seq) = s.split_once(['#', '-'])?;
+        Some(TupleId {
+            origin: origin.trim().parse().ok()?,
+            seq: seq.trim().parse().ok()?,
+        })
+    }
 }
 
 impl fmt::Display for TupleId {
@@ -144,6 +155,15 @@ impl<T, M> Element<T, M> {
 mod tests {
     use super::*;
     use crate::time::Timestamp;
+
+    #[test]
+    fn tuple_id_parses_both_display_and_url_forms() {
+        assert_eq!(TupleId::parse("3#41"), Some(TupleId::new(3, 41)));
+        assert_eq!(TupleId::parse("3-41"), Some(TupleId::new(3, 41)));
+        assert_eq!(TupleId::parse("garbage"), None);
+        assert_eq!(TupleId::parse("#7"), None);
+        assert_eq!(TupleId::parse("7#"), None);
+    }
 
     #[test]
     fn tuple_id_display_and_ordering() {

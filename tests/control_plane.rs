@@ -1,0 +1,281 @@
+//! The live observability plane, end to end: a GeneaLog query whose sharded
+//! aggregate mixes a local shard with remote SPE instances runs with the embedded
+//! control endpoint attached, and we pin — over real HTTP against the running
+//! server — that
+//!
+//! * `/metrics` serves the Prometheus exposition of the *whole* spanning shard
+//!   group (remote instances ship registry deltas over their return links), with
+//!   per-operator tuple counters, queue-depth gauges and sink-latency histogram
+//!   quantiles agreeing exactly with the final distributed [`QueryReport`];
+//! * `/provenance/{sink_tuple_id}` returns exactly the oracle-pinned GeneaLog
+//!   contribution set of that sink tuple;
+//! * `/healthz` and `/topology.dot` serve liveness and the deployed graph.
+
+use std::collections::BTreeSet;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+use genealog::prelude::*;
+use genealog_control::ControlPlane;
+use genealog_distributed::deployment::{logical_shard_provenance_sink, remote_shard_group_gl};
+use genealog_distributed::NetworkConfig;
+use genealog_spe::operator::aggregate::WindowView;
+use genealog_spe::query::{QueryConfig, ShardPlacement};
+
+type Key = u32;
+type Reading = (Key, i64);
+
+/// A hand-rolled HTTP GET against the control endpoint (no client dependency).
+fn http_get(addr: SocketAddr, path: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: control\r\n\r\n").unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    let (head, body) = raw.split_once("\r\n\r\n").expect("complete response");
+    let status = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    (status, body.to_string())
+}
+
+/// The value of one exposition line, e.g. `metric("...", "operator=\"sum\"")`.
+fn metric_value(exposition: &str, name: &str, labels: &str) -> Option<u64> {
+    let needle = format!("{name}{{{labels}}} ");
+    exposition
+        .lines()
+        .find_map(|l| l.strip_prefix(&needle))
+        .and_then(|v| v.parse().ok())
+}
+
+fn window_spec() -> WindowSpec {
+    WindowSpec::tumbling(Duration::from_secs(60)).unwrap()
+}
+
+fn sum_key(r: &Reading) -> Key {
+    r.0
+}
+
+fn sum_window(w: &WindowView<'_, Key, Reading, GlMeta>) -> Reading {
+    (*w.key, w.payloads().map(|p| p.1).sum::<i64>())
+}
+
+/// 12 readings, one every 10 s, keys cycling 0,1,2 — so the 60 s tumbling windows
+/// and their per-key contribution sets are computable by hand.
+fn readings() -> Vec<(Timestamp, Reading)> {
+    (0..12u64)
+        .map(|t| (Timestamp::from_secs(t * 10), ((t % 3) as Key, t as i64)))
+        .collect()
+}
+
+/// The oracle: per (window sum) sink payload, the set of contributing source
+/// readings as `(ts_secs, value)`.
+fn oracle() -> Vec<(Reading, BTreeSet<(u64, i64)>)> {
+    let mut expected = Vec::new();
+    for window in 0..2u64 {
+        for key in 0..3u32 {
+            let sources: BTreeSet<(u64, i64)> = (0..12u64)
+                .filter(|t| t * 10 / 60 == window && (t % 3) as u32 == key)
+                .map(|t| (t * 10, t as i64))
+                .collect();
+            let sum = sources.iter().map(|(_, v)| v).sum::<i64>();
+            expected.push(((key, sum), sources));
+        }
+    }
+    expected
+}
+
+#[test]
+fn control_endpoint_serves_live_metrics_and_provenance_of_a_spanning_query() {
+    // Shards 1 and 2 of the aggregate run on remote SPE instances; shard 0 stays
+    // local. The remote instances' registries stream back over the shared links.
+    let shards = remote_shard_group_gl::<Reading, Reading, _>(
+        "sum",
+        2,
+        1,
+        NetworkConfig::unlimited(),
+        QueryConfig::default(),
+        move |rq, _i, input| rq.aggregate("sum", input, window_spec(), sum_key, sum_window),
+    )
+    .unwrap();
+    let mut placements = vec![ShardPlacement::Local];
+    placements.extend(shards.placements);
+    let mut group = shards.group;
+
+    let plan = GlPlan::new(GeneaLog::for_instance(0));
+    let sums = plan
+        .source("readings", VecSource::new(readings()))
+        .aggregate("sum", window_spec(), sum_key, sum_window, |o: &Reading| o.0)
+        .place(placements);
+    let (out, provenance) = logical_shard_provenance_sink::<Reading, Reading>(
+        sums,
+        "prov",
+        shards.provenance_links,
+        Duration::from_hours(24),
+    );
+    let sink = out.collecting_sink("sink");
+
+    // Lower by hand: the control plane needs the registry and the DOT rendering
+    // before deployment consumes the query.
+    let query = plan.lower().unwrap();
+    let registry = query.registry();
+    group.stream_metrics_into("sum", &registry);
+    let server = ControlPlane::new(std::sync::Arc::clone(&registry))
+        .with_topology(query.to_dot())
+        .with_provenance(provenance.clone())
+        .serve()
+        .unwrap();
+
+    // The endpoint is live while the query runs.
+    let (status, body) = http_get(server.addr(), "/healthz");
+    assert_eq!((status, body.as_str()), (200, "ok\n"));
+
+    let origin_report = query.deploy().unwrap().wait().unwrap();
+    let remote_reports = group.wait().unwrap();
+    let merged =
+        QueryReport::merge_distributed(std::iter::once(origin_report).chain(remote_reports));
+
+    // --- /provenance/{sink_tuple_id}: exactly the oracle contribution set. ---
+    let records = provenance.records();
+    assert_eq!(records.len(), 6, "2 windows x 3 keys");
+    for (sink_data, expected_sources) in oracle() {
+        let record = records
+            .iter()
+            .find(|r| r.sink_data == sink_data)
+            .unwrap_or_else(|| panic!("no sink tuple {sink_data:?}"));
+        let got: BTreeSet<(u64, i64)> = record
+            .sources
+            .iter()
+            .map(|s| (s.ts.as_secs(), s.data.1))
+            .collect();
+        assert_eq!(got, expected_sources, "lineage of {sink_data:?}");
+
+        // The HTTP answer (dash-form id, as a curl user would write it).
+        let path = format!(
+            "/provenance/{}-{}",
+            record.sink_id.origin, record.sink_id.seq
+        );
+        let (status, body) = http_get(server.addr(), &path);
+        assert_eq!(status, 200, "{path} must resolve");
+        assert_eq!(
+            body,
+            provenance
+                .contribution_json(&record.sink_id.to_string())
+                .unwrap()
+        );
+        assert!(body.contains(&format!(r#""id":"{}""#, record.sink_id)));
+        assert!(body.contains(&format!(r#""source_count":{}"#, expected_sources.len())));
+        for (ts_secs, value) in &expected_sources {
+            let source = format!(
+                r#"{{"id":"0#{value}","ts_ms":{},"data":"({}, {value})""#,
+                ts_secs * 1000,
+                value % 3
+            );
+            assert!(body.contains(&source), "{path}: missing {source} in {body}");
+        }
+    }
+    let (status, _) = http_get(server.addr(), "/provenance/99-99");
+    assert_eq!(status, 404, "unknown sink tuples are 404");
+
+    // --- /metrics: the exposition agrees with the final distributed report. ---
+    let (status, exposition) = http_get(server.addr(), "/metrics");
+    assert_eq!(status, 200);
+
+    // Per-operator tuple counters: the shard group spanning one local and two
+    // remote instances reports as ONE operator series, equal to the folded report.
+    let sum_report = merged.operator("sum").expect("folded shard report");
+    assert_eq!(sum_report.instances, 3);
+    assert_eq!(sum_report.stats.tuples_in, 12);
+    assert_eq!(
+        metric_value(
+            &exposition,
+            "genealog_operator_tuples_in_total",
+            r#"operator="sum""#
+        ),
+        Some(sum_report.stats.tuples_in)
+    );
+    assert_eq!(
+        metric_value(
+            &exposition,
+            "genealog_operator_tuples_out_total",
+            r#"operator="sum""#
+        ),
+        Some(sum_report.stats.tuples_out)
+    );
+    for endpoint in ["sum.egress", "sum.recv", "sum.send", "sum.ingress"] {
+        let report = merged.operator(endpoint).expect(endpoint);
+        assert_eq!(
+            metric_value(
+                &exposition,
+                "genealog_operator_tuples_in_total",
+                &format!(r#"operator="{endpoint}""#)
+            ),
+            Some(report.stats.tuples_in),
+            "{endpoint} counter must agree with the folded report"
+        );
+    }
+    let source_report = merged.operator("readings").expect("source report");
+    assert_eq!(
+        metric_value(
+            &exposition,
+            "genealog_operator_tuples_out_total",
+            r#"operator="readings""#
+        ),
+        Some(source_report.stats.tuples_out)
+    );
+    assert_eq!(
+        metric_value(
+            &exposition,
+            "genealog_source_replay_offset",
+            r#"operator="readings""#
+        ),
+        Some(12)
+    );
+
+    // Queue-depth gauges exist per edge and read 0 on the drained query.
+    let depth_lines: Vec<&str> = exposition
+        .lines()
+        .filter(|l| l.starts_with("genealog_channel_queue_depth{edge="))
+        .collect();
+    assert!(!depth_lines.is_empty(), "queue-depth gauges are exported");
+    assert!(
+        depth_lines.iter().all(|l| l.ends_with(" 0")),
+        "drained channels report depth 0: {depth_lines:?}"
+    );
+
+    // Sink-latency histogram: count and quantiles equal the report's snapshot.
+    assert_eq!(sink.len() as u64, 6);
+    let sink_report = merged.operator("sink").expect("sink report");
+    let latency = sink_report.latency.as_ref().expect("latency histogram");
+    assert_eq!(latency.count(), 6);
+    for (q, label) in [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
+        assert_eq!(
+            metric_value(
+                &exposition,
+                "genealog_sink_latency_ns",
+                &format!(r#"operator="sink",quantile="{label}""#)
+            ),
+            Some(latency.quantile(q)),
+            "p{label} must agree with the report snapshot"
+        );
+    }
+    assert_eq!(
+        metric_value(
+            &exposition,
+            "genealog_sink_latency_ns_count",
+            r#"operator="sink""#
+        ),
+        Some(latency.count())
+    );
+
+    // --- /topology.dot: the deployed graph, with the spliced endpoints. ---
+    let (status, dot) = http_get(server.addr(), "/topology.dot");
+    assert_eq!(status, 200);
+    assert!(dot.starts_with("digraph"));
+    for node in ["readings", "sum.exchange", "sum.merge", "sink"] {
+        assert!(dot.contains(node), "topology must render {node}");
+    }
+
+    server.shutdown();
+}
