@@ -42,6 +42,7 @@ pub struct ControlPlane {
     registry: Arc<MetricsRegistry>,
     topology: Option<String>,
     provenance: Option<Arc<dyn ProvenanceQuery>>,
+    analysis: Option<String>,
 }
 
 impl std::fmt::Debug for ControlPlane {
@@ -49,6 +50,7 @@ impl std::fmt::Debug for ControlPlane {
         f.debug_struct("ControlPlane")
             .field("topology", &self.topology.is_some())
             .field("provenance", &self.provenance.is_some())
+            .field("analysis", &self.analysis.is_some())
             .finish()
     }
 }
@@ -60,6 +62,7 @@ impl ControlPlane {
             registry,
             topology: None,
             provenance: None,
+            analysis: None,
         }
     }
 
@@ -73,6 +76,14 @@ impl ControlPlane {
     /// Attaches the provenance service behind `/provenance/{sink_tuple_id}`.
     pub fn with_provenance(mut self, service: impl ProvenanceQuery) -> Self {
         self.provenance = Some(Arc::new(service));
+        self
+    }
+
+    /// Attaches the deploy-time analysis report served at `/analyze` (the JSON
+    /// rendering of the deployed plan's diagnostics — normally
+    /// `Analyzed::report.to_json()` from `LogicalPlan::analyze`).
+    pub fn with_analysis(mut self, json: impl Into<String>) -> Self {
+        self.analysis = Some(json.into());
         self
     }
 
@@ -143,6 +154,14 @@ fn route(plane: &ControlPlane, request: &Request) -> Response {
                 body: dot.clone().into_bytes(),
             },
             None => Response::not_found("no topology attached"),
+        },
+        "/analyze" => match &plane.analysis {
+            Some(json) => Response {
+                status: 200,
+                content_type: "application/json",
+                body: json.clone().into_bytes(),
+            },
+            None => Response::not_found("no analysis attached"),
         },
         path => match path.strip_prefix("/provenance/") {
             Some(sink_id) => match &plane.provenance {
@@ -237,6 +256,7 @@ mod tests {
             .with_provenance(|sink_id: &str| {
                 (sink_id == "3#0").then(|| r#"{"sink":"3#0"}"#.to_string())
             })
+            .with_analysis(r#"{"errors":0,"warnings":1,"diagnostics":[]}"#)
     }
 
     #[test]
@@ -256,6 +276,11 @@ mod tests {
         assert_eq!(status, 200);
         assert!(content_type.starts_with("text/vnd.graphviz"));
         assert_eq!(body, "digraph G {}\n");
+
+        let (status, content_type, body) = get(server.addr(), "/analyze");
+        assert_eq!(status, 200);
+        assert_eq!(content_type, "application/json");
+        assert_eq!(body, r#"{"errors":0,"warnings":1,"diagnostics":[]}"#);
 
         // The '#' of a sink id arrives percent-encoded.
         let (status, content_type, body) = get(server.addr(), "/provenance/3%230");
@@ -277,6 +302,8 @@ mod tests {
         let (status, _, _) = get(server.addr(), "/topology.dot");
         assert_eq!(status, 404);
         let (status, _, _) = get(server.addr(), "/provenance/1#1");
+        assert_eq!(status, 404);
+        let (status, _, _) = get(server.addr(), "/analyze");
         assert_eq!(status, 404);
 
         let mut stream = TcpStream::connect(server.addr()).unwrap();

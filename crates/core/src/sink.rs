@@ -199,6 +199,7 @@ pub fn attach_provenance_sink<T: TupleData>(
 ) -> (StreamRef<T, GlMeta>, ProvenanceCollector<T>) {
     let (passthrough, unfolded) = attach_unfolder(q, name, input);
     let collected = q.collecting_sink(&format!("{name}-provenance-sink"), unfolded);
+    q.note_provenance_collector();
     (passthrough, ProvenanceCollector::from_collected(collected))
 }
 
@@ -218,6 +219,7 @@ pub fn logical_provenance_sink<T: TupleData>(
     let passthrough = stream.raw(&format!("{name}-provenance"), move |q, s| {
         let (passthrough, unfolded) = attach_unfolder(q, &owned, s);
         q.collecting_sink_into(&format!("{owned}-provenance-sink"), unfolded, &copy);
+        q.note_provenance_collector();
         passthrough
     });
     (passthrough, ProvenanceCollector::from_collected(collected))

@@ -756,6 +756,7 @@ where
         !provenance_links.is_empty(),
         "stitching requires at least one remote provenance stream"
     );
+    q.note_provenance_collector();
     let (passthrough, unfolded) = attach_unfolder(q, name, stream);
     let derived = q.map_one(
         &format!("{name}.events"),

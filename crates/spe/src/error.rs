@@ -31,6 +31,14 @@ pub enum SpeError {
         /// Human-readable description of the failure.
         message: String,
     },
+    /// The deploy-time analyzer found error-severity diagnostics and the planner
+    /// runs with [`AnalysisMode::Deny`](crate::planner::AnalysisMode::Deny). The
+    /// payload is the rendered diagnostics report.
+    PlanRejected {
+        /// The rendered [`Diagnostics`](genealog_analysis::Diagnostics) report
+        /// (one line per finding plus a summary line).
+        report: String,
+    },
     /// Every recovery attempt of [`crate::state::run_with_recovery`] failed.
     RecoveryExhausted {
         /// Number of runs attempted (initial attempt included).
@@ -52,6 +60,9 @@ impl fmt::Display for SpeError {
             }
             SpeError::Runtime { operator, message } => {
                 write!(f, "operator `{operator}` failed: {message}")
+            }
+            SpeError::PlanRejected { report } => {
+                write!(f, "plan rejected by the deploy-time analyzer:\n{report}")
             }
             SpeError::RecoveryExhausted {
                 attempts,

@@ -63,12 +63,12 @@ pub mod window;
 pub mod prelude {
     pub use crate::channel::{Batch, BatchConfig};
     pub use crate::error::SpeError;
-    pub use crate::logical::{LogicalPlan, LogicalStream};
+    pub use crate::logical::{Analyzed, LogicalPlan, LogicalStream};
     pub use crate::operator::aggregate::WindowView;
     pub use crate::operator::sink::CollectedStream;
     pub use crate::operator::source::{RateLimit, SourceConfig, SourceGenerator, VecSource};
     pub use crate::parallel::Parallelism;
-    pub use crate::planner::PlannerConfig;
+    pub use crate::planner::{AnalysisMode, PlannerConfig};
     pub use crate::provenance::{MetaData, NoProvenance, ProvenanceSystem};
     pub use crate::query::{Query, QueryConfig, StreamRef};
     pub use crate::runtime::{QueryHandle, QueryReport};
@@ -83,9 +83,9 @@ pub mod prelude {
 
 pub use channel::{Batch, BatchConfig};
 pub use error::SpeError;
-pub use logical::{LogicalPlan, LogicalStream};
+pub use logical::{Analyzed, LogicalPlan, LogicalStream};
 pub use parallel::Parallelism;
-pub use planner::PlannerConfig;
+pub use planner::{AnalysisMode, PlannerConfig};
 pub use provenance::{NoProvenance, ProvenanceSystem};
 pub use query::{Query, QueryConfig, StreamRef};
 pub use runtime::{QueryHandle, QueryReport};

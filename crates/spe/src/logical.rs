@@ -63,12 +63,14 @@ use std::cell::RefCell;
 use std::rc::Rc;
 use std::sync::Arc;
 
+use genealog_analysis::{Diagnostics, LogicalFacts, LogicalNodeFacts, PlanFacts};
+
 use crate::error::SpeError;
 use crate::operator::aggregate::WindowView;
 use crate::operator::sink::{CollectedStream, SinkStats};
 use crate::operator::source::{SourceConfig, SourceGenerator};
 use crate::parallel::{KeyComparator, Parallelism};
-use crate::planner::{merge_cmp, Lowered, PlannerConfig};
+use crate::planner::{merge_cmp, AnalysisMode, Lowered, PlannerConfig};
 use crate::provenance::ProvenanceSystem;
 use crate::query::{JoinShardPlacement, Query, ShardPlacement, StreamRef};
 use crate::runtime::QueryHandle;
@@ -279,10 +281,62 @@ impl<P: ProvenanceSystem> LogicalPlan<P> {
     /// Runs the planner: validates the logical graph and lowers it to a physical
     /// [`Query`] (sharding, placement, fusion and channel budgets decided here).
     ///
+    /// Unless [`PlannerConfig::analysis`] is [`AnalysisMode::Off`], the deploy-time
+    /// analyzer (`genealog-analysis`) runs over the lowered plan: every finding is
+    /// emitted on the global tracer (kind `"plan-analysis"`), and under
+    /// [`AnalysisMode::Deny`] error-severity findings reject the plan. Use
+    /// [`LogicalPlan::analyze`] to inspect the report programmatically.
+    ///
     /// # Errors
     /// Returns [`SpeError::InvalidQuery`] if the plan has no sinks or a logical
-    /// stream was never consumed.
+    /// stream was never consumed, and [`SpeError::PlanRejected`] when the analyzer
+    /// denies the plan.
     pub fn lower(self) -> Result<Query<P>, SpeError> {
+        let mode = self.shared.borrow().config.analysis;
+        if mode == AnalysisMode::Off {
+            return Ok(self.lower_inner()?.0);
+        }
+        let analyzed = self.analyze()?;
+        for d in &analyzed.report {
+            genealog_metrics::Tracer::global().emit_once(
+                "plan-analysis",
+                format!("{}:{}", d.code, d.path.join("->")),
+                d.render(),
+            );
+        }
+        if mode == AnalysisMode::Deny && analyzed.report.has_errors() {
+            return Err(SpeError::PlanRejected {
+                report: analyzed.report.render(),
+            });
+        }
+        Ok(analyzed.query)
+    }
+
+    /// Lowers the plan and runs the deploy-time analyzer, returning the query
+    /// together with the [`PlanFacts`] snapshot and the [`Diagnostics`] report.
+    ///
+    /// `analyze` never rejects: even under [`AnalysisMode::Deny`] the caller gets
+    /// the lowered query and decides what to do with the findings (the `spe-lint`
+    /// binary and the control plane's `/analyze` endpoint are built on this).
+    ///
+    /// # Errors
+    /// Returns [`SpeError::InvalidQuery`] if the plan fails structural validation.
+    pub fn analyze(self) -> Result<Analyzed<P>, SpeError> {
+        let (query, logical) = self.lower_inner()?;
+        let mut facts = query.plan_facts();
+        facts.logical = Some(logical);
+        let report = genealog_analysis::analyze(&facts);
+        Ok(Analyzed {
+            query,
+            facts,
+            report,
+        })
+    }
+
+    /// The planner pass proper: validation + lowering, no analysis. Also snapshots
+    /// the pre-lowering [`LogicalFacts`] — the thunks *take* annotations as they
+    /// consume them, so the snapshot must happen before any sink thunk runs.
+    fn lower_inner(self) -> Result<(Query<P>, LogicalFacts), SpeError> {
         {
             let state = self.shared.borrow();
             if state.sinks.is_empty() {
@@ -304,6 +358,22 @@ impl<P: ProvenanceSystem> LogicalPlan<P> {
                 state.config.clone(),
                 std::mem::take(&mut state.sinks),
             )
+        };
+        let logical = {
+            let state = self.shared.borrow();
+            LogicalFacts {
+                nodes: state
+                    .nodes
+                    .iter()
+                    .map(|n| LogicalNodeFacts {
+                        name: n.name.clone(),
+                        label: n.label.to_string(),
+                        requested_shards: n.parallelism.map(|p| p.resolve(config.parallelism)),
+                        placement_total: n.placement_summary.map(|(total, _)| total),
+                        placement_remote: n.placement_summary.map_or(0, |(_, remote)| remote),
+                    })
+                    .collect(),
+            }
         };
         let mut q = Query::with_config(provenance, config.query_config());
         if let Some(checkpoints) = config.checkpoints {
@@ -338,7 +408,7 @@ impl<P: ProvenanceSystem> LogicalPlan<P> {
                 }
             }
         }
-        Ok(q)
+        Ok((q, logical))
     }
 
     /// Lowers the plan and deploys the physical query in one call.
@@ -358,6 +428,27 @@ impl<P: ProvenanceSystem> std::fmt::Debug for LogicalPlan<P> {
             .field("nodes", &state.nodes.len())
             .field("edges", &state.edges.len())
             .field("sinks", &state.sinks.len())
+            .finish()
+    }
+}
+
+/// The result of [`LogicalPlan::analyze`]: the lowered query together with the
+/// analyzer's input snapshot and its report.
+pub struct Analyzed<P: ProvenanceSystem> {
+    /// The lowered physical query, ready to deploy.
+    pub query: Query<P>,
+    /// The plain-data snapshot the analyzer ran over (physical graph plus the
+    /// pre-lowering logical annotations).
+    pub facts: PlanFacts,
+    /// The analyzer's findings, errors first.
+    pub report: Diagnostics,
+}
+
+impl<P: ProvenanceSystem> std::fmt::Debug for Analyzed<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Analyzed")
+            .field("errors", &self.report.error_count())
+            .field("warnings", &self.report.warning_count())
             .finish()
     }
 }

@@ -30,6 +30,8 @@
 //!   budgeting: the N channels of an exchange (and of the fan-in, local or remote)
 //!   share one per-edge element budget.
 
+pub use genealog_analysis::AnalysisMode;
+
 use crate::channel::BatchConfig;
 use crate::parallel::KeyComparator;
 use crate::provenance::ProvenanceSystem;
@@ -66,6 +68,12 @@ pub struct PlannerConfig {
     /// [`MetricsRegistry`](genealog_metrics::MetricsRegistry) (see
     /// [`QueryConfig::metrics`]). On by default.
     pub metrics: bool,
+    /// How lowering reacts to deploy-time analyzer findings (see
+    /// `genealog-analysis`): [`AnalysisMode::Warn`] (the default) emits every
+    /// finding on the global tracer and proceeds, [`AnalysisMode::Deny`] rejects
+    /// plans with error-severity findings, [`AnalysisMode::Off`] skips the
+    /// analyzer entirely.
+    pub analysis: AnalysisMode,
 }
 
 impl Default for PlannerConfig {
@@ -77,6 +85,7 @@ impl Default for PlannerConfig {
             fusion: true,
             checkpoints: None,
             metrics: true,
+            analysis: AnalysisMode::Warn,
         }
     }
 }
@@ -124,6 +133,12 @@ impl PlannerConfig {
     /// Returns the configuration with live metrics publication enabled or disabled.
     pub fn with_metrics(mut self, enabled: bool) -> Self {
         self.metrics = enabled;
+        self
+    }
+
+    /// Returns the configuration with a different deploy-time analysis mode.
+    pub fn with_analysis(mut self, mode: AnalysisMode) -> Self {
+        self.analysis = mode;
         self
     }
 

@@ -369,6 +369,13 @@ pub struct Query<P: ProvenanceSystem> {
     /// Element-level buffer headroom of each edge, aligned with `edges` (0 for the
     /// channel-free stage-to-stage edges inside a fused chain).
     edge_budgets: Vec<usize>,
+    /// Per-edge `(capacity, batch_size)` of the bounded channel, aligned with
+    /// `edges`; `None` for the channel-free edges inside a fused chain. Consumed
+    /// by [`Query::plan_facts`] for the deploy-time analyzer.
+    edge_channels: Vec<Option<(usize, usize)>>,
+    /// Number of provenance collectors attached to this query (see
+    /// [`Query::note_provenance_collector`]).
+    provenance_collectors: usize,
     /// Pending fused chains, keyed by the node id of each chain's current tail.
     fused_tails: HashMap<NodeId, ChainEntry>,
     /// Checks run at deployment time to detect dangling output streams.
@@ -402,6 +409,8 @@ impl<P: ProvenanceSystem> Query<P> {
             nodes: Vec::new(),
             edges: Vec::new(),
             edge_budgets: Vec::new(),
+            edge_channels: Vec::new(),
+            provenance_collectors: 0,
             fused_tails: HashMap::new(),
             slot_checks: Vec::new(),
             stop: Arc::new(AtomicBool::new(false)),
@@ -442,6 +451,64 @@ impl<P: ProvenanceSystem> Query<P> {
     /// The provenance system the query was built with.
     pub fn provenance(&self) -> &P {
         &self.provenance
+    }
+
+    /// Records that a provenance collector (e.g. a provenance sink built by
+    /// `attach_provenance_sink`) is attached to this query. The deploy-time
+    /// analyzer warns (GL022) when a GL plan reaches its sinks without one.
+    pub fn note_provenance_collector(&mut self) {
+        self.provenance_collectors += 1;
+    }
+
+    /// Snapshots the query graph into the plain-data [`PlanFacts`] the
+    /// deploy-time analyzer (`genealog-analysis`) runs over. Cheap (no channels
+    /// or threads are touched), callable any time before deployment; logical
+    /// builders attach their pre-lowering [`LogicalFacts`] on top (see
+    /// [`LogicalPlan::analyze`](crate::logical::LogicalPlan::analyze)).
+    ///
+    /// [`PlanFacts`]: genealog_analysis::PlanFacts
+    /// [`LogicalFacts`]: genealog_analysis::LogicalFacts
+    pub fn plan_facts(&self) -> genealog_analysis::PlanFacts {
+        let fused_away: usize = self
+            .fused_tails
+            .values()
+            .map(|entry| entry.nodes.len().saturating_sub(1))
+            .sum();
+        let nodes = self
+            .nodes
+            .iter()
+            .map(|n| genealog_analysis::NodeFacts {
+                name: n.name.clone(),
+                kind: n.kind.label().to_string(),
+                group: n.shard_group.as_ref().map(|g| g.name.clone()),
+                instances: n.shard_group.as_ref().map_or(1, |g| g.instances),
+            })
+            .collect();
+        let edges = self
+            .edges
+            .iter()
+            .zip(&self.edge_channels)
+            .map(|(&(from, to), channel)| genealog_analysis::EdgeFacts {
+                from,
+                to,
+                capacity: channel.map_or(0, |(c, _)| c),
+                batch_size: channel.map_or(0, |(_, b)| b),
+                fused: channel.is_none(),
+            })
+            .collect();
+        genealog_analysis::PlanFacts {
+            provenance: self.provenance.label().to_string(),
+            channel_capacity: self.config.channel_capacity,
+            fusion: self.config.fusion,
+            checkpoint_interval: self.checkpoints.get().map(|c| c.interval),
+            metrics: self.config.metrics,
+            host_cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            threads: self.nodes.len().saturating_sub(fused_away),
+            provenance_collectors: self.provenance_collectors,
+            nodes,
+            edges,
+            logical: None,
+        }
     }
 
     /// The query configuration.
@@ -532,6 +599,7 @@ impl<P: ProvenanceSystem> Query<P> {
         stream.slot.connect(tx);
         self.edges.push((stream.producer, consumer));
         self.edge_budgets.push(batches * batch_size.max(1));
+        self.edge_channels.push(Some((capacity, batch_size)));
         rx
     }
 
@@ -634,6 +702,7 @@ impl<P: ProvenanceSystem> Query<P> {
             input.slot.mark_discard();
             self.edges.push((input.producer, node));
             self.edge_budgets.push(0);
+            self.edge_channels.push(None);
             let chain = entry
                 .pending
                 .into_any()

@@ -1,11 +1,197 @@
 //! Workspace façade crate for the GeneaLog reproduction.
 //!
 //! The actual functionality lives in the workspace crates; this package hosts
-//! the cross-crate integration tests (`tests/`) and runnable examples
-//! (`examples/`) and re-exports the member crates for convenience.
+//! the cross-crate integration tests (`tests/`), runnable examples
+//! (`examples/`), the [`plans`] suite the `spe-lint` binary analyzes, and
+//! re-exports the member crates for convenience.
 
 pub use genealog;
+pub use genealog_analysis;
 pub use genealog_baseline;
 pub use genealog_distributed;
 pub use genealog_spe;
 pub use genealog_workloads;
+
+pub mod plans {
+    //! The example-mirror plan suite for `spe-lint plans`: every runnable
+    //! example's query, declared the same way the example declares it, lowered
+    //! and analyzed without being deployed.
+    //!
+    //! The suite keeps placements local — remote shard groups spawn live SPE
+    //! instances that would block a lint run (the remote axis is exercised by
+    //! `tests/plan_analysis.rs` instead, which deploys and drains them).
+
+    use genealog::prelude::*;
+    use genealog_analysis::{Diagnostics, PlanFacts};
+    use genealog_workloads::linear_road::{LinearRoadConfig, LinearRoadGenerator};
+    use genealog_workloads::queries::{build_q1, build_q3};
+    use genealog_workloads::smart_grid::{SmartGridConfig, SmartGridGenerator};
+
+    /// The analyzer verdict of one example plan.
+    #[derive(Debug)]
+    pub struct AnalyzedPlan {
+        /// Name of the mirrored example.
+        pub name: &'static str,
+        /// The analyzer's findings for the lowered plan.
+        pub report: Diagnostics,
+        /// The facts snapshot the analyzer ran over.
+        pub facts: PlanFacts,
+    }
+
+    fn analyzed(name: &'static str, plan: GlPlan) -> AnalyzedPlan {
+        let analyzed = plan.analyze().expect("example plan lowers");
+        AnalyzedPlan {
+            name,
+            report: analyzed.report,
+            facts: analyzed.facts,
+        }
+    }
+
+    /// `examples/quickstart.rs`: hot-reading alerts with a provenance sink.
+    pub fn quickstart() -> AnalyzedPlan {
+        let readings: Vec<(u32, i64)> = vec![(1, 72), (2, 95), (1, 91), (1, 93), (2, 96)];
+        let plan = GlPlan::new(GeneaLog::new());
+        let alerts = plan
+            .source("sensors", VecSource::with_period(readings, 30_000))
+            .filter("hot", |(_, temp): &(u32, i64)| *temp > 90)
+            .aggregate(
+                "hot-count",
+                WindowSpec::new(Duration::from_secs(120), Duration::from_secs(30))
+                    .expect("valid window"),
+                |(sensor, _): &(u32, i64)| *sensor,
+                |window: &WindowView<'_, u32, (u32, i64), GlMeta>| (*window.key, window.len()),
+                |(sensor, _): &(u32, usize)| *sensor,
+            )
+            .filter("alerts", |(_, n): &(u32, usize)| *n >= 3);
+        let (alert_stream, _provenance) = logical_provenance_sink(alerts, "provenance");
+        let _sink = alert_stream.collecting_sink("alert-sink");
+        analyzed("quickstart", plan)
+    }
+
+    /// `examples/parallel_aggregate.rs`: a 4-shard keyed aggregate with a
+    /// per-shard filter and a provenance sink.
+    pub fn parallel_aggregate() -> AnalyzedPlan {
+        let readings: Vec<(Timestamp, (u32, i64))> = (0..64u64)
+            .map(|i| (Timestamp::from_secs(i * 1_800), ((i % 16) as u32, i as i64)))
+            .collect();
+        let plan = GlPlan::new(GeneaLog::new());
+        let spikes = plan
+            .source("meters", VecSource::new(readings))
+            .aggregate(
+                "load",
+                WindowSpec::tumbling(Duration::from_hours(4)).expect("valid window"),
+                |r: &(u32, i64)| r.0,
+                |w: &WindowView<'_, u32, (u32, i64), GlMeta>| {
+                    (*w.key, w.payloads().map(|p| p.1).sum::<i64>())
+                },
+                |o: &(u32, i64)| o.0,
+            )
+            .with(Parallelism::shards(4))
+            .filter("spike", |(_, total): &(u32, i64)| *total > 200);
+        let (out, _provenance) = logical_provenance_sink(spikes, "prov");
+        let _sink = out.collecting_sink("alerts");
+        analyzed("parallel_aggregate", plan)
+    }
+
+    /// `examples/smart_grid_monitoring.rs` (Q3): the blackout detector, spliced
+    /// in through the `raw` escape hatch.
+    pub fn smart_grid_q3() -> AnalyzedPlan {
+        let config = SmartGridConfig {
+            meters: 10,
+            days: 1,
+            ..SmartGridConfig::default()
+        };
+        let plan = GlPlan::new(GeneaLog::new());
+        let alerts = plan
+            .source("smart-grid", SmartGridGenerator::new(config))
+            .raw("q3", build_q3);
+        let (stream, _provenance) = logical_provenance_sink(alerts, "q3-provenance");
+        stream.discard();
+        analyzed("smart_grid_q3", plan)
+    }
+
+    /// `examples/linear_road_accidents.rs` (Q1): the broken-down-vehicle
+    /// detector, spliced in through the `raw` escape hatch.
+    pub fn linear_road_q1() -> AnalyzedPlan {
+        let config = LinearRoadConfig {
+            cars: 12,
+            rounds: 8,
+            ..LinearRoadConfig::default()
+        };
+        let plan = GlPlan::new(GeneaLog::new());
+        let alerts = plan
+            .source("linear-road", LinearRoadGenerator::new(config))
+            .raw("q1", build_q1);
+        let (stream, _provenance) = logical_provenance_sink(alerts, "q1-provenance");
+        stream.discard();
+        analyzed("linear_road_q1", plan)
+    }
+
+    /// `examples/observability.rs`: the stopped-car query, declared on the
+    /// physical [`GlQuery`] API (the analyzer runs on [`Query::plan_facts`]
+    /// directly — no logical layer involved).
+    ///
+    /// [`Query::plan_facts`]: genealog_spe::Query::plan_facts
+    pub fn observability() -> AnalyzedPlan {
+        type Report = (u32, u32);
+        let reports: Vec<Report> = vec![(7, 0), (7, 0), (7, 0), (9, 0), (7, 0), (8, 31)];
+        let mut q = GlQuery::new(GeneaLog::new());
+        let src = q.source("reports", VecSource::with_period(reports, 30_000));
+        let stopped = q.filter("stopped", src, |r: &Report| r.1 == 0);
+        let counts = q.aggregate(
+            "per-car",
+            stopped,
+            WindowSpec::tumbling(Duration::from_secs(150)).expect("valid window"),
+            |r: &Report| r.0,
+            |w| (*w.key, w.len()),
+        );
+        let alerts = q.filter("alerts", counts, |c: &(u32, usize)| c.1 >= 4);
+        let (out, _provenance) = attach_provenance_sink(&mut q, "prov", alerts);
+        let _sink = q.collecting_sink("alert-sink", out);
+        let facts = q.plan_facts();
+        let report = genealog_analysis::analyze(&facts);
+        AnalyzedPlan {
+            name: "observability",
+            report,
+            facts,
+        }
+    }
+
+    /// The fault-injection shape: a checkpointed plan whose barriers must reach
+    /// the stateful aggregate (exercises the barrier-reachability pass over a
+    /// realistic plan, not just the seeded-defect tests).
+    pub fn checkpointed_aggregate() -> AnalyzedPlan {
+        let store = CheckpointStore::in_memory();
+        let plan = GlPlan::with_config(
+            GeneaLog::new(),
+            PlannerConfig::default().with_checkpoints(CheckpointConfig::new(8, store)),
+        );
+        let counts = plan
+            .source(
+                "readings",
+                VecSource::with_period((0..64u32).map(|i| (i % 4, i as i64)).collect(), 1_000),
+            )
+            .aggregate(
+                "count",
+                WindowSpec::tumbling(Duration::from_secs(8)).expect("valid window"),
+                |r: &(u32, i64)| r.0,
+                |w: &WindowView<'_, u32, (u32, i64), GlMeta>| (*w.key, w.len() as i64),
+                |o: &(u32, i64)| o.0,
+            );
+        let (out, _provenance) = logical_provenance_sink(counts, "prov");
+        let _sink = out.collecting_sink("sink");
+        analyzed("checkpointed_aggregate", plan)
+    }
+
+    /// Analyzes every plan of the suite.
+    pub fn analyze_all() -> Vec<AnalyzedPlan> {
+        vec![
+            quickstart(),
+            parallel_aggregate(),
+            smart_grid_q3(),
+            linear_road_q1(),
+            observability(),
+            checkpointed_aggregate(),
+        ]
+    }
+}

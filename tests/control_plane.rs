@@ -116,14 +116,21 @@ fn control_endpoint_serves_live_metrics_and_provenance_of_a_spanning_query() {
     );
     let sink = out.collecting_sink("sink");
 
-    // Lower by hand: the control plane needs the registry and the DOT rendering
-    // before deployment consumes the query.
-    let query = plan.lower().unwrap();
+    // Lower by hand: the control plane needs the registry, the DOT rendering and
+    // the analyzer's report before deployment consumes the query.
+    let analyzed = plan.analyze().unwrap();
+    assert!(
+        !analyzed.report.has_errors(),
+        "the spanning plan must analyze clean:\n{}",
+        analyzed.report.render()
+    );
+    let query = analyzed.query;
     let registry = query.registry();
     group.stream_metrics_into("sum", &registry);
     let server = ControlPlane::new(std::sync::Arc::clone(&registry))
         .with_topology(query.to_dot())
         .with_provenance(provenance.clone())
+        .with_analysis(analyzed.report.to_json())
         .serve()
         .unwrap();
 
@@ -276,6 +283,15 @@ fn control_endpoint_serves_live_metrics_and_provenance_of_a_spanning_query() {
     for node in ["readings", "sum.exchange", "sum.merge", "sink"] {
         assert!(dot.contains(node), "topology must render {node}");
     }
+
+    // --- /analyze: the deploy-time diagnostics of the deployed plan as JSON. ---
+    let (status, analysis) = http_get(server.addr(), "/analyze");
+    assert_eq!(status, 200);
+    assert!(
+        analysis.starts_with(r#"{"errors":0,"#),
+        "the served report is the clean analyzer verdict: {analysis}"
+    );
+    assert!(analysis.contains(r#""diagnostics":["#));
 
     server.shutdown();
 }
