@@ -72,6 +72,10 @@ pub struct NodeFacts {
     pub group: Option<String>,
     /// Shard-group instance count (1 for plain operators).
     pub instances: usize,
+    /// True for instance-boundary endpoints (Send/Receive operators): the node
+    /// moves bytes to or from another SPE instance rather than processing
+    /// tuples locally.
+    pub remote: bool,
 }
 
 /// One dataflow edge.
@@ -135,6 +139,7 @@ mod tests {
                 kind: "source".into(),
                 group: None,
                 instances: 1,
+                remote: false,
             }],
             edges: vec![],
             logical: None,

@@ -39,6 +39,10 @@ pub const CPU_OVERSUBSCRIPTION: &str = "GL031";
 pub const PLACEMENT_OVERRIDES_HINT: &str = "GL032";
 /// GL033: the lowered plan registers more metric series than the per-plan budget.
 pub const METRICS_CARDINALITY: &str = "GL033";
+/// GL034: the plan ships tuples across instance boundaries but runs with live
+/// metrics disabled, so link-health counters (dropped frames, remote registry
+/// deltas) are invisible at the origin.
+pub const REMOTE_WITHOUT_METRICS: &str = "GL034";
 
 /// Metric-series budget above which GL033 fires: beyond this, per-edge label
 /// cardinality dominates scrape cost and registry memory.
@@ -365,7 +369,7 @@ pub fn check_provenance(facts: &PlanFacts, diags: &mut Diagnostics) {
     }
 }
 
-/// Resource-sanity analysis (GL031, GL032, GL033).
+/// Resource-sanity analysis (GL031, GL032, GL033, GL034).
 pub fn check_resources(facts: &PlanFacts, diags: &mut Diagnostics) {
     if facts.threads > facts.host_cpus {
         diags.push(Diagnostic::warning(
@@ -396,6 +400,27 @@ pub fn check_resources(facts: &PlanFacts, diags: &mut Diagnostics) {
                     ));
                 }
             }
+        }
+    }
+    if !facts.metrics {
+        let remote: Vec<String> = facts
+            .nodes
+            .iter()
+            .filter(|n| n.remote)
+            .map(|n| n.name.clone())
+            .collect();
+        if !remote.is_empty() {
+            let listed = remote.join("`, `");
+            diags.push(Diagnostic::warning(
+                REMOTE_WITHOUT_METRICS,
+                remote,
+                format!(
+                    "the plan crosses instance boundaries at `{listed}` but runs \
+                     with `with_metrics(false)`: link drop counters and \
+                     remote-instance registry deltas are silently discarded — \
+                     enable live metrics or accept blind links"
+                ),
+            ));
         }
     }
     if facts.metrics {
@@ -436,6 +461,7 @@ mod tests {
             kind: kind.into(),
             group: None,
             instances: 1,
+            remote: false,
         }
     }
 
@@ -677,5 +703,37 @@ mod tests {
         assert!(report.has_code(METRICS_CARDINALITY));
         facts.metrics = false;
         assert!(!run(&facts).has_code(METRICS_CARDINALITY));
+    }
+
+    #[test]
+    fn gl034_flags_blind_remote_links() {
+        let mut send = node("sum.send", "send");
+        send.remote = true;
+        let mut facts = base(
+            vec![node("src", "source"), send, node("out", "sink")],
+            vec![edge(0, 1), edge(1, 2)],
+        );
+        facts.metrics = false;
+        let report = run(&facts);
+        let d = report
+            .with_code(REMOTE_WITHOUT_METRICS)
+            .next()
+            .expect("GL034");
+        assert_eq!(d.severity, crate::Severity::Warning);
+        assert_eq!(d.path, vec!["sum.send".to_string()]);
+        assert!(d.message.contains("with_metrics(false)"));
+        // With live metrics the same plan is quiet.
+        facts.metrics = true;
+        assert!(!run(&facts).has_code(REMOTE_WITHOUT_METRICS));
+    }
+
+    #[test]
+    fn gl034_ignores_purely_local_plans() {
+        let mut facts = base(
+            vec![node("src", "source"), node("out", "sink")],
+            vec![edge(0, 1)],
+        );
+        facts.metrics = false;
+        assert!(!run(&facts).has_code(REMOTE_WITHOUT_METRICS));
     }
 }

@@ -43,6 +43,8 @@ pub struct ControlPlane {
     topology: Option<String>,
     provenance: Option<Arc<dyn ProvenanceQuery>>,
     analysis: Option<String>,
+    read_timeout: Duration,
+    write_timeout: Duration,
 }
 
 impl std::fmt::Debug for ControlPlane {
@@ -51,19 +53,39 @@ impl std::fmt::Debug for ControlPlane {
             .field("topology", &self.topology.is_some())
             .field("provenance", &self.provenance.is_some())
             .field("analysis", &self.analysis.is_some())
+            .field("read_timeout", &self.read_timeout)
+            .field("write_timeout", &self.write_timeout)
             .finish()
     }
 }
 
 impl ControlPlane {
     /// A control plane serving `registry` (normally `Query::registry()`).
+    ///
+    /// Per-connection socket timeouts default to 2 s reads and 5 s writes; a
+    /// client that stalls either direction only ties up its own handler
+    /// thread, and only for that long.
     pub fn new(registry: Arc<MetricsRegistry>) -> Self {
         ControlPlane {
             registry,
             topology: None,
             provenance: None,
             analysis: None,
+            read_timeout: Duration::from_secs(2),
+            write_timeout: Duration::from_secs(5),
         }
+    }
+
+    /// Sets the per-connection read timeout (`Duration::ZERO` = block forever).
+    pub fn with_read_timeout(mut self, timeout: Duration) -> Self {
+        self.read_timeout = timeout;
+        self
+    }
+
+    /// Sets the per-connection write timeout (`Duration::ZERO` = block forever).
+    pub fn with_write_timeout(mut self, timeout: Duration) -> Self {
+        self.write_timeout = timeout;
+        self
     }
 
     /// Attaches the DOT rendering served at `/topology.dot` (render it with
@@ -127,7 +149,10 @@ impl ControlPlane {
 
 /// Serves one connection: parse, route, respond, close.
 fn handle_connection(mut stream: TcpStream, plane: &ControlPlane) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let read = plane.read_timeout;
+    let write = plane.write_timeout;
+    let _ = stream.set_read_timeout((read > Duration::ZERO).then_some(read));
+    let _ = stream.set_write_timeout((write > Duration::ZERO).then_some(write));
     let Some(request) = read_request(&mut stream) else {
         return;
     };
@@ -311,6 +336,31 @@ mod tests {
         let mut raw = String::new();
         stream.read_to_string(&mut raw).unwrap();
         assert!(raw.starts_with("HTTP/1.1 405"));
+    }
+
+    #[test]
+    fn socket_timeouts_are_configurable_and_cut_stalled_readers_loose() {
+        // A tight read timeout: a client that connects and never sends sees its
+        // connection dropped in roughly that time instead of the former
+        // hardcoded 2 s (and the write timeout is applied symmetrically).
+        let server = ControlPlane::new(MetricsRegistry::new())
+            .with_read_timeout(Duration::from_millis(50))
+            .with_write_timeout(Duration::from_millis(50))
+            .serve()
+            .unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        let started = std::time::Instant::now();
+        let mut buf = [0u8; 1];
+        // The handler times out reading the request and closes; the client
+        // observes EOF (0 bytes) or a reset — well before the old 2 s floor.
+        let outcome = stream.read(&mut buf);
+        assert!(matches!(outcome, Ok(0) | Err(_)), "got {outcome:?}");
+        assert!(
+            started.elapsed() < Duration::from_secs(1),
+            "a stalled client must be cut loose by the configured timeout, took {:?}",
+            started.elapsed()
+        );
+        server.shutdown();
     }
 
     #[test]

@@ -39,10 +39,7 @@ use genealog_baseline::AriadneBaseline;
 
 use crate::endpoint::{ReceiveOp, SendOp, WireProvenance};
 use crate::fault::{FaultySender, LinkFaults};
-use crate::network::{
-    FrameSink, FrameSource, LinkSender, LinkStats, MuxReceiver, NetworkConfig, SharedLink,
-    SimulatedLink,
-};
+use crate::network::{FrameSink, FrameSource, LinkStats, NetworkConfig, SharedLink, SimulatedLink};
 use crate::wire::{WireDecode, WireEncode};
 
 /// Adds a Send operator shipping `stream` onto `link` (extension of the query
@@ -189,6 +186,80 @@ where
 // Distributed shard groups: spanning the Partition exchange across SPE instances
 // ---------------------------------------------------------------------------
 
+/// The physical links wiring one remote shard to its originating instance, as
+/// built by a [`ShardTransport`].
+///
+/// The forward link carries the shard's partitioned sub-stream origin → remote;
+/// the return link is multiplexed into `back_channels` logical channels
+/// remote → origin. Channel index semantics are fixed by the shard-group
+/// builders: channel 0 is the shard's result stream, channel 1 (GeneaLog groups
+/// only) the unfolded provenance stream, and the last channel the instance's
+/// live metrics snapshots.
+pub struct ShardWiring {
+    /// Origin-side sender of the forward link.
+    pub forward_tx: Box<dyn FrameSink>,
+    /// Remote-side receiver of the forward link.
+    pub forward_rx: Box<dyn FrameSource>,
+    /// Traffic counters of the forward link.
+    pub forward_stats: Arc<LinkStats>,
+    /// Remote-side senders of the return link's channels, in channel order.
+    pub back_txs: Vec<Box<dyn FrameSink>>,
+    /// Origin-side receivers of the return link's channels, in channel order.
+    pub back_rxs: Vec<Box<dyn FrameSource>>,
+    /// Traffic counters of the (shared) return link.
+    pub back_stats: Arc<LinkStats>,
+}
+
+/// The transport seam of the distributed shard-group builders: everything above
+/// it — wire framing, sequence numbers, provenance stitching, metrics
+/// shipping — is transport-agnostic, so swapping [`SimulatedTransport`] for the
+/// TCP transport (or anything else that moves frames) changes no bytes.
+pub trait ShardTransport {
+    /// Builds the forward and return links of shard `shard`, the return link
+    /// multiplexed into `back_channels` channels.
+    ///
+    /// # Errors
+    /// Returns an error when the transport cannot establish the links (e.g. a
+    /// socket transport failing to connect).
+    fn shard_links(&self, shard: usize, back_channels: usize) -> Result<ShardWiring, SpeError>;
+}
+
+/// The in-process [`ShardTransport`]: a [`SimulatedLink`] per direction with the
+/// configured bandwidth/latency model, exactly what the shard-group builders
+/// wired before the transport seam existed.
+#[derive(Debug, Clone, Copy)]
+pub struct SimulatedTransport {
+    network: NetworkConfig,
+}
+
+impl SimulatedTransport {
+    /// A transport with the given link characteristics.
+    pub fn new(network: NetworkConfig) -> Self {
+        SimulatedTransport { network }
+    }
+}
+
+impl ShardTransport for SimulatedTransport {
+    fn shard_links(&self, _shard: usize, back_channels: usize) -> Result<ShardWiring, SpeError> {
+        let (forward_tx, forward_rx, forward_stats) = SimulatedLink::new(self.network);
+        let (back_txs, back_rxs, back_stats) = SharedLink::new(back_channels, self.network);
+        Ok(ShardWiring {
+            forward_tx: Box::new(forward_tx),
+            forward_rx: Box::new(forward_rx),
+            forward_stats,
+            back_txs: back_txs
+                .into_iter()
+                .map(|tx| Box::new(tx) as Box<dyn FrameSink>)
+                .collect(),
+            back_rxs: back_rxs
+                .into_iter()
+                .map(|rx| Box::new(rx) as Box<dyn FrameSource>)
+                .collect(),
+            back_stats,
+        })
+    }
+}
+
 /// Traffic counters of the links connecting one remote shard to its originating
 /// instance.
 #[derive(Debug, Clone)]
@@ -213,15 +284,23 @@ pub struct RemoteShardGroup {
     handles: Vec<QueryHandle>,
     links: Vec<ShardLinks>,
     shippers: Vec<MetricsShipper>,
-    metrics_rxs: Vec<MuxReceiver>,
+    metrics_rxs: Vec<Box<dyn FrameSource>>,
     pumps: Vec<JoinHandle<()>>,
 }
 
 /// The thread continuously shipping one remote instance's metrics registry over a
 /// channel of its return link, plus the flag that asks it for a final snapshot.
-struct MetricsShipper {
+pub(crate) struct MetricsShipper {
     stop: Arc<AtomicBool>,
     thread: JoinHandle<()>,
+}
+
+impl MetricsShipper {
+    /// Asks the shipper for its final snapshot and joins the thread.
+    pub(crate) fn stop(self) {
+        self.stop.store(true, Ordering::Relaxed);
+        let _ = self.thread.join();
+    }
 }
 
 /// Spawns the shipper thread of one remote instance: every ~20 ms (and once more
@@ -235,7 +314,7 @@ struct MetricsShipper {
 /// the remote mid-stream) would hold the link open forever and the originating
 /// query — and with it the whole recovery path — would wedge waiting for an
 /// end-of-stream that can no longer arrive.
-fn spawn_metrics_shipper<L: FrameSink>(
+pub(crate) fn spawn_metrics_shipper<L: FrameSink>(
     registry: Arc<MetricsRegistry>,
     link: L,
     engine: QueryCompletion,
@@ -256,6 +335,24 @@ fn spawn_metrics_shipper<L: FrameSink>(
 }
 
 impl RemoteShardGroup {
+    /// Assembles a group from already-wired parts. The `spe-node` client path
+    /// uses this with no local handles or shippers: the queries run in the node
+    /// processes, so `wait` only drains the metrics pumps.
+    pub(crate) fn from_parts(
+        handles: Vec<QueryHandle>,
+        links: Vec<ShardLinks>,
+        shippers: Vec<MetricsShipper>,
+        metrics_rxs: Vec<Box<dyn FrameSource>>,
+    ) -> Self {
+        RemoteShardGroup {
+            handles,
+            links,
+            shippers,
+            metrics_rxs,
+            pumps: Vec::new(),
+        }
+    }
+
     /// Streams the remote instances' registry snapshots into `registry` (normally
     /// the originating query's, see `Query::registry`): shard `i` installs as
     /// remote instance `{name}[i]`, making the spanning shard group one live
@@ -263,6 +360,12 @@ impl RemoteShardGroup {
     /// links close; [`RemoteShardGroup::wait`] joins them, so after it returns the
     /// registry holds every shard's final snapshot.
     pub fn stream_metrics_into(&mut self, name: &str, registry: &Arc<MetricsRegistry>) {
+        for (i, link) in self.links.iter().enumerate() {
+            link.forward
+                .export_dropped_frames(registry, &format!("{name}[{i}].forward"));
+            link.back
+                .export_dropped_frames(registry, &format!("{name}[{i}].back"));
+        }
         for (i, rx) in self.metrics_rxs.drain(..).enumerate() {
             let registry = Arc::clone(registry);
             let key = format!("{name}[{i}]");
@@ -308,8 +411,7 @@ impl RemoteShardGroup {
         // then join the pumps (they stop once the shard links close), so the
         // origin's registry reads the shards' final counters after this returns.
         for shipper in self.shippers {
-            shipper.stop.store(true, Ordering::Relaxed);
-            let _ = shipper.thread.join();
+            shipper.stop();
         }
         drop(self.metrics_rxs);
         for pump in self.pumps {
@@ -328,16 +430,17 @@ pub type ShardGroupDeployment<P, I, O> = (Vec<ShardPlacement<P, I, O>>, RemoteSh
 /// into per-endpoint shard groups so the runtime folds their reports across the
 /// group. Shared by [`remote_shard_group`] and [`remote_shard_group_gl`] so the
 /// two paths cannot drift apart.
-fn splice_remote_shard<P, I, O, R>(
+pub(crate) fn splice_remote_shard<P, I, O, S, R>(
     name: &str,
     instances: usize,
-    forward_tx: LinkSender,
+    forward_tx: S,
     return_rx: R,
 ) -> ShardPlacement<P, I, O>
 where
     P: WireProvenance,
     I: TupleData + WireEncode,
     O: TupleData + WireDecode,
+    S: FrameSink,
     R: FrameSource,
 {
     let group_name = name.to_string();
@@ -391,6 +494,39 @@ where
     PF: Fn(usize) -> P,
     B: Fn(&mut Query<P>, usize, StreamRef<I, P::Meta>) -> StreamRef<O, P::Meta>,
 {
+    remote_shard_group_over(
+        name,
+        instances,
+        &SimulatedTransport::new(network),
+        config,
+        provenance,
+        build,
+    )
+}
+
+/// [`remote_shard_group`] over an explicit [`ShardTransport`] — the same wiring,
+/// provenance semantics and metrics shipping, with the physical links supplied by
+/// `transport` (e.g. `TcpLoopbackTransport` for real sockets) instead of the
+/// in-process [`SimulatedLink`].
+///
+/// # Errors
+/// Propagates link-establishment errors from the transport and deployment errors
+/// from the remote instances.
+pub fn remote_shard_group_over<P, I, O, PF, B>(
+    name: &str,
+    instances: usize,
+    transport: &dyn ShardTransport,
+    config: QueryConfig,
+    provenance: PF,
+    build: B,
+) -> Result<ShardGroupDeployment<P, I, O>, SpeError>
+where
+    P: WireProvenance,
+    I: TupleData + WireEncode + WireDecode,
+    O: TupleData + WireEncode + WireDecode,
+    PF: Fn(usize) -> P,
+    B: Fn(&mut Query<P>, usize, StreamRef<I, P::Meta>) -> StreamRef<O, P::Meta>,
+{
     assert!(instances > 0, "a shard group needs at least one instance");
     let mut placements = Vec::with_capacity(instances);
     let mut handles = Vec::with_capacity(instances);
@@ -398,10 +534,16 @@ where
     let mut shippers = Vec::with_capacity(instances);
     let mut metrics_rxs = Vec::with_capacity(instances);
     for i in 0..instances {
-        let (forward_tx, forward_rx, forward_stats) = SimulatedLink::new(network);
         // One physical return link, two multiplexed channels: shard results and the
         // instance's live metrics snapshots.
-        let (mut back_txs, mut back_rxs, back_stats) = SharedLink::new(2, network);
+        let ShardWiring {
+            forward_tx,
+            forward_rx,
+            forward_stats,
+            mut back_txs,
+            mut back_rxs,
+            back_stats,
+        } = transport.shard_links(i, 2)?;
         let metrics_tx = back_txs.pop().expect("two channels");
         let data_tx = back_txs.pop().expect("two channels");
         let metrics_rx = back_rxs.pop().expect("two channels");
@@ -451,7 +593,7 @@ pub struct GlShardGroup<I, O> {
     pub group: RemoteShardGroup,
     /// Per-shard receivers of the remote instances' unfolded provenance streams
     /// (`UpstreamEvent<I>` frames, multiplexed onto the shards' return links).
-    pub provenance_links: Vec<MuxReceiver>,
+    pub provenance_links: Vec<Box<dyn FrameSource>>,
 }
 
 /// [`remote_shard_group`] under **GeneaLog**, with cross-boundary provenance.
@@ -488,6 +630,37 @@ where
         instances,
         |i| GeneaLog::for_instance(first_instance + i as u32),
         network,
+        config,
+        |_| LinkFaults::none(),
+        build,
+    )
+}
+
+/// [`remote_shard_group_gl`] over an explicit [`ShardTransport`]: identical
+/// provenance stitching and metrics shipping, with the shard links supplied by the
+/// transport instead of the in-process [`SimulatedLink`].
+///
+/// # Errors
+/// Propagates link-establishment errors from the transport and deployment errors
+/// from the remote instances.
+pub fn remote_shard_group_gl_over<I, O, B>(
+    name: &str,
+    instances: usize,
+    first_instance: u32,
+    transport: &dyn ShardTransport,
+    config: QueryConfig,
+    build: B,
+) -> Result<GlShardGroup<I, O>, SpeError>
+where
+    I: TupleData + WireEncode + WireDecode,
+    O: TupleData + WireEncode + WireDecode,
+    B: Fn(&mut Query<GeneaLog>, usize, StreamRef<I, GlMeta>) -> StreamRef<O, GlMeta>,
+{
+    remote_shard_group_gl_with_faults_over(
+        name,
+        instances,
+        |i| GeneaLog::for_instance(first_instance + i as u32),
+        transport,
         config,
         |_| LinkFaults::none(),
         build,
@@ -531,6 +704,44 @@ where
     FF: Fn(usize) -> LinkFaults,
     SF: Fn(usize) -> GeneaLog,
 {
+    remote_shard_group_gl_with_faults_over(
+        name,
+        instances,
+        systems,
+        &SimulatedTransport::new(network),
+        config,
+        faults,
+        build,
+    )
+}
+
+/// [`remote_shard_group_gl_with_faults`] over an explicit [`ShardTransport`].
+///
+/// Frame faults injected through `faults` decorate the data channel *above* the
+/// transport, so they compose with whatever failure modes the transport itself has
+/// (a TCP transport can additionally kill sockets underneath the mux — see
+/// `TcpLoopbackTransport::with_return_kill`).
+///
+/// # Errors
+/// Propagates link-establishment errors from the transport and deployment errors
+/// from the remote instances.
+#[allow(clippy::too_many_arguments)]
+pub fn remote_shard_group_gl_with_faults_over<I, O, B, FF, SF>(
+    name: &str,
+    instances: usize,
+    systems: SF,
+    transport: &dyn ShardTransport,
+    config: QueryConfig,
+    faults: FF,
+    build: B,
+) -> Result<GlShardGroup<I, O>, SpeError>
+where
+    I: TupleData + WireEncode + WireDecode,
+    O: TupleData + WireEncode + WireDecode,
+    B: Fn(&mut Query<GeneaLog>, usize, StreamRef<I, GlMeta>) -> StreamRef<O, GlMeta>,
+    FF: Fn(usize) -> LinkFaults,
+    SF: Fn(usize) -> GeneaLog,
+{
     assert!(instances > 0, "a shard group needs at least one instance");
     let mut placements = Vec::with_capacity(instances);
     let mut handles = Vec::with_capacity(instances);
@@ -539,10 +750,16 @@ where
     let mut shippers = Vec::with_capacity(instances);
     let mut metrics_rxs = Vec::with_capacity(instances);
     for i in 0..instances {
-        let (forward_tx, forward_rx, forward_stats) = SimulatedLink::new(network);
         // One physical return link, three multiplexed channels: shard results, the
         // unfolded provenance stream, and the instance's live metrics snapshots.
-        let (mut back_txs, mut back_rxs, back_stats) = SharedLink::new(3, network);
+        let ShardWiring {
+            forward_tx,
+            forward_rx,
+            forward_stats,
+            mut back_txs,
+            mut back_rxs,
+            back_stats,
+        } = transport.shard_links(i, 3)?;
         let metrics_tx = back_txs.pop().expect("three channels");
         let provenance_tx = back_txs.pop().expect("three channels");
         let data_tx = back_txs.pop().expect("three channels");
@@ -689,16 +906,17 @@ where
 /// # Panics
 /// Panics if `provenance_links` is empty (with no remote shard there is no REMOTE
 /// boundary; use `genealog::attach_provenance_sink` instead).
-pub fn attach_shard_provenance_sink<O, S>(
+pub fn attach_shard_provenance_sink<O, S, R>(
     q: &mut Query<GeneaLog>,
     name: &str,
     stream: StreamRef<O, GlMeta>,
-    provenance_links: Vec<MuxReceiver>,
+    provenance_links: Vec<R>,
     upstream_window: Duration,
 ) -> (StreamRef<O, GlMeta>, ShardProvenanceCollector<O, S>)
 where
     O: TupleData,
     S: TupleData + WireEncode + WireDecode,
+    R: FrameSource,
 {
     let collected = CollectedStream::new();
     let passthrough = attach_shard_provenance_into(
@@ -719,15 +937,16 @@ where
 ///
 /// # Panics
 /// Panics (at lowering) if `provenance_links` is empty.
-pub fn logical_shard_provenance_sink<O, S>(
+pub fn logical_shard_provenance_sink<O, S, R>(
     stream: LogicalStream<GeneaLog, O>,
     name: &str,
-    provenance_links: Vec<MuxReceiver>,
+    provenance_links: Vec<R>,
     upstream_window: Duration,
 ) -> (LogicalStream<GeneaLog, O>, ShardProvenanceCollector<O, S>)
 where
     O: TupleData,
     S: TupleData + WireEncode + WireDecode,
+    R: FrameSource,
 {
     let collected: CollectedStream<UnfoldedEvent<O, S>, GlMeta> = CollectedStream::new();
     let copy = collected.clone();
@@ -740,17 +959,18 @@ where
 
 /// Core of the stitched-provenance attachment, sinking the complete unfolded
 /// stream into a caller-provided collection.
-fn attach_shard_provenance_into<O, S>(
+fn attach_shard_provenance_into<O, S, R>(
     q: &mut Query<GeneaLog>,
     name: &str,
     stream: StreamRef<O, GlMeta>,
-    provenance_links: Vec<MuxReceiver>,
+    provenance_links: Vec<R>,
     upstream_window: Duration,
     collected: CollectedStream<UnfoldedEvent<O, S>, GlMeta>,
 ) -> StreamRef<O, GlMeta>
 where
     O: TupleData,
     S: TupleData + WireEncode + WireDecode,
+    R: FrameSource,
 {
     assert!(
         !provenance_links.is_empty(),

@@ -487,13 +487,18 @@ where
         let mut expected_seq = 0u64;
         let mut ended = false;
         'frames: while let Some(framed) = self.link.recv_frame() {
-            if framed.len() < 8 {
+            // Wire input must never be able to panic this thread: a frame too
+            // short for its sequence prefix is a decode error like any other.
+            let Some(seq) = framed
+                .get(..8)
+                .and_then(|prefix| <[u8; 8]>::try_from(prefix).ok())
+                .map(u64::from_le_bytes)
+            else {
                 return Err(fail(format!(
                     "runt frame of {} bytes (no sequence number)",
                     framed.len()
                 )));
-            }
-            let seq = u64::from_le_bytes(framed[..8].try_into().expect("8-byte prefix"));
+            };
             if seq < expected_seq {
                 // A link-level duplicate: this frame was already delivered and
                 // applied; re-applying it would double tuples downstream.

@@ -27,6 +27,14 @@
 //!   [`fault::FaultPlan`]): dropped, duplicated, delayed and severed frames, plus
 //!   the fire-once triggers the recovery tests use to kill a shard thread on the
 //!   first attempt only.
+//! * [`tcp`] — a real TCP transport behind the same [`network::FrameSink`] /
+//!   [`network::FrameSource`] traits: length-delimited frames, connect-with-backoff
+//!   and bounded reconnect on broken pipes. Swapping it for the simulated link via
+//!   [`deployment::ShardTransport`] changes no bytes on the wire above the framing
+//!   layer.
+//! * [`node`] — the `spe-node` worker protocol: a process that accepts a serialised
+//!   remote-shard deployment over a socket and hosts the shards of one group,
+//!   shipping results, provenance and metrics back over the multiplexed connection.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,13 +43,17 @@ pub mod deployment;
 pub mod endpoint;
 pub mod fault;
 pub mod network;
+pub mod node;
+pub mod tcp;
 pub mod wire;
 
 pub use deployment::{
     attach_shard_provenance_sink, deploy_distributed_baseline, deploy_distributed_genealog,
     deploy_distributed_noprov, group_provenance, instances_dot, remote_shard_group,
-    remote_shard_group_gl, remote_shard_group_gl_with_faults, DistributedOutcome, GlShardGroup,
-    ProvenanceRecord, RemoteShardGroup, ShardGroupDeployment, ShardLinks, ShardProvenanceCollector,
+    remote_shard_group_gl, remote_shard_group_gl_over, remote_shard_group_gl_with_faults,
+    remote_shard_group_gl_with_faults_over, remote_shard_group_over, DistributedOutcome,
+    GlShardGroup, ProvenanceRecord, RemoteShardGroup, ShardGroupDeployment, ShardLinks,
+    ShardProvenanceCollector, ShardTransport, ShardWiring, SimulatedTransport,
 };
 pub use endpoint::{
     ReceiveOp, SendOp, TupleFrameBuilder, WireFrame, WireProvenance, WireTag, WireTuple,
@@ -50,5 +62,12 @@ pub use fault::{FaultPlan, FaultySender, LinkFaults, OneShot};
 pub use network::{
     FrameSink, FrameSource, LinkStats, MuxReceiver, MuxSender, NetworkConfig, SharedLink,
     SimulatedLink,
+};
+pub use node::{
+    connect_gl_node_group, run_node, serve_node_connection, NodeDeployment, NodeReading,
+    ShardOpSpec, ACK,
+};
+pub use tcp::{
+    TcpLink, TcpLoopbackTransport, TcpReceiver, TcpSender, TcpSeverHandle, MAX_FRAME_BYTES,
 };
 pub use wire::{WireDecode, WireEncode, WireError};

@@ -19,6 +19,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam_channel::{bounded, unbounded, Receiver, SendTimeoutError, Sender};
+use genealog_metrics::{MetricsRegistry, Tracer};
 use parking_lot::Mutex;
 
 /// Bandwidth and propagation latency of a simulated link.
@@ -45,6 +46,24 @@ pub struct NetworkConfig {
     /// operator forever. With the timeout the send fails instead, the Send operator
     /// reports a broken link, and the recovery path gets to rebuild the deployment.
     pub send_timeout: Duration,
+    /// Per-attempt timeout of a TCP connect (the TCP transport only; the simulated
+    /// link has no connection phase).
+    pub connect_timeout: Duration,
+    /// Socket read timeout of the TCP transport (0 = block indefinitely). A
+    /// timed-out read is treated as a dead peer, so only set this on links where
+    /// frames flow continuously.
+    pub read_timeout: Duration,
+    /// Socket write timeout of the TCP transport (0 = block indefinitely). Plays
+    /// the role [`send_timeout`](Self::send_timeout) plays on the simulated link:
+    /// a receiver that stops draining eventually fails the write instead of
+    /// wedging the sending operator.
+    pub write_timeout: Duration,
+    /// How many times the TCP transport re-dials a broken connection (both the
+    /// initial connect and reconnects after a broken pipe) before declaring the
+    /// link dead. 0 disables reconnection: the first broken pipe severs the link.
+    pub reconnect_attempts: u32,
+    /// Backoff before the first re-dial, doubling on every subsequent attempt.
+    pub reconnect_backoff: Duration,
 }
 
 impl Default for NetworkConfig {
@@ -56,6 +75,11 @@ impl Default for NetworkConfig {
             latency: Duration::from_micros(200),
             send_queue_frames: 4_096,
             send_timeout: Duration::from_secs(5),
+            connect_timeout: Duration::from_secs(2),
+            read_timeout: Duration::ZERO,
+            write_timeout: Duration::from_secs(5),
+            reconnect_attempts: 3,
+            reconnect_backoff: Duration::from_millis(50),
         }
     }
 }
@@ -69,6 +93,11 @@ impl NetworkConfig {
             latency: Duration::ZERO,
             send_queue_frames: 0,
             send_timeout: Duration::from_secs(5),
+            connect_timeout: Duration::from_secs(2),
+            read_timeout: Duration::ZERO,
+            write_timeout: Duration::from_secs(5),
+            reconnect_attempts: 3,
+            reconnect_backoff: Duration::from_millis(50),
         }
     }
 
@@ -86,6 +115,51 @@ impl NetworkConfig {
         self
     }
 
+    /// Returns the configuration with a different per-attempt TCP connect timeout.
+    pub fn with_connect_timeout(mut self, timeout: Duration) -> Self {
+        self.connect_timeout = timeout;
+        self
+    }
+
+    /// Returns the configuration with a different TCP read timeout
+    /// (0 = block indefinitely).
+    pub fn with_read_timeout(mut self, timeout: Duration) -> Self {
+        self.read_timeout = timeout;
+        self
+    }
+
+    /// Returns the configuration with a different TCP write timeout
+    /// (0 = block indefinitely).
+    pub fn with_write_timeout(mut self, timeout: Duration) -> Self {
+        self.write_timeout = timeout;
+        self
+    }
+
+    /// Returns the configuration with a different reconnect budget: up to
+    /// `attempts` re-dials per broken connection, backing off `backoff` before the
+    /// first and doubling on each subsequent attempt. `attempts == 0` makes the
+    /// first broken pipe sever the link immediately.
+    pub fn with_reconnects(mut self, attempts: u32, backoff: Duration) -> Self {
+        self.reconnect_attempts = attempts;
+        self.reconnect_backoff = backoff;
+        self
+    }
+
+    /// Worst-case time a peer may spend re-dialling a broken connection under this
+    /// configuration: the sum of the (doubling) backoffs plus one connect timeout
+    /// per attempt. The receiving side of the TCP transport keeps its listener
+    /// open for this long after an abrupt disconnect before declaring the link
+    /// severed.
+    pub fn reconnect_window(&self) -> Duration {
+        let mut window = Duration::ZERO;
+        let mut backoff = self.reconnect_backoff;
+        for _ in 0..self.reconnect_attempts {
+            window += backoff + self.connect_timeout;
+            backoff *= 2;
+        }
+        window.min(Duration::from_secs(10))
+    }
+
     /// Time needed to serialise `bytes` onto the link.
     pub fn transmission_delay(&self, bytes: usize) -> Duration {
         if self.bandwidth_bps == 0 {
@@ -101,6 +175,8 @@ impl NetworkConfig {
 pub struct LinkStats {
     frames: AtomicU64,
     bytes: AtomicU64,
+    dropped_runt: AtomicU64,
+    dropped_unroutable: AtomicU64,
 }
 
 impl LinkStats {
@@ -114,9 +190,56 @@ impl LinkStats {
         self.bytes.load(Ordering::Relaxed)
     }
 
-    fn record(&self, bytes: usize) {
+    /// Number of received frames discarded because they were too short to carry a
+    /// channel prefix (< 4 bytes).
+    pub fn dropped_runt(&self) -> u64 {
+        self.dropped_runt.load(Ordering::Relaxed)
+    }
+
+    /// Number of received frames discarded because their channel id addressed no
+    /// channel of the link.
+    pub fn dropped_unroutable(&self) -> u64 {
+        self.dropped_unroutable.load(Ordering::Relaxed)
+    }
+
+    /// Total number of received frames the demultiplexer had to discard. Zero on
+    /// a healthy link: every drop means a peer sent something this side cannot
+    /// route, and the frame's payload is lost.
+    pub fn dropped_frames(&self) -> u64 {
+        self.dropped_runt() + self.dropped_unroutable()
+    }
+
+    pub(crate) fn record(&self, bytes: usize) {
         self.frames.fetch_add(1, Ordering::Relaxed);
         self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_runt(&self) {
+        self.dropped_runt.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_unroutable(&self) {
+        self.dropped_unroutable.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Registers the link's drop counters as the
+    /// `genealog_link_dropped_frames_total{link=..,reason=..}` series on
+    /// `registry`, sampled live at every snapshot. A healthy link reports 0 on
+    /// both reasons; any increase means received payloads were discarded by the
+    /// demultiplexer.
+    pub fn export_dropped_frames(self: &Arc<Self>, registry: &MetricsRegistry, link: &str) {
+        let stats = Arc::clone(self);
+        registry.counter_fn(
+            "genealog_link_dropped_frames_total",
+            &[("link", link), ("reason", "runt")],
+            Arc::new(move || stats.dropped_runt()),
+        );
+        let stats = Arc::clone(self);
+        registry.counter_fn(
+            "genealog_link_dropped_frames_total",
+            &[("link", link), ("reason", "unroutable")],
+            Arc::new(move || stats.dropped_unroutable()),
+        );
     }
 }
 
@@ -253,6 +376,18 @@ impl FrameSource for LinkReceiver {
     }
 }
 
+impl FrameSink for Box<dyn FrameSink> {
+    fn send_frame(&self, frame: Vec<u8>) -> bool {
+        (**self).send_frame(frame)
+    }
+}
+
+impl FrameSource for Box<dyn FrameSource> {
+    fn recv_frame(&self) -> Option<Vec<u8>> {
+        (**self).recv_frame()
+    }
+}
+
 /// Factory for a link carrying several multiplexed frame channels.
 ///
 /// Each frame is prefixed with its channel id (a little-endian `u32`), so what the
@@ -266,9 +401,9 @@ pub struct SharedLink;
 
 /// The sending half of one channel of a [`SharedLink`].
 #[derive(Clone)]
-pub struct MuxSender {
+pub struct MuxSender<S: FrameSink + Clone = LinkSender> {
     channel: u32,
-    inner: LinkSender,
+    inner: S,
 }
 
 struct MuxState {
@@ -283,10 +418,11 @@ struct MuxState {
 /// them even while the sibling channel's receiver is blocked pulling the link; the
 /// separate `puller` lock serialises the pulls themselves, preserving per-channel
 /// FIFO order.
-pub struct MuxReceiver {
+pub struct MuxReceiver<R: FrameSource = LinkReceiver> {
     channel: usize,
     queues: Arc<Mutex<MuxState>>,
-    puller: Arc<Mutex<LinkReceiver>>,
+    puller: Arc<Mutex<R>>,
+    stats: Arc<LinkStats>,
 }
 
 impl SharedLink {
@@ -301,8 +437,30 @@ impl SharedLink {
         channels: usize,
         config: NetworkConfig,
     ) -> (Vec<MuxSender>, Vec<MuxReceiver>, Arc<LinkStats>) {
-        assert!(channels > 0, "a shared link needs at least one channel");
         let (tx, rx, stats) = SimulatedLink::new(config);
+        let (senders, receivers) = SharedLink::over(channels, tx, rx, Arc::clone(&stats));
+        (senders, receivers, stats)
+    }
+
+    /// Multiplexes `channels` frame channels over an arbitrary frame transport —
+    /// the frame-level seam the TCP transport plugs into. `stats` counts the
+    /// demultiplexer's dropped frames (the sender-side traffic counters are the
+    /// transport's own concern: pass the transport's [`LinkStats`] to keep both
+    /// views on one handle).
+    ///
+    /// # Panics
+    /// Panics if `channels` is zero.
+    pub fn over<S, R>(
+        channels: usize,
+        tx: S,
+        rx: R,
+        stats: Arc<LinkStats>,
+    ) -> (Vec<MuxSender<S>>, Vec<MuxReceiver<R>>)
+    where
+        S: FrameSink + Clone,
+        R: FrameSource,
+    {
+        assert!(channels > 0, "a shared link needs at least one channel");
         let queues = Arc::new(Mutex::new(MuxState {
             queues: (0..channels).map(|_| VecDeque::new()).collect(),
             closed: false,
@@ -319,22 +477,23 @@ impl SharedLink {
                 channel,
                 queues: Arc::clone(&queues),
                 puller: Arc::clone(&puller),
+                stats: Arc::clone(&stats),
             })
             .collect();
-        (senders, receivers, stats)
+        (senders, receivers)
     }
 }
 
-impl FrameSink for MuxSender {
+impl<S: FrameSink + Clone> FrameSink for MuxSender<S> {
     fn send_frame(&self, frame: Vec<u8>) -> bool {
         let mut framed = Vec::with_capacity(frame.len() + 4);
         framed.extend_from_slice(&self.channel.to_le_bytes());
         framed.extend_from_slice(&frame);
-        self.inner.send(framed)
+        self.inner.send_frame(framed)
     }
 }
 
-impl MuxReceiver {
+impl<R: FrameSource> MuxReceiver<R> {
     /// Pops this channel's next queued frame; `Some(None)` means the link is closed
     /// and drained, `None` means nothing is queued yet.
     fn try_pop(&self) -> Option<Option<Vec<u8>>> {
@@ -349,7 +508,7 @@ impl MuxReceiver {
     }
 }
 
-impl FrameSource for MuxReceiver {
+impl<R: FrameSource> FrameSource for MuxReceiver<R> {
     fn recv_frame(&self) -> Option<Vec<u8>> {
         loop {
             if let Some(result) = self.try_pop() {
@@ -364,19 +523,45 @@ impl FrameSource for MuxReceiver {
             if let Some(result) = self.try_pop() {
                 return result;
             }
-            match puller.recv() {
+            match puller.recv_frame() {
                 Some(mut framed) => {
-                    if framed.len() < 4 {
-                        continue; // runt frame: no channel prefix, drop it
-                    }
-                    let channel =
-                        u32::from_le_bytes(framed[..4].try_into().expect("4-byte prefix")) as usize;
+                    let Some(prefix) = framed.get(..4).and_then(|p| <[u8; 4]>::try_from(p).ok())
+                    else {
+                        // Runt frame: too short to carry a channel prefix. The
+                        // payload (if any) is lost — account for it instead of
+                        // dropping it silently.
+                        self.stats.record_runt();
+                        Tracer::global().emit_once(
+                            "link-dropped-frame",
+                            "runt",
+                            format!(
+                                "dropped a {}-byte frame: too short for the 4-byte \
+                                 channel prefix (further runts are only counted)",
+                                framed.len()
+                            ),
+                        );
+                        continue;
+                    };
+                    let channel = u32::from_le_bytes(prefix) as usize;
                     // Strip the prefix in place: one memmove, no re-allocation on
                     // the per-frame hot path.
                     framed.drain(..4);
                     let mut state = self.queues.lock();
                     if channel < state.queues.len() {
                         state.queues[channel].push_back(framed);
+                    } else {
+                        let channels = state.queues.len();
+                        drop(state);
+                        self.stats.record_unroutable();
+                        Tracer::global().emit_once(
+                            "link-dropped-frame",
+                            "unroutable",
+                            format!(
+                                "dropped a frame addressed to channel {channel} of a \
+                                 {channels}-channel link (further unroutable frames \
+                                 are only counted)"
+                            ),
+                        );
                     }
                 }
                 None => {
@@ -562,6 +747,62 @@ mod tests {
         let start = Instant::now();
         assert!(!tx.send(vec![2]));
         assert!(start.elapsed() < Duration::from_millis(40));
+    }
+
+    #[test]
+    fn demux_counts_runt_and_unroutable_frames_instead_of_dropping_silently() {
+        let (raw_tx, raw_rx, stats) = SimulatedLink::new(NetworkConfig::unlimited());
+        let (txs, rxs) = SharedLink::over(2, raw_tx.clone(), raw_rx, Arc::clone(&stats));
+        // A frame too short for the channel prefix and one addressed to a channel
+        // that does not exist, injected below the mux layer.
+        assert!(raw_tx.send(vec![9, 9]));
+        assert!(raw_tx.send(7u32.to_le_bytes().to_vec()));
+        // A well-formed frame behind them proves the receiver keeps going.
+        assert!(txs[1].send_frame(vec![42]));
+        assert_eq!(rxs[1].recv_frame().unwrap(), vec![42]);
+        assert_eq!(stats.dropped_runt(), 1);
+        assert_eq!(stats.dropped_unroutable(), 1);
+        assert_eq!(stats.dropped_frames(), 2);
+    }
+
+    #[test]
+    fn dropped_frame_counters_reach_the_metrics_registry() {
+        let (raw_tx, raw_rx, stats) = SimulatedLink::new(NetworkConfig::unlimited());
+        let (txs, rxs) = SharedLink::over(1, raw_tx.clone(), raw_rx, Arc::clone(&stats));
+        let registry = MetricsRegistry::new();
+        stats.export_dropped_frames(&registry, "test-link");
+        assert!(raw_tx.send(vec![1]));
+        assert!(txs[0].send_frame(vec![5]));
+        assert_eq!(rxs[0].recv_frame().unwrap(), vec![5]);
+        let exposition = registry.render_prometheus();
+        assert!(
+            exposition.contains(
+                "genealog_link_dropped_frames_total{link=\"test-link\",reason=\"runt\"} 1"
+            ),
+            "missing runt counter in:\n{exposition}"
+        );
+        assert!(
+            exposition.contains(
+                "genealog_link_dropped_frames_total{link=\"test-link\",reason=\"unroutable\"} 0"
+            ),
+            "missing unroutable counter in:\n{exposition}"
+        );
+    }
+
+    #[test]
+    fn reconnect_window_sums_backoffs_and_connect_timeouts() {
+        let cfg = NetworkConfig::unlimited()
+            .with_connect_timeout(Duration::from_millis(100))
+            .with_reconnects(2, Duration::from_millis(50));
+        // 50ms + 100ms + 100ms + 100ms: doubling backoff, one connect per attempt.
+        assert_eq!(cfg.reconnect_window(), Duration::from_millis(350));
+        assert_eq!(
+            cfg.with_reconnects(0, Duration::ZERO).reconnect_window(),
+            Duration::ZERO
+        );
+        // The window is capped so a mis-configured budget cannot stall recovery.
+        let wide = cfg.with_reconnects(30, Duration::from_secs(1));
+        assert_eq!(wide.reconnect_window(), Duration::from_secs(10));
     }
 
     #[test]

@@ -1,0 +1,588 @@
+//! The `spe-node` worker protocol: real multi-process shard hosting.
+//!
+//! A node is a long-lived process listening on a TCP port. The originating
+//! query's side ([`connect_gl_node_group`]) dials each node, sends one
+//! [`NodeDeployment`] frame describing which shards of a group the node should
+//! host, and the same socket then becomes the multiplexed data plane of the
+//! deployment — no second connection, no shared filesystem.
+//!
+//! # Wire protocol
+//!
+//! Every frame is length-delimited exactly like the [`tcp`](crate::tcp)
+//! transport (little-endian `u32` length + payload). On a fresh connection:
+//!
+//! 1. client → node: one [`NodeDeployment`] (via [`WireEncode`]);
+//! 2. node → client: the [`ACK`] frame;
+//! 3. both directions switch to the [`SharedLink`] channel-prefix mux.
+//!
+//! With `k` hosted shards the channel layout is, in the client → node
+//! direction, channel `j` = shard `j`'s partitioned sub-stream; in the node →
+//! client direction, channel `j` = shard `j`'s results, channel `k + j` =
+//! shard `j`'s unfolded provenance stream and channel `2k + j` = shard `j`'s
+//! metrics snapshots — the same per-shard triple that
+//! [`remote_shard_group_gl`](crate::deployment::remote_shard_group_gl) wires
+//! in-process.
+//!
+//! A node connection that drops mid-deployment severs every hosted shard's
+//! links at once (the accepted socket has nowhere to re-dial), which the
+//! origin's Receive operators surface as a mid-stream close — the
+//! `run_with_recovery` path, exactly like a simulated sever.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use genealog::{attach_unfolder, GeneaLog, GlMeta, UnfoldedTuple};
+use genealog_metrics::{decode_samples, MetricsRegistry, Tracer};
+use genealog_spe::operator::aggregate::WindowView;
+use genealog_spe::query::{Query, QueryConfig, StreamRef};
+use genealog_spe::runtime::QueryReport;
+use genealog_spe::{SpeError, WindowSpec};
+
+use crate::deployment::{
+    add_receive, add_send, spawn_metrics_shipper, splice_remote_shard, GlShardGroup,
+    RemoteShardGroup, ShardLinks,
+};
+use crate::network::{FrameSink, FrameSource, LinkStats, SharedLink};
+use crate::tcp::{
+    apply_socket_options, read_frame, write_frame, ReadOutcome, TcpReceiver, TcpSender,
+};
+use crate::wire::{WireDecode, WireEncode, WireError, WireReader};
+use crate::NetworkConfig;
+
+/// The node's answer to a well-formed [`NodeDeployment`] frame.
+pub const ACK: &[u8] = b"genealog-node ok";
+
+/// The payload type `spe-node` shards process: `(key, value)` readings, the
+/// same shape as the distributed shard-group test workloads.
+pub type NodeReading = (u32, i64);
+
+/// The windowed operator a node runs on each hosted shard, chosen from a small
+/// catalogue of serialisable specs (a node cannot receive closures).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardOpSpec {
+    /// Per-key sum over a sliding window of `size_ms` / `slide_ms`.
+    SumAggregate {
+        /// Window size in milliseconds.
+        size_ms: u64,
+        /// Window slide in milliseconds.
+        slide_ms: u64,
+    },
+    /// `filter(value % 3 != 0) → map(value * 2)` ahead of the same per-key
+    /// windowed sum — the staged shape of the fused-shard equivalence tests.
+    FilteredScaledSum {
+        /// Window size in milliseconds.
+        size_ms: u64,
+        /// Window slide in milliseconds.
+        slide_ms: u64,
+    },
+}
+
+impl ShardOpSpec {
+    fn window(&self) -> Result<WindowSpec, SpeError> {
+        let (size_ms, slide_ms) = match *self {
+            ShardOpSpec::SumAggregate { size_ms, slide_ms }
+            | ShardOpSpec::FilteredScaledSum { size_ms, slide_ms } => (size_ms, slide_ms),
+        };
+        WindowSpec::new(
+            genealog_spe::Duration::from_millis(size_ms),
+            genealog_spe::Duration::from_millis(slide_ms),
+        )
+    }
+
+    /// Splices the spec'd operator into a node-side query.
+    fn build(
+        &self,
+        q: &mut Query<GeneaLog>,
+        name: &str,
+        input: StreamRef<NodeReading, GlMeta>,
+    ) -> Result<StreamRef<NodeReading, GlMeta>, SpeError> {
+        let spec = self.window()?;
+        let staged = match self {
+            ShardOpSpec::SumAggregate { .. } => input,
+            ShardOpSpec::FilteredScaledSum { .. } => {
+                let kept = q.filter("keep", input, |r: &NodeReading| r.1 % 3 != 0);
+                q.map_one("scale", kept, |r: &NodeReading| (r.0, r.1 * 2))
+            }
+        };
+        Ok(q.aggregate(
+            name,
+            staged,
+            spec,
+            |r: &NodeReading| r.0,
+            |w: &WindowView<'_, u32, NodeReading, GlMeta>| {
+                (*w.key, w.payloads().map(|p| p.1).sum::<i64>())
+            },
+        ))
+    }
+}
+
+impl WireEncode for ShardOpSpec {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match *self {
+            ShardOpSpec::SumAggregate { size_ms, slide_ms } => {
+                0u8.encode(out);
+                size_ms.encode(out);
+                slide_ms.encode(out);
+            }
+            ShardOpSpec::FilteredScaledSum { size_ms, slide_ms } => {
+                1u8.encode(out);
+                size_ms.encode(out);
+                slide_ms.encode(out);
+            }
+        }
+    }
+}
+
+impl WireDecode for ShardOpSpec {
+    fn decode(reader: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let tag = u8::decode(reader)?;
+        let size_ms = u64::decode(reader)?;
+        let slide_ms = u64::decode(reader)?;
+        match tag {
+            0 => Ok(ShardOpSpec::SumAggregate { size_ms, slide_ms }),
+            1 => Ok(ShardOpSpec::FilteredScaledSum { size_ms, slide_ms }),
+            other => Err(WireError::new(format!("unknown shard op tag {other}"))),
+        }
+    }
+}
+
+/// Everything a node needs to host its slice of one distributed shard group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeDeployment {
+    /// Logical name of the shard group (used for operator names, shard-group
+    /// report folding and the node's metrics keys).
+    pub group: String,
+    /// Global shard indices this node hosts, in the channel order of the
+    /// connection's mux.
+    pub shards: Vec<u32>,
+    /// Total number of shards in the group, across all nodes.
+    pub total_shards: u32,
+    /// GeneaLog id-namespace base: shard `g` runs under instance
+    /// `first_instance + g`. The origin must use a namespace outside
+    /// `first_instance..first_instance + total_shards`.
+    pub first_instance: u32,
+    /// Whether the node's engines fuse adjacent stateless stages.
+    pub fusion: bool,
+    /// The operator every shard runs.
+    pub op: ShardOpSpec,
+}
+
+impl WireEncode for NodeDeployment {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.group.encode(out);
+        self.shards.encode(out);
+        self.total_shards.encode(out);
+        self.first_instance.encode(out);
+        self.fusion.encode(out);
+        self.op.encode(out);
+    }
+}
+
+impl WireDecode for NodeDeployment {
+    fn decode(reader: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let deployment = NodeDeployment {
+            group: String::decode(reader)?,
+            shards: Vec::decode(reader)?,
+            total_shards: u32::decode(reader)?,
+            first_instance: u32::decode(reader)?,
+            fusion: bool::decode(reader)?,
+            op: ShardOpSpec::decode(reader)?,
+        };
+        if deployment.shards.is_empty() {
+            return Err(WireError::new("a node deployment must host shards"));
+        }
+        if deployment
+            .shards
+            .iter()
+            .any(|&g| g >= deployment.total_shards)
+        {
+            return Err(WireError::new(format!(
+                "shard index out of range for a {}-shard group",
+                deployment.total_shards
+            )));
+        }
+        Ok(deployment)
+    }
+}
+
+/// Discard half used where the mux only runs in one direction over a socket:
+/// the node never *sends* on the client → node mux, and never *receives* on
+/// the node → client one.
+#[derive(Clone)]
+struct NullSink;
+
+impl FrameSink for NullSink {
+    fn send_frame(&self, _frame: Vec<u8>) -> bool {
+        false
+    }
+}
+
+struct NullSource;
+
+impl FrameSource for NullSource {
+    fn recv_frame(&self) -> Option<Vec<u8>> {
+        None
+    }
+}
+
+fn invalid(err: impl std::fmt::Display) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, err.to_string())
+}
+
+fn runtime(err: impl std::fmt::Display) -> io::Error {
+    io::Error::other(err.to_string())
+}
+
+/// Serves one deployment connection: reads the [`NodeDeployment`] frame,
+/// acknowledges it, hosts the requested shards until they drain, and returns
+/// their reports in hosted-shard order.
+///
+/// The hosted engines' registries are mirrored into `registry` (the node's
+/// long-lived registry, normally the one behind its control endpoint) as
+/// remote instances keyed `{group}[{shard}]`, so `GET /metrics` on the node
+/// shows the live counters of everything it hosts.
+///
+/// # Errors
+/// Fails on a malformed handshake or socket setup. A shard engine failing
+/// mid-deployment (e.g. its links severed) is *not* an error here: the failure
+/// already propagated to the origin through the closed links, the node stays
+/// up, and the failed shard's report is simply absent from the result.
+pub fn serve_node_connection(
+    stream: TcpStream,
+    registry: &Arc<MetricsRegistry>,
+    network: NetworkConfig,
+) -> io::Result<Vec<QueryReport>> {
+    let mut stream = stream;
+    apply_socket_options(&stream, &network)?;
+    let frame = match read_frame(&mut stream)? {
+        ReadOutcome::Frame(frame) => frame,
+        ReadOutcome::Goodbye => return Ok(Vec::new()),
+    };
+    let deployment = NodeDeployment::from_bytes(&frame).map_err(invalid)?;
+    write_frame(&mut stream, ACK)?;
+
+    let k = deployment.shards.len();
+    let (tx, _tx_stats) = TcpSender::from_stream(stream.try_clone()?, None, network);
+    let rx = TcpReceiver::from_stream(stream, None, network);
+    let recv_stats = Arc::new(LinkStats::default());
+    recv_stats.export_dropped_frames(registry, &format!("{}.node", deployment.group));
+    // Client → node: one receiver per hosted shard (the senders go unused).
+    let (_unused_txs, forward_rxs) = SharedLink::over(k, NullSink, rx, Arc::clone(&recv_stats));
+    // Node → client: data, provenance and metrics channels per hosted shard
+    // (the receivers go unused).
+    let (back_txs, _unused_rxs) = SharedLink::over(3 * k, tx, NullSource, recv_stats);
+
+    let mut handles = Vec::with_capacity(k);
+    let mut shippers = Vec::with_capacity(k);
+    let mut mirrors = Vec::with_capacity(k);
+    for (j, forward_rx) in forward_rxs.into_iter().enumerate() {
+        let global = deployment.shards[j];
+        let group = deployment.group.as_str();
+        let gl = GeneaLog::for_instance(deployment.first_instance + global);
+        let config = QueryConfig::default()
+            .with_fusion(deployment.fusion)
+            .with_metrics(true);
+        let mut q = Query::with_config(gl, config);
+        let received: StreamRef<NodeReading, GlMeta> =
+            add_receive(&mut q, &format!("{group}.recv"), forward_rx);
+        let out = deployment
+            .op
+            .build(&mut q, group, received)
+            .map_err(invalid)?;
+        let (to_send, unfolded) = attach_unfolder(&mut q, &format!("{group}.su"), out);
+        add_send(
+            &mut q,
+            &format!("{group}.send"),
+            to_send,
+            back_txs[j].clone(),
+        );
+        let events = q.map_one(
+            &format!("{group}.su.events"),
+            unfolded,
+            |u: &UnfoldedTuple<NodeReading>| u.to_event::<NodeReading>().to_upstream(),
+        );
+        add_send(
+            &mut q,
+            &format!("{group}.send.prov"),
+            events,
+            back_txs[k + j].clone(),
+        );
+        let handle = q.deploy().map_err(runtime)?;
+        shippers.push(spawn_metrics_shipper(
+            handle.registry(),
+            back_txs[2 * k + j].clone(),
+            handle.completion(),
+        ));
+        // Mirror the engine's registry into the node's own, so the node's
+        // control endpoint exposes what it hosts while it runs.
+        let completion = handle.completion();
+        let engine_registry = handle.registry();
+        let node_registry = Arc::clone(registry);
+        let key = format!("{group}[{global}]");
+        mirrors.push(std::thread::spawn(move || loop {
+            if let Some(samples) = decode_samples(&engine_registry.encode_snapshot()) {
+                node_registry.install_remote(&key, samples);
+            }
+            if completion.is_finished() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }));
+        handles.push(handle);
+    }
+    // The queries own their mux sender clones; dropping ours lets the goodbye
+    // sentinel fire once the last shipper finishes.
+    drop(back_txs);
+
+    let mut reports = Vec::with_capacity(k);
+    for (j, handle) in handles.into_iter().enumerate() {
+        match handle.wait() {
+            Ok(report) => reports.push(report),
+            Err(err) => Tracer::global().emit(
+                "node-shard-failed",
+                format!("{}[{}]", deployment.group, deployment.shards[j]),
+                format!("hosted shard failed: {err}"),
+            ),
+        }
+    }
+    for shipper in shippers {
+        shipper.stop();
+    }
+    for mirror in mirrors {
+        let _ = mirror.join();
+    }
+    Ok(reports)
+}
+
+/// Runs a node's accept loop: every connection is served to completion with
+/// [`serve_node_connection`], sequentially. `max_deployments` bounds how many
+/// connections are served before returning (`None` = forever) — the `--once`
+/// flag of the `spe-node` binary.
+///
+/// # Errors
+/// Fails if the listener breaks. Per-connection handshake errors are traced
+/// and skipped; a node outlives a misbehaving client.
+pub fn run_node(
+    listener: TcpListener,
+    registry: &Arc<MetricsRegistry>,
+    network: NetworkConfig,
+    max_deployments: Option<usize>,
+) -> io::Result<()> {
+    for (served, stream) in listener.incoming().enumerate() {
+        match stream.and_then(|s| serve_node_connection(s, registry, network)) {
+            Ok(_) => {}
+            Err(err) => {
+                Tracer::global().emit("node-connection-failed", "spe-node", err.to_string());
+            }
+        }
+        if max_deployments.is_some_and(|max| served + 1 >= max) {
+            break;
+        }
+    }
+    Ok(())
+}
+
+fn dial(addr: SocketAddr, config: &NetworkConfig) -> io::Result<TcpStream> {
+    let mut backoff = config.reconnect_backoff;
+    let mut attempt = 0u32;
+    loop {
+        match TcpStream::connect_timeout(&addr, config.connect_timeout) {
+            Ok(stream) => return Ok(stream),
+            Err(err) if attempt >= config.reconnect_attempts => return Err(err),
+            Err(_) => {
+                attempt += 1;
+                std::thread::sleep(backoff);
+                backoff = backoff.checked_mul(2).unwrap_or(backoff);
+            }
+        }
+    }
+}
+
+fn client_error(err: impl std::fmt::Display) -> SpeError {
+    SpeError::Runtime {
+        operator: "spe-node-client".into(),
+        message: err.to_string(),
+    }
+}
+
+/// Dials the `spe-node` processes of a distributed GeneaLog shard group and
+/// returns the same [`GlShardGroup`] the in-process builders produce: the
+/// placements (in global shard order) for `place`/`sharded_aggregate_placed`,
+/// the group handle for metrics streaming, and the per-shard provenance links
+/// for [`logical_shard_provenance_sink`](crate::deployment::logical_shard_provenance_sink).
+///
+/// `nodes` maps each node address to the global shard indices it hosts; the
+/// lists must partition `0..total_shards` of `deployment_for(node)`. The
+/// deployment sent to node `n` is `template` with its `shards` replaced by
+/// `n`'s list. Calling [`RemoteShardGroup::wait`] on the result joins no local
+/// engines (they run in the node processes) but drains the metrics pumps.
+///
+/// # Errors
+/// Fails when a node cannot be reached within the configured
+/// connect/reconnect budget, rejects the handshake, or the shard lists do not
+/// partition the group.
+pub fn connect_gl_node_group(
+    template: &NodeDeployment,
+    nodes: &[(SocketAddr, Vec<u32>)],
+    network: NetworkConfig,
+) -> Result<GlShardGroup<NodeReading, NodeReading>, SpeError> {
+    let total = template.total_shards as usize;
+    let mut seen = vec![false; total];
+    for (_, shards) in nodes {
+        for &g in shards {
+            let slot = seen
+                .get_mut(g as usize)
+                .ok_or_else(|| client_error(format!("shard {g} out of range")))?;
+            if std::mem::replace(slot, true) {
+                return Err(client_error(format!("shard {g} assigned twice")));
+            }
+        }
+    }
+    if seen.iter().any(|hosted| !hosted) {
+        return Err(client_error(format!(
+            "the node shard lists must partition 0..{total}"
+        )));
+    }
+
+    let mut placements: Vec<Option<_>> = (0..total).map(|_| None).collect();
+    let mut links: Vec<Option<ShardLinks>> = (0..total).map(|_| None).collect();
+    let mut provenance_links: Vec<Option<Box<dyn FrameSource>>> =
+        (0..total).map(|_| None).collect();
+    let mut metrics_rxs: Vec<Option<Box<dyn FrameSource>>> = (0..total).map(|_| None).collect();
+    for (addr, shards) in nodes {
+        let k = shards.len();
+        let deployment = NodeDeployment {
+            shards: shards.clone(),
+            ..template.clone()
+        };
+        let mut stream = dial(*addr, &network).map_err(client_error)?;
+        apply_socket_options(&stream, &network).map_err(client_error)?;
+        write_frame(&mut stream, &deployment.to_bytes()).map_err(client_error)?;
+        match read_frame(&mut stream).map_err(client_error)? {
+            ReadOutcome::Frame(ack) if ack == ACK => {}
+            ReadOutcome::Frame(_) => {
+                return Err(client_error(format!("node {addr} sent a malformed ack")))
+            }
+            ReadOutcome::Goodbye => {
+                return Err(client_error(format!(
+                    "node {addr} closed during the handshake"
+                )))
+            }
+        }
+        let (tx, forward_stats) =
+            TcpSender::from_stream(stream.try_clone().map_err(client_error)?, None, network);
+        let rx = TcpReceiver::from_stream(stream, None, network);
+        let back_stats = Arc::new(LinkStats::default());
+        // Client → node: one sender per hosted shard (the receivers go unused).
+        let (forward_txs, _unused_rxs) =
+            SharedLink::over(k, tx, NullSource, Arc::clone(&back_stats));
+        // Node → client: data, provenance and metrics per hosted shard (the
+        // senders go unused).
+        let (_unused_txs, back_rxs) =
+            SharedLink::over(3 * k, NullSink, rx, Arc::clone(&back_stats));
+        let mut back_rxs = back_rxs.into_iter();
+        let data_rxs: Vec<_> = back_rxs.by_ref().take(k).collect();
+        let prov_rxs: Vec<_> = back_rxs.by_ref().take(k).collect();
+        let m_rxs: Vec<_> = back_rxs.collect();
+        for (((&g, forward_tx), (data_rx, prov_rx)), metrics_rx) in shards
+            .iter()
+            .zip(forward_txs)
+            .zip(data_rxs.into_iter().zip(prov_rxs))
+            .zip(m_rxs)
+        {
+            let g = g as usize;
+            placements[g] = Some(splice_remote_shard::<
+                GeneaLog,
+                NodeReading,
+                NodeReading,
+                _,
+                _,
+            >(&template.group, total, forward_tx, data_rx));
+            links[g] = Some(ShardLinks {
+                forward: Arc::clone(&forward_stats),
+                back: Arc::clone(&back_stats),
+            });
+            provenance_links[g] = Some(Box::new(prov_rx) as Box<dyn FrameSource>);
+            metrics_rxs[g] = Some(Box::new(metrics_rx) as Box<dyn FrameSource>);
+        }
+    }
+
+    Ok(GlShardGroup {
+        placements: placements
+            .into_iter()
+            .map(|p| p.expect("partition checked"))
+            .collect(),
+        group: RemoteShardGroup::from_parts(
+            Vec::new(),
+            links
+                .into_iter()
+                .map(|l| l.expect("partition checked"))
+                .collect(),
+            Vec::new(),
+            metrics_rxs
+                .into_iter()
+                .map(|rx| rx.expect("partition checked"))
+                .collect(),
+        ),
+        provenance_links: provenance_links
+            .into_iter()
+            .map(|rx| rx.expect("partition checked"))
+            .collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_deployments_round_trip_on_the_wire() {
+        let deployment = NodeDeployment {
+            group: "sum".into(),
+            shards: vec![0, 2],
+            total_shards: 3,
+            first_instance: 1,
+            fusion: true,
+            op: ShardOpSpec::FilteredScaledSum {
+                size_ms: 8_000,
+                slide_ms: 4_000,
+            },
+        };
+        let decoded = NodeDeployment::from_bytes(&deployment.to_bytes()).expect("decode");
+        assert_eq!(decoded, deployment);
+    }
+
+    #[test]
+    fn corrupt_node_deployments_are_rejected() {
+        let deployment = NodeDeployment {
+            group: "sum".into(),
+            shards: vec![0],
+            total_shards: 1,
+            first_instance: 1,
+            fusion: false,
+            op: ShardOpSpec::SumAggregate {
+                size_ms: 1_000,
+                slide_ms: 1_000,
+            },
+        };
+        let bytes = deployment.to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                NodeDeployment::from_bytes(&bytes[..cut]).is_err(),
+                "truncation at {cut} must fail"
+            );
+        }
+        // Out-of-range shard indices and unknown op tags are semantic errors.
+        let out_of_range = NodeDeployment {
+            shards: vec![5],
+            ..deployment.clone()
+        };
+        assert!(NodeDeployment::from_bytes(&out_of_range.to_bytes()).is_err());
+        let mut bad_op = deployment.to_bytes();
+        let op_tag_at = bad_op.len() - 17; // u8 tag + two u64 fields
+        bad_op[op_tag_at] = 9;
+        assert!(NodeDeployment::from_bytes(&bad_op).is_err());
+    }
+}

@@ -25,7 +25,7 @@ pub struct WireError {
 }
 
 impl WireError {
-    fn new(message: impl Into<String>) -> Self {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
         WireError {
             message: message.into(),
         }
@@ -113,7 +113,12 @@ macro_rules! impl_wire_int {
             impl WireDecode for $ty {
                 fn decode(reader: &mut WireReader<'_>) -> Result<Self, WireError> {
                     let bytes = reader.take(std::mem::size_of::<$ty>())?;
-                    Ok(<$ty>::from_le_bytes(bytes.try_into().expect("exact slice")))
+                    // `take` guarantees the width, but decode paths must never be
+                    // able to panic on wire input: map the conversion instead.
+                    let bytes = bytes
+                        .try_into()
+                        .map_err(|_| WireError::new("integer width mismatch"))?;
+                    Ok(<$ty>::from_le_bytes(bytes))
                 }
             }
         )*
@@ -183,6 +188,16 @@ impl<T: WireEncode> WireEncode for Vec<T> {
 impl<T: WireDecode> WireDecode for Vec<T> {
     fn decode(reader: &mut WireReader<'_>) -> Result<Self, WireError> {
         let len = u32::decode(reader)? as usize;
+        // Every non-zero-sized element consumes at least one byte on the wire,
+        // so a length prefix past the frame's remaining bytes can only be
+        // corruption: fail fast instead of looping over it (the capacity below
+        // is clamped for the same reason — never trust the prefix alone).
+        if std::mem::size_of::<T>() != 0 && len > reader.remaining() {
+            return Err(WireError::new(format!(
+                "sequence length {len} exceeds the {} bytes remaining",
+                reader.remaining()
+            )));
+        }
         let mut items = Vec::with_capacity(len.min(1_024));
         for _ in 0..len {
             items.push(T::decode(reader)?);
@@ -499,6 +514,19 @@ mod tests {
         assert!(u32::from_bytes(&[1, 2]).is_err());
         let err = OpKind::from_bytes(&[99]).unwrap_err();
         assert!(err.to_string().contains("unknown OpKind"));
+    }
+
+    #[test]
+    fn corrupt_sequence_lengths_fail_fast() {
+        // A length prefix claiming 4 billion elements in a 4-byte frame must be
+        // rejected on the prefix alone, without looping or allocating for it.
+        let err = Vec::<u64>::from_bytes(&u32::MAX.to_le_bytes()).unwrap_err();
+        assert!(err.to_string().contains("exceeds"), "got: {err}");
+        // A plausible-but-wrong length still errors out on the missing element.
+        let mut buf = Vec::new();
+        2u32.encode(&mut buf);
+        1u8.encode(&mut buf);
+        assert!(Vec::<u8>::from_bytes(&buf).is_err());
     }
 
     #[test]

@@ -88,6 +88,37 @@ proptest! {
         prop_assert_eq!(decoded, frame);
     }
 
+    /// Random-truncated and randomly corrupted encodings of valid frames go
+    /// through `WireFrame` decode without ever panicking: every strict prefix is
+    /// a decode error, and a flipped byte either still parses (payload bytes) or
+    /// errors out — there is no input that can crash the Receive path.
+    #[test]
+    fn truncated_and_corrupted_frames_decode_to_errors_not_panics(
+        raw in proptest::collection::vec(
+            ((0u64..1 << 48, any::<u64>()), (any::<u32>(), any::<u64>(), any::<bool>()), (any::<u32>(), any::<i64>())),
+            0..8,
+        ),
+        cut_pick in any::<u32>(),
+        corrupt_pick in any::<u32>(),
+        flip in any::<u8>(),
+    ) {
+        let run: Vec<WireTuple<Payload>> = raw.into_iter().map(wire_tuple).collect();
+        let bytes = WireFrame::Tuples(run).to_bytes();
+        let cut = cut_pick as usize % bytes.len();
+        prop_assert!(
+            WireFrame::<Payload>::from_bytes(&bytes[..cut]).is_err(),
+            "strict prefix of {cut}/{} bytes must be a decode error",
+            bytes.len()
+        );
+        let mut corrupted = bytes.clone();
+        let at = corrupt_pick as usize % corrupted.len();
+        corrupted[at] ^= flip | 1;
+        // Not asserted Ok or Err — a flipped payload byte legitimately decodes to
+        // a different value. The assertion is that decode *returns*: a corrupt
+        // length prefix must neither panic nor over-allocate.
+        let _ = WireFrame::<Payload>::from_bytes(&corrupted);
+    }
+
     /// The REMOTE tagging rule under GeneaLog: a source tuple crossing the boundary
     /// stays `SOURCE` and keeps its sender-side id; a derived tuple becomes `REMOTE`
     /// but also keeps its sender-side id (the MU join key of Definition 6.4).

@@ -482,6 +482,7 @@ impl<P: ProvenanceSystem> Query<P> {
                 kind: n.kind.label().to_string(),
                 group: n.shard_group.as_ref().map(|g| g.name.clone()),
                 instances: n.shard_group.as_ref().map_or(1, |g| g.instances),
+                remote: matches!(n.kind.label(), "send" | "receive"),
             })
             .collect();
         let edges = self

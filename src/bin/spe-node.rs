@@ -1,0 +1,120 @@
+//! `spe-node`: the worker process of a real (multi-process) GeneaLog
+//! deployment.
+//!
+//! A node binds a TCP listener and serves shard deployments: each connection
+//! starts with one serialised `NodeDeployment` frame, is acknowledged, and then
+//! becomes the multiplexed data/provenance/metrics link for every shard the
+//! node hosts (see `genealog_distributed::node`). The origin side is
+//! `connect_gl_node_group`, which returns the same shard-group handle the
+//! in-process builders produce.
+//!
+//! ```text
+//! spe-node --listen ADDR [--control ADDR] [--once] [--ready-file PATH]
+//! ```
+//!
+//! * `--listen ADDR` — deployment listener address (e.g. `127.0.0.1:7401`,
+//!   port `0` for ephemeral). Required.
+//! * `--control ADDR` — also serve the node's control endpoint (`/metrics`,
+//!   `/healthz`) there; the hosted shards' registries are mirrored into it
+//!   while they run.
+//! * `--once` — serve exactly one deployment connection, then exit. Without
+//!   it the node accepts deployments forever.
+//! * `--ready-file PATH` — after binding, write the resolved listener address
+//!   (line 1) and control address (line 2, empty when `--control` is absent)
+//!   to `PATH`. Lets scripts and CI wait for startup without racing the bind.
+//!
+//! Exit code 0 on a clean `--once` run, 1 on argument or socket errors.
+
+use std::net::TcpListener;
+use std::process::ExitCode;
+
+use genealog_control::ControlPlane;
+use genealog_distributed::{run_node, NetworkConfig};
+use genealog_metrics::MetricsRegistry;
+
+struct Args {
+    listen: String,
+    control: Option<String>,
+    once: bool,
+    ready_file: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let mut listen = None;
+    let mut control = None;
+    let mut once = false;
+    let mut ready_file = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--listen" => listen = Some(args.next().ok_or("--listen needs an address")?),
+            "--control" => control = Some(args.next().ok_or("--control needs an address")?),
+            "--once" => once = true,
+            "--ready-file" => {
+                ready_file = Some(args.next().ok_or("--ready-file needs a path")?);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(Args {
+        listen: listen.ok_or("--listen is required")?,
+        control,
+        once,
+        ready_file,
+    })
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let listener = TcpListener::bind(&args.listen)
+        .map_err(|err| format!("cannot bind deployment listener on {}: {err}", args.listen))?;
+    let listen_addr = listener
+        .local_addr()
+        .map_err(|err| format!("listener has no local address: {err}"))?;
+    println!("spe-node: deployments on {listen_addr}");
+
+    let registry = MetricsRegistry::new();
+    let control = match &args.control {
+        Some(addr) => {
+            let server = ControlPlane::new(registry.clone())
+                .serve_on(addr)
+                .map_err(|err| format!("cannot serve control endpoint on {addr}: {err}"))?;
+            println!("spe-node: control endpoint on {}", server.url(""));
+            Some(server)
+        }
+        None => None,
+    };
+
+    if let Some(path) = &args.ready_file {
+        let control_line = control
+            .as_ref()
+            .map_or(String::new(), |s| s.addr().to_string());
+        std::fs::write(path, format!("{listen_addr}\n{control_line}\n"))
+            .map_err(|err| format!("cannot write ready file {path}: {err}"))?;
+    }
+
+    let max = args.once.then_some(1);
+    let result = run_node(listener, &registry, NetworkConfig::unlimited(), max)
+        .map_err(|err| format!("deployment listener failed: {err}"));
+    if let Some(server) = control {
+        server.shutdown();
+    }
+    result
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(reason) => {
+            println!("spe-node: {reason}");
+            println!("usage: spe-node --listen ADDR [--control ADDR] [--once] [--ready-file PATH]");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(reason) => {
+            println!("spe-node failed: {reason}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -108,7 +108,7 @@ fn control_endpoint_serves_live_metrics_and_provenance_of_a_spanning_query() {
         .source("readings", VecSource::new(readings()))
         .aggregate("sum", window_spec(), sum_key, sum_window, |o: &Reading| o.0)
         .place(placements);
-    let (out, provenance) = logical_shard_provenance_sink::<Reading, Reading>(
+    let (out, provenance) = logical_shard_provenance_sink::<Reading, Reading, _>(
         sums,
         "prov",
         shards.provenance_links,

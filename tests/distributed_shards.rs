@@ -18,9 +18,10 @@ use proptest::prelude::*;
 
 use genealog::prelude::*;
 use genealog_distributed::deployment::{
-    instances_dot, logical_shard_provenance_sink, remote_shard_group, remote_shard_group_gl,
+    instances_dot, logical_shard_provenance_sink, remote_shard_group, remote_shard_group_gl_over,
+    ShardTransport, SimulatedTransport,
 };
-use genealog_distributed::NetworkConfig;
+use genealog_distributed::{NetworkConfig, TcpLoopbackTransport};
 use genealog_spe::logical::LogicalPlan;
 use genealog_spe::operator::aggregate::WindowView;
 use genealog_spe::parallel::Parallelism;
@@ -88,20 +89,33 @@ fn run_gl_local(reports: &[(Timestamp, Reading)]) -> (Vec<SinkTuple>, Vec<Lineag
 }
 
 /// The distributed plan: every shard of the aggregate runs on its own remote SPE
-/// instance; lineage is stitched across the REMOTE boundary by the MU.
+/// instance; lineage is stitched across the REMOTE boundary by the MU. Runs over
+/// the in-process [`SimulatedTransport`].
 fn run_gl_remote(
     reports: &[(Timestamp, Reading)],
     instances: usize,
     fused_stages: bool,
 ) -> (Vec<SinkTuple>, Vec<Lineage>) {
+    let transport = SimulatedTransport::new(NetworkConfig::unlimited());
+    run_gl_remote_over(reports, instances, fused_stages, &transport)
+}
+
+/// [`run_gl_remote`] with the link substrate swapped in: the same plan must hold
+/// over any [`ShardTransport`], real loopback TCP sockets included.
+fn run_gl_remote_over(
+    reports: &[(Timestamp, Reading)],
+    instances: usize,
+    fused_stages: bool,
+    transport: &dyn ShardTransport,
+) -> (Vec<SinkTuple>, Vec<Lineage>) {
     // Remote engines get fusion so the (optional) stateless stages inside a shard
     // collapse into one thread there — results must not change either way.
     let remote_config = QueryConfig::default().with_fusion(fused_stages);
-    let shards = remote_shard_group_gl::<Reading, Reading, _>(
+    let shards = remote_shard_group_gl_over::<Reading, Reading, _>(
         "sum",
         instances,
         1, // remote instances use GeneaLog id namespaces 1..=instances
-        NetworkConfig::unlimited(),
+        transport,
         remote_config,
         move |rq, _i, input| {
             let staged = if fused_stages {
@@ -120,7 +134,7 @@ fn run_gl_remote(
         .source("readings", VecSource::new(reports.to_vec()))
         .aggregate("sum", window_spec(), sum_key, sum_window, |o: &Reading| o.0)
         .place(shards.placements);
-    let (out, provenance) = logical_shard_provenance_sink::<Reading, Reading>(
+    let (out, provenance) = logical_shard_provenance_sink::<Reading, Reading, _>(
         sums,
         "prov",
         shards.provenance_links,
@@ -223,6 +237,35 @@ proptest! {
     fn fused_stages_inside_remote_shards_are_equivalent(reports in keyed_readings()) {
         let (local_tuples, local_lineage) = run_gl_local_staged(&reports);
         let (remote_tuples, remote_lineage) = run_gl_remote(&reports, 2, true);
+        prop_assert_eq!(local_tuples, remote_tuples);
+        prop_assert_eq!(local_lineage, remote_lineage);
+    }
+}
+
+proptest! {
+    // Real sockets per case are slower than channels; fewer cases keep the suite
+    // within the tier-1 budget while still randomising keys and timestamps.
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// The same tentpole guarantee over *real loopback TCP sockets*: substituting
+    /// the simulated links with length-delimited frames over `TcpLink` changes
+    /// neither the sink bytes nor the GeneaLog contribution sets.
+    #[test]
+    fn tcp_remote_shards_equal_local_over_loopback_sockets(reports in keyed_readings()) {
+        let transport = TcpLoopbackTransport::new(NetworkConfig::unlimited());
+        let (local_tuples, local_lineage) = run_gl_local(&reports);
+        let (remote_tuples, remote_lineage) = run_gl_remote_over(&reports, 3, false, &transport);
+        prop_assert_eq!(local_tuples, remote_tuples);
+        prop_assert_eq!(local_lineage, remote_lineage);
+    }
+
+    /// Fused remote stages over TCP: stage fusion inside the remote instance and a
+    /// real socket under the link compose without changing results or lineage.
+    #[test]
+    fn tcp_fused_remote_shards_are_equivalent(reports in keyed_readings()) {
+        let transport = TcpLoopbackTransport::new(NetworkConfig::unlimited());
+        let (local_tuples, local_lineage) = run_gl_local_staged(&reports);
+        let (remote_tuples, remote_lineage) = run_gl_remote_over(&reports, 2, true, &transport);
         prop_assert_eq!(local_tuples, remote_tuples);
         prop_assert_eq!(local_lineage, remote_lineage);
     }

@@ -25,8 +25,9 @@ use proptest::prelude::*;
 use genealog::prelude::*;
 use genealog_distributed::deployment::{
     logical_shard_provenance_sink, remote_shard_group_gl_with_faults,
+    remote_shard_group_gl_with_faults_over,
 };
-use genealog_distributed::{FaultPlan, LinkFaults, NetworkConfig, OneShot};
+use genealog_distributed::{FaultPlan, LinkFaults, NetworkConfig, OneShot, TcpLoopbackTransport};
 use genealog_spe::operator::aggregate::WindowView;
 use genealog_spe::query::{QueryConfig, ShardPlacement};
 use genealog_spe::state::{run_with_recovery, CheckpointConfig, CheckpointStore, RecoveryConfig};
@@ -227,7 +228,7 @@ fn run_remote(
                 .source("readings", VecSource::new(reports.to_vec()))
                 .aggregate("sum", window_spec(), sum_key, sum_window, |o: &Reading| o.0)
                 .place(shards.placements);
-            let (out, provenance) = logical_shard_provenance_sink::<Reading, Reading>(
+            let (out, provenance) = logical_shard_provenance_sink::<Reading, Reading, _>(
                 sums,
                 "prov",
                 shards.provenance_links,
@@ -238,6 +239,105 @@ fn run_remote(
         })
         .expect("recovery must succeed within the attempt budget");
     // The winning attempt's remote engines drain clean.
+    group.wait().expect("winning attempt's remote instances");
+
+    let tuples = canonical_tuples(&sink);
+    let mut lineage: Vec<Lineage> = provenance
+        .records()
+        .iter()
+        .map(|r| {
+            let key = (r.sink_ts.as_millis(), format!("{:?}", r.sink_data));
+            let sources: BTreeSet<SinkTuple> = r
+                .sources
+                .iter()
+                .map(|s| (s.ts.as_millis(), format!("{:?}", s.data)))
+                .collect();
+            (key, sources)
+        })
+        .collect();
+    lineage.sort();
+    let recoveries = store.recoveries();
+    Run {
+        tuples,
+        lineage,
+        recoveries,
+        fault_fired: recoveries > 0,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario C: a real TCP socket dies mid-epoch
+// ---------------------------------------------------------------------------
+
+/// [`run_remote`] with real loopback sockets under the links. `kill` severs shard
+/// 0's return *socket* — `shutdown(2)` mid-stream, no goodbye sentinel, exactly
+/// what a crashed peer or yanked cable looks like to the origin — before its
+/// `kill`-th data frame, on the first attempt only. The origin's ingress observes
+/// the dropped connection as a link-severed close (the socket equivalent of
+/// `FaultPlan::sever`), fences the store and fails the attempt; the rebuild dials
+/// fresh sockets, restores from the latest complete epoch and replays.
+fn run_remote_tcp(
+    reports: &[(Timestamp, Reading)],
+    instances: usize,
+    fusion: bool,
+    kill: Option<u64>,
+) -> Run {
+    let store = CheckpointStore::in_memory();
+    let origin_system = GeneaLog::for_instance(0);
+    let remote_systems: Vec<GeneaLog> = (0..instances)
+        .map(|i| GeneaLog::for_instance(1 + i as u32))
+        .collect();
+
+    let (_, (sink, provenance, group)) =
+        run_with_recovery(&store, RecoveryConfig::default(), |attempt| {
+            // Sockets cannot outlive a failed attempt: each rebuild listens and
+            // dials afresh, so the transport is constructed per attempt, armed
+            // only on the first.
+            let mut transport = TcpLoopbackTransport::new(NetworkConfig::unlimited());
+            if let (Some(before_frame), 0) = (kill, attempt) {
+                transport = transport.with_return_kill(0, before_frame);
+            }
+            let store_remote = Arc::clone(&store);
+            let remote_systems = remote_systems.clone();
+            let shards = remote_shard_group_gl_with_faults_over::<Reading, Reading, _, _, _>(
+                "sum",
+                instances,
+                move |i| remote_systems[i].clone(),
+                &transport,
+                QueryConfig::default(),
+                |_| LinkFaults::none(),
+                move |rq, i, input| {
+                    rq.set_checkpoints(CheckpointConfig::new(INTERVAL, Arc::clone(&store_remote)));
+                    rq.aggregate(
+                        &format!("sum[{i}]"),
+                        input,
+                        window_spec(),
+                        sum_key,
+                        sum_window,
+                    )
+                },
+            )?;
+
+            let plan = GlPlan::with_config(
+                origin_system.clone(),
+                PlannerConfig::default()
+                    .with_fusion(fusion)
+                    .with_checkpoints(CheckpointConfig::new(INTERVAL, Arc::clone(&store))),
+            );
+            let sums = plan
+                .source("readings", VecSource::new(reports.to_vec()))
+                .aggregate("sum", window_spec(), sum_key, sum_window, |o: &Reading| o.0)
+                .place(shards.placements);
+            let (out, provenance) = logical_shard_provenance_sink::<Reading, Reading, _>(
+                sums,
+                "prov",
+                shards.provenance_links,
+                Duration::from_hours(24),
+            );
+            let sink = out.collecting_sink("sink");
+            Ok((plan.deploy()?, (sink, provenance, shards.group)))
+        })
+        .expect("recovery must succeed within the attempt budget");
     group.wait().expect("winning attempt's remote instances");
 
     let tuples = canonical_tuples(&sink);
@@ -339,6 +439,32 @@ proptest! {
                 prop_assert_eq!(&clean.lineage, &recovered.lineage);
             }
         }
+    }
+}
+
+/// **Kill a real TCP socket between two barriers.** The distributed plan runs over
+/// loopback sockets; shard 0's return socket is shut down mid-epoch (no goodbye
+/// sentinel, exactly like a crashed node), before its 2nd data frame — i.e.
+/// between the first two barrier-delimited epochs of the stream. The dropped
+/// socket must flow through the ingress as a link-severed close, push the run
+/// through `run_with_recovery`, and the re-dialed attempt must produce the
+/// identical sink bytes and stitched GeneaLog contribution sets as a fault-free
+/// TCP run of the same plan.
+#[test]
+fn severed_tcp_socket_mid_epoch_recovers_byte_identically() {
+    let reports: Vec<(Timestamp, Reading)> = (0..28u64)
+        .map(|i| (Timestamp::from_secs(i), ((i % 3) as Key, i as i64 - 10)))
+        .collect();
+    for instances in [1usize, 2] {
+        let clean = run_remote_tcp(&reports, instances, true, None);
+        assert_eq!(clean.recoveries, 0, "fault-free TCP run must not recover");
+        let recovered = run_remote_tcp(&reports, instances, true, Some(2));
+        assert!(
+            recovered.fault_fired,
+            "the socket shutdown must push the run through recovery"
+        );
+        assert_eq!(clean.tuples, recovered.tuples);
+        assert_eq!(clean.lineage, recovered.lineage);
     }
 }
 

@@ -205,7 +205,7 @@ fn new_gl_remote(
         .source("readings", VecSource::new(reports.to_vec()))
         .aggregate("sum", window_spec(), sum_key, sum_window, sum_key)
         .place(group.placements);
-    let (out, provenance) = logical_shard_provenance_sink::<Reading, Reading>(
+    let (out, provenance) = logical_shard_provenance_sink::<Reading, Reading, _>(
         sums,
         "prov",
         group.provenance_links,

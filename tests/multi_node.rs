@@ -1,0 +1,307 @@
+//! Real multi-node deployment, end to end over loopback sockets: two `spe-node`
+//! accept loops (the library behind the `spe-node` binary) each host part of one
+//! GeneaLog shard group, the origin connects with [`connect_gl_node_group`], and
+//! the deployment must be invisible against the local single-instance oracle:
+//!
+//! * **sink bytes** — identical tuples in the identical canonical order;
+//! * **GeneaLog contribution sets** — identical per-sink-tuple source sets,
+//!   stitched across two real process-boundary-shaped sockets by the MU;
+//! * **metrics** — each node's registry ends up with the mirrored counters of
+//!   the shards it hosted, and the origin registry folds the shipped deltas of
+//!   every remote instance into the spanning query's exposition.
+
+use std::collections::BTreeSet;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::Arc;
+
+use genealog::prelude::*;
+use genealog_distributed::deployment::logical_shard_provenance_sink;
+use genealog_distributed::{
+    connect_gl_node_group, run_node, NetworkConfig, NodeDeployment, NodeReading, ShardOpSpec,
+};
+use genealog_metrics::MetricsRegistry;
+use genealog_spe::operator::aggregate::WindowView;
+use genealog_spe::parallel::Parallelism;
+
+type Reading = NodeReading;
+/// `(ts_millis, debug-rendered payload)` — the byte-level identity of a sink tuple.
+type SinkTuple = (u64, String);
+/// A sink tuple plus the canonical set of source tuples contributing to it.
+type Lineage = (SinkTuple, BTreeSet<SinkTuple>);
+
+/// Must match `ShardOpSpec::SumAggregate { size_ms: 8_000, slide_ms: 4_000 }`.
+fn window_spec() -> WindowSpec {
+    WindowSpec::new(Duration::from_secs(8), Duration::from_secs(4)).unwrap()
+}
+
+fn sum_key(r: &Reading) -> u32 {
+    r.0
+}
+
+fn sum_window(w: &WindowView<'_, u32, Reading, GlMeta>) -> Reading {
+    (*w.key, w.payloads().map(|p| p.1).sum::<i64>())
+}
+
+fn readings() -> Vec<(Timestamp, Reading)> {
+    (0..36u64)
+        .map(|i| (Timestamp::from_secs(i), ((i % 3) as u32, i as i64 - 12)))
+        .collect()
+}
+
+fn canonical_lineage(
+    records: &[genealog_distributed::ProvenanceRecord<Reading, Reading>],
+) -> Vec<Lineage> {
+    let mut lineage: Vec<Lineage> = records
+        .iter()
+        .map(|r| {
+            let key = (r.sink_ts.as_millis(), format!("{:?}", r.sink_data));
+            let sources: BTreeSet<SinkTuple> = r
+                .sources
+                .iter()
+                .map(|s| (s.ts.as_millis(), format!("{:?}", s.data)))
+                .collect();
+            (key, sources)
+        })
+        .collect();
+    lineage.sort();
+    lineage
+}
+
+/// The single-instance reference plan.
+fn run_local() -> (Vec<SinkTuple>, Vec<Lineage>) {
+    let mut q = GlQuery::new(GeneaLog::new());
+    let src = q.source("readings", VecSource::new(readings()));
+    let sums = q.sharded_aggregate(
+        "sum",
+        src,
+        window_spec(),
+        sum_key,
+        sum_window,
+        |o: &Reading| o.0,
+        Parallelism::instances(1),
+    );
+    let (out, provenance) = attach_provenance_sink(&mut q, "prov", sums);
+    let sink = q.collecting_sink("sink", out);
+    q.deploy().unwrap().wait().unwrap();
+
+    let tuples = sink
+        .tuples()
+        .iter()
+        .map(|t| (t.ts.as_millis(), format!("{:?}", t.data)))
+        .collect();
+    let mut lineage: Vec<Lineage> = provenance
+        .assignments()
+        .iter()
+        .map(|a| {
+            let key = (a.sink_ts.as_millis(), format!("{:?}", a.sink_data));
+            let sources: BTreeSet<SinkTuple> = a
+                .source_records::<Reading>()
+                .iter()
+                .map(|r| (r.ts.as_millis(), format!("{:?}", r.data)))
+                .collect();
+            (key, sources)
+        })
+        .collect();
+    lineage.sort();
+    (tuples, lineage)
+}
+
+/// One in-process node: a bound listener plus the accept loop on its own thread,
+/// serving exactly one deployment before exiting — the `spe-node --once` shape.
+struct Node {
+    addr: SocketAddr,
+    registry: Arc<MetricsRegistry>,
+    thread: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+fn spawn_node() -> Node {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let registry = MetricsRegistry::new();
+    let node_registry = Arc::clone(&registry);
+    let thread = std::thread::spawn(move || {
+        run_node(
+            listener,
+            &node_registry,
+            NetworkConfig::unlimited(),
+            Some(1),
+        )
+    });
+    Node {
+        addr,
+        registry,
+        thread,
+    }
+}
+
+#[test]
+fn two_nodes_hosting_one_shard_group_match_the_local_oracle() {
+    let node_a = spawn_node();
+    let node_b = spawn_node();
+
+    let template = NodeDeployment {
+        group: "sum".into(),
+        shards: Vec::new(), // per-node lists below
+        total_shards: 3,
+        first_instance: 1, // origin is instance 0
+        fusion: false,
+        op: ShardOpSpec::SumAggregate {
+            size_ms: 8_000,
+            slide_ms: 4_000,
+        },
+    };
+    let shards = connect_gl_node_group(
+        &template,
+        &[(node_a.addr, vec![0, 2]), (node_b.addr, vec![1])],
+        NetworkConfig::unlimited(),
+    )
+    .unwrap();
+    let mut group = shards.group;
+
+    let plan = GlPlan::new(GeneaLog::for_instance(0));
+    let sums = plan
+        .source("readings", VecSource::new(readings()))
+        .aggregate("sum", window_spec(), sum_key, sum_window, |o: &Reading| o.0)
+        .place(shards.placements);
+    let (out, provenance) = logical_shard_provenance_sink::<Reading, Reading, _>(
+        sums,
+        "prov",
+        shards.provenance_links,
+        Duration::from_hours(24),
+    );
+    let sink = out.collecting_sink("sink");
+
+    // The origin folds every node-hosted shard's shipped registry deltas.
+    let analyzed = plan.analyze().unwrap();
+    assert!(
+        !analyzed.report.has_errors(),
+        "the spanning plan must analyze clean:\n{}",
+        analyzed.report.render()
+    );
+    let query = analyzed.query;
+    let registry = query.registry();
+    group.stream_metrics_into("sum", &registry);
+
+    query.deploy().unwrap().wait().unwrap();
+    group.wait().unwrap();
+    let (registry_a, registry_b) = (Arc::clone(&node_a.registry), Arc::clone(&node_b.registry));
+    node_a.thread.join().unwrap().unwrap();
+    node_b.thread.join().unwrap().unwrap();
+
+    // Sink bytes and stitched lineage equal the local single-instance oracle.
+    let (local_tuples, local_lineage) = run_local();
+    let remote_tuples: Vec<SinkTuple> = sink
+        .tuples()
+        .iter()
+        .map(|t| (t.ts.as_millis(), format!("{:?}", t.data)))
+        .collect();
+    assert!(!remote_tuples.is_empty());
+    assert_eq!(local_tuples, remote_tuples);
+    assert_eq!(local_lineage, canonical_lineage(&provenance.records()));
+
+    // The origin exposition saw the remote shards: the folded per-operator
+    // counter covers all 36 source tuples across both nodes.
+    let exposition = registry.render_prometheus();
+    let tuples_in = exposition
+        .lines()
+        .find_map(|l| l.strip_prefix("genealog_operator_tuples_in_total{operator=\"sum\"} "))
+        .and_then(|v| v.parse::<u64>().ok())
+        .expect("folded shard counter in the origin exposition");
+    assert_eq!(tuples_in, 36);
+
+    // Each node's own registry mirrors the shards it hosted (what its control
+    // endpoint would serve), under per-shard remote instance keys.
+    for (registry, hosted) in [(&registry_a, 24u64), (&registry_b, 12u64)] {
+        let exposition = registry.render_prometheus();
+        let node_tuples_in = exposition
+            .lines()
+            .find_map(|l| l.strip_prefix("genealog_operator_tuples_in_total{operator=\"sum\"} "))
+            .and_then(|v| v.parse::<u64>().ok())
+            .expect("mirrored shard counters in the node exposition");
+        assert_eq!(
+            node_tuples_in, hosted,
+            "a node's registry must mirror exactly the shards it hosted"
+        );
+    }
+}
+
+/// The staged catalogue entry (`FilteredScaledSum`) with node-side fusion on:
+/// filter → map collapse into one thread inside each hosted engine, and the
+/// result still matches the unfused local plan with the same stages.
+#[test]
+fn staged_node_shards_with_fusion_match_the_local_staged_oracle() {
+    let local = {
+        let mut q = GlQuery::new(GeneaLog::new());
+        let src = q.source("readings", VecSource::new(readings()));
+        let kept = q.filter("keep", src, |r: &Reading| r.1 % 3 != 0);
+        let scaled = q.map_one("scale", kept, |r: &Reading| (r.0, r.1 * 2));
+        let sums = q.aggregate("sum", scaled, window_spec(), sum_key, sum_window);
+        let (out, provenance) = attach_provenance_sink(&mut q, "prov", sums);
+        let sink = q.collecting_sink("sink", out);
+        q.deploy().unwrap().wait().unwrap();
+        let tuples: Vec<SinkTuple> = sink
+            .tuples()
+            .iter()
+            .map(|t| (t.ts.as_millis(), format!("{:?}", t.data)))
+            .collect();
+        let mut lineage: Vec<Lineage> = provenance
+            .assignments()
+            .iter()
+            .map(|a| {
+                let key = (a.sink_ts.as_millis(), format!("{:?}", a.sink_data));
+                let sources: BTreeSet<SinkTuple> = a
+                    .source_records::<Reading>()
+                    .iter()
+                    .map(|r| (r.ts.as_millis(), format!("{:?}", r.data)))
+                    .collect();
+                (key, sources)
+            })
+            .collect();
+        lineage.sort();
+        (tuples, lineage)
+    };
+
+    let node = spawn_node();
+    let template = NodeDeployment {
+        group: "sum".into(),
+        shards: Vec::new(),
+        total_shards: 2,
+        first_instance: 1,
+        fusion: true,
+        op: ShardOpSpec::FilteredScaledSum {
+            size_ms: 8_000,
+            slide_ms: 4_000,
+        },
+    };
+    let shards = connect_gl_node_group(
+        &template,
+        &[(node.addr, vec![0, 1])],
+        NetworkConfig::unlimited(),
+    )
+    .unwrap();
+
+    let plan = GlPlan::new(GeneaLog::for_instance(0));
+    let sums = plan
+        .source("readings", VecSource::new(readings()))
+        .aggregate("sum", window_spec(), sum_key, sum_window, |o: &Reading| o.0)
+        .place(shards.placements);
+    let (out, provenance) = logical_shard_provenance_sink::<Reading, Reading, _>(
+        sums,
+        "prov",
+        shards.provenance_links,
+        Duration::from_hours(24),
+    );
+    let sink = out.collecting_sink("sink");
+    plan.deploy().unwrap().wait().unwrap();
+    shards.group.wait().unwrap();
+    node.thread.join().unwrap().unwrap();
+
+    let remote_tuples: Vec<SinkTuple> = sink
+        .tuples()
+        .iter()
+        .map(|t| (t.ts.as_millis(), format!("{:?}", t.data)))
+        .collect();
+    assert!(!remote_tuples.is_empty());
+    assert_eq!(local.0, remote_tuples);
+    assert_eq!(local.1, canonical_lineage(&provenance.records()));
+}

@@ -374,7 +374,7 @@ fn remote_placements_analyze_clean_and_the_facts_record_them() {
         .source("readings", VecSource::new(reports(12)))
         .aggregate("sum", window_spec(), sum_key, sum_window, sum_key)
         .place(shards.placements);
-    let (out, _provenance) = logical_shard_provenance_sink::<Reading, Reading>(
+    let (out, _provenance) = logical_shard_provenance_sink::<Reading, Reading, _>(
         sums,
         "prov",
         shards.provenance_links,
