@@ -20,6 +20,9 @@ pub struct PlanFacts {
     pub fusion: bool,
     /// Epoch-checkpoint interval in tuples, when checkpointing is configured.
     pub checkpoint_interval: Option<u64>,
+    /// Whether the configured checkpoint store writes to a durable backend
+    /// (`Some(false)` = volatile in-memory store, `None` = no checkpointing).
+    pub checkpoint_durable: Option<bool>,
     /// Whether the plan publishes into a live metrics registry.
     pub metrics: bool,
     /// Number of CPUs of the host the plan will deploy on.
@@ -130,6 +133,7 @@ mod tests {
             channel_capacity: 1024,
             fusion: true,
             checkpoint_interval: None,
+            checkpoint_durable: None,
             metrics: true,
             host_cpus: 4,
             threads: 2,

@@ -22,6 +22,7 @@
 //! | GL011 | error | barriers | aligned fan-in input unreachable from a barrier-injecting source |
 //! | GL012 | error | barriers | checkpointing configured but no barrier-injecting source exists |
 //! | GL013 | warning | barriers | stateful operator or sink never reached by epoch barriers |
+//! | GL014 | warning | barriers | multi-process deployment checkpoints into a volatile store |
 //! | GL021 | warning | provenance | opaque custom operator on a path to a GL sink |
 //! | GL022 | warning | provenance | GL plan with sinks but no provenance collector |
 //! | GL031 | warning | resources | operator threads oversubscribe the host CPUs |

@@ -26,6 +26,10 @@ pub const NO_BARRIER_SOURCE: &str = "GL012";
 /// GL013: a stateful operator or sink is never reached by epoch barriers, so its
 /// state is missing from every checkpoint.
 pub const UNCHECKPOINTED_STATE: &str = "GL013";
+/// GL014: a multi-process deployment checkpoints into a volatile in-memory
+/// store, so a process crash loses exactly the state checkpointing was meant
+/// to protect.
+pub const VOLATILE_CHECKPOINT_STORE: &str = "GL014";
 /// GL021: an opaque custom operator sits on a path to a GL sink; the analyzer
 /// cannot verify it maintains the GeneaLog meta chain.
 pub const OPAQUE_META_CHAIN: &str = "GL021";
@@ -204,6 +208,26 @@ pub fn check_channels(facts: &PlanFacts, diags: &mut Diagnostics) {
 pub fn check_barriers(facts: &PlanFacts, diags: &mut Diagnostics) {
     if facts.checkpoint_interval.is_none() {
         return;
+    }
+    if facts.checkpoint_durable == Some(false) && facts.nodes.iter().any(|n| n.remote) {
+        let remote: Vec<String> = facts
+            .nodes
+            .iter()
+            .filter(|n| n.remote)
+            .map(|n| n.name.clone())
+            .collect();
+        let listed = remote.join("`, `");
+        diags.push(Diagnostic::warning(
+            VOLATILE_CHECKPOINT_STORE,
+            remote,
+            format!(
+                "the plan spans SPE instances (`{listed}`) but checkpoints into a \
+                 volatile in-memory store: a worker-process crash loses every \
+                 snapshot that recovery would need — back the checkpoint store \
+                 with a durable backend (e.g. `genealog_store::DurableBackend`, \
+                 or run workers with `spe-node --state-dir`)"
+            ),
+        ));
     }
     let (order, leftover) = topo_order(facts);
     if !leftover.is_empty() {
@@ -481,6 +505,7 @@ mod tests {
             channel_capacity: 1024,
             fusion: true,
             checkpoint_interval: None,
+            checkpoint_durable: None,
             metrics: true,
             host_cpus: 1024,
             threads: nodes.len(),
@@ -604,6 +629,36 @@ mod tests {
             .map(|d| d.path[0].as_str())
             .collect();
         assert_eq!(flagged, vec!["agg", "out"]);
+    }
+
+    #[test]
+    fn gl014_flags_volatile_stores_only_across_instances() {
+        let mut send = node("sum.send", "send");
+        send.remote = true;
+        let mut facts = base(
+            vec![node("src", "source"), send, node("out", "sink")],
+            vec![edge(0, 1), edge(1, 2)],
+        );
+        facts.checkpoint_interval = Some(10);
+        facts.checkpoint_durable = Some(false);
+        let report = run(&facts);
+        let d = report
+            .with_code(VOLATILE_CHECKPOINT_STORE)
+            .next()
+            .expect("GL014");
+        assert_eq!(d.severity, crate::Severity::Warning);
+        assert_eq!(d.path, vec!["sum.send".to_string()]);
+        assert!(d.message.contains("--state-dir"));
+        // A durable backend silences it; so does a purely local plan.
+        facts.checkpoint_durable = Some(true);
+        assert!(!run(&facts).has_code(VOLATILE_CHECKPOINT_STORE));
+        facts.checkpoint_durable = Some(false);
+        facts.nodes[1].remote = false;
+        assert!(!run(&facts).has_code(VOLATILE_CHECKPOINT_STORE));
+        // And without checkpointing there is nothing to lose.
+        facts.nodes[1].remote = true;
+        facts.checkpoint_interval = None;
+        assert!(!run(&facts).has_code(VOLATILE_CHECKPOINT_STORE));
     }
 
     #[test]

@@ -1,18 +1,20 @@
 //! Quick throughput benchmark establishing the per-PR performance trajectory.
 //!
-//! PR 7 measures the **cost of always-on observability**: the planner-lowered
-//! pipeline of PR 5 (`source → filter → map → aggregate → sink`, fusion on) is
-//! run with the live metrics registry disabled and enabled at each shard count
-//! under the NP and GL provenance configurations. With metrics on, every
-//! operator publishes tuple counters into the registry on the hot path, channels
-//! export queue-depth gauges and back-pressure stall counters, and the sink
-//! feeds the latency histogram — everything `/metrics` serves while the query
-//! runs. The on/off delta is reported as `overhead_pct` per (system, shards)
-//! pair — the steady-state price of the observability plane, which stays within
-//! single-digit percent because the hot path touches only per-instance atomics
-//! (the registry is consulted at collection time, never per tuple). The
-//! measurements are written to `BENCH_PR7.json` in the current directory
-//! (override the path with `GENEALOG_BENCH_OUT`).
+//! PR 10 measures the **cost of durable checkpointing**: the planner-lowered
+//! pipeline of PR 5 (`source → filter → map → aggregate → sink`, fusion on,
+//! 2 shards) runs under the NP and GL provenance configurations with
+//! checkpointing (a) disabled, (b) into the volatile in-memory store, (c) into
+//! `genealog_store::DurableBackend` writing every epoch's window container in
+//! full, and (d) into the same backend in incremental mode, where each epoch
+//! ships a `GLWD` delta against the previous container plus a periodic full
+//! rebase. Every durable `put` is write → fsync → manifest, so the sweep prices
+//! real disk barriers, not page-cache writes. Per (system, store) pair the JSON
+//! records throughput, the checkpoint overhead against the no-checkpoint
+//! baseline, and the bytes physically appended to the log — from which the
+//! `write_amplification` section derives the incremental mode's win: on a
+//! growing window the full container is re-written every epoch while the delta
+//! only carries the new occurrences. Results land in `BENCH_PR10.json` in the
+//! current directory (override the path with `GENEALOG_BENCH_OUT`).
 //!
 //! The JSON records `host_cpus`: on a single-core host the shard sweep shows only
 //! the state-partitioning gain, not thread parallelism.
@@ -23,18 +25,26 @@
 //! Usage: `cargo run --release -p genealog-bench --bin quick_bench`
 
 use std::io::Write;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-use genealog::GeneaLog;
+use genealog::{GeneaLog, GlMeta, GlWindowPersister};
 use genealog_spe::logical::LogicalPlan;
 use genealog_spe::operator::aggregate::WindowView;
 use genealog_spe::operator::source::{SourceConfig, VecSource};
+use genealog_spe::persist::PlainWindowPersister;
 use genealog_spe::prelude::*;
 use genealog_spe::provenance::MetaData;
+use genealog_spe::state::{CheckpointConfig, CheckpointStore, StateBackend};
+use genealog_store::{DurableBackend, StoreOptions};
 
 /// Batch size of the stream transport (the PR 1 configuration).
 const BATCH: usize = 256;
 /// Number of distinct keys the stream is partitioned on.
 const KEYS: u32 = 64;
+/// Shard count of the windowed aggregate whose state is checkpointed.
+const SHARDS: usize = 2;
 
 type Reading = (u32, i64);
 
@@ -43,6 +53,16 @@ fn tuples_per_run() -> usize {
         40_000
     } else {
         300_000
+    }
+}
+
+/// Checkpoint interval in source tuples — ~8 epochs per smoke run, ~15 per
+/// full run.
+fn interval() -> u64 {
+    if smoke_mode() {
+        5_000
+    } else {
+        20_000
     }
 }
 
@@ -58,29 +78,83 @@ fn smoke_mode() -> bool {
     std::env::var("GENEALOG_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0")
 }
 
+/// Where each run checkpoints to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StoreMode {
+    /// Checkpointing disabled — the overhead baseline.
+    None,
+    /// The volatile `InMemoryBackend` (PR 6's only option).
+    InMemory,
+    /// `DurableBackend`, every epoch's container written in full.
+    DurableFull,
+    /// `DurableBackend` in incremental mode (GLWD deltas + periodic rebase).
+    DurableIncremental,
+}
+
+impl StoreMode {
+    fn label(self) -> &'static str {
+        match self {
+            StoreMode::None => "none",
+            StoreMode::InMemory => "in_memory",
+            StoreMode::DurableFull => "durable_full",
+            StoreMode::DurableIncremental => "durable_incremental",
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 struct Measurement {
     system: &'static str,
-    shards: usize,
-    metrics: bool,
+    store: &'static str,
     throughput_tps: f64,
     per_tuple_ns: f64,
+    /// Bytes the backend wrote — physical log appends for the durable modes,
+    /// serialized snapshot footprint for the in-memory store.
+    bytes_written: u64,
+    epochs: u64,
 }
 
-/// Steady-state observability cost for one (system, shards) pair.
+/// Checkpointing cost of one (system, store) pair against the no-checkpoint
+/// baseline of the same system.
 #[derive(Debug, Clone)]
 struct Overhead {
     system: &'static str,
-    shards: usize,
+    store: &'static str,
     overhead_pct: f64,
+}
+
+/// The incremental mode's storage win per system.
+#[derive(Debug, Clone)]
+struct Amplification {
+    system: &'static str,
+    full_bytes: u64,
+    incremental_bytes: u64,
+    /// `full_bytes / incremental_bytes` — how many times over the full mode
+    /// re-writes state the delta chain carries once.
+    factor: f64,
 }
 
 fn sum_window<M: MetaData>(w: &WindowView<'_, u32, Reading, M>) -> Reading {
     (*w.key, w.payloads().map(|p| p.1).sum::<i64>())
 }
 
-/// One run of the declared pipeline with the given planner annotations.
-fn planner_once<P>(provenance: P, shards: usize, metrics: bool) -> (Measurement, QueryReport)
+fn temp_dir() -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "genealog-quick-bench-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::SeqCst)
+    ))
+}
+
+/// One run of the declared pipeline with the given checkpoint destination.
+/// `persist` registers the system-appropriate window persister so aggregate
+/// state crosses the byte seam instead of falling back to inline snapshots.
+fn planner_once<P>(
+    provenance: P,
+    mode: StoreMode,
+    persist: &dyn Fn(CheckpointConfig) -> CheckpointConfig,
+) -> Measurement
 where
     P: ProvenanceSystem,
 {
@@ -88,9 +162,28 @@ where
     let tuples = tuples_per_run();
     let spec = WindowSpec::tumbling(Duration::from_secs(60)).unwrap();
 
-    let config = PlannerConfig::default()
-        .with_batch_size(BATCH)
-        .with_metrics(metrics);
+    let dir = temp_dir();
+    let store = match mode {
+        StoreMode::None => None,
+        StoreMode::InMemory => Some(CheckpointStore::in_memory()),
+        StoreMode::DurableFull | StoreMode::DurableIncremental => {
+            let options = if mode == StoreMode::DurableIncremental {
+                StoreOptions::incremental()
+            } else {
+                StoreOptions::default()
+            };
+            let backend = DurableBackend::open_with(&dir, options).expect("open durable store");
+            Some(CheckpointStore::new(backend as Arc<dyn StateBackend>))
+        }
+    };
+
+    let mut config = PlannerConfig::default().with_batch_size(BATCH);
+    if let Some(store) = &store {
+        config = config.with_checkpoints(persist(CheckpointConfig::new(
+            interval(),
+            Arc::clone(store),
+        )));
+    }
     let plan = LogicalPlan::with_config(provenance, config);
     let items: Vec<Reading> = (0..tuples).map(|i| ((i as u32) % KEYS, i as i64)).collect();
     let stats = plan
@@ -111,43 +204,109 @@ where
             sum_window,
             |o: &Reading| o.0,
         )
-        .with(Parallelism::shards(shards))
+        .with(Parallelism::shards(SHARDS))
         .sink("sink", |_| {});
     let report = plan.deploy().expect("lower + deploy").wait().expect("run");
     assert_eq!(report.source_tuples(), tuples as u64);
     assert!(stats.tuple_count() > 0, "sink must observe window outputs");
     let wall = report.wall_time().as_secs_f64();
-    (
-        Measurement {
-            system: label,
-            shards,
-            metrics,
-            throughput_tps: tuples as f64 / wall,
-            per_tuple_ns: wall * 1e9 / tuples as f64,
-        },
-        report,
-    )
+
+    let (bytes_written, epochs) = store
+        .as_ref()
+        .map(|s| {
+            (
+                s.backend().bytes_written(),
+                s.latest_complete_epoch().map_or(0, |e| e + 1),
+            )
+        })
+        .unwrap_or((0, 0));
+    if let Some(s) = &store {
+        assert!(
+            s.latest_complete_epoch().is_some(),
+            "a checkpointed run must complete at least one epoch"
+        );
+    }
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    Measurement {
+        system: label,
+        store: mode.label(),
+        throughput_tps: tuples as f64 / wall,
+        per_tuple_ns: wall * 1e9 / tuples as f64,
+        bytes_written,
+        epochs,
+    }
 }
 
-fn best_of<P>(provenance: &P, shards: usize, metrics: bool) -> (Measurement, QueryReport)
+fn best_of<P>(
+    provenance: &P,
+    mode: StoreMode,
+    persist: &dyn Fn(CheckpointConfig) -> CheckpointConfig,
+) -> Measurement
 where
     P: ProvenanceSystem,
 {
     (0..repetitions())
-        .map(|_| planner_once(provenance.clone(), shards, metrics))
-        .max_by(|a, b| a.0.throughput_tps.total_cmp(&b.0.throughput_tps))
+        .map(|_| planner_once(provenance.clone(), mode, persist))
+        .max_by(|a, b| a.throughput_tps.total_cmp(&b.throughput_tps))
         .expect("at least one repetition")
 }
 
-fn render_json(measurements: &[Measurement], overheads: &[Overhead]) -> String {
+const MODES: [StoreMode; 4] = [
+    StoreMode::None,
+    StoreMode::InMemory,
+    StoreMode::DurableFull,
+    StoreMode::DurableIncremental,
+];
+
+fn sweep<P: ProvenanceSystem>(
+    provenance: &P,
+    persist: &dyn Fn(CheckpointConfig) -> CheckpointConfig,
+    measurements: &mut Vec<Measurement>,
+    overheads: &mut Vec<Overhead>,
+    amplifications: &mut Vec<Amplification>,
+) {
+    let per_mode: Vec<Measurement> = MODES
+        .iter()
+        .map(|mode| {
+            let m = best_of(provenance, *mode, persist);
+            measurements.push(m.clone());
+            m
+        })
+        .collect();
+    let baseline = &per_mode[0];
+    for m in &per_mode[1..] {
+        overheads.push(Overhead {
+            system: m.system,
+            store: m.store,
+            overhead_pct: (m.per_tuple_ns - baseline.per_tuple_ns) / baseline.per_tuple_ns * 100.0,
+        });
+    }
+    let full = &per_mode[2];
+    let incremental = &per_mode[3];
+    amplifications.push(Amplification {
+        system: full.system,
+        full_bytes: full.bytes_written,
+        incremental_bytes: incremental.bytes_written,
+        factor: full.bytes_written as f64 / incremental.bytes_written.max(1) as f64,
+    });
+}
+
+fn render_json(
+    measurements: &[Measurement],
+    overheads: &[Overhead],
+    amplifications: &[Amplification],
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"pr\": 7,\n");
-    out.push_str("  \"benchmark\": \"observability_plane\",\n");
+    out.push_str("  \"pr\": 10,\n");
+    out.push_str("  \"benchmark\": \"durable_checkpoint_store\",\n");
     out.push_str(
-        "  \"pipeline\": \"LogicalPlan: source -> filter -> map -> aggregate(.with(shards)) -> sink, fusion on, live metrics registry off vs on\",\n",
+        "  \"pipeline\": \"LogicalPlan: source -> filter -> map -> aggregate(2 shards) -> sink, fusion on, checkpointing none vs in-memory vs durable-full vs durable-incremental\",\n",
     );
     out.push_str(&format!("  \"tuples_per_run\": {},\n", tuples_per_run()));
+    out.push_str(&format!("  \"checkpoint_interval\": {},\n", interval()));
     out.push_str(&format!("  \"repetitions\": {},\n", repetitions()));
     out.push_str(&format!(
         "  \"host_cpus\": {},\n",
@@ -157,24 +316,37 @@ fn render_json(measurements: &[Measurement], overheads: &[Overhead]) -> String {
     out.push_str("  \"runs\": [\n");
     for (i, m) in measurements.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"system\": \"{}\", \"shards\": {}, \"metrics\": {}, \"throughput_tps\": {:.0}, \"per_tuple_ns\": {:.1}}}{}\n",
+            "    {{\"system\": \"{}\", \"store\": \"{}\", \"throughput_tps\": {:.0}, \"per_tuple_ns\": {:.1}, \"bytes_written\": {}, \"epochs\": {}}}{}\n",
             m.system,
-            m.shards,
-            m.metrics,
+            m.store,
             m.throughput_tps,
             m.per_tuple_ns,
+            m.bytes_written,
+            m.epochs,
             if i + 1 < measurements.len() { "," } else { "" }
         ));
     }
     out.push_str("  ],\n");
-    out.push_str("  \"metrics_overhead\": [\n");
+    out.push_str("  \"checkpoint_overhead\": [\n");
     for (i, o) in overheads.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"system\": \"{}\", \"shards\": {}, \"overhead_pct\": {:.1}}}{}\n",
+            "    {{\"system\": \"{}\", \"store\": \"{}\", \"overhead_pct\": {:.1}}}{}\n",
             o.system,
-            o.shards,
+            o.store,
             o.overhead_pct,
             if i + 1 < overheads.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"write_amplification\": [\n");
+    for (i, a) in amplifications.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"system\": \"{}\", \"full_bytes\": {}, \"incremental_bytes\": {}, \"factor\": {:.2}}}{}\n",
+            a.system,
+            a.full_bytes,
+            a.incremental_bytes,
+            a.factor,
+            if i + 1 < amplifications.len() { "," } else { "" }
         ));
     }
     out.push_str("  ]\n");
@@ -182,66 +354,55 @@ fn render_json(measurements: &[Measurement], overheads: &[Overhead]) -> String {
     out
 }
 
-fn sweep<P: ProvenanceSystem>(
-    provenance: &P,
-    measurements: &mut Vec<Measurement>,
-    overheads: &mut Vec<Overhead>,
-    mut keep_report: impl FnMut(usize, bool, QueryReport),
-) {
-    for shards in [1usize, 2, 4] {
-        let mut pair = Vec::with_capacity(2);
-        for metrics in [false, true] {
-            let (m, report) = best_of(provenance, shards, metrics);
-            keep_report(shards, metrics, report);
-            pair.push(m.clone());
-            measurements.push(m);
-        }
-        let (off, on) = (&pair[0], &pair[1]);
-        overheads.push(Overhead {
-            system: off.system,
-            shards,
-            overhead_pct: (on.per_tuple_ns - off.per_tuple_ns) / off.per_tuple_ns * 100.0,
-        });
-    }
-}
-
 fn main() {
     let mut measurements = Vec::new();
     let mut overheads = Vec::new();
-    let mut sample_report: Option<QueryReport> = None;
+    let mut amplifications = Vec::new();
+
     sweep(
         &NoProvenance,
+        &|config| config.with_window_persister::<u32, Reading, ()>(Arc::new(PlainWindowPersister)),
         &mut measurements,
         &mut overheads,
-        |s, m, r| {
-            if s == 4 && m {
-                sample_report = Some(r);
-            }
-        },
+        &mut amplifications,
     );
     let gl = GeneaLog::new();
-    sweep(&gl, &mut measurements, &mut overheads, |_, _, _| {});
+    sweep(
+        &gl,
+        &|config| {
+            config.with_window_persister::<u32, Reading, GlMeta>(Arc::new(GlWindowPersister::<
+                u32,
+                Reading,
+                Reading,
+            >::new()))
+        },
+        &mut measurements,
+        &mut overheads,
+        &mut amplifications,
+    );
 
     for m in &measurements {
         println!(
-            "{:>2} shards={} metrics={:<5} {:>12.0} tuples/s  {:>8.1} ns/tuple",
-            m.system, m.shards, m.metrics, m.throughput_tps, m.per_tuple_ns
+            "{:>2} store={:<20} {:>12.0} tuples/s  {:>8.1} ns/tuple  {:>12} bytes  {:>3} epochs",
+            m.system, m.store, m.throughput_tps, m.per_tuple_ns, m.bytes_written, m.epochs
         );
     }
     for o in &overheads {
         println!(
-            "{:>2} shards={} metrics overhead {:>6.1}%",
-            o.system, o.shards, o.overhead_pct
+            "{:>2} store={:<20} checkpoint overhead {:>6.1}%",
+            o.system, o.store, o.overhead_pct
+        );
+    }
+    for a in &amplifications {
+        println!(
+            "{:>2} write amplification: full {} bytes vs incremental {} bytes ({:.2}x)",
+            a.system, a.full_bytes, a.incremental_bytes, a.factor
         );
     }
 
-    if let Some(report) = sample_report {
-        println!("\nsample report (NP, 4 shards, metrics on) — the registry's final fold:");
-        print!("{}", report.render_operators());
-    }
-
-    let json = render_json(&measurements, &overheads);
-    let path = std::env::var("GENEALOG_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR7.json".to_string());
+    let json = render_json(&measurements, &overheads, &amplifications);
+    let path =
+        std::env::var("GENEALOG_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR10.json".to_string());
     let mut file = std::fs::File::create(&path).expect("create benchmark output file");
     file.write_all(json.as_bytes())
         .expect("write benchmark output");

@@ -43,6 +43,7 @@ pub struct ControlPlane {
     topology: Option<String>,
     provenance: Option<Arc<dyn ProvenanceQuery>>,
     analysis: Option<String>,
+    store_status: Option<Arc<dyn Fn() -> String + Send + Sync>>,
     read_timeout: Duration,
     write_timeout: Duration,
 }
@@ -53,6 +54,7 @@ impl std::fmt::Debug for ControlPlane {
             .field("topology", &self.topology.is_some())
             .field("provenance", &self.provenance.is_some())
             .field("analysis", &self.analysis.is_some())
+            .field("store_status", &self.store_status.is_some())
             .field("read_timeout", &self.read_timeout)
             .field("write_timeout", &self.write_timeout)
             .finish()
@@ -71,6 +73,7 @@ impl ControlPlane {
             topology: None,
             provenance: None,
             analysis: None,
+            store_status: None,
             read_timeout: Duration::from_secs(2),
             write_timeout: Duration::from_secs(5),
         }
@@ -106,6 +109,18 @@ impl ControlPlane {
     /// `Analyzed::report.to_json()` from `LogicalPlan::analyze`).
     pub fn with_analysis(mut self, json: impl Into<String>) -> Self {
         self.analysis = Some(json.into());
+        self
+    }
+
+    /// Attaches the live checkpoint-store status served at `/store`. The
+    /// closure is called per request, so the JSON reflects the stores as they
+    /// are *now* (segment counts, bytes written, latest complete epoch), not
+    /// as they were at attach time.
+    pub fn with_store_status(
+        mut self,
+        status: impl Fn() -> String + Send + Sync + 'static,
+    ) -> Self {
+        self.store_status = Some(Arc::new(status));
         self
     }
 
@@ -187,6 +202,14 @@ fn route(plane: &ControlPlane, request: &Request) -> Response {
                 body: json.clone().into_bytes(),
             },
             None => Response::not_found("no analysis attached"),
+        },
+        "/store" => match &plane.store_status {
+            Some(status) => Response {
+                status: 200,
+                content_type: "application/json",
+                body: status().into_bytes(),
+            },
+            None => Response::not_found("no checkpoint store attached"),
         },
         path => match path.strip_prefix("/provenance/") {
             Some(sink_id) => match &plane.provenance {
@@ -282,6 +305,7 @@ mod tests {
                 (sink_id == "3#0").then(|| r#"{"sink":"3#0"}"#.to_string())
             })
             .with_analysis(r#"{"errors":0,"warnings":1,"diagnostics":[]}"#)
+            .with_store_status(|| r#"[{"dir":"/tmp/s","latest_complete_epoch":4}]"#.to_string())
     }
 
     #[test]
@@ -307,6 +331,11 @@ mod tests {
         assert_eq!(content_type, "application/json");
         assert_eq!(body, r#"{"errors":0,"warnings":1,"diagnostics":[]}"#);
 
+        let (status, content_type, body) = get(server.addr(), "/store");
+        assert_eq!(status, 200);
+        assert_eq!(content_type, "application/json");
+        assert_eq!(body, r#"[{"dir":"/tmp/s","latest_complete_epoch":4}]"#);
+
         // The '#' of a sink id arrives percent-encoded.
         let (status, content_type, body) = get(server.addr(), "/provenance/3%230");
         assert_eq!(status, 200);
@@ -329,6 +358,8 @@ mod tests {
         let (status, _, _) = get(server.addr(), "/provenance/1#1");
         assert_eq!(status, 404);
         let (status, _, _) = get(server.addr(), "/analyze");
+        assert_eq!(status, 404);
+        let (status, _, _) = get(server.addr(), "/store");
         assert_eq!(status, 404);
 
         let mut stream = TcpStream::connect(server.addr()).unwrap();

@@ -67,6 +67,7 @@
 #![warn(missing_docs)]
 
 pub mod meta;
+pub mod persist;
 pub mod sink;
 pub mod system;
 pub mod traversal;
@@ -89,6 +90,7 @@ pub mod prelude {
 }
 
 pub use meta::{erase, GlMeta, OpKind, ProvNode, ProvRef};
+pub use persist::GlWindowPersister;
 pub use sink::{
     attach_provenance_sink, logical_provenance_sink, ProvenanceAssignment, ProvenanceCollector,
 };

@@ -75,6 +75,8 @@ pub trait ProvNode: Send + Sync + fmt::Debug + 'static {
     fn kind(&self) -> OpKind;
     /// The tuple's logical timestamp.
     fn ts(&self) -> Timestamp;
+    /// The tuple's stimulus (the wall-clock origin used for latency tracking).
+    fn stimulus(&self) -> u64;
     /// The tuple's unique identifier (meta-attribute `ID`, §6).
     fn id(&self) -> TupleId;
     /// Upstream pointer `U1` (latest contributing tuple / Map input / Join's recent side).
@@ -256,6 +258,10 @@ impl<T: TupleData> ProvNode for GTuple<T, GlMeta> {
 
     fn ts(&self) -> Timestamp {
         self.ts
+    }
+
+    fn stimulus(&self) -> u64 {
+        self.stimulus
     }
 
     fn id(&self) -> TupleId {

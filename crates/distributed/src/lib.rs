@@ -64,8 +64,8 @@ pub use network::{
     SimulatedLink,
 };
 pub use node::{
-    connect_gl_node_group, run_node, serve_node_connection, NodeDeployment, NodeReading,
-    ShardOpSpec, ACK,
+    connect_gl_node_group, run_node, run_node_with_state, serve_node_connection,
+    serve_node_connection_with_state, NodeDeployment, NodeReading, NodeStores, ShardOpSpec, ACK,
 };
 pub use tcp::{
     TcpLink, TcpLoopbackTransport, TcpReceiver, TcpSender, TcpSeverHandle, MAX_FRAME_BYTES,

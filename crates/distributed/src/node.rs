@@ -30,15 +30,19 @@
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
 use std::sync::Arc;
 use std::time::Duration;
 
-use genealog::{attach_unfolder, GeneaLog, GlMeta, UnfoldedTuple};
+use genealog::{attach_unfolder, GeneaLog, GlMeta, GlWindowPersister, UnfoldedTuple};
 use genealog_metrics::{decode_samples, MetricsRegistry, Tracer};
 use genealog_spe::operator::aggregate::WindowView;
 use genealog_spe::query::{Query, QueryConfig, StreamRef};
 use genealog_spe::runtime::QueryReport;
+use genealog_spe::state::{CheckpointConfig, CheckpointStore, InMemoryBackend, StateBackend};
 use genealog_spe::{SpeError, WindowSpec};
+use genealog_store::{DurableBackend, ScopedBackend, StoreOptions};
+use parking_lot::Mutex;
 
 use crate::deployment::{
     add_receive, add_send, spawn_metrics_shipper, splice_remote_shard, GlShardGroup,
@@ -167,6 +171,15 @@ pub struct NodeDeployment {
     pub fusion: bool,
     /// The operator every shard runs.
     pub op: ShardOpSpec,
+    /// Barrier interval (tuples per epoch) of the originating query's
+    /// checkpointing; `None` deploys without checkpoint participation. The
+    /// hosted engines commit their window state against the node's own store —
+    /// durable when the node runs with a state directory.
+    pub checkpoint_interval: Option<u64>,
+    /// The origin-pinned epoch the hosted shards must restore to before
+    /// processing (a recovery re-deployment); `None` is a fresh start, which
+    /// wipes any leftover on-disk state for the group.
+    pub restore_epoch: Option<u64>,
 }
 
 impl WireEncode for NodeDeployment {
@@ -177,6 +190,8 @@ impl WireEncode for NodeDeployment {
         self.first_instance.encode(out);
         self.fusion.encode(out);
         self.op.encode(out);
+        self.checkpoint_interval.encode(out);
+        self.restore_epoch.encode(out);
     }
 }
 
@@ -189,6 +204,8 @@ impl WireDecode for NodeDeployment {
             first_instance: u32::decode(reader)?,
             fusion: bool::decode(reader)?,
             op: ShardOpSpec::decode(reader)?,
+            checkpoint_interval: Option::decode(reader)?,
+            restore_epoch: Option::decode(reader)?,
         };
         if deployment.shards.is_empty() {
             return Err(WireError::new("a node deployment must host shards"));
@@ -202,6 +219,14 @@ impl WireDecode for NodeDeployment {
                 "shard index out of range for a {}-shard group",
                 deployment.total_shards
             )));
+        }
+        if deployment.checkpoint_interval == Some(0) {
+            return Err(WireError::new("checkpoint interval must be positive"));
+        }
+        if deployment.restore_epoch.is_some() && deployment.checkpoint_interval.is_none() {
+            return Err(WireError::new(
+                "a restore epoch requires checkpointing to be enabled",
+            ));
         }
         Ok(deployment)
     }
@@ -235,6 +260,55 @@ fn runtime(err: impl std::fmt::Display) -> io::Error {
     io::Error::other(err.to_string())
 }
 
+/// The durable checkpoint stores a node process currently has open, shared
+/// between the serving loop and the binary's signal handler so a SIGTERM can
+/// flush every manifest before the process exits.
+#[derive(Debug, Default, Clone)]
+pub struct NodeStores {
+    stores: Arc<Mutex<Vec<Arc<DurableBackend>>>>,
+}
+
+impl NodeStores {
+    /// Creates an empty store registry.
+    pub fn new() -> Self {
+        NodeStores::default()
+    }
+
+    /// Registers `store`, replacing any previously-open store of the same
+    /// directory (a group re-deployed on the same node).
+    fn register(&self, store: Arc<DurableBackend>) {
+        let mut stores = self.stores.lock();
+        stores.retain(|s| s.dir() != store.dir());
+        stores.push(store);
+    }
+
+    /// Flushes every open store's segment and manifest (marking a clean
+    /// shutdown); returns how many stores flushed successfully.
+    pub fn flush_all(&self) -> usize {
+        let stores = self.stores.lock();
+        let mut flushed = 0;
+        for store in stores.iter() {
+            match store.flush() {
+                Ok(()) => flushed += 1,
+                Err(err) => Tracer::global().emit(
+                    "store-flush-failed",
+                    "spe-node",
+                    format!("flushing {} failed: {err}", store.dir().display()),
+                ),
+            }
+        }
+        flushed
+    }
+
+    /// A JSON array of per-store status objects (the control endpoint's
+    /// `/store` payload).
+    pub fn status_json(&self) -> String {
+        let stores = self.stores.lock();
+        let items: Vec<String> = stores.iter().map(|s| s.status_json()).collect();
+        format!("[{}]", items.join(","))
+    }
+}
+
 /// Serves one deployment connection: reads the [`NodeDeployment`] frame,
 /// acknowledges it, hosts the requested shards until they drain, and returns
 /// their reports in hosted-shard order.
@@ -254,6 +328,33 @@ pub fn serve_node_connection(
     registry: &Arc<MetricsRegistry>,
     network: NetworkConfig,
 ) -> io::Result<Vec<QueryReport>> {
+    serve_node_connection_with_state(stream, registry, network, None, &NodeStores::new())
+}
+
+/// [`serve_node_connection`] with a checkpoint-state directory: when the
+/// deployment asks for checkpointing and `state_dir` is set, every hosted
+/// engine commits its window state — provenance included, byte-encoded through
+/// [`GlWindowPersister`] — into a [`DurableBackend`] at
+/// `state_dir/<group>` (incremental snapshots on), scoped per shard so a
+/// killed-and-restarted node re-joins from **its own disk**. A deployment
+/// carrying a `restore_epoch` restores the hosted engines to that
+/// origin-pinned cut before processing; a fresh deployment wipes the group's
+/// leftover state first.
+///
+/// Without a `state_dir` the engines fall back to per-deployment in-memory
+/// stores (barrier alignment still works; nothing survives the process — the
+/// analyzer's GL014 diagnostic flags this combination at the origin).
+///
+/// # Errors
+/// Fails on a malformed handshake, socket setup, or an unopenable store
+/// directory (see [`serve_node_connection`] for what is *not* an error).
+pub fn serve_node_connection_with_state(
+    stream: TcpStream,
+    registry: &Arc<MetricsRegistry>,
+    network: NetworkConfig,
+    state_dir: Option<&Path>,
+    stores: &NodeStores,
+) -> io::Result<Vec<QueryReport>> {
     let mut stream = stream;
     apply_socket_options(&stream, &network)?;
     let frame = match read_frame(&mut stream)? {
@@ -262,6 +363,32 @@ pub fn serve_node_connection(
     };
     let deployment = NodeDeployment::from_bytes(&frame).map_err(invalid)?;
     write_frame(&mut stream, ACK)?;
+
+    let durable = match (state_dir, deployment.checkpoint_interval) {
+        (Some(root), Some(_)) => {
+            let dir = root.join(&deployment.group);
+            if deployment.restore_epoch.is_none() {
+                // A fresh deployment must not resurrect an earlier run's state.
+                let _ = std::fs::remove_dir_all(&dir);
+            }
+            let backend =
+                DurableBackend::open_with(&dir, StoreOptions::incremental()).map_err(runtime)?;
+            backend.publish_metrics(registry);
+            stores.register(Arc::clone(&backend));
+            Tracer::global().emit(
+                "node-store-open",
+                &deployment.group,
+                format!(
+                    "durable checkpoint store at {} (restore epoch {:?}, latest complete {:?})",
+                    backend.dir().display(),
+                    deployment.restore_epoch,
+                    backend.latest_complete_epoch(),
+                ),
+            );
+            Some(backend)
+        }
+        _ => None,
+    };
 
     let k = deployment.shards.len();
     let (tx, _tx_stats) = TcpSender::from_stream(stream.try_clone()?, None, network);
@@ -285,6 +412,26 @@ pub fn serve_node_connection(
             .with_fusion(deployment.fusion)
             .with_metrics(true);
         let mut q = Query::with_config(gl, config);
+        if let Some(interval) = deployment.checkpoint_interval {
+            // Each hosted engine gets its own checkpoint store (its barrier
+            // alignment is engine-local) over a shard-scoped view of the
+            // node's one durable backend, so same-named participants of
+            // different shards stay distinct on disk.
+            let backend: Arc<dyn StateBackend> = match &durable {
+                Some(shared) => ScopedBackend::new(Arc::clone(shared), format!("shard{global}")),
+                None => Arc::new(InMemoryBackend::new()),
+            };
+            let store = CheckpointStore::new(backend);
+            if let Some(epoch) = deployment.restore_epoch {
+                store.restore_to(epoch);
+            }
+            q.set_checkpoints(
+                CheckpointConfig::new(interval, store)
+                    .with_window_persister::<u32, NodeReading, GlMeta>(Arc::new(
+                        GlWindowPersister::<u32, NodeReading, NodeReading>::new(),
+                    )),
+            );
+        }
         let received: StreamRef<NodeReading, GlMeta> =
             add_receive(&mut q, &format!("{group}.recv"), forward_rx);
         let out = deployment
@@ -370,8 +517,35 @@ pub fn run_node(
     network: NetworkConfig,
     max_deployments: Option<usize>,
 ) -> io::Result<()> {
+    run_node_with_state(
+        listener,
+        registry,
+        network,
+        max_deployments,
+        None,
+        &NodeStores::new(),
+    )
+}
+
+/// [`run_node`] with a checkpoint-state directory: deployments that ask for
+/// checkpointing persist into `state_dir` (see
+/// [`serve_node_connection_with_state`]), and every opened store is registered
+/// on `stores` so the binary's SIGTERM handler can flush manifests.
+///
+/// # Errors
+/// Fails if the listener breaks; per-connection errors are traced and skipped.
+pub fn run_node_with_state(
+    listener: TcpListener,
+    registry: &Arc<MetricsRegistry>,
+    network: NetworkConfig,
+    max_deployments: Option<usize>,
+    state_dir: Option<&Path>,
+    stores: &NodeStores,
+) -> io::Result<()> {
     for (served, stream) in listener.incoming().enumerate() {
-        match stream.and_then(|s| serve_node_connection(s, registry, network)) {
+        match stream
+            .and_then(|s| serve_node_connection_with_state(s, registry, network, state_dir, stores))
+        {
             Ok(_) => {}
             Err(err) => {
                 Tracer::global().emit("node-connection-failed", "spe-node", err.to_string());
@@ -549,6 +723,8 @@ mod tests {
                 size_ms: 8_000,
                 slide_ms: 4_000,
             },
+            checkpoint_interval: Some(5),
+            restore_epoch: Some(3),
         };
         let decoded = NodeDeployment::from_bytes(&deployment.to_bytes()).expect("decode");
         assert_eq!(decoded, deployment);
@@ -566,6 +742,8 @@ mod tests {
                 size_ms: 1_000,
                 slide_ms: 1_000,
             },
+            checkpoint_interval: None,
+            restore_epoch: None,
         };
         let bytes = deployment.to_bytes();
         for cut in 0..bytes.len() {
@@ -581,8 +759,21 @@ mod tests {
         };
         assert!(NodeDeployment::from_bytes(&out_of_range.to_bytes()).is_err());
         let mut bad_op = deployment.to_bytes();
-        let op_tag_at = bad_op.len() - 17; // u8 tag + two u64 fields
+        // u8 op tag + two u64 op fields + the two encoded-None option bytes.
+        let op_tag_at = bad_op.len() - 19;
         bad_op[op_tag_at] = 9;
         assert!(NodeDeployment::from_bytes(&bad_op).is_err());
+        // A zero checkpoint interval and a restore epoch without checkpointing
+        // are semantic errors too.
+        let zero_interval = NodeDeployment {
+            checkpoint_interval: Some(0),
+            ..deployment.clone()
+        };
+        assert!(NodeDeployment::from_bytes(&zero_interval.to_bytes()).is_err());
+        let orphan_restore = NodeDeployment {
+            restore_epoch: Some(2),
+            ..deployment.clone()
+        };
+        assert!(NodeDeployment::from_bytes(&orphan_restore.to_bytes()).is_err());
     }
 }

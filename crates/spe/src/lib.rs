@@ -50,6 +50,7 @@ pub mod merge;
 pub mod metrics;
 pub mod operator;
 pub mod parallel;
+pub mod persist;
 pub mod planner;
 pub mod provenance;
 pub mod query;

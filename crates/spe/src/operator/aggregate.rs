@@ -150,13 +150,22 @@ where
         let counters = self.metrics.handles(&self.name);
         let window_size = self.store.spec().size;
         let checkpoints = self.checkpoints.get().cloned();
+        // The byte codec for this operator's snapshot type, when the deployment
+        // registered one: with it, commits become durable byte containers and
+        // restores can come out of a store owned by a *previous* process.
+        let persister = checkpoints
+            .as_ref()
+            .and_then(|c| c.window_persister::<K, I, P::Meta>());
         if let Some(ckpt) = &checkpoints {
             ckpt.store.register(&self.name);
-            if let Some(snapshot) = ckpt
-                .store
-                .restore_snapshot(&self.name)
-                .and_then(|s| s.downcast::<WindowStoreSnapshot<K, I, P::Meta>>())
-            {
+            let restored = ckpt.store.restore_snapshot(&self.name).and_then(|s| {
+                s.downcast::<WindowStoreSnapshot<K, I, P::Meta>>()
+                    .or_else(|| {
+                        let bytes = s.as_bytes()?;
+                        persister.as_ref()?.decode(bytes).map(Arc::new)
+                    })
+            });
+            if let Some(snapshot) = restored {
                 // Re-materialise the open windows through detached clones so the
                 // restored slice of the provenance graph has fresh `N` cells for
                 // this run's window-close chains to claim.
@@ -187,11 +196,16 @@ where
                     }
                     Element::Barrier(epoch) => {
                         if let Some(ckpt) = &checkpoints {
-                            ckpt.store.commit(
-                                &self.name,
-                                epoch,
-                                Snapshot::inline(self.store.snapshot()),
-                            );
+                            let snapshot = self.store.snapshot();
+                            // Prefer the byte container (durable, diffable);
+                            // fall back to the process-local inline share when
+                            // no persister fits or the state is not encodable.
+                            let committed =
+                                match persister.as_ref().and_then(|p| p.encode(&snapshot)) {
+                                    Some(bytes) => Snapshot::bytes(bytes),
+                                    None => Snapshot::inline(snapshot),
+                                };
+                            ckpt.store.commit(&self.name, epoch, committed);
                         }
                         if out.send_barrier(epoch).is_err() {
                             return Ok(counters.stats(&self.name));

@@ -1,0 +1,432 @@
+//! Byte-canonical persistence of window-store snapshots.
+//!
+//! The checkpoint path commits [`Snapshot::Inline`](crate::state::Snapshot)
+//! window-store snapshots by default — cheap `Arc` shares that cannot leave the
+//! process. A [`WindowPersister`] turns such a snapshot into a **canonical byte
+//! container** (and back), which is what lets a durable backend carry aggregate
+//! state — including each operator's slice of the provenance graph — across a
+//! process death.
+//!
+//! The container layout (`GLWS`, version 1) is deliberately dumb so that a
+//! store can diff two epochs without knowing the key, payload or metadata types:
+//!
+//! ```text
+//! "GLWS" | version u8 | watermark_ms u64 | late_tuples u64 | entry_count u32
+//! entry*: start_ms u64 | key_len u32 | key bytes | occ_count u32
+//!         occ*: occ_len u32 | occ bytes
+//! ```
+//!
+//! Entries appear in deterministic order (window start ascending, then encoded
+//! group key in `K: Ord` order), one entry per open window-instance buffer.
+//! Because [`WindowStore::insert`](crate::window::WindowStore::insert) only ever
+//! *appends* occurrences to a live buffer and
+//! [`close_up_to`](crate::window::WindowStore::close_up_to) removes whole
+//! entries, a surviving entry's occurrence list in epoch `e+1` is an extension
+//! of its list in epoch `e` — the prefix property incremental snapshot diffs
+//! rely on (see `genealog-store`).
+//!
+//! All integers are little-endian. Every decode is bounds-checked and returns
+//! `None` on truncation or version mismatch — never panics, never zero-fills.
+
+use std::sync::Arc;
+
+use crate::time::Timestamp;
+use crate::tuple::{GTuple, TupleData};
+use crate::window::WindowStoreSnapshot;
+
+/// Leading magic of an encoded window-store container.
+pub const CONTAINER_MAGIC: [u8; 4] = *b"GLWS";
+/// Container format version.
+pub const CONTAINER_VERSION: u8 = 1;
+/// Fixed container header: magic + version + watermark + late count + entry count.
+const HEADER_LEN: usize = 4 + 1 + 8 + 8 + 4;
+
+/// Bounds-checked cursor over encoded bytes; every read returns `None` once the
+/// input is exhausted, so torn or truncated records decode to a clean rejection.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Starts reading at the beginning of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        ByteReader { bytes, pos: 0 }
+    }
+
+    /// Number of unread bytes.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Takes the next `n` bytes.
+    pub fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.remaining() < n {
+            return None;
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Some(slice)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn i64(&mut self) -> Option<i64> {
+        Some(i64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+}
+
+/// Fixed-layout byte codec for the primitive pieces of a persisted snapshot
+/// (group keys, payloads). Implementations must be canonical: equal values
+/// encode to equal bytes.
+pub trait PersistCodec: Sized + Send + Sync + 'static {
+    /// Appends the canonical encoding of `self` to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+    /// Decodes one value, consuming exactly what [`encode`](PersistCodec::encode)
+    /// produced. `None` on truncation.
+    fn decode(reader: &mut ByteReader<'_>) -> Option<Self>;
+}
+
+impl PersistCodec for u32 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn decode(reader: &mut ByteReader<'_>) -> Option<Self> {
+        reader.u32()
+    }
+}
+
+impl PersistCodec for u64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn decode(reader: &mut ByteReader<'_>) -> Option<Self> {
+        reader.u64()
+    }
+}
+
+impl PersistCodec for i64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn decode(reader: &mut ByteReader<'_>) -> Option<Self> {
+        reader.i64()
+    }
+}
+
+impl<A: PersistCodec, B: PersistCodec> PersistCodec for (A, B) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+    fn decode(reader: &mut ByteReader<'_>) -> Option<Self> {
+        Some((A::decode(reader)?, B::decode(reader)?))
+    }
+}
+
+impl PersistCodec for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.len() as u32).to_le_bytes());
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn decode(reader: &mut ByteReader<'_>) -> Option<Self> {
+        let len = reader.u32()? as usize;
+        String::from_utf8(reader.take(len)?.to_vec()).ok()
+    }
+}
+
+/// Incrementally builds one canonical container.
+#[derive(Debug)]
+pub struct ContainerWriter {
+    buf: Vec<u8>,
+    entries: u32,
+}
+
+impl ContainerWriter {
+    /// Starts a container with the snapshot-level header.
+    pub fn new(watermark_ms: u64, late_tuples: u64) -> Self {
+        let mut buf = Vec::with_capacity(HEADER_LEN);
+        buf.extend_from_slice(&CONTAINER_MAGIC);
+        buf.push(CONTAINER_VERSION);
+        buf.extend_from_slice(&watermark_ms.to_le_bytes());
+        buf.extend_from_slice(&late_tuples.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes()); // entry count, patched in finish()
+        ContainerWriter { buf, entries: 0 }
+    }
+
+    /// Appends one window-instance buffer: its start, encoded key and the
+    /// already-encoded occurrence records in buffer order.
+    pub fn entry<O: AsRef<[u8]>>(&mut self, start_ms: u64, key: &[u8], occurrences: &[O]) {
+        self.entries += 1;
+        self.buf.extend_from_slice(&start_ms.to_le_bytes());
+        self.buf
+            .extend_from_slice(&(key.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(key);
+        self.buf
+            .extend_from_slice(&(occurrences.len() as u32).to_le_bytes());
+        for occ in occurrences {
+            let occ = occ.as_ref();
+            self.buf
+                .extend_from_slice(&(occ.len() as u32).to_le_bytes());
+            self.buf.extend_from_slice(occ);
+        }
+    }
+
+    /// Seals the container (patches the entry count) and returns its bytes.
+    pub fn finish(mut self) -> Vec<u8> {
+        let count = self.entries.to_le_bytes();
+        self.buf[HEADER_LEN - 4..HEADER_LEN].copy_from_slice(&count);
+        self.buf
+    }
+}
+
+/// One parsed window-instance buffer, borrowing the container's bytes.
+#[derive(Debug)]
+pub struct ContainerEntry<'a> {
+    /// Window start, in milliseconds.
+    pub start_ms: u64,
+    /// The encoded group key.
+    pub key: &'a [u8],
+    /// The encoded occurrence records, in buffer order.
+    pub occurrences: Vec<&'a [u8]>,
+}
+
+/// A fully parsed container.
+#[derive(Debug)]
+pub struct Container<'a> {
+    /// The snapshot's watermark, in milliseconds.
+    pub watermark_ms: u64,
+    /// The snapshot's late-tuple count.
+    pub late_tuples: u64,
+    /// The window-instance buffers, in encoded order.
+    pub entries: Vec<ContainerEntry<'a>>,
+}
+
+/// Whether `bytes` start like an encoded window-store container.
+pub fn is_container(bytes: &[u8]) -> bool {
+    bytes.len() >= HEADER_LEN && bytes[..4] == CONTAINER_MAGIC && bytes[4] == CONTAINER_VERSION
+}
+
+/// Parses a container, rejecting (with `None`) anything torn or malformed.
+pub fn parse_container(bytes: &[u8]) -> Option<Container<'_>> {
+    if !is_container(bytes) {
+        return None;
+    }
+    let mut reader = ByteReader::new(&bytes[5..]);
+    let watermark_ms = reader.u64()?;
+    let late_tuples = reader.u64()?;
+    let entry_count = reader.u32()? as usize;
+    let mut entries = Vec::with_capacity(entry_count.min(1 << 16));
+    for _ in 0..entry_count {
+        let start_ms = reader.u64()?;
+        let key_len = reader.u32()? as usize;
+        let key = reader.take(key_len)?;
+        let occ_count = reader.u32()? as usize;
+        let mut occurrences = Vec::with_capacity(occ_count.min(1 << 16));
+        for _ in 0..occ_count {
+            let occ_len = reader.u32()? as usize;
+            occurrences.push(reader.take(occ_len)?);
+        }
+        entries.push(ContainerEntry {
+            start_ms,
+            key,
+            occurrences,
+        });
+    }
+    if !reader.is_empty() {
+        return None; // trailing garbage is corruption, not slack
+    }
+    Some(Container {
+        watermark_ms,
+        late_tuples,
+        entries,
+    })
+}
+
+/// Re-encodes a parsed container. For writer-produced bytes this is the
+/// identity, which is what pins incremental-snapshot reconstruction to be
+/// byte-identical to a full snapshot.
+pub fn encode_container(container: &Container<'_>) -> Vec<u8> {
+    let mut writer = ContainerWriter::new(container.watermark_ms, container.late_tuples);
+    for entry in &container.entries {
+        writer.entry(entry.start_ms, entry.key, &entry.occurrences);
+    }
+    writer.finish()
+}
+
+/// Byte codec for one aggregate operator's window-store snapshot.
+///
+/// Registered type-erased on a
+/// [`CheckpointConfig`](crate::state::CheckpointConfig); the Aggregate operator
+/// looks its persister up by the snapshot's concrete `(K, T, M)` type at
+/// barrier-commit time. `encode` may return `None` when the buffered state
+/// cannot be carried across a process boundary (e.g. provenance pointers into
+/// non-terminal upstream tuples); the operator then falls back to the inline,
+/// process-local snapshot.
+pub trait WindowPersister<K, T, M>: Send + Sync {
+    /// Encodes a snapshot into a canonical container, or `None` when the state
+    /// is not byte-encodable.
+    fn encode(&self, snapshot: &WindowStoreSnapshot<K, T, M>) -> Option<Vec<u8>>;
+    /// Decodes a container produced by [`encode`](WindowPersister::encode).
+    fn decode(&self, bytes: &[u8]) -> Option<WindowStoreSnapshot<K, T, M>>;
+}
+
+/// Persister for provenance-free window state (`M = ()`): an occurrence is just
+/// `ts | stimulus | payload`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PlainWindowPersister;
+
+impl<K, T> WindowPersister<K, T, ()> for PlainWindowPersister
+where
+    K: PersistCodec + Ord + Clone,
+    T: PersistCodec + TupleData,
+{
+    fn encode(&self, snapshot: &WindowStoreSnapshot<K, T, ()>) -> Option<Vec<u8>> {
+        let mut writer =
+            ContainerWriter::new(snapshot.watermark().as_millis(), snapshot.late_tuples());
+        let mut key_buf = Vec::new();
+        for (start, key, occurrences) in snapshot.entries() {
+            key_buf.clear();
+            key.encode(&mut key_buf);
+            let occ_bytes: Vec<Vec<u8>> = occurrences
+                .iter()
+                .map(|t| {
+                    let mut b = Vec::new();
+                    b.extend_from_slice(&t.ts.as_millis().to_le_bytes());
+                    b.extend_from_slice(&t.stimulus.to_le_bytes());
+                    t.data.encode(&mut b);
+                    b
+                })
+                .collect();
+            writer.entry(start.as_millis(), &key_buf, &occ_bytes);
+        }
+        Some(writer.finish())
+    }
+
+    fn decode(&self, bytes: &[u8]) -> Option<WindowStoreSnapshot<K, T, ()>> {
+        let container = parse_container(bytes)?;
+        let mut entries = Vec::with_capacity(container.entries.len());
+        for entry in &container.entries {
+            let mut key_reader = ByteReader::new(entry.key);
+            let key = K::decode(&mut key_reader)?;
+            if !key_reader.is_empty() {
+                return None;
+            }
+            let tuples = entry
+                .occurrences
+                .iter()
+                .map(|occ| {
+                    let mut r = ByteReader::new(occ);
+                    let ts = r.u64()?;
+                    let stimulus = r.u64()?;
+                    let data = T::decode(&mut r)?;
+                    if !r.is_empty() {
+                        return None;
+                    }
+                    Some(Arc::new(GTuple::new(
+                        Timestamp::from_millis(ts),
+                        stimulus,
+                        data,
+                        (),
+                    )))
+                })
+                .collect::<Option<Vec<_>>>()?;
+            entries.push((Timestamp::from_millis(entry.start_ms), key, tuples));
+        }
+        Some(WindowStoreSnapshot::from_parts(
+            entries,
+            container.late_tuples,
+            Timestamp::from_millis(container.watermark_ms),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Duration;
+    use crate::window::{WindowSpec, WindowStore};
+
+    fn sample_snapshot() -> WindowStoreSnapshot<u32, (u32, i64), ()> {
+        let spec = WindowSpec::new(Duration::from_secs(8), Duration::from_secs(4)).unwrap();
+        let mut store: WindowStore<u32, (u32, i64), ()> = WindowStore::new(spec);
+        for i in 0..20u64 {
+            let t = Arc::new(GTuple::new(
+                Timestamp::from_secs(i),
+                i,
+                ((i % 3) as u32, i as i64 - 7),
+                (),
+            ));
+            store.insert((i % 3) as u32, t);
+        }
+        store.close_up_to(Timestamp::from_secs(9));
+        store.snapshot()
+    }
+
+    #[test]
+    fn plain_persister_roundtrips_byte_identical() {
+        let snapshot = sample_snapshot();
+        let p = PlainWindowPersister;
+        let bytes = WindowPersister::<u32, (u32, i64), ()>::encode(&p, &snapshot).unwrap();
+        assert!(is_container(&bytes));
+        let decoded = p.decode(&bytes).unwrap();
+        assert_eq!(decoded.buffered_tuples(), snapshot.buffered_tuples());
+        assert_eq!(decoded.watermark(), snapshot.watermark());
+        assert_eq!(decoded.late_tuples(), snapshot.late_tuples());
+        // Re-encoding the decoded snapshot reproduces the exact bytes.
+        let again = WindowPersister::<u32, (u32, i64), ()>::encode(&p, &decoded).unwrap();
+        assert_eq!(bytes, again);
+    }
+
+    #[test]
+    fn truncated_container_is_rejected_cleanly() {
+        let snapshot = sample_snapshot();
+        let p = PlainWindowPersister;
+        let bytes = WindowPersister::<u32, (u32, i64), ()>::encode(&p, &snapshot).unwrap();
+        for cut in 0..bytes.len() {
+            assert!(
+                parse_container(&bytes[..cut]).is_none(),
+                "truncation at {cut} must be rejected"
+            );
+        }
+        assert!(parse_container(&bytes).is_some());
+    }
+
+    #[test]
+    fn parse_rejects_trailing_garbage() {
+        let snapshot = sample_snapshot();
+        let p = PlainWindowPersister;
+        let mut bytes = WindowPersister::<u32, (u32, i64), ()>::encode(&p, &snapshot).unwrap();
+        bytes.push(0);
+        assert!(parse_container(&bytes).is_none());
+    }
+
+    #[test]
+    fn container_reencode_is_identity() {
+        let snapshot = sample_snapshot();
+        let p = PlainWindowPersister;
+        let bytes = WindowPersister::<u32, (u32, i64), ()>::encode(&p, &snapshot).unwrap();
+        let parsed = parse_container(&bytes).unwrap();
+        assert_eq!(encode_container(&parsed), bytes);
+    }
+}

@@ -502,6 +502,10 @@ impl<P: ProvenanceSystem> Query<P> {
             channel_capacity: self.config.channel_capacity,
             fusion: self.config.fusion,
             checkpoint_interval: self.checkpoints.get().map(|c| c.interval),
+            checkpoint_durable: self
+                .checkpoints
+                .get()
+                .map(|c| c.store.backend().is_durable()),
             metrics: self.config.metrics,
             host_cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
             threads: self.nodes.len().saturating_sub(fused_away),

@@ -135,6 +135,19 @@ pub trait StateBackend: fmt::Debug + Send + Sync {
     fn bytes_written(&self) -> u64 {
         self.serialized_bytes() as u64
     }
+
+    /// Notifies the backend that `epoch` is complete across every registered
+    /// participant. Durable backends persist this in their manifest so a restarted
+    /// process knows which epochs form a usable cut; the in-memory backends ignore
+    /// it.
+    fn note_complete_epoch(&self, _epoch: u64) {}
+
+    /// Whether snapshots survive the death of this process. `false` for the
+    /// in-memory backends; the log-structured file backend (`genealog-store`)
+    /// overrides this — the analyzer's GL014 diagnostic keys off it.
+    fn is_durable(&self) -> bool {
+        false
+    }
 }
 
 type SnapshotMap = HashMap<(String, u64), Snapshot>;
@@ -343,6 +356,9 @@ impl CheckpointStore {
             if let Some(started) = state.epoch_started.remove(&epoch) {
                 state.last_commit_latency_ns = Some(started.elapsed().as_nanos() as u64);
             }
+            // Durable backends flip their manifest here — the commit that
+            // completes the cut is the one that makes it recoverable on disk.
+            self.backend.note_complete_epoch(epoch);
         }
     }
 
@@ -410,6 +426,33 @@ impl CheckpointStore {
         restore
     }
 
+    /// Adopts an externally-dictated restore point: pins `epoch` as the restore
+    /// epoch, discards every commit and snapshot strictly after it, clears the
+    /// participant registry and the failure fence, and counts a recovery.
+    ///
+    /// Unlike [`begin_recovery`](CheckpointStore::begin_recovery) the epoch is
+    /// *not* derived from local commits: in a multi-process deployment the origin
+    /// pins the deployment-global cut and ships it to each worker (in the
+    /// `NodeDeployment` frame), and the worker's own store — reopened from its
+    /// `--state-dir` — adopts it here. A worker may hold commits *beyond* the
+    /// origin's cut (it committed epoch `e` durably, then died before the origin
+    /// completed `e`); those are exactly the snapshots `remove_after` discards.
+    pub fn restore_to(&self, epoch: u64) {
+        let mut state = self.state.lock();
+        state.restore_epoch = Some(epoch);
+        state.commits.retain(|&e, _| e <= epoch);
+        self.backend.remove_after(epoch);
+        state.participants.clear();
+        state.fenced = false;
+        state.recoveries += 1;
+        drop(state);
+        genealog_metrics::Tracer::global().emit(
+            "recovery-restore-to",
+            self.backend.name(),
+            format!("adopting origin-pinned restore epoch {epoch}"),
+        );
+    }
+
     /// The epoch the current run restores from (`None` outside recovery).
     pub fn restore_epoch(&self) -> Option<u64> {
         self.state.lock().restore_epoch
@@ -437,13 +480,32 @@ impl CheckpointStore {
 
 /// Checkpointing configuration installed on a query via
 /// [`Query::set_checkpoints`](crate::query::Query::set_checkpoints).
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct CheckpointConfig {
     /// Number of tuples each Source emits per epoch (barriers are injected every
     /// `interval` tuples).
     pub interval: u64,
     /// The deployment-wide checkpoint store.
     pub store: Arc<CheckpointStore>,
+    /// Retry/backoff policy [`run_with_recovery`] applies when driven through
+    /// this configuration (see [`run_config_with_recovery`]).
+    pub recovery: RecoveryConfig,
+    /// Type-erased window persisters, keyed by the `TypeId` of the concrete
+    /// `WindowStoreSnapshot<K, T, M>` they encode. Aggregate operators look
+    /// their persister up here at barrier-commit time; with none registered
+    /// they commit inline (process-local) snapshots.
+    persisters: HashMap<std::any::TypeId, Arc<dyn Any + Send + Sync>>,
+}
+
+impl fmt::Debug for CheckpointConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CheckpointConfig")
+            .field("interval", &self.interval)
+            .field("store", &self.store)
+            .field("recovery", &self.recovery)
+            .field("persisters", &self.persisters.len())
+            .finish()
+    }
 }
 
 impl CheckpointConfig {
@@ -452,7 +514,53 @@ impl CheckpointConfig {
         CheckpointConfig {
             interval: interval.max(1),
             store,
+            recovery: RecoveryConfig::default(),
+            persisters: HashMap::new(),
         }
+    }
+
+    /// Overrides the retry/backoff policy used when this configuration drives
+    /// [`run_with_recovery`].
+    pub fn with_recovery(mut self, recovery: RecoveryConfig) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
+    /// Registers the byte codec for window snapshots of the concrete
+    /// `(K, T, M)` type. Every aggregate whose store snapshots to
+    /// `WindowStoreSnapshot<K, T, M>` — plain, sharded or fused — picks it up
+    /// automatically; no operator constructor changes.
+    pub fn with_window_persister<K, T, M>(
+        mut self,
+        persister: Arc<dyn crate::persist::WindowPersister<K, T, M>>,
+    ) -> Self
+    where
+        K: 'static,
+        T: 'static,
+        M: 'static,
+    {
+        self.persisters.insert(
+            std::any::TypeId::of::<crate::window::WindowStoreSnapshot<K, T, M>>(),
+            Arc::new(persister),
+        );
+        self
+    }
+
+    /// The registered persister for `WindowStoreSnapshot<K, T, M>`, if any.
+    pub fn window_persister<K, T, M>(
+        &self,
+    ) -> Option<Arc<dyn crate::persist::WindowPersister<K, T, M>>>
+    where
+        K: 'static,
+        T: 'static,
+        M: 'static,
+    {
+        self.persisters
+            .get(&std::any::TypeId::of::<
+                crate::window::WindowStoreSnapshot<K, T, M>,
+            >())?
+            .downcast_ref::<Arc<dyn crate::persist::WindowPersister<K, T, M>>>()
+            .cloned()
     }
 }
 
@@ -509,7 +617,14 @@ where
             genealog_metrics::Tracer::global().emit(
                 "recovery-attempt",
                 store.backend().name(),
-                format!("attempt {attempt} of {attempts}"),
+                match store.restore_epoch() {
+                    Some(epoch) => {
+                        format!("attempt {attempt} of {attempts}: restoring epoch {epoch}")
+                    }
+                    None => format!(
+                        "attempt {attempt} of {attempts}: no complete epoch, starting fresh"
+                    ),
+                },
             );
         }
         let (handle, extras) = build(attempt)?;
@@ -525,6 +640,22 @@ where
         attempts,
         last_error: Box::new(last_error.expect("at least one attempt ran")),
     })
+}
+
+/// [`run_with_recovery`] driven entirely by a [`CheckpointConfig`]: the store
+/// and the retry/backoff policy both come from the configuration, so callers
+/// tune recovery in one place.
+///
+/// # Errors
+/// Same as [`run_with_recovery`].
+pub fn run_config_with_recovery<R, F>(
+    config: &CheckpointConfig,
+    build: F,
+) -> Result<(QueryReport, R), SpeError>
+where
+    F: FnMut(usize) -> Result<(QueryHandle, R), SpeError>,
+{
+    run_with_recovery(&config.store, config.recovery, build)
 }
 
 #[cfg(test)]

@@ -132,6 +132,43 @@ impl<K, T, M> WindowStoreSnapshot<K, T, M> {
     pub fn watermark(&self) -> Timestamp {
         self.watermark
     }
+
+    /// Number of tuples that had been dropped as late when the snapshot was taken.
+    pub fn late_tuples(&self) -> u64 {
+        self.late_tuples
+    }
+
+    /// Iterates the buffered window-instance buffers in deterministic order
+    /// (window start ascending, then group key ascending). This is the byte-codec
+    /// seam: a [`WindowPersister`](crate::persist::WindowPersister) walks these
+    /// entries to produce a canonical encoding.
+    pub fn entries(&self) -> impl Iterator<Item = (Timestamp, &K, &[Arc<GTuple<T, M>>])> {
+        self.windows.iter().flat_map(|(start, groups)| {
+            groups
+                .iter()
+                .map(move |(key, tuples)| (*start, key, tuples.as_slice()))
+        })
+    }
+}
+
+impl<K: Ord, T, M> WindowStoreSnapshot<K, T, M> {
+    /// Rebuilds a snapshot from decoded parts — the inverse of
+    /// [`entries`](WindowStoreSnapshot::entries). Entries with the same
+    /// `(start, key)` overwrite; decoders produce each instance buffer once.
+    pub fn from_parts<I>(entries: I, late_tuples: u64, watermark: Timestamp) -> Self
+    where
+        I: IntoIterator<Item = (Timestamp, K, Vec<Arc<GTuple<T, M>>>)>,
+    {
+        let mut windows: BTreeMap<Timestamp, WindowGroups<K, T, M>> = BTreeMap::new();
+        for (start, key, tuples) in entries {
+            windows.entry(start).or_default().insert(key, tuples);
+        }
+        WindowStoreSnapshot {
+            windows,
+            late_tuples,
+            watermark,
+        }
+    }
 }
 
 /// Group-by sliding-window store: assigns tuples to window instances and releases the

@@ -1,0 +1,706 @@
+//! The log-structured durable [`StateBackend`]: segment log + manifest + index.
+//!
+//! Commit ordering is the crash-safety contract:
+//!
+//! 1. **write** — the snapshot record is appended to the active segment;
+//! 2. **fsync** — the segment is `fdatasync`ed before `put` returns, so by the
+//!    time the operator forwards its barrier downstream, the snapshot is on
+//!    disk (a worker that dies after forwarding can always re-serve what the
+//!    origin believes it committed);
+//! 3. **manifest flip** — when the [`CheckpointStore`](genealog_spe::state::CheckpointStore)
+//!    completes an epoch it calls [`StateBackend::note_complete_epoch`], which
+//!    atomically replaces the manifest pinning that epoch as the recoverable cut.
+//!
+//! Opening a directory replays the live-generation segments through the
+//! torn-tail-tolerant [`scan`](crate::segment::scan()): every record before the
+//! first torn or corrupt frame is restored, the tail is rejected, and appends
+//! continue into a **fresh** segment so damaged files are never extended.
+//!
+//! `remove_after` triggers compaction: live snapshots are rewritten as full
+//! records into a new generation of segments, the manifest flip commits the
+//! switch, and the old generation is deleted (stale files from a compaction
+//! that crashed mid-way are swept on the next open). Rewriting fulls resets
+//! every incremental chain, so recovery replays at most one delta chain per
+//! participant within one generation.
+//!
+//! Inline (`Snapshot::Inline`) snapshots are kept in a volatile side map: they
+//! are process-local `Arc` shares by definition and cannot survive the process.
+//! The analyzer's GL014 diagnostic and the [`WindowPersister`](genealog_spe::persist::WindowPersister)
+//! registry exist precisely to keep cross-process state out of that map.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use genealog_metrics::{Histogram, MetricsRegistry};
+use genealog_spe::persist::is_container;
+use genealog_spe::state::{Snapshot, StateBackend};
+use parking_lot::Mutex;
+
+use crate::incremental;
+use crate::manifest::Manifest;
+use crate::segment::{encode_record, scan, Record, RecordKind};
+
+/// Tuning knobs of a [`DurableBackend`].
+#[derive(Debug, Clone, Copy)]
+pub struct StoreOptions {
+    /// Encode window-snapshot containers as diffs against the previous epoch
+    /// when the diff is smaller (full records otherwise).
+    pub incremental: bool,
+    /// With incremental snapshots on, force a full rebase record every
+    /// `rebase_interval` snapshots per participant, bounding the delta chain
+    /// recovery must replay. Clamped to at least 1.
+    pub rebase_interval: u64,
+    /// Roll to a new segment file once the active one exceeds this many bytes.
+    pub segment_bytes: u64,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        StoreOptions {
+            incremental: false,
+            rebase_interval: 4,
+            segment_bytes: 1 << 20,
+        }
+    }
+}
+
+impl StoreOptions {
+    /// The default options with incremental snapshots enabled.
+    pub fn incremental() -> Self {
+        StoreOptions {
+            incremental: true,
+            ..StoreOptions::default()
+        }
+    }
+}
+
+/// Per-participant incremental diff state: the last committed container.
+struct Chain {
+    epoch: u64,
+    container: Vec<u8>,
+    since_rebase: u64,
+}
+
+struct Inner {
+    manifest: Manifest,
+    active: File,
+    active_id: u64,
+    active_len: u64,
+    /// (participant, epoch) -> full snapshot bytes (deltas are reconstructed).
+    index: HashMap<(String, u64), Vec<u8>>,
+    /// Volatile side map for process-local inline snapshots.
+    inline: HashMap<(String, u64), Snapshot>,
+    chains: HashMap<String, Chain>,
+    /// Whether the opening scan hit (and cleanly rejected) a torn tail.
+    torn_tail_recovered: bool,
+    /// Whether the previous process flushed cleanly before exiting.
+    previous_clean_shutdown: bool,
+}
+
+/// A log-structured durable checkpoint store rooted at one directory.
+pub struct DurableBackend {
+    dir: PathBuf,
+    options: StoreOptions,
+    inner: Mutex<Inner>,
+    bytes_written: AtomicU64,
+    records: AtomicU64,
+    compactions: AtomicU64,
+    segments: AtomicU64,
+    fsyncs: AtomicU64,
+    fsync_hist: Mutex<Option<Arc<Histogram>>>,
+}
+
+impl fmt::Debug for DurableBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DurableBackend")
+            .field("dir", &self.dir)
+            .field("incremental", &self.options.incremental)
+            .field("bytes_written", &self.bytes_written.load(Ordering::Relaxed))
+            .field("segments", &self.segments.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+fn segment_name(generation: u64, id: u64) -> String {
+    format!("seg-{generation:06}-{id:06}.log")
+}
+
+fn parse_segment_name(name: &str) -> Option<(u64, u64)> {
+    let rest = name.strip_prefix("seg-")?.strip_suffix(".log")?;
+    let (generation, id) = rest.split_once('-')?;
+    Some((generation.parse().ok()?, id.parse().ok()?))
+}
+
+fn sync_dir(dir: &Path) -> io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
+impl DurableBackend {
+    /// Opens (or creates) a store directory with default options.
+    ///
+    /// # Errors
+    /// Propagates I/O failures creating, scanning or writing the directory.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Arc<Self>> {
+        Self::open_with(dir, StoreOptions::default())
+    }
+
+    /// Opens (or creates) a store directory.
+    ///
+    /// Replays the live generation's segments (tolerating a torn tail), sweeps
+    /// segment files left behind by an interrupted compaction, and starts a
+    /// fresh active segment for this process's appends.
+    ///
+    /// # Errors
+    /// Propagates I/O failures creating, scanning or writing the directory.
+    pub fn open_with(dir: impl Into<PathBuf>, mut options: StoreOptions) -> io::Result<Arc<Self>> {
+        options.rebase_interval = options.rebase_interval.max(1);
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let mut manifest = Manifest::load(&dir).unwrap_or_default();
+        let previous_clean_shutdown = manifest.clean_shutdown;
+
+        let mut live: Vec<(u64, PathBuf)> = Vec::new();
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some((generation, id)) = parse_segment_name(name) else {
+                continue;
+            };
+            if generation == manifest.generation {
+                live.push((id, entry.path()));
+            } else {
+                // A compaction that died between its manifest flip and the
+                // deletes (or before the flip) leaves another generation's
+                // files behind; only the manifest's generation is live.
+                let _ = fs::remove_file(entry.path());
+            }
+        }
+        live.sort();
+
+        let mut index = HashMap::new();
+        let mut chains = HashMap::new();
+        let mut torn_tail_recovered = false;
+        'files: for (_, path) in &live {
+            let bytes = fs::read(path)?;
+            let outcome = scan(&bytes);
+            for record in outcome.records {
+                if !replay(record, &mut index, &mut chains) {
+                    torn_tail_recovered = true;
+                    break 'files;
+                }
+            }
+            if outcome.torn {
+                torn_tail_recovered = true;
+                break;
+            }
+        }
+
+        // Appends go to a fresh segment — a damaged tail is never extended.
+        let active_id = live.last().map_or(0, |(id, _)| id + 1);
+        let active_path = dir.join(segment_name(manifest.generation, active_id));
+        let active = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&active_path)?;
+        sync_dir(&dir)?;
+        manifest.clean_shutdown = false;
+        manifest.store(&dir)?;
+
+        let segments = live.len() as u64 + 1;
+        Ok(Arc::new(DurableBackend {
+            dir,
+            options,
+            inner: Mutex::new(Inner {
+                manifest,
+                active,
+                active_id,
+                active_len: 0,
+                index,
+                inline: HashMap::new(),
+                chains,
+                torn_tail_recovered,
+                previous_clean_shutdown,
+            }),
+            bytes_written: AtomicU64::new(0),
+            records: AtomicU64::new(0),
+            compactions: AtomicU64::new(0),
+            segments: AtomicU64::new(segments),
+            fsyncs: AtomicU64::new(0),
+            fsync_hist: Mutex::new(None),
+        }))
+    }
+
+    /// The directory this store lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The epoch the manifest pins as the recoverable cut, if any.
+    pub fn latest_complete_epoch(&self) -> Option<u64> {
+        self.inner.lock().manifest.latest_complete
+    }
+
+    /// Whether the opening scan hit (and cleanly rejected) a torn tail.
+    pub fn torn_tail_recovered(&self) -> bool {
+        self.inner.lock().torn_tail_recovered
+    }
+
+    /// Whether the previous process flushed the manifest on a clean shutdown.
+    pub fn previous_clean_shutdown(&self) -> bool {
+        self.inner.lock().previous_clean_shutdown
+    }
+
+    /// Number of compactions performed since open.
+    pub fn compactions(&self) -> u64 {
+        self.compactions.load(Ordering::Relaxed)
+    }
+
+    /// Number of records appended since open.
+    pub fn records_appended(&self) -> u64 {
+        self.records.load(Ordering::Relaxed)
+    }
+
+    /// Number of live segment files (including the active one).
+    pub fn segment_count(&self) -> u64 {
+        self.segments.load(Ordering::Relaxed)
+    }
+
+    /// Flushes the active segment and marks a clean shutdown in the manifest
+    /// (what `spe-node` does on SIGTERM).
+    ///
+    /// # Errors
+    /// Propagates I/O failures; the store stays usable.
+    pub fn flush(&self) -> io::Result<()> {
+        let mut inner = self.inner.lock();
+        inner.active.sync_data()?;
+        inner.manifest.clean_shutdown = true;
+        inner.manifest.store(&self.dir)
+    }
+
+    /// A one-line JSON summary for the control endpoint's `/store` route.
+    pub fn status_json(&self) -> String {
+        let inner = self.inner.lock();
+        let latest = inner
+            .manifest
+            .latest_complete
+            .map_or("null".to_string(), |e| e.to_string());
+        format!(
+            "{{\"dir\":{:?},\"incremental\":{},\"segments\":{},\"records\":{},\"bytes_written\":{},\"compactions\":{},\"fsyncs\":{},\"snapshots\":{},\"latest_complete_epoch\":{},\"torn_tail_recovered\":{},\"previous_clean_shutdown\":{}}}",
+            self.dir.display().to_string(),
+            self.options.incremental,
+            self.segments.load(Ordering::Relaxed),
+            self.records.load(Ordering::Relaxed),
+            self.bytes_written.load(Ordering::Relaxed),
+            self.compactions.load(Ordering::Relaxed),
+            self.fsyncs.load(Ordering::Relaxed),
+            inner.index.len() + inner.inline.len(),
+            latest,
+            inner.torn_tail_recovered,
+            inner.previous_clean_shutdown,
+        )
+    }
+
+    /// Registers the store's `genealog_checkpoint_store_*` metrics on a
+    /// registry: bytes written, segment/record/compaction counters and the
+    /// fsync latency histogram `put` records into from then on.
+    pub fn publish_metrics(self: &Arc<Self>, registry: &MetricsRegistry) {
+        let me = Arc::clone(self);
+        registry.counter_fn(
+            "genealog_checkpoint_store_bytes_written_total",
+            &[],
+            Arc::new(move || me.bytes_written.load(Ordering::Relaxed)),
+        );
+        let me = Arc::clone(self);
+        registry.gauge_fn(
+            "genealog_checkpoint_store_segments",
+            &[],
+            Arc::new(move || me.segments.load(Ordering::Relaxed)),
+        );
+        let me = Arc::clone(self);
+        registry.counter_fn(
+            "genealog_checkpoint_store_compactions_total",
+            &[],
+            Arc::new(move || me.compactions.load(Ordering::Relaxed)),
+        );
+        let me = Arc::clone(self);
+        registry.counter_fn(
+            "genealog_checkpoint_store_records_total",
+            &[],
+            Arc::new(move || me.records.load(Ordering::Relaxed)),
+        );
+        *self.fsync_hist.lock() =
+            Some(registry.histogram("genealog_checkpoint_store_fsync_ns", &[]));
+    }
+
+    fn append(&self, inner: &mut Inner, frame: &[u8]) -> io::Result<()> {
+        inner.active.write_all(frame)?;
+        let started = std::time::Instant::now();
+        inner.active.sync_data()?;
+        let elapsed_ns = started.elapsed().as_nanos() as u64;
+        self.fsyncs.fetch_add(1, Ordering::Relaxed);
+        if let Some(hist) = self.fsync_hist.lock().as_ref() {
+            hist.record(elapsed_ns);
+        }
+        inner.active_len += frame.len() as u64;
+        self.bytes_written
+            .fetch_add(frame.len() as u64, Ordering::Relaxed);
+        self.records.fetch_add(1, Ordering::Relaxed);
+        if inner.active_len >= self.options.segment_bytes {
+            self.roll(inner)?;
+        }
+        Ok(())
+    }
+
+    fn roll(&self, inner: &mut Inner) -> io::Result<()> {
+        inner.active.sync_data()?;
+        inner.active_id += 1;
+        let path = self
+            .dir
+            .join(segment_name(inner.manifest.generation, inner.active_id));
+        inner.active = OpenOptions::new().create(true).append(true).open(&path)?;
+        sync_dir(&self.dir)?;
+        inner.active_len = 0;
+        self.segments.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Rewrites the live snapshots as full records into a new segment
+    /// generation, flips the manifest (the commit point) and deletes the old
+    /// generation. Incremental chains reset: the new generation starts from
+    /// full rebases.
+    fn compact(&self, inner: &mut Inner) -> io::Result<()> {
+        let generation = inner.manifest.generation + 1;
+        let mut live: Vec<Record> = inner
+            .index
+            .iter()
+            .map(|((participant, epoch), body)| Record {
+                participant: participant.clone(),
+                epoch: *epoch,
+                kind: RecordKind::Full,
+                body: body.clone(),
+            })
+            .collect();
+        live.sort_by(|a, b| (&a.participant, a.epoch).cmp(&(&b.participant, b.epoch)));
+
+        let mut id = 0u64;
+        let mut len = 0u64;
+        let mut file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.dir.join(segment_name(generation, id)))?;
+        for record in &live {
+            let frame = encode_record(record);
+            file.write_all(&frame)?;
+            len += frame.len() as u64;
+            self.bytes_written
+                .fetch_add(frame.len() as u64, Ordering::Relaxed);
+            if len >= self.options.segment_bytes {
+                file.sync_data()?;
+                id += 1;
+                len = 0;
+                file = OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(self.dir.join(segment_name(generation, id)))?;
+            }
+        }
+        file.sync_data()?;
+        sync_dir(&self.dir)?;
+
+        // The manifest flip is what commits the compaction.
+        inner.manifest.generation = generation;
+        inner.manifest.store(&self.dir)?;
+
+        // Best-effort delete of the superseded generation; leftovers are swept
+        // on the next open.
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            if let Some(name) = entry.file_name().to_str() {
+                if let Some((g, _)) = parse_segment_name(name) {
+                    if g < generation {
+                        let _ = fs::remove_file(entry.path());
+                    }
+                }
+            }
+        }
+
+        // Fresh active segment after the compacted ones.
+        inner.active_id = id + 1;
+        inner.active = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.dir.join(segment_name(generation, inner.active_id)))?;
+        sync_dir(&self.dir)?;
+        inner.active_len = 0;
+
+        // Chains restart from the newest surviving container per participant.
+        inner.chains.clear();
+        let mut newest: HashMap<&String, (u64, &Vec<u8>)> = HashMap::new();
+        for ((participant, epoch), body) in &inner.index {
+            if !is_container(body) {
+                continue;
+            }
+            match newest.get(participant) {
+                Some((e, _)) if *e >= *epoch => {}
+                _ => {
+                    newest.insert(participant, (*epoch, body));
+                }
+            }
+        }
+        let rebuilt: Vec<(String, Chain)> = newest
+            .into_iter()
+            .map(|(participant, (epoch, body))| {
+                (
+                    participant.clone(),
+                    Chain {
+                        epoch,
+                        container: body.clone(),
+                        since_rebase: 0,
+                    },
+                )
+            })
+            .collect();
+        inner.chains.extend(rebuilt);
+
+        self.compactions.fetch_add(1, Ordering::Relaxed);
+        self.segments.store(id + 2, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// Replays one scanned record into the index and chains. `false` means the
+/// record is inconsistent (a delta without its base) — the scan stops there,
+/// exactly like a torn tail.
+fn replay(
+    record: Record,
+    index: &mut HashMap<(String, u64), Vec<u8>>,
+    chains: &mut HashMap<String, Chain>,
+) -> bool {
+    match record.kind {
+        RecordKind::Full => {
+            if is_container(&record.body) {
+                chains.insert(
+                    record.participant.clone(),
+                    Chain {
+                        epoch: record.epoch,
+                        container: record.body.clone(),
+                        since_rebase: 0,
+                    },
+                );
+            }
+            index.insert((record.participant, record.epoch), record.body);
+            true
+        }
+        RecordKind::Delta { base_epoch } => {
+            let Some(chain) = chains.get_mut(&record.participant) else {
+                return false;
+            };
+            if chain.epoch != base_epoch {
+                return false;
+            }
+            let Some(full) = incremental::apply(&chain.container, &record.body) else {
+                return false;
+            };
+            chain.epoch = record.epoch;
+            chain.container = full.clone();
+            chain.since_rebase += 1;
+            index.insert((record.participant, record.epoch), full);
+            true
+        }
+    }
+}
+
+impl StateBackend for DurableBackend {
+    fn name(&self) -> &'static str {
+        "durable-log"
+    }
+
+    fn put(&self, participant: &str, epoch: u64, snapshot: Snapshot) {
+        match snapshot {
+            inline @ Snapshot::Inline(_) => {
+                // Process-local by definition; documented volatile side map.
+                self.inner
+                    .lock()
+                    .inline
+                    .insert((participant.to_string(), epoch), inline);
+            }
+            Snapshot::Bytes(bytes) => {
+                let mut inner = self.inner.lock();
+                let mut kind = RecordKind::Full;
+                let mut body = bytes.clone();
+                let mut since_rebase = 0;
+                if self.options.incremental && is_container(&bytes) {
+                    if let Some(chain) = inner.chains.get(participant) {
+                        if epoch > chain.epoch
+                            && chain.since_rebase + 1 < self.options.rebase_interval
+                        {
+                            if let Some(delta) =
+                                incremental::diff(&chain.container, chain.epoch, &bytes)
+                            {
+                                if delta.len() < bytes.len() {
+                                    kind = RecordKind::Delta {
+                                        base_epoch: chain.epoch,
+                                    };
+                                    body = delta;
+                                    since_rebase = chain.since_rebase + 1;
+                                }
+                            }
+                        }
+                    }
+                }
+                let frame = encode_record(&Record {
+                    participant: participant.to_string(),
+                    epoch,
+                    kind,
+                    body,
+                });
+                if let Err(err) = self.append(&mut inner, &frame) {
+                    // A lost checkpoint write must not pass silently: failing
+                    // the operator thread routes through the normal fence +
+                    // recovery path instead of pretending the epoch persisted.
+                    panic!(
+                        "durable checkpoint append failed in {}: {err}",
+                        self.dir.display()
+                    );
+                }
+                if is_container(&bytes) {
+                    inner.chains.insert(
+                        participant.to_string(),
+                        Chain {
+                            epoch,
+                            container: bytes.clone(),
+                            since_rebase,
+                        },
+                    );
+                }
+                inner.index.insert((participant.to_string(), epoch), bytes);
+            }
+        }
+    }
+
+    fn get(&self, participant: &str, epoch: u64) -> Option<Snapshot> {
+        let inner = self.inner.lock();
+        let key = (participant.to_string(), epoch);
+        if let Some(bytes) = inner.index.get(&key) {
+            return Some(Snapshot::Bytes(bytes.clone()));
+        }
+        inner.inline.get(&key).cloned()
+    }
+
+    fn remove_after(&self, epoch: u64) {
+        let mut inner = self.inner.lock();
+        inner.inline.retain(|(_, e), _| *e <= epoch);
+        inner.index.retain(|(_, e), _| *e <= epoch);
+        // Completeness is monotone (participants commit epochs in order), so
+        // clamping the pinned cut to the removal point stays correct.
+        if inner.manifest.latest_complete.is_some_and(|l| l > epoch) {
+            inner.manifest.latest_complete = Some(epoch);
+        }
+        if let Err(err) = self.compact(&mut inner) {
+            panic!(
+                "checkpoint store compaction failed in {}: {err}",
+                self.dir.display()
+            );
+        }
+    }
+
+    fn snapshot_count(&self) -> usize {
+        let inner = self.inner.lock();
+        inner.index.len() + inner.inline.len()
+    }
+
+    fn serialized_bytes(&self) -> usize {
+        self.inner.lock().index.values().map(Vec::len).sum()
+    }
+
+    fn bytes_written(&self) -> u64 {
+        self.bytes_written.load(Ordering::Relaxed)
+    }
+
+    fn note_complete_epoch(&self, epoch: u64) {
+        let mut inner = self.inner.lock();
+        if inner.manifest.latest_complete.is_none_or(|l| epoch > l) {
+            inner.manifest.latest_complete = Some(epoch);
+            if let Err(err) = inner.manifest.store(&self.dir) {
+                panic!(
+                    "checkpoint manifest flip failed in {}: {err}",
+                    self.dir.display()
+                );
+            }
+        }
+    }
+
+    fn is_durable(&self) -> bool {
+        true
+    }
+}
+
+/// A participant-prefixing view of a shared [`DurableBackend`].
+///
+/// A node hosting several shard engines gives each hosted engine its own
+/// `CheckpointStore` over a scope like `shard3/`, all funnelling into the one
+/// store directory — participants named `sum` in different engines stay
+/// distinct on disk without touching any operator commit path.
+#[derive(Debug)]
+pub struct ScopedBackend {
+    inner: Arc<DurableBackend>,
+    scope: String,
+}
+
+impl ScopedBackend {
+    /// Creates a scope over `inner`; `scope` becomes the participant prefix.
+    pub fn new(inner: Arc<DurableBackend>, scope: impl Into<String>) -> Arc<Self> {
+        Arc::new(ScopedBackend {
+            inner,
+            scope: scope.into(),
+        })
+    }
+
+    fn scoped(&self, participant: &str) -> String {
+        format!("{}/{}", self.scope, participant)
+    }
+}
+
+impl StateBackend for ScopedBackend {
+    fn name(&self) -> &'static str {
+        "durable-log"
+    }
+
+    fn put(&self, participant: &str, epoch: u64, snapshot: Snapshot) {
+        self.inner.put(&self.scoped(participant), epoch, snapshot);
+    }
+
+    fn get(&self, participant: &str, epoch: u64) -> Option<Snapshot> {
+        self.inner.get(&self.scoped(participant), epoch)
+    }
+
+    fn remove_after(&self, epoch: u64) {
+        self.inner.remove_after(epoch);
+    }
+
+    fn snapshot_count(&self) -> usize {
+        self.inner.snapshot_count()
+    }
+
+    fn serialized_bytes(&self) -> usize {
+        self.inner.serialized_bytes()
+    }
+
+    fn bytes_written(&self) -> u64 {
+        self.inner.bytes_written()
+    }
+
+    fn note_complete_epoch(&self, epoch: u64) {
+        self.inner.note_complete_epoch(epoch);
+    }
+
+    fn is_durable(&self) -> bool {
+        true
+    }
+}

@@ -1,0 +1,63 @@
+//! CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) over record payloads.
+//!
+//! Hand-rolled table-based implementation — the store is dependency-free by
+//! design; the polynomial matches zlib/`crc32fast` so checksums are stable and
+//! externally verifiable.
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// The CRC-32 checksum of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_known_vectors() {
+        // Standard zlib test vectors.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn single_bit_flip_changes_checksum() {
+        let bytes = b"genealog".to_vec();
+        let base = crc32(&bytes);
+        for i in 0..bytes.len() * 8 {
+            let mut flipped = bytes.clone();
+            flipped[i / 8] ^= 1 << (i % 8);
+            assert_ne!(crc32(&flipped), base, "bit {i}");
+        }
+    }
+}

@@ -129,6 +129,8 @@ fn main() {
             size_ms: 8_000,
             slide_ms: 4_000,
         },
+        checkpoint_interval: None,
+        restore_epoch: None,
     };
     let shards = connect_gl_node_group(
         &template,

@@ -12,7 +12,11 @@
 
 use std::collections::BTreeSet;
 use std::net::{SocketAddr, TcpListener};
-use std::sync::Arc;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use genealog::prelude::*;
 use genealog_distributed::deployment::logical_shard_provenance_sink;
@@ -22,6 +26,9 @@ use genealog_distributed::{
 use genealog_metrics::MetricsRegistry;
 use genealog_spe::operator::aggregate::WindowView;
 use genealog_spe::parallel::Parallelism;
+use genealog_spe::state::{run_with_recovery, CheckpointConfig, CheckpointStore, RecoveryConfig};
+use genealog_spe::PlannerConfig;
+use genealog_store::{DurableBackend, StoreOptions};
 
 type Reading = NodeReading;
 /// `(ts_millis, debug-rendered payload)` — the byte-level identity of a sink tuple.
@@ -149,6 +156,8 @@ fn two_nodes_hosting_one_shard_group_match_the_local_oracle() {
             size_ms: 8_000,
             slide_ms: 4_000,
         },
+        checkpoint_interval: None,
+        restore_epoch: None,
     };
     let shards = connect_gl_node_group(
         &template,
@@ -272,6 +281,8 @@ fn staged_node_shards_with_fusion_match_the_local_staged_oracle() {
             size_ms: 8_000,
             slide_ms: 4_000,
         },
+        checkpoint_interval: None,
+        restore_epoch: None,
     };
     let shards = connect_gl_node_group(
         &template,
@@ -304,4 +315,258 @@ fn staged_node_shards_with_fusion_match_the_local_staged_oracle() {
     assert!(!remote_tuples.is_empty());
     assert_eq!(local.0, remote_tuples);
     assert_eq!(local.1, canonical_lineage(&provenance.records()));
+}
+
+// ---------------------------------------------------------------------------
+// Cross-process crash recovery: SIGKILL a real worker process mid-epoch,
+// restart it against the same --state-dir, and the recovered deployment must
+// be byte-identical to the fault-free oracle.
+// ---------------------------------------------------------------------------
+
+/// One real `spe-node` worker process, spawned from the compiled binary.
+struct Worker {
+    child: Child,
+    addr: SocketAddr,
+    ready: PathBuf,
+}
+
+fn spawn_worker(state_dir: &Path, tag: &str) -> Worker {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let ready = Path::new(env!("CARGO_TARGET_TMPDIR")).join(format!(
+        "spe-node-ready-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::SeqCst)
+    ));
+    let _ = std::fs::remove_file(&ready);
+    let child = Command::new(env!("CARGO_BIN_EXE_spe-node"))
+        .arg("--listen")
+        .arg("127.0.0.1:0")
+        .arg("--state-dir")
+        .arg(state_dir)
+        .arg("--ready-file")
+        .arg(&ready)
+        .stdout(Stdio::null())
+        .spawn()
+        .expect("spawn the spe-node worker binary");
+    let deadline = Instant::now() + std::time::Duration::from_secs(30);
+    let addr = loop {
+        if let Some(addr) = std::fs::read_to_string(&ready)
+            .ok()
+            .and_then(|text| text.lines().next().and_then(|l| l.parse().ok()))
+        {
+            break addr;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "spe-node never wrote its ready file"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    };
+    Worker { child, addr, ready }
+}
+
+/// A worker SIGKILLed between two barriers — no flush, no goodbye, a torn
+/// record likely mid-segment — then restarted against the same `--state-dir`
+/// must restore its shard state from its own disk, and the recovered run's
+/// sink bytes and stitched contribution sets must equal the local fault-free
+/// oracle. Worker state crosses the crash *only* through the durable store:
+/// the replacement is a brand-new OS process.
+#[test]
+fn sigkilled_worker_restarted_from_its_state_dir_recovers_byte_identically() {
+    const INTERVAL: u64 = 5;
+    /// Tuples the origin lets through before stalling to wait for the kill:
+    /// enough for two complete epochs at `INTERVAL` = 5.
+    const GATE_AT: u64 = 12;
+    const TOTAL_SHARDS: u32 = 2;
+
+    let tmp = Path::new(env!("CARGO_TARGET_TMPDIR"));
+    let state_a = tmp.join(format!("node-a-{}", std::process::id()));
+    let state_b = tmp.join(format!("node-b-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&state_a);
+    let _ = std::fs::remove_dir_all(&state_b);
+
+    let worker_a = spawn_worker(&state_a, "a");
+    let worker_b = Arc::new(Mutex::new(spawn_worker(&state_b, "b")));
+
+    let store = CheckpointStore::in_memory();
+    // One provenance system for all attempts (shared id counters) and a fresh
+    // instance namespace per attempt for the node-hosted shards, so replayed
+    // tuple ids never collide with checkpointed ones.
+    let origin_system = GeneaLog::for_instance(0);
+    let released = Arc::new(AtomicBool::new(false));
+    let killed = Arc::new(AtomicBool::new(false));
+
+    // The killer: once the origin observes a complete epoch (which implies
+    // every hosted shard durably committed it — stores fsync before the
+    // barrier is forwarded), SIGKILL worker B mid-run and unblock the stream.
+    {
+        let store = Arc::clone(&store);
+        let released = Arc::clone(&released);
+        let killed = Arc::clone(&killed);
+        let worker_b = Arc::clone(&worker_b);
+        std::thread::spawn(move || {
+            let deadline = Instant::now() + std::time::Duration::from_secs(60);
+            while store.latest_complete_epoch().is_none_or(|e| e < 1) && Instant::now() < deadline {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+            worker_b
+                .lock()
+                .unwrap()
+                .child
+                .kill()
+                .expect("SIGKILL worker B");
+            killed.store(true, Ordering::SeqCst);
+            released.store(true, Ordering::SeqCst);
+        });
+    }
+
+    let worker_a_addr = worker_a.addr;
+    let restore_epochs: Arc<Mutex<Vec<Option<u64>>>> = Arc::new(Mutex::new(Vec::new()));
+    let restore_epochs_seen = Arc::clone(&restore_epochs);
+    let (_, (sink, provenance, group)) = run_with_recovery(
+        &store,
+        RecoveryConfig {
+            max_attempts: 4,
+            backoff: std::time::Duration::from_millis(50),
+        },
+        |attempt| {
+            if attempt > 0 {
+                // Restart the SIGKILLed worker: a brand-new process, same disk.
+                let mut guard = worker_b.lock().unwrap();
+                let _ = guard.child.wait();
+                *guard = spawn_worker(&state_b, "b-restarted");
+            }
+            let worker_b_addr = worker_b.lock().unwrap().addr;
+            let template = NodeDeployment {
+                group: "sum".into(),
+                shards: Vec::new(),
+                total_shards: TOTAL_SHARDS,
+                first_instance: 1 + attempt as u32 * TOTAL_SHARDS,
+                fusion: false,
+                op: ShardOpSpec::SumAggregate {
+                    size_ms: 8_000,
+                    slide_ms: 4_000,
+                },
+                checkpoint_interval: Some(INTERVAL),
+                restore_epoch: if attempt == 0 {
+                    None
+                } else {
+                    store.restore_epoch()
+                },
+            };
+            restore_epochs_seen
+                .lock()
+                .unwrap()
+                .push(template.restore_epoch);
+            let shards = connect_gl_node_group(
+                &template,
+                &[(worker_a_addr, vec![0]), (worker_b_addr, vec![1])],
+                NetworkConfig::unlimited(),
+            )?;
+            let plan = GlPlan::with_config(
+                origin_system.clone(),
+                PlannerConfig::default()
+                    .with_checkpoints(CheckpointConfig::new(INTERVAL, Arc::clone(&store))),
+            );
+            let released = Arc::clone(&released);
+            let seen = Arc::new(AtomicU64::new(0));
+            let sums = plan
+                .source("readings", VecSource::new(readings()))
+                .filter("gate", move |_r: &Reading| {
+                    if seen.fetch_add(1, Ordering::SeqCst) + 1 > GATE_AT {
+                        while !released.load(Ordering::SeqCst) {
+                            std::thread::sleep(std::time::Duration::from_millis(5));
+                        }
+                    }
+                    true
+                })
+                .aggregate("sum", window_spec(), sum_key, sum_window, |o: &Reading| o.0)
+                .place(shards.placements);
+            let (out, provenance) = logical_shard_provenance_sink::<Reading, Reading, _>(
+                sums,
+                "prov",
+                shards.provenance_links,
+                Duration::from_hours(24),
+            );
+            let sink = out.collecting_sink("sink");
+            Ok((plan.deploy()?, (sink, provenance, shards.group)))
+        },
+    )
+    .expect("cross-process recovery must succeed within the attempt budget");
+    group.wait().expect("winning attempt's node-hosted shards");
+
+    assert!(
+        killed.load(Ordering::SeqCst),
+        "the killer must have SIGKILLed worker B mid-run"
+    );
+    assert!(
+        store.recoveries() >= 1,
+        "the SIGKILL must push the run through recovery"
+    );
+    assert!(
+        state_b.join("sum").is_dir(),
+        "the restarted worker must have reopened its on-disk store"
+    );
+    let restores = restore_epochs.lock().unwrap().clone();
+    assert!(
+        restores.last().is_some_and(|e| e.is_some()),
+        "the winning re-deployment must pin an origin-complete restore epoch \
+         (the restarted worker restores it from its own disk), got {restores:?}"
+    );
+
+    // Byte-identical to the fault-free local oracle: same sink tuples in the
+    // same canonical order, same per-sink-tuple source sets stitched across
+    // the real process boundary.
+    let (local_tuples, local_lineage) = run_local();
+    let remote_tuples: Vec<SinkTuple> = sink
+        .tuples()
+        .iter()
+        .map(|t| (t.ts.as_millis(), format!("{:?}", t.data)))
+        .collect();
+    assert!(!remote_tuples.is_empty());
+    assert_eq!(local_tuples, remote_tuples);
+    assert_eq!(local_lineage, canonical_lineage(&provenance.records()));
+
+    // SIGTERM (clean shutdown) on the surviving worker: manifests flush, the
+    // ready file is removed, and the process exits 0.
+    let pid = worker_a.child.id();
+    let status = Command::new("kill")
+        .arg("-TERM")
+        .arg(pid.to_string())
+        .status()
+        .expect("send SIGTERM to worker A");
+    assert!(status.success(), "kill -TERM must reach worker A");
+    let mut worker_a = worker_a;
+    let deadline = Instant::now() + std::time::Duration::from_secs(10);
+    let exit = loop {
+        if let Some(exit) = worker_a.child.try_wait().expect("poll worker A") {
+            break exit;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "worker A did not exit on SIGTERM"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    };
+    assert!(exit.success(), "SIGTERM must be a clean (code 0) shutdown");
+    assert!(
+        !worker_a.ready.exists(),
+        "a clean shutdown must remove the ready file"
+    );
+    // The flushed manifest marks the shutdown clean — visible to the next open.
+    let reopened = DurableBackend::open_with(state_a.join("sum"), StoreOptions::incremental())
+        .expect("reopen worker A's store");
+    assert!(
+        reopened.previous_clean_shutdown(),
+        "SIGTERM must flush the store manifest with the clean-shutdown marker"
+    );
+    assert!(
+        reopened.latest_complete_epoch().is_some(),
+        "worker A's disk must hold the complete epochs it committed"
+    );
+
+    // Worker B is cleaned up hard; its disk already proved its point.
+    let mut guard = worker_b.lock().unwrap();
+    let _ = guard.child.kill();
+    let _ = guard.child.wait();
 }
